@@ -1,0 +1,29 @@
+"""Benchmark fixtures: result reporting and a pre-warmed testbed."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_testbed():
+    """Build the shared testbed once so its cost is not in any bench."""
+    from repro.experiments.common import build_testbed
+
+    return build_testbed()
+
+
+@pytest.fixture()
+def report_rows(request):
+    """Print experiment rows and persist them under benchmarks/results/."""
+
+    def report(rows):
+        text = "\n".join(rows)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return report

@@ -1,0 +1,107 @@
+"""Benches: ablations of the design choices DESIGN.md calls out.
+
+Each bench quantifies one decision the paper makes (or argues against)
+and asserts the direction of the effect.
+"""
+
+from repro.experiments import (
+    run_3d_ablation,
+    run_adaptive_ablation,
+    run_fusion_ablation,
+    run_oob_prior_ablation,
+    run_pattern_ablation,
+    run_probe_set_ablation,
+    run_random_beam_ablation,
+    run_refinement_ablation,
+)
+
+
+def test_ablation_fusion(benchmark, report_rows):
+    """Eq. 5's SNR×RSSI product beats (or at worst ties) either alone."""
+    result = benchmark.pedantic(lambda: run_fusion_ablation(), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+    product = result.variants["fusion=product"]
+    assert product <= result.variants["fusion=snr"] + 0.25
+    assert product <= result.variants["fusion=rssi"] + 0.25
+    # And it should beat the plain Eq. 3 (SNR-only) estimator clearly.
+    assert product < result.variants["fusion=snr"]
+
+
+def test_ablation_patterns(benchmark, report_rows):
+    """Measured patterns beat the ideal-array theoretical prediction."""
+    result = benchmark.pedantic(lambda: run_pattern_ablation(), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+    assert result.variants["measured patterns"] < result.variants["theoretical patterns"]
+
+
+def test_ablation_probe_sets(benchmark, report_rows):
+    """§7: gain-diverse probing outperforms random subsets at small M."""
+    result = benchmark.pedantic(
+        lambda: run_probe_set_ablation(n_probes=10), rounds=1, iterations=1
+    )
+    report_rows(result.format_rows())
+    assert result.variants["gain-diverse (greedy)"] < result.variants["random subsets"]
+
+
+def test_ablation_3d(benchmark, report_rows):
+    """3D estimation is required once the geometry leaves the plane."""
+    result = benchmark.pedantic(lambda: run_3d_ablation(), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+    assert (
+        result.variants["3D search grid"] + 1.0
+        < result.variants["2D (azimuth-only) grid"]
+    )
+
+
+def test_ablation_random_beams(benchmark, report_rows):
+    """§2.1: random probing beams cost link budget and accuracy."""
+    result = benchmark.pedantic(
+        lambda: run_random_beam_ablation(), rounds=1, iterations=1
+    )
+    report_rows(result.format_rows())
+    assert (
+        result.variants["sectors: best-beam SNR"]
+        > result.variants["random beams: best-beam SNR"] + 3.0
+    )
+    assert result.variants["sectors: az error"] < result.variants["random beams: az error"]
+
+
+def test_ablation_adaptive(benchmark, report_rows):
+    """§7: the adaptive budget sits between the fixed extremes."""
+    result = benchmark.pedantic(lambda: run_adaptive_ablation(), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+    adaptive_airtime = result.variants["adaptive 10..24: airtime"]
+    assert (
+        result.variants["fixed 10 probes: airtime"]
+        < adaptive_airtime
+        < result.variants["fixed 24 probes: airtime"]
+    )
+    # Quality stays within 1 dB of the always-maximum budget.
+    assert (
+        result.variants["adaptive 10..24: loss"]
+        < result.variants["fixed 24 probes: loss"] + 1.0
+    )
+
+
+def test_ablation_oob_prior(benchmark, report_rows):
+    """Out-of-band priors rescue the very-low-probe regime (§8 idea)."""
+    result = benchmark.pedantic(lambda: run_oob_prior_ablation(), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+    for n_probes in (4, 6, 10):
+        without = result.variants[f"M={n_probes} no prior"]
+        with_prior = result.variants[f"M={n_probes} with prior"]
+        assert with_prior < without
+    # The rescue is dramatic at M=4: several-fold error reduction.
+    assert result.variants["M=4 with prior"] < result.variants["M=4 no prior"] / 2.0
+
+
+def test_ablation_refinement(benchmark, report_rows):
+    """BRP hill-climbing recovers the residual CSS loss (and more)."""
+    result = benchmark.pedantic(lambda: run_refinement_ablation(), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+    assert (
+        result.variants["loss after refinement"]
+        < result.variants["loss before refinement"]
+    )
+    # A refinement run costs far less than even one reduced sweep.
+    assert result.variants["mean airtime [us]"] < 553.0

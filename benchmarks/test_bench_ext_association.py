@@ -1,0 +1,82 @@
+"""Bench (extension): beacon-interval association (BTI + A-BFT).
+
+Exercises the §4.1 machinery at network scale: an AP beacons over the
+Table-1 schedule every 102.4 ms; stations that heard a beacon contend
+in A-BFT slots with responder sweeps.  Expected shape: a lone station
+associates in the first beacon interval; with more stations than
+A-BFT slots, collisions stretch the tail of the association delay.
+"""
+
+import numpy as np
+
+from repro.channel import conference_room, lab_environment
+from repro.geometry import Orientation
+from repro.mac import ABFTConfig, AssociationSimulator, Station
+from repro.phased_array import PhasedArray
+
+
+def _deploy(environment, n_stations):
+    ap = Station(
+        "ap", 0, PhasedArray.talon(np.random.default_rng(1)),
+        position_m=environment.tx_position_m,
+    )
+    stations = [
+        Station(
+            f"sta{index}",
+            index + 1,
+            PhasedArray.talon(np.random.default_rng(50 + index)),
+            position_m=environment.rx_position_m
+            + np.array([0.0, (index - (n_stations - 1) / 2.0) * 0.7, 0.0]),
+            orientation=Orientation(yaw_deg=180.0),
+        )
+        for index in range(n_stations)
+    ]
+    return ap, stations
+
+
+def _run_association():
+    rng = np.random.default_rng(3)
+    rows = ["association (extension): A-BFT contention"]
+    results = {}
+    environment = lab_environment(3.0)
+    ap, stations = _deploy(environment, 1)
+    lone = AssociationSimulator(ap, stations, environment).run(rng)
+    results["lone"] = lone
+    rows.append(
+        f"1 station, 8 slots: associated in BI {lone.association_bi['sta0']}, "
+        f"{lone.collisions} collisions"
+    )
+
+    environment = conference_room(6.0)
+    for n_slots in (1, 8):
+        ap, stations = _deploy(environment, 6)
+        outcome = AssociationSimulator(
+            ap, stations, environment, abft=ABFTConfig(n_slots=n_slots)
+        ).run(np.random.default_rng(3))
+        results[f"slots{n_slots}"] = outcome
+        last_bi = max(outcome.association_bi.values()) if outcome.association_bi else -1
+        rows.append(
+            f"6 stations, {n_slots} slots: {len(outcome.association_bi)}/6 associated, "
+            f"last in BI {last_bi}, {outcome.collisions} collisions, "
+            f"{outcome.beacon_intervals_run} BIs"
+        )
+    return rows, results
+
+
+def test_association_contention(benchmark, report_rows):
+    rows, results = benchmark.pedantic(_run_association, rounds=1, iterations=1)
+    report_rows(rows)
+
+    # A lone station joins in the very first beacon interval.
+    assert results["lone"].association_bi["sta0"] == 0
+    assert results["lone"].collisions == 0
+
+    # Everyone eventually associates in both contention settings.
+    assert len(results["slots1"].association_bi) == 6
+    assert len(results["slots8"].association_bi) == 6
+
+    # One slot for six stations collides heavily and takes longer.
+    assert results["slots1"].collisions > results["slots8"].collisions
+    assert max(results["slots1"].association_bi.values()) >= max(
+        results["slots8"].association_bi.values()
+    )

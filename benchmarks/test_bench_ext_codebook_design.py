@@ -1,0 +1,40 @@
+"""Bench (extension): how many sectors does a region need? (§7)
+
+The coverage-driven designer answers §7's scaling question with a
+curve: composite coverage grows quickly with the first beams that tile
+the service region, then saturates — beyond that point extra sectors
+only buy precision, which is exactly the regime where compressive
+selection (fixed probes, growing N) is the right training strategy.
+"""
+
+from repro.experiments.common import build_testbed
+from repro.phased_array import coverage_curve, design_codebook
+
+
+def _run_design():
+    testbed = build_testbed()
+    antenna = testbed.dut_antenna
+    curve = coverage_curve(antenna, [4, 8, 16, 32, 48])
+    rows = ["codebook design (extension): coverage vs codebook size"]
+    rows.append("sectors | mean coverage [dBi] | worst hole [dBi]")
+    for n_sectors, mean, worst in curve:
+        rows.append(f"{n_sectors:7d} | {mean:19.1f} | {worst:16.1f}")
+    return rows, curve
+
+
+def test_codebook_design_scaling(benchmark, report_rows):
+    rows, curve = benchmark.pedantic(_run_design, rounds=1, iterations=1)
+    report_rows(rows)
+
+    means = [mean for _, mean, _ in curve]
+    worsts = [worst for _, _, worst in curve]
+
+    # Coverage is monotone in codebook size and saturates.
+    assert means == sorted(means)
+    assert worsts == sorted(worsts)
+    first_doubling = means[1] - means[0]   # 4 -> 8
+    last_doubling = means[4] - means[3]    # 32 -> 48
+    assert last_doubling < first_doubling / 2.0
+
+    # A modest codebook already closes the worst hole above 0 dBi.
+    assert worsts[2] > 0.0

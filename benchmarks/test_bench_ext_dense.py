@@ -1,0 +1,63 @@
+"""Bench (extension): dense deployments (§7's airtime argument).
+
+Expected shape: at one pair the algorithms tie (training is a rounding
+error of the epoch); as pairs multiply, channel-exclusive training
+airtime eats into everyone's data time and the 2.3× shorter CSS sweep
+compounds into a growing aggregate-goodput lead.  The sustainable
+tracking rate at a fixed airtime budget is exactly 2.3× higher for CSS
+at every scale.
+"""
+
+import pytest
+
+from repro.experiments import DenseConfig, run_dense_deployment
+
+
+def test_dense_deployment(benchmark, report_rows):
+    config = DenseConfig(pair_counts=(1, 2, 5, 10, 20, 40))
+    result = benchmark.pedantic(
+        lambda: run_dense_deployment(config), rounds=1, iterations=1
+    )
+    report_rows(result.format_rows())
+
+    # Near parity with a single pair.
+    first = result.pair_counts.index(1)
+    assert result.css_aggregate_gbps[first] == pytest.approx(
+        result.ssw_aggregate_gbps[first], rel=0.06
+    )
+
+    # The CSS advantage grows with the number of pairs.
+    advantages = [
+        css / ssw
+        for css, ssw in zip(result.css_aggregate_gbps, result.ssw_aggregate_gbps)
+    ]
+    assert advantages[-1] > advantages[0]
+    assert advantages[-1] > 1.15  # clearly visible at 40 pairs
+
+    # Tracking-rate headroom is the paper's 2.3x at every scale.
+    for n_pairs in result.pair_counts:
+        ratio = result.css_max_rate_hz[n_pairs] / result.ssw_max_rate_hz[n_pairs]
+        assert ratio == pytest.approx(2.3, abs=0.05)
+
+
+def test_dense_interference(benchmark, report_rows):
+    """Spatial reuse saturates: SINR-aware goodput plateaus with pairs."""
+    from repro.experiments import run_dense_interference
+
+    result = benchmark.pedantic(
+        lambda: run_dense_interference(pair_counts=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    report_rows(result.format_rows())
+
+    # One pair: no interference at all.
+    assert result.mean_reuse_penalty_db[0] == pytest.approx(0.0, abs=1e-6)
+    assert result.sinr_aware_gbps[0] == pytest.approx(result.ideal_gbps[0], rel=1e-6)
+
+    # The reuse penalty grows as pairs pack tighter ...
+    assert result.mean_reuse_penalty_db[-1] > result.mean_reuse_penalty_db[1]
+    # ... and the real aggregate falls well short of the ideal one.
+    assert result.sinr_aware_gbps[-1] < 0.6 * result.ideal_gbps[-1]
+    # Still, adding pairs never *reduces* what one pair alone achieves.
+    assert result.sinr_aware_gbps[-1] > result.sinr_aware_gbps[0]

@@ -1,0 +1,26 @@
+"""Bench (extension): pattern aging — how stale may the table get?
+
+Expected shape: CSS degrades gracefully as the hardware drifts away
+from the chamber-measured table — a fraction of a dB of extra loss for
+moderate drift (≈0.2 rad per element), visible but bounded degradation
+even at 0.8 rad.  The practical answer to "how often must a fleet
+re-calibrate": rarely.
+"""
+
+from repro.experiments import DriftConfig, run_pattern_drift
+
+
+def test_pattern_drift(benchmark, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_pattern_drift(DriftConfig()), rounds=1, iterations=1
+    )
+    report_rows(result.format_rows())
+
+    fresh = result.snr_loss_db[0]
+    # Degradation exists and is monotone-ish toward heavy drift.
+    assert result.snr_loss_db[-1] > fresh
+    # Moderate drift (0.2 rad ~ 11 deg per element) costs < 2 dB extra.
+    moderate = result.snr_loss_db[result.drift_levels_rad.index(0.2)]
+    assert moderate < fresh + 2.0
+    # Even heavy drift does not collapse the protocol.
+    assert result.snr_loss_db[-1] < fresh + 5.0

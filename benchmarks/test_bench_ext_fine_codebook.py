@@ -1,0 +1,39 @@
+"""Bench (extension): more sectors without more probes (§7).
+
+Expected shape: sweeping a 63-sector codebook costs 2.32 ms per mutual
+training (the §7 scaling problem); compressive selection probes only
+the codebook's 12 broad probing sectors (0.48 ms) yet selects among
+all 63 narrow beams, landing within ~1 dB of the full fine sweep —
+"more precise beam patterns efficiently selected without additional
+training time overhead".
+"""
+
+import pytest
+
+from repro.experiments.fine import FineCodebookConfig, run_fine_codebook
+
+
+def test_fine_codebook_scaling(benchmark, report_rows):
+    config = FineCodebookConfig(n_probes=12)
+    result = benchmark.pedantic(lambda: run_fine_codebook(config), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+
+    css_label = "fine + CSS (12 probes)"
+    fine_label = "fine + SSW (63 probes)"
+    stock_label = "stock + SSW (34 probes)"
+
+    # Timing arithmetic is exact.
+    assert result.training_time_ms[fine_label] == pytest.approx(2.317, abs=0.01)
+    assert result.training_time_ms[css_label] == pytest.approx(0.481, abs=0.01)
+
+    # CSS keeps the selection quality of the much longer sweeps.
+    assert (
+        result.mean_snr_db[css_label] > result.mean_snr_db[fine_label] - 1.2
+    )
+    assert (
+        result.mean_snr_db[css_label] > result.mean_snr_db[stock_label] - 1.2
+    )
+
+    # ... at >4x less training airtime than the fine sweep.
+    speedup = result.training_time_ms[fine_label] / result.training_time_ms[css_label]
+    assert speedup > 4.0

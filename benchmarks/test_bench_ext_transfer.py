@@ -1,0 +1,31 @@
+"""Bench (extension): cross-device pattern transfer (§4.5 caveat).
+
+Expected shape: the paper "confirmed that different devices exhibit
+similar patterns with slight variations" — so CSS on device B should
+work with device A's chamber table nearly as well as with its own
+(each table's measurement noise dominates the device-to-device
+variation).  One lab campaign can serve a fleet.
+"""
+
+from repro.experiments import TransferConfig, run_pattern_transfer
+
+
+def test_pattern_transfer(benchmark, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_pattern_transfer(TransferConfig()), rounds=1, iterations=1
+    )
+    report_rows(result.format_rows())
+
+    own_error = result.azimuth_error_deg["own (device B)"]
+    foreign_error = result.azimuth_error_deg["foreign (device A)"]
+    own_loss = result.snr_loss_db["own (device B)"]
+    foreign_loss = result.snr_loss_db["foreign (device A)"]
+
+    # Both tables keep CSS functional on device B.
+    assert own_error < 12.0 and foreign_error < 12.0
+    assert own_loss < 4.0 and foreign_loss < 4.0
+
+    # The transfer penalty is within the tables' own noise (the paper's
+    # "similar patterns with slight variations").
+    assert abs(own_error - foreign_error) < 4.0
+    assert abs(own_loss - foreign_loss) < 1.5

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 10 (mutual training time vs. probes).
+
+This one reproduces the paper's numbers *exactly* (same measured
+constants): 1.27 ms for the 34-sector sweep, 0.55 ms for 14 probes, a
+2.3× speed-up, and a training time linear in the probe count.
+"""
+
+import pytest
+
+from repro.experiments import Fig10Config, run_fig10
+
+
+def test_fig10_training_time(benchmark, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_fig10(Fig10Config()), rounds=1, iterations=1
+    )
+    report_rows(result.format_rows())
+
+    assert result.ssw_time_ms == pytest.approx(1.27, abs=0.005)
+    assert result.reference_time_ms == pytest.approx(0.55, abs=0.005)
+    assert result.speedup == pytest.approx(2.3, abs=0.05)
+
+    # Linearity: constant increment of 2 * 18 us per extra probe pair.
+    increments = [
+        second - first for first, second in zip(result.css_time_ms, result.css_time_ms[1:])
+    ]
+    for increment in increments:
+        assert increment == pytest.approx(2 * 2 * 18.0 / 1000.0, abs=1e-9)

@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 11 (TCP goodput, CSS-14 vs full sweep).
+
+Paper shape: at −45°, 0° and +45° in the conference room both
+algorithms land around 1.4-1.5 Gbps, with CSS slightly ahead thanks to
+its more stable selections ("differences might barely be recognizable
+but show the additional performance gain from higher stability").
+"""
+
+import numpy as np
+
+from repro.experiments import Fig11Config, run_fig11
+
+
+def test_fig11_throughput(benchmark, report_rows):
+    config = Fig11Config(n_probes=14, n_intervals=60)
+    result = benchmark.pedantic(lambda: run_fig11(config), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+
+    assert result.directions_deg == [-45.0, 0.0, 45.0]
+    for css, ssw in zip(result.css_gbps, result.ssw_gbps):
+        # Paper magnitude: around 1.5 Gbps for both algorithms.
+        assert 1.0 < css < 1.85
+        assert 1.0 < ssw < 1.85
+        # "barely recognizable" differences, not collapses.
+        assert abs(css - ssw) < 0.35
+
+    # On average CSS keeps pace with the full sweep despite probing
+    # 2.4x fewer sectors.
+    assert np.mean(result.css_gbps) > np.mean(result.ssw_gbps) - 0.15

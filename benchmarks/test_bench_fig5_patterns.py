@@ -1,0 +1,47 @@
+"""Bench: regenerate Figure 5 (azimuth patterns of all 35 sectors).
+
+Runs the full-circle chamber campaign and checks the §4.4 qualitative
+traits: dominant single lobes on the strong sectors, multiple lobes on
+13/22/27, weak 25/62, and distortion behind the device.
+"""
+
+import numpy as np
+
+from repro.experiments import Fig5Config, run_fig5
+from repro.phased_array import (
+    MULTI_LOBE_SECTOR_IDS,
+    STRONG_SECTOR_IDS,
+    WEAK_SECTOR_IDS,
+)
+
+
+def test_fig5_azimuth_patterns(benchmark, report_rows):
+    config = Fig5Config(azimuth_step_deg=1.8, n_sweeps=2)  # paper: 0.9, 3 sweeps
+    result = benchmark.pedantic(lambda: run_fig5(config), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+
+    table = result.table
+    assert table.n_sectors == 35
+    assert not table.has_gaps()
+
+    # Strong sectors clearly outgain the weak ones.
+    strong_peaks = [result.summaries[s].peak_snr_db for s in STRONG_SECTOR_IDS]
+    weak_peaks = [result.summaries[s].peak_snr_db for s in WEAK_SECTOR_IDS]
+    assert min(strong_peaks) > max(weak_peaks) + 3.0
+
+    # The beacon sector 63 is among the strongest and points frontal.
+    summary_63 = result.summaries[63]
+    assert abs(summary_63.peak_azimuth_deg) < 30.0
+
+    # At least one designed multi-lobe sector shows multiple lobes.
+    lobe_counts = [result.summaries[s].n_lobes for s in MULTI_LOBE_SECTOR_IDS]
+    assert max(lobe_counts) >= 2
+
+    # Distorted/attenuated back region: average of |az| > 120 well below
+    # the frontal average for the strong sectors.
+    azimuths = table.grid.azimuths_deg
+    back = np.abs(azimuths) > 120.0
+    front = np.abs(azimuths) <= 60.0
+    for sector_id in STRONG_SECTOR_IDS:
+        pattern = table.pattern(sector_id)[0]
+        assert pattern[front].max() > pattern[back].max() + 6.0

@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 6 (spherical patterns over az × el).
+
+Runs the 3D chamber campaign and checks the elevation behaviour the
+paper highlights: sector 5 strengthens off-plane, sector 26 loses gain
+at high elevations, 25/62 stay weak everywhere measured.
+"""
+
+import numpy as np
+
+from repro.experiments import Fig6Config, run_fig6
+
+
+def test_fig6_spherical_patterns(benchmark, report_rows):
+    config = Fig6Config(azimuth_step_deg=3.6, elevation_step_deg=3.6, n_sweeps=2)
+    result = benchmark.pedantic(lambda: run_fig6(config), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+
+    table = result.table
+    assert table.n_sectors == 35
+    assert table.grid.elevations_deg[-1] == 32.4
+    assert not table.has_gaps()
+
+    # Sector 5: low gain in the plane, stronger lobes at high elevation.
+    assert result.off_plane_peak(5) > result.in_plane_peak(5) + 3.0
+
+    # Sector 26: wide in azimuth but fading toward high elevations.
+    profile_26 = result.elevation_profile(26)
+    assert profile_26[0] > profile_26[-1] + 3.0
+
+    # Sectors 25 and 62 stay weak across the measured sphere.
+    strong_peak = float(np.max(result.table.pattern(63)))
+    for weak_id in (25, 62):
+        assert float(np.max(table.pattern(weak_id))) < strong_peak - 4.0
+
+    # The quasi-omni RX pattern has no deep nulls in the frontal plane
+    # (it rolls off gently at combined high tilt + azimuth, like a
+    # single element does, but the in-plane cut stays flat).
+    rx_in_plane = table.pattern(0)[0]
+    frontal = np.abs(table.grid.azimuths_deg) <= 45.0
+    assert rx_in_plane[frontal].min() > rx_in_plane[frontal].max() - 8.0

@@ -1,0 +1,41 @@
+"""Bench: regenerate Figure 7 (angular estimation error vs. probes).
+
+Paper shape: the azimuth error falls to a few degrees with 10-20
+probes (median ~1.3° in the lab, ~2.1° in the conference room at 10);
+elevation errors are larger (coarser measurement axis); errors keep
+shrinking as probes are added; "with at least 12 probing sectors a
+suitable approximation of the signal path becomes possible".
+"""
+
+from repro.experiments import Fig7Config, run_fig7
+
+
+def test_fig7_estimation_error(benchmark, report_rows):
+    config = Fig7Config(
+        probe_counts=tuple(range(4, 35, 2)),
+        lab_azimuth_step_deg=6.0,
+        lab_elevation_step_deg=6.0,
+        conference_azimuth_step_deg=3.0,
+        n_sweeps=2,
+        subsamples_per_sweep=2,
+    )
+    result = benchmark.pedantic(lambda: run_fig7(config), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+
+    for series in (result.lab, result.conference):
+        # Monotone-ish improvement: late medians below early medians.
+        assert series.azimuth_median(30) <= series.azimuth_median(6)
+        # A few degrees of median error by mid probe counts.
+        assert series.azimuth_median(14) < 8.0
+        assert series.azimuth_median(20) < 5.0
+        # Elevation errors below ~15 deg by 10+ probes (paper bound).
+        assert series.elevation_median(14) < 15.0
+
+    # Lab at 20 probes approaches the paper's ~1 degree regime.
+    assert result.lab.azimuth_median(20) <= 3.0
+
+    # Whiskers tighten with more probes (lab p99.5, paper Figure 7a).
+    lab = result.lab
+    early = lab.azimuth_stats[lab.probe_counts.index(8)].whisker_high
+    late = lab.azimuth_stats[lab.probe_counts.index(30)].whisker_high
+    assert late < early

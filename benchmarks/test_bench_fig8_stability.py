@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 8 (selection stability vs. probes).
+
+Paper shape: the exhaustive sweep is stuck at ~0.74 stability (its
+argmax keeps flipping between near-equal sectors under measurement
+outliers); compressive selection rises with the probe count, crosses
+the sweep in the mid-teens of probes, and clearly exceeds it at full
+probing (paper: 0.947 vs 0.739).
+"""
+
+from repro.experiments import Fig8Config, run_fig8
+
+
+def test_fig8_selection_stability(benchmark, report_rows):
+    config = Fig8Config(
+        probe_counts=tuple(range(4, 35, 2)), azimuth_step_deg=5.0, n_sweeps=30
+    )
+    result = benchmark.pedantic(lambda: run_fig8(config), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+
+    # SSW stability sits well below 1 (the paper's 0.739 regime).
+    assert 0.55 < result.ssw_stability < 0.92
+
+    # CSS stability grows with the probe count.
+    assert result.css_at(34) > result.css_at(14) > result.css_at(6)
+
+    # CSS overtakes the sweep somewhere in the probe range and is
+    # clearly more stable at full probing.
+    crossover = result.crossover_probes()
+    assert crossover < 34
+    assert result.css_at(34) > result.ssw_stability + 0.02

@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 9 (SNR loss vs. number of probes).
+
+Paper shape: the exhaustive sweep loses ~0.5 dB to the optimum; CSS
+starts several dB worse with few probes (6 probes ≈ 2.5 dB in the
+paper), improves monotonically, reaches sweep parity in the mid-teens
+of probes, and approaches the optimum around 20+.
+"""
+
+from repro.experiments import Fig9Config, run_fig9
+
+
+def test_fig9_snr_loss(benchmark, report_rows):
+    config = Fig9Config(
+        probe_counts=tuple(range(4, 35, 2)), azimuth_step_deg=5.0, n_sweeps=20
+    )
+    result = benchmark.pedantic(lambda: run_fig9(config), rounds=1, iterations=1)
+    report_rows(result.format_rows())
+
+    # SSW near-optimal (the paper's ~0.5 dB).
+    assert 0.1 < result.ssw_loss_db < 1.5
+
+    # CSS loss decreases with probes: few probes are several dB down.
+    assert result.css_at(6) > result.css_at(14) > result.css_at(24)
+    assert result.css_at(6) > 2.0
+
+    # Parity with the sweep is reached before full probing, and at
+    # full probing CSS is at least as good as the sweep.
+    assert result.crossover_probes() < 34
+    assert result.css_at(34) <= result.ssw_loss_db + 0.2

@@ -1,0 +1,51 @@
+"""Bench: the §6.5 headline numbers, end to end.
+
+14 of 34 probes suffice; training drops from 1.27 ms to 0.55 ms (2.3×);
+the path direction is estimated within a few degrees.
+"""
+
+import pytest
+
+from repro.experiments import run_summary
+from repro.experiments.fig7 import Fig7Config
+from repro.experiments.fig8 import Fig8Config
+from repro.experiments.fig9 import Fig9Config
+
+
+def test_headline_numbers(benchmark, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_summary(
+            css_probes=14,
+            fig7_config=Fig7Config(
+                probe_counts=tuple(range(4, 35, 2)),
+                lab_azimuth_step_deg=10.0,
+                lab_elevation_step_deg=10.0,
+                conference_azimuth_step_deg=6.0,
+                n_sweeps=2,
+            ),
+            fig8_config=Fig8Config(
+                probe_counts=tuple(range(4, 35, 2)), azimuth_step_deg=7.5, n_sweeps=25
+            ),
+            fig9_config=Fig9Config(
+                probe_counts=tuple(range(4, 35, 2)), azimuth_step_deg=7.5, n_sweeps=15
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_rows(result.format_rows())
+
+    # Exact timing results (same constants as the paper).
+    assert result.training_time_ms == pytest.approx(0.55, abs=0.01)
+    assert result.full_sweep_time_ms == pytest.approx(1.27, abs=0.01)
+    assert result.speedup == pytest.approx(2.3, abs=0.05)
+
+    # Crossovers land in the paper's regime (mid-teens to twenties of
+    # probes, out of 34) rather than degenerating to the extremes.
+    assert 8 <= result.stability_crossover_probes <= 32
+    assert 8 <= result.snr_crossover_probes <= 28
+
+    # "Estimates the path direction with high accuracy and error of
+    # only a few degree."
+    assert result.lab_azimuth_median_error_deg < 6.0
+    assert result.conference_azimuth_median_error_deg < 6.0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Conference-room showdown: CSS vs. the exhaustive sweep (paper §6).
+
+Places two routers six meters apart in a reflective conference room and
+re-trains once per simulated second for a minute, comparing compressive
+selection (14 random probes) with the standard sector sweep on the
+paper's three metrics: selection stability, SNR loss, and TCP goodput.
+
+Run:  python examples/conference_room.py
+"""
+
+import numpy as np
+
+from repro.channel import conference_room
+from repro.core import CompressiveSectorSelector, SectorSweepSelector
+from repro.experiments import (
+    build_testbed,
+    random_subsweep,
+    record_directions,
+    stability_of_selections,
+)
+from repro.link import ThroughputModel
+from repro.mac.timing import N_FULL_SWEEP_SECTORS, mutual_training_time_us
+
+N_PROBES = 14
+N_INTERVALS = 60
+DIRECTION_DEG = -10.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    print("building testbed (devices + chamber pattern campaign) ...")
+    testbed = build_testbed()
+    tx_ids = testbed.tx_sector_ids
+
+    print(f"recording {N_INTERVALS} training intervals at {DIRECTION_DEG:+.0f} deg, 6 m ...")
+    recording = record_directions(
+        testbed, conference_room(6.0), [DIRECTION_DEG], [0.0], N_INTERVALS, rng
+    )[0]
+    optimal = recording.optimal_snr_db()
+    print(f"oracle sector SNR: {optimal:.1f} dB")
+
+    css = CompressiveSectorSelector(testbed.pattern_table)
+    ssw = SectorSweepSelector()
+    css_selections, ssw_selections = [], []
+    css_snr, ssw_snr = [], []
+    for sweep in recording.sweeps:
+        css_choice = css.select(random_subsweep(sweep, tx_ids, N_PROBES, rng)).sector_id
+        ssw_choice = ssw.select(list(sweep.values())).sector_id
+        css_selections.append(css_choice)
+        ssw_selections.append(ssw_choice)
+        css_snr.append(recording.true_snr_db[tx_ids.index(css_choice)])
+        ssw_snr.append(recording.true_snr_db[tx_ids.index(ssw_choice)])
+
+    model = ThroughputModel()
+    rows = [
+        ("metric", f"CSS ({N_PROBES} probes)", "SSW (34 probes)"),
+        (
+            "selection stability",
+            f"{stability_of_selections(css_selections):.2f}",
+            f"{stability_of_selections(ssw_selections):.2f}",
+        ),
+        (
+            "mean SNR loss [dB]",
+            f"{optimal - np.mean(css_snr):.2f}",
+            f"{optimal - np.mean(ssw_snr):.2f}",
+        ),
+        (
+            "TCP goodput [Gbps]",
+            f"{model.expected_goodput_gbps(css_snr, N_PROBES, css_selections):.2f}",
+            f"{model.expected_goodput_gbps(ssw_snr, N_FULL_SWEEP_SECTORS, ssw_selections):.2f}",
+        ),
+        (
+            "training time [ms]",
+            f"{mutual_training_time_us(N_PROBES) / 1000:.2f}",
+            f"{mutual_training_time_us(N_FULL_SWEEP_SECTORS) / 1000:.2f}",
+        ),
+    ]
+    print()
+    for left, middle, right in rows:
+        print(f"{left:22s} {middle:>18s} {right:>18s}")
+
+
+if __name__ == "__main__":
+    main()

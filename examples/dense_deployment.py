@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Dense deployments: why shorter sweeps matter (paper §7 discussion).
+
+"Each sector sweep performed by a pair of nodes pollutes the whole
+mm-wave channel in all directions."  With many stations per room, the
+quasi-omni SSW frames of every pair cost airtime on the shared medium.
+This example scales the number of node pairs and compares the medium
+time burned on training by the exhaustive sweep vs. compressive
+selection, plus the sweep frequency each could afford at a fixed
+training budget.
+
+Run:  python examples/dense_deployment.py
+"""
+
+from repro.mac.timing import (
+    N_FULL_SWEEP_SECTORS,
+    SWEEP_INTERVAL_US,
+    mutual_training_time_us,
+)
+
+CSS_PROBES = 14
+TRAINING_BUDGET = 0.02  # at most 2 % of airtime spent on training
+
+
+def main() -> None:
+    ssw_time = mutual_training_time_us(N_FULL_SWEEP_SECTORS)
+    css_time = mutual_training_time_us(CSS_PROBES)
+
+    print(f"one mutual training: SSW {ssw_time / 1000:.2f} ms, "
+          f"CSS {css_time / 1000:.2f} ms")
+    print(f"\npairs | training airtime per second (channel-wide)")
+    print(f"      |      SSW       CSS    (sweep every "
+          f"{SWEEP_INTERVAL_US / 1e6:.0f} s per pair)")
+    for n_pairs in (1, 2, 5, 10, 20, 50):
+        sweeps_per_second = n_pairs * 1e6 / SWEEP_INTERVAL_US
+        ssw_share = sweeps_per_second * ssw_time / 1e6
+        css_share = sweeps_per_second * css_time / 1e6
+        print(f"{n_pairs:5d} | {100 * ssw_share:7.2f} %  {100 * css_share:7.2f} %")
+
+    print(f"\nmax re-training rate within a {100 * TRAINING_BUDGET:.0f}% "
+          f"training budget (mobility support):")
+    for n_pairs in (1, 5, 10, 20):
+        ssw_rate = TRAINING_BUDGET * 1e6 / (ssw_time * n_pairs)
+        css_rate = TRAINING_BUDGET * 1e6 / (css_time * n_pairs)
+        print(f"{n_pairs:5d} pairs: SSW {ssw_rate:6.1f} Hz, CSS {css_rate:6.1f} Hz "
+              f"({css_rate / ssw_rate:.1f}x more frequent tracking)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Turn a stock router into a research platform (paper §3).
+
+Demonstrates the firmware work the paper had to do before any algorithm
+could run on the Talon AD7200:
+
+* the QCA9500's memory layout (Figure 1): code partitions are
+  write-protected at low addresses but writable through the high remap;
+* installing Nexmon-style patches into the patch areas;
+* draining per-sector SNR/RSSI reports from the ring buffer (§3.3);
+* overriding the sector carried in SSW feedback via WMI (§3.4).
+
+Run:  python examples/firmware_jailbreak.py
+"""
+
+import numpy as np
+
+from repro.channel import lab_environment
+from repro.firmware import MemoryProtectionError, WmiError, WmiDrainSweepReports
+from repro.geometry import Orientation
+from repro.mac import Station, SweepSession
+from repro.phased_array import PhasedArray
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    environment = lab_environment(3.0)
+    router = Station(
+        "talon", 1, PhasedArray.talon(np.random.default_rng(1)),
+        position_m=environment.tx_position_m,
+    )
+    peer = Station(
+        "peer", 2, PhasedArray.talon(np.random.default_rng(2)),
+        position_m=environment.rx_position_m,
+        orientation=Orientation(yaw_deg=180.0),
+    )
+
+    # --- The chip is a black box before jailbreaking. ------------------
+    chip = router.chip
+    print(f"firmware version: {chip.firmware_version}")
+    print("memory regions:")
+    for region in chip.memory.regions:
+        print(f"  {region.name:14s} low 0x{region.low_start:06x}-0x{region.low_end:06x} "
+              f"-> high 0x{region.high_start:06x} "
+              f"({'write-protected' if region.is_code else 'writable'} at low)")
+
+    try:
+        chip.memory.write(0x000100, b"\x90\x90")
+    except MemoryProtectionError as error:
+        print(f"low-address code write rejected: {error}")
+    high = chip.memory.region_by_name("ucode-code").high_start + 0x100
+    chip.memory.write(high, b"\x90\x90")
+    print(f"same bytes written through the high remap at 0x{high:06x}: "
+          f"{chip.memory.read(0x000100, 2).hex()} now visible at the low alias")
+
+    try:
+        chip.handle_wmi(WmiDrainSweepReports())
+    except WmiError as error:
+        print(f"stock firmware rejects the custom WMI command: {error}")
+
+    # --- Jailbreak: install both patches. ------------------------------
+    framework = router.jailbreak()
+    print(f"\ninstalled patches: {framework.installed_patches}")
+    for name in framework.installed_patches:
+        print(f"  {name} at 0x{framework.patch_address(name):06x}")
+
+    # --- Run a sweep; now the reports are host-visible. ----------------
+    session = SweepSession(router, peer, environment)
+    result = session.run(rng)
+    reports = router.drain_sweep_reports()
+    print(f"\nsweep finished in {result.duration_us / 1000:.2f} ms; "
+          f"{len(reports)} reports drained from the ring buffer:")
+    for report in reports[:6]:
+        print(f"  sector {report.sector_id:2d} cdown {report.cdown:2d} "
+              f"snr {report.snr_db:6.2f} dB rssi {report.rssi_dbm:6.1f} dBm")
+    print("  ...")
+
+    # --- Override the feedback sector from user space. -----------------
+    router.arm_sector_override(7)
+    override_result = session.run(rng)
+    print(f"\nwith override armed, the peer was told to use sector "
+          f"{override_result.responder_tx_sector} (host forced 7)")
+    router.clear_sector_override()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only
+enables ``pip install -e . --no-use-pep517`` on offline machines where
+PEP 517 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — compressive mm-wave sector selection for IEEE 802.11ad.
+
+A from-scratch reproduction of *"Compressive Millimeter-Wave Sector
+Selection in Off-the-Shelf IEEE 802.11ad Devices"* (Steinmetzer,
+Wegemer, Schulz, Widmer, Hollick — CoNEXT 2017), including every
+substrate the paper's system runs on:
+
+* :mod:`repro.phased_array` — a Talon-AD7200-like 32-element array
+  with a synthetic 35-sector codebook and low-cost-hardware flaws;
+* :mod:`repro.channel` — 60 GHz rays, reflectors, environments, and
+  the firmware's quirky SNR/RSSI observation model;
+* :mod:`repro.firmware` — a simulated QCA9500 (memory map, Nexmon-like
+  patch framework, WMI, sweep-report ring buffer);
+* :mod:`repro.mac` — DMG training frames, Table-1 schedules, timing,
+  and the sector-level-sweep protocol engine;
+* :mod:`repro.measurement` — the anechoic-chamber pattern campaign;
+* :mod:`repro.core` — the compressive sector selection algorithm
+  (Eqs. 1–5) with probing strategies and adaptive tracking;
+* :mod:`repro.baselines` — exhaustive sweep, oracle, hierarchical
+  search, pseudo-random beams;
+* :mod:`repro.link` — MCS ladder, rate adaptation, TCP goodput;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro.phased_array import PhasedArray, talon_codebook
+    from repro.measurement import PatternMeasurementCampaign, measure_3d_patterns
+    from repro.core import CompressiveSectorSelector
+
+    rng = np.random.default_rng(0)
+    antenna = PhasedArray.talon()
+    codebook = talon_codebook(antenna)
+    campaign = PatternMeasurementCampaign(antenna, codebook)
+    patterns = measure_3d_patterns(campaign, rng, azimuth_step_deg=3.6)
+    selector = CompressiveSectorSelector(patterns)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "channel",
+    "core",
+    "experiments",
+    "firmware",
+    "geometry",
+    "link",
+    "mac",
+    "measurement",
+    "phased_array",
+]

@@ -1,0 +1,15 @@
+"""Baselines: exhaustive sweep, oracle, hierarchical search, random beams."""
+
+from ..core.selector import SectorSweepSelector  # the standard's baseline
+from .hierarchical import HierarchicalOutcome, HierarchicalSearch
+from .oracle import OracleSelector
+from .random_beams import random_beam_codebook, theoretical_pattern_table
+
+__all__ = [
+    "SectorSweepSelector",
+    "HierarchicalOutcome",
+    "HierarchicalSearch",
+    "OracleSelector",
+    "random_beam_codebook",
+    "theoretical_pattern_table",
+]

@@ -1,0 +1,113 @@
+"""Hierarchical beam search baseline (Hur et al. [15], paper §1/§8).
+
+Hierarchical protocols probe a first level of wide beams and then
+refine inside the winning group.  The Talon's flat codebook has no
+built-in hierarchy, so the baseline constructs one from the measured
+patterns: sectors are clustered by the azimuth of their strongest lobe,
+each cluster is represented by the member covering the cluster best,
+and the search probes representatives first, then the winning cluster's
+members.  The complexity is ``O(n_groups + max_group_size)`` probes per
+training, but it needs **two** feedback rounds — the overhead the paper
+holds against hierarchical schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.measurements import ProbeMeasurement
+from ..core.selector import SelectionResult
+from ..core.tracking import MeasureFn
+from ..mac.timing import FEEDBACK_OVERHEAD_US, SSW_FRAME_TIME_US
+from ..measurement.patterns import PatternTable
+
+__all__ = ["HierarchicalSearch", "HierarchicalOutcome"]
+
+
+@dataclass(frozen=True)
+class HierarchicalOutcome:
+    """Result of one two-stage hierarchical training."""
+
+    result: SelectionResult
+    probes_used: int
+    n_rounds: int
+
+    @property
+    def training_time_us(self) -> float:
+        """Mutual training time: both sides probe, one overhead per round."""
+        return 2.0 * self.probes_used * SSW_FRAME_TIME_US + self.n_rounds * FEEDBACK_OVERHEAD_US
+
+
+class HierarchicalSearch:
+    """Two-level beam search over a flat measured codebook."""
+
+    def __init__(self, pattern_table: PatternTable, n_groups: int = 6):
+        """
+        Args:
+            pattern_table: measured patterns (cluster + represent).
+            n_groups: number of first-level clusters.
+        """
+        if n_groups < 2:
+            raise ValueError("need at least two groups")
+        candidate_ids = [s for s in pattern_table.sector_ids if s != 0]
+        if n_groups > len(candidate_ids):
+            raise ValueError("more groups than sectors")
+        self.pattern_table = pattern_table
+        self.groups = self._build_groups(candidate_ids, n_groups)
+        self._last_selection = candidate_ids[0]
+
+    def _peak_azimuth(self, sector_id: int) -> float:
+        pattern = self.pattern_table.pattern(sector_id)
+        el_index, az_index = np.unravel_index(int(np.argmax(pattern)), pattern.shape)
+        return float(self.pattern_table.grid.azimuths_deg[az_index])
+
+    def _build_groups(self, sector_ids: Sequence[int], n_groups: int) -> Dict[int, List[int]]:
+        """Cluster sectors into contiguous azimuth bins.
+
+        Returns a map representative-sector → group members.
+        """
+        peaks = {sector_id: self._peak_azimuth(sector_id) for sector_id in sector_ids}
+        ordered = sorted(sector_ids, key=lambda s: peaks[s])
+        bins = np.array_split(np.asarray(ordered), n_groups)
+        groups: Dict[int, List[int]] = {}
+        for members in bins:
+            members = [int(m) for m in members]
+            if not members:
+                continue
+            # Representative: the member with the widest strong coverage
+            # (largest mean gain), i.e. the best "wide" stand-in.
+            mean_gain = {
+                member: float(np.mean(self.pattern_table.pattern(member)))
+                for member in members
+            }
+            representative = max(members, key=lambda m: mean_gain[m])
+            groups[representative] = members
+        return groups
+
+    def run(self, measure: MeasureFn, rng: np.random.Generator) -> HierarchicalOutcome:
+        """Execute the two probing rounds against a measure callable."""
+        representatives = list(self.groups)
+        first_round = measure(representatives, rng)
+        probes_used = len(representatives)
+        if not first_round:
+            return HierarchicalOutcome(
+                result=SelectionResult(sector_id=self._last_selection, fallback=True),
+                probes_used=probes_used,
+                n_rounds=1,
+            )
+        best_representative = max(first_round, key=lambda m: m.snr_db).sector_id
+        members = self.groups[best_representative]
+
+        second_round = measure(members, rng)
+        probes_used += len(members)
+        pool: List[ProbeMeasurement] = list(second_round) or list(first_round)
+        best = max(pool, key=lambda m: m.snr_db)
+        self._last_selection = best.sector_id
+        return HierarchicalOutcome(
+            result=SelectionResult(sector_id=best.sector_id),
+            probes_used=probes_used,
+            n_rounds=2,
+        )

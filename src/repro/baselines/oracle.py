@@ -1,0 +1,43 @@
+"""Oracle selector: the unbeatable reference for SNR-loss curves.
+
+Figure 9 measures the loss of each algorithm against "the sector with
+the highest SNR" — an oracle that sees the true (noise-free) SNR of
+every sector.  No real device can implement it; it exists to anchor
+the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.selector import SelectionResult
+
+__all__ = ["OracleSelector"]
+
+
+class OracleSelector:
+    """Selects using ground-truth SNR values supplied per sweep."""
+
+    def __init__(self, sector_ids: Sequence[int]):
+        if not sector_ids:
+            raise ValueError("oracle needs a candidate set")
+        self._sector_ids = list(sector_ids)
+
+    def select_from_truth(self, true_snr_db: np.ndarray) -> SelectionResult:
+        """Pick the argmax of the ground-truth SNR vector.
+
+        Args:
+            true_snr_db: true SNR per candidate sector, aligned with
+                the constructor's ``sector_ids``.
+        """
+        truth = np.asarray(true_snr_db, dtype=float)
+        if truth.shape != (len(self._sector_ids),):
+            raise ValueError("truth vector must align with the candidate set")
+        return SelectionResult(sector_id=self._sector_ids[int(np.argmax(truth))])
+
+    def best_snr_db(self, true_snr_db: np.ndarray) -> float:
+        """The optimal achievable SNR for this sweep."""
+        truth = np.asarray(true_snr_db, dtype=float)
+        return float(truth.max())

@@ -1,0 +1,96 @@
+"""Pseudo-random probing beams (Rasekh et al. [25], paper §2.1).
+
+The original compressive path-tracking proposal probes with
+pseudo-random phase settings and correlates against the beams'
+*theoretical* patterns.  The paper's preliminary experiments found this
+"substantially reduced the link quality between our devices under
+test": random phases forgo beamforming gain, many probes land below
+the decode threshold, and low-cost hardware deviates from the assumed
+theoretical patterns.  This baseline reproduces the approach so the
+ablation benches can quantify exactly that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..geometry.grid import AngularGrid
+from ..measurement.patterns import PatternTable
+from ..phased_array.array import PhasedArray
+from ..phased_array.codebook import Codebook, Sector
+from ..phased_array.impairments import HardwareImpairments
+from ..phased_array.weights import WeightVector
+from .oracle import OracleSelector  # noqa: F401  (re-export convenience)
+
+__all__ = ["random_beam_codebook", "theoretical_pattern_table"]
+
+#: Random probing beams get IDs from this base upward (the 6-bit space
+#: above the Talon's highest stock TX sector is 32..60).
+_RANDOM_BEAM_ID_BASE = 32
+
+
+def random_beam_codebook(
+    antenna: PhasedArray,
+    n_beams: int,
+    rng: np.random.Generator,
+    phase_bits: int = 2,
+) -> Codebook:
+    """Build a codebook of pseudo-random phase-only probing beams.
+
+    Every element stays on (random phase, unit amplitude) as in the
+    noncoherent path-tracking design; the RX quasi-omni sector is
+    copied over so the codebook is complete.
+    """
+    if not 1 <= n_beams <= 60 - _RANDOM_BEAM_ID_BASE + 1:
+        raise ValueError("n_beams must fit the free sector-ID range 32..60")
+    n_elements = antenna.n_elements
+    sectors: List[Sector] = []
+    # Quasi-omni RX sector (single center element), same as the Talon.
+    distances = np.linalg.norm(antenna.layout.positions_m, axis=1)
+    rx_active = np.zeros(n_elements, dtype=bool)
+    rx_active[int(np.argmin(distances))] = True
+    rx_weights = WeightVector.uniform(n_elements).with_element_mask(rx_active).normalized()
+    sectors.append(Sector(0, rx_weights, kind="quasi-omni"))
+
+    for index in range(n_beams):
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=n_elements)
+        weights = WeightVector(np.exp(1j * phases)).quantized(phase_bits).normalized()
+        sectors.append(Sector(_RANDOM_BEAM_ID_BASE + index, weights, kind="random"))
+    return Codebook(sectors, rx_sector_id=0)
+
+
+def theoretical_pattern_table(
+    codebook: Codebook,
+    grid: AngularGrid,
+    antenna: Optional[PhasedArray] = None,
+    reference_snr_offset_db: float = -6.0,
+) -> PatternTable:
+    """Patterns a designer would *assume*: the ideal-array prediction.
+
+    Computes every sector's gain on a perfect front-end (no per-element
+    errors, no chassis) — what geometry-based approaches correlate
+    against.  The offset converts gain (dBi) into the SNR scale the
+    tables use, so theoretical and measured tables are interchangeable
+    in the estimator.
+
+    Args:
+        antenna: array whose *layout* to use; a fresh ideal Talon array
+            is assumed when omitted.
+    """
+    if antenna is None:
+        ideal = PhasedArray.talon(ideal=True)
+    else:
+        ideal = PhasedArray(
+            layout=antenna.layout,
+            impairments=HardwareImpairments.ideal(antenna.n_elements),
+            element_exponent=antenna.element_exponent,
+            element_peak_gain_db=antenna.element_peak_gain_db,
+        )
+    az_mesh, el_mesh = grid.meshgrid()
+    patterns: Dict[int, np.ndarray] = {}
+    for sector in codebook:
+        gains = ideal.gain_db(sector.weights, az_mesh, el_mesh)
+        patterns[sector.sector_id] = gains + reference_snr_offset_db
+    return PatternTable(grid, patterns)

@@ -1,0 +1,39 @@
+"""60 GHz channel substrate: path loss, rays, reflectors, observation."""
+
+from .blockage import HumanBlocker, apply_blockage
+from .environment import Environment, anechoic_chamber, conference_room, lab_environment
+from .link import LinkBudget, LinkSimulator
+from .mobility import ArcTrajectory, LinearTrajectory, MobileLink, Trajectory
+from .observation import MeasurementModel, SignalObservation, quantize_to_step
+from .pathloss import (
+    OXYGEN_ABSORPTION_DB_PER_KM,
+    free_space_path_loss_db,
+    oxygen_absorption_db,
+    path_loss_db,
+)
+from .rays import Ray
+from .reflectors import ReflectorPanel
+
+__all__ = [
+    "HumanBlocker",
+    "apply_blockage",
+    "Environment",
+    "anechoic_chamber",
+    "conference_room",
+    "lab_environment",
+    "LinkBudget",
+    "LinkSimulator",
+    "ArcTrajectory",
+    "LinearTrajectory",
+    "MobileLink",
+    "Trajectory",
+    "MeasurementModel",
+    "SignalObservation",
+    "quantize_to_step",
+    "OXYGEN_ABSORPTION_DB_PER_KM",
+    "free_space_path_loss_db",
+    "oxygen_absorption_db",
+    "path_loss_db",
+    "Ray",
+    "ReflectorPanel",
+]

@@ -1,0 +1,144 @@
+"""Mobility: endpoint trajectories for tracking scenarios.
+
+§7 motivates frequent re-training by mobile users; these trajectory
+primitives move a station through the room over time.  A
+:class:`MobileLink` recomputes the ray geometry per step and yields
+the true sweep-SNR vector a tracker would face at each instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..geometry.rotation import Orientation
+from ..geometry.spherical import vector_to_angles
+from ..phased_array.array import PhasedArray
+from ..phased_array.codebook import Codebook
+from .environment import Environment
+from .link import LinkBudget, LinkSimulator
+
+__all__ = ["Trajectory", "LinearTrajectory", "ArcTrajectory", "MobileLink"]
+
+
+class Trajectory(Protocol):
+    """Anything that maps time to a world position."""
+
+    def position_at(self, time_s: float) -> np.ndarray:
+        """World-frame position at ``time_s``."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinearTrajectory:
+    """Constant-velocity walk."""
+
+    start_m: np.ndarray
+    velocity_m_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        start = np.asarray(self.start_m, dtype=float)
+        velocity = np.asarray(self.velocity_m_s, dtype=float)
+        if start.shape != (3,) or velocity.shape != (3,):
+            raise ValueError("start and velocity must be 3-vectors")
+        object.__setattr__(self, "start_m", start)
+        object.__setattr__(self, "velocity_m_s", velocity)
+
+    def position_at(self, time_s: float) -> np.ndarray:
+        return self.start_m + time_s * self.velocity_m_s
+
+
+@dataclass(frozen=True)
+class ArcTrajectory:
+    """Walk on a circular arc around a center (e.g. around the AP)."""
+
+    center_m: np.ndarray
+    radius_m: float
+    angular_speed_deg_s: float
+    start_angle_deg: float = 0.0
+    height_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center_m, dtype=float)
+        if center.shape != (3,):
+            raise ValueError("center must be a 3-vector")
+        object.__setattr__(self, "center_m", center)
+        if self.radius_m <= 0:
+            raise ValueError("radius must be positive")
+
+    def position_at(self, time_s: float) -> np.ndarray:
+        angle = np.deg2rad(self.start_angle_deg + self.angular_speed_deg_s * time_s)
+        return self.center_m + np.array(
+            [self.radius_m * np.cos(angle), self.radius_m * np.sin(angle), self.height_m]
+        )
+
+
+class MobileLink:
+    """A fixed transmitter tracking a moving receiver.
+
+    The transmitter (the AP, at the environment's TX endpoint) keeps a
+    fixed pose; the receiver rides ``trajectory`` and always turns to
+    face the transmitter (people carry devices roughly pointed at the
+    AP; pose errors are absorbed by the quasi-omni receive sector).
+    """
+
+    def __init__(
+        self,
+        environment: Environment,
+        trajectory: Trajectory,
+        tx_antenna: PhasedArray,
+        tx_codebook: Codebook,
+        rx_antenna: PhasedArray,
+        rx_codebook: Codebook,
+        budget: Optional[LinkBudget] = None,
+    ):
+        self.environment = environment
+        self.trajectory = trajectory
+        self.tx_antenna = tx_antenna
+        self.tx_codebook = tx_codebook
+        self.rx_antenna = rx_antenna
+        self.rx_codebook = rx_codebook
+        self.budget = budget if budget is not None else LinkBudget()
+
+    def _rx_orientation(self, rx_position: np.ndarray) -> Orientation:
+        toward_tx = self.environment.tx_position_m - rx_position
+        azimuth, _elevation = vector_to_angles(toward_tx)
+        return Orientation(yaw_deg=azimuth)
+
+    def true_snr_at(
+        self, time_s: float, sector_ids: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Ground-truth sweep SNR per TX sector at one instant."""
+        if sector_ids is None:
+            sector_ids = self.tx_codebook.tx_sector_ids
+        rx_position = self.trajectory.position_at(time_s)
+        simulator = LinkSimulator(
+            self.environment,
+            self.tx_antenna,
+            self.rx_antenna,
+            self.budget,
+            tx_position_m=self.environment.tx_position_m,
+            rx_position_m=rx_position,
+        )
+        rx_orientation = self._rx_orientation(rx_position)
+        return np.array(
+            [
+                simulator.true_snr_db(
+                    self.tx_codebook[sector_id].weights,
+                    self.rx_codebook.rx_sector.weights,
+                    tx_orientation=Orientation(),
+                    rx_orientation=rx_orientation,
+                )
+                for sector_id in sector_ids
+            ]
+        )
+
+    def device_direction_at(self, time_s: float) -> tuple:
+        """TX-device-frame direction of the receiver (ground truth)."""
+        rx_position = self.trajectory.position_at(time_s)
+        azimuth, elevation = vector_to_angles(
+            rx_position - self.environment.tx_position_m
+        )
+        return (azimuth, elevation)

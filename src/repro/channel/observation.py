@@ -1,0 +1,141 @@
+"""Firmware measurement model: from true SNR to what the chip reports.
+
+Section 5 of the paper documents the quirks of the QCA9500's signal
+strength reporting, all of which are modelled here:
+
+* SNR readings are quantized to quarter-dB steps and clipped to the
+  range −7 … 12 dB;
+* low-gain sectors show large fluctuations and severe outliers;
+* sometimes the firmware reports nothing at all for a sector;
+* RSSI is acquired separately from SNR — the two are correlated on
+  average but their fluctuations are not simultaneous, which is what
+  makes the paper's SNR×RSSI correlation fusion (Eq. 5) effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SignalObservation", "MeasurementModel", "quantize_to_step"]
+
+
+def quantize_to_step(value: float, step: float) -> float:
+    """Round ``value`` to the nearest multiple of ``step``."""
+    if step <= 0:
+        raise ValueError("quantization step must be positive")
+    return round(value / step) * step
+
+
+@dataclass(frozen=True)
+class SignalObservation:
+    """One reported measurement for one received SSW frame."""
+
+    snr_db: float
+    rssi_dbm: float
+
+
+@dataclass(frozen=True)
+class MeasurementModel:
+    """Stochastic model of the firmware's signal-strength reporting.
+
+    Attributes:
+        snr_min_db / snr_max_db: reporting range of the SNR field.
+        snr_step_db: SNR quantization (quarter dB on the QCA9500).
+        rssi_step_db: RSSI quantization.
+        decode_threshold_db: SNR at which frame decoding succeeds 50 %
+            of the time (soft threshold with ``decode_width_db`` slope).
+        report_dropout_probability: chance that a decoded frame still
+            yields no firmware report.
+        base_noise_std_db: measurement noise at high SNR.
+        low_snr_extra_noise_db: extra noise approached at low SNR.
+        outlier_probability: chance of a severe outlier per value.
+        outlier_magnitude_db: half-range of the outlier offset.
+    """
+
+    snr_min_db: float = -7.0
+    snr_max_db: float = 12.0
+    snr_step_db: float = 0.25
+    rssi_step_db: float = 1.0
+    # SSW frames ride the heavily spread control PHY, which decodes
+    # below the SNR field's own -7 dB reporting floor.
+    decode_threshold_db: float = -9.0
+    decode_width_db: float = 1.5
+    report_dropout_probability: float = 0.03
+    base_noise_std_db: float = 0.4
+    low_snr_extra_noise_db: float = 1.6
+    outlier_probability: float = 0.08
+    outlier_magnitude_db: float = 10.0
+    rssi_offset_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.snr_max_db <= self.snr_min_db:
+            raise ValueError("snr_max_db must exceed snr_min_db")
+        if not 0.0 <= self.report_dropout_probability < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        if not 0.0 <= self.outlier_probability < 1.0:
+            raise ValueError("outlier probability must be in [0, 1)")
+
+    @classmethod
+    def noiseless(cls) -> "MeasurementModel":
+        """Quantization only — for ablations and deterministic tests."""
+        return cls(
+            report_dropout_probability=0.0,
+            base_noise_std_db=0.0,
+            low_snr_extra_noise_db=0.0,
+            outlier_probability=0.0,
+            decode_threshold_db=-1e9,
+        )
+
+    def decode_probability(self, true_snr_db: float) -> float:
+        """Soft frame-decoding probability as a function of SNR."""
+        argument = (true_snr_db - self.decode_threshold_db) / self.decode_width_db
+        return float(1.0 / (1.0 + np.exp(-argument)))
+
+    def _noise_std_db(self, true_snr_db: float) -> float:
+        """Noise grows as the SNR approaches the sensitivity floor."""
+        low_snr_weight = 1.0 / (1.0 + np.exp((true_snr_db - 2.0) / 2.0))
+        return self.base_noise_std_db + self.low_snr_extra_noise_db * low_snr_weight
+
+    def _maybe_outlier(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.outlier_probability:
+            return float(rng.uniform(-self.outlier_magnitude_db, self.outlier_magnitude_db))
+        return 0.0
+
+    def observe(
+        self,
+        true_snr_db: float,
+        noise_floor_dbm: float,
+        rng: np.random.Generator,
+    ) -> Optional[SignalObservation]:
+        """Produce the firmware's report for one frame, or ``None``.
+
+        ``None`` models either a frame that failed to decode or a
+        decoded frame whose measurement the firmware dropped.
+        """
+        if rng.random() > self.decode_probability(true_snr_db):
+            return None
+        if rng.random() < self.report_dropout_probability:
+            return None
+
+        noise_std = self._noise_std_db(true_snr_db)
+        snr_reading = true_snr_db + rng.normal(0.0, noise_std) + self._maybe_outlier(rng)
+        snr_reading = float(
+            np.clip(
+                quantize_to_step(snr_reading, self.snr_step_db),
+                self.snr_min_db,
+                self.snr_max_db,
+            )
+        )
+        # RSSI: independently acquired estimate of the received power.
+        rssi_reading = (
+            true_snr_db
+            + noise_floor_dbm
+            + self.rssi_offset_db
+            + rng.normal(0.0, noise_std)
+            + self._maybe_outlier(rng)
+        )
+        rssi_reading = float(quantize_to_step(rssi_reading, self.rssi_step_db))
+        return SignalObservation(snr_db=snr_reading, rssi_dbm=rssi_reading)

@@ -1,0 +1,45 @@
+"""Large-scale path loss at 60 GHz.
+
+The mm-wave band combines a high free-space path loss with oxygen
+absorption peaking around 60 GHz (~15 dB/km).  Indoors the absorption
+term is small but we keep it for fidelity and so that the model remains
+valid for longer-range scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..phased_array.elements import DEFAULT_CARRIER_HZ, SPEED_OF_LIGHT_M_S
+
+__all__ = [
+    "OXYGEN_ABSORPTION_DB_PER_KM",
+    "free_space_path_loss_db",
+    "oxygen_absorption_db",
+    "path_loss_db",
+]
+
+#: Sea-level oxygen absorption near the 60 GHz resonance.
+OXYGEN_ABSORPTION_DB_PER_KM = 15.0
+
+
+def free_space_path_loss_db(distance_m: float, carrier_hz: float = DEFAULT_CARRIER_HZ) -> float:
+    """Friis free-space path loss between isotropic antennas (dB)."""
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    if carrier_hz <= 0:
+        raise ValueError("carrier frequency must be positive")
+    wavelength = SPEED_OF_LIGHT_M_S / carrier_hz
+    return float(20.0 * np.log10(4.0 * np.pi * distance_m / wavelength))
+
+
+def oxygen_absorption_db(distance_m: float) -> float:
+    """Oxygen absorption loss over a path of ``distance_m`` (dB)."""
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    return OXYGEN_ABSORPTION_DB_PER_KM * distance_m / 1000.0
+
+
+def path_loss_db(distance_m: float, carrier_hz: float = DEFAULT_CARRIER_HZ) -> float:
+    """Total large-scale loss: free space plus oxygen absorption."""
+    return free_space_path_loss_db(distance_m, carrier_hz) + oxygen_absorption_db(distance_m)

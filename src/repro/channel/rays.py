@@ -1,0 +1,95 @@
+"""Ray representation for the geometric 60 GHz channel.
+
+At mm-wave frequencies the channel is sparse: a LOS ray plus a handful
+of specular reflections carry essentially all the energy.  A
+:class:`Ray` stores world-frame departure/arrival directions, the total
+path length and any extra (reflection) loss; the link simulator turns
+rays into complex amplitudes given the endpoint antenna patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..geometry.spherical import vector_to_angles
+
+__all__ = ["Ray"]
+
+
+@dataclass(frozen=True)
+class Ray:
+    """One propagation path between the transmitter and the receiver.
+
+    Attributes:
+        departure_azimuth_deg / departure_elevation_deg: direction the
+            ray leaves the transmitter, in the **world** frame.
+        arrival_azimuth_deg / arrival_elevation_deg: direction from the
+            receiver toward the incoming ray, in the **world** frame.
+        path_length_m: total geometric length of the path.
+        extra_loss_db: losses beyond free space (reflection loss, ...).
+        is_los: marks the direct line-of-sight path.
+    """
+
+    departure_azimuth_deg: float
+    departure_elevation_deg: float
+    arrival_azimuth_deg: float
+    arrival_elevation_deg: float
+    path_length_m: float
+    extra_loss_db: float = 0.0
+    is_los: bool = True
+
+    def __post_init__(self) -> None:
+        if self.path_length_m <= 0:
+            raise ValueError("path length must be positive")
+        if self.extra_loss_db < 0:
+            raise ValueError("extra loss cannot be negative")
+
+    @classmethod
+    def from_points(
+        cls,
+        tx_position_m: np.ndarray,
+        rx_position_m: np.ndarray,
+        via_point_m: np.ndarray = None,
+        extra_loss_db: float = 0.0,
+    ) -> "Ray":
+        """Build a ray from endpoint positions (optionally via a bounce).
+
+        Args:
+            tx_position_m / rx_position_m: endpoints in the world frame.
+            via_point_m: single specular bounce point, or ``None`` for
+                the direct path.
+            extra_loss_db: reflection loss for bounced rays.
+        """
+        tx = np.asarray(tx_position_m, dtype=float)
+        rx = np.asarray(rx_position_m, dtype=float)
+        if via_point_m is None:
+            departure = rx - tx
+            arrival = tx - rx
+            length = float(np.linalg.norm(departure))
+            is_los = True
+        else:
+            via = np.asarray(via_point_m, dtype=float)
+            departure = via - tx
+            arrival = via - rx
+            length = float(np.linalg.norm(departure) + np.linalg.norm(rx - via))
+            is_los = False
+        departure_az, departure_el = vector_to_angles(departure)
+        arrival_az, arrival_el = vector_to_angles(arrival)
+        return cls(
+            departure_azimuth_deg=departure_az,
+            departure_elevation_deg=departure_el,
+            arrival_azimuth_deg=arrival_az,
+            arrival_elevation_deg=arrival_el,
+            path_length_m=length,
+            extra_loss_db=extra_loss_db,
+            is_los=is_los,
+        )
+
+    def departure_direction(self) -> Tuple[float, float]:
+        return (self.departure_azimuth_deg, self.departure_elevation_deg)
+
+    def arrival_direction(self) -> Tuple[float, float]:
+        return (self.arrival_azimuth_deg, self.arrival_elevation_deg)

@@ -1,0 +1,101 @@
+"""First-order specular reflectors (image method).
+
+Conference-room furniture such as whiteboards acts as a near-specular
+mirror at 60 GHz.  A :class:`ReflectorPanel` is a finite rectangular
+panel; the classic image method finds the single bounce point (if any)
+for a transmitter/receiver pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ReflectorPanel"]
+
+
+@dataclass(frozen=True)
+class ReflectorPanel:
+    """A finite rectangular specular reflector.
+
+    Attributes:
+        center_m: panel center in the world frame.
+        normal: unit normal of the panel plane.
+        width_m: extent along the horizontal in-plane axis.
+        height_m: extent along the vertical in-plane axis.
+        reflection_loss_db: power loss of a specular bounce.
+    """
+
+    center_m: np.ndarray
+    normal: np.ndarray
+    width_m: float
+    height_m: float
+    reflection_loss_db: float = 8.0
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center_m, dtype=float)
+        normal = np.asarray(self.normal, dtype=float)
+        if center.shape != (3,) or normal.shape != (3,):
+            raise ValueError("center and normal must be 3-vectors")
+        norm = np.linalg.norm(normal)
+        if norm < 1e-12:
+            raise ValueError("normal must be non-zero")
+        object.__setattr__(self, "center_m", center)
+        object.__setattr__(self, "normal", normal / norm)
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("panel dimensions must be positive")
+        if self.reflection_loss_db < 0:
+            raise ValueError("reflection loss cannot be negative")
+
+    def _in_plane_axes(self) -> tuple:
+        """Orthonormal (horizontal, vertical) axes spanning the panel."""
+        up = np.array([0.0, 0.0, 1.0])
+        horizontal = np.cross(up, self.normal)
+        h_norm = np.linalg.norm(horizontal)
+        if h_norm < 1e-9:  # horizontal panel (ceiling/floor): pick x.
+            horizontal = np.array([1.0, 0.0, 0.0])
+            vertical = np.cross(self.normal, horizontal)
+        else:
+            horizontal = horizontal / h_norm
+            vertical = np.cross(self.normal, horizontal)
+        return horizontal, vertical
+
+    def mirror_point(self, point_m: np.ndarray) -> np.ndarray:
+        """Mirror a point across the (infinite) panel plane."""
+        point = np.asarray(point_m, dtype=float)
+        signed_distance = float((point - self.center_m) @ self.normal)
+        return point - 2.0 * signed_distance * self.normal
+
+    def bounce_point(
+        self, tx_position_m: np.ndarray, rx_position_m: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Specular bounce point of the TX→panel→RX path, if it exists.
+
+        Returns ``None`` when the endpoints straddle the plane, the
+        geometric intersection lies outside the finite panel, or either
+        endpoint lies (numerically) on the plane.
+        """
+        tx = np.asarray(tx_position_m, dtype=float)
+        rx = np.asarray(rx_position_m, dtype=float)
+        tx_side = float((tx - self.center_m) @ self.normal)
+        rx_side = float((rx - self.center_m) @ self.normal)
+        if abs(tx_side) < 1e-9 or abs(rx_side) < 1e-9 or tx_side * rx_side < 0:
+            return None
+        image = self.mirror_point(rx)
+        direction = image - tx
+        denominator = float(direction @ self.normal)
+        if abs(denominator) < 1e-12:
+            return None
+        t = float((self.center_m - tx) @ self.normal) / denominator
+        if not 0.0 < t < 1.0:
+            return None
+        intersection = tx + t * direction
+        horizontal, vertical = self._in_plane_axes()
+        offset = intersection - self.center_m
+        if abs(float(offset @ horizontal)) > self.width_m / 2.0:
+            return None
+        if abs(float(offset @ vertical)) > self.height_m / 2.0:
+            return None
+        return intersection

@@ -1,0 +1,213 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+The original release shipped shell tools around the router; this CLI
+is their simulator-side counterpart::
+
+    repro-bench table1              # Table 1 schedule capture
+    repro-bench patterns out.npz    # chamber campaign -> .npz tables
+    repro-bench fig7 [--paper]      # estimation-error experiment
+    repro-bench fig8 / fig9 / fig10 / fig11
+    repro-bench summary             # the §6.5 headline numbers
+    repro-bench ablations           # all design-choice ablations
+    repro-bench extensions          # blockage / dense / fine-codebook
+
+``--paper`` switches experiments from the fast default profile to the
+paper's full resolutions (minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_rows(rows: List[str]) -> None:
+    print("\n".join(rows))
+
+
+def _emit(result, args: argparse.Namespace) -> None:
+    """Print the rows and honor --json archiving when requested."""
+    _print_rows(result.format_rows())
+    json_path = getattr(args, "json", None)
+    if json_path:
+        from .experiments.io import dump_result_json
+
+        dump_result_json(result, json_path)
+        print(f"archived result JSON to {json_path}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from .experiments import Table1Config, run_table1
+
+    result = run_table1(Table1Config(seed=args.seed))
+    _emit(result, args)
+
+
+def _cmd_patterns(args: argparse.Namespace) -> None:
+    from .measurement import PatternMeasurementCampaign, measure_3d_patterns
+    from .phased_array import PhasedArray, talon_codebook
+
+    rng = np.random.default_rng(args.seed)
+    antenna = PhasedArray.talon(np.random.default_rng(args.seed + 1))
+    campaign = PatternMeasurementCampaign(antenna, talon_codebook(antenna))
+    azimuth_step = 1.8 if args.paper else 3.6
+    elevation_step = 3.6 if args.paper else 7.2
+    table = measure_3d_patterns(
+        campaign, rng, azimuth_step_deg=azimuth_step, elevation_step_deg=elevation_step
+    )
+    table.save(args.output)
+    print(
+        f"saved {table.n_sectors} sector patterns "
+        f"({table.grid.n_elevation}x{table.grid.n_azimuth} grid) to {args.output}"
+    )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    from .experiments import Fig7Config, run_fig7
+
+    if args.paper:
+        config = Fig7Config(
+            seed=args.seed,
+            lab_azimuth_step_deg=2.25,
+            lab_elevation_step_deg=2.0,
+            conference_azimuth_step_deg=1.3,
+            n_sweeps=3,
+        )
+    else:
+        config = Fig7Config(seed=args.seed)
+    _emit(run_fig7(config), args)
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    from .experiments import Fig8Config, run_fig8
+
+    n_sweeps = 60 if args.paper else 25
+    step = 2.5 if args.paper else 7.5
+    config = Fig8Config(seed=args.seed, azimuth_step_deg=step, n_sweeps=n_sweeps)
+    _emit(run_fig8(config), args)
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from .experiments import Fig9Config, run_fig9
+
+    n_sweeps = 40 if args.paper else 15
+    step = 2.5 if args.paper else 7.5
+    config = Fig9Config(seed=args.seed, azimuth_step_deg=step, n_sweeps=n_sweeps)
+    _emit(run_fig9(config), args)
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    from .experiments import Fig10Config, run_fig10
+
+    _emit(run_fig10(Fig10Config()), args)
+
+
+def _cmd_fig11(args: argparse.Namespace) -> None:
+    from .experiments import Fig11Config, run_fig11
+
+    config = Fig11Config(seed=args.seed, n_intervals=120 if args.paper else 40)
+    _emit(run_fig11(config), args)
+
+
+def _cmd_summary(args: argparse.Namespace) -> None:
+    from .experiments import run_summary
+
+    _emit(run_summary(), args)
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    from .experiments import (
+        run_3d_ablation,
+        run_adaptive_ablation,
+        run_fusion_ablation,
+        run_oob_prior_ablation,
+        run_pattern_ablation,
+        run_probe_set_ablation,
+        run_random_beam_ablation,
+        run_refinement_ablation,
+    )
+
+    for runner in (
+        run_fusion_ablation,
+        run_pattern_ablation,
+        run_probe_set_ablation,
+        run_3d_ablation,
+        run_random_beam_ablation,
+        run_adaptive_ablation,
+        run_oob_prior_ablation,
+        run_refinement_ablation,
+    ):
+        _print_rows(runner().format_rows())
+        print()
+
+
+def _cmd_extensions(args: argparse.Namespace) -> None:
+    from .experiments import (
+        run_blockage_recovery,
+        run_dense_deployment,
+        run_pattern_transfer,
+    )
+    from .experiments.fine import run_fine_codebook
+
+    for runner in (
+        run_blockage_recovery,
+        run_dense_deployment,
+        run_fine_codebook,
+        run_pattern_transfer,
+    ):
+        _print_rows(runner().format_rows())
+        print()
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": _cmd_table1,
+    "patterns": _cmd_patterns,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "summary": _cmd_summary,
+    "ablations": _cmd_ablations,
+    "extensions": _cmd_extensions,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the CoNEXT'17 compressive-sector-selection results.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=handler.__doc__)
+        sub.add_argument("--seed", type=int, default=2017, help="experiment seed")
+        sub.add_argument(
+            "--paper",
+            action="store_true",
+            help="use the paper's full resolutions (slow)",
+        )
+        sub.add_argument(
+            "--json", metavar="PATH", help="also archive the result as JSON"
+        )
+        if name == "patterns":
+            sub.add_argument("output", help="output .npz path")
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-bench`` console script."""
+    args = build_parser().parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

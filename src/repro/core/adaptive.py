@@ -1,0 +1,75 @@
+"""Adaptive probe-count control (paper §7, future work).
+
+"In static scenarios, few probes are sufficient to validate the current
+antenna settings.  Whenever a node starts moving, the number of probes
+may increase to keep track of the movement."  The controller below
+implements that policy: it watches the angular velocity of consecutive
+angle estimates and moves the probe budget between a floor and a
+ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry.angles import angular_distance
+from .estimator import AngleEstimate
+
+__all__ = ["AdaptiveProbeController"]
+
+
+@dataclass
+class AdaptiveProbeController:
+    """Hysteresis controller for the per-sweep probe count.
+
+    Attributes:
+        min_probes: floor used while the link looks static.
+        max_probes: ceiling used while the estimate is moving.
+        motion_threshold_deg: estimate change (per sweep) treated as
+            motion.
+        increase_step / decrease_step: probe-budget slew rates; growth
+            is fast (losing a moving peer is expensive) and decay slow.
+    """
+
+    min_probes: int = 10
+    max_probes: int = 24
+    motion_threshold_deg: float = 6.0
+    increase_step: int = 6
+    decrease_step: int = 3
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.min_probes <= self.max_probes:
+            raise ValueError("need 2 <= min_probes <= max_probes")
+        if self.motion_threshold_deg <= 0:
+            raise ValueError("motion threshold must be positive")
+        self._n_probes = self.max_probes  # start cautious
+        self._previous: Optional[AngleEstimate] = None
+
+    @property
+    def n_probes(self) -> int:
+        """Probe budget to use for the next sweep."""
+        return self._n_probes
+
+    def update(self, estimate: Optional[AngleEstimate]) -> int:
+        """Feed the latest estimate; returns the next probe budget.
+
+        A ``None`` estimate (failed sweep) is treated like motion: the
+        controller re-opens the probe budget to recover quickly.
+        """
+        if estimate is None or self._previous is None:
+            moved = estimate is None
+        else:
+            change = angular_distance(
+                self._previous.azimuth_deg,
+                self._previous.elevation_deg,
+                estimate.azimuth_deg,
+                estimate.elevation_deg,
+            )
+            moved = change > self.motion_threshold_deg
+        if moved:
+            self._n_probes = min(self.max_probes, self._n_probes + self.increase_step)
+        else:
+            self._n_probes = max(self.min_probes, self._n_probes - self.decrease_step)
+        self._previous = estimate
+        return self._n_probes

@@ -1,0 +1,130 @@
+"""Compressive sector selection (the paper's core contribution, §2.2).
+
+Two steps per sweep:
+
+1. Probe ``M`` of the ``N`` available sectors and estimate the signal's
+   path direction by correlating the received signal-strength vector
+   against the measured 3D patterns (Eqs. 2, 3, 5).
+2. Pick, among **all** ``N`` sectors, the one whose measured pattern
+   has the highest gain at the estimated direction (Eq. 4).
+
+``N`` can therefore be much larger than ``M`` — the selection quality
+is bounded by the pattern knowledge, not the probe count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.grid import AngularGrid
+from ..measurement.patterns import PatternTable
+from .estimator import AngleEstimator
+from .measurements import ProbeMeasurement
+from .selector import SelectionResult
+
+__all__ = ["CompressiveSectorSelector"]
+
+
+class CompressiveSectorSelector:
+    """Selects sectors from compressive probes and measured patterns."""
+
+    def __init__(
+        self,
+        pattern_table: PatternTable,
+        candidate_sector_ids: Optional[Sequence[int]] = None,
+        search_grid: Optional[AngularGrid] = None,
+        fusion: str = "product",
+        domain: str = "linear",
+        initial_sector_id: int = 1,
+        min_probes: int = 2,
+        fallback_correlation: float = 0.0,
+    ):
+        """
+        Args:
+            pattern_table: measured patterns of every available sector.
+            candidate_sector_ids: the ``N`` sectors eligible for the
+                final selection (default: every table sector except the
+                quasi-omni RX sector 0, i.e. all TX sectors).
+            search_grid: angular grid for the Eq. 3 argmax.
+            fusion: correlation fusion mode — ``"product"`` applies the
+                Eq. 5 SNR×RSSI robustification (§5); ``"snr"`` and
+                ``"rssi"`` use a single map (for the ablation study).
+            domain: correlation domain, ``"linear"`` or ``"db"``.
+            initial_sector_id: selection before any sweep succeeds.
+            min_probes: below this many usable reports the selector
+                falls back (argmax of what it has, else last choice).
+            fallback_correlation: when the Eq. 3/5 peak correlation
+                drops below this value the measured patterns clearly no
+                longer describe the channel (e.g. a blocked LOS), and
+                the selector falls back to the plain argmax of the
+                probes.  0 (default) disables the fallback — the
+                paper's protocol always trusts the patterns.
+        """
+        if candidate_sector_ids is None:
+            candidate_sector_ids = [
+                sector_id for sector_id in pattern_table.sector_ids if sector_id != 0
+            ]
+        unknown = [s for s in candidate_sector_ids if s not in pattern_table.sector_ids]
+        if unknown:
+            raise ValueError(f"candidate sectors without measured patterns: {unknown}")
+        if min_probes < 2:
+            raise ValueError("correlation needs at least two probes")
+
+        self.pattern_table = pattern_table
+        self.candidate_sector_ids = list(candidate_sector_ids)
+        self.estimator = AngleEstimator(
+            pattern_table, search_grid=search_grid, domain=domain, fusion=fusion
+        )
+        if not 0.0 <= fallback_correlation <= 1.0:
+            raise ValueError("fallback correlation must be in [0, 1]")
+        self.min_probes = min_probes
+        self.fallback_correlation = fallback_correlation
+        self._last_selection = initial_sector_id
+        # Candidate gains on the search grid, for the Eq. 4 lookup.
+        self._candidate_matrix = pattern_table.sample_matrix(
+            self.estimator.search_grid, self.candidate_sector_ids
+        )
+
+    @property
+    def last_selection(self) -> int:
+        return self._last_selection
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidate_sector_ids)
+
+    def best_sector_at(self, azimuth_deg: float, elevation_deg: float) -> int:
+        """Eq. 4: the candidate with maximum measured gain there."""
+        gains = self.pattern_table.vector(
+            azimuth_deg, elevation_deg, self.candidate_sector_ids
+        )
+        return int(self.candidate_sector_ids[int(np.argmax(gains))])
+
+    def _fallback(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
+        if measurements:
+            best = max(measurements, key=lambda m: m.snr_db)
+            self._last_selection = best.sector_id
+            return SelectionResult(sector_id=best.sector_id, fallback=True)
+        return SelectionResult(sector_id=self._last_selection, fallback=True)
+
+    def select(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
+        """Run both steps on one sweep's measurements."""
+        usable = [
+            m for m in measurements if m.sector_id in self.estimator.known_sector_ids()
+        ]
+        if len(usable) < self.min_probes:
+            return self._fallback(usable)
+        estimate = self.estimator.estimate(usable)
+        if estimate.correlation < self.fallback_correlation:
+            return self._fallback(usable)
+        # Eq. 4 via the precomputed grid matrix: column at the argmax
+        # grid point, maximized over candidates.
+        grid_index = self.estimator.search_grid.nearest_index(
+            estimate.azimuth_deg, estimate.elevation_deg
+        )
+        candidate_gains = self._candidate_matrix[:, grid_index]
+        sector_id = int(self.candidate_sector_ids[int(np.argmax(candidate_gains))])
+        self._last_selection = sector_id
+        return SelectionResult(sector_id=sector_id, estimate=estimate)

@@ -1,0 +1,79 @@
+"""The compressive correlation kernel (paper Eq. 2).
+
+Given the received signal-strength vector over the probed sectors and
+the expected per-direction pattern vectors, the correlation map is::
+
+    W(φ, θ) = ⟨ p/‖p‖ , x(φ,θ)/‖x(φ,θ)‖ ⟩²
+
+Correlation is computed in the **linear power domain** by default:
+signal strengths in dB shift additively with link distance, which would
+break the scale-invariant normalized inner product, whereas in linear
+power the shift becomes a pure scale that normalization removes.  The
+dB domain remains available for the ablation study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_linear_power", "normalize_rows", "correlation_map"]
+
+_EPSILON = 1e-12
+
+
+def to_linear_power(values_db: np.ndarray) -> np.ndarray:
+    """Convert dB values to linear power.
+
+    Inputs are clamped to ±200 dB — far beyond any physical signal —
+    so that corrupted readings cannot overflow the float range.
+    """
+    clamped = np.clip(np.asarray(values_db, dtype=float), -200.0, 200.0)
+    return 10.0 ** (clamped / 10.0)
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Scale each row of a matrix to unit Euclidean norm."""
+    matrix = np.asarray(matrix, dtype=float)
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    return matrix / np.maximum(norms, _EPSILON)
+
+
+def correlation_map(
+    probe_values_db: np.ndarray,
+    pattern_matrix_db: np.ndarray,
+    domain: str = "linear",
+) -> np.ndarray:
+    """Eq. 2 evaluated on every grid point at once.
+
+    Args:
+        probe_values_db: received signal strengths, shape ``(M,)`` — one
+            per probed sector that produced a report.
+        pattern_matrix_db: expected patterns of those same sectors on
+            the search grid, shape ``(M, K)``.
+        domain: ``"linear"`` (default, offset-invariant) or ``"db"``.
+
+    Returns:
+        Correlation ``W`` per grid point, shape ``(K,)``, in ``[0, 1]``.
+    """
+    probes = np.asarray(probe_values_db, dtype=float)
+    patterns = np.asarray(pattern_matrix_db, dtype=float)
+    if probes.ndim != 1:
+        raise ValueError("probe values must be a 1-D vector")
+    if patterns.ndim != 2 or patterns.shape[0] != probes.size:
+        raise ValueError(
+            f"pattern matrix shape {patterns.shape} does not match "
+            f"{probes.size} probe values"
+        )
+    if domain not in ("linear", "db"):
+        raise ValueError("domain must be 'linear' or 'db'")
+
+    if domain == "linear":
+        probes = to_linear_power(probes)
+        patterns = to_linear_power(patterns)
+
+    probe_unit = probes / max(np.linalg.norm(probes), _EPSILON)
+    # Normalize each grid point's pattern vector (a column of patterns).
+    column_norms = np.linalg.norm(patterns, axis=0)
+    pattern_unit = patterns / np.maximum(column_norms, _EPSILON)
+    correlation = probe_unit @ pattern_unit
+    return correlation**2

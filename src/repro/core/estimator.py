@@ -1,0 +1,114 @@
+"""Angle-of-arrival estimation from compressive probes (Eqs. 3 and 5).
+
+The estimator maximizes the correlation map over a discrete angular
+grid.  Following §5, it can fuse the SNR-based and RSSI-based maps by
+multiplication — the two values are acquired independently inside the
+firmware, so an outlier in one rarely coincides with an outlier in the
+other, and the product suppresses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.grid import AngularGrid
+from ..measurement.patterns import PatternTable
+from .correlation import correlation_map
+from .measurements import ProbeMeasurement
+
+__all__ = ["AngleEstimate", "AngleEstimator"]
+
+#: RSSI values are referenced to this nominal noise floor before the
+#: linear-domain correlation; any constant works (the correlation is
+#: scale-invariant) but keeping numbers small avoids float overflow.
+_RSSI_REFERENCE_DBM = -71.5
+
+
+@dataclass(frozen=True)
+class AngleEstimate:
+    """Result of one angle-of-arrival estimation."""
+
+    azimuth_deg: float
+    elevation_deg: float
+    correlation: float
+    n_probes_used: int
+
+
+class AngleEstimator:
+    """Correlation-based estimator over a measured pattern table."""
+
+    def __init__(
+        self,
+        pattern_table: PatternTable,
+        search_grid: Optional[AngularGrid] = None,
+        domain: str = "linear",
+        fusion: str = "product",
+    ):
+        """
+        Args:
+            pattern_table: measured sector patterns (Figures 5/6 data).
+            search_grid: grid for the numeric argmax of Eq. 3; defaults
+                to the table's own measurement grid.
+            domain: correlation domain (see :mod:`.correlation`).
+            fusion: ``"product"`` fuses the SNR and RSSI maps (Eq. 5);
+                ``"snr"`` / ``"rssi"`` use one map alone (Eq. 3).
+        """
+        if fusion not in ("product", "snr", "rssi"):
+            raise ValueError("fusion must be 'product', 'snr' or 'rssi'")
+        self.pattern_table = pattern_table
+        self.search_grid = search_grid if search_grid is not None else pattern_table.grid
+        self.domain = domain
+        self.fusion = fusion
+        # Precompute the (n_sectors, n_grid_points) matrix once.
+        self._matrix = pattern_table.sample_matrix(self.search_grid)
+        self._row_of_sector: Dict[int, int] = {
+            sector_id: row for row, sector_id in enumerate(pattern_table.sector_ids)
+        }
+
+    def known_sector_ids(self) -> List[int]:
+        """Sectors with a measured pattern (usable as probes)."""
+        return list(self._row_of_sector)
+
+    def _rows_for(self, measurements: Sequence[ProbeMeasurement]) -> np.ndarray:
+        try:
+            rows = [self._row_of_sector[m.sector_id] for m in measurements]
+        except KeyError as error:
+            raise KeyError(f"no measured pattern for probed sector {error.args[0]}") from None
+        return self._matrix[rows]
+
+    def correlation_surface(
+        self, measurements: Sequence[ProbeMeasurement]
+    ) -> np.ndarray:
+        """The fused correlation map over the search grid, flattened.
+
+        Shape ``(grid.n_points,)``; reshape to ``grid.shape`` to plot.
+        """
+        if len(measurements) < 2:
+            raise ValueError("need at least two probe measurements to correlate")
+        patterns = self._rows_for(measurements)
+        surface = None
+        if self.fusion in ("product", "snr"):
+            snr_values = np.array([m.snr_db for m in measurements])
+            surface = correlation_map(snr_values, patterns, self.domain)
+        if self.fusion in ("product", "rssi"):
+            rssi_values = np.array(
+                [m.rssi_dbm - _RSSI_REFERENCE_DBM for m in measurements]
+            )
+            rssi_surface = correlation_map(rssi_values, patterns, self.domain)
+            surface = rssi_surface if surface is None else surface * rssi_surface
+        return surface
+
+    def estimate(self, measurements: Sequence[ProbeMeasurement]) -> AngleEstimate:
+        """Eq. 3 / Eq. 5: the grid direction with maximum correlation."""
+        surface = self.correlation_surface(measurements)
+        best_index = int(np.argmax(surface))
+        azimuth, elevation = self.search_grid.index_to_angles(best_index)
+        return AngleEstimate(
+            azimuth_deg=azimuth,
+            elevation_deg=elevation,
+            correlation=float(surface[best_index]),
+            n_probes_used=len(measurements),
+        )

@@ -1,0 +1,46 @@
+"""Probe measurements: the selector-facing view of one sector sweep.
+
+Selectors consume a list of :class:`ProbeMeasurement` — one entry per
+sector that was probed *and* produced a firmware report.  Sectors whose
+frames were missed or whose reports were dropped are simply absent,
+which is how the real system behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..firmware.chip import SweepReport
+
+__all__ = ["ProbeMeasurement", "from_sweep_reports"]
+
+
+@dataclass(frozen=True)
+class ProbeMeasurement:
+    """Signal strength reported for one probed sector."""
+
+    sector_id: int
+    snr_db: float
+    rssi_dbm: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sector_id <= 63:
+            raise ValueError("sector ID is a 6-bit field")
+
+
+def from_sweep_reports(reports: Iterable[SweepReport]) -> List[ProbeMeasurement]:
+    """Convert drained firmware ring-buffer reports into measurements.
+
+    When a sector was reported more than once (e.g. the buffer held two
+    sweeps), the *latest* report wins.
+    """
+    latest = {}
+    for report in reports:
+        latest[report.sector_id] = report
+    return [
+        ProbeMeasurement(
+            sector_id=report.sector_id, snr_db=report.snr_db, rssi_dbm=report.rssi_dbm
+        )
+        for report in latest.values()
+    ]

@@ -1,0 +1,155 @@
+"""Multi-path extraction from the compressive correlation surface.
+
+The correlation map W(φ, θ) peaks at the dominant path, but in a
+reflective room secondary peaks mark alternative paths (a whiteboard
+bounce, a wall).  Extracting the top-k peaks gives a backup steering
+direction *for free* from the same probes — the extension the paper's
+§8 relates to BeamSpy-style proactive path switching, built here on
+top of the compressive estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.angles import angular_distance
+from ..geometry.grid import AngularGrid
+from ..measurement.patterns import PatternTable
+from .estimator import AngleEstimator
+from .measurements import ProbeMeasurement
+
+__all__ = ["PathEstimate", "extract_paths", "MultipathSelector"]
+
+
+@dataclass(frozen=True)
+class PathEstimate:
+    """One extracted propagation path."""
+
+    azimuth_deg: float
+    elevation_deg: float
+    correlation: float
+    rank: int
+
+    def separation_from(self, other: "PathEstimate") -> float:
+        return angular_distance(
+            self.azimuth_deg, self.elevation_deg, other.azimuth_deg, other.elevation_deg
+        )
+
+
+def extract_paths(
+    surface: np.ndarray,
+    grid: AngularGrid,
+    n_paths: int = 2,
+    min_separation_deg: float = 15.0,
+    min_relative_correlation: float = 0.5,
+) -> List[PathEstimate]:
+    """Greedy peak extraction with an angular exclusion zone.
+
+    Repeatedly takes the strongest remaining grid point, then masks
+    everything within ``min_separation_deg`` of it.  Peaks weaker than
+    ``min_relative_correlation`` times the main peak are discarded —
+    they are correlation noise, not paths.
+
+    Args:
+        surface: flattened correlation map (``grid.n_points`` values).
+        grid: the search grid the surface lives on.
+
+    Returns:
+        At most ``n_paths`` paths, strongest first.
+    """
+    surface = np.asarray(surface, dtype=float)
+    if surface.shape != (grid.n_points,):
+        raise ValueError("surface must be a flattened map over the grid")
+    if n_paths < 1:
+        raise ValueError("need at least one path")
+
+    azimuths, elevations = grid.flat_angles()
+    remaining = surface.copy()
+    paths: List[PathEstimate] = []
+    main_peak = float(surface.max())
+    for rank in range(n_paths):
+        index = int(np.argmax(remaining))
+        value = float(remaining[index])
+        if value <= 0.0 or (paths and value < min_relative_correlation * main_peak):
+            break
+        azimuth = float(azimuths[index])
+        elevation = float(elevations[index])
+        paths.append(
+            PathEstimate(
+                azimuth_deg=azimuth,
+                elevation_deg=elevation,
+                correlation=value,
+                rank=rank,
+            )
+        )
+        separation = angular_distance(azimuth, elevation, azimuths, elevations)
+        remaining[separation < min_separation_deg] = -np.inf
+    return paths
+
+
+class MultipathSelector:
+    """Compressive selection with a standby sector on the backup path.
+
+    Each sweep yields a primary sector (Eq. 4 at the strongest path)
+    *and* a standby sector aimed at the second-strongest path.  When
+    the link quality on the primary collapses (blockage), the caller
+    switches to the standby instantly instead of re-sweeping.
+    """
+
+    def __init__(
+        self,
+        pattern_table: PatternTable,
+        candidate_sector_ids: Optional[Sequence[int]] = None,
+        min_separation_deg: float = 15.0,
+        fusion: str = "product",
+    ):
+        if candidate_sector_ids is None:
+            candidate_sector_ids = [s for s in pattern_table.sector_ids if s != 0]
+        self.pattern_table = pattern_table
+        self.candidate_sector_ids = list(candidate_sector_ids)
+        self.estimator = AngleEstimator(pattern_table, fusion=fusion)
+        self.min_separation_deg = min_separation_deg
+        self._matrix = pattern_table.sample_matrix(
+            self.estimator.search_grid, self.candidate_sector_ids
+        )
+
+    def _sector_at(self, azimuth_deg: float, elevation_deg: float) -> int:
+        index = self.estimator.search_grid.nearest_index(azimuth_deg, elevation_deg)
+        return int(self.candidate_sector_ids[int(np.argmax(self._matrix[:, index]))])
+
+    def select_paths(
+        self,
+        measurements: Sequence[ProbeMeasurement],
+        n_paths: int = 2,
+        min_relative_correlation: float = 0.12,
+    ) -> List[tuple]:
+        """Per path: ``(PathEstimate, sector_id)``, strongest first.
+
+        Paths whose best sector duplicates a stronger path's sector are
+        dropped — a standby that steers the same beam is useless.
+        """
+        usable = [
+            m for m in measurements if m.sector_id in self.estimator.known_sector_ids()
+        ]
+        if len(usable) < 2:
+            return []
+        surface = self.estimator.correlation_surface(usable)
+        paths = extract_paths(
+            surface,
+            self.estimator.search_grid,
+            n_paths=n_paths,
+            min_separation_deg=self.min_separation_deg,
+            min_relative_correlation=min_relative_correlation,
+        )
+        selected: List[tuple] = []
+        used_sectors = set()
+        for path in paths:
+            sector_id = self._sector_at(path.azimuth_deg, path.elevation_deg)
+            if sector_id in used_sectors:
+                continue
+            used_sectors.add(sector_id)
+            selected.append((path, sector_id))
+        return selected

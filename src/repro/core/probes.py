@@ -1,0 +1,122 @@
+"""Probing-set strategies: which ``M`` sectors to sweep.
+
+The paper probes a *random* subset per sweep (§2.2) and discusses
+smarter, context-specific choices in §7.  All strategies share one
+interface so experiments can swap them freely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..measurement.patterns import PatternTable
+from .correlation import normalize_rows, to_linear_power
+
+__all__ = [
+    "ProbeStrategy",
+    "RandomProbeStrategy",
+    "FixedProbeStrategy",
+    "GainDiverseProbeStrategy",
+]
+
+
+class ProbeStrategy(Protocol):
+    """Chooses the probing subset for one sweep."""
+
+    def choose(
+        self, n_probes: int, available_ids: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        """Return ``n_probes`` distinct sector IDs to probe."""
+        ...
+
+
+def _validate(n_probes: int, available_ids: Sequence[int]) -> None:
+    if n_probes < 1:
+        raise ValueError("must probe at least one sector")
+    if n_probes > len(available_ids):
+        raise ValueError(
+            f"cannot probe {n_probes} sectors out of {len(available_ids)} available"
+        )
+
+
+class RandomProbeStrategy:
+    """The paper's choice: a fresh uniform random subset per sweep."""
+
+    def choose(
+        self, n_probes: int, available_ids: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        _validate(n_probes, available_ids)
+        chosen = rng.choice(len(available_ids), size=n_probes, replace=False)
+        return [available_ids[index] for index in sorted(chosen)]
+
+
+class FixedProbeStrategy:
+    """Always probe the same pre-selected subset."""
+
+    def __init__(self, sector_ids: Sequence[int]):
+        if len(set(sector_ids)) != len(sector_ids):
+            raise ValueError("fixed probe set must be unique")
+        self._sector_ids = list(sector_ids)
+
+    def choose(
+        self, n_probes: int, available_ids: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        subset = [s for s in self._sector_ids if s in set(available_ids)]
+        if n_probes > len(subset):
+            raise ValueError(
+                f"fixed set provides {len(subset)} usable sectors, {n_probes} requested"
+            )
+        return subset[:n_probes]
+
+
+class GainDiverseProbeStrategy:
+    """§7's idea: prefer probing sectors with *dissimilar* patterns.
+
+    Greedy max-min selection on the measured patterns: start from the
+    strongest sector, then repeatedly add the sector whose pattern has
+    the lowest maximum correlation with everything already selected.
+    A diverse probe set keeps the Eq. 2 correlation discriminative with
+    fewer probes than a random draw.
+    """
+
+    def __init__(self, pattern_table: PatternTable):
+        self._table = pattern_table
+        self._order_cache: Optional[List[int]] = None
+        self._cache_key: Optional[tuple] = None
+
+    def _selection_order(self, available_ids: Sequence[int]) -> List[int]:
+        key = tuple(available_ids)
+        if self._cache_key == key and self._order_cache is not None:
+            return self._order_cache
+
+        rows = []
+        for sector_id in available_ids:
+            pattern = to_linear_power(self._table.pattern(sector_id).ravel())
+            rows.append(pattern)
+        matrix = normalize_rows(np.asarray(rows))
+        similarity = matrix @ matrix.T  # cosine similarity of patterns
+
+        total_gain = matrix.sum(axis=1)
+        order = [int(np.argmax(total_gain))]
+        remaining = set(range(len(available_ids))) - set(order)
+        while remaining:
+            candidates = sorted(remaining)
+            # For each candidate: its worst-case similarity to the set.
+            worst = np.array(
+                [similarity[candidate, order].max() for candidate in candidates]
+            )
+            chosen = candidates[int(np.argmin(worst))]
+            order.append(chosen)
+            remaining.discard(chosen)
+
+        self._order_cache = [available_ids[index] for index in order]
+        self._cache_key = key
+        return self._order_cache
+
+    def choose(
+        self, n_probes: int, available_ids: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        _validate(n_probes, available_ids)
+        return self._selection_order(available_ids)[:n_probes]

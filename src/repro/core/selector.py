@@ -1,0 +1,64 @@
+"""Sector selector interface and the stock sector-sweep baseline.
+
+A *selector* maps one sweep's probe measurements to a transmit sector.
+:class:`SectorSweepSelector` is the IEEE 802.11ad baseline (paper
+Eq. 1): the argmax of the reported SNR values over everything probed —
+including any outliers, which is precisely why its selections
+fluctuate (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from .estimator import AngleEstimate
+from .measurements import ProbeMeasurement
+
+__all__ = ["SelectionResult", "SectorSelector", "SectorSweepSelector"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one selection.
+
+    Attributes:
+        sector_id: chosen transmit sector.
+        estimate: angle estimate, for selectors that compute one.
+        fallback: True when the selector could not run its primary
+            logic (e.g. too few probes) and fell back.
+    """
+
+    sector_id: int
+    estimate: Optional[AngleEstimate] = None
+    fallback: bool = False
+
+
+class SectorSelector(Protocol):
+    """Anything that turns sweep measurements into a sector choice."""
+
+    def select(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
+        """Choose a transmit sector from one sweep's measurements."""
+        ...
+
+
+class SectorSweepSelector:
+    """The standard's exhaustive selection: ``argmax_n p_n`` (Eq. 1).
+
+    Stateful like the firmware: when a sweep yields no usable report,
+    the previous selection is kept.
+    """
+
+    def __init__(self, initial_sector_id: int = 1):
+        self._last_selection = initial_sector_id
+
+    @property
+    def last_selection(self) -> int:
+        return self._last_selection
+
+    def select(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
+        if not measurements:
+            return SelectionResult(sector_id=self._last_selection, fallback=True)
+        best = max(measurements, key=lambda m: m.snr_db)
+        self._last_selection = best.sector_id
+        return SelectionResult(sector_id=best.sector_id)

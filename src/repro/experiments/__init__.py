@@ -1,0 +1,110 @@
+"""Evaluation experiments: one module per table/figure, plus ablations."""
+
+from .ablations import (
+    AblationResult,
+    run_3d_ablation,
+    run_adaptive_ablation,
+    run_fusion_ablation,
+    run_pattern_ablation,
+    run_oob_prior_ablation,
+    run_probe_set_ablation,
+    run_random_beam_ablation,
+    run_refinement_ablation,
+)
+from .blockage import BlockageConfig, BlockageResult, run_blockage_recovery
+from .dense import (
+    DenseConfig,
+    DenseInterferenceResult,
+    DenseResult,
+    run_dense_deployment,
+    run_dense_interference,
+)
+from .io import dump_result_json, load_result_json, result_to_dict
+from .drift import DriftConfig, DriftResult, run_pattern_drift
+from .fine import FineCodebookConfig, FineCodebookResult, run_fine_codebook
+from .transfer import TransferConfig, TransferResult, run_pattern_transfer
+from .common import (
+    BoxStats,
+    RecordedDirection,
+    Testbed,
+    build_testbed,
+    random_subsweep,
+    record_directions,
+)
+from .fig5 import Fig5Config, Fig5Result, SectorSummary, count_lobes, run_fig5
+from .fig6 import Fig6Config, Fig6Result, run_fig6
+from .fig7 import EstimationErrorSeries, Fig7Config, Fig7Result, run_fig7
+from .fig8 import Fig8Config, Fig8Result, run_fig8, stability_of_selections
+from .fig9 import Fig9Config, Fig9Result, run_fig9
+from .fig10 import Fig10Config, Fig10Result, run_fig10
+from .fig11 import Fig11Config, Fig11Result, run_fig11
+from .summary import HeadlineNumbers, run_summary
+from .table1 import Table1Config, Table1Result, run_table1
+
+__all__ = [
+    "AblationResult",
+    "run_3d_ablation",
+    "run_adaptive_ablation",
+    "run_fusion_ablation",
+    "run_pattern_ablation",
+    "run_probe_set_ablation",
+    "run_random_beam_ablation",
+    "run_oob_prior_ablation",
+    "run_refinement_ablation",
+    "BlockageConfig",
+    "BlockageResult",
+    "run_blockage_recovery",
+    "DenseConfig",
+    "DenseResult",
+    "run_dense_deployment",
+    "DenseInterferenceResult",
+    "run_dense_interference",
+    "DriftConfig",
+    "DriftResult",
+    "run_pattern_drift",
+    "FineCodebookConfig",
+    "FineCodebookResult",
+    "run_fine_codebook",
+    "TransferConfig",
+    "TransferResult",
+    "run_pattern_transfer",
+    "dump_result_json",
+    "load_result_json",
+    "result_to_dict",
+    "BoxStats",
+    "RecordedDirection",
+    "Testbed",
+    "build_testbed",
+    "random_subsweep",
+    "record_directions",
+    "Fig5Config",
+    "Fig5Result",
+    "SectorSummary",
+    "count_lobes",
+    "run_fig5",
+    "Fig6Config",
+    "Fig6Result",
+    "run_fig6",
+    "EstimationErrorSeries",
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Config",
+    "Fig8Result",
+    "run_fig8",
+    "stability_of_selections",
+    "Fig9Config",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Config",
+    "Fig10Result",
+    "run_fig10",
+    "Fig11Config",
+    "Fig11Result",
+    "run_fig11",
+    "HeadlineNumbers",
+    "run_summary",
+    "Table1Config",
+    "Table1Result",
+    "run_table1",
+]

@@ -1,0 +1,241 @@
+"""Shared infrastructure for the evaluation experiments (§6).
+
+The paper's methodology: record *full* sweeps (all 34 TX sectors) at
+every rotation-head position, then evaluate the compressive algorithm
+offline by considering only a random subset of each sweep's
+measurements.  :func:`record_directions` produces those recordings;
+the per-figure modules consume them.
+
+A :func:`build_testbed` call assembles the simulated hardware —
+device-under-test and reference routers, their measured 3D pattern
+table from a chamber campaign — and is memoized because every
+experiment shares it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..channel.batch import sweep_snr_matrix
+from ..channel.environment import Environment
+from ..channel.link import LinkBudget
+from ..channel.observation import MeasurementModel
+from ..core.measurements import ProbeMeasurement
+from ..geometry.angles import wrap_azimuth
+from ..measurement.campaign import CampaignConfig, PatternMeasurementCampaign
+from ..measurement.patterns import PatternTable
+from ..measurement.rotation_head import RotationHead
+from ..phased_array.array import PhasedArray
+from ..phased_array.codebook import Codebook
+from ..phased_array.talon import talon_codebook
+
+__all__ = [
+    "Testbed",
+    "build_testbed",
+    "RecordedDirection",
+    "record_directions",
+    "random_subsweep",
+    "BoxStats",
+]
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """The simulated hardware every experiment shares."""
+
+    dut_antenna: PhasedArray
+    dut_codebook: Codebook
+    ref_antenna: PhasedArray
+    ref_codebook: Codebook
+    pattern_table: PatternTable
+    budget: LinkBudget
+    measurement_model: MeasurementModel
+
+    @property
+    def tx_sector_ids(self) -> List[int]:
+        return self.dut_codebook.tx_sector_ids
+
+
+@lru_cache(maxsize=4)
+def build_testbed(
+    seed: int = 2017,
+    azimuth_step_deg: float = 2.0,
+    elevation_step_deg: float = 4.0,
+    max_elevation_deg: float = 32.0,
+    campaign_sweeps: int = 3,
+) -> Testbed:
+    """Create devices and run the chamber campaign once (memoized).
+
+    The pattern table covers azimuth ±90° and elevation 0° up to
+    ``max_elevation_deg`` — the same envelope as Figure 6.
+    """
+    rng = np.random.default_rng(seed)
+    dut_antenna = PhasedArray.talon(np.random.default_rng(seed + 1))
+    dut_codebook = talon_codebook(dut_antenna)
+    ref_antenna = PhasedArray.talon(np.random.default_rng(seed + 2))
+    ref_codebook = talon_codebook(ref_antenna)
+    budget = LinkBudget()
+    measurement_model = MeasurementModel()
+
+    campaign = PatternMeasurementCampaign(
+        dut_antenna,
+        dut_codebook,
+        reference_antenna=ref_antenna,
+        reference_codebook=ref_codebook,
+        budget=budget,
+        measurement_model=measurement_model,
+    )
+    n_az = int(round(180.0 / azimuth_step_deg))
+    azimuths = -90.0 + azimuth_step_deg * np.arange(n_az + 1)
+    n_el = int(round(max_elevation_deg / elevation_step_deg))
+    elevations = elevation_step_deg * np.arange(n_el + 1)
+    config = CampaignConfig(
+        azimuths_deg=azimuths, elevations_deg=elevations, n_sweeps=campaign_sweeps
+    )
+    table = campaign.run(config, rng)
+    return Testbed(
+        dut_antenna=dut_antenna,
+        dut_codebook=dut_codebook,
+        ref_antenna=ref_antenna,
+        ref_codebook=ref_codebook,
+        pattern_table=table,
+        budget=budget,
+        measurement_model=measurement_model,
+    )
+
+
+@dataclass
+class RecordedDirection:
+    """All sweep recordings for one physical path direction.
+
+    Attributes:
+        azimuth_deg / elevation_deg: nominal device-frame direction of
+            the link (the ground truth for estimation errors).
+        true_snr_db: ground-truth sweep SNR per TX sector.
+        sweeps: one dict per recorded sweep, mapping sector ID to the
+            firmware measurement (missing IDs were not reported).
+    """
+
+    azimuth_deg: float
+    elevation_deg: float
+    true_snr_db: np.ndarray
+    sweeps: List[Dict[int, ProbeMeasurement]] = field(default_factory=list)
+
+    def optimal_snr_db(self) -> float:
+        return float(self.true_snr_db.max())
+
+
+def record_directions(
+    testbed: Testbed,
+    environment: Environment,
+    azimuths_deg: Sequence[float],
+    elevations_deg: Sequence[float],
+    n_sweeps: int,
+    rng: np.random.Generator,
+) -> List[RecordedDirection]:
+    """Record full 34-sector sweeps over a grid of path directions.
+
+    The DUT rides the rotation head (with its mechanical tilt errors),
+    the reference device listens quasi-omni at the environment's far
+    endpoint.  Per-sweep slow fading is modelled as a common SNR offset
+    drawn from the environment's shadowing spread.
+    """
+    head = RotationHead(np.random.default_rng(rng.integers(2**31)))
+    tx_ids = testbed.tx_sector_ids
+    noise_floor = testbed.budget.noise_floor_dbm
+    recordings: List[RecordedDirection] = []
+
+    for elevation in elevations_deg:
+        head.set_tilt(float(elevation))
+        orientations = []
+        for azimuth in azimuths_deg:
+            head.set_azimuth(-float(azimuth))
+            orientations.append(head.orientation())
+
+        true_matrix = sweep_snr_matrix(
+            environment,
+            testbed.dut_antenna,
+            testbed.dut_codebook,
+            tx_ids,
+            orientations,
+            testbed.ref_antenna,
+            testbed.ref_codebook.rx_sector.weights,
+            budget=testbed.budget,
+        )
+
+        for az_index, azimuth in enumerate(azimuths_deg):
+            recording = RecordedDirection(
+                azimuth_deg=wrap_azimuth(float(azimuth)),
+                elevation_deg=float(elevation),
+                true_snr_db=true_matrix[az_index].copy(),
+            )
+            for _ in range(n_sweeps):
+                fade_db = (
+                    rng.normal(0.0, environment.shadowing_std_db)
+                    if environment.shadowing_std_db > 0
+                    else 0.0
+                )
+                sweep: Dict[int, ProbeMeasurement] = {}
+                for column, sector_id in enumerate(tx_ids):
+                    observation = testbed.measurement_model.observe(
+                        recording.true_snr_db[column] + fade_db, noise_floor, rng
+                    )
+                    if observation is not None:
+                        sweep[sector_id] = ProbeMeasurement(
+                            sector_id=sector_id,
+                            snr_db=observation.snr_db,
+                            rssi_dbm=observation.rssi_dbm,
+                        )
+                recording.sweeps.append(sweep)
+            recordings.append(recording)
+    return recordings
+
+
+def random_subsweep(
+    sweep: Dict[int, ProbeMeasurement],
+    all_sector_ids: Sequence[int],
+    n_probes: int,
+    rng: np.random.Generator,
+) -> List[ProbeMeasurement]:
+    """The paper's offline compressive emulation.
+
+    Draw ``n_probes`` random sectors from the full training set, then
+    keep the measurements that actually exist for them in the recorded
+    sweep — probed-but-unreported sectors stay missing, as they would
+    in a live reduced sweep.
+    """
+    if n_probes > len(all_sector_ids):
+        raise ValueError("cannot probe more sectors than exist")
+    chosen = rng.choice(len(all_sector_ids), size=n_probes, replace=False)
+    probe_ids = [all_sector_ids[index] for index in chosen]
+    return [sweep[sector_id] for sector_id in probe_ids if sector_id in sweep]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Median / 50 % box / 99 % whiskers, as drawn in Figure 7."""
+
+    median: float
+    box_low: float
+    box_high: float
+    whisker_low: float
+    whisker_high: float
+    n_samples: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxStats":
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot summarize an empty sample set")
+        return cls(
+            median=float(np.median(values)),
+            box_low=float(np.percentile(values, 25)),
+            box_high=float(np.percentile(values, 75)),
+            whisker_low=float(np.percentile(values, 0.5)),
+            whisker_high=float(np.percentile(values, 99.5)),
+            n_samples=int(values.size),
+        )

@@ -1,0 +1,211 @@
+"""Extension experiment: dense deployments and tracking frequency (§7).
+
+"Each sector sweep performed by a pair of nodes pollutes the whole
+mm-wave channel in all directions.  This reduces the benefit of using
+mm-wave hardware to communicate with many stations in parallel over
+directional links.  The shorter the sweeping time, the more often a
+sweep can be performed without degrading the throughput too much."
+
+The experiment places ``n`` pairs in the conference room, lets every
+pair re-train at a given rate, charges training airtime exclusively on
+the shared medium (data enjoys full spatial reuse), and reports the
+aggregate goodput for the exhaustive sweep vs. compressive selection —
+plus the maximum per-pair tracking rate each can sustain at a fixed
+training-airtime budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..channel.environment import conference_room
+from ..link.throughput import ThroughputModel
+from ..mac.timing import N_FULL_SWEEP_SECTORS, mutual_training_time_us
+from ..net.airtime import AirtimeLedger, TrainingPolicy
+from .common import build_testbed, record_directions
+
+__all__ = [
+    "DenseConfig",
+    "DenseResult",
+    "run_dense_deployment",
+    "DenseInterferenceResult",
+    "run_dense_interference",
+]
+
+
+@dataclass(frozen=True)
+class DenseConfig:
+    seed: int = 17
+    pair_counts: Sequence[int] = (1, 2, 5, 10, 20, 40)
+    css_probes: int = 14
+    trainings_per_second: float = 10.0  # mobile room: track at 10 Hz
+    airtime_budget: float = 0.10  # training may use 10% of the channel
+
+
+@dataclass
+class DenseResult:
+    pair_counts: List[int]
+    ssw_aggregate_gbps: List[float]
+    css_aggregate_gbps: List[float]
+    ssw_max_rate_hz: Dict[int, float]
+    css_max_rate_hz: Dict[int, float]
+    css_probes: int
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            "dense deployment (extension): aggregate goodput at "
+            "10 Hz tracking, training is channel-exclusive",
+            "pairs | SSW [Gbps] | CSS [Gbps]",
+        ]
+        for n_pairs, ssw, css in zip(
+            self.pair_counts, self.ssw_aggregate_gbps, self.css_aggregate_gbps
+        ):
+            rows.append(f"{n_pairs:5d} | {ssw:10.2f} | {css:10.2f}")
+        rows.append("max tracking rate in a 10% training budget:")
+        for n_pairs in self.ssw_max_rate_hz:
+            rows.append(
+                f"{n_pairs:5d} pairs: SSW {self.ssw_max_rate_hz[n_pairs]:6.1f} Hz, "
+                f"CSS {self.css_max_rate_hz[n_pairs]:6.1f} Hz"
+            )
+        return rows
+
+
+def run_dense_deployment(config: DenseConfig = DenseConfig()) -> DenseResult:
+    """Scale the number of pairs and account the training airtime."""
+    testbed = build_testbed()
+    rng = np.random.default_rng(config.seed)
+    model = ThroughputModel()
+    interval_us = 1e6 / config.trainings_per_second
+
+    # Every pair gets a random path direction in the room; its link
+    # quality is the best sector's sweep SNR there.
+    max_pairs = max(config.pair_counts)
+    directions = rng.uniform(-60.0, 60.0, size=max_pairs)
+    recordings = record_directions(
+        testbed, conference_room(6.0), np.sort(directions), [0.0], 1, rng
+    )
+    link_snrs = [recording.optimal_snr_db() for recording in recordings]
+
+    ssw_policy = TrainingPolicy("ssw", N_FULL_SWEEP_SECTORS, interval_us)
+    css_policy = TrainingPolicy("css", config.css_probes, interval_us)
+
+    ssw_aggregate: List[float] = []
+    css_aggregate: List[float] = []
+    for n_pairs in config.pair_counts:
+        snrs = link_snrs[:n_pairs]
+        for policy, sink in ((ssw_policy, ssw_aggregate), (css_policy, css_aggregate)):
+            ledger = AirtimeLedger()
+            for pair in range(n_pairs):
+                ledger.add_training(f"pair{pair}", policy)
+            data_fraction = ledger.data_fraction()
+            sink.append(
+                float(sum(model.goodput_gbps(snr) for snr in snrs) * data_fraction)
+            )
+
+    # Max sustainable per-pair tracking rate at the airtime budget.
+    ssw_rates: Dict[int, float] = {}
+    css_rates: Dict[int, float] = {}
+    for n_pairs in config.pair_counts:
+        budget_us = config.airtime_budget * 1e6
+        ssw_rates[n_pairs] = budget_us / (
+            mutual_training_time_us(N_FULL_SWEEP_SECTORS) * n_pairs
+        )
+        css_rates[n_pairs] = budget_us / (
+            mutual_training_time_us(config.css_probes) * n_pairs
+        )
+
+    return DenseResult(
+        pair_counts=list(config.pair_counts),
+        ssw_aggregate_gbps=ssw_aggregate,
+        css_aggregate_gbps=css_aggregate,
+        ssw_max_rate_hz=ssw_rates,
+        css_max_rate_hz=css_rates,
+        css_probes=config.css_probes,
+    )
+
+
+@dataclass
+class DenseInterferenceResult:
+    """Spatial-reuse limits: SINR-aware aggregate goodput."""
+
+    pair_counts: List[int]
+    ideal_gbps: List[float]
+    sinr_aware_gbps: List[float]
+    mean_reuse_penalty_db: List[float]
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            "dense deployment with interference (extension): "
+            "spatial reuse is not free",
+            "pairs | ideal [Gbps] | SINR-aware [Gbps] | mean reuse penalty [dB]",
+        ]
+        for n_pairs, ideal, aware, penalty in zip(
+            self.pair_counts,
+            self.ideal_gbps,
+            self.sinr_aware_gbps,
+            self.mean_reuse_penalty_db,
+        ):
+            rows.append(
+                f"{n_pairs:5d} | {ideal:12.2f} | {aware:17.2f} | {penalty:22.2f}"
+            )
+        return rows
+
+
+def run_dense_interference(
+    pair_counts: Sequence[int] = (1, 2, 4, 8),
+    room_width_m: float = 8.0,
+    seed: int = 18,
+) -> DenseInterferenceResult:
+    """Concurrent directional links in one room, with real interference.
+
+    Pairs are parallel 6 m links spread across the room's width; every
+    transmitter uses the sector its trained selection would pick
+    (boresight here — the pairs face straight across).  The
+    interference graph turns pattern leakage into per-link SINR, which
+    caps how much aggregate goodput the room can actually host.
+    """
+    from ..geometry.rotation import Orientation
+    from ..net.interference import DirectionalLink, InterferenceGraph
+
+    testbed = build_testbed()
+    model = ThroughputModel()
+    environment = conference_room(6.0)
+    tx_weights = testbed.dut_codebook[63].weights
+    rx_weights = testbed.dut_codebook.rx_sector.weights
+
+    ideal: List[float] = []
+    aware: List[float] = []
+    penalties: List[float] = []
+    for n_pairs in pair_counts:
+        offsets = np.linspace(-room_width_m / 2.0, room_width_m / 2.0, n_pairs + 2)[1:-1]
+        links = [
+            DirectionalLink(
+                name=f"pair{index}",
+                tx_position_m=np.array([0.0, float(offset), 0.0]),
+                rx_position_m=np.array([6.0, float(offset), 0.0]),
+                tx_orientation=Orientation(),
+                rx_orientation=Orientation(yaw_deg=180.0),
+                tx_weights=tx_weights,
+                rx_weights=rx_weights,
+            )
+            for index, offset in enumerate(offsets)
+        ]
+        graph = InterferenceGraph(environment, testbed.dut_antenna, links)
+        snrs = [
+            graph.signal_power_dbm(link) - graph.budget.noise_floor_dbm
+            for link in links
+        ]
+        sinrs = [graph.sinr_db(link) for link in links]
+        ideal.append(float(sum(model.goodput_gbps(snr) for snr in snrs)))
+        aware.append(float(sum(model.goodput_gbps(sinr) for sinr in sinrs)))
+        penalties.append(float(np.mean([s - si for s, si in zip(snrs, sinrs)])))
+
+    return DenseInterferenceResult(
+        pair_counts=list(pair_counts),
+        ideal_gbps=ideal,
+        sinr_aware_gbps=aware,
+        mean_reuse_penalty_db=penalties,
+    )

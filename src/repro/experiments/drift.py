@@ -1,0 +1,111 @@
+"""Extension experiment: pattern aging (hardware drift over time).
+
+The chamber campaign happens once; the device then lives for years.
+Temperature, mechanical stress and component aging slowly shift the
+per-element phases, so the table describes a device that no longer
+quite exists.  This experiment ages the hardware by a growing phase
+drift and measures how gracefully CSS degrades with the stale table —
+and when a re-calibration pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..channel.environment import conference_room
+from ..core.compressive import CompressiveSectorSelector
+from ..phased_array.array import PhasedArray
+from ..phased_array.impairments import HardwareImpairments
+from .common import Testbed, build_testbed, random_subsweep, record_directions
+
+__all__ = ["DriftConfig", "DriftResult", "run_pattern_drift"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    seed: int = 37
+    n_probes: int = 14
+    drift_levels_rad: Sequence[float] = (0.0, 0.1, 0.2, 0.4, 0.8)
+    azimuth_step_deg: float = 12.0
+    n_sweeps: int = 5
+
+
+@dataclass
+class DriftResult:
+    drift_levels_rad: List[float]
+    snr_loss_db: List[float]
+    fallback_rate: List[float]
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            "pattern aging (extension): CSS with a stale chamber table",
+            "phase drift [rad] | SNR loss [dB] | fallback rate",
+        ]
+        for level, loss, fallback in zip(
+            self.drift_levels_rad, self.snr_loss_db, self.fallback_rate
+        ):
+            rows.append(f"{level:17.2f} | {loss:13.2f} | {fallback:13.2f}")
+        return rows
+
+
+def _aged_antenna(
+    antenna: PhasedArray, drift_rad: float, rng: np.random.Generator
+) -> PhasedArray:
+    """The same device after its element phases drifted."""
+    impairments = antenna.impairments
+    aged = HardwareImpairments(
+        phase_error_rad=impairments.phase_error_rad
+        + rng.normal(0.0, drift_rad, size=impairments.n_elements),
+        gain_error_db=impairments.gain_error_db,
+        element_failed=impairments.element_failed,
+        blockage=impairments.blockage,
+    )
+    return PhasedArray(
+        layout=antenna.layout,
+        impairments=aged,
+        element_exponent=antenna.element_exponent,
+        element_peak_gain_db=antenna.element_peak_gain_db,
+    )
+
+
+def run_pattern_drift(config: DriftConfig = DriftConfig()) -> DriftResult:
+    """Age the hardware and keep selecting with the original table."""
+    testbed = build_testbed()
+    rng = np.random.default_rng(config.seed)
+    azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
+
+    losses: List[float] = []
+    fallbacks: List[float] = []
+    for drift in config.drift_levels_rad:
+        aged = _aged_antenna(testbed.dut_antenna, float(drift), rng)
+        aged_testbed = replace(testbed, dut_antenna=aged)
+        recordings = record_directions(
+            aged_testbed, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
+        )
+        selector = CompressiveSectorSelector(testbed.pattern_table)
+        tx_ids = testbed.tx_sector_ids
+        level_losses: List[float] = []
+        fallback_count = 0
+        total = 0
+        for recording in recordings:
+            optimal = recording.optimal_snr_db()
+            for sweep in recording.sweeps:
+                measurements = random_subsweep(sweep, tx_ids, config.n_probes, rng)
+                result = selector.select(measurements)
+                total += 1
+                if result.fallback:
+                    fallback_count += 1
+                level_losses.append(
+                    optimal - recording.true_snr_db[tx_ids.index(result.sector_id)]
+                )
+        losses.append(float(np.mean(level_losses)))
+        fallbacks.append(fallback_count / max(total, 1))
+
+    return DriftResult(
+        drift_levels_rad=list(config.drift_levels_rad),
+        snr_loss_db=losses,
+        fallback_rate=fallbacks,
+    )

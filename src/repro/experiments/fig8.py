@@ -1,0 +1,106 @@
+"""Figure 8: selection stability vs. number of probing sectors.
+
+Stability is the share of sweeps that yield the direction's most
+frequent ("modal") sector — the fraction of time spent in one sector.
+The paper finds the exhaustive sweep stuck at 73.9 % (outliers keep
+flipping its argmax between near-equal sectors) while compressive
+selection crosses it around 13 probes and reaches ~95 % with all 34.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..channel.environment import conference_room
+from ..core.compressive import CompressiveSectorSelector
+from ..core.selector import SectorSweepSelector
+from .common import Testbed, build_testbed, random_subsweep, record_directions
+
+__all__ = ["Fig8Config", "Fig8Result", "run_fig8", "stability_of_selections"]
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    seed: int = 8
+    probe_counts: Sequence[int] = tuple(range(4, 35, 2))
+    azimuth_step_deg: float = 5.0
+    n_sweeps: int = 30
+
+
+@dataclass
+class Fig8Result:
+    probe_counts: List[int]
+    css_stability: List[float]
+    ssw_stability: float
+
+    def css_at(self, n_probes: int) -> float:
+        return self.css_stability[self.probe_counts.index(n_probes)]
+
+    def crossover_probes(self) -> int:
+        """Smallest probe count where CSS beats the sweep's stability."""
+        for n_probes, stability in zip(self.probe_counts, self.css_stability):
+            if stability > self.ssw_stability:
+                return n_probes
+        return self.probe_counts[-1]
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            "fig8: selection stability (conference room)",
+            f"SSW (full sweep): {self.ssw_stability:.3f}",
+            "probes | CSS stability",
+        ]
+        for n_probes, stability in zip(self.probe_counts, self.css_stability):
+            marker = " <- crosses SSW" if n_probes == self.crossover_probes() else ""
+            rows.append(f"{n_probes:6d} | {stability:.3f}{marker}")
+        return rows
+
+
+def stability_of_selections(selections: Sequence[int]) -> float:
+    """Share of the modal selection (time spent in one sector)."""
+    if not selections:
+        raise ValueError("need at least one selection")
+    counts = Counter(selections)
+    return counts.most_common(1)[0][1] / len(selections)
+
+
+def run_fig8(config: Fig8Config = Fig8Config()) -> Fig8Result:
+    """Run the stability experiment in the conference room."""
+    testbed = build_testbed()
+    rng = np.random.default_rng(config.seed)
+    azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
+    recordings = record_directions(
+        testbed, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
+    )
+    tx_ids = testbed.tx_sector_ids
+
+    # SSW: full-sweep argmax per recorded sweep.
+    ssw_per_direction: List[float] = []
+    for recording in recordings:
+        selector = SectorSweepSelector()
+        selections = [
+            selector.select(list(sweep.values())).sector_id for sweep in recording.sweeps
+        ]
+        ssw_per_direction.append(stability_of_selections(selections))
+    ssw_stability = float(np.mean(ssw_per_direction))
+
+    css_stability: List[float] = []
+    for n_probes in config.probe_counts:
+        per_direction: List[float] = []
+        for recording in recordings:
+            selector = CompressiveSectorSelector(testbed.pattern_table)
+            selections = []
+            for sweep in recording.sweeps:
+                measurements = random_subsweep(sweep, tx_ids, n_probes, rng)
+                selections.append(selector.select(measurements).sector_id)
+            per_direction.append(stability_of_selections(selections))
+        css_stability.append(float(np.mean(per_direction)))
+
+    return Fig8Result(
+        probe_counts=list(config.probe_counts),
+        css_stability=css_stability,
+        ssw_stability=ssw_stability,
+    )

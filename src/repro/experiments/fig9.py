@@ -1,0 +1,101 @@
+"""Figure 9: SNR loss vs. number of probing sectors.
+
+For every sweep the loss is the gap between the true SNR of an oracle's
+sector (the best achievable) and the true SNR of the sector the
+algorithm selected.  The exhaustive sweep sits ~0.5 dB under the
+optimum (noise occasionally crowns the wrong sector); compressive
+selection starts worse with few probes and crosses below the sweep
+around 14, approaching the optimum near 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..channel.environment import conference_room
+from ..core.compressive import CompressiveSectorSelector
+from ..core.selector import SectorSweepSelector
+from .common import Testbed, build_testbed, random_subsweep, record_directions
+
+__all__ = ["Fig9Config", "Fig9Result", "run_fig9"]
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    seed: int = 9
+    probe_counts: Sequence[int] = tuple(range(4, 35, 2))
+    azimuth_step_deg: float = 5.0
+    n_sweeps: int = 20
+
+
+@dataclass
+class Fig9Result:
+    probe_counts: List[int]
+    css_loss_db: List[float]
+    ssw_loss_db: float
+
+    def css_at(self, n_probes: int) -> float:
+        return self.css_loss_db[self.probe_counts.index(n_probes)]
+
+    def crossover_probes(self) -> int:
+        """Smallest probe count where CSS loses no more than SSW."""
+        for n_probes, loss in zip(self.probe_counts, self.css_loss_db):
+            if loss <= self.ssw_loss_db:
+                return n_probes
+        return self.probe_counts[-1]
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            "fig9: average SNR loss vs optimal sector (conference room)",
+            f"SSW (full sweep): {self.ssw_loss_db:.2f} dB",
+            "probes | CSS loss [dB]",
+        ]
+        for n_probes, loss in zip(self.probe_counts, self.css_loss_db):
+            marker = " <- reaches SSW" if n_probes == self.crossover_probes() else ""
+            rows.append(f"{n_probes:6d} | {loss:5.2f}{marker}")
+        return rows
+
+
+def _true_snr_of(recording, sector_id: int, tx_ids: Sequence[int]) -> float:
+    return float(recording.true_snr_db[list(tx_ids).index(sector_id)])
+
+
+def run_fig9(config: Fig9Config = Fig9Config()) -> Fig9Result:
+    """Run the SNR-loss experiment in the conference room."""
+    testbed = build_testbed()
+    rng = np.random.default_rng(config.seed)
+    azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
+    recordings = record_directions(
+        testbed, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
+    )
+    tx_ids = testbed.tx_sector_ids
+
+    ssw_losses: List[float] = []
+    for recording in recordings:
+        selector = SectorSweepSelector()
+        optimal = recording.optimal_snr_db()
+        for sweep in recording.sweeps:
+            chosen = selector.select(list(sweep.values())).sector_id
+            ssw_losses.append(optimal - _true_snr_of(recording, chosen, tx_ids))
+    ssw_loss_db = float(np.mean(ssw_losses))
+
+    css_loss_db: List[float] = []
+    for n_probes in config.probe_counts:
+        losses: List[float] = []
+        for recording in recordings:
+            selector = CompressiveSectorSelector(testbed.pattern_table)
+            optimal = recording.optimal_snr_db()
+            for sweep in recording.sweeps:
+                measurements = random_subsweep(sweep, tx_ids, n_probes, rng)
+                chosen = selector.select(measurements).sector_id
+                losses.append(optimal - _true_snr_of(recording, chosen, tx_ids))
+        css_loss_db.append(float(np.mean(losses)))
+
+    return Fig9Result(
+        probe_counts=list(config.probe_counts),
+        css_loss_db=css_loss_db,
+        ssw_loss_db=ssw_loss_db,
+    )

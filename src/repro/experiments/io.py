@@ -1,0 +1,70 @@
+"""Result serialization: every experiment result to/from JSON.
+
+Downstream users want the series, not the prose — this module turns
+any experiment result dataclass into plain JSON (numpy scalars and
+arrays included) so results can be archived, diffed across runs, or
+plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["result_to_dict", "dump_result_json", "load_result_json"]
+
+
+def _sanitize(value: Any) -> Any:
+    """Recursively convert a result object into JSON-encodable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _sanitize(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(key): _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__} into a result JSON")
+
+
+def result_to_dict(result: Any) -> Dict[str, Any]:
+    """Convert an experiment result (dataclass) to a plain dict."""
+    if not dataclasses.is_dataclass(result) or isinstance(result, type):
+        raise TypeError("expected a dataclass result object")
+    return _sanitize(result)
+
+
+def dump_result_json(result: Any, path: str) -> None:
+    """Write a result to ``path`` as pretty-printed JSON.
+
+    The experiment's class name is recorded under ``"experiment"`` so
+    archives stay self-describing.
+    """
+    payload = {
+        "experiment": type(result).__name__,
+        "data": result_to_dict(result),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_result_json(path: str) -> Dict[str, Any]:
+    """Read back a result archive written by :func:`dump_result_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if "experiment" not in payload or "data" not in payload:
+        raise ValueError(f"{path} is not a result archive")
+    return payload

@@ -1,0 +1,72 @@
+"""§6.5 headline numbers: what the paper's summary claims, measured.
+
+* 14 of 34 probing sectors suffice for SNR and stability comparable to
+  the exhaustive sweep;
+* mutual training time drops from 1.27 ms to 0.55 ms — a 2.3× speed-up;
+* path direction is estimated within a few degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..mac.timing import N_FULL_SWEEP_SECTORS, mutual_training_time_us, training_speedup
+from .fig7 import Fig7Config, Fig7Result, run_fig7
+from .fig8 import Fig8Config, Fig8Result, run_fig8
+from .fig9 import Fig9Config, Fig9Result, run_fig9
+
+__all__ = ["HeadlineNumbers", "run_summary"]
+
+
+@dataclass
+class HeadlineNumbers:
+    """The paper's §6.5 summary, measured on the simulator."""
+
+    css_probes: int
+    training_time_ms: float
+    full_sweep_time_ms: float
+    speedup: float
+    stability_crossover_probes: int
+    snr_crossover_probes: int
+    lab_azimuth_median_error_deg: float
+    conference_azimuth_median_error_deg: float
+
+    def format_rows(self) -> List[str]:
+        return [
+            "summary (paper §6.5 vs measured)",
+            f"training time @ {self.css_probes} probes: "
+            f"{self.training_time_ms:.2f} ms (paper 0.55 ms)",
+            f"full sweep time: {self.full_sweep_time_ms:.2f} ms (paper 1.27 ms)",
+            f"speed-up: {self.speedup:.1f}x (paper 2.3x)",
+            f"stability crossover: {self.stability_crossover_probes} probes (paper ~13)",
+            f"SNR-loss crossover: {self.snr_crossover_probes} probes (paper ~14)",
+            f"lab az median error @ {self.css_probes} probes: "
+            f"{self.lab_azimuth_median_error_deg:.1f} deg (paper ~1.3 @ 10)",
+            f"conference az median error @ {self.css_probes} probes: "
+            f"{self.conference_azimuth_median_error_deg:.1f} deg (paper ~2.1 @ 10)",
+        ]
+
+
+def run_summary(
+    css_probes: int = 14,
+    fig7_config: Fig7Config = Fig7Config(),
+    fig8_config: Fig8Config = Fig8Config(),
+    fig9_config: Fig9Config = Fig9Config(),
+) -> HeadlineNumbers:
+    """Measure the headline numbers from the three core experiments."""
+    if css_probes not in fig7_config.probe_counts:
+        raise ValueError("css_probes must be in fig7's probe counts")
+    fig7 = run_fig7(fig7_config)
+    fig8 = run_fig8(fig8_config)
+    fig9 = run_fig9(fig9_config)
+    return HeadlineNumbers(
+        css_probes=css_probes,
+        training_time_ms=mutual_training_time_us(css_probes) / 1000.0,
+        full_sweep_time_ms=mutual_training_time_us(N_FULL_SWEEP_SECTORS) / 1000.0,
+        speedup=training_speedup(css_probes),
+        stability_crossover_probes=fig8.crossover_probes(),
+        snr_crossover_probes=fig9.crossover_probes(),
+        lab_azimuth_median_error_deg=fig7.lab.azimuth_median(css_probes),
+        conference_azimuth_median_error_deg=fig7.conference.azimuth_median(css_probes),
+    )

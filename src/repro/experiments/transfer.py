@@ -1,0 +1,126 @@
+"""Extension experiment: cross-device pattern transfer (§4.5 caveat).
+
+"Our measurements capture the radiation characteristics for one
+particular device.  Although we have confirmed that different devices
+exhibit similar patterns with slight variations, other Talon AD7200
+devices might behave differently."
+
+This experiment quantifies that caveat: a *second* device (same
+codebook design, different per-element hardware flaws) runs CSS in the
+conference room using (a) its **own** chamber-measured patterns and
+(b) the patterns measured on the **first** device.  The gap tells a
+practitioner whether one lab campaign can serve a whole fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..channel.environment import conference_room
+from ..core.compressive import CompressiveSectorSelector
+from ..geometry.angles import azimuth_difference
+from ..measurement.campaign import CampaignConfig, PatternMeasurementCampaign
+from ..phased_array.array import PhasedArray
+from ..phased_array.talon import talon_codebook
+from .common import Testbed, build_testbed, random_subsweep
+
+__all__ = ["TransferConfig", "TransferResult", "run_pattern_transfer"]
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    seed: int = 29
+    second_device_seed: int = 4242
+    n_probes: int = 14
+    azimuth_step_deg: float = 10.0
+    n_sweeps: int = 6
+
+
+@dataclass
+class TransferResult:
+    azimuth_error_deg: Dict[str, float]
+    snr_loss_db: Dict[str, float]
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            "pattern transfer (extension): whose table does device B use?",
+            "table source        | az err [deg] | SNR loss [dB]",
+        ]
+        for name in self.azimuth_error_deg:
+            rows.append(
+                f"{name:19s} | {self.azimuth_error_deg[name]:12.2f} | "
+                f"{self.snr_loss_db[name]:13.2f}"
+            )
+        return rows
+
+
+def run_pattern_transfer(config: TransferConfig = TransferConfig()) -> TransferResult:
+    """Evaluate CSS on a second device with own vs. foreign patterns."""
+    testbed = build_testbed()
+    rng = np.random.default_rng(config.seed)
+
+    # Device B: identical codebook design, different hardware flaws.
+    device_b = PhasedArray.talon(np.random.default_rng(config.second_device_seed))
+    codebook_b = talon_codebook(device_b)
+    campaign = PatternMeasurementCampaign(
+        device_b,
+        codebook_b,
+        reference_antenna=testbed.ref_antenna,
+        reference_codebook=testbed.ref_codebook,
+        measurement_model=testbed.measurement_model,
+    )
+    grid = testbed.pattern_table.grid
+    own_table = campaign.run(
+        CampaignConfig(
+            azimuths_deg=grid.azimuths_deg,
+            elevations_deg=grid.elevations_deg,
+            n_sweeps=3,
+        ),
+        rng,
+    )
+
+    # Record sweeps with device B on the rotation head.
+    from dataclasses import replace
+
+    testbed_b = replace(testbed, dut_antenna=device_b, dut_codebook=codebook_b)
+    from .common import record_directions
+
+    azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
+    recordings = record_directions(
+        testbed_b, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
+    )
+    tx_ids = codebook_b.tx_sector_ids
+
+    tables = {
+        "own (device B)": own_table,
+        "foreign (device A)": testbed.pattern_table,
+    }
+    selectors = {name: CompressiveSectorSelector(table) for name, table in tables.items()}
+    errors: Dict[str, List[float]] = {name: [] for name in tables}
+    losses: Dict[str, List[float]] = {name: [] for name in tables}
+    # Paired comparison: both tables judge the *same* probe draws.
+    for recording in recordings:
+        optimal = recording.optimal_snr_db()
+        for sweep in recording.sweeps:
+            measurements = random_subsweep(sweep, tx_ids, config.n_probes, rng)
+            for name, selector in selectors.items():
+                result = selector.select(measurements)
+                if result.estimate is not None:
+                    errors[name].append(
+                        abs(
+                            azimuth_difference(
+                                result.estimate.azimuth_deg, recording.azimuth_deg
+                            )
+                        )
+                    )
+                losses[name].append(
+                    optimal - recording.true_snr_db[tx_ids.index(result.sector_id)]
+                )
+
+    return TransferResult(
+        azimuth_error_deg={name: float(np.mean(errors[name])) for name in tables},
+        snr_loss_db={name: float(np.mean(losses[name])) for name in tables},
+    )

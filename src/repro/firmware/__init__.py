@@ -1,0 +1,43 @@
+"""Simulated QCA9500 firmware: memory map, patches, WMI, sweep reports."""
+
+from .chip import DEFAULT_FIRMWARE_VERSION, QCA9500, SweepReport
+from .memory import MemoryProtectionError, MemoryRegion, QCA9500MemoryMap
+from .patches import (
+    Patch,
+    PatchFramework,
+    sector_override_patch,
+    signal_strength_extraction_patch,
+)
+from .ringbuffer import RingBuffer
+from .wmi_codec import WMI_COMMAND_IDS, decode_wmi, encode_wmi
+from .wmi import (
+    WmiClearSectorOverride,
+    WmiCommand,
+    WmiDrainSweepReports,
+    WmiError,
+    WmiResetSweepState,
+    WmiSetSectorOverride,
+)
+
+__all__ = [
+    "DEFAULT_FIRMWARE_VERSION",
+    "QCA9500",
+    "SweepReport",
+    "MemoryProtectionError",
+    "MemoryRegion",
+    "QCA9500MemoryMap",
+    "Patch",
+    "PatchFramework",
+    "sector_override_patch",
+    "signal_strength_extraction_patch",
+    "RingBuffer",
+    "WmiClearSectorOverride",
+    "WmiCommand",
+    "WmiDrainSweepReports",
+    "WmiError",
+    "WmiResetSweepState",
+    "WmiSetSectorOverride",
+    "WMI_COMMAND_IDS",
+    "decode_wmi",
+    "encode_wmi",
+]

@@ -1,0 +1,189 @@
+"""Behavioural model of the QCA9500 FullMAC Wi-Fi chip.
+
+The chip owns the antenna codebook, performs the *stock* sector
+selection (argmax of the per-sweep SNR reports, paper Eq. 1) and hides
+everything from the host — exactly like the real firmware.  Host-side
+visibility and control only appear once the Nexmon-style patches from
+:mod:`repro.firmware.patches` are installed:
+
+* the signal-strength extraction patch copies every sweep report into
+  a host-drainable ring buffer (§3.3);
+* the sector-override patch adds a WMI-armed switch that overwrites
+  the SSW feedback field with a host-chosen sector (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+import numpy as np
+
+from ..channel.observation import MeasurementModel, SignalObservation
+from ..phased_array.codebook import Codebook
+from .memory import QCA9500MemoryMap
+from .wmi import WmiCommand, WmiError, WmiResetSweepState
+
+__all__ = ["SweepReport", "QCA9500", "DEFAULT_FIRMWARE_VERSION"]
+
+#: The Acer TravelMate firmware the paper analyzed and patched.
+DEFAULT_FIRMWARE_VERSION = "3.3.3.7759"
+
+#: Sector the stock firmware falls back to before any sweep succeeded.
+_DEFAULT_SECTOR = 1
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """One measurement the ucode produced for a received SSW frame."""
+
+    sector_id: int
+    cdown: int
+    snr_db: float
+    rssi_dbm: float
+    sweep_index: int
+
+
+class QCA9500:
+    """A simulated QCA9500 with patchable sweep handling."""
+
+    def __init__(
+        self,
+        codebook: Codebook,
+        measurement_model: Optional[MeasurementModel] = None,
+        firmware_version: str = DEFAULT_FIRMWARE_VERSION,
+    ):
+        self.codebook = codebook
+        self.measurement_model = (
+            measurement_model if measurement_model is not None else MeasurementModel()
+        )
+        self.firmware_version = firmware_version
+        self.memory = QCA9500MemoryMap()
+
+        # Stock per-sweep selection state (firmware-internal).
+        self._sweep_index = 0
+        self._current_reports: List[SweepReport] = []
+        self._last_selection: int = _DEFAULT_SECTOR
+
+        # Extension points that patches may populate.
+        self._frame_hooks: List[Callable[["QCA9500", SweepReport], None]] = []
+        self._feedback_provider: Optional[Callable[["QCA9500"], Optional[int]]] = None
+        self._wmi_handlers: Dict[Type[WmiCommand], Callable[["QCA9500", WmiCommand], object]] = {}
+
+    # ------------------------------------------------------------------
+    # Extension-point registration (used by the patch framework only).
+    # ------------------------------------------------------------------
+
+    def register_frame_hook(self, hook: Callable[["QCA9500", SweepReport], None]) -> None:
+        self._frame_hooks.append(hook)
+
+    def register_feedback_provider(
+        self, provider: Callable[["QCA9500"], Optional[int]]
+    ) -> None:
+        if self._feedback_provider is not None:
+            raise ValueError("a feedback provider is already installed")
+        self._feedback_provider = provider
+
+    def register_wmi_handler(
+        self,
+        command_type: Type[WmiCommand],
+        handler: Callable[["QCA9500", WmiCommand], object],
+    ) -> None:
+        if command_type in self._wmi_handlers:
+            raise ValueError(f"WMI handler for {command_type.__name__} already registered")
+        self._wmi_handlers[command_type] = handler
+
+    # ------------------------------------------------------------------
+    # Sweep handling (what the ucode does).
+    # ------------------------------------------------------------------
+
+    @property
+    def sweep_index(self) -> int:
+        """Monotonic counter of sweeps seen since power-up."""
+        return self._sweep_index
+
+    def start_sweep(self) -> None:
+        """Begin accumulating reports for a new incoming sweep."""
+        self._sweep_index += 1
+        self._current_reports = []
+
+    def process_ssw_frame(
+        self, sector_id: int, cdown: int, true_snr_db: float, rng: np.random.Generator
+    ) -> Optional[SignalObservation]:
+        """Receive one SSW frame through the measurement pipeline.
+
+        Returns the firmware's observation, or ``None`` when the frame
+        was missed or its report dropped (both happen on real
+        hardware, see §5).
+        """
+        observation = self.measurement_model.observe(
+            true_snr_db, self.noise_floor_dbm, rng
+        )
+        if observation is None:
+            return None
+        report = SweepReport(
+            sector_id=sector_id,
+            cdown=cdown,
+            snr_db=observation.snr_db,
+            rssi_dbm=observation.rssi_dbm,
+            sweep_index=self._sweep_index,
+        )
+        self._current_reports.append(report)
+        for hook in self._frame_hooks:
+            hook(self, report)
+        return observation
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        """Reference noise floor the firmware assumes for RSSI."""
+        return -71.5
+
+    def stock_best_sector(self) -> int:
+        """The original firmware selection: argmax SNR (Eq. 1).
+
+        Falls back to the previous selection when the sweep produced no
+        usable report — the chip never signals "no sector" to the peer.
+        """
+        if self._current_reports:
+            best = max(self._current_reports, key=lambda report: report.snr_db)
+            self._last_selection = best.sector_id
+        return self._last_selection
+
+    def select_feedback_sector(self) -> int:
+        """Sector ID placed into the SSW feedback field.
+
+        With the override patch installed and armed, the host's custom
+        sector wins; otherwise the stock argmax selection is used.
+        """
+        stock = self.stock_best_sector()
+        if self._feedback_provider is not None:
+            custom = self._feedback_provider(self)
+            if custom is not None:
+                return custom
+        return stock
+
+    def current_sweep_reports(self) -> List[SweepReport]:
+        """Firmware-internal view of this sweep's reports."""
+        return list(self._current_reports)
+
+    # ------------------------------------------------------------------
+    # WMI mailbox.
+    # ------------------------------------------------------------------
+
+    def handle_wmi(self, command: WmiCommand) -> object:
+        """Dispatch a host WMI command.
+
+        Stock firmware understands only :class:`WmiResetSweepState`;
+        the custom commands become available when their patch installs
+        a handler — sending them to an unpatched chip raises
+        :class:`WmiError`, like the real firmware dropping unknown
+        command IDs.
+        """
+        if isinstance(command, WmiResetSweepState):
+            self._current_reports = []
+            self._last_selection = _DEFAULT_SECTOR
+            return None
+        handler = self._wmi_handlers.get(type(command))
+        if handler is None:
+            raise WmiError(f"unknown WMI command {type(command).__name__}")
+        return handler(self, command)

@@ -1,0 +1,153 @@
+"""QCA9500 memory layout (paper Figure 1).
+
+The Wi-Fi chip runs two ARC600 processors — the *ucode* core for
+real-time operations and the *firmware* core for the rest of the MAC.
+Each has a write-protected code partition and a writable data partition
+at low addresses.  All four regions are additionally remapped into high
+addresses where they are writable and host-accessible; this is the
+quirk the paper exploits to install patches that merge code and data.
+
+The concrete map modelled here::
+
+    low (as seen by cores)           high (writable remap)
+    0x000000..0x020000  ucode code   0x920000..0x940000
+    0x020000..0x024000  ucode data   0x940000..0x944000
+    0x040000..0x080000  fw    code   0x8c0000..0x900000
+    0x080000..0x088000  fw    data   0x900000..0x908000
+
+    patch areas (inside the high code remaps):
+    ucode patch  0x936000..0x940000
+    fw    patch  0x8f5000..0x900000
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["MemoryProtectionError", "MemoryRegion", "QCA9500MemoryMap"]
+
+
+class MemoryProtectionError(Exception):
+    """Raised when writing to a write-protected (low code) address."""
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One mapped window of chip memory.
+
+    Attributes:
+        name: descriptive region name.
+        low_start: base address as seen by the owning processor.
+        high_start: writable high-address remap base.
+        size: region size in bytes.
+        is_code: code partitions are write-protected at low addresses.
+        processor: ``"ucode"`` or ``"firmware"``.
+    """
+
+    name: str
+    low_start: int
+    high_start: int
+    size: int
+    is_code: bool
+    processor: str
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("region size must be positive")
+        if self.processor not in ("ucode", "firmware"):
+            raise ValueError("processor must be 'ucode' or 'firmware'")
+
+    @property
+    def low_end(self) -> int:
+        return self.low_start + self.size
+
+    @property
+    def high_end(self) -> int:
+        return self.high_start + self.size
+
+    def contains_low(self, address: int) -> bool:
+        return self.low_start <= address < self.low_end
+
+    def contains_high(self, address: int) -> bool:
+        return self.high_start <= address < self.high_end
+
+
+#: Patch areas carved out of the top of each code region (high remap).
+PATCH_AREAS = {
+    "ucode": (0x936000, 0x940000),
+    "firmware": (0x8F5000, 0x900000),
+}
+
+
+class QCA9500MemoryMap:
+    """Byte-accurate model of the chip's four memory regions."""
+
+    def __init__(self) -> None:
+        self._regions: List[MemoryRegion] = [
+            MemoryRegion("ucode-code", 0x000000, 0x920000, 0x20000, True, "ucode"),
+            MemoryRegion("ucode-data", 0x020000, 0x940000, 0x4000, False, "ucode"),
+            MemoryRegion("firmware-code", 0x040000, 0x8C0000, 0x40000, True, "firmware"),
+            MemoryRegion("firmware-data", 0x080000, 0x900000, 0x8000, False, "firmware"),
+        ]
+        self._storage: Dict[str, bytearray] = {
+            region.name: bytearray(region.size) for region in self._regions
+        }
+
+    @property
+    def regions(self) -> List[MemoryRegion]:
+        return list(self._regions)
+
+    def region_by_name(self, name: str) -> MemoryRegion:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"unknown region {name!r}")
+
+    def _locate(self, address: int) -> Optional[tuple]:
+        """Find ``(region, offset, via_high_alias)`` for an address."""
+        for region in self._regions:
+            if region.contains_low(address):
+                return region, address - region.low_start, False
+            if region.contains_high(address):
+                return region, address - region.high_start, True
+        return None
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes from any mapped address (low or high)."""
+        located = self._locate(address)
+        if located is None:
+            raise ValueError(f"unmapped address 0x{address:06x}")
+        region, offset, _ = located
+        if offset + length > region.size:
+            raise ValueError("read crosses a region boundary")
+        return bytes(self._storage[region.name][offset : offset + length])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write bytes; low-address code regions are write-protected.
+
+        Both aliases reach the *same* storage, so a write through the
+        high remap is immediately visible through the low alias — this
+        is exactly how firmware patches take effect.
+        """
+        located = self._locate(address)
+        if located is None:
+            raise ValueError(f"unmapped address 0x{address:06x}")
+        region, offset, via_high = located
+        if region.is_code and not via_high:
+            raise MemoryProtectionError(
+                f"low-address write to code region {region.name} at 0x{address:06x}"
+            )
+        if offset + len(data) > region.size:
+            raise ValueError("write crosses a region boundary")
+        self._storage[region.name][offset : offset + len(data)] = data
+
+    def patch_area(self, processor: str) -> tuple:
+        """``(start, end)`` high addresses of a core's patch area."""
+        if processor not in PATCH_AREAS:
+            raise ValueError("processor must be 'ucode' or 'firmware'")
+        return PATCH_AREAS[processor]
+
+    def patch_area_free_bytes(self, processor: str, used: int) -> int:
+        start, end = self.patch_area(processor)
+        return (end - start) - used

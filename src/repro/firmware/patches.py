@@ -1,0 +1,177 @@
+"""Nexmon-style firmware patch framework.
+
+Real patches are C functions cross-compiled for the ARC600 cores and
+written into the high-address (writable) remap of the code partitions.
+We model a patch as an opaque binary image plus the behavioural hooks
+it installs on the simulated chip.  The framework enforces the memory
+constraints of Figure 1: images land in the patch area of the right
+core, never exceed it, and are written through the *high* alias (a
+low-address write would trip write protection).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Type
+
+from .chip import QCA9500, SweepReport
+from .ringbuffer import RingBuffer
+from .wmi import (
+    WmiClearSectorOverride,
+    WmiCommand,
+    WmiDrainSweepReports,
+    WmiSetSectorOverride,
+)
+
+__all__ = [
+    "Patch",
+    "PatchFramework",
+    "signal_strength_extraction_patch",
+    "sector_override_patch",
+]
+
+
+def _patch_image(name: str, size: int) -> bytes:
+    """Deterministic stand-in for a compiled ARC600 patch image."""
+    if size <= 0:
+        raise ValueError("image size must be positive")
+    digest = hashlib.sha256(name.encode()).digest()
+    repeated = (digest * (size // len(digest) + 1))[:size]
+    return bytes(repeated)
+
+
+@dataclass(frozen=True)
+class Patch:
+    """One firmware patch: an image plus the hooks it installs.
+
+    Attributes:
+        name: patch identifier.
+        processor: which core's patch area hosts the image.
+        image: the binary blob written into patch memory.
+        install_hooks: callable that wires the behavioural hooks into
+            the chip once the image is in place.
+    """
+
+    name: str
+    processor: str
+    image: bytes
+    install_hooks: Callable[[QCA9500], None]
+
+    def __post_init__(self) -> None:
+        if self.processor not in ("ucode", "firmware"):
+            raise ValueError("processor must be 'ucode' or 'firmware'")
+        if not self.image:
+            raise ValueError("patch image must be non-empty")
+
+
+@dataclass
+class _InstalledPatch:
+    patch: Patch
+    address: int
+
+
+class PatchFramework:
+    """Installs patches into a chip, tracking patch-area usage."""
+
+    def __init__(self, chip: QCA9500):
+        self.chip = chip
+        self._installed: List[_InstalledPatch] = []
+        self._used_bytes: Dict[str, int] = {"ucode": 0, "firmware": 0}
+
+    @property
+    def installed_patches(self) -> List[str]:
+        return [installed.patch.name for installed in self._installed]
+
+    def patch_address(self, name: str) -> int:
+        """High address where a named patch's image was written."""
+        for installed in self._installed:
+            if installed.patch.name == name:
+                return installed.address
+        raise KeyError(f"patch {name!r} is not installed")
+
+    def install(self, patch: Patch) -> int:
+        """Write the patch image and wire its hooks; returns address.
+
+        Raises:
+            ValueError: duplicate patch or patch area exhausted.
+        """
+        if patch.name in self.installed_patches:
+            raise ValueError(f"patch {patch.name!r} already installed")
+        start, end = self.chip.memory.patch_area(patch.processor)
+        offset = self._used_bytes[patch.processor]
+        address = start + offset
+        if address + len(patch.image) > end:
+            raise ValueError(
+                f"patch area of {patch.processor} core exhausted: "
+                f"{len(patch.image)} bytes requested, "
+                f"{end - address} available"
+            )
+        # Written through the high alias — the low alias is read-only.
+        self.chip.memory.write(address, patch.image)
+        patch.install_hooks(self.chip)
+        self._used_bytes[patch.processor] = offset + len(patch.image)
+        self._installed.append(_InstalledPatch(patch=patch, address=address))
+        return address
+
+
+def signal_strength_extraction_patch(buffer_capacity: int = 256) -> Patch:
+    """§3.3: copy every sweep report into a host-drainable ring buffer.
+
+    Installs a frame hook on the ucode sweep path and a
+    :class:`WmiDrainSweepReports` handler so the host can read the
+    buffer from user space through the driver.
+    """
+
+    def install(chip: QCA9500) -> None:
+        buffer: RingBuffer[SweepReport] = RingBuffer(buffer_capacity)
+
+        def on_frame(_chip: QCA9500, report: SweepReport) -> None:
+            buffer.push(report)
+
+        def drain(_chip: QCA9500, _command: WmiCommand) -> List[SweepReport]:
+            return buffer.drain()
+
+        chip.register_frame_hook(on_frame)
+        chip.register_wmi_handler(WmiDrainSweepReports, drain)
+
+    return Patch(
+        name="signal-strength-extraction",
+        processor="ucode",
+        image=_patch_image("signal-strength-extraction", 0x600),
+        install_hooks=install,
+    )
+
+
+def sector_override_patch() -> Patch:
+    """§3.4: WMI-armed switch overriding the SSW feedback sector.
+
+    The stock selection keeps running; when armed, the feedback field
+    of SSW, SSW-feedback and SSW-ACK frames carries the host's sector.
+    """
+
+    def install(chip: QCA9500) -> None:
+        state: Dict[str, Optional[int]] = {"override": None}
+
+        def set_override(_chip: QCA9500, command: WmiCommand) -> None:
+            assert isinstance(command, WmiSetSectorOverride)
+            if command.sector_id not in _chip.codebook:
+                raise ValueError(f"sector {command.sector_id} not in codebook")
+            state["override"] = command.sector_id
+
+        def clear_override(_chip: QCA9500, _command: WmiCommand) -> None:
+            state["override"] = None
+
+        def provide(_chip: QCA9500) -> Optional[int]:
+            return state["override"]
+
+        chip.register_wmi_handler(WmiSetSectorOverride, set_override)
+        chip.register_wmi_handler(WmiClearSectorOverride, clear_override)
+        chip.register_feedback_provider(provide)
+
+    return Patch(
+        name="sector-override",
+        processor="firmware",
+        image=_patch_image("sector-override", 0x400),
+        install_hooks=install,
+    )

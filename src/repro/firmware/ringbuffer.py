@@ -1,0 +1,58 @@
+"""Fixed-capacity ring buffer for sweep measurement reports.
+
+The signal-strength extraction patch writes one report per received
+SSW frame into a ring buffer in firmware data memory; the host driver
+drains it from user space.  When the host is slow, old entries are
+overwritten — the buffer keeps count so tests can assert on losses.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer(Generic[T]):
+    """A bounded FIFO that overwrites its oldest entry when full."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: List[T] = []
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def dropped_count(self) -> int:
+        """Number of entries overwritten before being read."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, entry: T) -> None:
+        """Append an entry, evicting the oldest one when full."""
+        if len(self._entries) == self._capacity:
+            self._entries.pop(0)
+            self._dropped += 1
+        self._entries.append(entry)
+
+    def peek_all(self) -> List[T]:
+        """Read all entries without consuming them."""
+        return list(self._entries)
+
+    def drain(self) -> List[T]:
+        """Read and remove all entries (what the driver ioctl does)."""
+        entries = self._entries
+        self._entries = []
+        return entries
+
+    def clear(self) -> None:
+        self._entries = []

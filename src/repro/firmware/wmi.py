@@ -1,0 +1,60 @@
+"""Wireless Module Interface (WMI) commands.
+
+The host driver talks to the QCA9500 firmware through WMI mailbox
+commands.  The paper adds a custom command that arms a sector override
+for the SSW feedback field; we also model the stock commands the
+experiments rely on (draining the sweep ring buffer, resetting state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WmiCommand",
+    "WmiSetSectorOverride",
+    "WmiClearSectorOverride",
+    "WmiDrainSweepReports",
+    "WmiResetSweepState",
+    "WmiError",
+]
+
+
+class WmiError(Exception):
+    """Raised when the firmware rejects a WMI command."""
+
+
+@dataclass(frozen=True)
+class WmiCommand:
+    """Base class for all WMI commands."""
+
+
+@dataclass(frozen=True)
+class WmiSetSectorOverride(WmiCommand):
+    """Arm the custom-sector switch: feedback will carry ``sector_id``.
+
+    This is the paper's §3.4 extension — the firmware keeps running its
+    original selection, but the SSW feedback field (in SSW, feedback
+    and ACK frames) is overwritten with the host-chosen sector.
+    """
+
+    sector_id: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sector_id <= 63:
+            raise ValueError("sector ID is a 6-bit field")
+
+
+@dataclass(frozen=True)
+class WmiClearSectorOverride(WmiCommand):
+    """Disarm the override: feedback reverts to the stock selection."""
+
+
+@dataclass(frozen=True)
+class WmiDrainSweepReports(WmiCommand):
+    """Read and clear the sweep-report ring buffer (§3.3 extension)."""
+
+
+@dataclass(frozen=True)
+class WmiResetSweepState(WmiCommand):
+    """Clear the firmware's per-sweep measurement accumulator."""

@@ -1,0 +1,77 @@
+"""Binary WMI mailbox codec.
+
+The host driver does not hand Python objects to the chip — it writes
+command buffers into a mailbox.  This codec serializes the WMI command
+objects to the wire format and back, so the driver layer can exercise
+the same byte path a real wil6210 driver would.
+
+Wire format (little-endian)::
+
+    u16 command_id | u16 payload_length | payload bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple, Type
+
+from .wmi import (
+    WmiClearSectorOverride,
+    WmiCommand,
+    WmiDrainSweepReports,
+    WmiError,
+    WmiResetSweepState,
+    WmiSetSectorOverride,
+)
+
+__all__ = ["encode_wmi", "decode_wmi", "WMI_COMMAND_IDS"]
+
+_HEADER = struct.Struct("<HH")
+
+#: Command IDs in the vendor's private range.
+WMI_COMMAND_IDS: Dict[Type[WmiCommand], int] = {
+    WmiResetSweepState: 0x0911,
+    WmiDrainSweepReports: 0x0912,
+    WmiSetSectorOverride: 0x0913,
+    WmiClearSectorOverride: 0x0914,
+}
+
+_TYPES_BY_ID = {command_id: cls for cls, command_id in WMI_COMMAND_IDS.items()}
+
+
+def encode_wmi(command: WmiCommand) -> bytes:
+    """Serialize a WMI command to its mailbox bytes."""
+    command_id = WMI_COMMAND_IDS.get(type(command))
+    if command_id is None:
+        raise WmiError(f"no wire encoding for {type(command).__name__}")
+    if isinstance(command, WmiSetSectorOverride):
+        payload = struct.pack("<B", command.sector_id)
+    else:
+        payload = b""
+    return _HEADER.pack(command_id, len(payload)) + payload
+
+
+def decode_wmi(data: bytes) -> WmiCommand:
+    """Parse mailbox bytes back into a WMI command object.
+
+    Raises:
+        WmiError: malformed buffer or unknown command ID.
+    """
+    if len(data) < _HEADER.size:
+        raise WmiError("mailbox buffer shorter than the WMI header")
+    command_id, payload_length = _HEADER.unpack_from(data)
+    payload = data[_HEADER.size :]
+    if len(payload) != payload_length:
+        raise WmiError(
+            f"payload length mismatch: header says {payload_length}, got {len(payload)}"
+        )
+    command_type = _TYPES_BY_ID.get(command_id)
+    if command_type is None:
+        raise WmiError(f"unknown WMI command ID 0x{command_id:04x}")
+    if command_type is WmiSetSectorOverride:
+        if payload_length != 1:
+            raise WmiError("sector override payload must be one byte")
+        return WmiSetSectorOverride(sector_id=payload[0])
+    if payload_length != 0:
+        raise WmiError(f"{command_type.__name__} takes no payload")
+    return command_type()

@@ -1,0 +1,28 @@
+"""Geometry primitives: angles, spherical directions, grids, rotations."""
+
+from .angles import (
+    angular_distance,
+    azimuth_difference,
+    deg2rad,
+    rad2deg,
+    validate_elevation,
+    wrap_azimuth,
+)
+from .grid import AngularGrid
+from .rotation import Orientation, rotation_matrix_y, rotation_matrix_z
+from .spherical import direction_vector, vector_to_angles
+
+__all__ = [
+    "angular_distance",
+    "azimuth_difference",
+    "deg2rad",
+    "rad2deg",
+    "validate_elevation",
+    "wrap_azimuth",
+    "AngularGrid",
+    "Orientation",
+    "rotation_matrix_y",
+    "rotation_matrix_z",
+    "direction_vector",
+    "vector_to_angles",
+]

@@ -1,0 +1,96 @@
+"""Angle arithmetic helpers.
+
+All public APIs in :mod:`repro` exchange angles in **degrees**; radians
+are used only inside numeric kernels.  Azimuth angles live on the
+circle and are wrapped to ``(-180, 180]``; elevation angles live on the
+closed interval ``[-90, 90]`` and are *not* wrapped (an elevation
+outside that range indicates a caller bug and raises).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "wrap_azimuth",
+    "azimuth_difference",
+    "validate_elevation",
+    "angular_distance",
+    "deg2rad",
+    "rad2deg",
+]
+
+
+def deg2rad(angle_deg: ArrayLike) -> ArrayLike:
+    """Convert degrees to radians (thin, explicit wrapper)."""
+    return np.deg2rad(angle_deg)
+
+
+def rad2deg(angle_rad: ArrayLike) -> ArrayLike:
+    """Convert radians to degrees (thin, explicit wrapper)."""
+    return np.rad2deg(angle_rad)
+
+
+def wrap_azimuth(azimuth_deg: ArrayLike) -> ArrayLike:
+    """Wrap azimuth angles into the interval ``(-180, 180]``.
+
+    >>> wrap_azimuth(190.0)
+    -170.0
+    >>> wrap_azimuth(-180.0)
+    180.0
+    """
+    wrapped = -(-(np.asarray(azimuth_deg, dtype=float) - 180.0) % 360.0) + 180.0
+    if np.ndim(azimuth_deg) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def azimuth_difference(first_deg: ArrayLike, second_deg: ArrayLike) -> ArrayLike:
+    """Signed smallest difference ``first - second`` on the circle.
+
+    The result lies in ``(-180, 180]`` so that
+    ``abs(azimuth_difference(a, b))`` is the angular error between two
+    azimuth readings regardless of wrapping.
+    """
+    return wrap_azimuth(np.asarray(first_deg, dtype=float) - np.asarray(second_deg, dtype=float))
+
+
+def validate_elevation(elevation_deg: ArrayLike) -> ArrayLike:
+    """Return the input if all elevations are within ``[-90, 90]``.
+
+    Raises:
+        ValueError: if any elevation lies outside the valid range.
+    """
+    elevation = np.asarray(elevation_deg, dtype=float)
+    if np.any(elevation < -90.0) or np.any(elevation > 90.0):
+        raise ValueError(f"elevation out of range [-90, 90]: {elevation_deg!r}")
+    return elevation_deg
+
+
+def angular_distance(
+    azimuth_a_deg: ArrayLike,
+    elevation_a_deg: ArrayLike,
+    azimuth_b_deg: ArrayLike,
+    elevation_b_deg: ArrayLike,
+) -> ArrayLike:
+    """Great-circle distance in degrees between two directions.
+
+    Uses the numerically stable haversine formulation, treating
+    elevation as latitude and azimuth as longitude.
+    """
+    az_a = np.deg2rad(np.asarray(azimuth_a_deg, dtype=float))
+    el_a = np.deg2rad(np.asarray(elevation_a_deg, dtype=float))
+    az_b = np.deg2rad(np.asarray(azimuth_b_deg, dtype=float))
+    el_b = np.deg2rad(np.asarray(elevation_b_deg, dtype=float))
+    sin_del = np.sin((el_b - el_a) / 2.0)
+    sin_daz = np.sin((az_b - az_a) / 2.0)
+    h = sin_del**2 + np.cos(el_a) * np.cos(el_b) * sin_daz**2
+    distance = 2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+    result = np.rad2deg(distance)
+    if np.ndim(result) == 0:
+        return float(result)
+    return result

@@ -1,0 +1,102 @@
+"""Discrete angular grids for pattern tables and correlation search.
+
+The compressive estimator (paper Eq. 3) maximizes a correlation map over
+a discrete ``(azimuth, elevation)`` grid; :class:`AngularGrid` is that
+grid.  It stores the azimuth and elevation sample axes and offers
+flattened views used by the vectorized correlation kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["AngularGrid"]
+
+
+@dataclass(frozen=True)
+class AngularGrid:
+    """A rectangular grid over azimuth × elevation, in degrees.
+
+    Attributes:
+        azimuths_deg: strictly increasing azimuth samples.
+        elevations_deg: strictly increasing elevation samples.
+    """
+
+    azimuths_deg: np.ndarray
+    elevations_deg: np.ndarray
+
+    def __post_init__(self) -> None:
+        azimuths = np.atleast_1d(np.asarray(self.azimuths_deg, dtype=float))
+        elevations = np.atleast_1d(np.asarray(self.elevations_deg, dtype=float))
+        if azimuths.size == 0 or elevations.size == 0:
+            raise ValueError("grid axes must be non-empty")
+        if azimuths.size > 1 and np.any(np.diff(azimuths) <= 0):
+            raise ValueError("azimuths must be strictly increasing")
+        if elevations.size > 1 and np.any(np.diff(elevations) <= 0):
+            raise ValueError("elevations must be strictly increasing")
+        object.__setattr__(self, "azimuths_deg", azimuths)
+        object.__setattr__(self, "elevations_deg", elevations)
+
+    @classmethod
+    def from_spacing(
+        cls,
+        azimuth_range_deg: Tuple[float, float],
+        azimuth_step_deg: float,
+        elevation_range_deg: Tuple[float, float] = (0.0, 0.0),
+        elevation_step_deg: float = 1.0,
+    ) -> "AngularGrid":
+        """Build a grid from ranges and step sizes (ends inclusive)."""
+        if azimuth_step_deg <= 0 or elevation_step_deg <= 0:
+            raise ValueError("step sizes must be positive")
+        az_lo, az_hi = azimuth_range_deg
+        el_lo, el_hi = elevation_range_deg
+        if az_hi < az_lo or el_hi < el_lo:
+            raise ValueError("ranges must be non-decreasing")
+        n_az = int(round((az_hi - az_lo) / azimuth_step_deg)) + 1
+        n_el = int(round((el_hi - el_lo) / elevation_step_deg)) + 1
+        azimuths = az_lo + azimuth_step_deg * np.arange(n_az)
+        elevations = el_lo + elevation_step_deg * np.arange(n_el)
+        return cls(azimuths, elevations)
+
+    @property
+    def n_azimuth(self) -> int:
+        return self.azimuths_deg.size
+
+    @property
+    def n_elevation(self) -> int:
+        return self.elevations_deg.size
+
+    @property
+    def n_points(self) -> int:
+        """Total number of grid points."""
+        return self.n_azimuth * self.n_elevation
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid shape as ``(n_elevation, n_azimuth)``."""
+        return (self.n_elevation, self.n_azimuth)
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(azimuth, elevation)`` arrays of shape :attr:`shape`."""
+        return np.meshgrid(self.azimuths_deg, self.elevations_deg)
+
+    def flat_angles(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flattened ``(azimuth, elevation)`` arrays of length :attr:`n_points`."""
+        az_mesh, el_mesh = self.meshgrid()
+        return az_mesh.ravel(), el_mesh.ravel()
+
+    def index_to_angles(self, flat_index: int) -> Tuple[float, float]:
+        """Map a flat index (C order over :attr:`shape`) to angles."""
+        if not 0 <= flat_index < self.n_points:
+            raise IndexError(f"flat index {flat_index} out of range for {self.n_points} points")
+        el_index, az_index = divmod(flat_index, self.n_azimuth)
+        return float(self.azimuths_deg[az_index]), float(self.elevations_deg[el_index])
+
+    def nearest_index(self, azimuth_deg: float, elevation_deg: float) -> int:
+        """Flat index of the grid point nearest to the given direction."""
+        az_index = int(np.argmin(np.abs(self.azimuths_deg - azimuth_deg)))
+        el_index = int(np.argmin(np.abs(self.elevations_deg - elevation_deg)))
+        return el_index * self.n_azimuth + az_index

@@ -1,0 +1,82 @@
+"""Rigid rotations for device orientation.
+
+The measurement campaign mounts a router on a rotation head that yaws
+in azimuth (micro-stepped) and is manually pitched in elevation.  An
+:class:`Orientation` captures such a pose and converts directions
+between the world frame and the rotated device frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .spherical import direction_vector, vector_to_angles
+
+__all__ = ["rotation_matrix_z", "rotation_matrix_y", "Orientation"]
+
+
+def rotation_matrix_z(angle_deg: float) -> np.ndarray:
+    """Right-handed rotation about +z (yaw / azimuth) by ``angle_deg``."""
+    angle = np.deg2rad(angle_deg)
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def rotation_matrix_y(angle_deg: float) -> np.ndarray:
+    """Rotation about +y such that positive angles pitch boresight *up*.
+
+    With the device-frame convention (+x boresight, +z up), pitching the
+    boresight up by ``angle_deg`` maps ``+x`` to
+    ``[cos(angle), 0, sin(angle)]``.
+    """
+    angle = np.deg2rad(angle_deg)
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, 0.0, -s], [0.0, 1.0, 0.0], [s, 0.0, c]])
+
+
+@dataclass(frozen=True)
+class Orientation:
+    """Device pose given as yaw-then-pitch of the boresight.
+
+    The device frame is obtained from the world frame by first yawing by
+    :attr:`yaw_deg` about world +z, then pitching the boresight up by
+    :attr:`pitch_deg` about the (rotated) +y axis.
+    """
+
+    yaw_deg: float = 0.0
+    pitch_deg: float = 0.0
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """3×3 matrix mapping device-frame vectors to world-frame vectors."""
+        return rotation_matrix_z(self.yaw_deg) @ rotation_matrix_y(self.pitch_deg)
+
+    def device_to_world(self, vector: np.ndarray) -> np.ndarray:
+        """Rotate device-frame vector(s) into the world frame."""
+        return np.asarray(vector, dtype=float) @ self.matrix.T
+
+    def world_to_device(self, vector: np.ndarray) -> np.ndarray:
+        """Rotate world-frame vector(s) into the device frame."""
+        return np.asarray(vector, dtype=float) @ self.matrix
+
+    def world_direction_in_device_frame(
+        self, azimuth_deg: float, elevation_deg: float
+    ) -> Tuple[float, float]:
+        """Express a world-frame direction as device-frame angles."""
+        world_vec = direction_vector(azimuth_deg, elevation_deg)
+        return vector_to_angles(self.world_to_device(world_vec))
+
+    def device_direction_in_world_frame(
+        self, azimuth_deg: float, elevation_deg: float
+    ) -> Tuple[float, float]:
+        """Express a device-frame direction as world-frame angles."""
+        device_vec = direction_vector(azimuth_deg, elevation_deg)
+        return vector_to_angles(self.device_to_world(device_vec))
+
+    @property
+    def boresight_world(self) -> np.ndarray:
+        """World-frame unit vector of the antenna boresight."""
+        return self.device_to_world(np.array([1.0, 0.0, 0.0]))

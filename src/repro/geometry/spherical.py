@@ -1,0 +1,61 @@
+"""Conversions between (azimuth, elevation) directions and unit vectors.
+
+Device-frame convention used throughout :mod:`repro`:
+
+* ``+x`` is the antenna boresight (azimuth 0°, elevation 0°),
+* ``+y`` points to azimuth +90° in the horizontal plane,
+* ``+z`` points up (elevation +90°).
+
+A direction ``(azimuth, elevation)`` maps to the unit vector::
+
+    u = [cos(el) cos(az), cos(el) sin(az), sin(el)]
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["direction_vector", "vector_to_angles"]
+
+
+def direction_vector(azimuth_deg: ArrayLike, elevation_deg: ArrayLike) -> np.ndarray:
+    """Unit vector(s) for the given direction(s).
+
+    Broadcasts over azimuth and elevation; the unit-vector components
+    are stacked along the *last* axis, so scalar inputs yield shape
+    ``(3,)`` and arrays of shape ``s`` yield ``s + (3,)``.
+    """
+    az = np.deg2rad(np.asarray(azimuth_deg, dtype=float))
+    el = np.deg2rad(np.asarray(elevation_deg, dtype=float))
+    az, el = np.broadcast_arrays(az, el)
+    cos_el = np.cos(el)
+    return np.stack([cos_el * np.cos(az), cos_el * np.sin(az), np.sin(el)], axis=-1)
+
+
+def vector_to_angles(vector: np.ndarray) -> Tuple[ArrayLike, ArrayLike]:
+    """Inverse of :func:`direction_vector`.
+
+    Accepts vectors of any length (they are normalized internally) with
+    components on the last axis.  Returns ``(azimuth_deg,
+    elevation_deg)`` with azimuth in ``(-180, 180]`` and elevation in
+    ``[-90, 90]``.
+
+    Raises:
+        ValueError: if a vector has (near-)zero norm.
+    """
+    v = np.asarray(vector, dtype=float)
+    norm = np.linalg.norm(v, axis=-1)
+    if np.any(norm < 1e-12):
+        raise ValueError("cannot convert zero-length vector to angles")
+    unit = v / norm[..., np.newaxis]
+    elevation = np.rad2deg(np.arcsin(np.clip(unit[..., 2], -1.0, 1.0)))
+    azimuth = np.rad2deg(np.arctan2(unit[..., 1], unit[..., 0]))
+    # arctan2 returns -180 for the back direction; map onto (-180, 180].
+    azimuth = np.where(azimuth <= -180.0, azimuth + 360.0, azimuth)
+    if v.ndim == 1:
+        return float(azimuth), float(elevation)
+    return azimuth, elevation

@@ -1,0 +1,5 @@
+"""Host side: the wil6210-style driver over the binary WMI mailbox."""
+
+from .driver import DriverCounters, Wil6210Driver
+
+__all__ = ["DriverCounters", "Wil6210Driver"]

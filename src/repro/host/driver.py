@@ -1,0 +1,102 @@
+"""wil6210-style host driver for the simulated QCA9500.
+
+The paper's §3 platform stacks LEDE + a current wil6210 driver on the
+router so user space can reach the chip.  This module is that layer:
+it talks to the chip **only through the binary WMI mailbox** (the same
+byte path the real driver uses), keeps driver counters, and exposes
+the user-space-facing operations the paper's tools provide — reading
+the sweep dump and pinning a transmit sector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..firmware.chip import QCA9500, SweepReport
+from ..firmware.wmi import (
+    WmiClearSectorOverride,
+    WmiCommand,
+    WmiDrainSweepReports,
+    WmiError,
+    WmiResetSweepState,
+    WmiSetSectorOverride,
+)
+from ..firmware.wmi_codec import decode_wmi, encode_wmi
+
+__all__ = ["DriverCounters", "Wil6210Driver"]
+
+
+@dataclass
+class DriverCounters:
+    """Driver statistics, sysfs-style."""
+
+    wmi_commands_sent: int = 0
+    wmi_errors: int = 0
+    sweep_reports_read: int = 0
+    sector_overrides_set: int = 0
+
+
+class Wil6210Driver:
+    """Host-side driver bound to one chip."""
+
+    def __init__(self, chip: QCA9500):
+        self.chip = chip
+        self.counters = DriverCounters()
+        self._fixed_sector: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Mailbox plumbing: every operation goes through bytes.
+    # ------------------------------------------------------------------
+
+    def _mailbox(self, command: WmiCommand):
+        """Encode → (simulated DMA) → decode → dispatch."""
+        buffer = encode_wmi(command)
+        self.counters.wmi_commands_sent += 1
+        try:
+            decoded = decode_wmi(buffer)
+            return self.chip.handle_wmi(decoded)
+        except WmiError:
+            self.counters.wmi_errors += 1
+            raise
+
+    # ------------------------------------------------------------------
+    # User-space-facing operations (the paper's tools).
+    # ------------------------------------------------------------------
+
+    @property
+    def fixed_sector(self) -> Optional[int]:
+        """The pinned TX sector, or ``None`` for stock selection."""
+        return self._fixed_sector
+
+    def read_sweep_dump(self) -> List[SweepReport]:
+        """Drain the sweep-report ring buffer (§3.3's `sweep dump`)."""
+        reports = self._mailbox(WmiDrainSweepReports())
+        self.counters.sweep_reports_read += len(reports)
+        return reports
+
+    def set_fixed_sector(self, sector_id: int) -> None:
+        """Pin the sector carried in SSW feedback (§3.4)."""
+        self._mailbox(WmiSetSectorOverride(sector_id))
+        self._fixed_sector = sector_id
+        self.counters.sector_overrides_set += 1
+
+    def clear_fixed_sector(self) -> None:
+        """Return to the firmware's own selection."""
+        self._mailbox(WmiClearSectorOverride())
+        self._fixed_sector = None
+
+    def reset_sweep_state(self) -> None:
+        """Clear the firmware's per-sweep accumulator."""
+        self._mailbox(WmiResetSweepState())
+
+    def sweep_dump_table(self) -> List[str]:
+        """Human-readable dump, like the talon-tools CLI output."""
+        reports = self.read_sweep_dump()
+        rows = ["sweep | cdown | sector |   snr  |  rssi"]
+        for report in reports:
+            rows.append(
+                f"{report.sweep_index:5d} | {report.cdown:5d} | "
+                f"{report.sector_id:6d} | {report.snr_db:6.2f} | {report.rssi_dbm:6.1f}"
+            )
+        return rows

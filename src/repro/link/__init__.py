@@ -1,0 +1,17 @@
+"""Rate and throughput substrate: MCS ladder, adaptation, goodput."""
+
+from .mcs import CONTROL_MCS, MCS_TABLE, Mcs, highest_mcs, select_mcs
+from .per import PacketErrorModel
+from .rate_adaptation import RateAdapter
+from .throughput import ThroughputModel
+
+__all__ = [
+    "CONTROL_MCS",
+    "MCS_TABLE",
+    "Mcs",
+    "highest_mcs",
+    "select_mcs",
+    "PacketErrorModel",
+    "RateAdapter",
+    "ThroughputModel",
+]

@@ -1,0 +1,72 @@
+"""IEEE 802.11ad single-carrier MCS ladder.
+
+PHY rates are the standard's SC MCS 1–12 values; the SNR thresholds
+are calibrated for this simulator's *sweep-SNR* scale (the quantity the
+firmware reports during sector sweeps) and include the bulk margin a
+real low-cost device loses to implementation effects.  They are chosen
+so that the paper's link budgets land where the paper lands: a 6 m
+conference-room link on a good sector sustains roughly 1.5 Gbps of TCP
+goodput (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Mcs", "MCS_TABLE", "CONTROL_MCS", "select_mcs", "highest_mcs"]
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One modulation-and-coding scheme entry."""
+
+    index: int
+    modulation: str
+    code_rate: str
+    phy_rate_mbps: float
+    min_sweep_snr_db: float
+
+    def __post_init__(self) -> None:
+        if self.phy_rate_mbps <= 0:
+            raise ValueError("PHY rate must be positive")
+
+
+#: Control PHY (MCS 0): heavily spread, decodable near the noise floor.
+CONTROL_MCS = Mcs(0, "DBPSK-spread", "1/2", 27.5, -8.0)
+
+#: SC PHY MCS 1–12 with sweep-SNR thresholds (see module docstring).
+MCS_TABLE: List[Mcs] = [
+    Mcs(1, "BPSK", "1/2 (2x)", 385.0, -4.0),
+    Mcs(2, "BPSK", "1/2", 770.0, -2.0),
+    Mcs(3, "BPSK", "5/8", 962.5, -1.0),
+    Mcs(4, "BPSK", "3/4", 1155.0, 0.0),
+    Mcs(5, "BPSK", "13/16", 1251.25, 1.0),
+    Mcs(6, "QPSK", "1/2", 1540.0, 2.5),
+    Mcs(7, "QPSK", "5/8", 1925.0, 4.5),
+    Mcs(8, "QPSK", "3/4", 2310.0, 6.0),
+    Mcs(9, "QPSK", "13/16", 2502.5, 7.5),
+    Mcs(10, "16-QAM", "1/2", 3080.0, 10.0),
+    Mcs(11, "16-QAM", "5/8", 3850.0, 12.5),
+    Mcs(12, "16-QAM", "3/4", 4620.0, 15.0),
+]
+
+
+def select_mcs(sweep_snr_db: float) -> Optional[Mcs]:
+    """Highest SC MCS whose threshold the SNR satisfies.
+
+    Returns ``None`` when even MCS 1 is out of reach (the link can at
+    best exchange control frames).
+    """
+    chosen: Optional[Mcs] = None
+    for mcs in MCS_TABLE:
+        if sweep_snr_db >= mcs.min_sweep_snr_db:
+            chosen = mcs
+        else:
+            break
+    return chosen
+
+
+def highest_mcs() -> Mcs:
+    """The top of the ladder (SC MCS 12)."""
+    return MCS_TABLE[-1]

@@ -1,0 +1,89 @@
+"""Packet-error-rate link model: soft PHY edges instead of cliffs.
+
+The MCS ladder in :mod:`repro.link.mcs` switches rates at hard SNR
+thresholds; real receivers degrade smoothly — near a threshold some
+packets fail and MAC retransmissions eat goodput.  This module models
+that with a logistic PER curve per MCS and computes the *effective*
+rate (PHY rate × (1 − PER) with up to ``max_retries`` retransmissions),
+which rate adaptation then maximizes over the ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .mcs import MCS_TABLE, Mcs
+
+__all__ = ["PacketErrorModel"]
+
+
+@dataclass(frozen=True)
+class PacketErrorModel:
+    """Logistic PER curves anchored at the MCS thresholds.
+
+    At an MCS's nominal threshold the PER is ``per_at_threshold``
+    (10 % — the usual sensitivity definition); every dB of margin
+    divides the error odds by ``steepness_db``'s logistic factor.
+
+    Attributes:
+        per_at_threshold: PER exactly at the MCS sensitivity point.
+        steepness_db: logistic slope — smaller is steeper.
+        max_retries: MAC retransmissions before a packet is dropped.
+    """
+
+    per_at_threshold: float = 0.10
+    steepness_db: float = 0.8
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.per_at_threshold < 1.0:
+            raise ValueError("PER at threshold must be in (0, 1)")
+        if self.steepness_db <= 0:
+            raise ValueError("steepness must be positive")
+        if self.max_retries < 0:
+            raise ValueError("retries cannot be negative")
+
+    def packet_error_rate(self, mcs: Mcs, snr_db: float) -> float:
+        """PER of one transmission attempt at the given SNR."""
+        margin = snr_db - mcs.min_sweep_snr_db
+        # Logistic in log-odds space, anchored at per_at_threshold.
+        anchor_logit = np.log(self.per_at_threshold / (1.0 - self.per_at_threshold))
+        logit = anchor_logit - margin / self.steepness_db
+        return float(1.0 / (1.0 + np.exp(-logit)))
+
+    def delivery_probability(self, mcs: Mcs, snr_db: float) -> float:
+        """Probability a packet survives within the retry budget."""
+        per = self.packet_error_rate(mcs, snr_db)
+        return 1.0 - per ** (self.max_retries + 1)
+
+    def effective_rate_mbps(self, mcs: Mcs, snr_db: float) -> float:
+        """Goodput-relevant rate: PHY rate discounted by airtime waste.
+
+        Each failed attempt burns the same airtime as a success, so the
+        effective rate is the PHY rate divided by the expected number
+        of attempts, times the delivery probability.
+        """
+        per = self.packet_error_rate(mcs, snr_db)
+        attempts = sum(per**k for k in range(self.max_retries + 1))
+        return mcs.phy_rate_mbps * self.delivery_probability(mcs, snr_db) / attempts
+
+    def best_mcs(self, snr_db: float) -> Optional[Mcs]:
+        """The MCS maximizing effective rate (None if all are dead)."""
+        best: Optional[Mcs] = None
+        best_rate = 0.0
+        for mcs in MCS_TABLE:
+            rate = self.effective_rate_mbps(mcs, snr_db)
+            if rate > best_rate:
+                best = mcs
+                best_rate = rate
+        return best
+
+    def goodput_gbps(self, snr_db: float, mac_efficiency: float = 0.65) -> float:
+        """Soft-edge counterpart of ``ThroughputModel.goodput_gbps``."""
+        best = self.best_mcs(snr_db)
+        if best is None:
+            return 0.0
+        return self.effective_rate_mbps(best, snr_db) * mac_efficiency / 1000.0

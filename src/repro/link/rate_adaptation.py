@@ -1,0 +1,55 @@
+"""SNR-driven rate adaptation with hysteresis.
+
+Real devices do not hop MCS on every SNR reading — they apply
+hysteresis so that a fluctuating measurement does not thrash the rate.
+The adapter mirrors that: stepping *up* requires clearing the next
+threshold by a margin; stepping *down* happens as soon as the current
+MCS's threshold is violated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .mcs import MCS_TABLE, Mcs, select_mcs
+
+__all__ = ["RateAdapter"]
+
+
+class RateAdapter:
+    """Hysteretic MCS selection over a stream of SNR readings."""
+
+    def __init__(self, up_margin_db: float = 1.0):
+        if up_margin_db < 0:
+            raise ValueError("hysteresis margin cannot be negative")
+        self._up_margin_db = up_margin_db
+        self._current: Optional[Mcs] = None
+
+    @property
+    def current(self) -> Optional[Mcs]:
+        """The MCS in use, or ``None`` before the first update."""
+        return self._current
+
+    def update(self, sweep_snr_db: float) -> Optional[Mcs]:
+        """Feed one SNR reading; returns the (possibly new) MCS."""
+        target = select_mcs(sweep_snr_db)
+        if self._current is None:
+            self._current = target
+            return self._current
+        if target is None:
+            self._current = None
+            return None
+        if target.index > self._current.index:
+            # Climb to the highest MCS whose threshold the SNR clears
+            # by the hysteresis margin (at least hold the current one).
+            climbed = self._current
+            for mcs in MCS_TABLE:
+                if (
+                    mcs.index > climbed.index
+                    and sweep_snr_db >= mcs.min_sweep_snr_db + self._up_margin_db
+                ):
+                    climbed = mcs
+            self._current = climbed
+        else:
+            self._current = target
+        return self._current

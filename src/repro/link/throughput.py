@@ -1,0 +1,92 @@
+"""Application-layer throughput model (Figure 11's iPerf3 analogue).
+
+Maps the sweep SNR of the selected sector to TCP goodput: MCS selection
+→ PHY rate → MAC/TCP efficiency → host cap (the Talon's CPU tops out
+well below the top PHY rates), minus the airtime spent on beamforming
+training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..mac.timing import SWEEP_INTERVAL_US, mutual_training_time_us
+from .mcs import select_mcs
+
+__all__ = ["ThroughputModel"]
+
+
+@dataclass(frozen=True)
+class ThroughputModel:
+    """TCP goodput estimator for one 802.11ad link.
+
+    Attributes:
+        mac_efficiency: fraction of PHY rate surviving MAC framing,
+            aggregation limits and TCP overhead.
+        host_cap_gbps: goodput ceiling from the router's CPU/switch
+            fabric (iPerf3 on the Talon saturates around here).
+        sweep_interval_us: how often training recurs (§6.4: roughly
+            once per second even in static scenarios).
+    """
+
+    mac_efficiency: float = 0.65
+    host_cap_gbps: float = 1.8
+    sweep_interval_us: float = SWEEP_INTERVAL_US
+    switch_penalty: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.mac_efficiency <= 1.0:
+            raise ValueError("MAC efficiency must be in (0, 1]")
+        if self.host_cap_gbps <= 0 or self.sweep_interval_us <= 0:
+            raise ValueError("cap and interval must be positive")
+        if not 0.0 <= self.switch_penalty < 1.0:
+            raise ValueError("switch penalty must be in [0, 1)")
+
+    def goodput_gbps(self, sweep_snr_db: float) -> float:
+        """Steady-state TCP goodput at a given sweep SNR (no training)."""
+        mcs = select_mcs(sweep_snr_db)
+        if mcs is None:
+            return 0.0
+        return min(mcs.phy_rate_mbps * self.mac_efficiency / 1000.0, self.host_cap_gbps)
+
+    def training_duty_cycle(self, n_probes: int) -> float:
+        """Fraction of airtime consumed by periodic mutual training."""
+        return mutual_training_time_us(n_probes) / self.sweep_interval_us
+
+    def goodput_with_training_gbps(self, sweep_snr_db: float, n_probes: int) -> float:
+        """Goodput including the training airtime of ``n_probes``."""
+        return self.goodput_gbps(sweep_snr_db) * (1.0 - self.training_duty_cycle(n_probes))
+
+    def expected_goodput_gbps(
+        self,
+        sweep_snr_series_db: Sequence[float],
+        n_probes: int,
+        selections: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Average goodput over a series of per-interval selections.
+
+        Each entry is the sweep SNR delivered by the sector selected
+        for that interval.  When the selection IDs are supplied, every
+        interval whose sector *changed* pays :attr:`switch_penalty` —
+        the rate-adaptation and retraining transient that makes
+        unstable selections cost throughput (the Figure 11 effect).
+        """
+        series = list(sweep_snr_series_db)
+        if not series:
+            raise ValueError("need at least one interval")
+        if selections is not None and len(selections) != len(series):
+            raise ValueError("selections must align with the SNR series")
+        values = []
+        for index, snr in enumerate(series):
+            goodput = self.goodput_with_training_gbps(snr, n_probes)
+            if (
+                selections is not None
+                and index > 0
+                and selections[index] != selections[index - 1]
+            ):
+                goodput *= 1.0 - self.switch_penalty
+            values.append(goodput)
+        return float(np.mean(values))

@@ -1,0 +1,87 @@
+"""IEEE 802.11ad MAC substrate: frames, schedules, timing, the SLS protocol."""
+
+from .capture import capture_summary, load_capture, save_capture
+from .access import ABFTConfig, AssociationOutcome, AssociationSimulator
+from .dti import DTISchedule, DTIScheduler, ServicePeriod, StationDemand
+from .fields import SSWField
+from .frames import (
+    FRAME_TYPE_BEACON,
+    FRAME_TYPE_SSW,
+    FRAME_TYPE_SSW_ACK,
+    FRAME_TYPE_SSW_FEEDBACK,
+    BeaconFrame,
+    Frame,
+    SSWAckFrame,
+    SSWFeedbackField,
+    SSWFeedbackFrame,
+    SSWFrame,
+    decode_frame,
+    format_mac,
+    station_mac,
+)
+from .schedule import (
+    BEACON_SCHEDULE,
+    SWEEP_SCHEDULE,
+    beacon_burst,
+    custom_sweep_burst,
+    schedule_table_rows,
+    sweep_burst,
+)
+from .station import Station
+from .sweep import CapturedFrame, SweepResult, SweepSession, transmit_beacon_burst
+from .timing import (
+    BEACON_INTERVAL_US,
+    FEEDBACK_OVERHEAD_US,
+    N_FULL_SWEEP_SECTORS,
+    SSW_FRAME_TIME_US,
+    SWEEP_INTERVAL_US,
+    mutual_training_time_us,
+    one_sided_sweep_time_us,
+    training_speedup,
+)
+
+__all__ = [
+    "capture_summary",
+    "load_capture",
+    "save_capture",
+    "ABFTConfig",
+    "AssociationOutcome",
+    "AssociationSimulator",
+    "DTISchedule",
+    "DTIScheduler",
+    "ServicePeriod",
+    "StationDemand",
+    "SSWField",
+    "FRAME_TYPE_BEACON",
+    "FRAME_TYPE_SSW",
+    "FRAME_TYPE_SSW_ACK",
+    "FRAME_TYPE_SSW_FEEDBACK",
+    "BeaconFrame",
+    "Frame",
+    "SSWAckFrame",
+    "SSWFeedbackField",
+    "SSWFeedbackFrame",
+    "SSWFrame",
+    "decode_frame",
+    "format_mac",
+    "station_mac",
+    "BEACON_SCHEDULE",
+    "SWEEP_SCHEDULE",
+    "beacon_burst",
+    "custom_sweep_burst",
+    "schedule_table_rows",
+    "sweep_burst",
+    "Station",
+    "CapturedFrame",
+    "SweepResult",
+    "SweepSession",
+    "transmit_beacon_burst",
+    "BEACON_INTERVAL_US",
+    "FEEDBACK_OVERHEAD_US",
+    "N_FULL_SWEEP_SECTORS",
+    "SSW_FRAME_TIME_US",
+    "SWEEP_INTERVAL_US",
+    "mutual_training_time_us",
+    "one_sided_sweep_time_us",
+    "training_speedup",
+]

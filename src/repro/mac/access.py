@@ -1,0 +1,205 @@
+"""DMG beacon-interval access: BTI, A-BFT, and association.
+
+IEEE 802.11ad organizes each 102.4 ms beacon interval (BI) into a
+Beacon Transmission Interval (the AP's swept DMG beacons, §4.1), an
+Association BeamForming Training window (A-BFT: slotted, contention-
+based responder sector sweeps of stations that heard a beacon), and
+the Data Transfer Interval.  This module simulates that machinery so
+that multi-station rooms, association latency, and A-BFT collisions
+can be studied — the substrate behind the paper's observation that the
+AP "periodically transmits beacon frames successively over multiple
+sectors" to reach unknown stations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..channel.environment import Environment
+from ..channel.link import LinkBudget, LinkSimulator
+from .frames import SSWFrame, SSWFeedbackField
+from .fields import SSWField
+from .schedule import beacon_burst, sweep_burst
+from .station import Station
+from .timing import BEACON_INTERVAL_US, SSW_FRAME_TIME_US
+
+__all__ = ["ABFTConfig", "AssociationOutcome", "AssociationSimulator"]
+
+
+@dataclass(frozen=True)
+class ABFTConfig:
+    """A-BFT window parameters (standard defaults).
+
+    Attributes:
+        n_slots: SSW slots per A-BFT window.
+        frames_per_slot: SSW frames a station may send per slot (FSS).
+        retry_probability: chance that a station which collided keeps
+            contending in the *next* BI — the backoff that prevents a
+            permanent pile-up when stations outnumber slots.
+    """
+
+    n_slots: int = 8
+    frames_per_slot: int = 8  # FSS: SSW frames a station may send per slot
+    retry_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 1 or self.frames_per_slot < 1:
+            raise ValueError("A-BFT needs at least one slot and one frame")
+        if not 0.0 < self.retry_probability <= 1.0:
+            raise ValueError("retry probability must be in (0, 1]")
+
+
+@dataclass
+class AssociationOutcome:
+    """Result of running beacon intervals until everyone associated."""
+
+    association_bi: Dict[str, int] = field(default_factory=dict)
+    collisions: int = 0
+    beacon_intervals_run: int = 0
+    ap_tx_sector_for: Dict[str, int] = field(default_factory=dict)
+    station_tx_sector: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def all_associated(self) -> bool:
+        return bool(self.association_bi)
+
+    def association_delay_us(self, station_name: str) -> float:
+        """Delay until the station's successful A-BFT, in µs."""
+        return self.association_bi[station_name] * BEACON_INTERVAL_US
+
+
+class AssociationSimulator:
+    """Runs beacon intervals: beacons out, A-BFT responses back."""
+
+    def __init__(
+        self,
+        ap: Station,
+        stations: List[Station],
+        environment: Environment,
+        budget: Optional[LinkBudget] = None,
+        abft: ABFTConfig = ABFTConfig(),
+    ):
+        if not stations:
+            raise ValueError("need at least one station")
+        self.ap = ap
+        self.stations = list(stations)
+        self.environment = environment
+        self.budget = budget if budget is not None else LinkBudget()
+        self.abft = abft
+        self._downlinks = {
+            station.name: LinkSimulator(
+                environment,
+                ap.antenna,
+                station.antenna,
+                self.budget,
+                tx_position_m=ap.position_m,
+                rx_position_m=station.position_m,
+            )
+            for station in stations
+        }
+        self._collided: set = set()
+        self._uplinks = {
+            station.name: LinkSimulator(
+                environment,
+                station.antenna,
+                ap.antenna,
+                self.budget,
+                tx_position_m=station.position_m,
+                rx_position_m=ap.position_m,
+            )
+            for station in stations
+        }
+
+    def _beacon_phase(self, rng: np.random.Generator) -> Dict[str, int]:
+        """BTI: every station listens; returns best AP sector heard."""
+        heard: Dict[str, Dict[int, float]] = {station.name: {} for station in self.stations}
+        for _cdown, sector_id in beacon_burst():
+            for station in self.stations:
+                link = self._downlinks[station.name]
+                true_snr = link.true_snr_db(
+                    self.ap.tx_weights(sector_id),
+                    station.rx_weights,
+                    tx_orientation=self.ap.orientation,
+                    rx_orientation=station.orientation,
+                )
+                observation = station.chip.measurement_model.observe(
+                    true_snr, station.chip.noise_floor_dbm, rng
+                )
+                if observation is not None:
+                    heard[station.name][sector_id] = observation.snr_db
+        return {
+            name: max(readings, key=readings.get)
+            for name, readings in heard.items()
+            if readings
+        }
+
+    def _abft_phase(
+        self,
+        pending: List[Station],
+        best_ap_sector: Dict[str, int],
+        outcome: AssociationOutcome,
+        bi_index: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """A-BFT: pending stations pick random slots; collisions burn them."""
+        slot_choice: Dict[int, List[Station]] = {}
+        for station in pending:
+            if station.name not in best_ap_sector:
+                continue  # heard no beacon this BI
+            if (
+                station.name in self._collided
+                and rng.random() > self.abft.retry_probability
+            ):
+                continue  # backing off this BI
+            slot = int(rng.integers(0, self.abft.n_slots))
+            slot_choice.setdefault(slot, []).append(station)
+
+        for slot, contenders in slot_choice.items():
+            if len(contenders) > 1:
+                # Simultaneous responder sweeps garble each other.
+                outcome.collisions += len(contenders)
+                for station in contenders:
+                    self._collided.add(station.name)
+                continue
+            station = contenders[0]
+            # Responder sector sweep inside the slot: the AP measures a
+            # truncated sweep (FSS frames) and feeds back the best.
+            self.ap.chip.start_sweep()
+            burst = sweep_burst()[: self.abft.frames_per_slot]
+            link = self._uplinks[station.name]
+            for cdown, sector_id in burst:
+                true_snr = link.true_snr_db(
+                    station.tx_weights(sector_id),
+                    self.ap.rx_weights,
+                    tx_orientation=station.orientation,
+                    rx_orientation=self.ap.orientation,
+                )
+                self.ap.chip.process_ssw_frame(sector_id, cdown, true_snr, rng)
+            if not self.ap.chip.current_sweep_reports():
+                continue  # nothing decodable: try again next BI
+            station_sector = self.ap.chip.select_feedback_sector()
+            station.tx_sector_id = station_sector
+            outcome.association_bi[station.name] = bi_index
+            outcome.ap_tx_sector_for[station.name] = best_ap_sector[station.name]
+            outcome.station_tx_sector[station.name] = station_sector
+
+    def run(
+        self, rng: np.random.Generator, max_beacon_intervals: int = 50
+    ) -> AssociationOutcome:
+        """Run BIs until every station associated (or the BI budget ends)."""
+        outcome = AssociationOutcome()
+        for bi_index in range(max_beacon_intervals):
+            pending = [
+                station
+                for station in self.stations
+                if station.name not in outcome.association_bi
+            ]
+            if not pending:
+                break
+            best_ap_sector = self._beacon_phase(rng)
+            self._abft_phase(pending, best_ap_sector, outcome, bi_index, rng)
+            outcome.beacon_intervals_run = bi_index + 1
+        return outcome

@@ -1,0 +1,77 @@
+"""Capture traces: persist monitor-mode frame captures (§4.1 workflow).
+
+The paper captures beacon and SSW frames with tcpdump and dissects
+them in Wireshark.  This module is the simulator's trace format: a
+JSON-lines file where each record carries the capture timestamp, the
+monitor's SNR reading, and the frame's exact wire bytes (hex).  Reading
+a trace re-decodes the bytes through the real frame codecs — the same
+dissect-from-the-wire workflow, reproducible offline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from .frames import decode_frame
+from .sweep import CapturedFrame
+
+__all__ = ["save_capture", "load_capture", "capture_summary"]
+
+
+def save_capture(captures: Iterable[CapturedFrame], path: str) -> int:
+    """Write captured frames to a JSONL trace; returns the count."""
+    count = 0
+    with open(path, "w") as handle:
+        for capture in captures:
+            record = {
+                "time_us": capture.time_us,
+                "snr_db": capture.snr_db,
+                "frame_hex": capture.frame.encode().hex(),
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_capture(path: str) -> List[CapturedFrame]:
+    """Read a trace back, re-decoding every frame from its wire bytes.
+
+    Raises:
+        ValueError: corrupt records or undecodable frame bytes.
+    """
+    captures: List[CapturedFrame] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                frame = decode_frame(bytes.fromhex(record["frame_hex"]))
+                captures.append(
+                    CapturedFrame(
+                        time_us=float(record["time_us"]),
+                        frame=frame,
+                        snr_db=record.get("snr_db"),
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as error:
+                raise ValueError(f"{path}:{line_number}: bad capture record: {error}")
+    return captures
+
+
+def capture_summary(captures: Iterable[CapturedFrame]) -> List[str]:
+    """A tcpdump-style one-line-per-frame rendering of a trace."""
+    rows: List[str] = []
+    for capture in captures:
+        frame = capture.frame
+        kind = type(frame).__name__.replace("Frame", "")
+        detail = ""
+        if hasattr(frame, "sector_id"):
+            detail = f"sector {frame.sector_id:2d} cdown {frame.cdown:2d}"
+        elif hasattr(frame, "feedback"):
+            detail = f"feedback sector {frame.feedback.sector_select:2d}"
+        snr = "" if capture.snr_db is None else f" snr {capture.snr_db:5.2f} dB"
+        rows.append(f"{capture.time_us:10.1f} us  {kind:11s} {detail}{snr}")
+    return rows

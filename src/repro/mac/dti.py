@@ -1,0 +1,149 @@
+"""Data Transfer Interval scheduling: service periods in a beacon interval.
+
+After BTI and A-BFT, the rest of each 102.4 ms beacon interval is the
+DTI, which a DMG AP carves into contention-free Service Periods (SPs)
+assigned to station pairs.  The scheduler here allocates SPs
+proportionally to per-station demand, charges each associated pair its
+periodic beamforming-training time, and reports the per-station
+airtime and goodput — the substrate for studying how training overhead
+eats into a real BI, complementary to the epoch-level ledger in
+:mod:`repro.net.airtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..link.throughput import ThroughputModel
+from .timing import BEACON_INTERVAL_US, mutual_training_time_us
+
+__all__ = ["ServicePeriod", "DTISchedule", "DTIScheduler", "StationDemand"]
+
+
+@dataclass(frozen=True)
+class StationDemand:
+    """One associated station's traffic demand and link state."""
+
+    name: str
+    sweep_snr_db: float
+    demand_weight: float = 1.0
+    n_probes: int = 34  # its training policy
+
+    def __post_init__(self) -> None:
+        if self.demand_weight <= 0:
+            raise ValueError("demand weight must be positive")
+        if self.n_probes < 1:
+            raise ValueError("training needs at least one probe")
+
+
+@dataclass(frozen=True)
+class ServicePeriod:
+    """One contention-free allocation inside the DTI."""
+
+    station_name: str
+    start_us: float
+    duration_us: float
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0 or self.start_us < 0:
+            raise ValueError("service periods cannot be negative")
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass
+class DTISchedule:
+    """The allocation result for one beacon interval."""
+
+    service_periods: List[ServicePeriod] = field(default_factory=list)
+    training_us: float = 0.0
+    overhead_us: float = 0.0
+
+    @property
+    def allocated_us(self) -> float:
+        return float(sum(sp.duration_us for sp in self.service_periods))
+
+    def station_airtime_us(self, name: str) -> float:
+        return float(
+            sum(sp.duration_us for sp in self.service_periods if sp.station_name == name)
+        )
+
+    def non_overlapping(self) -> bool:
+        """SPs must be disjoint (contention-free by construction)."""
+        ordered = sorted(self.service_periods, key=lambda sp: sp.start_us)
+        for first, second in zip(ordered, ordered[1:]):
+            if second.start_us < first.end_us - 1e-9:
+                return False
+        return True
+
+
+class DTIScheduler:
+    """Weighted proportional SP allocation with training charges."""
+
+    def __init__(
+        self,
+        bti_abft_overhead_us: float = 2500.0,
+        beacon_interval_us: float = BEACON_INTERVAL_US,
+        throughput_model: Optional[ThroughputModel] = None,
+    ):
+        """
+        Args:
+            bti_abft_overhead_us: BI time consumed before the DTI
+                starts (beacon burst + A-BFT window).
+        """
+        if not 0 <= bti_abft_overhead_us < beacon_interval_us:
+            raise ValueError("overhead must leave room for the DTI")
+        self.bti_abft_overhead_us = bti_abft_overhead_us
+        self.beacon_interval_us = beacon_interval_us
+        self.throughput_model = (
+            throughput_model if throughput_model is not None else ThroughputModel()
+        )
+
+    def schedule(self, demands: List[StationDemand]) -> DTISchedule:
+        """Allocate one beacon interval across the stations.
+
+        Each station first pays its mutual-training time (once per BI,
+        charged on the shared medium), then the remaining DTI is split
+        proportionally to the demand weights.
+        """
+        if not demands:
+            raise ValueError("nothing to schedule")
+        names = [demand.name for demand in demands]
+        if len(set(names)) != len(names):
+            raise ValueError("station names must be unique")
+
+        schedule = DTISchedule(overhead_us=self.bti_abft_overhead_us)
+        schedule.training_us = float(
+            sum(mutual_training_time_us(demand.n_probes) for demand in demands)
+        )
+        available = (
+            self.beacon_interval_us - self.bti_abft_overhead_us - schedule.training_us
+        )
+        if available <= 0:
+            return schedule  # training ate the whole interval
+
+        total_weight = sum(demand.demand_weight for demand in demands)
+        cursor = self.bti_abft_overhead_us + schedule.training_us
+        for demand in demands:
+            duration = available * demand.demand_weight / total_weight
+            schedule.service_periods.append(
+                ServicePeriod(
+                    station_name=demand.name, start_us=cursor, duration_us=duration
+                )
+            )
+            cursor += duration
+        return schedule
+
+    def goodput_gbps(self, demands: List[StationDemand]) -> Dict[str, float]:
+        """Per-station goodput over one BI, given its SP share."""
+        schedule = self.schedule(demands)
+        results: Dict[str, float] = {}
+        for demand in demands:
+            share = schedule.station_airtime_us(demand.name) / self.beacon_interval_us
+            results[demand.name] = (
+                self.throughput_model.goodput_gbps(demand.sweep_snr_db) * share
+            )
+        return results

@@ -1,0 +1,74 @@
+"""Bit-level field packing for DMG sector-sweep frames.
+
+The IEEE 802.11ad SSW field is a 24-bit structure carrying the
+direction flag, the CDOWN countdown, the sector ID, the DMG antenna ID
+and the RXSS length.  We implement the exact bit layout so frames can
+round-trip through bytes like real captures do.
+
+Layout (LSB first, per IEEE 802.11-2012 §8.4a.1):
+
+    bit  0      : Direction (0 = initiator, 1 = responder)
+    bits 1..9   : CDOWN (9 bits)
+    bits 10..15 : Sector ID (6 bits)
+    bits 16..17 : DMG Antenna ID (2 bits)
+    bits 18..23 : RXSS Length (6 bits)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SSWField"]
+
+_CDOWN_MAX = (1 << 9) - 1
+_SECTOR_MAX = (1 << 6) - 1
+_ANTENNA_MAX = (1 << 2) - 1
+_RXSS_MAX = (1 << 6) - 1
+
+
+@dataclass(frozen=True)
+class SSWField:
+    """The 24-bit SSW field of SSW and SSW-feedback frames."""
+
+    direction: int
+    cdown: int
+    sector_id: int
+    dmg_antenna_id: int = 0
+    rxss_length: int = 0
+
+    def __post_init__(self) -> None:
+        if self.direction not in (0, 1):
+            raise ValueError("direction must be 0 (initiator) or 1 (responder)")
+        if not 0 <= self.cdown <= _CDOWN_MAX:
+            raise ValueError(f"CDOWN out of 9-bit range: {self.cdown}")
+        if not 0 <= self.sector_id <= _SECTOR_MAX:
+            raise ValueError(f"sector ID out of 6-bit range: {self.sector_id}")
+        if not 0 <= self.dmg_antenna_id <= _ANTENNA_MAX:
+            raise ValueError(f"antenna ID out of 2-bit range: {self.dmg_antenna_id}")
+        if not 0 <= self.rxss_length <= _RXSS_MAX:
+            raise ValueError(f"RXSS length out of 6-bit range: {self.rxss_length}")
+
+    def pack(self) -> bytes:
+        """Serialize to 3 bytes, little-endian bit order."""
+        value = (
+            self.direction
+            | (self.cdown << 1)
+            | (self.sector_id << 10)
+            | (self.dmg_antenna_id << 16)
+            | (self.rxss_length << 18)
+        )
+        return value.to_bytes(3, "little")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SSWField":
+        """Parse 3 bytes produced by :meth:`pack`."""
+        if len(data) != 3:
+            raise ValueError(f"SSW field is 3 bytes, got {len(data)}")
+        value = int.from_bytes(data, "little")
+        return cls(
+            direction=value & 0x1,
+            cdown=(value >> 1) & _CDOWN_MAX,
+            sector_id=(value >> 10) & _SECTOR_MAX,
+            dmg_antenna_id=(value >> 16) & _ANTENNA_MAX,
+            rxss_length=(value >> 18) & _RXSS_MAX,
+        )

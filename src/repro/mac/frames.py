@@ -1,0 +1,239 @@
+"""DMG management frames used during beamforming training.
+
+Four frame types participate in sector-level sweeps (IEEE 802.11ad
+§9.35): DMG beacons, SSW frames, SSW-feedback frames and SSW-ACK
+frames.  Each is a dataclass with an exact binary codec so monitor-mode
+captures can be parsed the way the paper parses tcpdump output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .fields import SSWField
+
+__all__ = [
+    "station_mac",
+    "format_mac",
+    "SSWFeedbackField",
+    "BeaconFrame",
+    "SSWFrame",
+    "SSWFeedbackFrame",
+    "SSWAckFrame",
+    "Frame",
+    "decode_frame",
+    "FRAME_TYPE_BEACON",
+    "FRAME_TYPE_SSW",
+    "FRAME_TYPE_SSW_FEEDBACK",
+    "FRAME_TYPE_SSW_ACK",
+]
+
+FRAME_TYPE_BEACON = 0x01
+FRAME_TYPE_SSW = 0x02
+FRAME_TYPE_SSW_FEEDBACK = 0x03
+FRAME_TYPE_SSW_ACK = 0x04
+
+_HEADER_LEN = 13  # type (1) + src (6) + dst (6)
+_BROADCAST = b"\xff" * 6
+
+
+def station_mac(index: int) -> bytes:
+    """A deterministic locally administered MAC for station ``index``."""
+    if not 0 <= index <= 0xFFFF:
+        raise ValueError("station index out of range")
+    return bytes([0x02, 0xAD, 0x72, 0x00]) + index.to_bytes(2, "big")
+
+
+def format_mac(mac: bytes) -> str:
+    """Human-readable colon-separated MAC string."""
+    if len(mac) != 6:
+        raise ValueError("MAC addresses are 6 bytes")
+    return ":".join(f"{byte:02x}" for byte in mac)
+
+
+def _check_mac(mac: bytes) -> bytes:
+    if not isinstance(mac, (bytes, bytearray)) or len(mac) != 6:
+        raise ValueError("MAC addresses are 6 bytes")
+    return bytes(mac)
+
+
+@dataclass(frozen=True)
+class SSWFeedbackField:
+    """The SSW-feedback field: the chosen sector and its quality.
+
+    Attributes:
+        sector_select: sector the peer should transmit with (6 bits).
+        antenna_select: DMG antenna the selection refers to (2 bits).
+        snr_report_db: SNR the selected sector achieved; encoded in
+            quarter-dB units with a −8 dB offset into one byte.
+    """
+
+    sector_select: int
+    antenna_select: int = 0
+    snr_report_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sector_select <= 63:
+            raise ValueError("sector select is a 6-bit field")
+        if not 0 <= self.antenna_select <= 3:
+            raise ValueError("antenna select is a 2-bit field")
+
+    def pack(self) -> bytes:
+        snr_code = int(round((self.snr_report_db + 8.0) * 4.0))
+        snr_code = max(0, min(255, snr_code))
+        value = self.sector_select | (self.antenna_select << 6) | (snr_code << 8)
+        return value.to_bytes(3, "little")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SSWFeedbackField":
+        if len(data) != 3:
+            raise ValueError(f"SSW feedback field is 3 bytes, got {len(data)}")
+        value = int.from_bytes(data, "little")
+        snr_code = (value >> 8) & 0xFF
+        return cls(
+            sector_select=value & 0x3F,
+            antenna_select=(value >> 6) & 0x3,
+            snr_report_db=snr_code / 4.0 - 8.0,
+        )
+
+
+@dataclass(frozen=True)
+class BeaconFrame:
+    """DMG beacon, swept over sectors to advertise the AP."""
+
+    src: bytes
+    sector_id: int
+    cdown: int
+    tsf_us: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _check_mac(self.src))
+        if not 0 <= self.sector_id <= 63:
+            raise ValueError("sector ID is a 6-bit field")
+        if self.cdown < 0 or self.tsf_us < 0:
+            raise ValueError("cdown and tsf must be non-negative")
+
+    @property
+    def dst(self) -> bytes:
+        return _BROADCAST
+
+    def encode(self) -> bytes:
+        body = SSWField(direction=0, cdown=self.cdown, sector_id=self.sector_id).pack()
+        return (
+            bytes([FRAME_TYPE_BEACON])
+            + self.src
+            + self.dst
+            + body
+            + self.tsf_us.to_bytes(8, "little")
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BeaconFrame":
+        if len(data) != _HEADER_LEN + 3 + 8 or data[0] != FRAME_TYPE_BEACON:
+            raise ValueError("not a beacon frame")
+        field = SSWField.unpack(data[_HEADER_LEN : _HEADER_LEN + 3])
+        tsf = int.from_bytes(data[_HEADER_LEN + 3 :], "little")
+        return cls(src=data[1:7], sector_id=field.sector_id, cdown=field.cdown, tsf_us=tsf)
+
+
+@dataclass(frozen=True)
+class SSWFrame:
+    """Sector sweep frame: one probe transmitted on one sector."""
+
+    src: bytes
+    dst: bytes
+    ssw: SSWField
+    feedback: SSWFeedbackField = SSWFeedbackField(sector_select=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _check_mac(self.src))
+        object.__setattr__(self, "dst", _check_mac(self.dst))
+
+    @property
+    def sector_id(self) -> int:
+        return self.ssw.sector_id
+
+    @property
+    def cdown(self) -> int:
+        return self.ssw.cdown
+
+    def encode(self) -> bytes:
+        return (
+            bytes([FRAME_TYPE_SSW]) + self.src + self.dst + self.ssw.pack() + self.feedback.pack()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SSWFrame":
+        if len(data) != _HEADER_LEN + 6 or data[0] != FRAME_TYPE_SSW:
+            raise ValueError("not an SSW frame")
+        return cls(
+            src=data[1:7],
+            dst=data[7:13],
+            ssw=SSWField.unpack(data[13:16]),
+            feedback=SSWFeedbackField.unpack(data[16:19]),
+        )
+
+
+@dataclass(frozen=True)
+class SSWFeedbackFrame:
+    """Initiator→responder frame carrying the responder's best sector."""
+
+    src: bytes
+    dst: bytes
+    feedback: SSWFeedbackField
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _check_mac(self.src))
+        object.__setattr__(self, "dst", _check_mac(self.dst))
+
+    def encode(self) -> bytes:
+        return bytes([FRAME_TYPE_SSW_FEEDBACK]) + self.src + self.dst + self.feedback.pack()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SSWFeedbackFrame":
+        if len(data) != _HEADER_LEN + 3 or data[0] != FRAME_TYPE_SSW_FEEDBACK:
+            raise ValueError("not an SSW feedback frame")
+        return cls(src=data[1:7], dst=data[7:13], feedback=SSWFeedbackField.unpack(data[13:16]))
+
+
+@dataclass(frozen=True)
+class SSWAckFrame:
+    """Responder→initiator acknowledgment closing the sweep."""
+
+    src: bytes
+    dst: bytes
+    feedback: SSWFeedbackField
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _check_mac(self.src))
+        object.__setattr__(self, "dst", _check_mac(self.dst))
+
+    def encode(self) -> bytes:
+        return bytes([FRAME_TYPE_SSW_ACK]) + self.src + self.dst + self.feedback.pack()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SSWAckFrame":
+        if len(data) != _HEADER_LEN + 3 or data[0] != FRAME_TYPE_SSW_ACK:
+            raise ValueError("not an SSW ack frame")
+        return cls(src=data[1:7], dst=data[7:13], feedback=SSWFeedbackField.unpack(data[13:16]))
+
+
+Frame = Union[BeaconFrame, SSWFrame, SSWFeedbackFrame, SSWAckFrame]
+
+_DECODERS = {
+    FRAME_TYPE_BEACON: BeaconFrame.decode,
+    FRAME_TYPE_SSW: SSWFrame.decode,
+    FRAME_TYPE_SSW_FEEDBACK: SSWFeedbackFrame.decode,
+    FRAME_TYPE_SSW_ACK: SSWAckFrame.decode,
+}
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode any training frame from its wire bytes."""
+    if not data:
+        raise ValueError("empty frame")
+    decoder = _DECODERS.get(data[0])
+    if decoder is None:
+        raise ValueError(f"unknown frame type 0x{data[0]:02x}")
+    return decoder(data)

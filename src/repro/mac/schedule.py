@@ -1,0 +1,87 @@
+"""Beacon and sector-sweep transmission schedules (paper Table 1).
+
+The Talon AD7200 transmits beacon and SSW bursts over fixed sector
+sequences, identified in the paper by capturing frames in monitor mode.
+``CDOWN`` counts the remaining frames in a burst:
+
+* **Beacon** bursts use sector 63 at CDOWN 33 and sectors 1–31 at
+  CDOWN 31…1 (CDOWN 34, 32 and 0 are unused slots).
+* **Sweep** bursts use sectors 1–31 at CDOWN 34…4 and sectors 61, 62,
+  63 at CDOWN 2, 1, 0 (CDOWN 3 is unused).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "BEACON_SCHEDULE",
+    "SWEEP_SCHEDULE",
+    "beacon_burst",
+    "sweep_burst",
+    "custom_sweep_burst",
+    "schedule_table_rows",
+]
+
+
+def _beacon_schedule() -> Dict[int, int]:
+    schedule = {33: 63}
+    # Sector s is transmitted at CDOWN 32 - s for s in 1..31.
+    for sector_id in range(1, 32):
+        schedule[32 - sector_id] = sector_id
+    return schedule
+
+
+def _sweep_schedule() -> Dict[int, int]:
+    # Sector s is transmitted at CDOWN 35 - s for s in 1..31.
+    schedule = {35 - sector_id: sector_id for sector_id in range(1, 32)}
+    schedule[2] = 61
+    schedule[1] = 62
+    schedule[0] = 63
+    return schedule
+
+
+#: Map CDOWN → sector ID for beacon bursts (unused slots absent).
+BEACON_SCHEDULE: Dict[int, int] = _beacon_schedule()
+
+#: Map CDOWN → sector ID for sector-sweep bursts (unused slots absent).
+SWEEP_SCHEDULE: Dict[int, int] = _sweep_schedule()
+
+
+def _burst(schedule: Dict[int, int]) -> List[Tuple[int, int]]:
+    """``(cdown, sector_id)`` pairs in transmission (decreasing) order."""
+    return [(cdown, schedule[cdown]) for cdown in sorted(schedule, reverse=True)]
+
+
+def beacon_burst() -> List[Tuple[int, int]]:
+    """The beacon burst in transmission order."""
+    return _burst(BEACON_SCHEDULE)
+
+
+def sweep_burst() -> List[Tuple[int, int]]:
+    """The full 34-sector sweep burst in transmission order."""
+    return _burst(SWEEP_SCHEDULE)
+
+
+def custom_sweep_burst(sector_ids: Sequence[int]) -> List[Tuple[int, int]]:
+    """A reduced sweep over a probing subset (compressive selection).
+
+    CDOWN counts down from ``len(sector_ids) - 1`` to 0 as the standard
+    requires, whatever the subset.
+    """
+    if not sector_ids:
+        raise ValueError("a sweep burst needs at least one sector")
+    if len(set(sector_ids)) != len(sector_ids):
+        raise ValueError("probing sectors must be unique")
+    count = len(sector_ids)
+    return [(count - 1 - index, sector_id) for index, sector_id in enumerate(sector_ids)]
+
+
+def schedule_table_rows(max_cdown: int = 34) -> List[Tuple[str, List[str]]]:
+    """Render Table 1: rows of sector-or-dash per CDOWN column."""
+    columns = list(range(max_cdown, -1, -1))
+    rows = []
+    for label, schedule in (("Beacon", BEACON_SCHEDULE), ("Sweep", SWEEP_SCHEDULE)):
+        cells = [str(schedule[cdown]) if cdown in schedule else "-" for cdown in columns]
+        rows.append((label, cells))
+    return rows

@@ -1,0 +1,119 @@
+"""A Talon-AD7200-like station: host system + Wi-Fi chip + antenna.
+
+A :class:`Station` bundles the pieces one physical router contributes
+to an experiment: its phased array, the (black-box) QCA9500 chip and
+the host side.  The stock host can only run sweeps; calling
+:meth:`Station.jailbreak` installs the LEDE + Nexmon tooling of §3 and
+unlocks the two research interfaces — sweep-report extraction and the
+sector override.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..channel.observation import MeasurementModel
+from ..firmware.chip import QCA9500, SweepReport
+from ..firmware.patches import (
+    PatchFramework,
+    sector_override_patch,
+    signal_strength_extraction_patch,
+)
+from ..firmware.wmi import (
+    WmiClearSectorOverride,
+    WmiDrainSweepReports,
+    WmiSetSectorOverride,
+)
+from ..geometry.rotation import Orientation
+from ..phased_array.array import PhasedArray
+from ..phased_array.codebook import Codebook
+from ..phased_array.talon import talon_codebook
+from .frames import station_mac
+
+__all__ = ["Station"]
+
+
+class Station:
+    """One 802.11ad node (AP, client, or monitor)."""
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        antenna: PhasedArray,
+        codebook: Optional[Codebook] = None,
+        measurement_model: Optional[MeasurementModel] = None,
+        position_m: Optional[np.ndarray] = None,
+        orientation: Optional[Orientation] = None,
+    ):
+        self.name = name
+        self.mac = station_mac(index)
+        self.antenna = antenna
+        self.codebook = codebook if codebook is not None else talon_codebook(antenna)
+        self.chip = QCA9500(self.codebook, measurement_model)
+        self.position_m = (
+            np.zeros(3) if position_m is None else np.asarray(position_m, dtype=float)
+        )
+        self.orientation = orientation if orientation is not None else Orientation()
+        #: Sector currently used for data transmission (set by training).
+        self.tx_sector_id: int = self.codebook.tx_sector_ids[0]
+        self._patch_framework: Optional[PatchFramework] = None
+
+    def __repr__(self) -> str:
+        return f"Station({self.name!r})"
+
+    # ------------------------------------------------------------------
+    # Host-side research tooling (requires jailbreak).
+    # ------------------------------------------------------------------
+
+    @property
+    def is_jailbroken(self) -> bool:
+        return self._patch_framework is not None
+
+    def jailbreak(self) -> PatchFramework:
+        """Install the LEDE/Nexmon firmware patches of §3.
+
+        Idempotent: repeated calls return the existing framework.
+        """
+        if self._patch_framework is None:
+            framework = PatchFramework(self.chip)
+            framework.install(signal_strength_extraction_patch())
+            framework.install(sector_override_patch())
+            self._patch_framework = framework
+        return self._patch_framework
+
+    def _require_jailbreak(self) -> None:
+        if not self.is_jailbroken:
+            raise RuntimeError(
+                f"station {self.name!r} runs stock firmware; call jailbreak() first"
+            )
+
+    def drain_sweep_reports(self) -> List[SweepReport]:
+        """Read the sweep-report ring buffer from user space (§3.3)."""
+        self._require_jailbreak()
+        return self.chip.handle_wmi(WmiDrainSweepReports())
+
+    def arm_sector_override(self, sector_id: int) -> None:
+        """Force ``sector_id`` into future SSW feedback fields (§3.4)."""
+        self._require_jailbreak()
+        self.chip.handle_wmi(WmiSetSectorOverride(sector_id))
+
+    def clear_sector_override(self) -> None:
+        """Return feedback selection to the stock algorithm."""
+        self._require_jailbreak()
+        self.chip.handle_wmi(WmiClearSectorOverride())
+
+    # ------------------------------------------------------------------
+    # Antenna convenience.
+    # ------------------------------------------------------------------
+
+    @property
+    def rx_weights(self):
+        """Quasi-omni receive sector (no receive training is done)."""
+        return self.codebook.rx_sector.weights
+
+    def tx_weights(self, sector_id: int):
+        """Weights of a given transmit sector."""
+        return self.codebook[sector_id].weights

@@ -1,0 +1,335 @@
+"""The IEEE 802.11ad sector-level sweep (SLS) protocol engine.
+
+Runs the mutual transmit-sector training between two stations through
+the simulated channel, the simulated firmware, and the real frame
+codecs, with on-air timing from :mod:`repro.mac.timing`:
+
+1. **ISS** — the initiator transmits one SSW frame per probed sector;
+   the responder's chip measures each decodable frame.
+2. **RSS** — roles swap; the responder's SSW frames already carry the
+   responder's selection for the initiator in their feedback field.
+3. **Feedback / ACK** — the initiator reports the responder's best
+   sector; the responder acknowledges.
+
+A third station may observe in monitor mode; Table 1 of the paper was
+captured exactly this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..channel.environment import Environment
+from ..channel.link import LinkBudget, LinkSimulator
+from .frames import (
+    BeaconFrame,
+    Frame,
+    SSWAckFrame,
+    SSWFeedbackField,
+    SSWFeedbackFrame,
+    SSWFrame,
+)
+from .fields import SSWField
+from .schedule import beacon_burst, custom_sweep_burst, sweep_burst
+from .station import Station
+from .timing import FEEDBACK_OVERHEAD_US, SSW_FRAME_TIME_US
+
+__all__ = ["CapturedFrame", "SweepResult", "SweepSession", "transmit_beacon_burst"]
+
+#: Split of the 49.1 µs overhead: initiation gap + feedback + ACK.
+_INIT_GAP_US = FEEDBACK_OVERHEAD_US - 2.0 * SSW_FRAME_TIME_US
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """A frame seen on air (by the monitor or logged by the session)."""
+
+    time_us: float
+    frame: Frame
+    snr_db: Optional[float] = None
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one mutual sector-sweep training."""
+
+    initiator_tx_sector: int
+    responder_tx_sector: int
+    duration_us: float
+    transmitted_frames: List[CapturedFrame] = field(default_factory=list)
+    monitor_frames: List[CapturedFrame] = field(default_factory=list)
+    feedback_delivered: bool = True
+
+
+class SweepSession:
+    """Mutual beamforming training between two stations in a room."""
+
+    def __init__(
+        self,
+        initiator: Station,
+        responder: Station,
+        environment: Environment,
+        budget: Optional[LinkBudget] = None,
+        monitor: Optional[Station] = None,
+    ):
+        self.initiator = initiator
+        self.responder = responder
+        self.environment = environment
+        self.budget = budget if budget is not None else LinkBudget()
+        self.monitor = monitor
+
+        self._forward = LinkSimulator(
+            environment,
+            initiator.antenna,
+            responder.antenna,
+            self.budget,
+            tx_position_m=initiator.position_m,
+            rx_position_m=responder.position_m,
+        )
+        self._reverse = LinkSimulator(
+            environment,
+            responder.antenna,
+            initiator.antenna,
+            self.budget,
+            tx_position_m=responder.position_m,
+            rx_position_m=initiator.position_m,
+        )
+        self._to_monitor = {}
+        if monitor is not None:
+            for station, link_name in ((initiator, "initiator"), (responder, "responder")):
+                self._to_monitor[link_name] = LinkSimulator(
+                    environment,
+                    station.antenna,
+                    monitor.antenna,
+                    self.budget,
+                    tx_position_m=station.position_m,
+                    rx_position_m=monitor.position_m,
+                )
+
+    def _monitor_capture(
+        self,
+        link_name: str,
+        tx_station: Station,
+        sector_id: int,
+        frame: Frame,
+        time_us: float,
+        rng: np.random.Generator,
+        captures: List[CapturedFrame],
+    ) -> None:
+        if self.monitor is None:
+            return
+        link = self._to_monitor[link_name]
+        true_snr = link.true_snr_db(
+            tx_station.tx_weights(sector_id),
+            self.monitor.rx_weights,
+            tx_orientation=tx_station.orientation,
+            rx_orientation=self.monitor.orientation,
+        )
+        observation = self.monitor.chip.measurement_model.observe(
+            true_snr, self.monitor.chip.noise_floor_dbm, rng
+        )
+        if observation is not None:
+            captures.append(CapturedFrame(time_us, frame, observation.snr_db))
+
+    def _run_sweep_half(
+        self,
+        tx_station: Station,
+        rx_station: Station,
+        link: LinkSimulator,
+        burst,
+        direction: int,
+        feedback: SSWFeedbackField,
+        start_time_us: float,
+        rng: np.random.Generator,
+        result: SweepResult,
+        monitor_link: str,
+    ) -> float:
+        """Transmit one side's SSW burst; returns the end time."""
+        rx_station.chip.start_sweep()
+        shadowing = link.sample_shadowing_db(rng)
+        time_us = start_time_us
+        for cdown, sector_id in burst:
+            frame = SSWFrame(
+                src=tx_station.mac,
+                dst=rx_station.mac,
+                ssw=SSWField(direction=direction, cdown=cdown, sector_id=sector_id),
+                feedback=feedback,
+            )
+            true_snr = link.true_snr_db(
+                tx_station.tx_weights(sector_id),
+                rx_station.rx_weights,
+                tx_orientation=tx_station.orientation,
+                rx_orientation=rx_station.orientation,
+                shadowing_db=shadowing,
+            )
+            rx_station.chip.process_ssw_frame(sector_id, cdown, true_snr, rng)
+            result.transmitted_frames.append(CapturedFrame(time_us, frame))
+            self._monitor_capture(
+                monitor_link, tx_station, sector_id, frame, time_us, rng, result.monitor_frames
+            )
+            time_us += SSW_FRAME_TIME_US
+        return time_us
+
+    def run(
+        self,
+        rng: np.random.Generator,
+        initiator_probe_ids: Optional[Sequence[int]] = None,
+        responder_probe_ids: Optional[Sequence[int]] = None,
+    ) -> SweepResult:
+        """Execute one mutual training and apply the outcome.
+
+        Args:
+            rng: randomness for channel shadowing and firmware effects.
+            initiator_probe_ids / responder_probe_ids: probing subsets
+                for compressive selection; the stock 34-sector schedule
+                is used when omitted.
+
+        Returns:
+            The :class:`SweepResult`; both stations' ``tx_sector_id``
+            are updated from the delivered feedback.
+        """
+        result = SweepResult(
+            initiator_tx_sector=self.initiator.tx_sector_id,
+            responder_tx_sector=self.responder.tx_sector_id,
+            duration_us=0.0,
+        )
+        init_burst = (
+            sweep_burst()
+            if initiator_probe_ids is None
+            else custom_sweep_burst(list(initiator_probe_ids))
+        )
+        resp_burst = (
+            sweep_burst()
+            if responder_probe_ids is None
+            else custom_sweep_burst(list(responder_probe_ids))
+        )
+
+        # --- ISS: initiator sweeps, responder measures. ---------------
+        time_us = self._run_sweep_half(
+            self.initiator,
+            self.responder,
+            self._forward,
+            init_burst,
+            direction=0,
+            feedback=SSWFeedbackField(sector_select=0),
+            start_time_us=0.0,
+            rng=rng,
+            result=result,
+            monitor_link="initiator",
+        )
+
+        # Responder picks the initiator's best TX sector (possibly the
+        # host override) and advertises it in its own SSW frames.
+        initiator_best = self.responder.chip.select_feedback_sector()
+        responder_feedback = SSWFeedbackField(sector_select=initiator_best)
+
+        # --- RSS: responder sweeps, initiator measures. ----------------
+        time_us = self._run_sweep_half(
+            self.responder,
+            self.initiator,
+            self._reverse,
+            resp_burst,
+            direction=1,
+            feedback=responder_feedback,
+            start_time_us=time_us,
+            rng=rng,
+            result=result,
+            monitor_link="responder",
+        )
+
+        # The initiator learns its TX sector from any decoded responder
+        # SSW frame; the RSS frames all carry the same feedback field.
+        if self.initiator.chip.current_sweep_reports():
+            self.initiator.tx_sector_id = initiator_best
+            result.feedback_delivered = True
+        else:
+            result.feedback_delivered = False
+
+        # --- Feedback + ACK on the now-trained sectors. ----------------
+        time_us += _INIT_GAP_US
+        responder_best = self.initiator.chip.select_feedback_sector()
+        feedback_frame = SSWFeedbackFrame(
+            src=self.initiator.mac,
+            dst=self.responder.mac,
+            feedback=SSWFeedbackField(sector_select=responder_best),
+        )
+        result.transmitted_frames.append(CapturedFrame(time_us, feedback_frame))
+        self._monitor_capture(
+            "initiator",
+            self.initiator,
+            self.initiator.tx_sector_id,
+            feedback_frame,
+            time_us,
+            rng,
+            result.monitor_frames,
+        )
+        self.responder.tx_sector_id = responder_best
+        time_us += SSW_FRAME_TIME_US
+
+        ack_frame = SSWAckFrame(
+            src=self.responder.mac,
+            dst=self.initiator.mac,
+            feedback=SSWFeedbackField(sector_select=initiator_best),
+        )
+        result.transmitted_frames.append(CapturedFrame(time_us, ack_frame))
+        self._monitor_capture(
+            "responder",
+            self.responder,
+            self.responder.tx_sector_id,
+            ack_frame,
+            time_us,
+            rng,
+            result.monitor_frames,
+        )
+        time_us += SSW_FRAME_TIME_US
+
+        result.initiator_tx_sector = self.initiator.tx_sector_id
+        result.responder_tx_sector = self.responder.tx_sector_id
+        result.duration_us = time_us
+        return result
+
+
+def transmit_beacon_burst(
+    ap: Station,
+    environment: Environment,
+    monitor: Station,
+    rng: np.random.Generator,
+    budget: Optional[LinkBudget] = None,
+    start_time_us: float = 0.0,
+) -> List[CapturedFrame]:
+    """Transmit one DMG beacon burst and capture it at a monitor.
+
+    This is the experiment behind the Beacon row of Table 1: an AP
+    sweeps beacons over its beacon schedule while a monitor-mode
+    station records sector IDs and CDOWN values.
+    """
+    link = LinkSimulator(
+        environment,
+        ap.antenna,
+        monitor.antenna,
+        budget if budget is not None else LinkBudget(),
+        tx_position_m=ap.position_m,
+        rx_position_m=monitor.position_m,
+    )
+    captures: List[CapturedFrame] = []
+    time_us = start_time_us
+    for cdown, sector_id in beacon_burst():
+        frame = BeaconFrame(
+            src=ap.mac, sector_id=sector_id, cdown=cdown, tsf_us=int(time_us)
+        )
+        true_snr = link.true_snr_db(
+            ap.tx_weights(sector_id),
+            monitor.rx_weights,
+            tx_orientation=ap.orientation,
+            rx_orientation=monitor.orientation,
+        )
+        observation = monitor.chip.measurement_model.observe(
+            true_snr, monitor.chip.noise_floor_dbm, rng
+        )
+        if observation is not None:
+            captures.append(CapturedFrame(time_us, frame, observation.snr_db))
+        time_us += SSW_FRAME_TIME_US
+    return captures

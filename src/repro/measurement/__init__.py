@@ -1,0 +1,26 @@
+"""Pattern measurement: rotation head, chamber campaign, processing, tables."""
+
+from .campaign import (
+    CampaignConfig,
+    PatternMeasurementCampaign,
+    measure_3d_patterns,
+    measure_azimuth_patterns,
+)
+from .patterns import PatternTable
+from .processing import interpolate_gaps, reject_outliers, robust_average
+from .published import PUBLISHED_PATTERNS_RESOURCE, load_published_patterns
+from .rotation_head import RotationHead
+
+__all__ = [
+    "CampaignConfig",
+    "PatternMeasurementCampaign",
+    "measure_3d_patterns",
+    "measure_azimuth_patterns",
+    "PatternTable",
+    "interpolate_gaps",
+    "reject_outliers",
+    "robust_average",
+    "PUBLISHED_PATTERNS_RESOURCE",
+    "load_published_patterns",
+    "RotationHead",
+]

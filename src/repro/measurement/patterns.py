@@ -1,0 +1,180 @@
+"""Measured sector-pattern tables.
+
+A :class:`PatternTable` stores, for every sector, the measured SNR
+pattern over a rectangular (azimuth × elevation) rotation grid — the
+direct analogue of the data behind Figures 5 and 6 of the paper and the
+`x_n(φ, θ)` terms of Eqs. 2–4.  Tables interpolate bilinearly between
+grid points and persist to ``.npz`` files like the published
+measurement data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry.grid import AngularGrid
+
+__all__ = ["PatternTable"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class PatternTable:
+    """Per-sector gain patterns over an angular grid.
+
+    Attributes:
+        grid: the angular sampling grid.
+        patterns: map sector ID → array of shape ``grid.shape``
+            (``(n_elevation, n_azimuth)``); values are measured SNR in
+            dB.  ``NaN`` marks gaps (before interpolation).
+    """
+
+    def __init__(self, grid: AngularGrid, patterns: Dict[int, np.ndarray]):
+        if not patterns:
+            raise ValueError("a pattern table needs at least one sector")
+        self.grid = grid
+        self.patterns: Dict[int, np.ndarray] = {}
+        for sector_id, values in patterns.items():
+            array = np.asarray(values, dtype=float)
+            if array.shape != grid.shape:
+                raise ValueError(
+                    f"sector {sector_id}: pattern shape {array.shape} does not "
+                    f"match grid shape {grid.shape}"
+                )
+            self.patterns[int(sector_id)] = array
+
+    @property
+    def sector_ids(self) -> List[int]:
+        """Sector IDs in insertion order."""
+        return list(self.patterns)
+
+    @property
+    def n_sectors(self) -> int:
+        return len(self.patterns)
+
+    def pattern(self, sector_id: int) -> np.ndarray:
+        try:
+            return self.patterns[sector_id]
+        except KeyError:
+            raise KeyError(f"no measured pattern for sector {sector_id}") from None
+
+    def has_gaps(self) -> bool:
+        """True if any pattern still contains NaN gaps."""
+        return any(np.isnan(values).any() for values in self.patterns.values())
+
+    # ------------------------------------------------------------------
+    # Interpolation.
+    # ------------------------------------------------------------------
+
+    def _interpolate(
+        self, values: np.ndarray, azimuth_deg: ArrayLike, elevation_deg: ArrayLike
+    ) -> np.ndarray:
+        azimuths = np.atleast_1d(np.asarray(azimuth_deg, dtype=float))
+        elevations = np.atleast_1d(np.asarray(elevation_deg, dtype=float))
+        azimuths, elevations = np.broadcast_arrays(azimuths, elevations)
+
+        az_axis = self.grid.azimuths_deg
+        el_axis = self.grid.elevations_deg
+        az_clipped = np.clip(azimuths, az_axis[0], az_axis[-1])
+        el_clipped = np.clip(elevations, el_axis[0], el_axis[-1])
+
+        az_hi = np.clip(np.searchsorted(az_axis, az_clipped), 1, max(az_axis.size - 1, 1))
+        el_hi = np.clip(np.searchsorted(el_axis, el_clipped), 1, max(el_axis.size - 1, 1))
+        az_lo = az_hi - 1
+        el_lo = el_hi - 1
+
+        if az_axis.size == 1:
+            az_lo = az_hi = np.zeros_like(az_hi)
+            az_fraction = np.zeros_like(az_clipped)
+        else:
+            az_fraction = (az_clipped - az_axis[az_lo]) / (az_axis[az_hi] - az_axis[az_lo])
+        if el_axis.size == 1:
+            el_lo = el_hi = np.zeros_like(el_hi)
+            el_fraction = np.zeros_like(el_clipped)
+        else:
+            el_fraction = (el_clipped - el_axis[el_lo]) / (el_axis[el_hi] - el_axis[el_lo])
+
+        v00 = values[el_lo, az_lo]
+        v01 = values[el_lo, az_hi]
+        v10 = values[el_hi, az_lo]
+        v11 = values[el_hi, az_hi]
+        top = v00 * (1.0 - az_fraction) + v01 * az_fraction
+        bottom = v10 * (1.0 - az_fraction) + v11 * az_fraction
+        return top * (1.0 - el_fraction) + bottom * el_fraction
+
+    def gain(self, sector_id: int, azimuth_deg: ArrayLike, elevation_deg: ArrayLike) -> ArrayLike:
+        """Measured gain of one sector, bilinearly interpolated."""
+        result = self._interpolate(self.pattern(sector_id), azimuth_deg, elevation_deg)
+        if np.ndim(azimuth_deg) == 0 and np.ndim(elevation_deg) == 0:
+            return float(result.ravel()[0])
+        return result
+
+    def vector(
+        self,
+        azimuth_deg: float,
+        elevation_deg: float,
+        sector_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Expected pattern vector x(φ, θ) across sectors (Eq. 2)."""
+        if sector_ids is None:
+            sector_ids = self.sector_ids
+        return np.array(
+            [self.gain(sector_id, azimuth_deg, elevation_deg) for sector_id in sector_ids]
+        )
+
+    def sample_matrix(
+        self, grid: AngularGrid, sector_ids: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Patterns resampled on a search grid.
+
+        Returns an array of shape ``(n_sectors, grid.n_points)`` — the
+        matrix the correlation kernel multiplies against, with grid
+        points flattened in C order over ``grid.shape``.
+        """
+        if sector_ids is None:
+            sector_ids = self.sector_ids
+        azimuths, elevations = grid.flat_angles()
+        matrix = np.empty((len(sector_ids), grid.n_points))
+        for row, sector_id in enumerate(sector_ids):
+            matrix[row] = self._interpolate(self.pattern(sector_id), azimuths, elevations)
+        return matrix
+
+    def best_sector(
+        self,
+        azimuth_deg: float,
+        elevation_deg: float,
+        sector_ids: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Sector with the highest measured gain at a direction (Eq. 4)."""
+        if sector_ids is None:
+            sector_ids = self.sector_ids
+        gains = self.vector(azimuth_deg, elevation_deg, sector_ids)
+        return int(sector_ids[int(np.argmax(gains))])
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the table to an ``.npz`` file."""
+        arrays = {
+            "azimuths_deg": self.grid.azimuths_deg,
+            "elevations_deg": self.grid.elevations_deg,
+            "sector_ids": np.array(self.sector_ids, dtype=int),
+        }
+        for sector_id in self.sector_ids:
+            arrays[f"pattern_{sector_id}"] = self.patterns[sector_id]
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str) -> "PatternTable":
+        """Load a table written by :meth:`save`."""
+        with np.load(path) as data:
+            grid = AngularGrid(data["azimuths_deg"], data["elevations_deg"])
+            patterns = {
+                int(sector_id): data[f"pattern_{int(sector_id)}"]
+                for sector_id in data["sector_ids"]
+            }
+        return cls(grid, patterns)

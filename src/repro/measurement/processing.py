@@ -1,0 +1,78 @@
+"""Post-processing of raw campaign samples (§4.3).
+
+The paper turns raw per-position SNR samples into clean patterns by
+(1) omitting obvious outliers, (2) averaging over the repeated
+measurements and (3) interpolating over gaps where no frames were
+captured (directions with too little gain to decode anything).  The
+same three steps live here, each independently testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["reject_outliers", "robust_average", "interpolate_gaps"]
+
+
+def reject_outliers(samples: Sequence[float], max_deviation_db: float = 4.0) -> np.ndarray:
+    """Drop samples farther than ``max_deviation_db`` from the median.
+
+    With fewer than three samples nothing can be judged an outlier and
+    the input is returned unchanged.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size < 3:
+        return values
+    median = np.median(values)
+    keep = np.abs(values - median) <= max_deviation_db
+    # Never discard everything: the median sample always survives.
+    if not keep.any():
+        keep = np.abs(values - median) == np.min(np.abs(values - median))
+    return values[keep]
+
+
+def robust_average(samples: Sequence[float], max_deviation_db: float = 4.0) -> float:
+    """Outlier-rejected mean of one grid position's samples.
+
+    Returns ``NaN`` for an empty sample set (a gap to interpolate).
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        return float("nan")
+    return float(np.mean(reject_outliers(values, max_deviation_db)))
+
+
+def interpolate_gaps(
+    values: np.ndarray, floor_db: Optional[float] = None
+) -> np.ndarray:
+    """Fill NaN gaps along the azimuth axis by linear interpolation.
+
+    Works on a 1-D azimuth cut or a 2-D ``(elevation, azimuth)``
+    pattern (each elevation row is treated independently, matching how
+    the campaign scans).  Rows that contain no samples at all are
+    filled with ``floor_db`` (default: the global minimum of the
+    pattern, i.e. "as weak as anything we ever measured").
+    """
+    array = np.array(values, dtype=float)
+    single_row = array.ndim == 1
+    if single_row:
+        array = array[np.newaxis, :]
+    if array.ndim != 2:
+        raise ValueError("expected a 1-D or 2-D pattern")
+
+    if floor_db is None:
+        finite = array[np.isfinite(array)]
+        floor_db = float(finite.min()) if finite.size else 0.0
+
+    for row in array:
+        known = np.isfinite(row)
+        if not known.any():
+            row[:] = floor_db
+            continue
+        if known.all():
+            continue
+        positions = np.arange(row.size)
+        row[~known] = np.interp(positions[~known], positions[known], row[known])
+    return array[0] if single_row else array

@@ -1,0 +1,38 @@
+"""The "published" pattern data set.
+
+The authors released their measured Talon AD7200 sector patterns with
+talon-tools; this module ships the simulator's equivalent — one full
+Figure-6-resolution chamber campaign (azimuth ±90° at 1.8°, elevation
+0–32.4° at 3.6°, 3 sweeps averaged) for the canonical default device
+(`PhasedArray.talon()` with its fixed seed).  Users who just want to
+run compressive selection can load this table instead of re-running a
+campaign:
+
+    from repro.measurement import load_published_patterns
+    selector = CompressiveSectorSelector(load_published_patterns())
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+
+from .patterns import PatternTable
+
+__all__ = ["load_published_patterns", "PUBLISHED_PATTERNS_RESOURCE"]
+
+#: Package-relative resource name of the shipped table.
+PUBLISHED_PATTERNS_RESOURCE = "talon_sector_patterns_3d.npz"
+
+
+def load_published_patterns() -> PatternTable:
+    """Load the shipped canonical-device 3D pattern table.
+
+    The table was produced by exactly the public campaign pipeline
+    (``measure_3d_patterns`` at the paper's Figure-6 resolution, seed
+    0x11AD2017) and regenerating it reproduces it bit for bit.
+    """
+    resource = importlib.resources.files("repro.data").joinpath(
+        PUBLISHED_PATTERNS_RESOURCE
+    )
+    with importlib.resources.as_file(resource) as path:
+        return PatternTable.load(str(path))

@@ -1,0 +1,120 @@
+"""The custom rotation head used for pattern measurements (§4.2).
+
+The head yaws the mounted router with a micro-stepping motor (high
+azimuth precision) while elevation is set by manually tilting the head
+— the paper reports that even with a digital level the tilt is not
+sub-degree accurate.  :class:`RotationHead` models both, exposing the
+*commanded* pose alongside the *actual* (error-afflicted) orientation.
+
+Convention: a positive head tilt pitches the boresight **down**, so the
+fixed link partner appears at positive device-frame elevations — this
+matches the positive elevation axes of Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.angles import wrap_azimuth
+from ..geometry.rotation import Orientation
+
+__all__ = ["RotationHead"]
+
+
+class RotationHead:
+    """Stepper-driven azimuth stage with manual elevation tilt."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        azimuth_resolution_deg: float = 0.01,
+        azimuth_jitter_deg: float = 0.02,
+        tilt_error_std_deg: float = 0.8,
+    ):
+        """
+        Args:
+            rng: randomness for mechanical errors (fixed seed default).
+            azimuth_resolution_deg: micro-step size of the motor.
+            azimuth_jitter_deg: residual azimuth wobble per positioning.
+            tilt_error_std_deg: error of one manual tilt adjustment;
+                drawn once per tilt change and held until the next one.
+        """
+        if azimuth_resolution_deg <= 0:
+            raise ValueError("azimuth resolution must be positive")
+        self._rng = rng if rng is not None else np.random.default_rng(0x407)
+        self._azimuth_resolution_deg = azimuth_resolution_deg
+        self._azimuth_jitter_deg = azimuth_jitter_deg
+        self._tilt_error_std_deg = tilt_error_std_deg
+
+        self._commanded_azimuth_deg = 0.0
+        self._commanded_tilt_deg = 0.0
+        self._actual_azimuth_deg = 0.0
+        self._tilt_error_deg = 0.0
+
+    @property
+    def commanded_azimuth_deg(self) -> float:
+        return self._commanded_azimuth_deg
+
+    @property
+    def commanded_tilt_deg(self) -> float:
+        return self._commanded_tilt_deg
+
+    @property
+    def actual_azimuth_deg(self) -> float:
+        return self._actual_azimuth_deg
+
+    @property
+    def actual_tilt_deg(self) -> float:
+        return self._commanded_tilt_deg + self._tilt_error_deg
+
+    def set_azimuth(self, azimuth_deg: float) -> None:
+        """Rotate to ``azimuth_deg`` (wrapped, snapped to micro-steps)."""
+        commanded = wrap_azimuth(azimuth_deg)
+        snapped = (
+            round(commanded / self._azimuth_resolution_deg) * self._azimuth_resolution_deg
+        )
+        jitter = (
+            self._rng.normal(0.0, self._azimuth_jitter_deg)
+            if self._azimuth_jitter_deg > 0
+            else 0.0
+        )
+        self._commanded_azimuth_deg = commanded
+        self._actual_azimuth_deg = snapped + jitter
+
+    def set_tilt(self, tilt_deg: float) -> None:
+        """Manually tilt the head; draws a fresh tilt error.
+
+        Positive tilts pitch the boresight down (see module docstring).
+        """
+        if not -90.0 <= tilt_deg <= 90.0:
+            raise ValueError("tilt out of mechanical range")
+        self._commanded_tilt_deg = tilt_deg
+        self._tilt_error_deg = (
+            self._rng.normal(0.0, self._tilt_error_std_deg)
+            if self._tilt_error_std_deg > 0
+            else 0.0
+        )
+
+    def orientation(self) -> Orientation:
+        """Actual device orientation (head yaw + erroneous tilt).
+
+        A head yaw of φ turns the boresight to world azimuth φ; a head
+        tilt of θ (down) is a device pitch of −θ.
+        """
+        return Orientation(
+            yaw_deg=self._actual_azimuth_deg, pitch_deg=-self.actual_tilt_deg
+        )
+
+    def nominal_device_direction(self) -> tuple:
+        """Nominal device-frame direction of the fixed link partner.
+
+        The partner sits at world azimuth 0, so after a commanded yaw
+        of φ and tilt of θ it is nominally at device-frame
+        ``(-φ, +θ)``.  This is the grid coordinate the campaign files
+        samples under — mechanical errors make the *measured value*
+        belong to a slightly different true direction, exactly like the
+        paper's setup.
+        """
+        return (wrap_azimuth(-self._commanded_azimuth_deg), self._commanded_tilt_deg)

@@ -1,0 +1,6 @@
+"""Network-level substrate: shared-channel airtime accounting."""
+
+from .airtime import AirtimeLedger, TrainingPolicy
+from .interference import DirectionalLink, InterferenceGraph
+
+__all__ = ["AirtimeLedger", "TrainingPolicy", "DirectionalLink", "InterferenceGraph"]

@@ -1,0 +1,77 @@
+"""Shared-medium airtime accounting for dense mm-wave rooms.
+
+The §7 argument: data transmissions are directional and can coexist
+spatially, but *training* frames go out quasi-omni over every sector —
+each sector sweep "pollutes the whole mm-wave channel in all
+directions".  So training time is exclusive (serialized across all
+pairs) while data time enjoys full spatial reuse.  This module keeps
+that ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..mac.timing import mutual_training_time_us
+
+__all__ = ["TrainingPolicy", "AirtimeLedger"]
+
+
+@dataclass(frozen=True)
+class TrainingPolicy:
+    """How one pair trains: probe count and re-training period."""
+
+    name: str
+    n_probes: int
+    interval_us: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.n_probes < 1:
+            raise ValueError("must probe at least one sector")
+        if self.interval_us <= 0:
+            raise ValueError("training interval must be positive")
+
+    @property
+    def training_time_us(self) -> float:
+        return mutual_training_time_us(self.n_probes)
+
+    @property
+    def trainings_per_second(self) -> float:
+        return 1e6 / self.interval_us
+
+
+class AirtimeLedger:
+    """Tracks exclusive (training) airtime on the shared channel."""
+
+    def __init__(self, epoch_us: float = 1_000_000.0):
+        if epoch_us <= 0:
+            raise ValueError("epoch must be positive")
+        self.epoch_us = epoch_us
+        self._exclusive_us: float = 0.0
+        self._by_source: Dict[str, float] = {}
+
+    def add_training(self, source: str, policy: TrainingPolicy) -> None:
+        """Charge one epoch's worth of training for one pair."""
+        duration = policy.training_time_us * policy.trainings_per_second * (
+            self.epoch_us / 1e6
+        )
+        self._exclusive_us += duration
+        self._by_source[source] = self._by_source.get(source, 0.0) + duration
+
+    @property
+    def exclusive_us(self) -> float:
+        return self._exclusive_us
+
+    @property
+    def by_source(self) -> Dict[str, float]:
+        return dict(self._by_source)
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when training alone exceeds the epoch."""
+        return self._exclusive_us >= self.epoch_us
+
+    def data_fraction(self) -> float:
+        """Fraction of the epoch left for (spatially reused) data."""
+        return max(0.0, 1.0 - self._exclusive_us / self.epoch_us)

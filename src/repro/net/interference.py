@@ -1,0 +1,124 @@
+"""Directional spatial reuse: inter-pair interference and SINR.
+
+§7's dense-room argument assumes directional data links coexist; how
+well they do depends on the actual sector patterns — a wide or smeared
+beam leaks power into a neighbour's receiver.  This module computes
+the pairwise interference of concurrently transmitting pairs from the
+same ground-truth antenna model the rest of the simulator uses, and
+turns SNR into SINR per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..channel.environment import Environment
+from ..channel.link import LinkBudget, LinkSimulator
+from ..geometry.rotation import Orientation
+from ..phased_array.array import PhasedArray
+from ..phased_array.weights import WeightVector
+
+__all__ = ["DirectionalLink", "InterferenceGraph"]
+
+
+@dataclass(frozen=True)
+class DirectionalLink:
+    """One concurrently active TX→RX pair in the room.
+
+    Attributes:
+        name: pair identifier.
+        tx_position_m / rx_position_m: endpoints in the world frame.
+        tx_orientation / rx_orientation: device poses.
+        tx_weights: the TX sector in use (the trained selection).
+        rx_weights: the receive pattern (quasi-omni on the Talon).
+    """
+
+    name: str
+    tx_position_m: np.ndarray
+    rx_position_m: np.ndarray
+    tx_orientation: Orientation
+    rx_orientation: Orientation
+    tx_weights: WeightVector
+    rx_weights: WeightVector
+
+
+class InterferenceGraph:
+    """All-pairs interference inside one room."""
+
+    def __init__(
+        self,
+        environment: Environment,
+        antenna: PhasedArray,
+        links: List[DirectionalLink],
+        budget: Optional[LinkBudget] = None,
+    ):
+        """
+        Args:
+            environment: the room (its reflectors also carry
+                interference).
+            antenna: the array model shared by every device.
+        """
+        if not links:
+            raise ValueError("need at least one link")
+        names = [link.name for link in links]
+        if len(set(names)) != len(names):
+            raise ValueError("link names must be unique")
+        self.environment = environment
+        self.antenna = antenna
+        self.links = list(links)
+        self.budget = budget if budget is not None else LinkBudget()
+
+    def _received_power_dbm(
+        self, transmitter: DirectionalLink, receiver: DirectionalLink
+    ) -> float:
+        """Power from one link's TX at another link's RX."""
+        simulator = LinkSimulator(
+            self.environment,
+            self.antenna,
+            self.antenna,
+            self.budget,
+            tx_position_m=transmitter.tx_position_m,
+            rx_position_m=receiver.rx_position_m,
+        )
+        return simulator.received_power_dbm(
+            transmitter.tx_weights,
+            receiver.rx_weights,
+            tx_orientation=transmitter.tx_orientation,
+            rx_orientation=receiver.rx_orientation,
+        )
+
+    def signal_power_dbm(self, link: DirectionalLink) -> float:
+        return self._received_power_dbm(link, link)
+
+    def interference_power_dbm(self, victim: DirectionalLink) -> float:
+        """Total concurrent interference at one link's receiver."""
+        interferers = [link for link in self.links if link.name != victim.name]
+        if not interferers:
+            return -np.inf
+        linear = sum(
+            10.0 ** (self._received_power_dbm(source, victim) / 10.0)
+            for source in interferers
+        )
+        return float(10.0 * np.log10(max(linear, 1e-30)))
+
+    def sinr_db(self, victim: DirectionalLink) -> float:
+        """Signal over (interference + noise) at the link's receiver."""
+        signal = 10.0 ** (self.signal_power_dbm(victim) / 10.0)
+        interference_dbm = self.interference_power_dbm(victim)
+        interference = (
+            0.0 if np.isneginf(interference_dbm) else 10.0 ** (interference_dbm / 10.0)
+        )
+        noise = 10.0 ** (self.budget.noise_floor_dbm / 10.0)
+        return float(10.0 * np.log10(signal / (interference + noise)))
+
+    def all_sinr_db(self) -> dict:
+        """SINR per link name."""
+        return {link.name: self.sinr_db(link) for link in self.links}
+
+    def reuse_penalty_db(self, link: DirectionalLink) -> float:
+        """SNR minus SINR: what spatial reuse costs this link."""
+        snr = self.signal_power_dbm(link) - self.budget.noise_floor_dbm
+        return float(snr - self.sinr_db(link))

@@ -1,0 +1,63 @@
+"""Phased-array substrate: geometry, weights, imperfections, codebooks."""
+
+from .analysis import PatternMetrics, analyze_cut, codebook_coverage, coverage_fraction
+from .array import PhasedArray
+from .codebook import Codebook, RX_SECTOR_ID, Sector
+from .design import DesignReport, coverage_curve, design_codebook
+from .elements import (
+    DEFAULT_CARRIER_HZ,
+    SPEED_OF_LIGHT_M_S,
+    ElementLayout,
+    talon_layout,
+    uniform_rectangular_layout,
+    wavelength_m,
+)
+from .impairments import ChassisBlockage, HardwareImpairments
+from .steering import steering_matrix, steering_vector
+from .talon import (
+    ELEVATED_SECTOR_IDS,
+    MULTI_LOBE_SECTOR_IDS,
+    STRONG_SECTOR_IDS,
+    TALON_TX_SECTOR_IDS,
+    WEAK_SECTOR_IDS,
+    WIDE_SECTOR_IDS,
+    fine_codebook,
+    probing_sector_ids,
+    talon_codebook,
+)
+from .weights import WeightVector, quantize_phase
+
+__all__ = [
+    "PatternMetrics",
+    "analyze_cut",
+    "codebook_coverage",
+    "coverage_fraction",
+    "PhasedArray",
+    "Codebook",
+    "DesignReport",
+    "coverage_curve",
+    "design_codebook",
+    "RX_SECTOR_ID",
+    "Sector",
+    "DEFAULT_CARRIER_HZ",
+    "SPEED_OF_LIGHT_M_S",
+    "ElementLayout",
+    "talon_layout",
+    "uniform_rectangular_layout",
+    "wavelength_m",
+    "ChassisBlockage",
+    "HardwareImpairments",
+    "steering_matrix",
+    "steering_vector",
+    "ELEVATED_SECTOR_IDS",
+    "MULTI_LOBE_SECTOR_IDS",
+    "STRONG_SECTOR_IDS",
+    "TALON_TX_SECTOR_IDS",
+    "WEAK_SECTOR_IDS",
+    "WIDE_SECTOR_IDS",
+    "talon_codebook",
+    "fine_codebook",
+    "probing_sector_ids",
+    "WeightVector",
+    "quantize_phase",
+]

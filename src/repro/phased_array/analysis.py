@@ -1,0 +1,143 @@
+"""Antenna pattern analysis: beamwidth, directivity, sidelobes, coverage.
+
+The paper deliberately avoids quoting beamwidths for the Talon's
+sectors ("due to these strong variations, we do not provide beamwidths
+or sector steering angles") — precisely because real patterns need
+robust numeric definitions.  This module provides them, for both
+ground-truth gain cuts and measured SNR patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PatternMetrics", "analyze_cut", "coverage_fraction", "codebook_coverage"]
+
+
+@dataclass(frozen=True)
+class PatternMetrics:
+    """Summary metrics of one azimuth cut of a pattern."""
+
+    peak_db: float
+    peak_azimuth_deg: float
+    beamwidth_3db_deg: Optional[float]
+    sidelobe_level_db: Optional[float]
+    n_lobes: int
+
+
+def _lobe_runs(above: np.ndarray) -> List[np.ndarray]:
+    """Index runs of True values, treating the axis as circular."""
+    if not above.any():
+        return []
+    if above.all():
+        return [np.arange(above.size)]
+    # Rotate so the cut starts outside a lobe, then split runs.
+    start = int(np.argmin(above))
+    rotated = np.roll(above, -start)
+    indices = (np.arange(above.size) + start) % above.size
+    runs: List[np.ndarray] = []
+    current: List[int] = []
+    for position, flag in enumerate(rotated):
+        if flag:
+            current.append(indices[position])
+        elif current:
+            runs.append(np.asarray(current))
+            current = []
+    if current:
+        runs.append(np.asarray(current))
+    return runs
+
+
+def analyze_cut(
+    gains_db: Sequence[float],
+    azimuths_deg: Sequence[float],
+    lobe_threshold_db: float = 3.0,
+) -> PatternMetrics:
+    """Compute metrics for one circular azimuth cut.
+
+    Args:
+        gains_db: gain (or measured SNR) per azimuth sample.
+        azimuths_deg: matching azimuth axis (uniformly spaced).
+        lobe_threshold_db: lobes are regions within this of the peak.
+    """
+    gains = np.asarray(list(gains_db), dtype=float)
+    azimuths = np.asarray(list(azimuths_deg), dtype=float)
+    if gains.shape != azimuths.shape or gains.ndim != 1 or gains.size < 3:
+        raise ValueError("need matching 1-D arrays of at least 3 samples")
+
+    peak_index = int(np.argmax(gains))
+    peak = float(gains[peak_index])
+    step = float(np.median(np.diff(azimuths)))
+
+    # Main-lobe 3 dB beamwidth: walk outward from the peak.
+    above_3db = gains >= peak - 3.0
+    runs = _lobe_runs(above_3db)
+    beamwidth: Optional[float] = None
+    for run in runs:
+        if peak_index in run:
+            beamwidth = float(len(run) * step)
+            break
+
+    # Sidelobe level: strongest sample outside the *null-to-null* main
+    # lobe (walk from the peak in both directions until gains rise).
+    n = gains.size
+    left = peak_index
+    while True:
+        nxt = (left - 1) % n
+        if nxt == peak_index or gains[nxt] > gains[left]:
+            break
+        left = nxt
+    right = peak_index
+    while True:
+        nxt = (right + 1) % n
+        if nxt == peak_index or gains[nxt] > gains[right]:
+            break
+        right = nxt
+    main_extent = {peak_index}
+    index = left
+    while True:
+        main_extent.add(index)
+        if index == right:
+            break
+        index = (index + 1) % n
+    sidelobe: Optional[float] = None
+    if len(main_extent) < n:
+        outside = np.ones(n, dtype=bool)
+        outside[list(main_extent)] = False
+        sidelobe = float(gains[outside].max() - peak)
+
+    lobes = _lobe_runs(gains >= peak - lobe_threshold_db)
+    return PatternMetrics(
+        peak_db=peak,
+        peak_azimuth_deg=float(azimuths[peak_index]),
+        beamwidth_3db_deg=beamwidth,
+        sidelobe_level_db=sidelobe,
+        n_lobes=max(len(lobes), 1),
+    )
+
+
+def coverage_fraction(
+    gains_db: np.ndarray, threshold_db: float
+) -> float:
+    """Fraction of sampled directions with gain above a threshold."""
+    gains = np.asarray(gains_db, dtype=float)
+    if gains.size == 0:
+        raise ValueError("empty gain array")
+    return float(np.mean(gains >= threshold_db))
+
+
+def codebook_coverage(
+    per_sector_gains_db: Sequence[np.ndarray], threshold_db: float
+) -> float:
+    """Fraction of directions served by *some* sector above a threshold.
+
+    The composite coverage of a codebook: for each sampled direction
+    take the best sector, then threshold.  A well-designed codebook
+    covers its service region with no holes.
+    """
+    stacked = np.stack([np.asarray(g, dtype=float) for g in per_sector_gains_db])
+    best = stacked.max(axis=0)
+    return float(np.mean(best >= threshold_db))

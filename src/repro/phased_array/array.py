@@ -1,0 +1,136 @@
+"""The phased array itself: weights × geometry × imperfections → gain.
+
+:class:`PhasedArray` evaluates the far-field power gain of a weight
+vector in arbitrary directions, including the per-element directivity,
+the device-specific element errors and the chassis blockage.  This is
+the ground-truth radiation model that both the simulated firmware and
+the simulated measurement campaign observe through noisy channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from .elements import ElementLayout, talon_layout
+from .impairments import HardwareImpairments
+from .steering import steering_matrix
+from .weights import WeightVector
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["PhasedArray"]
+
+#: Residual power that leaks behind the array plane, relative to an
+#: isotropic element (linear).  Keeps rear-hemisphere gains finite.
+_BACK_LEAKAGE_LINEAR = 10.0 ** (-18.0 / 10.0)
+
+
+@dataclass(frozen=True)
+class PhasedArray:
+    """A planar phased array with low-cost-hardware imperfections.
+
+    Attributes:
+        layout: element geometry.
+        impairments: static per-element and chassis imperfections.
+        element_exponent: exponent ``q`` of the ``cos(ψ)**q`` element
+            power pattern (ψ = angle off boresight).
+        element_peak_gain_db: boresight gain of a single element.
+    """
+
+    layout: ElementLayout
+    impairments: HardwareImpairments
+    element_exponent: float = 1.5
+    element_peak_gain_db: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.impairments.n_elements != self.layout.n_elements:
+            raise ValueError(
+                "impairments cover "
+                f"{self.impairments.n_elements} elements but the layout has "
+                f"{self.layout.n_elements}"
+            )
+        if self.element_exponent < 0:
+            raise ValueError("element exponent must be non-negative")
+
+    @classmethod
+    def talon(
+        cls,
+        rng: np.random.Generator = None,
+        ideal: bool = False,
+    ) -> "PhasedArray":
+        """A Talon-AD7200-like 32-element array.
+
+        Args:
+            rng: generator for the device-specific imperfections; a
+                fixed default seed is used when omitted so that "the
+                device on the rotation head" is reproducible.
+            ideal: build a perfect front-end instead (for ablations).
+        """
+        layout = talon_layout()
+        if ideal:
+            impairments = HardwareImpairments.ideal(layout.n_elements)
+        else:
+            if rng is None:
+                rng = np.random.default_rng(0xAD7200)
+            impairments = HardwareImpairments.sample(layout.n_elements, rng)
+        return cls(layout=layout, impairments=impairments)
+
+    @property
+    def n_elements(self) -> int:
+        return self.layout.n_elements
+
+    def element_power_pattern(
+        self, azimuth_deg: ArrayLike, elevation_deg: ArrayLike
+    ) -> np.ndarray:
+        """Per-element power pattern (linear, relative to isotropic)."""
+        azimuth = np.deg2rad(np.asarray(azimuth_deg, dtype=float))
+        elevation = np.deg2rad(np.asarray(elevation_deg, dtype=float))
+        azimuth, elevation = np.broadcast_arrays(azimuth, elevation)
+        # cos of the angle between direction and boresight (+x).
+        cos_psi = np.cos(elevation) * np.cos(azimuth)
+        peak = 10.0 ** (self.element_peak_gain_db / 10.0)
+        front = peak * np.clip(cos_psi, 0.0, 1.0) ** self.element_exponent
+        return np.maximum(front, peak * _BACK_LEAKAGE_LINEAR)
+
+    def gain_db(
+        self,
+        weights: WeightVector,
+        azimuth_deg: ArrayLike,
+        elevation_deg: ArrayLike,
+    ) -> ArrayLike:
+        """Realized power gain (dBi) of a weight vector.
+
+        Broadcasts over directions; scalar inputs return a float.
+        """
+        if weights.n_elements != self.n_elements:
+            raise ValueError("weight vector length must match the array")
+        azimuths = np.asarray(azimuth_deg, dtype=float)
+        elevations = np.asarray(elevation_deg, dtype=float)
+        azimuths_b, elevations_b = np.broadcast_arrays(azimuths, elevations)
+        shape = azimuths_b.shape
+
+        steering = steering_matrix(self.layout, azimuths_b.ravel(), elevations_b.ravel())
+        effective = weights.weights * self.impairments.element_response()
+        array_factor = steering @ effective  # (k,)
+        array_power = np.abs(array_factor) ** 2
+
+        element_power = self.element_power_pattern(azimuths_b, elevations_b).ravel()
+        power = np.maximum(array_power * element_power, 1e-12)
+        gain = 10.0 * np.log10(power)
+        gain = gain - self.impairments.blockage.attenuation_db(
+            azimuths_b.ravel(), elevations_b.ravel()
+        )
+        gain = gain.reshape(shape)
+        if gain.ndim == 0:
+            return float(gain)
+        return gain
+
+    def peak_gain_db(self, weights: WeightVector, grid_step_deg: float = 2.0) -> float:
+        """Maximum gain over a coarse hemisphere scan (diagnostic)."""
+        azimuths = np.arange(-90.0, 90.0 + grid_step_deg, grid_step_deg)
+        elevations = np.arange(-60.0, 60.0 + grid_step_deg, grid_step_deg)
+        az_mesh, el_mesh = np.meshgrid(azimuths, elevations)
+        return float(np.max(self.gain_db(weights, az_mesh, el_mesh)))

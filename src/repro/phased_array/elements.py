@@ -1,0 +1,107 @@
+"""Antenna element layouts.
+
+The Talon AD7200's QCA9500 chip drives a 32-element planar phased
+array.  We model it as a 6×6 half-wavelength grid with the four corner
+elements removed — a common low-cost layout with the right element
+count — lying in the device's y–z plane so that the array boresight is
+the +x axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+#: IEEE 802.11ad channel 2 center frequency (the Talon default).
+DEFAULT_CARRIER_HZ = 60.48e9
+
+__all__ = [
+    "SPEED_OF_LIGHT_M_S",
+    "DEFAULT_CARRIER_HZ",
+    "wavelength_m",
+    "ElementLayout",
+    "uniform_rectangular_layout",
+    "talon_layout",
+]
+
+
+def wavelength_m(carrier_hz: float = DEFAULT_CARRIER_HZ) -> float:
+    """Free-space wavelength for a carrier frequency."""
+    if carrier_hz <= 0:
+        raise ValueError("carrier frequency must be positive")
+    return SPEED_OF_LIGHT_M_S / carrier_hz
+
+
+@dataclass(frozen=True)
+class ElementLayout:
+    """Positions of the array elements in the device frame (meters).
+
+    Attributes:
+        positions_m: array of shape ``(n_elements, 3)``; elements lie in
+            the y–z plane for a boresight along +x.
+        carrier_hz: design carrier frequency of the array.
+    """
+
+    positions_m: np.ndarray
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions_m, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError("positions must have shape (n_elements, 3)")
+        if positions.shape[0] == 0:
+            raise ValueError("layout must contain at least one element")
+        object.__setattr__(self, "positions_m", positions)
+        if self.carrier_hz <= 0:
+            raise ValueError("carrier frequency must be positive")
+
+    @property
+    def n_elements(self) -> int:
+        return self.positions_m.shape[0]
+
+    @property
+    def wavelength_m(self) -> float:
+        return wavelength_m(self.carrier_hz)
+
+    @property
+    def aperture_m(self) -> float:
+        """Largest pairwise element distance (array aperture)."""
+        deltas = self.positions_m[:, np.newaxis, :] - self.positions_m[np.newaxis, :, :]
+        return float(np.max(np.linalg.norm(deltas, axis=-1)))
+
+
+def uniform_rectangular_layout(
+    n_rows: int,
+    n_cols: int,
+    spacing_wavelengths: float = 0.5,
+    carrier_hz: float = DEFAULT_CARRIER_HZ,
+) -> ElementLayout:
+    """A centered ``n_rows × n_cols`` grid in the y–z plane."""
+    if n_rows < 1 or n_cols < 1:
+        raise ValueError("grid dimensions must be at least 1x1")
+    spacing = spacing_wavelengths * wavelength_m(carrier_hz)
+    row_offsets = (np.arange(n_rows) - (n_rows - 1) / 2.0) * spacing
+    col_offsets = (np.arange(n_cols) - (n_cols - 1) / 2.0) * spacing
+    positions = [
+        (0.0, col, row)  # columns along y, rows along z
+        for row in row_offsets
+        for col in col_offsets
+    ]
+    return ElementLayout(np.asarray(positions), carrier_hz)
+
+
+def talon_layout(carrier_hz: float = DEFAULT_CARRIER_HZ) -> ElementLayout:
+    """The synthetic 32-element Talon AD7200 array.
+
+    A 6×6 half-wavelength grid with the four corner elements removed,
+    matching the 32-element count reported for the QCA9500 front-end.
+    """
+    full = uniform_rectangular_layout(6, 6, 0.5, carrier_hz)
+    spacing = 0.5 * full.wavelength_m
+    half_extent = 2.5 * spacing
+    y = full.positions_m[:, 1]
+    z = full.positions_m[:, 2]
+    is_corner = (np.abs(y) > half_extent - 1e-9) & (np.abs(z) > half_extent - 1e-9)
+    return ElementLayout(full.positions_m[~is_corner], carrier_hz)

@@ -1,0 +1,53 @@
+"""Steering vectors for planar arrays.
+
+A steering vector captures the relative carrier phase at each element
+for a plane wave from direction ``(azimuth, elevation)``.  Beamforming
+weights that conjugate the steering vector align all element
+contributions in that direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.spherical import direction_vector
+from .elements import ElementLayout
+
+__all__ = ["steering_vector", "steering_matrix"]
+
+
+def steering_vector(
+    layout: ElementLayout, azimuth_deg: float, elevation_deg: float
+) -> np.ndarray:
+    """Complex steering vector of shape ``(n_elements,)``.
+
+    Element ``i`` carries phase ``exp(j * 2π/λ * <p_i, u>)`` where
+    ``p_i`` is the element position and ``u`` the unit direction.
+    """
+    direction = direction_vector(azimuth_deg, elevation_deg)
+    wavenumber = 2.0 * np.pi / layout.wavelength_m
+    phases = wavenumber * (layout.positions_m @ direction)
+    return np.exp(1j * phases)
+
+
+def steering_matrix(
+    layout: ElementLayout, azimuths_deg: np.ndarray, elevations_deg: np.ndarray
+) -> np.ndarray:
+    """Steering vectors for many directions at once.
+
+    Args:
+        layout: the array geometry.
+        azimuths_deg: flat array of ``k`` azimuth angles.
+        elevations_deg: flat array of ``k`` elevation angles (same length).
+
+    Returns:
+        Complex array of shape ``(k, n_elements)``.
+    """
+    azimuths = np.atleast_1d(np.asarray(azimuths_deg, dtype=float))
+    elevations = np.atleast_1d(np.asarray(elevations_deg, dtype=float))
+    if azimuths.shape != elevations.shape:
+        raise ValueError("azimuth and elevation arrays must have the same shape")
+    directions = direction_vector(azimuths, elevations)  # (k, 3)
+    wavenumber = 2.0 * np.pi / layout.wavelength_m
+    phases = wavenumber * (directions @ layout.positions_m.T)  # (k, n)
+    return np.exp(1j * phases)

@@ -1,0 +1,328 @@
+"""Synthetic Talon AD7200 sector codebook.
+
+The paper measures 35 predefined patterns (TX sectors 1–31 and 61–63
+plus the quasi-omni RX sector) and reports their qualitative traits in
+§4.4:
+
+* sectors 2, 8, 12, 20, 24 and 63 have one strong lobe;
+* sectors 13, 22 and 27 have multiple, equally powered lobes;
+* sector 26 covers a wide azimuth range but loses gain at higher
+  elevations (a torus-like shape);
+* sector 5 has low in-plane gain with stronger lobes at higher
+  elevation angles;
+* sectors 25 and 62 are weak everywhere measured;
+* patterns are distorted behind the device (beyond ±120° azimuth).
+
+This module synthesizes a codebook with exactly those traits on the
+32-element array, using 2-bit phase quantization and per-sector
+pseudo-random perturbations so the beams look like imperfect low-cost
+hardware rather than textbook patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .array import PhasedArray
+from .codebook import Codebook, RX_SECTOR_ID, Sector
+from .elements import ElementLayout
+from .steering import steering_vector
+from .weights import WeightVector
+
+__all__ = [
+    "TALON_TX_SECTOR_IDS",
+    "STRONG_SECTOR_IDS",
+    "MULTI_LOBE_SECTOR_IDS",
+    "WIDE_SECTOR_IDS",
+    "ELEVATED_SECTOR_IDS",
+    "WEAK_SECTOR_IDS",
+    "talon_codebook",
+    "fine_codebook",
+    "probing_sector_ids",
+]
+
+#: TX sector IDs the Talon actually uses (Table 1): 1..31, 61, 62, 63.
+TALON_TX_SECTOR_IDS: List[int] = list(range(1, 32)) + [61, 62, 63]
+
+STRONG_SECTOR_IDS = (2, 8, 12, 20, 24, 63)
+MULTI_LOBE_SECTOR_IDS = (13, 22, 27)
+WIDE_SECTOR_IDS = (26,)
+ELEVATED_SECTOR_IDS = (5,)
+WEAK_SECTOR_IDS = (25, 62)
+
+#: Hand-assigned steering directions (azimuth, elevation) for the
+#: strongly directive sectors; IDs scan the frontal azimuth range.
+_STRONG_DIRECTIONS: Dict[int, Tuple[float, float]] = {
+    2: (-40.0, 0.0),
+    8: (-15.0, 0.0),
+    12: (0.0, 5.0),
+    20: (15.0, 0.0),
+    24: (40.0, 0.0),
+    63: (0.0, 0.0),
+}
+
+#: Lobe pairs for the multi-lobe sectors.
+_MULTI_LOBE_DIRECTIONS: Dict[int, Tuple[Tuple[float, float], Tuple[float, float]]] = {
+    13: ((-30.0, 0.0), (30.0, 5.0)),
+    22: ((-50.0, 0.0), (20.0, 10.0)),
+    27: ((10.0, 0.0), (-60.0, 5.0)),
+}
+
+_ELEVATED_DIRECTIONS: Dict[int, Tuple[float, float]] = {5: (5.0, 25.0)}
+
+
+def _generic_directions(rng: np.random.Generator) -> Dict[int, Tuple[float, float]]:
+    """Steering directions for the remaining ordinary sectors.
+
+    The ordinary sectors jointly scan azimuth from −75° to 75° with a
+    small spread of elevations, in an ID order shuffled once per
+    codebook (real codebooks do not store sectors sorted by angle).
+    """
+    special = set(
+        STRONG_SECTOR_IDS
+        + MULTI_LOBE_SECTOR_IDS
+        + WIDE_SECTOR_IDS
+        + ELEVATED_SECTOR_IDS
+        + WEAK_SECTOR_IDS
+    )
+    generic_ids = [sector_id for sector_id in TALON_TX_SECTOR_IDS if sector_id not in special]
+    azimuths = np.linspace(-85.0, 85.0, len(generic_ids))
+    elevations = np.resize(np.array([0.0, 8.0, -8.0, 16.0, 24.0]), len(generic_ids))
+    order = rng.permutation(len(generic_ids))
+    return {
+        sector_id: (float(azimuths[slot]), float(elevations[slot]))
+        for sector_id, slot in zip(generic_ids, order)
+    }
+
+
+def _perturbed(
+    weights: WeightVector, rng: np.random.Generator, phase_std_rad: float = 0.60
+) -> WeightVector:
+    """Apply a per-sector pseudo-random phase perturbation.
+
+    Models the fact that vendor codebooks are tuned per device family
+    and end up visibly irregular compared with textbook beams.
+    """
+    perturbation = np.exp(1j * rng.normal(0.0, phase_std_rad, size=weights.n_elements))
+    return WeightVector(weights.weights * perturbation)
+
+
+def _steered_sector(
+    layout: ElementLayout,
+    azimuth_deg: float,
+    elevation_deg: float,
+    rng: np.random.Generator,
+    phase_std_rad: float = 0.60,
+    efficiency_spread_db: float = 3.0,
+) -> WeightVector:
+    """A quantized, perturbed beam steered at one direction.
+
+    Each sector additionally draws a tuning-quality factor (up to
+    ``efficiency_spread_db`` of loss): real vendor codebooks are tuned
+    unevenly, which is why some measured sectors in Figure 5 clearly
+    dominate their neighbourhood while others barely reach them.
+    """
+    ideal = WeightVector.conjugate_steering(steering_vector(layout, azimuth_deg, elevation_deg))
+    quantized = _perturbed(ideal, rng, phase_std_rad).quantized(phase_bits=2).normalized()
+    efficiency_scale = 10.0 ** (-rng.uniform(0.0, efficiency_spread_db) / 20.0)
+    return WeightVector(quantized.weights * efficiency_scale)
+
+
+def _multi_lobe_sector(
+    layout: ElementLayout,
+    directions: Tuple[Tuple[float, float], Tuple[float, float]],
+    rng: np.random.Generator,
+) -> WeightVector:
+    """Superposition of two steered beams → two comparable lobes."""
+    combined = np.zeros(layout.n_elements, dtype=complex)
+    for azimuth_deg, elevation_deg in directions:
+        combined += np.conj(steering_vector(layout, azimuth_deg, elevation_deg))
+    return _perturbed(WeightVector(combined), rng, 0.25).quantized(phase_bits=2).normalized()
+
+
+def _wide_sector(layout: ElementLayout, rng: np.random.Generator) -> WeightVector:
+    """A wide-azimuth beam: only the two central columns radiate.
+
+    A narrow horizontal aperture widens the azimuth beam while the full
+    vertical aperture keeps elevation selectivity — gain drops at high
+    elevation, giving the torus-like coverage of sector 26.
+    """
+    y = layout.positions_m[:, 1]
+    spacing = 0.5 * layout.wavelength_m
+    active = np.abs(y) < spacing  # the two columns closest to center
+    uniform = WeightVector.uniform(layout.n_elements).with_element_mask(active)
+    return _perturbed(uniform, rng, 0.15).quantized(phase_bits=2).normalized()
+
+
+def _weak_sector(layout: ElementLayout, rng: np.random.Generator, n_active: int) -> WeightVector:
+    """A badly tuned sector: few elements, incoherent phases.
+
+    A 4 dB scale models the feed mismatch of these mis-tuned entries,
+    reproducing the "low gains in all directions" of sectors 25/62.
+    """
+    active = np.zeros(layout.n_elements, dtype=bool)
+    active[rng.choice(layout.n_elements, size=n_active, replace=False)] = True
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=layout.n_elements)
+    weights = WeightVector(np.exp(1j * phases)).with_element_mask(active)
+    quantized = weights.quantized(phase_bits=2).normalized()
+    mismatch_scale = 10.0 ** (-4.0 / 20.0)
+    return WeightVector(quantized.weights * mismatch_scale)
+
+
+def _rx_quasi_omni(layout: ElementLayout) -> WeightVector:
+    """Quasi-omni receive sector: a single center element."""
+    distances = np.linalg.norm(layout.positions_m, axis=1)
+    active = np.zeros(layout.n_elements, dtype=bool)
+    active[int(np.argmin(distances))] = True
+    return WeightVector.uniform(layout.n_elements).with_element_mask(active).normalized()
+
+
+def talon_codebook(
+    antenna: PhasedArray, rng: Optional[np.random.Generator] = None
+) -> Codebook:
+    """Build the synthetic 35-entry Talon AD7200 codebook.
+
+    Args:
+        antenna: the array the codebook is designed for (only its
+            layout matters here).
+        rng: source of the per-sector perturbations; defaults to a
+            fixed seed so "the stock codebook" is stable across runs.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0x11AD)
+    layout = antenna.layout
+    generic_directions = _generic_directions(rng)
+
+    sectors: List[Sector] = [Sector(RX_SECTOR_ID, _rx_quasi_omni(layout), kind="quasi-omni")]
+    for sector_id in TALON_TX_SECTOR_IDS:
+        if sector_id in _STRONG_DIRECTIONS:
+            azimuth, elevation = _STRONG_DIRECTIONS[sector_id]
+            # The strong sectors are the vendor's best-tuned beams.
+            weights = _steered_sector(
+                layout, azimuth, elevation, rng, phase_std_rad=0.20, efficiency_spread_db=0.5
+            )
+            kind = "strong"
+        elif sector_id in _MULTI_LOBE_DIRECTIONS:
+            weights = _multi_lobe_sector(layout, _MULTI_LOBE_DIRECTIONS[sector_id], rng)
+            kind = "multi-lobe"
+        elif sector_id in WIDE_SECTOR_IDS:
+            weights = _wide_sector(layout, rng)
+            kind = "wide"
+        elif sector_id in _ELEVATED_DIRECTIONS:
+            azimuth, elevation = _ELEVATED_DIRECTIONS[sector_id]
+            weights = _steered_sector(layout, azimuth, elevation, rng)
+            kind = "elevated"
+        elif sector_id in WEAK_SECTOR_IDS:
+            weights = _weak_sector(layout, rng, n_active=4)
+            kind = "weak"
+        else:
+            azimuth, elevation = generic_directions[sector_id]
+            weights = _steered_sector(layout, azimuth, elevation, rng)
+            kind = "directive"
+        sectors.append(Sector(sector_id, weights, kind=kind))
+    return Codebook(sectors, rx_sector_id=RX_SECTOR_ID)
+
+
+def _broad_probe_sector(
+    layout: ElementLayout,
+    azimuth_deg: float,
+    elevation_deg: float,
+    rng: np.random.Generator,
+) -> WeightVector:
+    """A wide beam for probing: only two element columns radiate.
+
+    The reduced horizontal aperture roughly triples the azimuth
+    beamwidth, so a handful of these cover the whole frontal range —
+    exactly what the compressive correlation wants from its probes
+    (overlapping, informative measurements instead of disjoint point
+    samples).
+    """
+    y = layout.positions_m[:, 1]
+    spacing = 0.5 * layout.wavelength_m
+    # Three center columns: a ~1.5-wavelength horizontal aperture gives
+    # ~35-40 degree beams — wide enough to overlap, narrow enough to
+    # break the left/right ambiguity a 2-column aperture suffers.
+    active = np.abs(y) < 1.6 * spacing
+    ideal = WeightVector.conjugate_steering(
+        steering_vector(layout, azimuth_deg, elevation_deg)
+    ).with_element_mask(active)
+    return _perturbed(ideal, rng, 0.25).quantized(phase_bits=2).normalized()
+
+
+def fine_codebook(
+    antenna: PhasedArray,
+    n_sectors: int = 63,
+    n_probing: int = 12,
+    rng: Optional[np.random.Generator] = None,
+    max_azimuth_deg: float = 85.0,
+    max_elevation_deg: float = 28.0,
+) -> Codebook:
+    """A denser sector grid for future, finer-grained devices (§7).
+
+    "Future generations are likely to demand higher directivities and
+    more fine-grained beam control.  Such requirements could be
+    addressed by increasing the number of implemented and predefined
+    sectors" — this factory builds such a codebook up to the SSW
+    field's 6-bit limit (63 TX sectors; the RX quasi-omni keeps ID 0).
+
+    The first ``n_probing`` IDs are **broad probing sectors** (reduced
+    aperture, ~3× wider beams, two elevation rows): compressive
+    estimation needs probes whose patterns *overlap* the whole angular
+    range, which a set of disjoint pencil beams cannot provide.  The
+    remaining IDs are narrow, finely spaced data beams — the precise
+    patterns §7 wants selectable "without additional training time".
+    """
+    if rng is None:
+        rng = np.random.default_rng(0xF17E)
+    if not 1 <= n_sectors <= 63:
+        raise ValueError("the SSW sector field allows at most 63 TX sectors")
+    if not 0 <= n_probing < n_sectors:
+        raise ValueError("probing sectors must leave room for data sectors")
+    layout = antenna.layout
+    sectors: List[Sector] = [Sector(RX_SECTOR_ID, _rx_quasi_omni(layout), kind="quasi-omni")]
+    sector_id = 1
+
+    # Broad probing sectors: two elevation rows across the azimuth range.
+    if n_probing:
+        probe_rows = 2 if n_probing >= 6 else 1
+        per_row = np.full(probe_rows, n_probing // probe_rows)
+        per_row[: n_probing % probe_rows] += 1
+        probe_elevations = np.linspace(0.0, max_elevation_deg * 0.6, probe_rows)
+        for row_index in range(probe_rows):
+            azimuths = np.linspace(
+                -max_azimuth_deg * 0.85, max_azimuth_deg * 0.85, per_row[row_index]
+            )
+            for azimuth in azimuths:
+                weights = _broad_probe_sector(
+                    layout, float(azimuth), float(probe_elevations[row_index]), rng
+                )
+                sectors.append(Sector(sector_id, weights, kind="probe"))
+                sector_id += 1
+
+    # Narrow data sectors tiling azimuth × elevation.
+    n_data = n_sectors - n_probing
+    n_rows = max(1, min(4, n_data // 12))
+    elevations = np.linspace(0.0, max_elevation_deg, n_rows)
+    per_row = np.full(n_rows, n_data // n_rows)
+    per_row[: n_data % n_rows] += 1
+    for row_index in range(n_rows):
+        azimuths = np.linspace(-max_azimuth_deg, max_azimuth_deg, per_row[row_index])
+        for azimuth in azimuths:
+            weights = _steered_sector(
+                layout,
+                float(azimuth),
+                float(elevations[row_index]),
+                rng,
+                phase_std_rad=0.35,
+                efficiency_spread_db=1.5,
+            )
+            sectors.append(Sector(sector_id, weights, kind="fine"))
+            sector_id += 1
+    return Codebook(sectors, rx_sector_id=RX_SECTOR_ID)
+
+
+def probing_sector_ids(codebook: Codebook) -> List[int]:
+    """IDs of the dedicated broad probing sectors of a fine codebook."""
+    return [sector.sector_id for sector in codebook if sector.kind == "probe"]

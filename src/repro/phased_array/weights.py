@@ -1,0 +1,99 @@
+"""Beamforming weight vectors with hardware-style quantization.
+
+Low-cost 802.11ad front-ends (like the QCA9500) do not apply arbitrary
+complex weights: each element has a coarse phase shifter (typically
+2 bits, i.e. steps of 90°) and an on/off or few-step amplitude control.
+:class:`WeightVector` models an ideal complex weight vector together
+with the quantized version the hardware actually applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["quantize_phase", "WeightVector"]
+
+
+def quantize_phase(phase_rad: np.ndarray, phase_bits: int) -> np.ndarray:
+    """Snap phases to the nearest of ``2**phase_bits`` uniform steps.
+
+    Quantization is performed on the principal value, so the result
+    lies on the canonical constellation ``{0, Δ, 2Δ, ...}`` with
+    ``Δ = 2π / 2**bits``.
+    """
+    if phase_bits < 1:
+        raise ValueError("phase_bits must be >= 1")
+    n_levels = 2**phase_bits
+    step = 2.0 * np.pi / n_levels
+    return np.round(np.asarray(phase_rad, dtype=float) / step) * step
+
+
+@dataclass(frozen=True)
+class WeightVector:
+    """Per-element complex beamforming weights.
+
+    Attributes:
+        weights: complex array of shape ``(n_elements,)``.  A zero
+            weight means the element is switched off.
+    """
+
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=complex)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def n_elements(self) -> int:
+        return self.weights.size
+
+    @property
+    def active_elements(self) -> np.ndarray:
+        """Boolean mask of elements with non-zero amplitude."""
+        return np.abs(self.weights) > 1e-12
+
+    @classmethod
+    def uniform(cls, n_elements: int) -> "WeightVector":
+        """All elements on with equal phase."""
+        return cls(np.ones(n_elements, dtype=complex))
+
+    @classmethod
+    def conjugate_steering(cls, steering: np.ndarray) -> "WeightVector":
+        """Ideal beamformer that aligns a given steering vector."""
+        return cls(np.conj(np.asarray(steering, dtype=complex)))
+
+    def quantized(self, phase_bits: int = 2, amplitude_on_off: bool = True) -> "WeightVector":
+        """Hardware-feasible version of this weight vector.
+
+        Phases snap to ``2**phase_bits`` levels; amplitudes collapse to
+        on/off (elements below 10 % of the max amplitude switch off)
+        when ``amplitude_on_off`` is set.
+        """
+        amplitudes = np.abs(self.weights)
+        phases = quantize_phase(np.angle(self.weights), phase_bits)
+        if amplitude_on_off:
+            threshold = 0.1 * np.max(amplitudes) if np.max(amplitudes) > 0 else 0.0
+            amplitudes = np.where(amplitudes > threshold, 1.0, 0.0)
+        return WeightVector(amplitudes * np.exp(1j * phases))
+
+    def normalized(self) -> "WeightVector":
+        """Scale to unit total power (``||w|| = 1``).
+
+        Keeping total weight power constant across sectors models a
+        fixed transmit-power budget split over the active elements.
+        """
+        norm = np.linalg.norm(self.weights)
+        if norm < 1e-12:
+            raise ValueError("cannot normalize an all-zero weight vector")
+        return WeightVector(self.weights / norm)
+
+    def with_element_mask(self, active: np.ndarray) -> "WeightVector":
+        """Zero out the weights of inactive elements."""
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.n_elements,):
+            raise ValueError("mask shape must match the number of elements")
+        return WeightVector(np.where(active, self.weights, 0.0))

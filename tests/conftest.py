@@ -1,0 +1,35 @@
+"""Shared fixtures: one simulated hardware set for the whole session."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Testbed, build_testbed
+from repro.measurement.patterns import PatternTable
+from repro.phased_array import Codebook, PhasedArray, talon_codebook
+
+
+@pytest.fixture(scope="session")
+def testbed() -> Testbed:
+    """Devices plus the measured 3D pattern table (memoized globally)."""
+    return build_testbed()
+
+
+@pytest.fixture(scope="session")
+def antenna(testbed) -> PhasedArray:
+    return testbed.dut_antenna
+
+
+@pytest.fixture(scope="session")
+def codebook(testbed) -> Codebook:
+    return testbed.dut_codebook
+
+
+@pytest.fixture(scope="session")
+def pattern_table(testbed) -> PatternTable:
+    return testbed.pattern_table
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)

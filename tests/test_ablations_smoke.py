@@ -1,0 +1,56 @@
+"""Fast directional checks of every ablation (the benches run them big)."""
+
+import pytest
+
+from repro.experiments import (
+    run_3d_ablation,
+    run_fusion_ablation,
+    run_oob_prior_ablation,
+    run_pattern_ablation,
+    run_probe_set_ablation,
+    run_refinement_ablation,
+)
+
+
+class TestAblationDirections:
+    def test_fusion_product_not_worse_than_snr_only(self):
+        result = run_fusion_ablation(n_probes=14)
+        assert result.variants["fusion=product"] <= result.variants["fusion=snr"]
+        assert result.best_variant() == "fusion=product"
+
+    def test_measured_patterns_beat_theory(self):
+        result = run_pattern_ablation(n_probes=14)
+        assert (
+            result.variants["measured patterns"]
+            < result.variants["theoretical patterns"]
+        )
+
+    def test_diverse_probes_beat_random_at_small_budgets(self):
+        result = run_probe_set_ablation(n_probes=10)
+        assert (
+            result.variants["gain-diverse (greedy)"] < result.variants["random subsets"]
+        )
+
+    def test_3d_required_off_plane(self):
+        result = run_3d_ablation(n_probes=14)
+        assert (
+            result.variants["3D search grid"]
+            < result.variants["2D (azimuth-only) grid"]
+        )
+
+    def test_oob_prior_helps_small_budgets(self):
+        result = run_oob_prior_ablation()
+        assert result.variants["M=4 with prior"] < result.variants["M=4 no prior"]
+
+    def test_refinement_recovers_css_loss(self):
+        result = run_refinement_ablation(n_iterations=8)
+        assert (
+            result.variants["loss after refinement"]
+            <= result.variants["loss before refinement"]
+        )
+
+    def test_format_rows_renders(self):
+        result = run_fusion_ablation(n_probes=14)
+        rows = result.format_rows()
+        assert rows[0].startswith("ablation:")
+        assert len(rows) == 1 + len(result.variants)

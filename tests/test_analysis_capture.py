@@ -1,0 +1,168 @@
+"""Tests for pattern analysis metrics and capture traces."""
+
+import numpy as np
+import pytest
+
+from repro.mac import BeaconFrame, SSWFeedbackField, SSWFeedbackFrame, station_mac
+from repro.mac.capture import capture_summary, load_capture, save_capture
+from repro.mac.sweep import CapturedFrame
+from repro.phased_array.analysis import (
+    PatternMetrics,
+    analyze_cut,
+    codebook_coverage,
+    coverage_fraction,
+)
+
+
+def gaussian_lobe(azimuths, center, width, height):
+    return height * np.exp(-((azimuths - center) ** 2) / (2 * width**2))
+
+
+class TestAnalyzeCut:
+    @pytest.fixture
+    def azimuths(self):
+        return np.arange(-180.0, 180.0, 1.0)
+
+    def test_single_lobe_metrics(self, azimuths):
+        gains = gaussian_lobe(azimuths, 20.0, 10.0, 15.0) - 20.0
+        metrics = analyze_cut(gains, azimuths)
+        assert metrics.peak_azimuth_deg == pytest.approx(20.0)
+        assert metrics.peak_db == pytest.approx(-5.0)
+        # The -3 dB points of 15*exp(-(az-20)^2 / 2*10^2) - 20 sit at
+        # |az - 20| = 10 * sqrt(2 ln 1.25) ~= 6.7 -> ~13.4 deg width.
+        assert metrics.beamwidth_3db_deg == pytest.approx(13.4, abs=1.5)
+        assert metrics.n_lobes == 1
+
+    def test_sidelobe_level(self, azimuths):
+        gains = (
+            gaussian_lobe(azimuths, 0.0, 8.0, 10.0)
+            + gaussian_lobe(azimuths, 60.0, 8.0, 5.0)
+            - 20.0
+        )
+        metrics = analyze_cut(gains, azimuths)
+        assert metrics.sidelobe_level_db == pytest.approx(-5.0, abs=0.3)
+
+    def test_two_lobes_counted(self, azimuths):
+        gains = (
+            gaussian_lobe(azimuths, -40.0, 6.0, 10.0)
+            + gaussian_lobe(azimuths, 40.0, 6.0, 9.0)
+        )
+        metrics = analyze_cut(gains, azimuths, lobe_threshold_db=3.0)
+        assert metrics.n_lobes == 2
+
+    def test_lobe_wrapping_across_seam(self, azimuths):
+        gains = gaussian_lobe(azimuths, -179.0, 6.0, 10.0) + gaussian_lobe(
+            azimuths, 179.0, 6.0, 10.0
+        )
+        metrics = analyze_cut(gains, azimuths)
+        assert metrics.n_lobes == 1  # one lobe straddling the seam
+
+    def test_flat_pattern(self, azimuths):
+        metrics = analyze_cut(np.zeros_like(azimuths), azimuths)
+        assert metrics.beamwidth_3db_deg == pytest.approx(360.0)
+        assert metrics.sidelobe_level_db is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_cut([1.0, 2.0], [0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            analyze_cut([1.0, 2.0], [0.0, 1.0])
+
+    def test_on_real_sector(self, antenna, codebook):
+        azimuths = np.arange(-180.0, 180.0, 1.0)
+        gains = antenna.gain_db(codebook[63].weights, azimuths, 0.0)
+        metrics = analyze_cut(gains, azimuths)
+        assert abs(metrics.peak_azimuth_deg) < 20.0
+        assert metrics.beamwidth_3db_deg is not None
+        assert 3.0 < metrics.beamwidth_3db_deg < 90.0
+
+
+class TestCoverage:
+    def test_fraction(self):
+        gains = np.array([-10.0, 0.0, 5.0, 10.0])
+        assert coverage_fraction(gains, 0.0) == 0.75
+        with pytest.raises(ValueError):
+            coverage_fraction(np.array([]), 0.0)
+
+    def test_codebook_composite(self):
+        left = np.array([10.0, -20.0, -20.0])
+        right = np.array([-20.0, -20.0, 10.0])
+        assert codebook_coverage([left, right], 0.0) == pytest.approx(2.0 / 3.0)
+
+    def test_talon_codebook_covers_frontal_range(self, antenna, codebook):
+        azimuths = np.arange(-75.0, 76.0, 3.0)
+        gains = [
+            antenna.gain_db(codebook[s].weights, azimuths, 0.0)
+            for s in codebook.tx_sector_ids
+        ]
+        assert codebook_coverage(gains, 5.0) > 0.95
+
+
+class TestCaptureTrace:
+    def _frames(self):
+        return [
+            CapturedFrame(
+                time_us=0.0,
+                frame=BeaconFrame(src=station_mac(1), sector_id=63, cdown=33),
+                snr_db=8.25,
+            ),
+            CapturedFrame(
+                time_us=18.0,
+                frame=SSWFeedbackFrame(
+                    src=station_mac(1),
+                    dst=station_mac(2),
+                    feedback=SSWFeedbackField(sector_select=13),
+                ),
+                snr_db=None,
+            ),
+        ]
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert save_capture(self._frames(), path) == 2
+        loaded = load_capture(path)
+        assert len(loaded) == 2
+        assert loaded[0].frame == self._frames()[0].frame
+        assert loaded[0].snr_db == 8.25
+        assert loaded[1].snr_db is None
+
+    def test_corrupt_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time_us": 1.0, "frame_hex": "zz"}\n')
+        with pytest.raises(ValueError):
+            load_capture(str(path))
+
+    def test_summary_rendering(self):
+        rows = capture_summary(self._frames())
+        assert len(rows) == 2
+        assert "Beacon" in rows[0] and "sector 63" in rows[0]
+        assert "feedback sector 13" in rows[1]
+
+    def test_live_session_trace(self, tmp_path, rng):
+        """A monitor capture from a real session survives the trace."""
+        from repro.channel import lab_environment
+        from repro.geometry import Orientation
+        from repro.mac import Station, SweepSession
+        from repro.phased_array import PhasedArray
+
+        environment = lab_environment(3.0)
+        initiator = Station(
+            "a", 1, PhasedArray.talon(np.random.default_rng(61)),
+            position_m=environment.tx_position_m,
+        )
+        responder = Station(
+            "b", 2, PhasedArray.talon(np.random.default_rng(62)),
+            position_m=environment.rx_position_m,
+            orientation=Orientation(yaw_deg=180.0),
+        )
+        monitor = Station(
+            "m", 3, PhasedArray.talon(np.random.default_rng(63)),
+            position_m=np.array([1.0, 1.0, 0.0]),
+            orientation=Orientation(yaw_deg=-135.0),
+        )
+        session = SweepSession(initiator, responder, environment, monitor=monitor)
+        result = session.run(rng)
+        path = str(tmp_path / "session.jsonl")
+        save_capture(result.monitor_frames, path)
+        loaded = load_capture(path)
+        assert [c.frame for c in loaded] == [c.frame for c in result.monitor_frames]

@@ -1,0 +1,135 @@
+"""Tests for the baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HierarchicalSearch,
+    OracleSelector,
+    random_beam_codebook,
+    theoretical_pattern_table,
+)
+from repro.core import ProbeMeasurement
+from repro.geometry import AngularGrid
+
+
+class TestOracle:
+    def test_picks_true_best(self):
+        oracle = OracleSelector([3, 7, 9])
+        result = oracle.select_from_truth(np.array([1.0, 5.0, 2.0]))
+        assert result.sector_id == 7
+        assert oracle.best_snr_db(np.array([1.0, 5.0, 2.0])) == 5.0
+
+    def test_shape_validated(self):
+        oracle = OracleSelector([1, 2])
+        with pytest.raises(ValueError):
+            oracle.select_from_truth(np.zeros(3))
+
+    def test_needs_candidates(self):
+        with pytest.raises(ValueError):
+            OracleSelector([])
+
+
+class TestHierarchicalSearch:
+    def _measure_factory(self, pattern_table, azimuth):
+        def measure(sector_ids, rng):
+            return [
+                ProbeMeasurement(
+                    s,
+                    float(pattern_table.gain(s, azimuth, 0.0)),
+                    float(pattern_table.gain(s, azimuth, 0.0)) - 71.5,
+                )
+                for s in sector_ids
+            ]
+
+        return measure
+
+    def test_groups_partition_tx_sectors(self, pattern_table):
+        search = HierarchicalSearch(pattern_table, n_groups=6)
+        members = [m for group in search.groups.values() for m in group]
+        tx_ids = [s for s in pattern_table.sector_ids if s != 0]
+        assert sorted(members) == sorted(tx_ids)
+        for representative, group in search.groups.items():
+            assert representative in group
+
+    def test_two_rounds_fewer_probes_than_full_sweep(self, pattern_table, rng):
+        search = HierarchicalSearch(pattern_table, n_groups=6)
+        outcome = search.run(self._measure_factory(pattern_table, -20.0), rng)
+        assert outcome.n_rounds == 2
+        assert outcome.probes_used < 34
+
+    def test_finds_reasonable_sector(self, pattern_table, rng):
+        search = HierarchicalSearch(pattern_table, n_groups=6)
+        truth = 15.0
+        outcome = search.run(self._measure_factory(pattern_table, truth), rng)
+        chosen_gain = pattern_table.gain(outcome.result.sector_id, truth, 0.0)
+        best_gain = max(
+            pattern_table.gain(s, truth, 0.0)
+            for s in pattern_table.sector_ids
+            if s != 0
+        )
+        assert chosen_gain >= best_gain - 4.0
+
+    def test_training_time_includes_double_feedback(self, pattern_table, rng):
+        search = HierarchicalSearch(pattern_table, n_groups=6)
+        outcome = search.run(self._measure_factory(pattern_table, 0.0), rng)
+        expected = 2.0 * outcome.probes_used * 18.0 + 2 * 49.1
+        assert outcome.training_time_us == pytest.approx(expected)
+
+    def test_empty_first_round_falls_back(self, pattern_table, rng):
+        search = HierarchicalSearch(pattern_table, n_groups=4)
+        outcome = search.run(lambda ids, generator: [], rng)
+        assert outcome.result.fallback
+        assert outcome.n_rounds == 1
+
+    def test_validation(self, pattern_table):
+        with pytest.raises(ValueError):
+            HierarchicalSearch(pattern_table, n_groups=1)
+        with pytest.raises(ValueError):
+            HierarchicalSearch(pattern_table, n_groups=99)
+
+
+class TestRandomBeams:
+    def test_codebook_shape(self, antenna, rng):
+        codebook = random_beam_codebook(antenna, 12, rng)
+        assert codebook.n_tx_sectors == 12
+        assert codebook.rx_sector_id == 0
+        assert all(32 <= s <= 60 for s in codebook.tx_sector_ids)
+
+    def test_all_elements_active(self, antenna, rng):
+        codebook = random_beam_codebook(antenna, 4, rng)
+        for sector_id in codebook.tx_sector_ids:
+            assert codebook[sector_id].weights.active_elements.all()
+
+    def test_count_validated(self, antenna, rng):
+        with pytest.raises(ValueError):
+            random_beam_codebook(antenna, 0, rng)
+        with pytest.raises(ValueError):
+            random_beam_codebook(antenna, 30, rng)
+
+    def test_random_beams_lose_peak_gain(self, antenna, codebook, rng):
+        """§2.1: random phases forgo the beamforming gain."""
+        random_cb = random_beam_codebook(antenna, 10, rng)
+        azimuths = np.linspace(-60, 60, 61)
+        random_peak = max(
+            antenna.gain_db(random_cb[s].weights, azimuths, 0.0).max()
+            for s in random_cb.tx_sector_ids
+        )
+        tuned_peak = antenna.gain_db(codebook[63].weights, azimuths, 0.0).max()
+        assert tuned_peak > random_peak + 3.0
+
+
+class TestTheoreticalPatterns:
+    def test_covers_codebook_on_grid(self, codebook, antenna):
+        grid = AngularGrid(np.arange(-30.0, 31.0, 10.0), np.array([0.0]))
+        table = theoretical_pattern_table(codebook, grid, antenna=antenna)
+        assert set(table.sector_ids) == set(codebook.sector_ids)
+        assert table.pattern(63).shape == grid.shape
+
+    def test_ignores_hardware_impairments(self, codebook, antenna):
+        """Theory assumes a perfect front-end — no chassis blockage."""
+        grid = AngularGrid(np.array([-170.0, 0.0, 170.0]), np.array([0.0]))
+        table = theoretical_pattern_table(codebook, grid, antenna=antenna)
+        theoretical_back = table.gain(63, 170.0, 0.0)
+        measured_back = antenna.gain_db(codebook[63].weights, 170.0, 0.0) - 6.0
+        assert theoretical_back > measured_back  # blockage missing from theory

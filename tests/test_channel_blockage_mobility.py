@@ -1,0 +1,165 @@
+"""Tests for human blockage and mobility trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    ArcTrajectory,
+    HumanBlocker,
+    LinearTrajectory,
+    MobileLink,
+    anechoic_chamber,
+    conference_room,
+)
+
+
+class TestHumanBlocker:
+    def test_blocks_crossing_segment(self):
+        blocker = HumanBlocker(position_m=np.array([1.5, 0.0, 0.0]))
+        assert blocker.blocks_segment(np.zeros(3), np.array([3.0, 0.0, 0.0]))
+
+    def test_misses_distant_segment(self):
+        blocker = HumanBlocker(position_m=np.array([1.5, 2.0, 0.0]))
+        assert not blocker.blocks_segment(np.zeros(3), np.array([3.0, 0.0, 0.0]))
+
+    def test_full_attenuation_inside_radius(self):
+        blocker = HumanBlocker(position_m=np.array([1.5, 0.1, 0.0]), attenuation_db=22.0)
+        loss = blocker.loss_on_segment_db(np.zeros(3), np.array([3.0, 0.0, 0.0]))
+        assert loss == pytest.approx(22.0)
+
+    def test_soft_shadow_edge(self):
+        blocker = HumanBlocker(
+            position_m=np.array([1.5, 0.0, 0.0]), radius_m=0.25, attenuation_db=22.0
+        )
+        # 0.375 m lateral offset: between 1 and 2 radii -> partial loss.
+        loss = blocker.loss_on_segment_db(
+            np.array([0.0, 0.375, 0.0]), np.array([3.0, 0.375, 0.0])
+        )
+        assert 0.0 < loss < 22.0
+
+    def test_no_loss_beyond_two_radii(self):
+        blocker = HumanBlocker(position_m=np.array([1.5, 0.0, 0.0]), radius_m=0.25)
+        loss = blocker.loss_on_segment_db(
+            np.array([0.0, 0.6, 0.0]), np.array([3.0, 0.6, 0.0])
+        )
+        assert loss == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HumanBlocker(position_m=np.zeros(2))
+        with pytest.raises(ValueError):
+            HumanBlocker(position_m=np.zeros(3), radius_m=0.0)
+
+
+class TestEnvironmentBlockage:
+    def test_blocked_los_attenuated(self):
+        chamber = anechoic_chamber(3.0)
+        blocker = HumanBlocker(position_m=np.array([1.5, 0.0, 0.0]))
+        blocked = chamber.with_blockers([blocker])
+        clear_ray = chamber.rays()[0]
+        blocked_ray = blocked.rays()[0]
+        assert blocked_ray.extra_loss_db == pytest.approx(
+            clear_ray.extra_loss_db + blocker.attenuation_db
+        )
+
+    def test_reflected_paths_survive_los_blocker(self):
+        room = conference_room(6.0)
+        blocker = HumanBlocker(position_m=np.array([3.0, 0.0, 0.0]))
+        blocked = room.with_blockers([blocker])
+        clear_rays = room.rays()
+        blocked_rays = blocked.rays()
+        assert blocked_rays[0].extra_loss_db > clear_rays[0].extra_loss_db
+        # At least one non-LOS ray is untouched (the bounce avoids the
+        # center of the room).
+        untouched = [
+            b for c, b in zip(clear_rays[1:], blocked_rays[1:])
+            if b.extra_loss_db == c.extra_loss_db
+        ]
+        assert untouched
+
+    def test_with_blockers_is_nonmutating(self):
+        room = conference_room(6.0)
+        room.with_blockers([HumanBlocker(position_m=np.array([3.0, 0.0, 0.0]))])
+        assert not room.blockers
+
+
+class TestTrajectories:
+    def test_linear(self):
+        trajectory = LinearTrajectory(
+            start_m=np.array([1.0, 0.0, 0.0]), velocity_m_s=np.array([0.0, 0.5, 0.0])
+        )
+        np.testing.assert_allclose(trajectory.position_at(4.0), [1.0, 2.0, 0.0])
+
+    def test_arc_radius_preserved(self):
+        trajectory = ArcTrajectory(
+            center_m=np.zeros(3), radius_m=5.0, angular_speed_deg_s=10.0
+        )
+        for time_s in (0.0, 3.0, 7.0):
+            position = trajectory.position_at(time_s)
+            assert np.linalg.norm(position[:2]) == pytest.approx(5.0)
+
+    def test_arc_angular_speed(self):
+        trajectory = ArcTrajectory(
+            center_m=np.zeros(3), radius_m=2.0, angular_speed_deg_s=30.0
+        )
+        p0 = trajectory.position_at(0.0)
+        p1 = trajectory.position_at(1.0)
+        angle = np.rad2deg(
+            np.arccos(np.clip((p0 @ p1) / (np.linalg.norm(p0) * np.linalg.norm(p1)), -1, 1))
+        )
+        assert angle == pytest.approx(30.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArcTrajectory(center_m=np.zeros(3), radius_m=0.0, angular_speed_deg_s=1.0)
+        with pytest.raises(ValueError):
+            LinearTrajectory(start_m=np.zeros(2), velocity_m_s=np.zeros(3))
+
+
+class TestMobileLink:
+    @pytest.fixture(scope="class")
+    def link(self, testbed):
+        trajectory = ArcTrajectory(
+            center_m=np.zeros(3),
+            radius_m=5.0,
+            angular_speed_deg_s=10.0,
+            start_angle_deg=-30.0,
+        )
+        return MobileLink(
+            conference_room(6.0),
+            trajectory,
+            testbed.dut_antenna,
+            testbed.dut_codebook,
+            testbed.ref_antenna,
+            testbed.ref_codebook,
+            budget=testbed.budget,
+        )
+
+    # class-scoped testbed alias
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        from repro.experiments.common import build_testbed
+
+        return build_testbed()
+
+    def test_snr_vector_shape(self, link, testbed):
+        snr = link.true_snr_at(0.0)
+        assert snr.shape == (len(testbed.tx_sector_ids),)
+
+    def test_direction_tracks_the_walk(self, link):
+        d0 = link.device_direction_at(0.0)
+        d3 = link.device_direction_at(3.0)
+        assert d0[0] == pytest.approx(-30.0, abs=1.0)
+        assert d3[0] == pytest.approx(0.0, abs=1.0)
+
+    def test_link_stays_alive_along_arc(self, link):
+        for time_s in np.linspace(0.0, 6.0, 7):
+            assert link.true_snr_at(float(time_s)).max() > 0.0
+
+    def test_best_sector_changes_with_position(self, link, testbed):
+        # -30° vs 0°: distinct winners.  (±30° can share a winner — the
+        # multi-lobe sector 13 covers both, which is physically right.)
+        tx_ids = testbed.tx_sector_ids
+        best_start = tx_ids[int(np.argmax(link.true_snr_at(0.0)))]
+        best_mid = tx_ids[int(np.argmax(link.true_snr_at(3.0)))]
+        assert best_start != best_mid

@@ -1,0 +1,134 @@
+"""Unit tests for rays, reflectors, and environments."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    Environment,
+    Ray,
+    ReflectorPanel,
+    anechoic_chamber,
+    conference_room,
+    lab_environment,
+)
+
+
+class TestRay:
+    def test_los_ray_from_points(self):
+        ray = Ray.from_points(np.zeros(3), np.array([3.0, 0.0, 0.0]))
+        assert ray.is_los
+        assert ray.path_length_m == pytest.approx(3.0)
+        assert ray.departure_direction() == (pytest.approx(0.0), pytest.approx(0.0))
+        assert ray.arrival_direction()[0] == pytest.approx(180.0)
+
+    def test_bounced_ray_longer_than_los(self):
+        via = np.array([1.5, 2.0, 0.0])
+        ray = Ray.from_points(np.zeros(3), np.array([3.0, 0.0, 0.0]), via, 8.0)
+        assert not ray.is_los
+        assert ray.extra_loss_db == 8.0
+        assert ray.path_length_m > 3.0
+        # Departure points toward the bounce point.
+        assert ray.departure_azimuth_deg == pytest.approx(np.rad2deg(np.arctan2(2.0, 1.5)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ray(0, 0, 0, 0, path_length_m=0.0)
+        with pytest.raises(ValueError):
+            Ray(0, 0, 0, 0, path_length_m=1.0, extra_loss_db=-1.0)
+
+
+class TestReflectorPanel:
+    @pytest.fixture
+    def panel(self):
+        return ReflectorPanel(
+            center_m=np.array([1.5, 2.0, 0.0]),
+            normal=np.array([0.0, -1.0, 0.0]),
+            width_m=3.0,
+            height_m=1.0,
+        )
+
+    def test_mirror_point(self, panel):
+        mirrored = panel.mirror_point(np.array([0.0, 0.0, 0.0]))
+        np.testing.assert_allclose(mirrored, [0.0, 4.0, 0.0], atol=1e-12)
+
+    def test_specular_bounce_midpoint(self, panel):
+        bounce = panel.bounce_point(np.zeros(3), np.array([3.0, 0.0, 0.0]))
+        assert bounce is not None
+        np.testing.assert_allclose(bounce, [1.5, 2.0, 0.0], atol=1e-9)
+
+    def test_bounce_angle_equality(self, panel):
+        tx = np.zeros(3)
+        rx = np.array([3.0, 0.0, 0.0])
+        bounce = panel.bounce_point(tx, rx)
+        incoming = bounce - tx
+        outgoing = rx - bounce
+        # Angle of incidence equals angle of reflection w.r.t. normal.
+        cos_in = abs(incoming @ panel.normal) / np.linalg.norm(incoming)
+        cos_out = abs(outgoing @ panel.normal) / np.linalg.norm(outgoing)
+        assert cos_in == pytest.approx(cos_out, abs=1e-9)
+
+    def test_no_bounce_outside_finite_panel(self):
+        small = ReflectorPanel(
+            center_m=np.array([1.5, 2.0, 0.0]),
+            normal=np.array([0.0, -1.0, 0.0]),
+            width_m=0.1,
+            height_m=0.1,
+        )
+        # Offset geometry: the specular point misses the small panel.
+        assert small.bounce_point(np.array([-2.0, 0.0, 0.0]), np.array([3.0, 0.0, 0.0])) is None
+
+    def test_no_bounce_when_straddling(self, panel):
+        behind = np.array([0.0, 4.5, 0.0])
+        assert panel.bounce_point(np.zeros(3), behind) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReflectorPanel(np.zeros(3), np.zeros(3), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ReflectorPanel(np.zeros(3), np.array([1.0, 0, 0]), -1.0, 1.0)
+
+
+class TestEnvironments:
+    def test_chamber_has_single_los_ray(self):
+        chamber = anechoic_chamber(3.0)
+        rays = chamber.rays()
+        assert len(rays) == 1
+        assert rays[0].is_los
+        assert chamber.distance_m == pytest.approx(3.0)
+        assert chamber.shadowing_std_db == 0.0
+
+    def test_lab_has_los_plus_wall(self):
+        rays = lab_environment(3.0).rays()
+        assert len(rays) == 2
+        assert rays[0].is_los and not rays[1].is_los
+
+    def test_conference_room_multipath(self):
+        room = conference_room(6.0)
+        rays = room.rays()
+        assert len(rays) >= 3
+        assert sum(ray.is_los for ray in rays) == 1
+        assert room.shadowing_std_db > 0
+
+    def test_los_is_always_first_and_shortest(self):
+        for environment in (lab_environment(3.0), conference_room(6.0)):
+            rays = environment.rays()
+            assert rays[0].is_los
+            assert rays[0].path_length_m == min(r.path_length_m for r in rays)
+
+    def test_rays_between_arbitrary_endpoints(self):
+        room = conference_room(6.0)
+        rays = room.rays_between(np.array([0.5, 0.5, 0.0]), np.array([5.0, -0.5, 0.0]))
+        assert rays[0].is_los
+
+    def test_reverse_direction_is_reciprocal(self):
+        room = conference_room(6.0)
+        forward = room.rays()
+        backward = room.rays_between(room.rx_position_m, room.tx_position_m)
+        assert len(forward) == len(backward)
+        lengths_f = sorted(r.path_length_m for r in forward)
+        lengths_b = sorted(r.path_length_m for r in backward)
+        np.testing.assert_allclose(lengths_f, lengths_b, atol=1e-9)
+
+    def test_rejects_coincident_endpoints(self):
+        with pytest.raises(ValueError):
+            Environment("bad", np.zeros(3), np.zeros(3))

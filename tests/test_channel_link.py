@@ -1,0 +1,168 @@
+"""Unit tests for the link simulator and the batch SNR kernel."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    LinkBudget,
+    LinkSimulator,
+    anechoic_chamber,
+    conference_room,
+    lab_environment,
+)
+from repro.channel.batch import sweep_snr_matrix
+from repro.channel.pathloss import path_loss_db
+from repro.geometry import Orientation
+
+
+class TestLinkBudget:
+    def test_noise_floor(self):
+        budget = LinkBudget(noise_figure_db=10.0, bandwidth_hz=1.76e9)
+        assert budget.noise_floor_dbm == pytest.approx(-71.5, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkBudget(bandwidth_hz=0.0)
+
+
+class TestLinkSimulator:
+    def test_chamber_matches_friis(self, antenna, codebook):
+        """Single-ray chamber power must equal the Friis budget exactly."""
+        budget = LinkBudget()
+        chamber = anechoic_chamber(3.0)
+        simulator = LinkSimulator(chamber, antenna, antenna, budget)
+        weights = codebook[63].weights
+        rx_weights = codebook.rx_sector.weights
+        power = simulator.received_power_dbm(weights, rx_weights)
+        expected = (
+            budget.tx_power_dbm
+            + antenna.gain_db(weights, 0.0, 0.0)
+            + antenna.gain_db(rx_weights, 0.0, 0.0)
+            - path_loss_db(3.0)
+        )
+        assert power == pytest.approx(expected, abs=1e-6)
+
+    def test_true_snr_is_power_minus_noise(self, antenna, codebook):
+        budget = LinkBudget()
+        simulator = LinkSimulator(anechoic_chamber(3.0), antenna, antenna, budget)
+        weights = codebook[63].weights
+        rx = codebook.rx_sector.weights
+        snr = simulator.true_snr_db(weights, rx)
+        power = simulator.received_power_dbm(weights, rx)
+        assert snr == pytest.approx(power - budget.noise_floor_dbm)
+
+    def test_rotating_tx_changes_power(self, antenna, codebook):
+        simulator = LinkSimulator(anechoic_chamber(3.0), antenna, antenna)
+        weights = codebook[63].weights
+        rx = codebook.rx_sector.weights
+        aligned = simulator.received_power_dbm(weights, rx)
+        rotated = simulator.received_power_dbm(
+            weights, rx, tx_orientation=Orientation(yaw_deg=60.0)
+        )
+        assert aligned > rotated
+
+    def test_multipath_differs_from_los_only(self, antenna, codebook):
+        weights = codebook[63].weights
+        rx = codebook.rx_sector.weights
+        chamber = LinkSimulator(anechoic_chamber(6.0), antenna, antenna)
+        room = LinkSimulator(conference_room(6.0), antenna, antenna)
+        assert chamber.received_power_dbm(weights, rx) != pytest.approx(
+            room.received_power_dbm(weights, rx), abs=1e-6
+        )
+
+    def test_shadowing_sampling(self, antenna, rng):
+        simulator = LinkSimulator(conference_room(6.0), antenna, antenna)
+        shadowing = simulator.sample_shadowing_db(rng)
+        assert shadowing.shape == (len(simulator.rays),)
+        assert simulator.sample_shadowing_db(None).sum() == 0.0
+
+    def test_chamber_shadowing_is_zero(self, antenna, rng):
+        simulator = LinkSimulator(anechoic_chamber(3.0), antenna, antenna)
+        np.testing.assert_allclose(simulator.sample_shadowing_db(rng), 0.0)
+
+    def test_shadowing_shape_checked(self, antenna, codebook):
+        simulator = LinkSimulator(conference_room(6.0), antenna, antenna)
+        with pytest.raises(ValueError):
+            simulator.received_power_dbm(
+                codebook[63].weights,
+                codebook.rx_sector.weights,
+                shadowing_db=np.zeros(99),
+            )
+
+    def test_custom_endpoints(self, antenna, codebook):
+        room = conference_room(6.0)
+        simulator = LinkSimulator(
+            room,
+            antenna,
+            antenna,
+            tx_position_m=room.rx_position_m,
+            rx_position_m=room.tx_position_m,
+        )
+        # Reverse-direction link exists and produces finite power.
+        power = simulator.received_power_dbm(
+            codebook[63].weights,
+            codebook.rx_sector.weights,
+            tx_orientation=Orientation(yaw_deg=180.0),
+            rx_orientation=Orientation(),
+        )
+        assert np.isfinite(power)
+
+
+class TestBatchKernel:
+    def test_matches_link_simulator(self, testbed):
+        """The vectorized kernel must agree with the per-call simulator."""
+        environment = conference_room(6.0)
+        orientations = [Orientation(yaw_deg=-20.0), Orientation(yaw_deg=35.0, pitch_deg=-10.0)]
+        sector_ids = [63, 2, 25]
+        matrix = sweep_snr_matrix(
+            environment,
+            testbed.dut_antenna,
+            testbed.dut_codebook,
+            sector_ids,
+            orientations,
+            testbed.ref_antenna,
+            testbed.ref_codebook.rx_sector.weights,
+            budget=testbed.budget,
+        )
+        assert matrix.shape == (2, 3)
+        simulator = LinkSimulator(
+            environment, testbed.dut_antenna, testbed.ref_antenna, testbed.budget
+        )
+        for row, orientation in enumerate(orientations):
+            for column, sector_id in enumerate(sector_ids):
+                expected = simulator.true_snr_db(
+                    testbed.dut_codebook[sector_id].weights,
+                    testbed.ref_codebook.rx_sector.weights,
+                    tx_orientation=orientation,
+                )
+                assert matrix[row, column] == pytest.approx(expected, abs=1e-6)
+
+    def test_shadowing_shape_validated(self, testbed):
+        with pytest.raises(ValueError):
+            sweep_snr_matrix(
+                anechoic_chamber(3.0),
+                testbed.dut_antenna,
+                testbed.dut_codebook,
+                [63],
+                [Orientation()],
+                testbed.ref_antenna,
+                testbed.ref_codebook.rx_sector.weights,
+                shadowing_db=np.zeros((2, 5)),
+            )
+
+    def test_shadowing_shifts_snr(self, testbed):
+        chamber = anechoic_chamber(3.0)
+        args = (
+            chamber,
+            testbed.dut_antenna,
+            testbed.dut_codebook,
+            [63],
+            [Orientation()],
+            testbed.ref_antenna,
+            testbed.ref_codebook.rx_sector.weights,
+        )
+        base = sweep_snr_matrix(*args, budget=testbed.budget)
+        faded = sweep_snr_matrix(
+            *args, budget=testbed.budget, shadowing_db=np.full((1, 1), 3.0)
+        )
+        assert base[0, 0] - faded[0, 0] == pytest.approx(3.0, abs=1e-9)

@@ -1,0 +1,59 @@
+"""Unit tests for path loss and absorption."""
+
+import pytest
+
+from repro.channel import (
+    OXYGEN_ABSORPTION_DB_PER_KM,
+    free_space_path_loss_db,
+    oxygen_absorption_db,
+    path_loss_db,
+)
+
+
+class TestFreeSpace:
+    def test_reference_value_at_60ghz(self):
+        # FSPL(1 m, 60.48 GHz) = 20 log10(4 pi / lambda) ~= 68.1 dB.
+        assert free_space_path_loss_db(1.0) == pytest.approx(68.1, abs=0.2)
+
+    def test_six_db_per_distance_doubling(self):
+        assert free_space_path_loss_db(6.0) - free_space_path_loss_db(3.0) == pytest.approx(
+            6.02, abs=0.01
+        )
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0)
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(-1.0)
+
+    def test_rejects_nonpositive_carrier(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(1.0, carrier_hz=0.0)
+
+
+class TestOxygen:
+    def test_linear_in_distance(self):
+        assert oxygen_absorption_db(1000.0) == pytest.approx(OXYGEN_ABSORPTION_DB_PER_KM)
+        assert oxygen_absorption_db(100.0) == pytest.approx(OXYGEN_ABSORPTION_DB_PER_KM / 10)
+
+    def test_negligible_indoors(self):
+        assert oxygen_absorption_db(6.0) < 0.1
+
+    def test_zero_distance_allowed(self):
+        assert oxygen_absorption_db(0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            oxygen_absorption_db(-5.0)
+
+
+class TestCombined:
+    def test_total_is_sum(self):
+        distance = 500.0
+        assert path_loss_db(distance) == pytest.approx(
+            free_space_path_loss_db(distance) + oxygen_absorption_db(distance)
+        )
+
+    def test_monotone_in_distance(self):
+        losses = [path_loss_db(d) for d in (1.0, 3.0, 10.0, 100.0)]
+        assert losses == sorted(losses)

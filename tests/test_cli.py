@@ -1,0 +1,58 @@
+"""Tests for the repro-bench command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions if action.dest == "command"
+        )
+        assert set(subparsers.choices) == {
+            "table1",
+            "patterns",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "summary",
+            "ablations",
+            "extensions",
+        }
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_and_paper_flags(self):
+        args = build_parser().parse_args(["fig10", "--seed", "7", "--paper"])
+        assert args.seed == 7
+        assert args.paper is True
+
+
+class TestCommands:
+    def test_fig10_prints_headline_timing(self, capsys):
+        assert main(["fig10"]) == 0
+        output = capsys.readouterr().out
+        assert "1.27 ms" in output
+        assert "2.3x speed-up" in output
+
+    def test_table1_prints_consistent_capture(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "consistent=True" in output
+        assert "Beacon" in output and "Sweep" in output
+
+    def test_patterns_writes_npz(self, tmp_path, capsys):
+        from repro.measurement import PatternTable
+
+        path = tmp_path / "patterns.npz"
+        assert main(["patterns", str(path)]) == 0
+        table = PatternTable.load(str(path))
+        assert table.n_sectors == 35
+        assert "saved 35 sector patterns" in capsys.readouterr().out

@@ -1,0 +1,101 @@
+"""Tests for the coverage-driven codebook designer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AngularGrid
+from repro.phased_array import (
+    PhasedArray,
+    coverage_curve,
+    design_codebook,
+)
+
+
+@pytest.fixture(scope="module")
+def antenna():
+    return PhasedArray.talon(np.random.default_rng(51))
+
+
+class TestDesignCodebook:
+    def test_produces_requested_size(self, antenna):
+        report = design_codebook(antenna, 12)
+        assert report.codebook.n_tx_sectors == 12
+        assert report.codebook.rx_sector_id == 0
+
+    def test_sector_ids_sequential(self, antenna):
+        report = design_codebook(antenna, 8)
+        assert report.codebook.tx_sector_ids == list(range(1, 9))
+
+    def test_coverage_stats_consistent(self, antenna):
+        report = design_codebook(antenna, 10)
+        assert report.mean_coverage_db == pytest.approx(float(report.coverage_db.mean()))
+        assert report.worst_coverage_db == pytest.approx(float(report.coverage_db.min()))
+        assert report.mean_coverage_db >= report.worst_coverage_db
+
+    def test_more_sectors_never_hurt(self, antenna):
+        small = design_codebook(antenna, 6)
+        large = design_codebook(antenna, 18)
+        assert large.mean_coverage_db >= small.mean_coverage_db
+        assert large.worst_coverage_db >= small.worst_coverage_db
+
+    def test_weights_hardware_feasible(self, antenna):
+        report = design_codebook(antenna, 6, phase_bits=2)
+        step = np.pi / 2
+        for sector in report.codebook:
+            weights = sector.weights.weights
+            active = np.abs(weights) > 1e-12
+            phases = np.angle(weights[active])
+            remainder = np.abs(((phases % step) + step) % step)
+            remainder = np.minimum(remainder, step - remainder)
+            np.testing.assert_allclose(remainder, 0.0, atol=1e-9)
+
+    def test_custom_service_region(self, antenna):
+        narrow = AngularGrid.from_spacing((-30.0, 30.0), 5.0, (0.0, 0.0), 1.0)
+        report = design_codebook(antenna, 6, service_region=narrow)
+        # A narrow region is easier to cover: higher worst-case gain
+        # than the default wide region with the same sector count.
+        wide = design_codebook(antenna, 6)
+        assert report.worst_coverage_db > wide.worst_coverage_db
+
+    def test_validation(self, antenna):
+        with pytest.raises(ValueError):
+            design_codebook(antenna, 0)
+        with pytest.raises(ValueError):
+            design_codebook(antenna, 64)
+        tiny = AngularGrid.from_spacing((0.0, 10.0), 5.0)
+        with pytest.raises(ValueError):
+            design_codebook(antenna, 50, service_region=tiny, candidate_spacing_deg=10.0)
+
+
+class TestCoverageCurve:
+    def test_monotone_saturating(self, antenna):
+        curve = coverage_curve(antenna, [4, 8, 16, 32])
+        means = [mean for _, mean, _ in curve]
+        assert means == sorted(means)
+        # Saturation: the second doubling gains less than the first.
+        assert (means[1] - means[0]) > (means[3] - means[2])
+
+    def test_designed_beats_same_size_random_subset(self, antenna):
+        """The designer must outperform an arbitrary steering layout."""
+        from repro.phased_array.steering import steering_vector
+        from repro.phased_array.weights import WeightVector
+
+        region = AngularGrid.from_spacing((-80.0, 80.0), 5.0, (0.0, 30.0), 7.5)
+        azimuths, elevations = region.flat_angles()
+        rng = np.random.default_rng(3)
+        random_gains = []
+        for _ in range(8):
+            azimuth = rng.uniform(-80, 80)
+            elevation = rng.uniform(0, 30)
+            weights = (
+                WeightVector.conjugate_steering(
+                    steering_vector(antenna.layout, azimuth, elevation)
+                )
+                .quantized(2)
+                .normalized()
+            )
+            random_gains.append(antenna.gain_db(weights, azimuths, elevations))
+        random_composite = np.stack(random_gains).max(axis=0)
+
+        designed = design_codebook(antenna, 8, service_region=region)
+        assert designed.mean_coverage_db >= float(random_composite.mean())

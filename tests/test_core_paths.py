@@ -1,0 +1,105 @@
+"""Tests for multi-path extraction and the standby selector."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultipathSelector, PathEstimate, ProbeMeasurement, extract_paths
+from repro.geometry import AngularGrid
+
+
+@pytest.fixture
+def grid() -> AngularGrid:
+    return AngularGrid(np.arange(-90.0, 91.0, 2.0), np.arange(0.0, 33.0, 4.0))
+
+
+def surface_with_peaks(grid, peaks):
+    """A synthetic correlation map with Gaussian bumps."""
+    azimuths, elevations = grid.flat_angles()
+    surface = np.zeros(grid.n_points)
+    for azimuth, elevation, height, width in peaks:
+        distance_sq = (azimuths - azimuth) ** 2 + (elevations - elevation) ** 2
+        surface += height * np.exp(-distance_sq / (2.0 * width**2))
+    return surface
+
+
+class TestExtractPaths:
+    def test_finds_two_separated_peaks(self, grid):
+        surface = surface_with_peaks(grid, [(-30, 0, 1.0, 5.0), (40, 8, 0.7, 5.0)])
+        paths = extract_paths(surface, grid, n_paths=2)
+        assert len(paths) == 2
+        assert paths[0].azimuth_deg == pytest.approx(-30.0, abs=2.0)
+        assert paths[1].azimuth_deg == pytest.approx(40.0, abs=2.0)
+        assert paths[0].correlation > paths[1].correlation
+        assert [p.rank for p in paths] == [0, 1]
+
+    def test_exclusion_zone_suppresses_sidelobes(self, grid):
+        # One broad peak: the second "peak" would be its own shoulder.
+        surface = surface_with_peaks(grid, [(0, 0, 1.0, 8.0)])
+        paths = extract_paths(surface, grid, n_paths=3, min_separation_deg=20.0)
+        assert len(paths) == 1
+
+    def test_relative_threshold_drops_noise_peaks(self, grid):
+        surface = surface_with_peaks(grid, [(-30, 0, 1.0, 4.0), (50, 0, 0.1, 4.0)])
+        paths = extract_paths(surface, grid, n_paths=2, min_relative_correlation=0.5)
+        assert len(paths) == 1
+
+    def test_separation_metric(self):
+        a = PathEstimate(0.0, 0.0, 1.0, 0)
+        b = PathEstimate(30.0, 0.0, 0.5, 1)
+        assert a.separation_from(b) == pytest.approx(30.0)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            extract_paths(np.zeros(5), grid)
+        with pytest.raises(ValueError):
+            extract_paths(np.zeros(grid.n_points), grid, n_paths=0)
+
+
+class TestMultipathSelector:
+    def _measurements(self, pattern_table, azimuth, elevation, sector_ids):
+        return [
+            ProbeMeasurement(
+                s,
+                float(pattern_table.gain(s, azimuth, elevation)),
+                float(pattern_table.gain(s, azimuth, elevation)) - 71.5,
+            )
+            for s in sector_ids
+        ]
+
+    def test_primary_path_matches_truth(self, pattern_table):
+        selector = MultipathSelector(pattern_table)
+        sector_ids = selector.candidate_sector_ids[:16]
+        paths = selector.select_paths(
+            self._measurements(pattern_table, -20.0, 4.0, sector_ids)
+        )
+        assert paths
+        primary, sector_id = paths[0]
+        assert abs(primary.azimuth_deg - (-20.0)) <= 6.0
+        assert sector_id in selector.candidate_sector_ids
+
+    def test_backup_sector_differs_from_primary(self, pattern_table):
+        selector = MultipathSelector(pattern_table)
+        sector_ids = selector.candidate_sector_ids[:16]
+        paths = selector.select_paths(
+            self._measurements(pattern_table, 10.0, 0.0, sector_ids),
+            n_paths=3,
+            min_relative_correlation=0.0,
+        )
+        sectors = [sector_id for _, sector_id in paths]
+        assert len(sectors) == len(set(sectors))
+
+    def test_too_few_probes_returns_empty(self, pattern_table):
+        selector = MultipathSelector(pattern_table)
+        assert selector.select_paths([]) == []
+        assert selector.select_paths([ProbeMeasurement(1, 5.0, -66.0)]) == []
+
+    def test_paths_ordered_by_correlation(self, pattern_table):
+        selector = MultipathSelector(pattern_table)
+        sector_ids = selector.candidate_sector_ids[:20]
+        paths = selector.select_paths(
+            self._measurements(pattern_table, 0.0, 0.0, sector_ids),
+            n_paths=3,
+            min_relative_correlation=0.0,
+        )
+        correlations = [path.correlation for path, _ in paths]
+        assert correlations == sorted(correlations, reverse=True)

@@ -1,0 +1,64 @@
+"""Unit tests for the Figure 5/6 pattern experiments (coarse configs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Fig5Config,
+    Fig6Config,
+    run_fig5,
+    run_fig6,
+)
+from repro.phased_array import STRONG_SECTOR_IDS, WEAK_SECTOR_IDS
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(Fig5Config(azimuth_step_deg=7.2, n_sweeps=1))
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run_fig6(Fig6Config(azimuth_step_deg=9.0, elevation_step_deg=10.8, n_sweeps=1))
+
+
+class TestFig5:
+    def test_summaries_cover_every_sector(self, fig5_result):
+        assert len(fig5_result.summaries) == 35
+        assert set(fig5_result.summaries) == set(fig5_result.table.sector_ids)
+
+    def test_summary_fields_consistent(self, fig5_result):
+        for sector_id, summary in fig5_result.summaries.items():
+            pattern = fig5_result.table.pattern(sector_id)[0]
+            assert summary.peak_snr_db == pytest.approx(float(pattern.max()))
+            assert summary.mean_snr_db <= summary.peak_snr_db
+            assert summary.n_lobes >= 1
+
+    def test_strong_sectors_summarized_strong(self, fig5_result):
+        strong = [fig5_result.summaries[s].peak_snr_db for s in STRONG_SECTOR_IDS]
+        weak = [fig5_result.summaries[s].peak_snr_db for s in WEAK_SECTOR_IDS]
+        assert min(strong) > max(weak)
+
+    def test_format_rows(self, fig5_result):
+        rows = fig5_result.format_rows()
+        assert len(rows) == 2 + 35
+        assert any(row.lstrip().startswith("RX") for row in rows)
+
+
+class TestFig6:
+    def test_grid_envelope(self, fig6_result):
+        grid = fig6_result.table.grid
+        assert grid.azimuths_deg[0] == -90.0
+        assert grid.elevations_deg[-1] == pytest.approx(32.4)
+
+    def test_elevation_profile_shape(self, fig6_result):
+        profile = fig6_result.elevation_profile(63)
+        assert profile.shape == (fig6_result.table.grid.n_elevation,)
+
+    def test_sector5_elevation_behaviour(self, fig6_result):
+        assert fig6_result.off_plane_peak(5) > fig6_result.in_plane_peak(5)
+
+    def test_peaks_consistent_with_pattern(self, fig6_result):
+        pattern = fig6_result.table.pattern(26)
+        assert fig6_result.in_plane_peak(26) == pytest.approx(float(pattern[0].max()))
+        assert fig6_result.off_plane_peak(26) == pytest.approx(float(pattern[1:].max()))

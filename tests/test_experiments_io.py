@@ -1,0 +1,83 @@
+"""Tests for result JSON serialization and the transfer experiment."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Fig10Config,
+    TransferConfig,
+    dump_result_json,
+    load_result_json,
+    result_to_dict,
+    run_fig10,
+    run_pattern_transfer,
+)
+from repro.experiments.common import BoxStats
+
+
+class TestResultSerialization:
+    def test_fig10_roundtrip(self, tmp_path):
+        result = run_fig10(Fig10Config())
+        path = str(tmp_path / "fig10.json")
+        dump_result_json(result, path)
+        payload = load_result_json(path)
+        assert payload["experiment"] == "Fig10Result"
+        assert payload["data"]["ssw_time_ms"] == pytest.approx(1.2731)
+        assert len(payload["data"]["css_time_ms"]) == len(
+            payload["data"]["probe_counts"]
+        )
+
+    def test_numpy_types_sanitized(self):
+        stats = BoxStats.from_samples(np.array([1.0, 2.0, 3.0]))
+        data = result_to_dict(stats)
+        # Everything must be JSON-encodable without custom encoders.
+        json.dumps(data)
+        assert data["median"] == 2.0
+        assert data["n_samples"] == 3
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            result_to_dict({"just": "a dict"})
+
+    def test_rejects_unserializable_member(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Weird:
+            payload: object
+
+        with pytest.raises(TypeError):
+            result_to_dict(Weird(payload=object()))
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_result_json(str(path))
+
+
+class TestPatternTransfer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_pattern_transfer(
+            TransferConfig(azimuth_step_deg=15.0, n_sweeps=4)
+        )
+
+    def test_both_tables_work(self, result):
+        for name in ("own (device B)", "foreign (device A)"):
+            assert result.azimuth_error_deg[name] < 15.0
+            assert result.snr_loss_db[name] < 5.0
+
+    def test_transfer_penalty_small(self, result):
+        gap = abs(
+            result.snr_loss_db["own (device B)"]
+            - result.snr_loss_db["foreign (device A)"]
+        )
+        assert gap < 2.0
+
+    def test_serializes(self, result, tmp_path):
+        dump_result_json(result, str(tmp_path / "transfer.json"))
+        payload = load_result_json(str(tmp_path / "transfer.json"))
+        assert payload["experiment"] == "TransferResult"

@@ -1,0 +1,93 @@
+"""Tests for the §7 fine codebook and its scaling experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fine import FineCodebookConfig, run_fine_codebook
+from repro.phased_array import PhasedArray, fine_codebook, probing_sector_ids
+
+
+@pytest.fixture(scope="module")
+def fine(antenna):
+    return fine_codebook(antenna)
+
+
+@pytest.fixture(scope="module")
+def antenna():
+    return PhasedArray.talon(np.random.default_rng(2018 + 1))
+
+
+class TestFineCodebook:
+    def test_fills_the_6bit_space(self, fine):
+        assert fine.n_tx_sectors == 63
+        assert fine.rx_sector_id == 0
+        assert max(fine.tx_sector_ids) == 63
+
+    def test_probing_sectors_lead_the_codebook(self, fine):
+        probes = probing_sector_ids(fine)
+        assert len(probes) == 12
+        assert probes == sorted(probes)
+        assert all(fine[s].kind == "probe" for s in probes)
+
+    def test_data_sectors_are_narrow_probes_are_broad(self, antenna, fine):
+        azimuths = np.linspace(-90, 90, 181)
+
+        def beamwidth(sector_id):
+            gains = antenna.gain_db(fine[sector_id].weights, azimuths, 0.0)
+            return int(np.sum(gains > gains.max() - 6.0))
+
+        probe_widths = [beamwidth(s) for s in probing_sector_ids(fine)]
+        data_ids = [s.sector_id for s in fine if s.kind == "fine"][:12]
+        data_widths = [beamwidth(s) for s in data_ids]
+        assert np.mean(probe_widths) > 1.5 * np.mean(data_widths)
+
+    def test_data_sectors_tile_the_frontal_range(self, antenna, fine):
+        data_ids = [s.sector_id for s in fine if s.kind == "fine"]
+        peaks = []
+        azimuths = np.linspace(-90, 90, 181)
+        for sector_id in data_ids:
+            gains = antenna.gain_db(fine[sector_id].weights, azimuths, 0.0)
+            peaks.append(azimuths[int(np.argmax(gains))])
+        assert min(peaks) < -60.0
+        assert max(peaks) > 60.0
+
+    def test_validation(self, antenna):
+        with pytest.raises(ValueError):
+            fine_codebook(antenna, n_sectors=64)
+        with pytest.raises(ValueError):
+            fine_codebook(antenna, n_sectors=10, n_probing=10)
+
+    def test_custom_sizes(self, antenna):
+        small = fine_codebook(antenna, n_sectors=20, n_probing=4)
+        assert small.n_tx_sectors == 20
+        assert len(probing_sector_ids(small)) == 4
+
+
+class TestFineExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fine_codebook(
+            FineCodebookConfig(
+                n_probes=12,
+                azimuths_deg=tuple(np.arange(-45.0, 46.0, 15.0)),
+                n_sweeps=4,
+            )
+        )
+
+    def test_training_times_exact(self, result):
+        assert result.training_time_ms["fine + SSW (63 probes)"] == pytest.approx(
+            2.317, abs=0.01
+        )
+        assert result.training_time_ms["fine + CSS (12 probes)"] == pytest.approx(
+            0.481, abs=0.01
+        )
+
+    def test_css_close_to_full_fine_sweep(self, result):
+        gap = (
+            result.mean_snr_db["fine + SSW (63 probes)"]
+            - result.mean_snr_db["fine + CSS (12 probes)"]
+        )
+        assert gap < 2.0
+
+    def test_oracles_comparable(self, result):
+        assert abs(result.optimal_fine_db - result.optimal_stock_db) < 2.0

@@ -1,0 +1,169 @@
+"""Unit tests for the chip model, ring buffer, WMI, and patches."""
+
+import numpy as np
+import pytest
+
+from repro.channel import MeasurementModel
+from repro.firmware import (
+    QCA9500,
+    RingBuffer,
+    WmiClearSectorOverride,
+    WmiDrainSweepReports,
+    WmiError,
+    WmiResetSweepState,
+    WmiSetSectorOverride,
+    PatchFramework,
+    sector_override_patch,
+    signal_strength_extraction_patch,
+)
+from repro.firmware.patches import Patch
+
+
+class TestRingBuffer:
+    def test_fifo_order(self):
+        buffer = RingBuffer(4)
+        for value in range(3):
+            buffer.push(value)
+        assert buffer.drain() == [0, 1, 2]
+        assert len(buffer) == 0
+
+    def test_overwrites_oldest_when_full(self):
+        buffer = RingBuffer(3)
+        for value in range(5):
+            buffer.push(value)
+        assert buffer.peek_all() == [2, 3, 4]
+        assert buffer.dropped_count == 2
+
+    def test_peek_does_not_consume(self):
+        buffer = RingBuffer(2)
+        buffer.push("a")
+        assert buffer.peek_all() == ["a"]
+        assert len(buffer) == 1
+
+    def test_clear(self):
+        buffer = RingBuffer(2)
+        buffer.push(1)
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+@pytest.fixture
+def chip(codebook) -> QCA9500:
+    return QCA9500(codebook, MeasurementModel.noiseless())
+
+
+class TestStockChip:
+    def test_stock_selection_is_argmax(self, chip, rng):
+        chip.start_sweep()
+        chip.process_ssw_frame(1, 34, 3.0, rng)
+        chip.process_ssw_frame(2, 33, 8.0, rng)
+        chip.process_ssw_frame(3, 32, 5.0, rng)
+        assert chip.stock_best_sector() == 2
+
+    def test_empty_sweep_keeps_previous_selection(self, chip, rng):
+        chip.start_sweep()
+        chip.process_ssw_frame(7, 10, 9.0, rng)
+        assert chip.select_feedback_sector() == 7
+        chip.start_sweep()  # nothing received
+        assert chip.select_feedback_sector() == 7
+
+    def test_sweep_index_increments(self, chip):
+        initial = chip.sweep_index
+        chip.start_sweep()
+        chip.start_sweep()
+        assert chip.sweep_index == initial + 2
+
+    def test_missed_frame_returns_none(self, codebook, rng):
+        model = MeasurementModel()  # default has a decode floor
+        chip = QCA9500(codebook, model)
+        chip.start_sweep()
+        assert chip.process_ssw_frame(1, 0, -40.0, rng) is None
+        assert chip.current_sweep_reports() == []
+
+    def test_stock_wmi_reset(self, chip, rng):
+        chip.start_sweep()
+        chip.process_ssw_frame(5, 0, 9.0, rng)
+        chip.handle_wmi(WmiResetSweepState())
+        assert chip.current_sweep_reports() == []
+        assert chip.select_feedback_sector() == 1  # default sector
+
+    def test_custom_wmi_rejected_without_patch(self, chip):
+        with pytest.raises(WmiError):
+            chip.handle_wmi(WmiDrainSweepReports())
+        with pytest.raises(WmiError):
+            chip.handle_wmi(WmiSetSectorOverride(5))
+
+
+class TestPatches:
+    def test_extraction_patch_fills_drainable_buffer(self, chip, rng):
+        framework = PatchFramework(chip)
+        framework.install(signal_strength_extraction_patch())
+        chip.start_sweep()
+        chip.process_ssw_frame(4, 31, 7.0, rng)
+        chip.process_ssw_frame(9, 30, 2.0, rng)
+        reports = chip.handle_wmi(WmiDrainSweepReports())
+        assert [report.sector_id for report in reports] == [4, 9]
+        assert chip.handle_wmi(WmiDrainSweepReports()) == []  # drained
+
+    def test_override_patch_controls_feedback(self, chip, rng):
+        framework = PatchFramework(chip)
+        framework.install(sector_override_patch())
+        chip.start_sweep()
+        chip.process_ssw_frame(2, 1, 9.0, rng)
+        assert chip.select_feedback_sector() == 2
+        chip.handle_wmi(WmiSetSectorOverride(13))
+        assert chip.select_feedback_sector() == 13
+        chip.handle_wmi(WmiClearSectorOverride())
+        assert chip.select_feedback_sector() == 2
+
+    def test_override_validates_sector_exists(self, chip):
+        PatchFramework(chip).install(sector_override_patch())
+        with pytest.raises(ValueError):
+            chip.handle_wmi(WmiSetSectorOverride(40))  # undefined ID
+
+    def test_patch_images_written_to_patch_area(self, chip):
+        framework = PatchFramework(chip)
+        patch = signal_strength_extraction_patch()
+        address = framework.install(patch)
+        start, end = chip.memory.patch_area("ucode")
+        assert start <= address < end
+        assert chip.memory.read(address, 8) == patch.image[:8]
+
+    def test_duplicate_patch_rejected(self, chip):
+        framework = PatchFramework(chip)
+        framework.install(sector_override_patch())
+        with pytest.raises(ValueError):
+            framework.install(sector_override_patch())
+
+    def test_patch_area_exhaustion(self, chip):
+        framework = PatchFramework(chip)
+        start, end = chip.memory.patch_area("ucode")
+        huge = Patch(
+            name="huge",
+            processor="ucode",
+            image=b"\x00" * (end - start + 1),
+            install_hooks=lambda _chip: None,
+        )
+        with pytest.raises(ValueError):
+            framework.install(huge)
+
+    def test_patch_address_lookup(self, chip):
+        framework = PatchFramework(chip)
+        framework.install(sector_override_patch())
+        assert framework.patch_address("sector-override") >= 0x8F5000
+        with pytest.raises(KeyError):
+            framework.patch_address("not-installed")
+
+    def test_reports_capacity_overflow(self, codebook, rng):
+        chip = QCA9500(codebook, MeasurementModel.noiseless())
+        framework = PatchFramework(chip)
+        framework.install(signal_strength_extraction_patch(buffer_capacity=3))
+        chip.start_sweep()
+        for sector_id in (1, 2, 3, 4, 5):
+            chip.process_ssw_frame(sector_id, 0, 5.0, rng)
+        reports = chip.handle_wmi(WmiDrainSweepReports())
+        assert [report.sector_id for report in reports] == [3, 4, 5]

@@ -1,0 +1,89 @@
+"""Unit tests for the QCA9500 memory map (paper Figure 1)."""
+
+import pytest
+
+from repro.firmware import MemoryProtectionError, QCA9500MemoryMap
+
+
+@pytest.fixture
+def memory() -> QCA9500MemoryMap:
+    return QCA9500MemoryMap()
+
+
+class TestLayout:
+    def test_four_regions_two_per_core(self, memory):
+        assert len(memory.regions) == 4
+        by_core = {"ucode": 0, "firmware": 0}
+        for region in memory.regions:
+            by_core[region.processor] += 1
+        assert by_core == {"ucode": 2, "firmware": 2}
+
+    def test_each_core_has_code_and_data(self, memory):
+        kinds = {(region.processor, region.is_code) for region in memory.regions}
+        assert kinds == {
+            ("ucode", True),
+            ("ucode", False),
+            ("firmware", True),
+            ("firmware", False),
+        }
+
+    def test_high_remaps_match_figure(self, memory):
+        assert memory.region_by_name("ucode-code").high_start == 0x920000
+        assert memory.region_by_name("ucode-data").high_start == 0x940000
+        assert memory.region_by_name("firmware-code").high_start == 0x8C0000
+        assert memory.region_by_name("firmware-data").high_start == 0x900000
+
+    def test_patch_areas_inside_high_code_regions(self, memory):
+        for processor in ("ucode", "firmware"):
+            start, end = memory.patch_area(processor)
+            code = memory.region_by_name(f"{processor}-code")
+            assert code.high_start <= start < end <= code.high_end
+
+    def test_unknown_region_name(self, memory):
+        with pytest.raises(KeyError):
+            memory.region_by_name("bogus")
+
+    def test_unknown_patch_processor(self, memory):
+        with pytest.raises(ValueError):
+            memory.patch_area("dsp")
+
+
+class TestAccess:
+    def test_low_code_writes_blocked(self, memory):
+        with pytest.raises(MemoryProtectionError):
+            memory.write(0x000010, b"\x01")
+
+    def test_low_data_writes_allowed(self, memory):
+        data_region = memory.region_by_name("ucode-data")
+        memory.write(data_region.low_start + 4, b"\xab")
+        assert memory.read(data_region.low_start + 4, 1) == b"\xab"
+
+    def test_high_alias_bypasses_write_protection(self, memory):
+        """The Nexmon trick: code is writable through the high remap."""
+        code = memory.region_by_name("ucode-code")
+        memory.write(code.high_start + 0x40, b"\xde\xad")
+        # The write is visible through the protected low alias.
+        assert memory.read(code.low_start + 0x40, 2) == b"\xde\xad"
+
+    def test_aliases_share_storage_both_ways(self, memory):
+        data = memory.region_by_name("firmware-data")
+        memory.write(data.low_start + 8, b"\x77")
+        assert memory.read(data.high_start + 8, 1) == b"\x77"
+
+    def test_unmapped_address_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.read(0x500000, 1)
+        with pytest.raises(ValueError):
+            memory.write(0x500000, b"\x00")
+
+    def test_cross_boundary_access_rejected(self, memory):
+        code = memory.region_by_name("ucode-code")
+        with pytest.raises(ValueError):
+            memory.read(code.low_end - 1, 2)
+        with pytest.raises(ValueError):
+            memory.write(code.high_end - 1, b"\x00\x00")
+
+    def test_free_bytes_accounting(self, memory):
+        start, end = memory.patch_area("ucode")
+        assert memory.patch_area_free_bytes("ucode", 0) == end - start
+        assert memory.patch_area_free_bytes("ucode", 0x100) == end - start - 0x100

@@ -1,0 +1,89 @@
+"""Unit tests for angle arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    angular_distance,
+    azimuth_difference,
+    validate_elevation,
+    wrap_azimuth,
+)
+
+
+class TestWrapAzimuth:
+    def test_identity_inside_range(self):
+        assert wrap_azimuth(45.0) == 45.0
+        assert wrap_azimuth(-179.0) == -179.0
+
+    def test_wraps_past_180(self):
+        assert wrap_azimuth(190.0) == pytest.approx(-170.0)
+        assert wrap_azimuth(360.0) == pytest.approx(0.0)
+        assert wrap_azimuth(540.0) == pytest.approx(180.0)
+
+    def test_wraps_negative(self):
+        assert wrap_azimuth(-190.0) == pytest.approx(170.0)
+        assert wrap_azimuth(-360.0) == pytest.approx(0.0)
+
+    def test_boundary_convention_half_open(self):
+        # (-180, 180]: +180 stays, -180 maps to +180.
+        assert wrap_azimuth(180.0) == pytest.approx(180.0)
+        assert wrap_azimuth(-180.0) == pytest.approx(180.0)
+
+    def test_array_input_returns_array(self):
+        result = wrap_azimuth(np.array([0.0, 270.0, -270.0]))
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_allclose(result, [0.0, -90.0, 90.0])
+
+    def test_scalar_input_returns_python_float(self):
+        assert isinstance(wrap_azimuth(12.0), float)
+
+
+class TestAzimuthDifference:
+    def test_simple_difference(self):
+        assert azimuth_difference(30.0, 10.0) == pytest.approx(20.0)
+
+    def test_wraps_across_circle_seam(self):
+        assert azimuth_difference(170.0, -170.0) == pytest.approx(-20.0)
+        assert azimuth_difference(-170.0, 170.0) == pytest.approx(20.0)
+
+    def test_antisymmetric_magnitude(self):
+        assert abs(azimuth_difference(50.0, -40.0)) == abs(azimuth_difference(-40.0, 50.0))
+
+
+class TestValidateElevation:
+    def test_accepts_valid_range(self):
+        assert validate_elevation(0.0) == 0.0
+        assert validate_elevation(-90.0) == -90.0
+        assert validate_elevation(90.0) == 90.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_elevation(91.0)
+        with pytest.raises(ValueError):
+            validate_elevation(np.array([0.0, -95.0]))
+
+
+class TestAngularDistance:
+    def test_zero_for_same_direction(self):
+        assert angular_distance(30.0, 10.0, 30.0, 10.0) == pytest.approx(0.0)
+
+    def test_pure_azimuth_at_equator(self):
+        assert angular_distance(0.0, 0.0, 40.0, 0.0) == pytest.approx(40.0)
+
+    def test_pure_elevation(self):
+        assert angular_distance(25.0, 0.0, 25.0, 30.0) == pytest.approx(30.0)
+
+    def test_symmetric(self):
+        forward = angular_distance(10.0, 5.0, -30.0, 20.0)
+        backward = angular_distance(-30.0, 20.0, 10.0, 5.0)
+        assert forward == pytest.approx(backward)
+
+    def test_azimuth_shrinks_at_high_elevation(self):
+        # 40 deg of azimuth is a much shorter arc near the pole.
+        at_pole = angular_distance(0.0, 80.0, 40.0, 80.0)
+        at_equator = angular_distance(0.0, 0.0, 40.0, 0.0)
+        assert at_pole < at_equator / 3.0
+
+    def test_antipodal_points(self):
+        assert angular_distance(0.0, 0.0, 180.0, 0.0) == pytest.approx(180.0)

@@ -1,0 +1,79 @@
+"""Unit tests for the angular search grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AngularGrid
+
+
+@pytest.fixture
+def grid() -> AngularGrid:
+    return AngularGrid(np.array([-10.0, 0.0, 10.0, 20.0]), np.array([0.0, 5.0]))
+
+
+class TestConstruction:
+    def test_shape_and_counts(self, grid):
+        assert grid.n_azimuth == 4
+        assert grid.n_elevation == 2
+        assert grid.n_points == 8
+        assert grid.shape == (2, 4)
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            AngularGrid(np.array([]), np.array([0.0]))
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            AngularGrid(np.array([0.0, 0.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            AngularGrid(np.array([0.0, -1.0]), np.array([0.0]))
+
+    def test_from_spacing_inclusive_ends(self):
+        grid = AngularGrid.from_spacing((-90.0, 90.0), 1.8, (0.0, 32.4), 3.6)
+        assert grid.azimuths_deg[0] == -90.0
+        assert grid.azimuths_deg[-1] == pytest.approx(90.0)
+        assert grid.elevations_deg[-1] == pytest.approx(32.4)
+        assert grid.n_azimuth == 101
+        assert grid.n_elevation == 10
+
+    def test_from_spacing_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            AngularGrid.from_spacing((0.0, 10.0), -1.0)
+
+
+class TestIndexing:
+    def test_flat_angles_c_order(self, grid):
+        azimuths, elevations = grid.flat_angles()
+        assert azimuths.shape == (8,)
+        # First row is elevation 0, azimuths in order.
+        np.testing.assert_allclose(azimuths[:4], [-10.0, 0.0, 10.0, 20.0])
+        np.testing.assert_allclose(elevations[:4], 0.0)
+        np.testing.assert_allclose(elevations[4:], 5.0)
+
+    def test_index_to_angles_roundtrip(self, grid):
+        azimuths, elevations = grid.flat_angles()
+        for index in range(grid.n_points):
+            azimuth, elevation = grid.index_to_angles(index)
+            assert azimuth == pytest.approx(azimuths[index])
+            assert elevation == pytest.approx(elevations[index])
+
+    def test_index_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.index_to_angles(8)
+        with pytest.raises(IndexError):
+            grid.index_to_angles(-1)
+
+    def test_nearest_index(self, grid):
+        index = grid.nearest_index(9.0, 4.0)
+        azimuth, elevation = grid.index_to_angles(index)
+        assert azimuth == 10.0
+        assert elevation == 5.0
+
+    def test_nearest_index_exact_point(self, grid):
+        index = grid.nearest_index(0.0, 0.0)
+        assert grid.index_to_angles(index) == (0.0, 0.0)
+
+    def test_meshgrid_shapes(self, grid):
+        az_mesh, el_mesh = grid.meshgrid()
+        assert az_mesh.shape == grid.shape
+        assert el_mesh.shape == grid.shape

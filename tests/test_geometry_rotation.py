@@ -1,0 +1,61 @@
+"""Unit tests for device orientations."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Orientation, direction_vector, rotation_matrix_y, rotation_matrix_z
+
+
+class TestRotationMatrices:
+    def test_z_rotation_moves_x_to_y(self):
+        rotated = rotation_matrix_z(90.0) @ np.array([1.0, 0.0, 0.0])
+        np.testing.assert_allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_y_rotation_pitches_boresight_up(self):
+        rotated = rotation_matrix_y(30.0) @ np.array([1.0, 0.0, 0.0])
+        assert rotated[2] == pytest.approx(np.sin(np.deg2rad(30.0)))
+        assert rotated[0] == pytest.approx(np.cos(np.deg2rad(30.0)))
+
+    def test_orthonormal(self):
+        for matrix in (rotation_matrix_z(37.0), rotation_matrix_y(-81.0)):
+            np.testing.assert_allclose(matrix @ matrix.T, np.eye(3), atol=1e-12)
+            assert np.linalg.det(matrix) == pytest.approx(1.0)
+
+
+class TestOrientation:
+    def test_identity_orientation(self):
+        orientation = Orientation()
+        np.testing.assert_allclose(orientation.boresight_world, [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_yaw_moves_boresight(self):
+        orientation = Orientation(yaw_deg=90.0)
+        np.testing.assert_allclose(orientation.boresight_world, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_pitch_moves_boresight_up(self):
+        orientation = Orientation(pitch_deg=45.0)
+        assert orientation.boresight_world[2] == pytest.approx(np.sin(np.pi / 4))
+
+    def test_world_to_device_inverts_device_to_world(self):
+        orientation = Orientation(yaw_deg=33.0, pitch_deg=-12.0)
+        vector = direction_vector(25.0, 10.0)
+        roundtrip = orientation.world_to_device(orientation.device_to_world(vector))
+        np.testing.assert_allclose(roundtrip, vector, atol=1e-12)
+
+    def test_yawed_device_sees_world_boresight_at_negative_azimuth(self):
+        # Head yawed +30: the world +x direction appears at device -30.
+        orientation = Orientation(yaw_deg=30.0)
+        azimuth, elevation = orientation.world_direction_in_device_frame(0.0, 0.0)
+        assert azimuth == pytest.approx(-30.0)
+        assert elevation == pytest.approx(0.0, abs=1e-9)
+
+    def test_pitched_device_sees_horizon_at_negative_elevation(self):
+        orientation = Orientation(pitch_deg=20.0)
+        _, elevation = orientation.world_direction_in_device_frame(0.0, 0.0)
+        assert elevation == pytest.approx(-20.0)
+
+    def test_device_direction_in_world_frame_roundtrip(self):
+        orientation = Orientation(yaw_deg=-50.0, pitch_deg=15.0)
+        world = orientation.device_direction_in_world_frame(10.0, 5.0)
+        device = orientation.world_direction_in_device_frame(*world)
+        assert device[0] == pytest.approx(10.0, abs=1e-9)
+        assert device[1] == pytest.approx(5.0, abs=1e-9)

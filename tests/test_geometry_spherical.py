@@ -1,0 +1,56 @@
+"""Unit tests for direction-vector conversions."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import direction_vector, vector_to_angles
+
+
+class TestDirectionVector:
+    def test_boresight_is_x(self):
+        np.testing.assert_allclose(direction_vector(0.0, 0.0), [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_azimuth_90_is_y(self):
+        np.testing.assert_allclose(direction_vector(90.0, 0.0), [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_elevation_90_is_z(self):
+        np.testing.assert_allclose(direction_vector(0.0, 90.0), [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_unit_norm_everywhere(self):
+        azimuths = np.linspace(-180, 180, 37)
+        elevations = np.linspace(-90, 90, 19)
+        az_mesh, el_mesh = np.meshgrid(azimuths, elevations)
+        vectors = direction_vector(az_mesh, el_mesh)
+        np.testing.assert_allclose(np.linalg.norm(vectors, axis=-1), 1.0, atol=1e-12)
+
+    def test_broadcast_shape(self):
+        vectors = direction_vector(np.zeros((4, 5)), 10.0)
+        assert vectors.shape == (4, 5, 3)
+
+
+class TestVectorToAngles:
+    def test_roundtrip(self):
+        for azimuth, elevation in [(0, 0), (45, 30), (-120, -60), (180, 10), (-179, 89)]:
+            vector = direction_vector(float(azimuth), float(elevation))
+            az_back, el_back = vector_to_angles(vector)
+            assert az_back == pytest.approx(azimuth, abs=1e-9)
+            assert el_back == pytest.approx(elevation, abs=1e-9)
+
+    def test_normalizes_input(self):
+        azimuth, elevation = vector_to_angles(np.array([10.0, 0.0, 0.0]))
+        assert azimuth == pytest.approx(0.0)
+        assert elevation == pytest.approx(0.0)
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            vector_to_angles(np.zeros(3))
+
+    def test_back_direction_maps_to_plus_180(self):
+        azimuth, _ = vector_to_angles(np.array([-1.0, 0.0, 0.0]))
+        assert azimuth == pytest.approx(180.0)
+
+    def test_batch_input(self):
+        vectors = direction_vector(np.array([10.0, -40.0]), np.array([5.0, 20.0]))
+        azimuths, elevations = vector_to_angles(vectors)
+        np.testing.assert_allclose(azimuths, [10.0, -40.0], atol=1e-9)
+        np.testing.assert_allclose(elevations, [5.0, 20.0], atol=1e-9)

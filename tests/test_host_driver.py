@@ -1,0 +1,114 @@
+"""Tests for the WMI codec and the wil6210-style driver."""
+
+import numpy as np
+import pytest
+
+from repro.channel import MeasurementModel
+from repro.firmware import (
+    QCA9500,
+    PatchFramework,
+    WMI_COMMAND_IDS,
+    WmiClearSectorOverride,
+    WmiDrainSweepReports,
+    WmiError,
+    WmiResetSweepState,
+    WmiSetSectorOverride,
+    decode_wmi,
+    encode_wmi,
+    sector_override_patch,
+    signal_strength_extraction_patch,
+)
+from repro.host import Wil6210Driver
+
+
+class TestWmiCodec:
+    def test_roundtrip_all_commands(self):
+        commands = [
+            WmiResetSweepState(),
+            WmiDrainSweepReports(),
+            WmiSetSectorOverride(sector_id=13),
+            WmiClearSectorOverride(),
+        ]
+        for command in commands:
+            assert decode_wmi(encode_wmi(command)) == command
+
+    def test_wire_format_header(self):
+        buffer = encode_wmi(WmiSetSectorOverride(sector_id=7))
+        command_id = int.from_bytes(buffer[0:2], "little")
+        payload_length = int.from_bytes(buffer[2:4], "little")
+        assert command_id == WMI_COMMAND_IDS[WmiSetSectorOverride]
+        assert payload_length == 1
+        assert buffer[4] == 7
+
+    def test_decode_rejects_short_buffer(self):
+        with pytest.raises(WmiError):
+            decode_wmi(b"\x11")
+
+    def test_decode_rejects_unknown_id(self):
+        with pytest.raises(WmiError):
+            decode_wmi(b"\xff\xff\x00\x00")
+
+    def test_decode_rejects_length_mismatch(self):
+        buffer = encode_wmi(WmiResetSweepState()) + b"\x00"
+        with pytest.raises(WmiError):
+            decode_wmi(buffer)
+
+    def test_decode_rejects_unexpected_payload(self):
+        command_id = WMI_COMMAND_IDS[WmiResetSweepState]
+        buffer = command_id.to_bytes(2, "little") + (1).to_bytes(2, "little") + b"\x05"
+        with pytest.raises(WmiError):
+            decode_wmi(buffer)
+
+
+@pytest.fixture
+def patched_chip(codebook):
+    chip = QCA9500(codebook, MeasurementModel.noiseless())
+    framework = PatchFramework(chip)
+    framework.install(signal_strength_extraction_patch())
+    framework.install(sector_override_patch())
+    return chip
+
+
+class TestDriver:
+    def test_sweep_dump(self, patched_chip, rng):
+        driver = Wil6210Driver(patched_chip)
+        patched_chip.start_sweep()
+        patched_chip.process_ssw_frame(3, 10, 6.0, rng)
+        patched_chip.process_ssw_frame(8, 9, 9.0, rng)
+        reports = driver.read_sweep_dump()
+        assert [report.sector_id for report in reports] == [3, 8]
+        assert driver.counters.sweep_reports_read == 2
+        assert driver.counters.wmi_commands_sent == 1
+
+    def test_fixed_sector_lifecycle(self, patched_chip, rng):
+        driver = Wil6210Driver(patched_chip)
+        patched_chip.start_sweep()
+        patched_chip.process_ssw_frame(5, 1, 8.0, rng)
+        driver.set_fixed_sector(12)
+        assert driver.fixed_sector == 12
+        assert patched_chip.select_feedback_sector() == 12
+        driver.clear_fixed_sector()
+        assert driver.fixed_sector is None
+        assert patched_chip.select_feedback_sector() == 5
+
+    def test_stock_chip_rejects_via_bytes_too(self, codebook):
+        stock = QCA9500(codebook, MeasurementModel.noiseless())
+        driver = Wil6210Driver(stock)
+        with pytest.raises(WmiError):
+            driver.read_sweep_dump()
+        assert driver.counters.wmi_errors == 1
+
+    def test_reset_sweep_state(self, patched_chip, rng):
+        driver = Wil6210Driver(patched_chip)
+        patched_chip.start_sweep()
+        patched_chip.process_ssw_frame(5, 1, 8.0, rng)
+        driver.reset_sweep_state()
+        assert patched_chip.current_sweep_reports() == []
+
+    def test_dump_table_render(self, patched_chip, rng):
+        driver = Wil6210Driver(patched_chip)
+        patched_chip.start_sweep()
+        patched_chip.process_ssw_frame(3, 10, 6.0, rng)
+        rows = driver.sweep_dump_table()
+        assert len(rows) == 2
+        assert "sector" in rows[0]

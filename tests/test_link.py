@@ -1,0 +1,140 @@
+"""Tests for the MCS ladder, rate adaptation, and throughput model."""
+
+import pytest
+
+from repro.link import (
+    CONTROL_MCS,
+    MCS_TABLE,
+    RateAdapter,
+    ThroughputModel,
+    highest_mcs,
+    select_mcs,
+)
+
+
+class TestMcsTable:
+    def test_standard_phy_rates(self):
+        rates = [mcs.phy_rate_mbps for mcs in MCS_TABLE]
+        assert rates == [
+            385.0, 770.0, 962.5, 1155.0, 1251.25, 1540.0,
+            1925.0, 2310.0, 2502.5, 3080.0, 3850.0, 4620.0,
+        ]
+
+    def test_rates_and_thresholds_monotone(self):
+        rates = [mcs.phy_rate_mbps for mcs in MCS_TABLE]
+        thresholds = [mcs.min_sweep_snr_db for mcs in MCS_TABLE]
+        assert rates == sorted(rates)
+        assert thresholds == sorted(thresholds)
+
+    def test_control_mcs_near_noise_floor(self):
+        assert CONTROL_MCS.index == 0
+        assert CONTROL_MCS.min_sweep_snr_db < MCS_TABLE[0].min_sweep_snr_db
+
+    def test_highest(self):
+        assert highest_mcs().index == 12
+
+
+class TestSelectMcs:
+    def test_none_below_ladder(self):
+        assert select_mcs(-10.0) is None
+
+    def test_exact_threshold_selects(self):
+        mcs = select_mcs(MCS_TABLE[3].min_sweep_snr_db)
+        assert mcs.index == MCS_TABLE[3].index
+
+    def test_high_snr_selects_top(self):
+        assert select_mcs(40.0).index == 12
+
+    def test_monotone_in_snr(self):
+        indices = []
+        for snr in range(-8, 30):
+            mcs = select_mcs(float(snr))
+            indices.append(-1 if mcs is None else mcs.index)
+        assert indices == sorted(indices)
+
+
+class TestRateAdapter:
+    def test_first_update_sets_rate(self):
+        adapter = RateAdapter()
+        assert adapter.current is None
+        assert adapter.update(8.0).index == select_mcs(8.0).index
+
+    def test_step_down_immediate(self):
+        adapter = RateAdapter()
+        adapter.update(15.0)
+        assert adapter.update(0.0).index == select_mcs(0.0).index
+
+    def test_step_up_requires_margin(self):
+        adapter = RateAdapter(up_margin_db=1.0)
+        adapter.update(5.9)  # some mid MCS
+        held = adapter.current
+        # Barely reaching the next threshold does not switch...
+        next_threshold = MCS_TABLE[held.index].min_sweep_snr_db  # index i -> entry i+1? guard below
+        target = select_mcs(held.min_sweep_snr_db + 2.0)
+        adapter.update(target.min_sweep_snr_db + 0.2)
+        assert adapter.current.index <= target.index
+
+    def test_hysteresis_blocks_marginal_upgrade(self):
+        adapter = RateAdapter(up_margin_db=1.0)
+        adapter.update(MCS_TABLE[5].min_sweep_snr_db)
+        before = adapter.current.index
+        adapter.update(MCS_TABLE[6].min_sweep_snr_db + 0.1)  # within margin
+        assert adapter.current.index == before
+
+    def test_multi_step_jump_climbs_to_cleared_level(self):
+        adapter = RateAdapter(up_margin_db=1.0)
+        adapter.update(MCS_TABLE[0].min_sweep_snr_db)
+        adapter.update(MCS_TABLE[8].min_sweep_snr_db + 1.5)  # clears 9's margin
+        assert adapter.current.index == MCS_TABLE[8].index
+
+    def test_loss_of_link(self):
+        adapter = RateAdapter()
+        adapter.update(10.0)
+        assert adapter.update(-12.0) is None
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            RateAdapter(up_margin_db=-1.0)
+
+
+class TestThroughputModel:
+    def test_zero_below_ladder(self):
+        assert ThroughputModel().goodput_gbps(-10.0) == 0.0
+
+    def test_host_cap_applies(self):
+        model = ThroughputModel(host_cap_gbps=1.8)
+        assert model.goodput_gbps(40.0) == pytest.approx(1.8)
+
+    def test_mid_snr_maps_through_efficiency(self):
+        model = ThroughputModel(mac_efficiency=0.65, host_cap_gbps=99.0)
+        snr = 8.0
+        expected = select_mcs(snr).phy_rate_mbps * 0.65 / 1000.0
+        assert model.goodput_gbps(snr) == pytest.approx(expected)
+
+    def test_training_duty_cycle(self):
+        model = ThroughputModel()
+        # 14 probes: 0.553 ms out of 1 s.
+        assert model.training_duty_cycle(14) == pytest.approx(5.53e-4, rel=1e-2)
+        assert model.goodput_with_training_gbps(8.0, 14) < model.goodput_gbps(8.0)
+
+    def test_expected_goodput_penalizes_switches(self):
+        model = ThroughputModel(switch_penalty=0.10)
+        series = [8.0, 8.0, 8.0, 8.0]
+        stable = model.expected_goodput_gbps(series, 14, [1, 1, 1, 1])
+        flappy = model.expected_goodput_gbps(series, 14, [1, 2, 1, 2])
+        assert stable > flappy
+
+    def test_selections_optional(self):
+        model = ThroughputModel()
+        assert model.expected_goodput_gbps([8.0, 8.0], 14) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputModel(mac_efficiency=0.0)
+        with pytest.raises(ValueError):
+            ThroughputModel(switch_penalty=1.0)
+        model = ThroughputModel()
+        with pytest.raises(ValueError):
+            model.expected_goodput_gbps([], 14)
+        with pytest.raises(ValueError):
+            model.expected_goodput_gbps([1.0], 14, selections=[1, 2])

@@ -1,0 +1,102 @@
+"""Tests for the packet-error model and the pattern-aging experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import DriftConfig, run_pattern_drift
+from repro.link import MCS_TABLE, PacketErrorModel, ThroughputModel
+
+
+class TestPacketErrorModel:
+    @pytest.fixture
+    def model(self):
+        return PacketErrorModel()
+
+    def test_per_anchored_at_threshold(self, model):
+        mcs = MCS_TABLE[5]
+        assert model.packet_error_rate(mcs, mcs.min_sweep_snr_db) == pytest.approx(0.10)
+
+    def test_per_monotone_in_snr(self, model):
+        mcs = MCS_TABLE[5]
+        pers = [
+            model.packet_error_rate(mcs, mcs.min_sweep_snr_db + margin)
+            for margin in np.linspace(-5, 10, 16)
+        ]
+        assert pers == sorted(pers, reverse=True)
+
+    def test_per_bounded(self, model):
+        mcs = MCS_TABLE[0]
+        for snr in (-50.0, 0.0, 50.0):
+            per = model.packet_error_rate(mcs, snr)
+            assert 0.0 <= per <= 1.0
+
+    def test_retries_raise_delivery(self):
+        few = PacketErrorModel(max_retries=0)
+        many = PacketErrorModel(max_retries=5)
+        mcs = MCS_TABLE[4]
+        snr = mcs.min_sweep_snr_db  # PER = 0.1
+        assert many.delivery_probability(mcs, snr) > few.delivery_probability(mcs, snr)
+
+    def test_effective_rate_below_phy_rate(self, model):
+        mcs = MCS_TABLE[8]
+        assert model.effective_rate_mbps(mcs, mcs.min_sweep_snr_db) < mcs.phy_rate_mbps
+
+    def test_effective_rate_approaches_phy_with_margin(self, model):
+        mcs = MCS_TABLE[8]
+        rate = model.effective_rate_mbps(mcs, mcs.min_sweep_snr_db + 10.0)
+        assert rate == pytest.approx(mcs.phy_rate_mbps, rel=1e-3)
+
+    def test_best_mcs_trades_rate_against_per(self, model):
+        """Just below a threshold, a lower MCS can beat a higher one."""
+        high = MCS_TABLE[9]
+        best = model.best_mcs(high.min_sweep_snr_db - 1.5)
+        assert best is not None
+        assert best.index <= high.index
+
+    def test_best_mcs_none_when_dead(self, model):
+        assert model.best_mcs(-40.0) is None
+        assert model.goodput_gbps(-40.0) == 0.0
+
+    def test_soft_goodput_tracks_hard_model(self, model):
+        """Far from thresholds the soft model matches the hard ladder."""
+        hard = ThroughputModel(host_cap_gbps=99.0)
+        for snr in (9.0, 13.5, 20.0):
+            soft = model.goodput_gbps(snr)
+            cliff = hard.goodput_gbps(snr)
+            assert soft == pytest.approx(cliff, rel=0.15)
+
+    def test_soft_model_smooth_at_threshold(self, model):
+        """No cliff: goodput changes gently across an MCS boundary."""
+        threshold = MCS_TABLE[7].min_sweep_snr_db
+        below = model.goodput_gbps(threshold - 0.2)
+        above = model.goodput_gbps(threshold + 0.2)
+        assert abs(above - below) < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketErrorModel(per_at_threshold=0.0)
+        with pytest.raises(ValueError):
+            PacketErrorModel(steepness_db=0.0)
+        with pytest.raises(ValueError):
+            PacketErrorModel(max_retries=-1)
+
+
+class TestPatternDrift:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_pattern_drift(
+            DriftConfig(drift_levels_rad=(0.0, 0.3, 0.8), azimuth_step_deg=20.0, n_sweeps=3)
+        )
+
+    def test_fresh_table_baseline(self, result):
+        assert result.drift_levels_rad[0] == 0.0
+        assert result.snr_loss_db[0] < 3.0
+
+    def test_degradation_is_graceful(self, result):
+        # Heavy drift hurts, but CSS does not collapse.
+        assert result.snr_loss_db[-1] > result.snr_loss_db[0]
+        assert result.snr_loss_db[-1] < 10.0
+
+    def test_moderate_drift_tolerated(self, result):
+        """~17 deg of phase drift costs little — re-calibration can wait."""
+        assert result.snr_loss_db[1] < result.snr_loss_db[0] + 2.5

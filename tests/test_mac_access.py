@@ -1,0 +1,99 @@
+"""Tests for the beacon-interval / A-BFT association machinery."""
+
+import numpy as np
+import pytest
+
+from repro.channel import conference_room, lab_environment
+from repro.geometry import Orientation
+from repro.mac import ABFTConfig, AssociationSimulator, Station
+from repro.phased_array import PhasedArray
+
+
+def _make_stations(environment, count, spread_m=0.8):
+    stations = []
+    for index in range(count):
+        offset = np.array([0.0, (index - (count - 1) / 2.0) * spread_m, 0.0])
+        stations.append(
+            Station(
+                f"sta{index}",
+                index + 1,
+                PhasedArray.talon(np.random.default_rng(100 + index)),
+                position_m=environment.rx_position_m + offset,
+                orientation=Orientation(yaw_deg=180.0),
+            )
+        )
+    return stations
+
+
+@pytest.fixture
+def ap():
+    environment = lab_environment(3.0)
+    return Station(
+        "ap", 0, PhasedArray.talon(np.random.default_rng(99)),
+        position_m=environment.tx_position_m,
+    )
+
+
+class TestABFTConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ABFTConfig(n_slots=0)
+        with pytest.raises(ValueError):
+            ABFTConfig(frames_per_slot=0)
+
+
+class TestAssociation:
+    def test_single_station_associates_first_bi(self, ap, rng):
+        environment = lab_environment(3.0)
+        stations = _make_stations(environment, 1)
+        simulator = AssociationSimulator(ap, stations, environment)
+        outcome = simulator.run(rng)
+        assert outcome.association_bi == {"sta0": 0}
+        assert outcome.collisions == 0
+        assert outcome.association_delay_us("sta0") == 0.0
+
+    def test_station_learns_both_sectors(self, ap, rng):
+        environment = lab_environment(3.0)
+        stations = _make_stations(environment, 1)
+        simulator = AssociationSimulator(ap, stations, environment)
+        outcome = simulator.run(rng)
+        assert "sta0" in outcome.ap_tx_sector_for
+        assert "sta0" in outcome.station_tx_sector
+        assert stations[0].tx_sector_id == outcome.station_tx_sector["sta0"]
+
+    def test_contention_causes_collisions_and_delay(self, ap, rng):
+        environment = conference_room(6.0)
+        stations = _make_stations(environment, 4)
+        simulator = AssociationSimulator(
+            ap, stations, environment, abft=ABFTConfig(n_slots=2)
+        )
+        outcome = simulator.run(rng)
+        assert len(outcome.association_bi) == 4
+        assert outcome.collisions > 0
+        assert max(outcome.association_bi.values()) > 0  # someone waited
+
+    def test_more_slots_reduce_collisions(self, ap):
+        environment = conference_room(6.0)
+
+        def run_with_slots(n_slots: int) -> int:
+            stations = _make_stations(environment, 4)
+            simulator = AssociationSimulator(
+                ap, stations, environment, abft=ABFTConfig(n_slots=n_slots)
+            )
+            return simulator.run(np.random.default_rng(77)).collisions
+
+        assert run_with_slots(8) <= run_with_slots(1)
+
+    def test_bi_budget_respected(self, ap, rng):
+        environment = conference_room(6.0)
+        stations = _make_stations(environment, 3)
+        simulator = AssociationSimulator(
+            ap, stations, environment, abft=ABFTConfig(n_slots=1)
+        )
+        outcome = simulator.run(rng, max_beacon_intervals=1)
+        assert outcome.beacon_intervals_run == 1
+        assert len(outcome.association_bi) <= 1  # one slot, one winner max
+
+    def test_needs_stations(self, ap):
+        with pytest.raises(ValueError):
+            AssociationSimulator(ap, [], lab_environment(3.0))

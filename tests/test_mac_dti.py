@@ -1,0 +1,84 @@
+"""Tests for DTI service-period scheduling."""
+
+import pytest
+
+from repro.mac.dti import DTIScheduler, ServicePeriod, StationDemand
+from repro.mac.timing import BEACON_INTERVAL_US, mutual_training_time_us
+
+
+def demands(*specs):
+    return [StationDemand(name, snr, weight, probes) for name, snr, weight, probes in specs]
+
+
+class TestValidation:
+    def test_station_demand(self):
+        with pytest.raises(ValueError):
+            StationDemand("a", 8.0, demand_weight=0.0)
+        with pytest.raises(ValueError):
+            StationDemand("a", 8.0, n_probes=0)
+
+    def test_service_period(self):
+        with pytest.raises(ValueError):
+            ServicePeriod("a", -1.0, 10.0)
+
+    def test_scheduler_overhead(self):
+        with pytest.raises(ValueError):
+            DTIScheduler(bti_abft_overhead_us=BEACON_INTERVAL_US)
+
+    def test_empty_and_duplicate_demands(self):
+        scheduler = DTIScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule([])
+        with pytest.raises(ValueError):
+            scheduler.schedule(demands(("a", 8, 1, 34), ("a", 8, 1, 34)))
+
+
+class TestScheduling:
+    def test_full_interval_accounted(self):
+        scheduler = DTIScheduler()
+        schedule = scheduler.schedule(demands(("a", 8, 1, 34), ("b", 8, 1, 34)))
+        total = schedule.overhead_us + schedule.training_us + schedule.allocated_us
+        assert total == pytest.approx(BEACON_INTERVAL_US)
+
+    def test_proportional_split(self):
+        scheduler = DTIScheduler()
+        schedule = scheduler.schedule(demands(("a", 8, 3, 34), ("b", 8, 1, 34)))
+        assert schedule.station_airtime_us("a") == pytest.approx(
+            3 * schedule.station_airtime_us("b")
+        )
+
+    def test_service_periods_disjoint(self):
+        scheduler = DTIScheduler()
+        schedule = scheduler.schedule(
+            demands(("a", 8, 1, 34), ("b", 8, 2, 14), ("c", 8, 1, 14))
+        )
+        assert schedule.non_overlapping()
+
+    def test_training_charge_matches_policies(self):
+        scheduler = DTIScheduler()
+        schedule = scheduler.schedule(demands(("a", 8, 1, 34), ("b", 8, 1, 14)))
+        assert schedule.training_us == pytest.approx(
+            mutual_training_time_us(34) + mutual_training_time_us(14)
+        )
+
+    def test_css_training_leaves_more_airtime(self):
+        scheduler = DTIScheduler()
+        ssw = scheduler.schedule(demands(*[(f"s{i}", 8, 1, 34) for i in range(8)]))
+        css = scheduler.schedule(demands(*[(f"s{i}", 8, 1, 14) for i in range(8)]))
+        assert css.allocated_us > ssw.allocated_us
+
+    def test_training_can_eat_the_interval(self):
+        scheduler = DTIScheduler(beacon_interval_us=5_000.0, bti_abft_overhead_us=1_000.0)
+        schedule = scheduler.schedule(demands(*[(f"s{i}", 8, 1, 34) for i in range(4)]))
+        assert schedule.service_periods == []
+        assert schedule.allocated_us == 0.0
+
+    def test_goodput_scales_with_share(self):
+        scheduler = DTIScheduler()
+        goodputs = scheduler.goodput_gbps(demands(("a", 8, 3, 14), ("b", 8, 1, 14)))
+        assert goodputs["a"] == pytest.approx(3 * goodputs["b"], rel=1e-6)
+
+    def test_goodput_zero_for_dead_link(self):
+        scheduler = DTIScheduler()
+        goodputs = scheduler.goodput_gbps(demands(("a", -20, 1, 14)))
+        assert goodputs["a"] == 0.0

@@ -1,0 +1,127 @@
+"""Unit tests for the SSW field and DMG frame codecs."""
+
+import pytest
+
+from repro.mac import (
+    BeaconFrame,
+    SSWAckFrame,
+    SSWFeedbackField,
+    SSWFeedbackFrame,
+    SSWField,
+    SSWFrame,
+    decode_frame,
+    format_mac,
+    station_mac,
+)
+
+
+class TestSSWField:
+    def test_roundtrip(self):
+        field = SSWField(direction=1, cdown=347, sector_id=63, dmg_antenna_id=2, rxss_length=17)
+        assert SSWField.unpack(field.pack()) == field
+
+    def test_pack_length(self):
+        assert len(SSWField(direction=0, cdown=0, sector_id=0).pack()) == 3
+
+    def test_bit_boundaries(self):
+        # Max values in every field survive the roundtrip.
+        field = SSWField(direction=1, cdown=511, sector_id=63, dmg_antenna_id=3, rxss_length=63)
+        assert SSWField.unpack(field.pack()) == field
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            SSWField(direction=2, cdown=0, sector_id=0)
+        with pytest.raises(ValueError):
+            SSWField(direction=0, cdown=512, sector_id=0)
+        with pytest.raises(ValueError):
+            SSWField(direction=0, cdown=0, sector_id=64)
+
+    def test_unpack_wrong_length(self):
+        with pytest.raises(ValueError):
+            SSWField.unpack(b"\x00\x00")
+
+
+class TestSSWFeedbackField:
+    def test_roundtrip_with_snr(self):
+        field = SSWFeedbackField(sector_select=13, antenna_select=1, snr_report_db=4.25)
+        decoded = SSWFeedbackField.unpack(field.pack())
+        assert decoded.sector_select == 13
+        assert decoded.antenna_select == 1
+        assert decoded.snr_report_db == pytest.approx(4.25)
+
+    def test_snr_encoding_saturates(self):
+        high = SSWFeedbackField(sector_select=0, snr_report_db=99.0)
+        assert SSWFeedbackField.unpack(high.pack()).snr_report_db == pytest.approx(55.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSWFeedbackField(sector_select=64)
+
+
+class TestMacAddresses:
+    def test_station_mac_deterministic_and_unique(self):
+        assert station_mac(1) == station_mac(1)
+        assert station_mac(1) != station_mac(2)
+        assert len(station_mac(7)) == 6
+
+    def test_locally_administered_bit(self):
+        assert station_mac(0)[0] & 0x02
+
+    def test_format(self):
+        assert format_mac(b"\x02\xad\x72\x00\x00\x01") == "02:ad:72:00:00:01"
+        with pytest.raises(ValueError):
+            format_mac(b"\x00")
+
+
+class TestFrameCodecs:
+    def test_beacon_roundtrip(self):
+        frame = BeaconFrame(src=station_mac(1), sector_id=63, cdown=33, tsf_us=102400)
+        assert BeaconFrame.decode(frame.encode()) == frame
+
+    def test_ssw_roundtrip(self):
+        frame = SSWFrame(
+            src=station_mac(1),
+            dst=station_mac(2),
+            ssw=SSWField(direction=0, cdown=12, sector_id=7),
+            feedback=SSWFeedbackField(sector_select=3),
+        )
+        assert SSWFrame.decode(frame.encode()) == frame
+        assert frame.sector_id == 7
+        assert frame.cdown == 12
+
+    def test_feedback_and_ack_roundtrip(self):
+        feedback = SSWFeedbackFrame(
+            src=station_mac(1), dst=station_mac(2),
+            feedback=SSWFeedbackField(sector_select=9, snr_report_db=2.5),
+        )
+        ack = SSWAckFrame(
+            src=station_mac(2), dst=station_mac(1),
+            feedback=SSWFeedbackField(sector_select=9),
+        )
+        assert SSWFeedbackFrame.decode(feedback.encode()) == feedback
+        assert SSWAckFrame.decode(ack.encode()) == ack
+
+    def test_generic_decoder_dispatches(self):
+        frame = BeaconFrame(src=station_mac(3), sector_id=1, cdown=31)
+        decoded = decode_frame(frame.encode())
+        assert isinstance(decoded, BeaconFrame)
+        assert decoded == frame
+
+    def test_generic_decoder_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            decode_frame(b"\x7f" + bytes(18))
+        with pytest.raises(ValueError):
+            decode_frame(b"")
+
+    def test_decode_checks_type_byte(self):
+        beacon = BeaconFrame(src=station_mac(1), sector_id=1, cdown=1)
+        with pytest.raises(ValueError):
+            SSWFrame.decode(beacon.encode())
+
+    def test_beacon_is_broadcast(self):
+        frame = BeaconFrame(src=station_mac(1), sector_id=1, cdown=1)
+        assert frame.dst == b"\xff" * 6
+
+    def test_mac_length_validated(self):
+        with pytest.raises(ValueError):
+            BeaconFrame(src=b"\x01", sector_id=1, cdown=1)

@@ -1,0 +1,104 @@
+"""Unit tests for Table 1 schedules and the §4.1 timing model."""
+
+import pytest
+
+from repro.mac import (
+    BEACON_SCHEDULE,
+    SWEEP_SCHEDULE,
+    beacon_burst,
+    custom_sweep_burst,
+    mutual_training_time_us,
+    one_sided_sweep_time_us,
+    schedule_table_rows,
+    sweep_burst,
+    training_speedup,
+)
+
+
+class TestBeaconSchedule:
+    def test_sector_63_at_cdown_33(self):
+        assert BEACON_SCHEDULE[33] == 63
+
+    def test_sectors_1_to_31_at_cdown_31_to_1(self):
+        for sector_id in range(1, 32):
+            assert BEACON_SCHEDULE[32 - sector_id] == sector_id
+
+    def test_unused_slots_absent(self):
+        for cdown in (34, 32, 0):
+            assert cdown not in BEACON_SCHEDULE
+
+    def test_32_slots_total(self):
+        assert len(BEACON_SCHEDULE) == 32
+
+
+class TestSweepSchedule:
+    def test_sectors_1_to_31_lead_the_burst(self):
+        for sector_id in range(1, 32):
+            assert SWEEP_SCHEDULE[35 - sector_id] == sector_id
+
+    def test_61_62_63_close_the_burst(self):
+        assert SWEEP_SCHEDULE[2] == 61
+        assert SWEEP_SCHEDULE[1] == 62
+        assert SWEEP_SCHEDULE[0] == 63
+
+    def test_cdown_3_unused(self):
+        assert 3 not in SWEEP_SCHEDULE
+
+    def test_34_sectors_total(self):
+        assert len(SWEEP_SCHEDULE) == 34
+        assert sorted(SWEEP_SCHEDULE.values()) == list(range(1, 32)) + [61, 62, 63]
+
+
+class TestBursts:
+    def test_bursts_in_decreasing_cdown_order(self):
+        for burst in (beacon_burst(), sweep_burst()):
+            cdowns = [cdown for cdown, _ in burst]
+            assert cdowns == sorted(cdowns, reverse=True)
+
+    def test_sweep_burst_first_and_last(self):
+        burst = sweep_burst()
+        assert burst[0] == (34, 1)
+        assert burst[-1] == (0, 63)
+
+    def test_custom_burst_counts_down_to_zero(self):
+        burst = custom_sweep_burst([5, 9, 61])
+        assert burst == [(2, 5), (1, 9), (0, 61)]
+
+    def test_custom_burst_validation(self):
+        with pytest.raises(ValueError):
+            custom_sweep_burst([])
+        with pytest.raises(ValueError):
+            custom_sweep_burst([1, 1])
+
+    def test_table_rows_render(self):
+        rows = schedule_table_rows()
+        assert len(rows) == 2
+        beacon_label, beacon_cells = rows[0]
+        assert beacon_label == "Beacon"
+        assert len(beacon_cells) == 35
+        assert beacon_cells[0] == "-"       # CDOWN 34 unused
+        assert beacon_cells[1] == "63"      # CDOWN 33
+        sweep_label, sweep_cells = rows[1]
+        assert sweep_cells[0] == "1"        # CDOWN 34
+        assert sweep_cells[-1] == "63"      # CDOWN 0
+
+
+class TestTiming:
+    def test_paper_headline_values(self):
+        assert mutual_training_time_us(34) / 1000 == pytest.approx(1.27, abs=0.005)
+        assert mutual_training_time_us(14) / 1000 == pytest.approx(0.55, abs=0.005)
+
+    def test_speedup_is_2_3(self):
+        assert training_speedup(14) == pytest.approx(2.3, abs=0.05)
+
+    def test_one_sided_time_linear(self):
+        assert one_sided_sweep_time_us(10) == pytest.approx(180.0)
+        assert one_sided_sweep_time_us(20) == pytest.approx(360.0)
+
+    def test_rejects_zero_probes(self):
+        with pytest.raises(ValueError):
+            mutual_training_time_us(0)
+
+    def test_monotone_in_probes(self):
+        times = [mutual_training_time_us(n) for n in range(1, 40)]
+        assert times == sorted(times)

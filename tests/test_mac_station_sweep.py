@@ -1,0 +1,152 @@
+"""Integration-grade tests for stations and the SLS protocol engine."""
+
+import numpy as np
+import pytest
+
+from repro.channel import MeasurementModel, lab_environment
+from repro.geometry import Orientation
+from repro.mac import (
+    SSWFrame,
+    Station,
+    SweepSession,
+    sweep_burst,
+    transmit_beacon_burst,
+)
+from repro.phased_array import PhasedArray
+
+
+@pytest.fixture
+def stations():
+    environment = lab_environment(3.0)
+    initiator = Station(
+        "ap", 1, PhasedArray.talon(np.random.default_rng(11)),
+        position_m=environment.tx_position_m,
+    )
+    responder = Station(
+        "sta", 2, PhasedArray.talon(np.random.default_rng(12)),
+        position_m=environment.rx_position_m,
+        orientation=Orientation(yaw_deg=180.0),
+    )
+    return environment, initiator, responder
+
+
+class TestStation:
+    def test_stock_station_blocks_research_apis(self, stations):
+        _, initiator, _ = stations
+        assert not initiator.is_jailbroken
+        with pytest.raises(RuntimeError):
+            initiator.drain_sweep_reports()
+        with pytest.raises(RuntimeError):
+            initiator.arm_sector_override(5)
+
+    def test_jailbreak_is_idempotent(self, stations):
+        _, initiator, _ = stations
+        first = initiator.jailbreak()
+        second = initiator.jailbreak()
+        assert first is second
+        assert set(first.installed_patches) == {
+            "signal-strength-extraction",
+            "sector-override",
+        }
+
+    def test_tx_weights_lookup(self, stations):
+        _, initiator, _ = stations
+        assert initiator.tx_weights(63) is initiator.codebook[63].weights
+
+
+class TestSweepSession:
+    def test_full_sweep_timing_and_framecount(self, stations, rng):
+        environment, initiator, responder = stations
+        session = SweepSession(initiator, responder, environment)
+        result = session.run(rng)
+        # 34 ISS + 34 RSS + feedback + ack frames on air.
+        assert len(result.transmitted_frames) == 70
+        assert result.duration_us == pytest.approx(1273.1, abs=0.2)
+
+    def test_reduced_sweep_duration_scales(self, stations, rng):
+        environment, initiator, responder = stations
+        session = SweepSession(initiator, responder, environment)
+        probes = [sector for _, sector in sweep_burst()][:14]
+        result = session.run(
+            rng, initiator_probe_ids=probes, responder_probe_ids=probes
+        )
+        assert len(result.transmitted_frames) == 30
+        assert result.duration_us == pytest.approx(553.1, abs=0.2)
+
+    def test_training_improves_over_default_sector(self, stations, rng):
+        environment, initiator, responder = stations
+        session = SweepSession(initiator, responder, environment)
+        result = session.run(rng)
+        # Facing stations should train onto strong frontal sectors and
+        # both ends must adopt what the feedback carried.
+        assert result.feedback_delivered
+        assert initiator.tx_sector_id == result.initiator_tx_sector
+        assert responder.tx_sector_id == result.responder_tx_sector
+
+    def test_override_at_responder_steers_initiator(self, stations, rng):
+        environment, initiator, responder = stations
+        responder.jailbreak()
+        responder.arm_sector_override(7)
+        session = SweepSession(initiator, responder, environment)
+        result = session.run(rng)
+        assert result.initiator_tx_sector == 7
+
+    def test_override_at_initiator_steers_responder(self, stations, rng):
+        environment, initiator, responder = stations
+        initiator.jailbreak()
+        initiator.arm_sector_override(9)
+        session = SweepSession(initiator, responder, environment)
+        result = session.run(rng)
+        assert result.responder_tx_sector == 9
+
+    def test_drained_reports_match_sweep(self, stations, rng):
+        environment, initiator, responder = stations
+        responder.jailbreak()
+        session = SweepSession(initiator, responder, environment)
+        session.run(rng)
+        reports = responder.drain_sweep_reports()
+        assert reports, "close-range sweep must produce reports"
+        sweep_sectors = {sector for _, sector in sweep_burst()}
+        assert {report.sector_id for report in reports} <= sweep_sectors
+        assert all(-7.0 <= report.snr_db <= 12.0 for report in reports)
+
+    def test_frames_carry_schedule(self, stations, rng):
+        environment, initiator, responder = stations
+        session = SweepSession(initiator, responder, environment)
+        result = session.run(rng)
+        ssw_frames = [
+            capture.frame
+            for capture in result.transmitted_frames
+            if isinstance(capture.frame, SSWFrame)
+        ]
+        initiator_frames = [f for f in ssw_frames if f.src == initiator.mac]
+        observed = [(frame.cdown, frame.sector_id) for frame in initiator_frames]
+        assert observed == sweep_burst()
+
+    def test_monitor_capture(self, stations, rng):
+        environment, initiator, responder = stations
+        monitor = Station(
+            "mon", 3, PhasedArray.talon(np.random.default_rng(13)),
+            position_m=np.array([1.0, 1.0, 0.0]),
+            orientation=Orientation(yaw_deg=-135.0),
+        )
+        session = SweepSession(initiator, responder, environment, monitor=monitor)
+        result = session.run(rng)
+        assert result.monitor_frames, "nearby monitor should capture frames"
+        assert all(capture.snr_db is not None for capture in result.monitor_frames)
+
+
+class TestBeaconBurst:
+    def test_captures_subset_of_beacon_schedule(self, stations, rng):
+        environment, initiator, _ = stations
+        monitor = Station(
+            "mon", 3, PhasedArray.talon(np.random.default_rng(13)),
+            position_m=np.array([1.0, 1.0, 0.0]),
+            orientation=Orientation(yaw_deg=-135.0),
+        )
+        captures = transmit_beacon_burst(initiator, environment, monitor, rng)
+        assert captures
+        from repro.mac import BEACON_SCHEDULE
+
+        for capture in captures:
+            assert BEACON_SCHEDULE[capture.frame.cdown] == capture.frame.sector_id

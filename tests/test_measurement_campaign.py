@@ -1,0 +1,128 @@
+"""Tests for the chamber measurement campaign (§4.2–§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import MeasurementModel
+from repro.measurement import (
+    CampaignConfig,
+    PatternMeasurementCampaign,
+    measure_3d_patterns,
+    measure_azimuth_patterns,
+)
+from repro.phased_array import WEAK_SECTOR_IDS
+
+
+@pytest.fixture(scope="module")
+def campaign(testbed):
+    return PatternMeasurementCampaign(
+        testbed.dut_antenna,
+        testbed.dut_codebook,
+        reference_antenna=testbed.ref_antenna,
+        reference_codebook=testbed.ref_codebook,
+    )
+
+
+@pytest.fixture(scope="module")
+def coarse_table(campaign):
+    config = CampaignConfig(
+        azimuths_deg=np.arange(-90.0, 91.0, 7.5),
+        elevations_deg=(0.0, 12.0, 24.0),
+        n_sweeps=2,
+    )
+    return campaign.run(config, np.random.default_rng(99))
+
+
+# Make the session testbed fixture visible at module scope.
+@pytest.fixture(scope="module")
+def testbed():
+    from repro.experiments.common import build_testbed
+
+    return build_testbed()
+
+
+class TestCampaignConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(azimuths_deg=[0.0], n_sweeps=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(azimuths_deg=[])
+
+    def test_grid_built_from_axes(self):
+        config = CampaignConfig(azimuths_deg=[-10.0, 0.0], elevations_deg=[0.0])
+        assert config.grid.shape == (1, 2)
+
+
+class TestCampaignRun:
+    def test_covers_all_35_patterns(self, coarse_table, testbed):
+        assert coarse_table.n_sectors == 35
+        assert set(coarse_table.sector_ids) == set(testbed.dut_codebook.sector_ids)
+
+    def test_no_gaps_after_processing(self, coarse_table):
+        assert not coarse_table.has_gaps()
+
+    def test_values_inside_reporting_window(self, coarse_table):
+        for sector_id in coarse_table.sector_ids:
+            pattern = coarse_table.pattern(sector_id)
+            assert pattern.min() >= -7.0 - 1e-9
+            assert pattern.max() <= 12.0 + 1e-9
+
+    def test_attenuation_keeps_peaks_unclipped(self, coarse_table):
+        """The calibrated attenuator must preserve the gain ranking."""
+        peaks = [coarse_table.pattern(s).max() for s in coarse_table.sector_ids]
+        assert max(peaks) < 12.0  # nothing pinned at the clip
+
+    def test_strong_sector_dominates_its_direction(self, coarse_table, testbed):
+        table_best = coarse_table.best_sector(0.0, 0.0)
+        antenna = testbed.dut_antenna
+        codebook = testbed.dut_codebook
+        gains = {
+            s: antenna.gain_db(codebook[s].weights, 0.0, 0.0)
+            for s in codebook.tx_sector_ids
+        }
+        true_ranking = sorted(gains, key=gains.get, reverse=True)
+        assert table_best in true_ranking[:3]
+
+    def test_weak_sectors_stay_weak(self, coarse_table):
+        strong_peak = coarse_table.pattern(63).max()
+        for sector_id in WEAK_SECTOR_IDS:
+            assert coarse_table.pattern(sector_id).max() < strong_peak - 4.0
+
+    def test_deterministic_given_seed(self, campaign):
+        config = CampaignConfig(
+            azimuths_deg=np.arange(-30.0, 31.0, 15.0), elevations_deg=(0.0,), n_sweeps=1
+        )
+        first = campaign.run(config, np.random.default_rng(5))
+        second = campaign.run(config, np.random.default_rng(5))
+        np.testing.assert_allclose(first.pattern(63), second.pattern(63))
+
+    def test_negative_attenuation_rejected(self, testbed):
+        with pytest.raises(ValueError):
+            PatternMeasurementCampaign(
+                testbed.dut_antenna,
+                testbed.dut_codebook,
+                chamber_attenuation_db=-1.0,
+            )
+
+
+class TestPaperCampaigns:
+    def test_fig5_grid(self, campaign):
+        table = measure_azimuth_patterns(
+            campaign, np.random.default_rng(1), azimuth_step_deg=18.0, n_sweeps=1
+        )
+        assert table.grid.n_elevation == 1
+        assert table.grid.azimuths_deg[0] == -180.0
+        assert table.grid.azimuths_deg[-1] == 180.0
+
+    def test_fig6_grid(self, campaign):
+        table = measure_3d_patterns(
+            campaign,
+            np.random.default_rng(1),
+            azimuth_step_deg=18.0,
+            elevation_step_deg=10.8,
+            n_sweeps=1,
+        )
+        assert table.grid.azimuths_deg[0] == -90.0
+        assert table.grid.azimuths_deg[-1] == 90.0
+        assert table.grid.elevations_deg[0] == 0.0
+        assert table.grid.elevations_deg[-1] == pytest.approx(32.4)

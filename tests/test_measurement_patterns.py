@@ -1,0 +1,143 @@
+"""Unit tests for pattern tables and the rotation head."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AngularGrid
+from repro.measurement import PatternTable, RotationHead
+
+
+@pytest.fixture
+def small_table() -> PatternTable:
+    grid = AngularGrid(np.array([-10.0, 0.0, 10.0]), np.array([0.0, 10.0]))
+    patterns = {
+        1: np.array([[0.0, 10.0, 0.0], [0.0, 5.0, 0.0]]),
+        2: np.array([[8.0, 0.0, -4.0], [8.0, 0.0, -4.0]]),
+    }
+    return PatternTable(grid, patterns)
+
+
+class TestPatternTable:
+    def test_basic_lookup(self, small_table):
+        assert small_table.sector_ids == [1, 2]
+        assert small_table.n_sectors == 2
+        assert small_table.gain(1, 0.0, 0.0) == 10.0
+
+    def test_unknown_sector(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.pattern(9)
+
+    def test_shape_mismatch_rejected(self):
+        grid = AngularGrid(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            PatternTable(grid, {1: np.zeros((2, 3))})
+
+    def test_bilinear_interpolation_azimuth(self, small_table):
+        assert small_table.gain(1, 5.0, 0.0) == pytest.approx(5.0)
+
+    def test_bilinear_interpolation_elevation(self, small_table):
+        assert small_table.gain(1, 0.0, 5.0) == pytest.approx(7.5)
+
+    def test_clipping_outside_grid(self, small_table):
+        assert small_table.gain(1, -50.0, 0.0) == small_table.gain(1, -10.0, 0.0)
+        assert small_table.gain(1, 0.0, 99.0) == small_table.gain(1, 0.0, 10.0)
+
+    def test_vector_across_sectors(self, small_table):
+        vector = small_table.vector(0.0, 0.0)
+        np.testing.assert_allclose(vector, [10.0, 0.0])
+
+    def test_sample_matrix_layout(self, small_table):
+        grid = AngularGrid(np.array([-10.0, 10.0]), np.array([0.0]))
+        matrix = small_table.sample_matrix(grid)
+        assert matrix.shape == (2, 2)
+        np.testing.assert_allclose(matrix[0], [0.0, 0.0])
+        np.testing.assert_allclose(matrix[1], [8.0, -4.0])
+
+    def test_best_sector(self, small_table):
+        assert small_table.best_sector(0.0, 0.0) == 1
+        assert small_table.best_sector(-10.0, 0.0) == 2
+
+    def test_has_gaps(self, small_table):
+        assert not small_table.has_gaps()
+        grid = AngularGrid(np.array([0.0]), np.array([0.0]))
+        gappy = PatternTable(grid, {1: np.array([[np.nan]])})
+        assert gappy.has_gaps()
+
+    def test_save_load_roundtrip(self, small_table, tmp_path):
+        path = str(tmp_path / "patterns.npz")
+        small_table.save(path)
+        loaded = PatternTable.load(path)
+        assert loaded.sector_ids == small_table.sector_ids
+        np.testing.assert_allclose(loaded.grid.azimuths_deg, small_table.grid.azimuths_deg)
+        for sector_id in small_table.sector_ids:
+            np.testing.assert_allclose(
+                loaded.pattern(sector_id), small_table.pattern(sector_id)
+            )
+
+    def test_empty_table_rejected(self, small_table):
+        with pytest.raises(ValueError):
+            PatternTable(small_table.grid, {})
+
+    def test_degenerate_single_point_grid(self):
+        grid = AngularGrid(np.array([0.0]), np.array([0.0]))
+        table = PatternTable(grid, {1: np.array([[3.0]])})
+        assert table.gain(1, 45.0, 45.0) == 3.0
+
+
+class TestRotationHead:
+    def test_azimuth_snaps_to_microsteps(self):
+        head = RotationHead(azimuth_jitter_deg=0.0, tilt_error_std_deg=0.0)
+        head.set_azimuth(10.004)
+        assert head.actual_azimuth_deg == pytest.approx(10.0)
+
+    def test_azimuth_wraps(self):
+        head = RotationHead(azimuth_jitter_deg=0.0, tilt_error_std_deg=0.0)
+        head.set_azimuth(270.0)
+        assert head.commanded_azimuth_deg == pytest.approx(-90.0)
+
+    def test_tilt_error_redrawn_per_adjustment(self):
+        head = RotationHead(np.random.default_rng(1), tilt_error_std_deg=1.0)
+        head.set_tilt(10.0)
+        first = head.actual_tilt_deg
+        head.set_tilt(10.0)
+        second = head.actual_tilt_deg
+        assert first != second  # manual tilts never repeat exactly
+
+    def test_tilt_error_held_across_azimuth_moves(self):
+        head = RotationHead(np.random.default_rng(1), tilt_error_std_deg=1.0)
+        head.set_tilt(10.0)
+        error_before = head.actual_tilt_deg
+        head.set_azimuth(30.0)
+        assert head.actual_tilt_deg == error_before
+
+    def test_orientation_sign_convention(self):
+        head = RotationHead(azimuth_jitter_deg=0.0, tilt_error_std_deg=0.0)
+        head.set_azimuth(-25.0)
+        head.set_tilt(10.0)
+        orientation = head.orientation()
+        assert orientation.yaw_deg == pytest.approx(-25.0)
+        assert orientation.pitch_deg == pytest.approx(-10.0)
+        azimuth, elevation = head.nominal_device_direction()
+        assert azimuth == pytest.approx(25.0)
+        assert elevation == pytest.approx(10.0)
+
+    def test_nominal_direction_matches_physics_without_errors(self):
+        head = RotationHead(azimuth_jitter_deg=0.0, tilt_error_std_deg=0.0)
+        head.set_tilt(12.0)
+        head.set_azimuth(-30.0)
+        nominal = head.nominal_device_direction()
+        actual = head.orientation().world_direction_in_device_frame(0.0, 0.0)
+        # Yaw-then-pitch cross-coupling: the nominal grid coordinate is
+        # exact at zero yaw and drifts a couple of degrees at combined
+        # yaw+tilt — the systematic part of the paper's elevation error.
+        assert actual[0] == pytest.approx(nominal[0], abs=2.0)
+        assert actual[1] == pytest.approx(nominal[1], abs=2.0)
+
+    def test_mechanical_range_checked(self):
+        head = RotationHead()
+        with pytest.raises(ValueError):
+            head.set_tilt(120.0)
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            RotationHead(azimuth_resolution_deg=0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for campaign post-processing (§4.3 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.measurement import interpolate_gaps, reject_outliers, robust_average
+
+
+class TestRejectOutliers:
+    def test_drops_far_samples(self):
+        kept = reject_outliers([5.0, 5.2, 4.9, 5.1, 15.0])
+        assert 15.0 not in kept
+        assert len(kept) == 4
+
+    def test_keeps_tight_cluster(self):
+        samples = [3.0, 3.25, 2.75]
+        np.testing.assert_allclose(reject_outliers(samples), samples)
+
+    def test_small_sets_untouched(self):
+        np.testing.assert_allclose(reject_outliers([1.0, 99.0]), [1.0, 99.0])
+
+    def test_never_empties_the_set(self):
+        kept = reject_outliers([0.0, 100.0, 200.0], max_deviation_db=1.0)
+        assert len(kept) >= 1
+
+    def test_symmetric_outliers(self):
+        kept = reject_outliers([-20.0, 5.0, 5.1, 4.9, 30.0])
+        np.testing.assert_allclose(sorted(kept), [4.9, 5.0, 5.1])
+
+
+class TestRobustAverage:
+    def test_mean_without_outlier(self):
+        assert robust_average([5.0, 5.2, 4.8, 20.0]) == pytest.approx(5.0)
+
+    def test_empty_is_nan_gap(self):
+        assert np.isnan(robust_average([]))
+
+    def test_single_sample(self):
+        assert robust_average([7.25]) == 7.25
+
+
+class TestInterpolateGaps:
+    def test_fills_interior_gap_linearly(self):
+        row = np.array([0.0, np.nan, 2.0])
+        np.testing.assert_allclose(interpolate_gaps(row), [0.0, 1.0, 2.0])
+
+    def test_extends_edges_with_nearest(self):
+        row = np.array([np.nan, 1.0, np.nan])
+        np.testing.assert_allclose(interpolate_gaps(row), [1.0, 1.0, 1.0])
+
+    def test_2d_rows_independent(self):
+        pattern = np.array([[0.0, np.nan, 4.0], [1.0, 1.0, 1.0]])
+        result = interpolate_gaps(pattern)
+        np.testing.assert_allclose(result[0], [0.0, 2.0, 4.0])
+        np.testing.assert_allclose(result[1], 1.0)
+
+    def test_all_nan_row_gets_floor(self):
+        pattern = np.array([[np.nan, np.nan], [3.0, -5.0]])
+        result = interpolate_gaps(pattern)
+        np.testing.assert_allclose(result[0], -5.0)  # global minimum
+
+    def test_explicit_floor(self):
+        row = np.array([np.nan, np.nan])
+        np.testing.assert_allclose(interpolate_gaps(row, floor_db=-7.0), -7.0)
+
+    def test_no_nan_left_ever(self):
+        pattern = np.array([[np.nan, 1.0, np.nan, np.nan, 3.0]])
+        assert not np.isnan(interpolate_gaps(pattern)).any()
+
+    def test_input_not_mutated(self):
+        row = np.array([0.0, np.nan])
+        interpolate_gaps(row)
+        assert np.isnan(row[1])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            interpolate_gaps(np.zeros((2, 2, 2)))

@@ -1,0 +1,113 @@
+"""Tests for airtime accounting and the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BlockageConfig,
+    DenseConfig,
+    run_blockage_recovery,
+    run_dense_deployment,
+)
+from repro.net import AirtimeLedger, TrainingPolicy
+
+
+class TestTrainingPolicy:
+    def test_training_time_matches_timing_model(self):
+        policy = TrainingPolicy("css", 14)
+        assert policy.training_time_us == pytest.approx(553.1)
+        assert policy.trainings_per_second == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingPolicy("bad", 0)
+        with pytest.raises(ValueError):
+            TrainingPolicy("bad", 14, interval_us=0.0)
+
+
+class TestAirtimeLedger:
+    def test_empty_ledger(self):
+        ledger = AirtimeLedger()
+        assert ledger.data_fraction() == 1.0
+        assert not ledger.is_saturated
+
+    def test_training_charges_accumulate(self):
+        ledger = AirtimeLedger()
+        policy = TrainingPolicy("ssw", 34, interval_us=100_000.0)  # 10 Hz
+        ledger.add_training("pair0", policy)
+        expected = 10 * policy.training_time_us
+        assert ledger.exclusive_us == pytest.approx(expected)
+        assert ledger.by_source["pair0"] == pytest.approx(expected)
+
+    def test_saturation(self):
+        ledger = AirtimeLedger(epoch_us=10_000.0)
+        policy = TrainingPolicy("ssw", 34, interval_us=1_000.0)
+        for pair in range(10):
+            ledger.add_training(f"pair{pair}", policy)
+        assert ledger.is_saturated
+        assert ledger.data_fraction() == 0.0
+
+    def test_css_leaves_more_data_airtime(self):
+        ssw = AirtimeLedger()
+        css = AirtimeLedger()
+        for pair in range(20):
+            ssw.add_training(f"p{pair}", TrainingPolicy("ssw", 34, 100_000.0))
+            css.add_training(f"p{pair}", TrainingPolicy("css", 14, 100_000.0))
+        assert css.data_fraction() > ssw.data_fraction()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AirtimeLedger(epoch_us=0.0)
+
+
+class TestDenseExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dense_deployment(DenseConfig(pair_counts=(1, 5, 20)))
+
+    def test_css_wins_at_scale(self, result):
+        # At 20 pairs the training overhead gap dominates.
+        index = result.pair_counts.index(20)
+        assert result.css_aggregate_gbps[index] > result.ssw_aggregate_gbps[index]
+
+    def test_near_parity_at_one_pair(self, result):
+        index = result.pair_counts.index(1)
+        ratio = result.css_aggregate_gbps[index] / result.ssw_aggregate_gbps[index]
+        assert 0.95 < ratio < 1.1
+
+    def test_tracking_rate_scales_by_speedup(self, result):
+        for n_pairs in result.pair_counts:
+            ratio = result.css_max_rate_hz[n_pairs] / result.ssw_max_rate_hz[n_pairs]
+            assert ratio == pytest.approx(2.3, abs=0.05)
+
+
+class TestBlockageExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_blockage_recovery(BlockageConfig(n_intervals=30, blocked_from=10, blocked_until=20))
+
+    def test_blockage_hurts_everyone(self, result):
+        for strategy in result.timeline:
+            assert result.mean_snr_during_blockage(strategy) < result.mean_snr_clear(strategy) - 8.0
+
+    def test_adaptive_recovers_close_to_ssw(self, result):
+        gap = result.mean_snr_during_blockage(
+            "SSW (every 2nd)"
+        ) - result.mean_snr_during_blockage("CSS adaptive + standby")
+        assert gap < 3.0
+
+    def test_css14_pays_for_low_coverage_under_deep_blockage(self, result):
+        """The honest limitation: 14 random probes may miss the few
+        reflection-pointing sectors that survive a deep blockage."""
+        assert result.mean_snr_during_blockage(
+            "CSS-14 (every)"
+        ) < result.mean_snr_during_blockage("SSW (every 2nd)")
+
+    def test_css_leads_when_clear(self, result):
+        assert result.mean_snr_clear("CSS adaptive + standby") >= result.mean_snr_clear(
+            "SSW (every 2nd)"
+        ) - 0.5
+
+    def test_timeline_lengths(self, result):
+        for series in result.timeline.values():
+            assert len(series) == 30

@@ -1,0 +1,90 @@
+"""Tests for the directional interference graph."""
+
+import numpy as np
+import pytest
+
+from repro.channel import conference_room
+from repro.geometry import Orientation
+from repro.net import DirectionalLink, InterferenceGraph
+
+
+def make_link(testbed, name, y_offset, sector_id=63):
+    return DirectionalLink(
+        name=name,
+        tx_position_m=np.array([0.0, y_offset, 0.0]),
+        rx_position_m=np.array([6.0, y_offset, 0.0]),
+        tx_orientation=Orientation(),
+        rx_orientation=Orientation(yaw_deg=180.0),
+        tx_weights=testbed.dut_codebook[sector_id].weights,
+        rx_weights=testbed.dut_codebook.rx_sector.weights,
+    )
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    from repro.experiments.common import build_testbed
+
+    return build_testbed()
+
+
+@pytest.fixture(scope="module")
+def room():
+    return conference_room(6.0)
+
+
+class TestInterferenceGraph:
+    def test_single_link_has_no_interference(self, testbed, room):
+        graph = InterferenceGraph(room, testbed.dut_antenna, [make_link(testbed, "a", 0.0)])
+        assert np.isneginf(graph.interference_power_dbm(graph.links[0]))
+        # Without interferers SINR equals SNR.
+        assert graph.reuse_penalty_db(graph.links[0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_sinr_below_snr_with_neighbour(self, testbed, room):
+        links = [make_link(testbed, "a", 0.0), make_link(testbed, "b", 1.0)]
+        graph = InterferenceGraph(room, testbed.dut_antenna, links)
+        for link in links:
+            assert graph.reuse_penalty_db(link) > 0.0
+
+    def test_penalty_shrinks_with_separation(self, testbed, room):
+        def penalty(separation):
+            links = [make_link(testbed, "a", 0.0), make_link(testbed, "b", separation)]
+            graph = InterferenceGraph(room, testbed.dut_antenna, links)
+            return graph.reuse_penalty_db(graph.links[0])
+
+        assert penalty(0.5) > penalty(1.5) > penalty(3.0)
+
+    def test_more_interferers_more_interference(self, testbed, room):
+        two = InterferenceGraph(
+            room, testbed.dut_antenna,
+            [make_link(testbed, "a", 0.0), make_link(testbed, "b", 1.5)],
+        )
+        three = InterferenceGraph(
+            room, testbed.dut_antenna,
+            [
+                make_link(testbed, "a", 0.0),
+                make_link(testbed, "b", 1.5),
+                make_link(testbed, "c", -1.5),
+            ],
+        )
+        victim_two = two.links[0]
+        victim_three = three.links[0]
+        assert three.interference_power_dbm(victim_three) > two.interference_power_dbm(
+            victim_two
+        )
+
+    def test_all_sinr_covers_every_link(self, testbed, room):
+        links = [make_link(testbed, name, y) for name, y in (("a", 0.0), ("b", 2.0))]
+        graph = InterferenceGraph(room, testbed.dut_antenna, links)
+        sinr = graph.all_sinr_db()
+        assert set(sinr) == {"a", "b"}
+        assert all(np.isfinite(v) for v in sinr.values())
+
+    def test_validation(self, testbed, room):
+        with pytest.raises(ValueError):
+            InterferenceGraph(room, testbed.dut_antenna, [])
+        with pytest.raises(ValueError):
+            InterferenceGraph(
+                room,
+                testbed.dut_antenna,
+                [make_link(testbed, "a", 0.0), make_link(testbed, "a", 1.0)],
+            )

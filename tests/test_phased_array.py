@@ -1,0 +1,198 @@
+"""Unit tests for layouts, steering vectors, weights, and gain."""
+
+import numpy as np
+import pytest
+
+from repro.phased_array import (
+    ChassisBlockage,
+    ElementLayout,
+    HardwareImpairments,
+    PhasedArray,
+    WeightVector,
+    quantize_phase,
+    steering_matrix,
+    steering_vector,
+    talon_layout,
+    uniform_rectangular_layout,
+    wavelength_m,
+)
+
+
+class TestLayouts:
+    def test_wavelength_at_60ghz(self):
+        assert wavelength_m(60.48e9) == pytest.approx(0.004957, rel=1e-3)
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength_m(0.0)
+
+    def test_talon_has_32_elements(self):
+        assert talon_layout().n_elements == 32
+
+    def test_talon_lies_in_yz_plane(self):
+        layout = talon_layout()
+        np.testing.assert_allclose(layout.positions_m[:, 0], 0.0)
+
+    def test_uniform_grid_count_and_spacing(self):
+        layout = uniform_rectangular_layout(2, 3, 0.5)
+        assert layout.n_elements == 6
+        spacing = 0.5 * layout.wavelength_m
+        ys = np.unique(np.round(layout.positions_m[:, 1], 9))
+        assert np.diff(ys) == pytest.approx(spacing)
+
+    def test_aperture_positive(self):
+        assert talon_layout().aperture_m > 0
+
+    def test_rejects_bad_positions(self):
+        with pytest.raises(ValueError):
+            ElementLayout(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            ElementLayout(np.zeros((4, 2)))
+
+
+class TestSteering:
+    def test_boresight_steering_is_all_ones(self):
+        layout = talon_layout()
+        vector = steering_vector(layout, 0.0, 0.0)
+        # Elements lie in the y-z plane, so boresight phases are zero.
+        np.testing.assert_allclose(vector, np.ones(32), atol=1e-12)
+
+    def test_unit_magnitude(self):
+        vector = steering_vector(talon_layout(), 35.0, -10.0)
+        np.testing.assert_allclose(np.abs(vector), 1.0, atol=1e-12)
+
+    def test_matrix_matches_single_vectors(self):
+        layout = talon_layout()
+        azimuths = np.array([0.0, 30.0, -45.0])
+        elevations = np.array([0.0, 10.0, 5.0])
+        matrix = steering_matrix(layout, azimuths, elevations)
+        for row, (azimuth, elevation) in enumerate(zip(azimuths, elevations)):
+            np.testing.assert_allclose(
+                matrix[row], steering_vector(layout, azimuth, elevation), atol=1e-12
+            )
+
+    def test_matrix_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            steering_matrix(talon_layout(), np.zeros(3), np.zeros(2))
+
+
+class TestWeights:
+    def test_quantize_phase_two_bits(self):
+        phases = np.array([0.1, np.pi / 2 - 0.1, np.pi + 0.2, -0.8])
+        quantized = quantize_phase(phases, 2)
+        step = np.pi / 2
+        np.testing.assert_allclose(quantized % step, 0.0, atol=1e-12)
+
+    def test_quantize_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            quantize_phase(np.zeros(3), 0)
+
+    def test_uniform_weights(self):
+        weights = WeightVector.uniform(8)
+        assert weights.n_elements == 8
+        assert weights.active_elements.all()
+
+    def test_conjugate_steering_aligns(self):
+        layout = talon_layout()
+        steering = steering_vector(layout, 20.0, 5.0)
+        weights = WeightVector.conjugate_steering(steering)
+        response = weights.weights @ steering
+        assert np.imag(response) == pytest.approx(0.0, abs=1e-9)
+        assert np.real(response) == pytest.approx(32.0)
+
+    def test_quantized_snaps_amplitude_and_phase(self):
+        raw = WeightVector(np.array([1.0 + 0j, 0.01 + 0j, np.exp(1j * 0.7)]))
+        quantized = raw.quantized(phase_bits=2)
+        amplitudes = np.abs(quantized.weights)
+        assert set(np.round(amplitudes, 6)) <= {0.0, 1.0}
+        assert amplitudes[1] == 0.0  # below the 10% threshold
+
+    def test_normalized_unit_power(self):
+        weights = WeightVector(np.array([3.0, 4.0], dtype=complex)).normalized()
+        assert np.linalg.norm(weights.weights) == pytest.approx(1.0)
+
+    def test_normalize_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            WeightVector(np.zeros(4, dtype=complex)).normalized()
+
+    def test_element_mask(self):
+        weights = WeightVector.uniform(4).with_element_mask(
+            np.array([True, False, True, False])
+        )
+        assert weights.active_elements.sum() == 2
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            WeightVector.uniform(4).with_element_mask(np.array([True]))
+
+
+class TestImpairments:
+    def test_ideal_is_identity(self):
+        impairments = HardwareImpairments.ideal(8)
+        np.testing.assert_allclose(impairments.element_response(), 1.0)
+
+    def test_sampled_shapes_and_failures(self, rng):
+        impairments = HardwareImpairments.sample(32, rng, failure_probability=0.5)
+        assert impairments.n_elements == 32
+        response = impairments.element_response()
+        assert np.count_nonzero(response == 0) == impairments.element_failed.sum()
+
+    def test_sample_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            HardwareImpairments.sample(4, rng, failure_probability=1.5)
+
+    def test_blockage_zero_in_front(self):
+        blockage = ChassisBlockage()
+        assert blockage.attenuation_db(np.array(0.0), np.array(0.0)) == pytest.approx(0.0)
+
+    def test_blockage_grows_behind(self):
+        blockage = ChassisBlockage()
+        front = blockage.attenuation_db(np.array(90.0), np.array(0.0))
+        back = blockage.attenuation_db(np.array(178.0), np.array(0.0))
+        assert back > front
+        assert back > 10.0
+
+    def test_blockage_never_negative(self):
+        blockage = ChassisBlockage(ripple_db=10.0)
+        azimuths = np.linspace(-180, 180, 361)
+        attenuation = blockage.attenuation_db(azimuths, np.zeros_like(azimuths))
+        assert (attenuation >= 0).all()
+
+
+class TestPhasedArrayGain:
+    def test_steered_beam_peaks_near_target(self):
+        array = PhasedArray.talon(ideal=True)
+        steering = steering_vector(array.layout, 25.0, 0.0)
+        weights = WeightVector.conjugate_steering(steering).normalized()
+        azimuths = np.linspace(-90, 90, 181)
+        gains = array.gain_db(weights, azimuths, 0.0)
+        assert abs(azimuths[np.argmax(gains)] - 25.0) <= 3.0
+
+    def test_boresight_gain_magnitude(self):
+        array = PhasedArray.talon(ideal=True)
+        weights = WeightVector.uniform(32).normalized()
+        # 32 elements coherently: 10*log10(32) + element gain ~= 18 dBi.
+        gain = array.gain_db(weights, 0.0, 0.0)
+        assert gain == pytest.approx(10 * np.log10(32) + 3.0, abs=0.5)
+
+    def test_scalar_input_returns_float(self, antenna, codebook):
+        gain = antenna.gain_db(codebook[63].weights, 1.0, 2.0)
+        assert isinstance(gain, float)
+
+    def test_broadcast_shapes(self, antenna, codebook):
+        gains = antenna.gain_db(codebook[63].weights, np.zeros((3, 4)), 0.0)
+        assert gains.shape == (3, 4)
+
+    def test_blockage_suppresses_back_lobes(self, antenna, codebook):
+        weights = codebook[63].weights
+        front = antenna.gain_db(weights, 0.0, 0.0)
+        back = antenna.gain_db(weights, 180.0, 0.0)
+        assert front - back > 15.0
+
+    def test_mismatched_weights_rejected(self, antenna):
+        with pytest.raises(ValueError):
+            antenna.gain_db(WeightVector.uniform(8), 0.0, 0.0)
+
+    def test_peak_gain_scan(self, antenna, codebook):
+        peak = antenna.peak_gain_db(codebook[63].weights)
+        assert 10.0 < peak < 25.0

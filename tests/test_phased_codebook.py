@@ -1,0 +1,115 @@
+"""Unit tests for codebooks and the synthetic Talon sector set."""
+
+import numpy as np
+import pytest
+
+from repro.phased_array import (
+    Codebook,
+    PhasedArray,
+    RX_SECTOR_ID,
+    Sector,
+    STRONG_SECTOR_IDS,
+    TALON_TX_SECTOR_IDS,
+    WEAK_SECTOR_IDS,
+    WeightVector,
+    talon_codebook,
+)
+
+
+class TestCodebookContainer:
+    def _sector(self, sector_id: int) -> Sector:
+        return Sector(sector_id, WeightVector.uniform(4))
+
+    def test_lookup_and_len(self):
+        codebook = Codebook([self._sector(0), self._sector(1)], rx_sector_id=0)
+        assert len(codebook) == 2
+        assert codebook[1].sector_id == 1
+        assert 1 in codebook and 9 not in codebook
+
+    def test_unknown_sector_raises_keyerror(self):
+        codebook = Codebook([self._sector(0)], rx_sector_id=0)
+        with pytest.raises(KeyError):
+            codebook[5]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Codebook([self._sector(1), self._sector(1)], rx_sector_id=1)
+
+    def test_missing_rx_sector_rejected(self):
+        with pytest.raises(ValueError):
+            Codebook([self._sector(1)], rx_sector_id=0)
+
+    def test_tx_ids_exclude_rx(self):
+        codebook = Codebook([self._sector(0), self._sector(1), self._sector(2)])
+        assert codebook.rx_sector_id == RX_SECTOR_ID
+        assert codebook.tx_sector_ids == [1, 2]
+        assert codebook.n_tx_sectors == 2
+
+    def test_sector_id_field_is_6_bits(self):
+        with pytest.raises(ValueError):
+            Sector(64, WeightVector.uniform(4))
+
+
+class TestTalonCodebook:
+    def test_full_inventory(self, codebook):
+        # 34 TX sectors (1-31, 61-63) plus the quasi-omni RX pattern.
+        assert len(codebook) == 35
+        assert codebook.n_tx_sectors == 34
+        assert sorted(codebook.tx_sector_ids) == sorted(TALON_TX_SECTOR_IDS)
+
+    def test_deterministic_default_build(self, antenna):
+        first = talon_codebook(antenna)
+        second = talon_codebook(antenna)
+        for sector_id in first.sector_ids:
+            np.testing.assert_allclose(
+                first[sector_id].weights.weights, second[sector_id].weights.weights
+            )
+
+    def test_strong_sectors_outgain_weak_ones(self, antenna, codebook):
+        azimuths = np.linspace(-90, 90, 91)
+        strong_peaks = [
+            antenna.gain_db(codebook[s].weights, azimuths, 0.0).max()
+            for s in STRONG_SECTOR_IDS
+        ]
+        weak_peaks = [
+            antenna.gain_db(codebook[s].weights, azimuths, 0.0).max()
+            for s in WEAK_SECTOR_IDS
+        ]
+        assert min(strong_peaks) > max(weak_peaks) + 3.0
+
+    def test_elevated_sector5_peaks_off_plane(self, antenna, codebook):
+        weights = codebook[5].weights
+        azimuths = np.linspace(-90, 90, 91)
+        in_plane = antenna.gain_db(weights, azimuths, 0.0).max()
+        elevated = antenna.gain_db(weights, azimuths, 25.0).max()
+        assert elevated > in_plane + 3.0
+
+    def test_wide_sector26_covers_more_azimuth(self, antenna, codebook):
+        azimuths = np.linspace(-90, 90, 181)
+
+        def coverage(sector_id: int) -> int:
+            gains = antenna.gain_db(codebook[sector_id].weights, azimuths, 0.0)
+            return int(np.sum(gains > gains.max() - 6.0))
+
+        assert coverage(26) > 2 * coverage(63)
+
+    def test_rx_sector_is_quasi_omni(self, antenna, codebook):
+        azimuths = np.linspace(-60, 60, 61)
+        gains = antenna.gain_db(codebook.rx_sector.weights, azimuths, 0.0)
+        # Single-element pattern: gentle rolloff, no deep nulls in front.
+        assert gains.max() - gains.min() < 8.0
+
+    def test_weights_fit_2bit_hardware(self, codebook):
+        for sector in codebook:
+            weights = sector.weights.weights
+            active = np.abs(weights) > 1e-12
+            phases = np.angle(weights[active])
+            step = np.pi / 2
+            offsets = np.abs(((phases + np.pi) % step) - 0)
+            remainder = np.minimum(offsets, step - offsets)
+            np.testing.assert_allclose(remainder, 0.0, atol=1e-9)
+
+    def test_gains_db_helper(self, antenna, codebook):
+        gains = codebook.gains_db(antenna, np.array([0.0]), np.array([0.0]), [63, 25])
+        assert set(gains) == {63, 25}
+        assert gains[63][0] > gains[25][0]

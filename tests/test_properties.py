@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import quantize_to_step
+from repro.core import correlation_map, to_linear_power
+from repro.firmware import RingBuffer
+from repro.geometry import (
+    angular_distance,
+    azimuth_difference,
+    direction_vector,
+    vector_to_angles,
+    wrap_azimuth,
+)
+from repro.mac.fields import SSWField
+from repro.mac.frames import SSWFeedbackField
+from repro.mac.schedule import custom_sweep_burst
+from repro.measurement.processing import interpolate_gaps, reject_outliers
+from repro.phased_array import quantize_phase
+
+finite_angle = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+azimuth = st.floats(min_value=-180.0, max_value=180.0)
+elevation = st.floats(min_value=-89.9, max_value=89.9)
+
+
+class TestAngleProperties:
+    @given(finite_angle)
+    def test_wrap_lands_in_half_open_interval(self, angle):
+        wrapped = wrap_azimuth(angle)
+        assert -180.0 < wrapped <= 180.0
+
+    @given(finite_angle)
+    def test_wrap_idempotent(self, angle):
+        wrapped = wrap_azimuth(angle)
+        assert wrap_azimuth(wrapped) == wrapped
+
+    @given(finite_angle, st.integers(min_value=-5, max_value=5))
+    def test_wrap_360_periodic(self, angle, turns):
+        np.testing.assert_allclose(
+            wrap_azimuth(angle + 360.0 * turns), wrap_azimuth(angle), atol=1e-6
+        )
+
+    @given(azimuth, azimuth)
+    def test_difference_bounded(self, a, b):
+        difference = azimuth_difference(a, b)
+        assert -180.0 < difference <= 180.0
+
+    @given(azimuth, elevation, azimuth, elevation)
+    def test_angular_distance_symmetric_and_bounded(self, az_a, el_a, az_b, el_b):
+        forward = angular_distance(az_a, el_a, az_b, el_b)
+        backward = angular_distance(az_b, el_b, az_a, el_a)
+        assert abs(forward - backward) < 1e-9
+        assert 0.0 <= forward <= 180.0 + 1e-9
+
+    @given(azimuth, elevation)
+    def test_direction_vector_roundtrip(self, az, el):
+        vector = direction_vector(az, el)
+        az_back, el_back = vector_to_angles(vector)
+        assert angular_distance(az, el, az_back, el_back) < 1e-6
+
+
+class TestQuantizationProperties:
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+    )
+    def test_quantize_error_bounded_by_half_step(self, value, step):
+        assert abs(quantize_to_step(value, step) - value) <= step / 2 + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=-np.pi, max_value=np.pi), min_size=1, max_size=16),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_phase_quantization_idempotent(self, phases, bits):
+        quantized = quantize_phase(np.array(phases), bits)
+        np.testing.assert_allclose(quantize_phase(quantized, bits), quantized, atol=1e-9)
+
+
+class TestFrameFieldProperties:
+    @given(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=511),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_ssw_field_roundtrip(self, direction, cdown, sector, antenna, rxss):
+        field = SSWField(direction, cdown, sector, antenna, rxss)
+        assert SSWField.unpack(field.pack()) == field
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=-8.0, max_value=55.0),
+    )
+    def test_feedback_field_snr_within_quarter_db(self, sector, antenna, snr):
+        field = SSWFeedbackField(sector, antenna, snr)
+        decoded = SSWFeedbackField.unpack(field.pack())
+        assert decoded.sector_select == sector
+        assert abs(decoded.snr_report_db - snr) <= 0.125 + 1e-9
+
+
+class TestScheduleProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=34, unique=True))
+    def test_custom_burst_cdown_invariants(self, sector_ids):
+        burst = custom_sweep_burst(sector_ids)
+        cdowns = [cdown for cdown, _ in burst]
+        assert cdowns[0] == len(sector_ids) - 1
+        assert cdowns[-1] == 0
+        assert cdowns == sorted(cdowns, reverse=True)
+        assert [sector for _, sector in burst] == list(sector_ids)
+
+
+class TestCorrelationProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=30),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_bounds_and_scale_invariance(self, n_probes, n_grid, seed):
+        rng = np.random.default_rng(seed)
+        probes = rng.uniform(-7, 12, size=n_probes)
+        patterns = rng.uniform(-7, 12, size=(n_probes, n_grid))
+        surface = correlation_map(probes, patterns)
+        assert (surface >= -1e-12).all() and (surface <= 1.0 + 1e-9).all()
+        shifted = correlation_map(probes + 3.0, patterns)  # dB shift = linear scale
+        np.testing.assert_allclose(surface, shifted, atol=1e-9)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_linear_power_positive(self, value):
+        assert to_linear_power(np.array([value]))[0] > 0
+
+
+class TestRingBufferProperties:
+    @given(st.integers(min_value=1, max_value=8), st.lists(st.integers(), max_size=50))
+    def test_keeps_most_recent_suffix(self, capacity, values):
+        buffer = RingBuffer(capacity)
+        for value in values:
+            buffer.push(value)
+        expected = values[-capacity:]
+        assert buffer.peek_all() == expected
+        assert buffer.dropped_count == max(0, len(values) - capacity)
+
+
+class TestProcessingProperties:
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=30))
+    def test_reject_outliers_returns_subset(self, samples):
+        kept = reject_outliers(samples)
+        assert 1 <= len(kept) <= len(samples)
+        # Every kept value was in the input.
+        remaining = list(samples)
+        for value in kept:
+            assert value in remaining
+            remaining.remove(value)
+
+    @given(
+        st.lists(
+            st.one_of(st.floats(min_value=-20, max_value=20), st.just(float("nan"))),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_interpolation_removes_all_gaps(self, row):
+        result = interpolate_gaps(np.array(row))
+        assert not np.isnan(result).any()
+
+    @given(st.lists(st.floats(min_value=-20, max_value=20), min_size=1, max_size=40))
+    def test_interpolation_identity_without_gaps(self, row):
+        np.testing.assert_allclose(interpolate_gaps(np.array(row)), row)
+
+    @given(
+        st.lists(st.floats(min_value=-20, max_value=20), min_size=2, max_size=40),
+        st.integers(min_value=0, max_value=38),
+    )
+    def test_interpolated_gap_within_neighbor_range(self, row, gap_index):
+        values = np.array(row)
+        gap_index = min(gap_index, len(values) - 1)
+        original = values[gap_index]
+        values[gap_index] = np.nan
+        filled = interpolate_gaps(values)[gap_index]
+        finite = [v for i, v in enumerate(row) if i != gap_index]
+        assert min(finite) - 1e-9 <= filled <= max(finite) + 1e-9

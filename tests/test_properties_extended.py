@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) on the extension subsystems."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.blockage import HumanBlocker
+from repro.core.oob import OutOfBandPrior
+from repro.geometry import AngularGrid
+from repro.link import MCS_TABLE, PacketErrorModel
+from repro.link.throughput import ThroughputModel
+from repro.mac.timing import mutual_training_time_us, training_speedup
+from repro.net import AirtimeLedger, TrainingPolicy
+
+snr = st.floats(min_value=-30.0, max_value=40.0)
+
+
+class TestPacketErrorProperties:
+    @settings(max_examples=60)
+    @given(snr, st.integers(min_value=0, max_value=11))
+    def test_per_in_unit_interval(self, snr_db, mcs_index):
+        model = PacketErrorModel()
+        per = model.packet_error_rate(MCS_TABLE[mcs_index], snr_db)
+        assert 0.0 <= per <= 1.0
+
+    @settings(max_examples=60)
+    @given(snr, st.integers(min_value=0, max_value=11))
+    def test_effective_rate_bounded_by_phy(self, snr_db, mcs_index):
+        model = PacketErrorModel()
+        mcs = MCS_TABLE[mcs_index]
+        rate = model.effective_rate_mbps(mcs, snr_db)
+        assert 0.0 <= rate <= mcs.phy_rate_mbps + 1e-9
+
+    @settings(max_examples=40)
+    @given(snr)
+    def test_soft_goodput_nonnegative_and_capped(self, snr_db):
+        model = PacketErrorModel()
+        goodput = model.goodput_gbps(snr_db)
+        top = MCS_TABLE[-1].phy_rate_mbps * 0.65 / 1000.0
+        assert 0.0 <= goodput <= top + 1e-9
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=11), st.floats(min_value=0.0, max_value=15.0))
+    def test_margin_never_raises_per(self, mcs_index, margin):
+        model = PacketErrorModel()
+        mcs = MCS_TABLE[mcs_index]
+        at = model.packet_error_rate(mcs, mcs.min_sweep_snr_db)
+        with_margin = model.packet_error_rate(mcs, mcs.min_sweep_snr_db + margin)
+        assert with_margin <= at + 1e-12
+
+
+class TestTimingProperties:
+    @settings(max_examples=40)
+    @given(st.integers(min_value=1, max_value=63))
+    def test_training_time_positive_and_linear(self, n_probes):
+        time_us = mutual_training_time_us(n_probes)
+        assert time_us > 0
+        assert abs(mutual_training_time_us(n_probes + 1) - time_us - 36.0) < 1e-9
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=1, max_value=34))
+    def test_speedup_at_most_full_over_minimum(self, n_probes):
+        speedup = training_speedup(n_probes)
+        assert speedup >= 1.0 or n_probes > 34
+        assert speedup <= training_speedup(1)
+
+
+class TestAirtimeProperties:
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=34),
+        st.floats(min_value=10_000.0, max_value=1_000_000.0),
+    )
+    def test_data_fraction_bounded(self, n_pairs, n_probes, interval_us):
+        ledger = AirtimeLedger()
+        policy = TrainingPolicy("p", n_probes, interval_us)
+        for pair in range(n_pairs):
+            ledger.add_training(f"pair{pair}", policy)
+        assert 0.0 <= ledger.data_fraction() <= 1.0
+        assert ledger.exclusive_us >= 0.0
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=1, max_value=34))
+    def test_fewer_probes_leave_more_airtime(self, n_probes):
+        full = AirtimeLedger()
+        reduced = AirtimeLedger()
+        full.add_training("pair", TrainingPolicy("ssw", 34, 50_000.0))
+        reduced.add_training("pair", TrainingPolicy("css", n_probes, 50_000.0))
+        assert reduced.data_fraction() >= full.data_fraction()
+
+
+class TestBlockerProperties:
+    @settings(max_examples=60)
+    @given(
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=0.0, max_value=40.0),
+    )
+    def test_loss_bounded_by_attenuation(self, offset, radius, attenuation):
+        blocker = HumanBlocker(
+            position_m=np.array([1.5, offset, 0.0]),
+            radius_m=radius,
+            attenuation_db=attenuation,
+        )
+        loss = blocker.loss_on_segment_db(
+            np.zeros(3), np.array([3.0, 0.0, 0.0])
+        )
+        assert 0.0 <= loss <= attenuation + 1e-9
+
+    @settings(max_examples=40)
+    @given(st.floats(min_value=1.01, max_value=5.0))
+    def test_far_blockers_harmless(self, lateral_radii):
+        blocker = HumanBlocker(position_m=np.array([1.5, 0.0, 0.0]), radius_m=0.25)
+        offset = 2.0 * 0.25 * lateral_radii  # beyond two radii
+        loss = blocker.loss_on_segment_db(
+            np.array([0.0, offset, 0.0]), np.array([3.0, offset, 0.0])
+        )
+        assert loss == 0.0
+
+
+class TestPriorProperties:
+    @settings(max_examples=40)
+    @given(
+        st.floats(min_value=-180.0, max_value=180.0),
+        st.floats(min_value=1.0, max_value=60.0),
+    )
+    def test_weights_in_unit_interval_and_peak_at_prior(self, azimuth, sigma):
+        grid = AngularGrid(np.arange(-90.0, 91.0, 2.0), np.array([0.0]))
+        prior = OutOfBandPrior(azimuth_deg=azimuth, sigma_deg=sigma)
+        weights = prior.weights_on(grid)
+        assert (weights >= 0.0).all() and (weights <= 1.0 + 1e-12).all()
+
+    @settings(max_examples=40)
+    @given(st.floats(min_value=-80.0, max_value=80.0))
+    def test_weight_maximal_nearest_prior_direction(self, azimuth):
+        grid = AngularGrid(np.arange(-90.0, 91.0, 2.0), np.array([0.0]))
+        prior = OutOfBandPrior(azimuth_deg=azimuth, sigma_deg=10.0)
+        weights = prior.weights_on(grid)
+        azimuths, _ = grid.flat_angles()
+        best = azimuths[int(np.argmax(weights))]
+        assert abs(best - azimuth) <= 1.0 + 1e-9
+
+
+class TestThroughputProperties:
+    @settings(max_examples=60)
+    @given(snr, st.integers(min_value=1, max_value=34))
+    def test_goodput_with_training_never_exceeds_raw(self, snr_db, n_probes):
+        model = ThroughputModel()
+        with_training = model.goodput_with_training_gbps(snr_db, n_probes)
+        raw = model.goodput_gbps(snr_db)
+        assert 0.0 <= with_training <= raw + 1e-12

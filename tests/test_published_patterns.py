@@ -1,0 +1,74 @@
+"""Tests for the shipped canonical pattern data set."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressiveSectorSelector, ProbeMeasurement
+from repro.measurement import load_published_patterns
+from repro.phased_array import TALON_TX_SECTOR_IDS
+
+
+@pytest.fixture(scope="module")
+def published():
+    return load_published_patterns()
+
+
+class TestPublishedPatterns:
+    def test_covers_all_35_sectors(self, published):
+        assert published.n_sectors == 35
+        assert set(published.sector_ids) == set(TALON_TX_SECTOR_IDS) | {0}
+
+    def test_figure6_resolution(self, published):
+        grid = published.grid
+        assert grid.azimuths_deg[0] == -90.0
+        assert grid.azimuths_deg[-1] == 90.0
+        assert np.diff(grid.azimuths_deg)[0] == pytest.approx(1.8)
+        assert grid.elevations_deg[-1] == pytest.approx(32.4)
+        assert np.diff(grid.elevations_deg)[0] == pytest.approx(3.6)
+
+    def test_values_in_reporting_window(self, published):
+        for sector_id in published.sector_ids:
+            pattern = published.pattern(sector_id)
+            assert np.isfinite(pattern).all()
+            assert pattern.min() >= -7.0 - 1e-9
+            assert pattern.max() <= 12.0 + 1e-9
+
+    def test_loads_identically_twice(self, published):
+        again = load_published_patterns()
+        for sector_id in published.sector_ids:
+            np.testing.assert_array_equal(
+                published.pattern(sector_id), again.pattern(sector_id)
+            )
+
+    def test_matches_canonical_device(self, published):
+        """The shipped table must describe ``PhasedArray.talon()``.
+
+        A coarse re-measurement of the canonical device has to rank
+        sectors consistently with the shipped table at boresight.
+        """
+        from repro.phased_array import PhasedArray, talon_codebook
+
+        antenna = PhasedArray.talon()
+        codebook = talon_codebook(antenna)
+        shipped_best = published.best_sector(0.0, 0.0, codebook.tx_sector_ids)
+        true_gains = {
+            s: antenna.gain_db(codebook[s].weights, 0.0, 0.0)
+            for s in codebook.tx_sector_ids
+        }
+        ranking = sorted(true_gains, key=true_gains.get, reverse=True)
+        assert shipped_best in ranking[:3]
+
+    def test_usable_by_selector_out_of_the_box(self, published):
+        selector = CompressiveSectorSelector(published)
+        sector_ids = selector.candidate_sector_ids[:14]
+        measurements = [
+            ProbeMeasurement(
+                s,
+                float(published.gain(s, 15.0, 4.0)),
+                float(published.gain(s, 15.0, 4.0)) - 71.5,
+            )
+            for s in sector_ids
+        ]
+        result = selector.select(measurements)
+        assert result.estimate is not None
+        assert abs(result.estimate.azimuth_deg - 15.0) < 8.0
