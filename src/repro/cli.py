@@ -10,6 +10,9 @@ is their simulator-side counterpart::
     repro-bench summary             # the §6.5 headline numbers
     repro-bench ablations           # all design-choice ablations
     repro-bench extensions          # blockage / dense / fine-codebook
+    repro-bench artifacts verify    # shipped-data integrity check
+    repro-bench artifacts rebuild   # regenerate damaged data in place
+    repro-bench artifacts info      # manifest + cache status
 
 ``--paper`` switches experiments from the fast default profile to the
 paper's full resolutions (minutes instead of seconds).
@@ -164,6 +167,62 @@ def _cmd_extensions(args: argparse.Namespace) -> None:
         print()
 
 
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    """Verify, rebuild or describe the shipped data artifacts."""
+    from .measurement import artifacts as registry
+    from .measurement.errors import ArtifactError
+
+    try:
+        return _run_artifacts(args, registry)
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_artifacts(args: argparse.Namespace, registry) -> int:
+    names = [args.name] if args.name else sorted(registry.load_manifest()["artifacts"])
+
+    if args.action == "verify":
+        failures = 0
+        for name in names:
+            status = registry.verify_artifact(name)
+            detail = ""
+            if status.status == "digest-mismatch":
+                detail = f" (expected {status.expected_sha256[:12]}…, got {status.actual_sha256[:12]}…)"
+            print(f"{status.name}: {status.status}{detail}")
+            failures += 0 if status.ok else 1
+        if failures:
+            print(
+                f"{failures} artifact(s) failed verification; run "
+                f"'repro-bench artifacts rebuild' to regenerate them"
+            )
+        return 1 if failures else 0
+
+    if args.action == "rebuild":
+        for name in names:
+            path = registry.rebuild_artifact(name)
+            print(f"{name}: rebuilt at {path} (manifest digest verified)")
+        return 0
+
+    # info
+    for name in names:
+        entry = registry.manifest_entry(name)
+        status = registry.verify_artifact(name)
+        spec = registry.ARTIFACTS.get(name)
+        cached = registry.cached_artifact_path(name)
+        print(f"{name}:")
+        print(f"  status: {status.status}")
+        print(f"  path: {status.path}")
+        print(f"  sha256: {entry['sha256']}")
+        for field in ("size_bytes", "pipeline"):
+            if field in entry:
+                print(f"  {field}: {entry[field]}")
+        if spec is not None:
+            print(f"  description: {spec.description}")
+        print(f"  cache: {cached} ({'present' if cached.is_file() else 'absent'})")
+    return 0
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _cmd_table1,
     "patterns": _cmd_patterns,
@@ -175,6 +234,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "summary": _cmd_summary,
     "ablations": _cmd_ablations,
     "extensions": _cmd_extensions,
+    "artifacts": _cmd_artifacts,
 }
 
 
@@ -198,6 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "patterns":
             sub.add_argument("output", help="output .npz path")
+        if name == "artifacts":
+            sub.add_argument(
+                "action",
+                choices=("verify", "rebuild", "info"),
+                help="integrity check, deterministic regeneration, or status",
+            )
+            sub.add_argument(
+                "name", nargs="?", help="artifact name (default: every manifest entry)"
+            )
         sub.set_defaults(handler=handler)
     return parser
 
@@ -205,8 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-bench`` console script."""
     args = build_parser().parse_args(argv)
-    args.handler(args)
-    return 0
+    status = args.handler(args)
+    return int(status) if status else 0
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ other, and the product suppresses it.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -25,6 +26,8 @@ __all__ = ["AngleEstimate", "AngleEstimator"]
 #: linear-domain correlation; any constant works (the correlation is
 #: scale-invariant) but keeping numbers small avoids float overflow.
 _RSSI_REFERENCE_DBM = -71.5
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -79,15 +82,59 @@ class AngleEstimator:
             raise KeyError(f"no measured pattern for probed sector {error.args[0]}") from None
         return self._matrix[rows]
 
+    def _usable_measurements(
+        self, measurements: Sequence[ProbeMeasurement]
+    ) -> List[ProbeMeasurement]:
+        """Drop probes whose reported values are non-finite.
+
+        Firmware reports occasionally carry NaN/inf after parse bugs or
+        truncated ring-buffer reads; left alone they poison the whole
+        correlation map (``NaN`` wins ``np.argmax`` ties arbitrarily).
+        Only the channels the fusion mode actually uses are checked.
+
+        Raises:
+            ValueError: fewer than two finite measurements remain.
+        """
+
+        def finite(measurement: ProbeMeasurement) -> bool:
+            if self.fusion in ("product", "snr") and not np.isfinite(measurement.snr_db):
+                return False
+            if self.fusion in ("product", "rssi") and not np.isfinite(measurement.rssi_dbm):
+                return False
+            return True
+
+        kept = [m for m in measurements if finite(m)]
+        dropped = len(measurements) - len(kept)
+        if dropped:
+            _LOGGER.warning(
+                "dropped %d of %d probe measurements with non-finite "
+                "snr/rssi values (sectors %s)",
+                dropped,
+                len(measurements),
+                sorted(m.sector_id for m in measurements if not finite(m)),
+            )
+        if len(kept) < 2:
+            if dropped:
+                raise ValueError(
+                    f"need at least two finite probe measurements to correlate "
+                    f"({dropped} of {len(measurements)} were non-finite)"
+                )
+            raise ValueError("need at least two probe measurements to correlate")
+        return kept
+
     def correlation_surface(
         self, measurements: Sequence[ProbeMeasurement]
     ) -> np.ndarray:
         """The fused correlation map over the search grid, flattened.
 
         Shape ``(grid.n_points,)``; reshape to ``grid.shape`` to plot.
+        Non-finite probe values are dropped (with a logged count)
+        before correlating.
         """
-        if len(measurements) < 2:
-            raise ValueError("need at least two probe measurements to correlate")
+        return self._surface(self._usable_measurements(measurements))
+
+    def _surface(self, measurements: Sequence[ProbeMeasurement]) -> np.ndarray:
+        """Correlate already-validated measurements against the grid."""
         patterns = self._rows_for(measurements)
         surface = None
         if self.fusion in ("product", "snr"):
@@ -102,8 +149,13 @@ class AngleEstimator:
         return surface
 
     def estimate(self, measurements: Sequence[ProbeMeasurement]) -> AngleEstimate:
-        """Eq. 3 / Eq. 5: the grid direction with maximum correlation."""
-        surface = self.correlation_surface(measurements)
+        """Eq. 3 / Eq. 5: the grid direction with maximum correlation.
+
+        ``n_probes_used`` counts only the finite measurements that
+        actually entered the correlation.
+        """
+        measurements = self._usable_measurements(measurements)
+        surface = self._surface(measurements)
         best_index = int(np.argmax(surface))
         azimuth, elevation = self.search_grid.index_to_angles(best_index)
         return AngleEstimate(

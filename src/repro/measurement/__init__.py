@@ -1,17 +1,44 @@
 """Pattern measurement: rotation head, chamber campaign, processing, tables."""
 
+from .artifacts import (
+    ARTIFACTS,
+    ArtifactSpec,
+    ArtifactStatus,
+    PUBLISHED_PATTERNS_SEED,
+    cache_dir,
+    rebuild_artifact,
+    verify_all,
+    verify_artifact,
+)
 from .campaign import (
     CampaignConfig,
     PatternMeasurementCampaign,
     measure_3d_patterns,
     measure_azimuth_patterns,
 )
+from .errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMissingError,
+    ArtifactSchemaError,
+)
 from .patterns import PatternTable
 from .processing import interpolate_gaps, reject_outliers, robust_average
-from .published import PUBLISHED_PATTERNS_RESOURCE, load_published_patterns
+from .published import (
+    PUBLISHED_PATTERNS_RESOURCE,
+    load_published_patterns,
+    regenerate_published_patterns,
+)
 from .rotation_head import RotationHead
 
 __all__ = [
+    "ARTIFACTS",
+    "ArtifactSpec",
+    "ArtifactStatus",
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactMissingError",
+    "ArtifactSchemaError",
     "CampaignConfig",
     "PatternMeasurementCampaign",
     "measure_3d_patterns",
@@ -21,6 +48,12 @@ __all__ = [
     "reject_outliers",
     "robust_average",
     "PUBLISHED_PATTERNS_RESOURCE",
+    "PUBLISHED_PATTERNS_SEED",
+    "cache_dir",
     "load_published_patterns",
+    "regenerate_published_patterns",
+    "rebuild_artifact",
+    "verify_all",
+    "verify_artifact",
     "RotationHead",
 ]

@@ -1,0 +1,301 @@
+"""Validated data-artifact registry with integrity checks.
+
+Compressive selection only works because the selector *knows* the
+measured patterns (PAPER.md §2.2) — which makes the shipped pattern
+table a single point of failure: if its bytes rot, every downstream
+consumer dies.  This module makes that failure observable and
+recoverable:
+
+* ``src/repro/data/MANIFEST.json`` pins the SHA-256 of every shipped
+  artifact; :func:`verify_artifact` recomputes and compares digests.
+* Every artifact registers the deterministic pipeline that produced it
+  (:data:`ARTIFACTS`), so :func:`rebuild_artifact` can regenerate a
+  manifest-matching copy from scratch — the shipped table is just one
+  full Figure-6 chamber campaign at seed ``0x11AD2017``.
+* Rebuilt copies land in a user cache directory
+  (:func:`cache_dir`; override with ``$REPRO_CACHE_DIR``) so a damaged
+  install heals once and loads fast afterwards.
+
+The CLI front-end is ``repro-bench artifacts verify|rebuild|info``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.resources
+import json
+import logging
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMissingError,
+    ArtifactSchemaError,
+)
+
+__all__ = [
+    "ARTIFACTS",
+    "ArtifactSpec",
+    "ArtifactStatus",
+    "MANIFEST_RESOURCE",
+    "PUBLISHED_PATTERNS_SEED",
+    "artifact_path",
+    "cache_dir",
+    "cached_artifact_path",
+    "load_manifest",
+    "manifest_entry",
+    "rebuild_artifact",
+    "sha256_of_file",
+    "verify_all",
+    "verify_artifact",
+]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: Package holding the shipped data files and their manifest.
+_DATA_PACKAGE = "repro.data"
+
+#: Package-relative name of the integrity manifest.
+MANIFEST_RESOURCE = "MANIFEST.json"
+
+#: Campaign seed that produced the shipped pattern table (the year the
+#: paper appeared, spelled in 802.11ad).
+PUBLISHED_PATTERNS_SEED = 0x11AD2017
+
+
+def artifact_path(resource: str) -> pathlib.Path:
+    """Filesystem path of a shipped data resource."""
+    return pathlib.Path(
+        str(importlib.resources.files(_DATA_PACKAGE).joinpath(resource))
+    )
+
+
+def sha256_of_file(path) -> str:
+    """Hex SHA-256 digest of a file, streamed in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Registry: every shipped artifact knows how to rebuild itself.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One shipped artifact and its deterministic regeneration recipe.
+
+    Attributes:
+        resource: package-relative filename inside ``repro.data``.
+        description: one-line human summary.
+        build: writes a fresh, bit-identical copy to the given path.
+    """
+
+    resource: str
+    description: str
+    build: Callable[[str], None]
+
+
+def _build_published_patterns(path: str) -> None:
+    """Re-run the documented campaign that produced the shipped table.
+
+    Exactly the public pipeline: the canonical default device
+    (``PhasedArray.talon()`` with its fixed seed), the default campaign
+    setup, and ``measure_3d_patterns`` at the paper's Figure-6
+    resolution, all driven by ``PUBLISHED_PATTERNS_SEED``.  numpy's
+    ``savez_compressed`` pins zip timestamps, so the output is
+    reproducible bit for bit.
+    """
+    import numpy as np
+
+    from ..phased_array import PhasedArray, talon_codebook
+    from .campaign import PatternMeasurementCampaign, measure_3d_patterns
+
+    rng = np.random.default_rng(PUBLISHED_PATTERNS_SEED)
+    antenna = PhasedArray.talon()
+    campaign = PatternMeasurementCampaign(antenna, talon_codebook(antenna))
+    table = measure_3d_patterns(campaign, rng)
+    table.save(path)
+
+
+#: Registry of shipped artifacts, keyed by resource filename.
+ARTIFACTS: Dict[str, ArtifactSpec] = {
+    "talon_sector_patterns_3d.npz": ArtifactSpec(
+        resource="talon_sector_patterns_3d.npz",
+        description=(
+            "Canonical Talon AD7200 3D sector-pattern table: one Figure-6 "
+            "resolution chamber campaign (azimuth ±90° at 1.8°, elevation "
+            "0–32.4° at 3.6°, 3 sweeps) of the default device"
+        ),
+        build=_build_published_patterns,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Manifest.
+# ----------------------------------------------------------------------
+
+
+def load_manifest() -> Dict:
+    """Parse ``repro/data/MANIFEST.json``.
+
+    Raises:
+        ArtifactMissingError: the manifest itself is gone.
+        ArtifactCorruptError: the manifest is not valid JSON.
+        ArtifactSchemaError: the JSON lacks the ``artifacts`` table.
+    """
+    path = artifact_path(MANIFEST_RESOURCE)
+    try:
+        text = path.read_text()
+    except FileNotFoundError as error:
+        raise ArtifactMissingError(f"artifact manifest not found: {path}") from error
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ArtifactCorruptError(f"artifact manifest '{path}' is not valid JSON: {error}") from error
+    if not isinstance(manifest, dict) or not isinstance(manifest.get("artifacts"), dict):
+        raise ArtifactSchemaError(
+            f"artifact manifest '{path}' must contain an 'artifacts' object"
+        )
+    return manifest
+
+
+def manifest_entry(name: str) -> Dict:
+    """The manifest record of one artifact.
+
+    Raises:
+        ArtifactSchemaError: the artifact is not listed, or its record
+            carries no usable ``sha256`` field.
+    """
+    entries = load_manifest()["artifacts"]
+    if name not in entries:
+        raise ArtifactSchemaError(
+            f"artifact '{name}' is not listed in {MANIFEST_RESOURCE} "
+            f"(known: {', '.join(sorted(entries)) or 'none'})"
+        )
+    entry = entries[name]
+    if not isinstance(entry, dict) or not isinstance(entry.get("sha256"), str):
+        raise ArtifactSchemaError(
+            f"manifest entry for '{name}' must be an object with a 'sha256' string"
+        )
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Verification.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArtifactStatus:
+    """Outcome of one integrity check."""
+
+    name: str
+    path: str
+    status: str  # "ok" | "missing" | "digest-mismatch"
+    expected_sha256: str
+    actual_sha256: Optional[str] = None
+    size_bytes: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def verify_artifact(name: str, path: Optional[str] = None) -> ArtifactStatus:
+    """Check one artifact's bytes against its manifest digest.
+
+    Args:
+        name: manifest key (resource filename).
+        path: file to check; defaults to the shipped in-package copy.
+    """
+    entry = manifest_entry(name)
+    target = pathlib.Path(path) if path is not None else artifact_path(name)
+    expected = entry["sha256"]
+    if not target.is_file():
+        return ArtifactStatus(name, str(target), "missing", expected)
+    actual = sha256_of_file(target)
+    size = target.stat().st_size
+    status = "ok" if actual == expected else "digest-mismatch"
+    return ArtifactStatus(name, str(target), status, expected, actual, size)
+
+
+def verify_all() -> List[ArtifactStatus]:
+    """Verify every file listed in the manifest."""
+    return [verify_artifact(name) for name in sorted(load_manifest()["artifacts"])]
+
+
+# ----------------------------------------------------------------------
+# Rebuild + cache.
+# ----------------------------------------------------------------------
+
+
+def cache_dir() -> pathlib.Path:
+    """Directory for locally rebuilt artifacts.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro`` or
+    ``~/.cache/repro``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+def cached_artifact_path(name: str) -> pathlib.Path:
+    """Where a locally rebuilt copy of an artifact is cached."""
+    return cache_dir() / name
+
+
+def rebuild_artifact(
+    name: str, dest: Optional[str] = None, check: bool = True
+) -> pathlib.Path:
+    """Regenerate an artifact from its registered pipeline.
+
+    Args:
+        name: registry key (resource filename).
+        dest: output path; defaults to the shipped in-package location
+            (i.e. repairs the install in place).
+        check: verify the rebuilt bytes against the manifest digest and
+            raise :class:`ArtifactCorruptError` on mismatch — a mismatch
+            means the generation pipeline drifted from the manifest.
+
+    Returns:
+        The path of the rebuilt file.
+    """
+    if name not in ARTIFACTS:
+        raise ArtifactSchemaError(
+            f"no registered rebuild pipeline for artifact '{name}' "
+            f"(known: {', '.join(sorted(ARTIFACTS))})"
+        )
+    target = pathlib.Path(dest) if dest is not None else artifact_path(name)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    # numpy's savez appends ".npz" to bare paths, so keep the suffix last.
+    tmp = target.with_name(f"{target.stem}.rebuild.tmp{target.suffix}")
+    ARTIFACTS[name].build(str(tmp))
+    try:
+        if check:
+            actual = sha256_of_file(tmp)
+            expected = manifest_entry(name)["sha256"]
+            if actual != expected:
+                raise ArtifactCorruptError(
+                    f"rebuilt '{name}' does not match its manifest digest "
+                    f"(expected {expected}, got {actual}); the regeneration "
+                    f"pipeline and MANIFEST.json have diverged"
+                )
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    _LOGGER.info("rebuilt artifact '%s' at %s", name, target)
+    return target

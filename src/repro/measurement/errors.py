@@ -1,0 +1,36 @@
+"""Typed errors for measured-data artifacts.
+
+The pattern table is the single data dependency of the whole selection
+pipeline (Eq. 2 needs measured ``x_n(φ, θ)`` values), so a damaged
+``.npz`` must surface as a *diagnosable* failure rather than a raw
+``zipfile.BadZipFile`` or ``KeyError`` bubbling out of numpy.  Loaders
+raise exactly one of the three concrete classes below; callers that
+want to degrade gracefully catch :class:`ArtifactError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactMissingError",
+    "ArtifactCorruptError",
+    "ArtifactSchemaError",
+]
+
+
+class ArtifactError(RuntimeError):
+    """Base class for every data-artifact failure."""
+
+
+class ArtifactMissingError(ArtifactError):
+    """The artifact file does not exist at the expected location."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """The file exists but its bytes are damaged (truncation, bit
+    flips, bad compression streams, wrong container format)."""
+
+
+class ArtifactSchemaError(ArtifactError):
+    """The container is readable but its contents do not match the
+    expected schema (missing keys, wrong shapes or dtypes)."""

@@ -10,13 +10,19 @@ measurement data.
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..geometry.grid import AngularGrid
+from .errors import ArtifactCorruptError, ArtifactMissingError, ArtifactSchemaError
 
 __all__ = ["PatternTable"]
+
+#: Metadata keys every saved table must carry besides its patterns.
+_REQUIRED_KEYS = ("azimuths_deg", "elevations_deg", "sector_ids")
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -170,11 +176,81 @@ class PatternTable:
 
     @classmethod
     def load(cls, path: str) -> "PatternTable":
-        """Load a table written by :meth:`save`."""
-        with np.load(path) as data:
-            grid = AngularGrid(data["azimuths_deg"], data["elevations_deg"])
-            patterns = {
-                int(sector_id): data[f"pattern_{int(sector_id)}"]
-                for sector_id in data["sector_ids"]
-            }
+        """Load a table written by :meth:`save`.
+
+        Raises:
+            ArtifactMissingError: no file at ``path``.
+            ArtifactCorruptError: the bytes are damaged (truncated zip,
+                bit flips, broken deflate streams, non-npz content).
+            ArtifactSchemaError: the archive is readable but does not
+                contain a valid pattern table (missing keys, wrong
+                shapes or dtypes); the message names the offending key.
+        """
+        try:
+            handle = np.load(path)
+        except FileNotFoundError as error:
+            raise ArtifactMissingError(f"pattern table not found: {path}") from error
+        except (zipfile.BadZipFile, zlib.error, EOFError, OSError, ValueError) as error:
+            raise ArtifactCorruptError(
+                f"pattern table '{path}' is not a readable .npz archive: {error}"
+            ) from error
+        with handle as data:
+            return cls._from_npz(data, source=str(path))
+
+    @classmethod
+    def _from_npz(cls, data, source: str) -> "PatternTable":
+        """Validate and build a table from an open npz mapping."""
+
+        def read(key: str) -> np.ndarray:
+            if key not in data.files:
+                raise ArtifactSchemaError(
+                    f"pattern table '{source}' is missing required key '{key}'"
+                )
+            try:
+                return data[key]
+            except (zipfile.BadZipFile, zlib.error, EOFError, OSError, ValueError) as error:
+                raise ArtifactCorruptError(
+                    f"pattern table '{source}': array '{key}' is unreadable: {error}"
+                ) from error
+
+        arrays = {key: read(key) for key in _REQUIRED_KEYS}
+        for key in ("azimuths_deg", "elevations_deg"):
+            axis = arrays[key]
+            if axis.ndim != 1 or not np.issubdtype(axis.dtype, np.number):
+                raise ArtifactSchemaError(
+                    f"pattern table '{source}': key '{key}' must be a 1-D numeric "
+                    f"axis, got shape {axis.shape} dtype {axis.dtype}"
+                )
+        sector_ids = arrays["sector_ids"]
+        if sector_ids.ndim != 1 or not np.issubdtype(sector_ids.dtype, np.integer):
+            raise ArtifactSchemaError(
+                f"pattern table '{source}': key 'sector_ids' must be a 1-D integer "
+                f"array, got shape {sector_ids.shape} dtype {sector_ids.dtype}"
+            )
+        try:
+            grid = AngularGrid(arrays["azimuths_deg"], arrays["elevations_deg"])
+        except ValueError as error:
+            raise ArtifactSchemaError(
+                f"pattern table '{source}': invalid angular axes: {error}"
+            ) from error
+
+        patterns: Dict[int, np.ndarray] = {}
+        for sector_id in sector_ids:
+            key = f"pattern_{int(sector_id)}"
+            values = read(key)
+            if not np.issubdtype(values.dtype, np.number):
+                raise ArtifactSchemaError(
+                    f"pattern table '{source}': key '{key}' has non-numeric "
+                    f"dtype {values.dtype}"
+                )
+            if values.shape != grid.shape:
+                raise ArtifactSchemaError(
+                    f"pattern table '{source}': key '{key}' has shape "
+                    f"{values.shape} but the grid implies {grid.shape}"
+                )
+            patterns[int(sector_id)] = values
+        if not patterns:
+            raise ArtifactSchemaError(
+                f"pattern table '{source}': 'sector_ids' lists no sectors"
+            )
         return cls(grid, patterns)

@@ -10,29 +10,114 @@ campaign:
 
     from repro.measurement import load_published_patterns
     selector = CompressiveSectorSelector(load_published_patterns())
+
+Loading is self-healing: the shipped ``.npz`` is digest-pinned in
+``repro/data/MANIFEST.json``, and if its bytes are damaged the loader
+warns, re-runs the deterministic campaign that produced it, verifies
+the rebuilt bytes against the manifest, and caches them in the user
+cache directory (see :func:`repro.measurement.artifacts.cache_dir`)
+for subsequent loads.
 """
 
 from __future__ import annotations
 
-import importlib.resources
+import logging
+import pathlib
+from typing import Optional
 
+from .artifacts import (
+    PUBLISHED_PATTERNS_SEED,
+    artifact_path,
+    cached_artifact_path,
+    rebuild_artifact,
+    verify_artifact,
+)
+from .errors import ArtifactError
 from .patterns import PatternTable
 
-__all__ = ["load_published_patterns", "PUBLISHED_PATTERNS_RESOURCE"]
+__all__ = [
+    "load_published_patterns",
+    "regenerate_published_patterns",
+    "PUBLISHED_PATTERNS_RESOURCE",
+    "PUBLISHED_PATTERNS_SEED",
+]
+
+_LOGGER = logging.getLogger(__name__)
 
 #: Package-relative resource name of the shipped table.
 PUBLISHED_PATTERNS_RESOURCE = "talon_sector_patterns_3d.npz"
 
 
-def load_published_patterns() -> PatternTable:
+def regenerate_published_patterns(path: str) -> None:
+    """Write a fresh copy of the canonical table to ``path``.
+
+    Re-runs exactly the public campaign pipeline
+    (``measure_3d_patterns`` at the paper's Figure-6 resolution, seed
+    ``PUBLISHED_PATTERNS_SEED``); the output reproduces the shipped
+    file bit for bit.
+    """
+    from .artifacts import ARTIFACTS
+
+    ARTIFACTS[PUBLISHED_PATTERNS_RESOURCE].build(path)
+
+
+def load_published_patterns(allow_rebuild: bool = True) -> PatternTable:
     """Load the shipped canonical-device 3D pattern table.
 
     The table was produced by exactly the public campaign pipeline
     (``measure_3d_patterns`` at the paper's Figure-6 resolution, seed
     0x11AD2017) and regenerating it reproduces it bit for bit.
+
+    Args:
+        allow_rebuild: on a damaged shipped file, fall back to a
+            cached or freshly regenerated copy instead of raising.
+
+    Raises:
+        ArtifactError: the shipped table is unusable and
+            ``allow_rebuild`` is False (or the rebuild itself failed).
     """
-    resource = importlib.resources.files("repro.data").joinpath(
-        PUBLISHED_PATTERNS_RESOURCE
+    return _load_with_fallback(
+        shipped_path=str(artifact_path(PUBLISHED_PATTERNS_RESOURCE)),
+        cache_path=cached_artifact_path(PUBLISHED_PATTERNS_RESOURCE),
+        allow_rebuild=allow_rebuild,
     )
-    with importlib.resources.as_file(resource) as path:
-        return PatternTable.load(str(path))
+
+
+def _load_with_fallback(
+    shipped_path: str,
+    cache_path: pathlib.Path,
+    allow_rebuild: bool = True,
+) -> PatternTable:
+    """Load ``shipped_path``, degrading gracefully on damage.
+
+    Fallback order: a previously cached rebuild whose digest matches
+    the manifest, then a fresh deterministic regeneration (verified
+    against the manifest and cached at ``cache_path``).
+    """
+    try:
+        return PatternTable.load(shipped_path)
+    except ArtifactError as error:
+        if not allow_rebuild:
+            raise
+        _LOGGER.warning(
+            "shipped pattern table is unusable (%s); falling back to a "
+            "deterministic rebuild — run 'repro-bench artifacts rebuild' "
+            "to repair the install in place",
+            error,
+        )
+
+    cached = verify_artifact(PUBLISHED_PATTERNS_RESOURCE, path=str(cache_path))
+    if cached.ok:
+        try:
+            return PatternTable.load(str(cache_path))
+        except ArtifactError as error:  # pragma: no cover - digest matched
+            _LOGGER.warning("cached pattern table unreadable (%s); rebuilding", error)
+
+    _LOGGER.warning(
+        "regenerating the pattern table from the campaign pipeline "
+        "(seed 0x%X) into cache at %s",
+        PUBLISHED_PATTERNS_SEED,
+        cache_path,
+    )
+    rebuild_artifact(PUBLISHED_PATTERNS_RESOURCE, dest=str(cache_path), check=True)
+    return PatternTable.load(str(cache_path))

@@ -1,0 +1,270 @@
+"""Integrity checks and fault injection for shipped data artifacts.
+
+Covers the artifact registry (`repro.measurement.artifacts`), the typed
+error taxonomy raised by ``PatternTable.load``, and the graceful
+degradation path of ``load_published_patterns``: a damaged shipped
+table must be *detected* (manifest digest), *reported* (typed errors,
+nonzero CLI exit) and *repaired* (deterministic regeneration).
+"""
+
+import json
+import pathlib
+import shutil
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.geometry import AngularGrid
+from repro.measurement import PatternTable
+from repro.measurement import artifacts as registry
+from repro.measurement.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMissingError,
+    ArtifactSchemaError,
+)
+from repro.measurement.published import (
+    PUBLISHED_PATTERNS_RESOURCE,
+    _load_with_fallback,
+)
+
+DATA_DIR = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro" / "data"
+
+
+@pytest.fixture
+def saved_table(tmp_path):
+    """A small valid table written to disk, plus its path."""
+    grid = AngularGrid(np.array([-10.0, 0.0, 10.0]), np.array([0.0, 10.0]))
+    table = PatternTable(
+        grid,
+        {
+            1: np.array([[0.0, 10.0, 0.0], [0.0, 5.0, 0.0]]),
+            2: np.array([[8.0, 0.0, -4.0], [8.0, 0.0, -4.0]]),
+        },
+    )
+    path = tmp_path / "table.npz"
+    table.save(str(path))
+    return table, path
+
+
+class TestManifestIntegrity:
+    """Tier-1 gate: the committed bytes must match MANIFEST.json."""
+
+    def test_manifest_lists_at_least_the_pattern_table(self):
+        manifest = registry.load_manifest()
+        assert PUBLISHED_PATTERNS_RESOURCE in manifest["artifacts"]
+
+    def test_every_manifest_digest_matches_committed_bytes(self):
+        """Catch a truncated/mangled artifact at commit time, not first load."""
+        manifest = json.loads((DATA_DIR / "MANIFEST.json").read_text())
+        mismatches = []
+        for name, entry in manifest["artifacts"].items():
+            path = DATA_DIR / name
+            assert path.is_file(), f"manifest lists '{name}' but the file is gone"
+            actual = registry.sha256_of_file(path)
+            if actual != entry["sha256"]:
+                mismatches.append(f"{name}: expected {entry['sha256']}, got {actual}")
+        assert not mismatches, "; ".join(mismatches)
+
+    def test_every_registered_artifact_is_in_the_manifest(self):
+        entries = registry.load_manifest()["artifacts"]
+        for name in registry.ARTIFACTS:
+            assert name in entries
+
+    def test_verify_all_reports_ok(self):
+        statuses = registry.verify_all()
+        assert statuses and all(status.ok for status in statuses)
+
+
+class TestDeterministicRegeneration:
+    def test_rebuild_reproduces_shipped_bytes_bit_for_bit(self, tmp_path):
+        """The documented campaign pipeline IS the shipped file."""
+        dest = tmp_path / PUBLISHED_PATTERNS_RESOURCE
+        registry.rebuild_artifact(PUBLISHED_PATTERNS_RESOURCE, dest=str(dest), check=True)
+        shipped = DATA_DIR / PUBLISHED_PATTERNS_RESOURCE
+        assert dest.read_bytes() == shipped.read_bytes()
+
+    def test_rebuild_digest_mismatch_raises_and_keeps_target(self, tmp_path, monkeypatch):
+        """Pipeline drift must not silently overwrite a good file."""
+        entry = dict(registry.manifest_entry(PUBLISHED_PATTERNS_RESOURCE))
+        entry["sha256"] = "0" * 64
+        monkeypatch.setattr(registry, "manifest_entry", lambda name: entry)
+        dest = tmp_path / "out.npz"
+        dest.write_bytes(b"keep me")
+        with pytest.raises(ArtifactCorruptError, match="diverged"):
+            registry.rebuild_artifact(PUBLISHED_PATTERNS_RESOURCE, dest=str(dest))
+        assert dest.read_bytes() == b"keep me"
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ArtifactSchemaError, match="no registered rebuild"):
+            registry.rebuild_artifact("nonexistent.npz")
+
+
+class TestFaultInjection:
+    """Damaged .npz files must raise the typed taxonomy, never BadZipFile."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactMissingError):
+            PatternTable.load(str(tmp_path / "absent.npz"))
+
+    @pytest.mark.parametrize("keep_bytes", [0, 10, 100, 1000])
+    def test_truncation_at_offsets(self, saved_table, keep_bytes):
+        _, path = saved_table
+        data = path.read_bytes()
+        assert keep_bytes < len(data)
+        path.write_bytes(data[:keep_bytes])
+        with pytest.raises(ArtifactError) as excinfo:
+            PatternTable.load(str(path))
+        assert not isinstance(excinfo.value, zipfile.BadZipFile)
+
+    @pytest.mark.parametrize("offset_fraction", [0.3, 0.5, 0.9])
+    def test_flipped_bytes(self, saved_table, offset_fraction):
+        _, path = saved_table
+        data = bytearray(path.read_bytes())
+        offset = int(len(data) * offset_fraction)
+        data[offset] ^= 0xFF
+        data[offset + 1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        try:
+            PatternTable.load(str(path))
+        except ArtifactError:
+            pass  # detected — the typed taxonomy, not BadZipFile/zlib.error
+
+    def test_not_a_zip_at_all(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this was never an archive")
+        with pytest.raises(ArtifactCorruptError, match="not a readable"):
+            PatternTable.load(str(path))
+
+    def test_missing_axis_key(self, saved_table, tmp_path):
+        table, _ = saved_table
+        path = tmp_path / "noaxis.npz"
+        arrays = {
+            "elevations_deg": table.grid.elevations_deg,
+            "sector_ids": np.array(table.sector_ids),
+        }
+        for sector_id in table.sector_ids:
+            arrays[f"pattern_{sector_id}"] = table.patterns[sector_id]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ArtifactSchemaError, match="azimuths_deg"):
+            PatternTable.load(str(path))
+
+    def test_missing_pattern_key_named_in_error(self, saved_table, tmp_path):
+        """sector_ids promises pattern_2 but the archive lacks it."""
+        table, _ = saved_table
+        path = tmp_path / "dropped.npz"
+        np.savez_compressed(
+            path,
+            azimuths_deg=table.grid.azimuths_deg,
+            elevations_deg=table.grid.elevations_deg,
+            sector_ids=np.array([1, 2]),
+            pattern_1=table.patterns[1],
+        )
+        with pytest.raises(ArtifactSchemaError, match="pattern_2"):
+            PatternTable.load(str(path))
+
+    def test_mismatched_grid_shape_named_in_error(self, saved_table, tmp_path):
+        table, _ = saved_table
+        path = tmp_path / "badshape.npz"
+        np.savez_compressed(
+            path,
+            azimuths_deg=table.grid.azimuths_deg,
+            elevations_deg=table.grid.elevations_deg,
+            sector_ids=np.array([1]),
+            pattern_1=np.zeros((5, 7)),
+        )
+        with pytest.raises(ArtifactSchemaError, match="pattern_1"):
+            PatternTable.load(str(path))
+
+    def test_non_integer_sector_ids(self, saved_table, tmp_path):
+        table, _ = saved_table
+        path = tmp_path / "floatids.npz"
+        np.savez_compressed(
+            path,
+            azimuths_deg=table.grid.azimuths_deg,
+            elevations_deg=table.grid.elevations_deg,
+            sector_ids=np.array([1.5]),
+            pattern_1=table.patterns[1],
+        )
+        with pytest.raises(ArtifactSchemaError, match="sector_ids"):
+            PatternTable.load(str(path))
+
+    def test_empty_sector_list(self, saved_table, tmp_path):
+        table, _ = saved_table
+        path = tmp_path / "nosectors.npz"
+        np.savez_compressed(
+            path,
+            azimuths_deg=table.grid.azimuths_deg,
+            elevations_deg=table.grid.elevations_deg,
+            sector_ids=np.array([], dtype=int),
+        )
+        with pytest.raises(ArtifactSchemaError, match="no sectors"):
+            PatternTable.load(str(path))
+
+
+class TestGracefulDegradation:
+    def test_fallback_rebuilds_and_caches(self, tmp_path, caplog):
+        """A corrupt shipped file warns, regenerates and caches."""
+        import logging
+
+        shipped = tmp_path / "shipped.npz"
+        shutil.copy(DATA_DIR / PUBLISHED_PATTERNS_RESOURCE, shipped)
+        with open(shipped, "r+b") as handle:
+            handle.truncate(10000)
+        cache_path = tmp_path / "cache" / PUBLISHED_PATTERNS_RESOURCE
+
+        with caplog.at_level(logging.WARNING, logger="repro.measurement.published"):
+            table = _load_with_fallback(str(shipped), cache_path)
+        assert "unusable" in caplog.text
+        assert table.n_sectors == 35
+        # The rebuilt cache matches the manifest and short-circuits next time.
+        assert registry.verify_artifact(
+            PUBLISHED_PATTERNS_RESOURCE, path=str(cache_path)
+        ).ok
+        again = _load_with_fallback(str(shipped), cache_path)
+        assert again.sector_ids == table.sector_ids
+
+    def test_fallback_table_is_selector_usable(self, tmp_path):
+        from repro.core import CompressiveSectorSelector, ProbeMeasurement
+
+        shipped = tmp_path / "shipped.npz"
+        shipped.write_bytes(b"garbage")
+        table = _load_with_fallback(
+            str(shipped), tmp_path / "cache" / PUBLISHED_PATTERNS_RESOURCE
+        )
+        selector = CompressiveSectorSelector(table)
+        measurements = [
+            ProbeMeasurement(
+                s,
+                float(table.gain(s, 15.0, 4.0)),
+                float(table.gain(s, 15.0, 4.0)) - 71.5,
+            )
+            for s in selector.candidate_sector_ids[:14]
+        ]
+        result = selector.select(measurements)
+        assert result.estimate is not None
+        assert abs(result.estimate.azimuth_deg - 15.0) < 8.0
+
+    def test_no_rebuild_raises_typed_error(self, tmp_path):
+        shipped = tmp_path / "shipped.npz"
+        shipped.write_bytes(b"garbage")
+        with pytest.raises(ArtifactCorruptError):
+            _load_with_fallback(
+                str(shipped),
+                tmp_path / "cache" / PUBLISHED_PATTERNS_RESOURCE,
+                allow_rebuild=False,
+            )
+
+
+class TestCacheDir:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert registry.cache_dir() == tmp_path / "override"
+        assert registry.cached_artifact_path("x.npz") == tmp_path / "override" / "x.npz"
+
+    def test_defaults_under_xdg(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert registry.cache_dir() == tmp_path / "xdg" / "repro"

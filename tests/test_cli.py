@@ -23,6 +23,7 @@ class TestParser:
             "summary",
             "ablations",
             "extensions",
+            "artifacts",
         }
 
     def test_requires_a_command(self):
@@ -56,3 +57,41 @@ class TestCommands:
         table = PatternTable.load(str(path))
         assert table.n_sectors == 35
         assert "saved 35 sector patterns" in capsys.readouterr().out
+
+    def test_artifacts_verify_ok_on_intact_install(self, capsys):
+        assert main(["artifacts", "verify"]) == 0
+        assert "talon_sector_patterns_3d.npz: ok" in capsys.readouterr().out
+
+    def test_artifacts_info_reports_manifest_and_cache(self, capsys):
+        assert main(["artifacts", "info", "talon_sector_patterns_3d.npz"]) == 0
+        output = capsys.readouterr().out
+        assert "sha256:" in output
+        assert "cache:" in output
+        assert "status: ok" in output
+
+    def test_artifacts_verify_flags_corruption_and_rebuild_heals(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """The acceptance loop: corrupt -> verify fails -> rebuild -> ok."""
+        import shutil
+
+        from repro.measurement import artifacts as registry
+
+        name = "talon_sector_patterns_3d.npz"
+        damaged = tmp_path / name
+        shutil.copy(registry.artifact_path(name), damaged)
+        with open(damaged, "r+b") as handle:
+            handle.truncate(10000)
+
+        real_artifact_path = registry.artifact_path
+        monkeypatch.setattr(
+            registry,
+            "artifact_path",
+            lambda resource: damaged if resource == name else real_artifact_path(resource),
+        )
+        assert main(["artifacts", "verify"]) == 1
+        assert "digest-mismatch" in capsys.readouterr().out
+
+        assert main(["artifacts", "rebuild", name]) == 0
+        assert "manifest digest verified" in capsys.readouterr().out
+        assert main(["artifacts", "verify"]) == 0

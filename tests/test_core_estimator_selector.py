@@ -123,6 +123,43 @@ class TestAngleEstimator:
         )
         assert surface.shape == (estimator.search_grid.n_points,)
 
+    def test_nan_probes_dropped_not_propagated(self, pattern_table, caplog):
+        """Non-finite firmware readings must not poison the argmax."""
+        import logging
+
+        sector_ids = [s for s in pattern_table.sector_ids if s != 0][:14]
+        truth = (20.0, 8.0)
+        clean = synthetic_measurements(pattern_table, *truth, sector_ids)
+        poisoned = list(clean)
+        poisoned[2] = ProbeMeasurement(poisoned[2].sector_id, float("nan"), -66.0)
+        poisoned[5] = ProbeMeasurement(poisoned[5].sector_id, 5.0, float("inf"))
+        estimator = AngleEstimator(pattern_table)
+        with caplog.at_level(logging.WARNING, logger="repro.core.estimator"):
+            estimate = estimator.estimate(poisoned)
+        assert "dropped 2 of 14" in caplog.text
+        assert estimate.n_probes_used == 12
+        assert np.isfinite(estimate.correlation)
+        assert abs(estimate.azimuth_deg - truth[0]) <= 4.0
+
+    def test_nan_on_unused_channel_is_kept(self, pattern_table):
+        """SNR-only fusion must not drop probes over a NaN RSSI."""
+        sector_ids = [s for s in pattern_table.sector_ids if s != 0][:8]
+        measurements = synthetic_measurements(pattern_table, 0.0, 0.0, sector_ids)
+        measurements[0] = ProbeMeasurement(
+            measurements[0].sector_id, measurements[0].snr_db, float("nan")
+        )
+        estimator = AngleEstimator(pattern_table, fusion="snr")
+        assert estimator.estimate(measurements).n_probes_used == len(measurements)
+
+    def test_all_nan_probes_raise_actionable_error(self, pattern_table):
+        estimator = AngleEstimator(pattern_table)
+        measurements = [
+            ProbeMeasurement(s, float("nan"), float("nan"))
+            for s in [s for s in pattern_table.sector_ids if s != 0][:5]
+        ]
+        with pytest.raises(ValueError, match="non-finite"):
+            estimator.estimate(measurements)
+
     def test_custom_search_grid(self, pattern_table):
         grid = AngularGrid(np.arange(-30.0, 31.0, 2.0), np.array([0.0]))
         estimator = AngleEstimator(pattern_table, search_grid=grid)
