@@ -19,7 +19,12 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["SignalObservation", "MeasurementModel", "quantize_to_step"]
+__all__ = [
+    "SignalObservation",
+    "SignalObservationBatch",
+    "MeasurementModel",
+    "quantize_to_step",
+]
 
 
 def quantize_to_step(value: float, step: float) -> float:
@@ -35,6 +40,23 @@ class SignalObservation:
 
     snr_db: float
     rssi_dbm: float
+
+
+@dataclass(frozen=True)
+class SignalObservationBatch:
+    """Vectorized firmware reports for a block of frames.
+
+    ``reported[i]`` is False when frame ``i`` failed to decode or its
+    report was dropped; the corresponding ``snr_db[i]`` / ``rssi_dbm[i]``
+    slots hold NaN.
+    """
+
+    reported: np.ndarray
+    snr_db: np.ndarray
+    rssi_dbm: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.reported.size)
 
 
 @dataclass(frozen=True)
@@ -139,3 +161,81 @@ class MeasurementModel:
         )
         rssi_reading = float(quantize_to_step(rssi_reading, self.rssi_step_db))
         return SignalObservation(snr_db=snr_reading, rssi_dbm=rssi_reading)
+
+    def observe_batch(
+        self,
+        true_snr_db: np.ndarray,
+        noise_floor_dbm: float,
+        rng: np.random.Generator,
+    ) -> SignalObservationBatch:
+        """Firmware reports for a whole block of frames in a few draws.
+
+        The per-frame arithmetic matches :meth:`observe` exactly; the
+        random stream follows a fixed **stage-major** convention so the
+        result is deterministic given the injected generator:
+
+        1. one decode uniform per frame,
+        2. one dropout uniform per *decoded* frame,
+        3. SNR noise normals for the reporting frames,
+        4. SNR outlier uniforms, then offsets for the outliers,
+        5. RSSI noise normals, 6. RSSI outlier uniforms + offsets.
+
+        For a single frame this is the same draw order as the scalar
+        path, so ``observe_batch(np.array([x]), ...)`` reproduces
+        ``observe(x, ...)`` bit for bit from the same generator state
+        (the pinned regression test asserts this).  For larger blocks
+        the draws are regrouped, so the *stream* differs from a scalar
+        loop even though the per-frame distribution is identical —
+        which is why the recording reference path keeps the scalar
+        model (see ``experiments.common.record_directions``).
+        """
+        true_snr = np.asarray(true_snr_db, dtype=float)
+        if true_snr.ndim != 1:
+            raise ValueError("true_snr_db must be a 1-D block of frames")
+        n_frames = true_snr.size
+        snr_out = np.full(n_frames, np.nan)
+        rssi_out = np.full(n_frames, np.nan)
+        reported = np.zeros(n_frames, dtype=bool)
+        if n_frames == 0:
+            return SignalObservationBatch(reported, snr_out, rssi_out)
+
+        argument = (true_snr - self.decode_threshold_db) / self.decode_width_db
+        decode_p = 1.0 / (1.0 + np.exp(-argument))
+        decoded = np.flatnonzero(rng.random(n_frames) <= decode_p)
+        if decoded.size:
+            dropout = rng.random(decoded.size)
+            decoded = decoded[dropout >= self.report_dropout_probability]
+        if decoded.size == 0:
+            return SignalObservationBatch(reported, snr_out, rssi_out)
+        reported[decoded] = True
+
+        truth = true_snr[decoded]
+        low_snr_weight = 1.0 / (1.0 + np.exp((truth - 2.0) / 2.0))
+        noise_std = self.base_noise_std_db + self.low_snr_extra_noise_db * low_snr_weight
+
+        def outlier_offsets(count: int) -> np.ndarray:
+            offsets = np.zeros(count)
+            hits = np.flatnonzero(rng.random(count) < self.outlier_probability)
+            if hits.size:
+                offsets[hits] = rng.uniform(
+                    -self.outlier_magnitude_db, self.outlier_magnitude_db, hits.size
+                )
+            return offsets
+
+        snr_noise = rng.normal(0.0, noise_std)
+        snr_reading = truth + snr_noise + outlier_offsets(decoded.size)
+        snr_out[decoded] = np.clip(
+            np.round(snr_reading / self.snr_step_db) * self.snr_step_db,
+            self.snr_min_db,
+            self.snr_max_db,
+        )
+        rssi_noise = rng.normal(0.0, noise_std)
+        rssi_reading = (
+            truth
+            + noise_floor_dbm
+            + self.rssi_offset_db
+            + rssi_noise
+            + outlier_offsets(decoded.size)
+        )
+        rssi_out[decoded] = np.round(rssi_reading / self.rssi_step_db) * self.rssi_step_db
+        return SignalObservationBatch(reported, snr_out, rssi_out)

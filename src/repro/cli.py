@@ -13,6 +13,8 @@ is their simulator-side counterpart::
     repro-bench artifacts verify    # shipped-data integrity check
     repro-bench artifacts rebuild   # regenerate damaged data in place
     repro-bench artifacts info      # manifest + cache status
+    repro-bench perf                # hot-kernel timings -> BENCH_core.json
+    repro-bench perf --check        # fail on >2x latency regression
 
 ``--paper`` switches experiments from the fast default profile to the
 paper's full resolutions (minutes instead of seconds).
@@ -223,6 +225,18 @@ def _run_artifacts(args: argparse.Namespace, registry) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Time the hot kernels and append a BENCH_core.json datapoint."""
+    from .perf import run_perf
+
+    return run_perf(
+        label=args.label,
+        output=args.output,
+        check=args.check,
+        repeats=args.repeats,
+    )
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _cmd_table1,
     "patterns": _cmd_patterns,
@@ -235,6 +249,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "ablations": _cmd_ablations,
     "extensions": _cmd_extensions,
     "artifacts": _cmd_artifacts,
+    "perf": _cmd_perf,
 }
 
 
@@ -266,6 +281,24 @@ def build_parser() -> argparse.ArgumentParser:
             )
             sub.add_argument(
                 "name", nargs="?", help="artifact name (default: every manifest entry)"
+            )
+        if name == "perf":
+            sub.add_argument(
+                "--label", default="dev", help="trajectory point label"
+            )
+            sub.add_argument(
+                "--output",
+                default="BENCH_core.json",
+                help="trajectory file to append to (default: ./BENCH_core.json)",
+            )
+            sub.add_argument(
+                "--check",
+                action="store_true",
+                help="compare against the committed baseline instead of appending; "
+                "exit nonzero on a >2x latency regression",
+            )
+            sub.add_argument(
+                "--repeats", type=int, default=20, help="timing passes per kernel"
             )
         sub.set_defaults(handler=handler)
     return parser

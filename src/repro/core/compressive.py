@@ -81,6 +81,7 @@ class CompressiveSectorSelector:
             raise ValueError("fallback correlation must be in [0, 1]")
         self.min_probes = min_probes
         self.fallback_correlation = fallback_correlation
+        self.initial_sector_id = initial_sector_id
         self._last_selection = initial_sector_id
         # Candidate gains on the search grid, for the Eq. 4 lookup.
         self._candidate_matrix = pattern_table.sample_matrix(
@@ -90,6 +91,15 @@ class CompressiveSectorSelector:
     @property
     def last_selection(self) -> int:
         return self._last_selection
+
+    def reset(self) -> None:
+        """Forget the selection history (as if freshly constructed).
+
+        Experiments that evaluate many independent recordings reuse one
+        selector (construction samples two full grid matrices) and call
+        this between recordings instead of rebuilding it.
+        """
+        self._last_selection = self.initial_sector_id
 
     @property
     def n_candidates(self) -> int:
@@ -111,20 +121,144 @@ class CompressiveSectorSelector:
 
     def select(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
         """Run both steps on one sweep's measurements."""
-        usable = [
-            m for m in measurements if m.sector_id in self.estimator.known_sector_ids()
-        ]
+        usable = [m for m in measurements if self.estimator.has_sector(m.sector_id)]
         if len(usable) < self.min_probes:
             return self._fallback(usable)
         estimate = self.estimator.estimate(usable)
         if estimate.correlation < self.fallback_correlation:
             return self._fallback(usable)
         # Eq. 4 via the precomputed grid matrix: column at the argmax
-        # grid point, maximized over candidates.
-        grid_index = self.estimator.search_grid.nearest_index(
-            estimate.azimuth_deg, estimate.elevation_deg
-        )
+        # grid point, maximized over candidates.  The estimate carries
+        # its own flat grid index (same search grid the candidate
+        # matrix was sampled on); estimators that interpolate off-grid
+        # leave it None and pay the nearest-point lookup.
+        grid_index = estimate.grid_index
+        if grid_index is None:
+            grid_index = self.estimator.search_grid.nearest_index(
+                estimate.azimuth_deg, estimate.elevation_deg
+            )
         candidate_gains = self._candidate_matrix[:, grid_index]
-        sector_id = int(self.candidate_sector_ids[int(np.argmax(candidate_gains))])
+        sector_id = int(self.candidate_sector_ids[int(candidate_gains.argmax())])
         self._last_selection = sector_id
         return SelectionResult(sector_id=sector_id, estimate=estimate)
+
+    # ------------------------------------------------------------------
+    # Batched throughput path.
+    # ------------------------------------------------------------------
+
+    def _fallback_from_arrays(
+        self, sub_ids: np.ndarray, sub_snr: np.ndarray
+    ) -> SelectionResult:
+        """Array twin of :meth:`_fallback` with Python ``max`` semantics.
+
+        ``max(..., key=snr)`` keeps the first element and replaces it
+        only on a strictly greater key, so ties — and NaN keys, which
+        never compare greater — resolve to the earliest candidate.  A
+        plain ``np.argmax`` would resolve NaN differently, so the loop
+        is explicit.
+        """
+        if sub_ids.size:
+            best = 0
+            for index in range(1, sub_ids.size):
+                if sub_snr[index] > sub_snr[best]:
+                    best = index
+            sector_id = int(sub_ids[best])
+            self._last_selection = sector_id
+            return SelectionResult(sector_id=sector_id, fallback=True)
+        return SelectionResult(sector_id=self._last_selection, fallback=True)
+
+    def select_batch(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: np.ndarray,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> List[SelectionResult]:
+        """Run :meth:`select` over a padded batch of sweeps at once.
+
+        Row ``t`` holds one sweep's probes in slot order (``mask[t]``
+        flags slots carrying a report; padded slots may hold anything).
+        ``snr_db`` is always required — the fallback ranks probes by
+        SNR regardless of the fusion mode — while ``rssi_dbm`` is only
+        needed when the estimator's fusion uses it.  Rows are processed
+        in order and update the selection state sequentially, so the
+        result list is element-for-element identical to calling
+        :meth:`select` on each sweep, including fallback decisions and
+        the Eq. 4 lookup.
+
+        Raises:
+            ValueError: a row had enough known-sector probes to attempt
+                estimation but fewer than two finite ones — exactly the
+                case where the scalar path raises mid-sequence.
+        """
+        ids = np.asarray(sector_ids)
+        if ids.ndim != 2:
+            raise ValueError("sector_ids must be 2-D (trials x probe slots)")
+        ids = ids.astype(np.intp, copy=False)
+        snr = np.asarray(snr_db, dtype=float)
+        if snr.shape != ids.shape:
+            raise ValueError(
+                f"snr_db shape {snr.shape} does not match sector_ids shape {ids.shape}"
+            )
+        if mask is None:
+            valid = np.ones(ids.shape, dtype=bool)
+        else:
+            valid = np.asarray(mask, dtype=bool)
+            if valid.shape != ids.shape:
+                raise ValueError(
+                    f"mask shape {valid.shape} does not match sector_ids "
+                    f"shape {ids.shape}"
+                )
+
+        lookup = self.estimator._row_lookup
+        in_range = (ids >= 0) & (ids < lookup.size)
+        known = np.zeros(ids.shape, dtype=bool)
+        known[in_range] = lookup[ids[in_range]] >= 0
+        usable = valid & known
+        counts = usable.sum(axis=1)
+
+        estimate_rows = np.flatnonzero(counts >= self.min_probes)
+        estimates: List[Optional[object]] = []
+        if estimate_rows.size:
+            rssi_sub = (
+                None
+                if rssi_dbm is None
+                else np.asarray(rssi_dbm, dtype=float)[estimate_rows]
+            )
+            estimates = self.estimator.estimate_batch(
+                ids[estimate_rows],
+                snr_db=snr[estimate_rows],
+                rssi_dbm=rssi_sub,
+                mask=usable[estimate_rows],
+            )
+        estimate_of_row = dict(zip(estimate_rows.tolist(), estimates))
+
+        results: List[SelectionResult] = []
+        for trial in range(ids.shape[0]):
+            row_usable = usable[trial]
+            if counts[trial] < self.min_probes:
+                results.append(
+                    self._fallback_from_arrays(ids[trial, row_usable], snr[trial, row_usable])
+                )
+                continue
+            estimate = estimate_of_row[trial]
+            if estimate is None:
+                raise ValueError(
+                    f"trial {trial}: need at least two finite probe "
+                    f"measurements to correlate"
+                )
+            if estimate.correlation < self.fallback_correlation:
+                results.append(
+                    self._fallback_from_arrays(ids[trial, row_usable], snr[trial, row_usable])
+                )
+                continue
+            grid_index = estimate.grid_index
+            if grid_index is None:
+                grid_index = self.estimator.search_grid.nearest_index(
+                    estimate.azimuth_deg, estimate.elevation_deg
+                )
+            candidate_gains = self._candidate_matrix[:, grid_index]
+            sector_id = int(self.candidate_sector_ids[int(candidate_gains.argmax())])
+            self._last_selection = sector_id
+            results.append(SelectionResult(sector_id=sector_id, estimate=estimate))
+        return results

@@ -10,15 +10,39 @@ signal strengths in dB shift additively with link distance, which would
 break the scale-invariant normalized inner product, whereas in linear
 power the shift becomes a pure scale that normalization removes.  The
 dB domain remains available for the ablation study.
+
+Two call paths share one arithmetic core (:func:`_correlate`):
+
+* :func:`correlation_map` is the **reference implementation** — it
+  transforms probes and patterns on every call.
+* :func:`prepare_pattern_matrix` + :func:`correlation_map_prepared`
+  and :func:`correlation_map_batch` form the **throughput path**: the
+  (fixed) pattern matrix is converted to the correlation domain once,
+  so per-call work is limited to the M probe values.  Both paths
+  produce bit-for-bit identical results because the domain transform
+  is elementwise (transform-then-gather equals gather-then-transform)
+  and the core runs the same operations in the same order on the same
+  compacted operands.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-__all__ = ["to_linear_power", "normalize_rows", "correlation_map"]
+__all__ = [
+    "to_linear_power",
+    "normalize_rows",
+    "prepare_pattern_matrix",
+    "correlation_map",
+    "correlation_map_prepared",
+    "correlation_map_batch",
+]
 
 _EPSILON = 1e-12
+
+_DOMAINS = ("linear", "db")
 
 
 def to_linear_power(values_db: np.ndarray) -> np.ndarray:
@@ -26,8 +50,13 @@ def to_linear_power(values_db: np.ndarray) -> np.ndarray:
 
     Inputs are clamped to ±200 dB — far beyond any physical signal —
     so that corrupted readings cannot overflow the float range.
+    ``minimum(maximum(x, lo), hi)`` is elementwise identical to
+    ``np.clip`` (NaN propagates through both) without the dispatch
+    overhead, which matters for the per-probe-vector calls on the hot
+    selection path.
     """
-    clamped = np.clip(np.asarray(values_db, dtype=float), -200.0, 200.0)
+    values = np.asarray(values_db, dtype=float)
+    clamped = np.minimum(np.maximum(values, -200.0), 200.0)
     return 10.0 ** (clamped / 10.0)
 
 
@@ -38,12 +67,62 @@ def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     return matrix / np.maximum(norms, _EPSILON)
 
 
+def _check_domain(domain: str) -> None:
+    if domain not in _DOMAINS:
+        raise ValueError("domain must be 'linear' or 'db'")
+
+
+def _to_domain(values_db: np.ndarray, domain: str) -> np.ndarray:
+    """Elementwise transform into the correlation domain."""
+    if domain == "linear":
+        return to_linear_power(values_db)
+    return np.asarray(values_db, dtype=float)
+
+
+def prepare_pattern_matrix(pattern_matrix_db: np.ndarray, domain: str = "linear") -> np.ndarray:
+    """Convert a pattern matrix into the correlation domain **once**.
+
+    The result feeds :func:`correlation_map_prepared` /
+    :func:`correlation_map_batch` (with ``prepared=True``) and any
+    row-gathered slice of it is bitwise identical to transforming the
+    slice directly — the transform is elementwise.
+    """
+    _check_domain(domain)
+    patterns = np.asarray(pattern_matrix_db, dtype=float)
+    if patterns.ndim != 2:
+        raise ValueError("pattern matrix must be 2-D")
+    return _to_domain(patterns, domain)
+
+
+def _unit_columns(patterns: np.ndarray) -> np.ndarray:
+    """Normalize each grid point's pattern vector (a column) to unit norm.
+
+    ``sqrt(add.reduce(x*x, axis=0))`` is exactly what
+    ``np.linalg.norm(x, axis=0)`` computes for real input; calling the
+    ufuncs directly skips the wrapper overhead that dominates the
+    per-trial batch loop.
+    """
+    column_norms = np.sqrt(np.add.reduce(patterns * patterns, axis=0))
+    return patterns / np.maximum(column_norms, _EPSILON)
+
+
+def _correlate(probes: np.ndarray, pattern_unit: np.ndarray) -> np.ndarray:
+    """Eq. 2 core on domain-transformed probes and unit-column patterns.
+
+    ``sqrt(x.dot(x))`` is ``np.linalg.norm``'s own 1-D real-input
+    branch, inlined for the same reason as in :func:`_unit_columns`.
+    """
+    probe_unit = probes / max(np.sqrt(probes.dot(probes)), _EPSILON)
+    correlation = probe_unit @ pattern_unit
+    return correlation**2
+
+
 def correlation_map(
     probe_values_db: np.ndarray,
     pattern_matrix_db: np.ndarray,
     domain: str = "linear",
 ) -> np.ndarray:
-    """Eq. 2 evaluated on every grid point at once.
+    """Eq. 2 evaluated on every grid point at once (reference path).
 
     Args:
         probe_values_db: received signal strengths, shape ``(M,)`` — one
@@ -64,16 +143,93 @@ def correlation_map(
             f"pattern matrix shape {patterns.shape} does not match "
             f"{probes.size} probe values"
         )
-    if domain not in ("linear", "db"):
-        raise ValueError("domain must be 'linear' or 'db'")
+    _check_domain(domain)
+    return _correlate(_to_domain(probes, domain), _unit_columns(_to_domain(patterns, domain)))
 
-    if domain == "linear":
-        probes = to_linear_power(probes)
-        patterns = to_linear_power(patterns)
 
-    probe_unit = probes / max(np.linalg.norm(probes), _EPSILON)
-    # Normalize each grid point's pattern vector (a column of patterns).
-    column_norms = np.linalg.norm(patterns, axis=0)
-    pattern_unit = patterns / np.maximum(column_norms, _EPSILON)
-    correlation = probe_unit @ pattern_unit
-    return correlation**2
+def correlation_map_prepared(
+    probe_values_db: np.ndarray,
+    prepared_patterns: np.ndarray,
+    domain: str = "linear",
+) -> np.ndarray:
+    """Eq. 2 against a matrix already converted by :func:`prepare_pattern_matrix`.
+
+    Only the ``M`` probe values are transformed per call; the result is
+    bitwise identical to :func:`correlation_map` on the dB matrix.
+    """
+    probes = np.asarray(probe_values_db, dtype=float)
+    patterns = np.asarray(prepared_patterns, dtype=float)
+    if probes.ndim != 1:
+        raise ValueError("probe values must be a 1-D vector")
+    if patterns.ndim != 2 or patterns.shape[0] != probes.size:
+        raise ValueError(
+            f"pattern matrix shape {patterns.shape} does not match "
+            f"{probes.size} probe values"
+        )
+    _check_domain(domain)
+    return _correlate(_to_domain(probes, domain), _unit_columns(patterns))
+
+
+def correlation_map_batch(
+    probe_matrix_db: np.ndarray,
+    mask: Optional[np.ndarray],
+    pattern_matrix_db: np.ndarray,
+    domain: str = "linear",
+    prepared: bool = False,
+) -> np.ndarray:
+    """Eq. 2 over a padded batch of probe vectors.
+
+    Row ``t`` of the result equals ``correlation_map(probes[t][mask[t]],
+    patterns[mask[t]], domain)`` **bit for bit**: the probe transform is
+    applied to the whole padded matrix (elementwise, so padding cannot
+    leak into valid entries) and each row's valid entries are compacted
+    before entering the same arithmetic core as the scalar kernel.
+
+    Args:
+        probe_matrix_db: padded probe values, shape ``(T, M)``.
+        mask: boolean validity mask, shape ``(T, M)``; ``None`` means
+            every entry is valid.  Invalid entries may hold any float
+            (NaN padding is conventional).
+        pattern_matrix_db: patterns of the ``M`` probe slots on the
+            search grid, shape ``(M, K)``, shared by every row.
+        domain: correlation domain.
+        prepared: when True, ``pattern_matrix_db`` was already converted
+            by :func:`prepare_pattern_matrix` and is used as-is.
+
+    Returns:
+        Correlation surface per row, shape ``(T, K)``.  Rows with no
+        valid entry are all-NaN.
+    """
+    probes = np.asarray(probe_matrix_db, dtype=float)
+    if probes.ndim != 2:
+        raise ValueError("probe matrix must be 2-D (trials x probes)")
+    patterns = np.asarray(pattern_matrix_db, dtype=float)
+    if patterns.ndim != 2 or patterns.shape[0] != probes.shape[1]:
+        raise ValueError(
+            f"pattern matrix shape {patterns.shape} does not match "
+            f"{probes.shape[1]} probe slots"
+        )
+    _check_domain(domain)
+    if mask is None:
+        valid = np.ones(probes.shape, dtype=bool)
+    else:
+        valid = np.asarray(mask, dtype=bool)
+        if valid.shape != probes.shape:
+            raise ValueError(
+                f"mask shape {valid.shape} does not match probe matrix "
+                f"shape {probes.shape}"
+            )
+    if not prepared:
+        patterns = _to_domain(patterns, domain)
+    with np.errstate(invalid="ignore", over="ignore"):
+        probes_domain = _to_domain(probes, domain)
+
+    surfaces = np.full((probes.shape[0], patterns.shape[1]), np.nan)
+    for row in range(probes.shape[0]):
+        index = np.flatnonzero(valid[row])
+        if index.size == 0:
+            continue
+        surfaces[row] = _correlate(
+            probes_domain[row, index], _unit_columns(patterns[index])
+        )
+    return surfaces

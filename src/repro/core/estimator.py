@@ -5,19 +5,28 @@ grid.  Following §5, it can fuse the SNR-based and RSSI-based maps by
 multiplication — the two values are acquired independently inside the
 firmware, so an outlier in one rarely coincides with an outlier in the
 other, and the product suppresses it.
+
+Hot-path layout: the pattern matrix is sampled on the search grid
+*and* converted to the correlation domain once at construction, so a
+scalar :meth:`AngleEstimator.estimate` only transforms the ``M`` probe
+values per call, and :meth:`AngleEstimator.estimate_batch` amortizes
+the Python overhead over a whole padded trial matrix.  Both paths are
+bit-for-bit identical to the reference scalar semantics (see
+:mod:`.correlation`).
 """
 
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..geometry.grid import AngularGrid
 from ..measurement.patterns import PatternTable
-from .correlation import correlation_map
+from .correlation import _correlate, _to_domain, _unit_columns, prepare_pattern_matrix
 from .measurements import ProbeMeasurement
 
 __all__ = ["AngleEstimate", "AngleEstimator"]
@@ -27,17 +36,32 @@ __all__ = ["AngleEstimate", "AngleEstimator"]
 #: scale-invariant) but keeping numbers small avoids float overflow.
 _RSSI_REFERENCE_DBM = -71.5
 
+#: Bound on the per-estimator memo of normalized pattern sub-matrices.
+#: Probe schedules repeat the same sector subset across sweeps (fixed
+#: probe-set strategies, the perf workload, tracking), so the memo turns
+#: the per-call normalization into a dict hit; FIFO eviction keeps the
+#: worst case (all-unique random subsets) at ~64 × M×K floats.
+_UNIT_CACHE_LIMIT = 64
+
 _LOGGER = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
 class AngleEstimate:
-    """Result of one angle-of-arrival estimation."""
+    """Result of one angle-of-arrival estimation.
+
+    ``grid_index`` is the flat search-grid index of the argmax when the
+    estimate came from a grid search (``None`` for estimators that
+    interpolate off-grid, e.g. out-of-band assistance).  It equals
+    ``search_grid.nearest_index(azimuth_deg, elevation_deg)`` and lets
+    Eq. 4 skip that lookup.
+    """
 
     azimuth_deg: float
     elevation_deg: float
     correlation: float
     n_probes_used: int
+    grid_index: Optional[int] = None
 
 
 class AngleEstimator:
@@ -65,22 +89,40 @@ class AngleEstimator:
         self.search_grid = search_grid if search_grid is not None else pattern_table.grid
         self.domain = domain
         self.fusion = fusion
-        # Precompute the (n_sectors, n_grid_points) matrix once.
+        # Precompute the (n_sectors, n_grid_points) matrix once, in both
+        # the native dB domain and the correlation domain.  Gathering
+        # rows of the pre-transformed matrix is bitwise identical to
+        # transforming the gathered rows (the transform is elementwise),
+        # so per-estimate work never touches the (M, K) pattern slice.
         self._matrix = pattern_table.sample_matrix(self.search_grid)
+        self._prepared = prepare_pattern_matrix(self._matrix, domain)
         self._row_of_sector: Dict[int, int] = {
             sector_id: row for row, sector_id in enumerate(pattern_table.sector_ids)
         }
+        self._known_sectors = frozenset(self._row_of_sector)
+        # Dense sector-id -> row lookup for the batched path (-1 = unknown).
+        max_id = max(self._row_of_sector, default=0)
+        lookup = np.full(max_id + 1, -1, dtype=np.intp)
+        for sector_id, row in self._row_of_sector.items():
+            lookup[sector_id] = row
+        self._row_lookup = lookup
+        self._needs_snr = fusion in ("product", "snr")
+        self._needs_rssi = fusion in ("product", "rssi")
+        self._unit_cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     def known_sector_ids(self) -> List[int]:
         """Sectors with a measured pattern (usable as probes)."""
         return list(self._row_of_sector)
 
-    def _rows_for(self, measurements: Sequence[ProbeMeasurement]) -> np.ndarray:
+    def has_sector(self, sector_id: int) -> bool:
+        """O(1): does this sector have a measured pattern?"""
+        return sector_id in self._known_sectors
+
+    def _row_indices(self, measurements: Sequence[ProbeMeasurement]) -> List[int]:
         try:
-            rows = [self._row_of_sector[m.sector_id] for m in measurements]
+            return [self._row_of_sector[m.sector_id] for m in measurements]
         except KeyError as error:
             raise KeyError(f"no measured pattern for probed sector {error.args[0]}") from None
-        return self._matrix[rows]
 
     def _usable_measurements(
         self, measurements: Sequence[ProbeMeasurement]
@@ -90,34 +132,34 @@ class AngleEstimator:
         Firmware reports occasionally carry NaN/inf after parse bugs or
         truncated ring-buffer reads; left alone they poison the whole
         correlation map (``NaN`` wins ``np.argmax`` ties arbitrarily).
-        Only the channels the fusion mode actually uses are checked.
+        Only the channels the fusion mode actually uses are checked;
+        kept and dropped are partitioned in a single pass.
 
         Raises:
             ValueError: fewer than two finite measurements remain.
         """
-
-        def finite(measurement: ProbeMeasurement) -> bool:
-            if self.fusion in ("product", "snr") and not np.isfinite(measurement.snr_db):
-                return False
-            if self.fusion in ("product", "rssi") and not np.isfinite(measurement.rssi_dbm):
-                return False
-            return True
-
-        kept = [m for m in measurements if finite(m)]
-        dropped = len(measurements) - len(kept)
-        if dropped:
+        kept: List[ProbeMeasurement] = []
+        dropped_sectors: List[int] = []
+        for measurement in measurements:
+            if (self._needs_snr and not math.isfinite(measurement.snr_db)) or (
+                self._needs_rssi and not math.isfinite(measurement.rssi_dbm)
+            ):
+                dropped_sectors.append(measurement.sector_id)
+            else:
+                kept.append(measurement)
+        if dropped_sectors:
             _LOGGER.warning(
                 "dropped %d of %d probe measurements with non-finite "
                 "snr/rssi values (sectors %s)",
-                dropped,
+                len(dropped_sectors),
                 len(measurements),
-                sorted(m.sector_id for m in measurements if not finite(m)),
+                sorted(dropped_sectors),
             )
         if len(kept) < 2:
-            if dropped:
+            if dropped_sectors:
                 raise ValueError(
                     f"need at least two finite probe measurements to correlate "
-                    f"({dropped} of {len(measurements)} were non-finite)"
+                    f"({len(dropped_sectors)} of {len(measurements)} were non-finite)"
                 )
             raise ValueError("need at least two probe measurements to correlate")
         return kept
@@ -133,18 +175,36 @@ class AngleEstimator:
         """
         return self._surface(self._usable_measurements(measurements))
 
+    def _pattern_unit(self, rows) -> np.ndarray:
+        """Unit-column pattern sub-matrix for these rows, memoized.
+
+        The memo value is exactly ``_unit_columns(self._prepared[rows])``
+        so hits are bitwise identical to recomputing; the caller must
+        not mutate the returned array.
+        """
+        key = tuple(rows.tolist()) if isinstance(rows, np.ndarray) else tuple(rows)
+        cache = self._unit_cache
+        unit = cache.get(key)
+        if unit is None:
+            unit = _unit_columns(self._prepared[rows])
+            if len(cache) >= _UNIT_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[key] = unit
+        return unit
+
     def _surface(self, measurements: Sequence[ProbeMeasurement]) -> np.ndarray:
         """Correlate already-validated measurements against the grid."""
-        patterns = self._rows_for(measurements)
+        rows = self._row_indices(measurements)
+        pattern_unit = self._pattern_unit(rows)
         surface = None
-        if self.fusion in ("product", "snr"):
+        if self._needs_snr:
             snr_values = np.array([m.snr_db for m in measurements])
-            surface = correlation_map(snr_values, patterns, self.domain)
-        if self.fusion in ("product", "rssi"):
+            surface = _correlate(_to_domain(snr_values, self.domain), pattern_unit)
+        if self._needs_rssi:
             rssi_values = np.array(
                 [m.rssi_dbm - _RSSI_REFERENCE_DBM for m in measurements]
             )
-            rssi_surface = correlation_map(rssi_values, patterns, self.domain)
+            rssi_surface = _correlate(_to_domain(rssi_values, self.domain), pattern_unit)
             surface = rssi_surface if surface is None else surface * rssi_surface
         return surface
 
@@ -156,11 +216,133 @@ class AngleEstimator:
         """
         measurements = self._usable_measurements(measurements)
         surface = self._surface(measurements)
-        best_index = int(np.argmax(surface))
+        best_index = int(surface.argmax())
         azimuth, elevation = self.search_grid.index_to_angles(best_index)
         return AngleEstimate(
             azimuth_deg=azimuth,
             elevation_deg=elevation,
             correlation=float(surface[best_index]),
             n_probes_used=len(measurements),
+            grid_index=best_index,
         )
+
+    # ------------------------------------------------------------------
+    # Batched throughput path.
+    # ------------------------------------------------------------------
+
+    def _batch_arrays(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: Optional[np.ndarray],
+        rssi_dbm: Optional[np.ndarray],
+        mask: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Validate a padded batch and return (rows, usable, snr_t, rssi_t).
+
+        ``usable`` marks entries that are both valid (per ``mask``) and
+        finite in every channel the fusion mode uses — the batched
+        analogue of :meth:`_usable_measurements`.  ``snr_t``/``rssi_t``
+        are the padded channels already transformed into the correlation
+        domain (garbage in masked-out slots, which is never gathered).
+        """
+        ids = np.asarray(sector_ids)
+        if ids.ndim != 2:
+            raise ValueError("sector_ids must be 2-D (trials x probe slots)")
+        ids = ids.astype(np.intp, copy=False)
+        shape = ids.shape
+        if mask is None:
+            usable = np.ones(shape, dtype=bool)
+        else:
+            usable = np.asarray(mask, dtype=bool).copy()
+            if usable.shape != shape:
+                raise ValueError(
+                    f"mask shape {usable.shape} does not match sector_ids "
+                    f"shape {shape}"
+                )
+
+        def channel(values, name):
+            if values is None:
+                raise ValueError(f"fusion '{self.fusion}' requires {name} values")
+            values = np.asarray(values, dtype=float)
+            if values.shape != shape:
+                raise ValueError(
+                    f"{name} shape {values.shape} does not match sector_ids "
+                    f"shape {shape}"
+                )
+            return values
+
+        snr = channel(snr_db, "snr_db") if self._needs_snr else None
+        rssi = channel(rssi_dbm, "rssi_dbm") if self._needs_rssi else None
+        if snr is not None:
+            usable &= np.isfinite(snr)
+        if rssi is not None:
+            usable &= np.isfinite(rssi)
+
+        in_range = (ids >= 0) & (ids < self._row_lookup.size)
+        rows = np.where(
+            in_range, self._row_lookup[np.clip(ids, 0, self._row_lookup.size - 1)], -1
+        )
+        unknown = usable & (rows < 0)
+        if unknown.any():
+            first = int(ids[unknown][0])
+            raise KeyError(f"no measured pattern for probed sector {first}")
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            snr_t = None if snr is None else _to_domain(snr, self.domain)
+            rssi_t = (
+                None
+                if rssi is None
+                else _to_domain(rssi - _RSSI_REFERENCE_DBM, self.domain)
+            )
+        return rows, usable, snr_t, rssi_t
+
+    def estimate_batch(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: Optional[np.ndarray] = None,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> List[Optional[AngleEstimate]]:
+        """Eq. 3 / Eq. 5 over a padded batch of probe sweeps.
+
+        Row ``t`` describes one sweep's probes in slot order: sector ids
+        in ``sector_ids[t]``, their reported values in ``snr_db[t]`` /
+        ``rssi_dbm[t]`` (whichever channels the fusion mode uses), and
+        ``mask[t]`` flagging slots that actually carry a report (padded
+        slots may hold anything).  Each row reproduces
+        ``estimate([...])`` on its valid, finite measurements **bit for
+        bit**; rows with fewer than two such measurements yield ``None``
+        instead of raising, because padded batches legitimately contain
+        under-filled trials that callers want to skip.
+
+        Returns:
+            One :class:`AngleEstimate` (or ``None``) per row.
+        """
+        rows, usable, snr_t, rssi_t = self._batch_arrays(
+            sector_ids, snr_db, rssi_dbm, mask
+        )
+        estimates: List[Optional[AngleEstimate]] = []
+        for trial in range(rows.shape[0]):
+            index = np.flatnonzero(usable[trial])
+            if index.size < 2:
+                estimates.append(None)
+                continue
+            pattern_unit = self._pattern_unit(rows[trial, index])
+            surface = None
+            if snr_t is not None:
+                surface = _correlate(snr_t[trial, index], pattern_unit)
+            if rssi_t is not None:
+                rssi_surface = _correlate(rssi_t[trial, index], pattern_unit)
+                surface = rssi_surface if surface is None else surface * rssi_surface
+            best_index = int(surface.argmax())
+            azimuth, elevation = self.search_grid.index_to_angles(best_index)
+            estimates.append(
+                AngleEstimate(
+                    azimuth_deg=azimuth,
+                    elevation_deg=elevation,
+                    correlation=float(surface[best_index]),
+                    n_probes_used=int(index.size),
+                    grid_index=best_index,
+                )
+            )
+        return estimates

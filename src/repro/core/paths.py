@@ -131,9 +131,7 @@ class MultipathSelector:
         Paths whose best sector duplicates a stronger path's sector are
         dropped — a standby that steers the same beam is useless.
         """
-        usable = [
-            m for m in measurements if m.sector_id in self.estimator.known_sector_ids()
-        ]
+        usable = [m for m in measurements if self.estimator.has_sector(m.sector_id)]
         if len(usable) < 2:
             return []
         surface = self.estimator.correlation_surface(usable)

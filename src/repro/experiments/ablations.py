@@ -33,7 +33,14 @@ from ..geometry.angles import azimuth_difference
 from ..geometry.grid import AngularGrid
 from ..geometry.rotation import Orientation
 from ..measurement.patterns import PatternTable
-from .common import Testbed, build_testbed, random_subsweep, record_directions
+from .common import (
+    Testbed,
+    build_testbed,
+    pack_probe_trials,
+    random_probe_columns,
+    random_subsweep,
+    record_directions,
+)
 
 __all__ = [
     "AblationResult",
@@ -75,18 +82,35 @@ def _azimuth_errors(
     rng: np.random.Generator,
     subsamples: int = 3,
 ) -> List[float]:
-    errors: List[float] = []
+    # Batched trial loop (same draw order and bit-identical estimates
+    # as the scalar one — see fig7's `_evaluate_environment`).
+    id_row = np.asarray(tx_ids, dtype=np.intp)
+    trial_ids: List[np.ndarray] = []
+    trial_snr: List[np.ndarray] = []
+    trial_rssi: List[np.ndarray] = []
+    trial_mask: List[np.ndarray] = []
+    truths: List[float] = []
     for recording in recordings:
-        for sweep in recording.sweeps:
+        present, snr, rssi = recording.packed_sweeps(tx_ids)
+        for sweep_index in range(len(recording.sweeps)):
             for _ in range(subsamples):
-                measurements = random_subsweep(sweep, tx_ids, n_probes, rng)
-                if len(measurements) < 2:
-                    continue
-                estimate = estimator.estimate(measurements)
-                errors.append(
-                    abs(azimuth_difference(estimate.azimuth_deg, recording.azimuth_deg))
-                )
-    return errors
+                columns = random_probe_columns(len(tx_ids), n_probes, rng)
+                trial_ids.append(id_row[columns])
+                trial_snr.append(snr[sweep_index, columns])
+                trial_rssi.append(rssi[sweep_index, columns])
+                trial_mask.append(present[sweep_index, columns])
+                truths.append(recording.azimuth_deg)
+    estimates = estimator.estimate_batch(
+        np.stack(trial_ids),
+        snr_db=np.stack(trial_snr),
+        rssi_dbm=np.stack(trial_rssi),
+        mask=np.stack(trial_mask),
+    )
+    return [
+        abs(azimuth_difference(estimate.azimuth_deg, truth))
+        for estimate, truth in zip(estimates, truths)
+        if estimate is not None
+    ]
 
 
 def _conference_recordings(testbed: Testbed, rng: np.random.Generator, n_sweeps: int = 4):
@@ -151,18 +175,37 @@ def run_probe_set_ablation(n_probes: int = 10, seed: int = 23) -> AblationResult
         title=f"probe-set strategy @ {n_probes} probes",
         metric_name="mean azimuth error [deg]",
     )
+    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+    id_row = np.asarray(tx_ids, dtype=np.intp)
     for name, strategy in strategies.items():
-        errors: List[float] = []
+        trial_ids: List[np.ndarray] = []
+        trial_snr: List[np.ndarray] = []
+        trial_rssi: List[np.ndarray] = []
+        trial_mask: List[np.ndarray] = []
+        truths: List[float] = []
         for recording in recordings:
-            for sweep in recording.sweeps:
+            present, snr, rssi = recording.packed_sweeps(tx_ids)
+            for sweep_index in range(len(recording.sweeps)):
                 probe_ids = strategy.choose(n_probes, tx_ids, rng)
-                measurements = [sweep[s] for s in probe_ids if s in sweep]
-                if len(measurements) < 2:
-                    continue
-                estimate = estimator.estimate(measurements)
-                errors.append(
-                    abs(azimuth_difference(estimate.azimuth_deg, recording.azimuth_deg))
+                columns = np.array(
+                    [column_of[sector_id] for sector_id in probe_ids], dtype=np.intp
                 )
+                trial_ids.append(id_row[columns])
+                trial_snr.append(snr[sweep_index, columns])
+                trial_rssi.append(rssi[sweep_index, columns])
+                trial_mask.append(present[sweep_index, columns])
+                truths.append(recording.azimuth_deg)
+        estimates = estimator.estimate_batch(
+            np.stack(trial_ids),
+            snr_db=np.stack(trial_snr),
+            rssi_dbm=np.stack(trial_rssi),
+            mask=np.stack(trial_mask),
+        )
+        errors = [
+            abs(azimuth_difference(estimate.azimuth_deg, truth))
+            for estimate, truth in zip(estimates, truths)
+            if estimate is not None
+        ]
         result.variants[name] = float(np.mean(errors))
     return result
 
@@ -191,16 +234,40 @@ def run_3d_ablation(n_probes: int = 14, seed: int = 24) -> AblationResult:
         title=f"3D vs 2D estimation @ {n_probes} probes, tilted device",
         metric_name="mean SNR loss [dB]",
     )
+    # The scalar loop reused one selector across recordings without a
+    # reset, so its state threads through the whole pass; one
+    # select_batch over all trials reproduces exactly that (the probe
+    # draws happen in the scalar order, selection consumes no rng).
+    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+    id_row = np.asarray(tx_ids, dtype=np.intp)
     for name, selector in selectors.items():
-        losses: List[float] = []
+        trial_ids: List[np.ndarray] = []
+        trial_snr: List[np.ndarray] = []
+        trial_rssi: List[np.ndarray] = []
+        trial_mask: List[np.ndarray] = []
+        optima: List[float] = []
+        truth_rows: List[np.ndarray] = []
         for recording in recordings:
+            present, snr, rssi = recording.packed_sweeps(tx_ids)
             optimal = recording.optimal_snr_db()
-            for sweep in recording.sweeps:
-                measurements = random_subsweep(sweep, tx_ids, n_probes, rng)
-                chosen = selector.select(measurements).sector_id
-                losses.append(
-                    optimal - recording.true_snr_db[tx_ids.index(chosen)]
-                )
+            for sweep_index in range(len(recording.sweeps)):
+                columns = random_probe_columns(len(tx_ids), n_probes, rng)
+                trial_ids.append(id_row[columns])
+                trial_snr.append(snr[sweep_index, columns])
+                trial_rssi.append(rssi[sweep_index, columns])
+                trial_mask.append(present[sweep_index, columns])
+                optima.append(optimal)
+                truth_rows.append(recording.true_snr_db)
+        results = selector.select_batch(
+            np.stack(trial_ids),
+            snr_db=np.stack(trial_snr),
+            rssi_dbm=np.stack(trial_rssi),
+            mask=np.stack(trial_mask),
+        )
+        losses = [
+            optimal - truth[column_of[selection.sector_id]]
+            for selection, optimal, truth in zip(results, optima, truth_rows)
+        ]
         result.variants[name] = float(np.mean(losses))
     return result
 
@@ -242,23 +309,21 @@ def run_random_beam_ablation(n_probes: int = 14, seed: int = 25) -> AblationResu
     # against their *theoretical* (ideal-array) patterns — a designer
     # has nothing else — while the sectors use the measured table.
     sector_estimator = AngleEstimator(testbed.pattern_table)
-    sector_errors: List[float] = []
-    for recording in sector_recordings:
-        for sweep in recording.sweeps:
-            measurements = random_subsweep(sweep, testbed.tx_sector_ids, n_probes, rng)
-            if len(measurements) < 2:
-                continue
-            estimate = sector_estimator.estimate(measurements)
-            sector_errors.append(
-                abs(azimuth_difference(estimate.azimuth_deg, recording.azimuth_deg))
-            )
+    sector_errors = _azimuth_errors(
+        sector_estimator, sector_recordings, testbed.tx_sector_ids, n_probes, rng,
+        subsamples=1,
+    )
 
     theoretical = theoretical_pattern_table(
         random_codebook, testbed.pattern_table.grid, antenna=testbed.dut_antenna
     )
+    # The probing draws interleave `rng.choice` with per-frame scalar
+    # `observe` calls, so that part stays scalar to preserve the pinned
+    # stream; only the estimates are batched (bit-identical).
     random_estimator = AngleEstimator(theoretical)
-    random_errors: List[float] = []
     noise_floor = testbed.budget.noise_floor_dbm
+    random_trials: List[List[ProbeMeasurement]] = []
+    random_truth_azimuths: List[float] = []
     for row, orientation in enumerate(orientations):
         for _ in range(4):
             chosen = rng.choice(len(random_ids), size=n_probes, replace=False)
@@ -275,12 +340,14 @@ def run_random_beam_ablation(n_probes: int = 14, seed: int = 25) -> AblationResu
                             rssi_dbm=observation.rssi_dbm,
                         )
                     )
-            if len(measurements) < 2:
-                continue
-            estimate = random_estimator.estimate(measurements)
-            random_errors.append(
-                abs(azimuth_difference(estimate.azimuth_deg, float(azimuths[row])))
-            )
+            random_trials.append(measurements)
+            random_truth_azimuths.append(float(azimuths[row]))
+    random_estimates = random_estimator.estimate_batch(*pack_probe_trials(random_trials))
+    random_errors = [
+        abs(azimuth_difference(estimate.azimuth_deg, truth))
+        for estimate, truth in zip(random_estimates, random_truth_azimuths)
+        if estimate is not None
+    ]
 
     result = AblationResult(
         title=f"probing beams @ {n_probes} probes (conference room)",

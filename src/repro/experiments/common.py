@@ -36,9 +36,12 @@ from ..phased_array.talon import talon_codebook
 __all__ = [
     "Testbed",
     "build_testbed",
+    "testbed_table_cache_info",
     "RecordedDirection",
     "record_directions",
     "random_subsweep",
+    "random_probe_columns",
+    "pack_probe_trials",
     "BoxStats",
 ]
 
@@ -58,6 +61,46 @@ class Testbed:
     @property
     def tx_sector_ids(self) -> List[int]:
         return self.dut_codebook.tx_sector_ids
+
+
+def _testbed_memo_params(
+    seed: int,
+    azimuth_step_deg: float,
+    elevation_step_deg: float,
+    max_elevation_deg: float,
+    campaign_sweeps: int,
+) -> Dict:
+    """The disk-memo key of a ``build_testbed`` campaign table."""
+    return {
+        "pipeline": "build_testbed-campaign",
+        "seed": seed,
+        "azimuth_step_deg": azimuth_step_deg,
+        "elevation_step_deg": elevation_step_deg,
+        "max_elevation_deg": max_elevation_deg,
+        "campaign_sweeps": campaign_sweeps,
+    }
+
+
+def testbed_table_cache_info(
+    seed: int = 2017,
+    azimuth_step_deg: float = 2.0,
+    elevation_step_deg: float = 4.0,
+    max_elevation_deg: float = 32.0,
+    campaign_sweeps: int = 3,
+) -> Dict:
+    """Status of the on-disk campaign-table memo for these parameters."""
+    from ..measurement import artifacts
+
+    path = artifacts.memoized_table_path(
+        _testbed_memo_params(
+            seed, azimuth_step_deg, elevation_step_deg, max_elevation_deg, campaign_sweeps
+        )
+    )
+    return {
+        "path": str(path),
+        "present": path.is_file(),
+        "enabled": artifacts._memo_enabled(),
+    }
 
 
 @lru_cache(maxsize=4)
@@ -96,7 +139,24 @@ def build_testbed(
     config = CampaignConfig(
         azimuths_deg=azimuths, elevations_deg=elevations, n_sweeps=campaign_sweeps
     )
-    table = campaign.run(config, rng)
+    # Disk-memoize the campaign output: the table is a pure function of
+    # these parameters (the generator is seeded from `seed` and the
+    # campaign is its only consumer), and `.npz` round-trips float64
+    # exactly, so loading the cached table is indistinguishable from
+    # rebuilding it.  Corruption or a version bump degrades to a
+    # rebuild inside `load_or_build_table`.
+    from ..measurement import artifacts
+
+    memo_params = _testbed_memo_params(
+        seed, azimuth_step_deg, elevation_step_deg, max_elevation_deg, campaign_sweeps
+    )
+    expected_sectors = set(dut_codebook.sector_ids)
+    table = artifacts.load_or_build_table(
+        memo_params,
+        build=lambda: campaign.run(config, rng),
+        validate=lambda t: set(t.sector_ids) == expected_sectors
+        and t.grid.n_points == len(azimuths) * len(elevations),
+    )
     return Testbed(
         dut_antenna=dut_antenna,
         dut_codebook=dut_codebook,
@@ -124,9 +184,40 @@ class RecordedDirection:
     elevation_deg: float
     true_snr_db: np.ndarray
     sweeps: List[Dict[int, ProbeMeasurement]] = field(default_factory=list)
+    _packed: Optional[Tuple[tuple, np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def optimal_snr_db(self) -> float:
         return float(self.true_snr_db.max())
+
+    def packed_sweeps(
+        self, tx_sector_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Column-packed view of the sweeps for the batched estimators.
+
+        Returns ``(present, snr_db, rssi_dbm)``, each of shape
+        ``(n_sweeps, len(tx_sector_ids))`` with column ``j`` holding
+        sector ``tx_sector_ids[j]``; unreported slots are False / NaN.
+        The result is cached — recordings are immutable once recorded.
+        """
+        key = tuple(tx_sector_ids)
+        if self._packed is not None and self._packed[0] == key:
+            return self._packed[1], self._packed[2], self._packed[3]
+        column_of = {sector_id: column for column, sector_id in enumerate(key)}
+        shape = (len(self.sweeps), len(key))
+        present = np.zeros(shape, dtype=bool)
+        snr = np.full(shape, np.nan)
+        rssi = np.full(shape, np.nan)
+        for row, sweep in enumerate(self.sweeps):
+            for sector_id, measurement in sweep.items():
+                column = column_of.get(sector_id)
+                if column is not None:
+                    present[row, column] = True
+                    snr[row, column] = measurement.snr_db
+                    rssi[row, column] = measurement.rssi_dbm
+        self._packed = (key, present, snr, rssi)
+        return present, snr, rssi
 
 
 def record_directions(
@@ -136,6 +227,7 @@ def record_directions(
     elevations_deg: Sequence[float],
     n_sweeps: int,
     rng: np.random.Generator,
+    observe_mode: str = "reference",
 ) -> List[RecordedDirection]:
     """Record full 34-sector sweeps over a grid of path directions.
 
@@ -143,7 +235,21 @@ def record_directions(
     the reference device listens quasi-omni at the environment's far
     endpoint.  Per-sweep slow fading is modelled as a common SNR offset
     drawn from the environment's shadowing spread.
+
+    ``observe_mode`` picks the firmware-report path: ``"reference"``
+    (default) makes one scalar ``observe`` call per sector per sweep —
+    the random stream every committed experiment output is pinned to —
+    while ``"batched"`` drives ``observe_batch`` over whole
+    (sweeps × sectors) blocks per direction.  Both are deterministic
+    given the generator and draw from identical per-frame
+    distributions, but they consume the stream in a different order,
+    so the two modes produce different (equally valid) recordings for
+    the same seed.  Switching the default would silently re-roll every
+    pinned experiment value; keep ``"reference"`` unless throughput is
+    the point.
     """
+    if observe_mode not in ("reference", "batched"):
+        raise ValueError("observe_mode must be 'reference' or 'batched'")
     head = RotationHead(np.random.default_rng(rng.integers(2**31)))
     tx_ids = testbed.tx_sector_ids
     noise_floor = testbed.budget.noise_floor_dbm
@@ -173,26 +279,78 @@ def record_directions(
                 elevation_deg=float(elevation),
                 true_snr_db=true_matrix[az_index].copy(),
             )
-            for _ in range(n_sweeps):
-                fade_db = (
-                    rng.normal(0.0, environment.shadowing_std_db)
-                    if environment.shadowing_std_db > 0
-                    else 0.0
+            if observe_mode == "batched":
+                _record_sweeps_batched(
+                    recording, testbed, environment, tx_ids, noise_floor, n_sweeps, rng
                 )
-                sweep: Dict[int, ProbeMeasurement] = {}
-                for column, sector_id in enumerate(tx_ids):
-                    observation = testbed.measurement_model.observe(
-                        recording.true_snr_db[column] + fade_db, noise_floor, rng
-                    )
-                    if observation is not None:
-                        sweep[sector_id] = ProbeMeasurement(
-                            sector_id=sector_id,
-                            snr_db=observation.snr_db,
-                            rssi_dbm=observation.rssi_dbm,
-                        )
-                recording.sweeps.append(sweep)
+            else:
+                _record_sweeps_reference(
+                    recording, testbed, environment, tx_ids, noise_floor, n_sweeps, rng
+                )
             recordings.append(recording)
     return recordings
+
+
+def _record_sweeps_reference(
+    recording: RecordedDirection,
+    testbed: Testbed,
+    environment: Environment,
+    tx_ids: Sequence[int],
+    noise_floor: float,
+    n_sweeps: int,
+    rng: np.random.Generator,
+) -> None:
+    """One scalar ``observe`` per (sweep, sector) — the pinned stream."""
+    for _ in range(n_sweeps):
+        fade_db = (
+            rng.normal(0.0, environment.shadowing_std_db)
+            if environment.shadowing_std_db > 0
+            else 0.0
+        )
+        sweep: Dict[int, ProbeMeasurement] = {}
+        for column, sector_id in enumerate(tx_ids):
+            observation = testbed.measurement_model.observe(
+                recording.true_snr_db[column] + fade_db, noise_floor, rng
+            )
+            if observation is not None:
+                sweep[sector_id] = ProbeMeasurement(
+                    sector_id=sector_id,
+                    snr_db=observation.snr_db,
+                    rssi_dbm=observation.rssi_dbm,
+                )
+        recording.sweeps.append(sweep)
+
+
+def _record_sweeps_batched(
+    recording: RecordedDirection,
+    testbed: Testbed,
+    environment: Environment,
+    tx_ids: Sequence[int],
+    noise_floor: float,
+    n_sweeps: int,
+    rng: np.random.Generator,
+) -> None:
+    """One ``observe_batch`` over the whole (sweeps x sectors) block."""
+    n_sectors = len(tx_ids)
+    if environment.shadowing_std_db > 0:
+        fades = rng.normal(0.0, environment.shadowing_std_db, n_sweeps)
+    else:
+        fades = np.zeros(n_sweeps)
+    block = (recording.true_snr_db[np.newaxis, :] + fades[:, np.newaxis]).ravel()
+    batch = testbed.measurement_model.observe_batch(block, noise_floor, rng)
+    reported = batch.reported.reshape(n_sweeps, n_sectors)
+    snr = batch.snr_db.reshape(n_sweeps, n_sectors)
+    rssi = batch.rssi_dbm.reshape(n_sweeps, n_sectors)
+    for row in range(n_sweeps):
+        sweep: Dict[int, ProbeMeasurement] = {}
+        for column in np.flatnonzero(reported[row]):
+            sector_id = tx_ids[column]
+            sweep[sector_id] = ProbeMeasurement(
+                sector_id=sector_id,
+                snr_db=float(snr[row, column]),
+                rssi_dbm=float(rssi[row, column]),
+            )
+        recording.sweeps.append(sweep)
 
 
 def random_subsweep(
@@ -208,11 +366,49 @@ def random_subsweep(
     sweep — probed-but-unreported sectors stay missing, as they would
     in a live reduced sweep.
     """
-    if n_probes > len(all_sector_ids):
-        raise ValueError("cannot probe more sectors than exist")
-    chosen = rng.choice(len(all_sector_ids), size=n_probes, replace=False)
+    chosen = random_probe_columns(len(all_sector_ids), n_probes, rng)
     probe_ids = [all_sector_ids[index] for index in chosen]
     return [sweep[sector_id] for sector_id in probe_ids if sector_id in sweep]
+
+
+def random_probe_columns(
+    n_sectors: int, n_probes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """The probe draw of :func:`random_subsweep` as column indices.
+
+    Exactly one ``rng.choice`` call with the same arguments, so the
+    batched experiment loops consume the stream identically to the
+    scalar ones and pick the same probes for the same seed.
+    """
+    if n_probes > n_sectors:
+        raise ValueError("cannot probe more sectors than exist")
+    return rng.choice(n_sectors, size=n_probes, replace=False)
+
+
+def pack_probe_trials(
+    trials: Sequence[Sequence[ProbeMeasurement]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pad a list of scalar probe trials into batch-API arrays.
+
+    Returns ``(sector_ids, snr_db, rssi_dbm, mask)``, each of shape
+    ``(n_trials, max_len)``, with each trial's measurements in their
+    original order and padded slots masked out (ids 0, values NaN) —
+    the argument layout of ``AngleEstimator.estimate_batch`` and
+    ``CompressiveSectorSelector.select_batch``.
+    """
+    n_trials = len(trials)
+    width = max((len(trial) for trial in trials), default=0)
+    sector_ids = np.zeros((n_trials, width), dtype=np.intp)
+    snr = np.full((n_trials, width), np.nan)
+    rssi = np.full((n_trials, width), np.nan)
+    mask = np.zeros((n_trials, width), dtype=bool)
+    for row, trial in enumerate(trials):
+        for column, measurement in enumerate(trial):
+            sector_ids[row, column] = measurement.sector_id
+            snr[row, column] = measurement.snr_db
+            rssi[row, column] = measurement.rssi_dbm
+            mask[row, column] = True
+    return sector_ids, snr, rssi, mask
 
 
 @dataclass(frozen=True)

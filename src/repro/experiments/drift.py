@@ -19,7 +19,7 @@ from ..channel.environment import conference_room
 from ..core.compressive import CompressiveSectorSelector
 from ..phased_array.array import PhasedArray
 from ..phased_array.impairments import HardwareImpairments
-from .common import Testbed, build_testbed, random_subsweep, record_directions
+from .common import build_testbed, random_probe_columns, record_directions
 
 __all__ = ["DriftConfig", "DriftResult", "run_pattern_drift"]
 
@@ -79,30 +79,50 @@ def run_pattern_drift(config: DriftConfig = DriftConfig()) -> DriftResult:
 
     losses: List[float] = []
     fallbacks: List[float] = []
+    tx_ids = testbed.tx_sector_ids
+    id_row = np.asarray(tx_ids, dtype=np.intp)
+    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+    # One hoisted selector; `reset()` per drift level reproduces the
+    # fresh-selector state the scalar loop built for each level.
+    selector = CompressiveSectorSelector(testbed.pattern_table)
     for drift in config.drift_levels_rad:
         aged = _aged_antenna(testbed.dut_antenna, float(drift), rng)
         aged_testbed = replace(testbed, dut_antenna=aged)
         recordings = record_directions(
             aged_testbed, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
         )
-        selector = CompressiveSectorSelector(testbed.pattern_table)
-        tx_ids = testbed.tx_sector_ids
+        selector.reset()
+        trial_ids: List[np.ndarray] = []
+        trial_snr: List[np.ndarray] = []
+        trial_rssi: List[np.ndarray] = []
+        trial_mask: List[np.ndarray] = []
+        optima: List[float] = []
+        truth_rows: List[np.ndarray] = []
+        for recording in recordings:
+            present, snr, rssi = recording.packed_sweeps(tx_ids)
+            optimal = recording.optimal_snr_db()
+            for sweep_index in range(len(recording.sweeps)):
+                columns = random_probe_columns(len(tx_ids), config.n_probes, rng)
+                trial_ids.append(id_row[columns])
+                trial_snr.append(snr[sweep_index, columns])
+                trial_rssi.append(rssi[sweep_index, columns])
+                trial_mask.append(present[sweep_index, columns])
+                optima.append(optimal)
+                truth_rows.append(recording.true_snr_db)
+        results = selector.select_batch(
+            np.stack(trial_ids),
+            snr_db=np.stack(trial_snr),
+            rssi_dbm=np.stack(trial_rssi),
+            mask=np.stack(trial_mask),
+        )
         level_losses: List[float] = []
         fallback_count = 0
-        total = 0
-        for recording in recordings:
-            optimal = recording.optimal_snr_db()
-            for sweep in recording.sweeps:
-                measurements = random_subsweep(sweep, tx_ids, config.n_probes, rng)
-                result = selector.select(measurements)
-                total += 1
-                if result.fallback:
-                    fallback_count += 1
-                level_losses.append(
-                    optimal - recording.true_snr_db[tx_ids.index(result.sector_id)]
-                )
+        for result, optimal, truth in zip(results, optima, truth_rows):
+            if result.fallback:
+                fallback_count += 1
+            level_losses.append(optimal - truth[column_of[result.sector_id]])
         losses.append(float(np.mean(level_losses)))
-        fallbacks.append(fallback_count / max(total, 1))
+        fallbacks.append(fallback_count / max(len(results), 1))
 
     return DriftResult(
         drift_levels_rad=list(config.drift_levels_rad),

@@ -17,7 +17,13 @@ import numpy as np
 from ..channel.environment import conference_room, lab_environment
 from ..core.estimator import AngleEstimator
 from ..geometry.angles import azimuth_difference
-from .common import BoxStats, Testbed, build_testbed, random_subsweep, record_directions
+from .common import (
+    BoxStats,
+    Testbed,
+    build_testbed,
+    random_probe_columns,
+    record_directions,
+)
 
 __all__ = ["Fig7Config", "Fig7Result", "run_fig7", "EstimationErrorSeries"]
 
@@ -85,24 +91,46 @@ def _evaluate_environment(
     rng: np.random.Generator,
     name: str,
 ) -> EstimationErrorSeries:
+    # Batched form of the paper's offline emulation: the probe draws
+    # happen in exactly the scalar order (one `rng.choice` per trial),
+    # every trial becomes one row of a padded batch, and
+    # `estimate_batch` reproduces the scalar estimates bit for bit —
+    # rows with fewer than two reported probes come back as None, the
+    # trials the scalar loop skipped.
     series = EstimationErrorSeries(environment_name=name)
     tx_ids = testbed.tx_sector_ids
+    id_row = np.asarray(tx_ids, dtype=np.intp)
+    packed = [recording.packed_sweeps(tx_ids) for recording in recordings]
     for n_probes in config.probe_counts:
+        trial_ids: List[np.ndarray] = []
+        trial_snr: List[np.ndarray] = []
+        trial_rssi: List[np.ndarray] = []
+        trial_mask: List[np.ndarray] = []
+        truths: List[tuple] = []
+        for recording, (present, snr, rssi) in zip(recordings, packed):
+            for sweep_index in range(len(recording.sweeps)):
+                for _ in range(config.subsamples_per_sweep):
+                    columns = random_probe_columns(len(tx_ids), n_probes, rng)
+                    trial_ids.append(id_row[columns])
+                    trial_snr.append(snr[sweep_index, columns])
+                    trial_rssi.append(rssi[sweep_index, columns])
+                    trial_mask.append(present[sweep_index, columns])
+                    truths.append((recording.azimuth_deg, recording.elevation_deg))
+        estimates = estimator.estimate_batch(
+            np.stack(trial_ids),
+            snr_db=np.stack(trial_snr),
+            rssi_dbm=np.stack(trial_rssi),
+            mask=np.stack(trial_mask),
+        )
         azimuth_errors: List[float] = []
         elevation_errors: List[float] = []
-        for recording in recordings:
-            for sweep in recording.sweeps:
-                for _ in range(config.subsamples_per_sweep):
-                    measurements = random_subsweep(sweep, tx_ids, n_probes, rng)
-                    if len(measurements) < 2:
-                        continue
-                    estimate = estimator.estimate(measurements)
-                    azimuth_errors.append(
-                        abs(azimuth_difference(estimate.azimuth_deg, recording.azimuth_deg))
-                    )
-                    elevation_errors.append(
-                        abs(estimate.elevation_deg - recording.elevation_deg)
-                    )
+        for estimate, (true_azimuth, true_elevation) in zip(estimates, truths):
+            if estimate is None:
+                continue
+            azimuth_errors.append(
+                abs(azimuth_difference(estimate.azimuth_deg, true_azimuth))
+            )
+            elevation_errors.append(abs(estimate.elevation_deg - true_elevation))
         series.probe_counts.append(n_probes)
         series.azimuth_stats.append(BoxStats.from_samples(azimuth_errors))
         series.elevation_stats.append(BoxStats.from_samples(elevation_errors))

@@ -18,7 +18,7 @@ import numpy as np
 from ..channel.environment import conference_room
 from ..core.compressive import CompressiveSectorSelector
 from ..core.selector import SectorSweepSelector
-from .common import Testbed, build_testbed, random_subsweep, record_directions
+from .common import build_testbed, random_probe_columns, record_directions
 
 __all__ = ["Fig8Config", "Fig8Result", "run_fig8", "stability_of_selections"]
 
@@ -87,16 +87,33 @@ def run_fig8(config: Fig8Config = Fig8Config()) -> Fig8Result:
         ssw_per_direction.append(stability_of_selections(selections))
     ssw_stability = float(np.mean(ssw_per_direction))
 
+    # One hoisted selector, `reset()` per recording, one `select_batch`
+    # per recording's sweeps — bit-identical to per-recording fresh
+    # selectors driving scalar `select` (see fig9 for the same pattern).
+    selector = CompressiveSectorSelector(testbed.pattern_table)
+    id_row = np.asarray(tx_ids, dtype=np.intp)
     css_stability: List[float] = []
     for n_probes in config.probe_counts:
         per_direction: List[float] = []
         for recording in recordings:
-            selector = CompressiveSectorSelector(testbed.pattern_table)
-            selections = []
-            for sweep in recording.sweeps:
-                measurements = random_subsweep(sweep, tx_ids, n_probes, rng)
-                selections.append(selector.select(measurements).sector_id)
-            per_direction.append(stability_of_selections(selections))
+            selector.reset()
+            present, snr, rssi = recording.packed_sweeps(tx_ids)
+            columns = np.stack(
+                [
+                    random_probe_columns(len(tx_ids), n_probes, rng)
+                    for _ in recording.sweeps
+                ]
+            )
+            sweep_rows = np.arange(len(recording.sweeps))[:, np.newaxis]
+            results = selector.select_batch(
+                id_row[columns],
+                snr_db=snr[sweep_rows, columns],
+                rssi_dbm=rssi[sweep_rows, columns],
+                mask=present[sweep_rows, columns],
+            )
+            per_direction.append(
+                stability_of_selections([result.sector_id for result in results])
+            )
         css_stability.append(float(np.mean(per_direction)))
 
     return Fig8Result(

@@ -25,7 +25,7 @@ from ..geometry.angles import azimuth_difference
 from ..measurement.campaign import CampaignConfig, PatternMeasurementCampaign
 from ..phased_array.array import PhasedArray
 from ..phased_array.talon import talon_codebook
-from .common import Testbed, build_testbed, random_subsweep
+from .common import build_testbed, random_probe_columns
 
 __all__ = ["TransferConfig", "TransferResult", "run_pattern_transfer"]
 
@@ -101,24 +101,47 @@ def run_pattern_transfer(config: TransferConfig = TransferConfig()) -> TransferR
     selectors = {name: CompressiveSectorSelector(table) for name, table in tables.items()}
     errors: Dict[str, List[float]] = {name: [] for name in tables}
     losses: Dict[str, List[float]] = {name: [] for name in tables}
-    # Paired comparison: both tables judge the *same* probe draws.
+    # Paired comparison: both tables judge the *same* probe draws.  The
+    # draws are collected once (scalar order), then each selector
+    # replays every trial in sequence via one select_batch — identical
+    # to the interleaved scalar loop because selection consumes no rng
+    # and each selector's state only depends on its own trial sequence.
+    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+    id_row = np.asarray(tx_ids, dtype=np.intp)
+    trial_ids: List[np.ndarray] = []
+    trial_snr: List[np.ndarray] = []
+    trial_rssi: List[np.ndarray] = []
+    trial_mask: List[np.ndarray] = []
+    optima: List[float] = []
+    truth_rows: List[np.ndarray] = []
+    truth_azimuths: List[float] = []
     for recording in recordings:
+        present, snr, rssi = recording.packed_sweeps(tx_ids)
         optimal = recording.optimal_snr_db()
-        for sweep in recording.sweeps:
-            measurements = random_subsweep(sweep, tx_ids, config.n_probes, rng)
-            for name, selector in selectors.items():
-                result = selector.select(measurements)
-                if result.estimate is not None:
-                    errors[name].append(
-                        abs(
-                            azimuth_difference(
-                                result.estimate.azimuth_deg, recording.azimuth_deg
-                            )
-                        )
-                    )
-                losses[name].append(
-                    optimal - recording.true_snr_db[tx_ids.index(result.sector_id)]
+        for sweep_index in range(len(recording.sweeps)):
+            columns = random_probe_columns(len(tx_ids), config.n_probes, rng)
+            trial_ids.append(id_row[columns])
+            trial_snr.append(snr[sweep_index, columns])
+            trial_rssi.append(rssi[sweep_index, columns])
+            trial_mask.append(present[sweep_index, columns])
+            optima.append(optimal)
+            truth_rows.append(recording.true_snr_db)
+            truth_azimuths.append(recording.azimuth_deg)
+    for name, selector in selectors.items():
+        results = selector.select_batch(
+            np.stack(trial_ids),
+            snr_db=np.stack(trial_snr),
+            rssi_dbm=np.stack(trial_rssi),
+            mask=np.stack(trial_mask),
+        )
+        for result, optimal, truth, truth_azimuth in zip(
+            results, optima, truth_rows, truth_azimuths
+        ):
+            if result.estimate is not None:
+                errors[name].append(
+                    abs(azimuth_difference(result.estimate.azimuth_deg, truth_azimuth))
                 )
+            losses[name].append(optimal - truth[column_of[result.sector_id]])
 
     return TransferResult(
         azimuth_error_deg={name: float(np.mean(errors[name])) for name in tables},

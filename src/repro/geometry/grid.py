@@ -97,6 +97,6 @@ class AngularGrid:
 
     def nearest_index(self, azimuth_deg: float, elevation_deg: float) -> int:
         """Flat index of the grid point nearest to the given direction."""
-        az_index = int(np.argmin(np.abs(self.azimuths_deg - azimuth_deg)))
-        el_index = int(np.argmin(np.abs(self.elevations_deg - elevation_deg)))
+        az_index = int(np.abs(self.azimuths_deg - azimuth_deg).argmin())
+        el_index = int(np.abs(self.elevations_deg - elevation_deg).argmin())
         return el_index * self.n_azimuth + az_index

@@ -42,12 +42,16 @@ __all__ = [
     "ArtifactSpec",
     "ArtifactStatus",
     "MANIFEST_RESOURCE",
+    "MEMO_CACHE_VERSION",
     "PUBLISHED_PATTERNS_SEED",
     "artifact_path",
     "cache_dir",
     "cached_artifact_path",
     "load_manifest",
     "manifest_entry",
+    "memo_key_digest",
+    "memoized_table_path",
+    "load_or_build_table",
     "rebuild_artifact",
     "sha256_of_file",
     "verify_all",
@@ -255,6 +259,82 @@ def cache_dir() -> pathlib.Path:
 def cached_artifact_path(name: str) -> pathlib.Path:
     """Where a locally rebuilt copy of an artifact is cached."""
     return cache_dir() / name
+
+
+# ----------------------------------------------------------------------
+# Digest-keyed memoization of derived pattern tables.
+# ----------------------------------------------------------------------
+
+#: Version salt mixed into every memo key.  Bump when any code that
+#: feeds a memoized build (campaign physics, codebooks, antennas, the
+#: measurement model) changes behavior — the key only encodes the
+#: *parameters* of a build, not the code that interprets them.
+MEMO_CACHE_VERSION = 1
+
+#: Environment variable that disables the on-disk table memo when set
+#: to ``0``/``off``/``no`` (the in-process memo is unaffected).
+_MEMO_ENV = "REPRO_TESTBED_CACHE"
+
+
+def _memo_enabled() -> bool:
+    return os.environ.get(_MEMO_ENV, "1").strip().lower() not in ("0", "off", "no")
+
+
+def memo_key_digest(params: Dict) -> str:
+    """Stable digest of a memo key: canonical JSON of the parameters."""
+    payload = json.dumps(
+        {"memo_version": MEMO_CACHE_VERSION, **params}, sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def memoized_table_path(params: Dict) -> pathlib.Path:
+    """Cache location for the table built from these parameters."""
+    return cache_dir() / "testbeds" / f"{memo_key_digest(params)[:32]}.npz"
+
+
+def load_or_build_table(
+    params: Dict,
+    build: Callable[[], "object"],
+    validate: Optional[Callable[[object], bool]] = None,
+):
+    """Digest-keyed on-disk memoization of a derived ``PatternTable``.
+
+    The key is the canonical JSON of ``params`` (salted with
+    :data:`MEMO_CACHE_VERSION`), so a build is paid once per machine
+    rather than once per process.  A cached file that fails to load,
+    fails its own embedded digest check, or fails the caller's
+    ``validate`` hook is discarded and rebuilt — corruption degrades to
+    a rebuild, never to wrong data.  ``$REPRO_TESTBED_CACHE=0`` (or the
+    cache directory being unwritable) degrades to plain building.
+    """
+    from .patterns import PatternTable
+
+    path = memoized_table_path(params)
+    if _memo_enabled() and path.is_file():
+        try:
+            table = PatternTable.load(path)
+        except (ArtifactError, ValueError, OSError) as error:
+            _LOGGER.warning(
+                "discarding unreadable memoized table %s (%s); rebuilding", path, error
+            )
+        else:
+            if validate is None or validate(table):
+                return table
+            _LOGGER.warning(
+                "memoized table %s does not match the requested build; rebuilding",
+                path,
+            )
+    table = build()
+    if _memo_enabled():
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.stem}.memo.tmp{path.suffix}")
+            table.save(str(tmp))
+            os.replace(tmp, path)
+        except OSError as error:
+            _LOGGER.warning("could not memoize table at %s: %s", path, error)
+    return table
 
 
 def rebuild_artifact(

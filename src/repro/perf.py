@@ -1,0 +1,373 @@
+"""Performance-trajectory harness for the estimation hot paths.
+
+The paper's headline is *speed* — compressive selection beats the
+exhaustive sweep because the math is cheap (§6.4) — so this repo
+tracks the latency of its own hot kernels over time.  ``repro-bench
+perf`` times four workloads:
+
+* scalar ``CompressiveSectorSelector.select`` latency (M=14 probes on
+  the default 91×9 search grid — the profiled workload),
+* batched ``select_batch`` throughput over the same trials,
+* a reduced chamber campaign build (the ``build_testbed`` hot path),
+* ``record_directions`` recording throughput, plus the vectorized
+  ``MeasurementModel.observe_batch`` kernel.
+
+Each run appends one machine-readable *trajectory point* to a JSON
+file (``BENCH_core.json`` at the repo root by convention), so the
+history of every optimization PR stays diffable.  ``repro-bench perf
+--check`` compares the current latencies against the committed
+baseline point and exits nonzero on a >2× regression — the guard CI
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_TRAJECTORY",
+    "REGRESSION_FACTOR",
+    "PerfPoint",
+    "append_point",
+    "check_against_baseline",
+    "load_trajectory",
+    "run_perf",
+]
+
+#: Trajectory file format version.
+BENCH_SCHEMA = 1
+
+#: Default trajectory file, relative to the invoking directory (the
+#: repo root when run as documented).
+DEFAULT_TRAJECTORY = "BENCH_core.json"
+
+#: ``--check`` fails when a latency metric exceeds baseline × this.
+REGRESSION_FACTOR = 2.0
+
+#: Latency metrics (lower is better) compared by ``--check``.
+_LATENCY_METRICS = (
+    "select_scalar_ms_median",
+    "estimate_scalar_ms_median",
+    "record_directions_s",
+    "campaign_build_s",
+)
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One datapoint on the performance trajectory."""
+
+    label: str
+    timestamp: str
+    metrics: Dict[str, float]
+    environment: Dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "label": self.label,
+            "timestamp": self.timestamp,
+            "metrics": self.metrics,
+            "environment": self.environment,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "PerfPoint":
+        return cls(
+            label=str(data.get("label", "")),
+            timestamp=str(data.get("timestamp", "")),
+            metrics=dict(data.get("metrics", {})),
+            environment=dict(data.get("environment", {})),
+        )
+
+
+def _environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": str(os.cpu_count() or 0),
+    }
+
+
+# ----------------------------------------------------------------------
+# Workloads.
+# ----------------------------------------------------------------------
+
+
+def _best_of(workload: Callable[[], object], passes: int = 3) -> float:
+    """Fastest wall time over ``passes`` runs of a deterministic workload.
+
+    The minimum is the standard robust estimator for single-shot
+    benchmarks: scheduler preemption only ever *adds* time, so the best
+    pass is the closest observation of the true cost.  Without it the
+    ``--check`` gate flakes on loaded single-core machines.
+    """
+    best = float("inf")
+    for _ in range(max(passes, 1)):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _median_latency_s(calls: Sequence[Callable[[], object]], repeats: int) -> float:
+    """Median per-call wall time over ``repeats`` passes of ``calls``."""
+    for call in calls:  # warm caches and JIT-free numpy paths
+        call()
+    samples: List[float] = []
+    for _ in range(repeats):
+        for call in calls:
+            start = time.perf_counter()
+            call()
+            samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def _perf_trials(testbed, n_directions: int, n_sweeps: int, n_probes: int, seed: int):
+    """Deterministic M-probe trials recorded in the conference room."""
+    from .channel.environment import conference_room
+    from .experiments.common import random_subsweep, record_directions
+
+    rng = np.random.default_rng(seed)
+    azimuths = np.linspace(-45.0, 45.0, n_directions)
+    recordings = record_directions(
+        testbed, conference_room(6.0), azimuths, [0.0], n_sweeps, rng
+    )
+    trials = []
+    for recording in recordings:
+        for sweep in recording.sweeps:
+            measurements = random_subsweep(
+                sweep, testbed.tx_sector_ids, n_probes, rng
+            )
+            if len(measurements) >= 2:
+                trials.append(measurements)
+    return recordings, trials
+
+
+def measure_metrics(
+    repeats: int = 20,
+    n_directions: int = 6,
+    n_sweeps: int = 4,
+    n_probes: int = 14,
+    seed: int = 2017,
+) -> Dict[str, float]:
+    """Time the hot kernels and return a flat metric dict.
+
+    All workloads are deterministic in ``seed``; the only variance
+    between runs is machine noise.
+    """
+    from .channel.environment import conference_room
+    from .core.compressive import CompressiveSectorSelector
+    from .experiments.common import build_testbed, record_directions
+
+    testbed = build_testbed()
+    metrics: Dict[str, float] = {}
+
+    # -- recording throughput (scalar reference path) ------------------
+    azimuths = np.linspace(-45.0, 45.0, n_directions)
+    metrics["record_directions_s"] = _best_of(
+        lambda: record_directions(
+            testbed,
+            conference_room(6.0),
+            azimuths,
+            [0.0],
+            n_sweeps,
+            np.random.default_rng(seed + 1),
+        )
+    )
+
+    # -- scalar select / estimate latency ------------------------------
+    _, trials = _perf_trials(testbed, n_directions, n_sweeps, n_probes, seed)
+    selector = CompressiveSectorSelector(testbed.pattern_table)
+    metrics["select_scalar_ms_median"] = 1e3 * _median_latency_s(
+        [lambda t=t: selector.select(t) for t in trials], repeats
+    )
+    estimator = selector.estimator
+    metrics["estimate_scalar_ms_median"] = 1e3 * _median_latency_s(
+        [lambda t=t: estimator.estimate(t) for t in trials], repeats
+    )
+
+    # -- batched throughput (absent before the batched engine) ---------
+    if hasattr(selector, "select_batch"):
+        from .experiments.common import pack_probe_trials
+
+        batch = pack_probe_trials(trials)
+        selector.reset()
+        start = time.perf_counter()
+        batch_repeats = max(repeats, 1)
+        for _ in range(batch_repeats):
+            selector.select_batch(*batch)
+        elapsed = time.perf_counter() - start
+        metrics["select_batch_per_s"] = len(trials) * batch_repeats / elapsed
+        start = time.perf_counter()
+        for _ in range(batch_repeats):
+            estimator.estimate_batch(*batch)
+        elapsed = time.perf_counter() - start
+        metrics["estimate_batch_per_s"] = len(trials) * batch_repeats / elapsed
+
+    # -- observe kernel throughput -------------------------------------
+    model = testbed.measurement_model
+    noise_floor = testbed.budget.noise_floor_dbm
+    true_snr = np.random.default_rng(seed + 2).uniform(-10.0, 12.0, size=2048)
+    scalar_rng = np.random.default_rng(seed + 3)
+    start = time.perf_counter()
+    for value in true_snr[:512]:
+        model.observe(float(value), noise_floor, scalar_rng)
+    metrics["observe_scalar_per_s"] = 512 / (time.perf_counter() - start)
+    if hasattr(model, "observe_batch"):
+        batch_rng = np.random.default_rng(seed + 3)
+        start = time.perf_counter()
+        batch_repeats = 20
+        for _ in range(batch_repeats):
+            model.observe_batch(true_snr, noise_floor, batch_rng)
+        elapsed = time.perf_counter() - start
+        metrics["observe_batch_per_s"] = true_snr.size * batch_repeats / elapsed
+
+    # -- campaign build (reduced grid, the build_testbed hot path) -----
+    from .measurement.campaign import CampaignConfig, PatternMeasurementCampaign
+
+    campaign = PatternMeasurementCampaign(
+        testbed.dut_antenna,
+        testbed.dut_codebook,
+        reference_antenna=testbed.ref_antenna,
+        reference_codebook=testbed.ref_codebook,
+        budget=testbed.budget,
+        measurement_model=testbed.measurement_model,
+    )
+    config = CampaignConfig(
+        azimuths_deg=np.linspace(-90.0, 90.0, 13),
+        elevations_deg=(0.0, 16.0, 32.0),
+        n_sweeps=1,
+    )
+    metrics["campaign_build_s"] = _best_of(
+        lambda: campaign.run(config, np.random.default_rng(seed + 4))
+    )
+
+    # -- testbed disk cache (absent before the cache landed) -----------
+    try:
+        from .experiments.common import testbed_table_cache_info
+
+        info = testbed_table_cache_info()
+    except ImportError:
+        info = None
+    if info is not None and info.get("path") and pathlib.Path(info["path"]).is_file():
+        from .measurement.patterns import PatternTable
+
+        start = time.perf_counter()
+        PatternTable.load(info["path"])
+        metrics["testbed_table_load_s"] = time.perf_counter() - start
+
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Trajectory file I/O.
+# ----------------------------------------------------------------------
+
+
+def load_trajectory(path) -> Dict:
+    """Read a trajectory file, or return an empty skeleton."""
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return {"schema": BENCH_SCHEMA, "points": []}
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or not isinstance(data.get("points"), list):
+        raise ValueError(f"'{path}' is not a perf trajectory file")
+    return data
+
+
+def append_point(path, point: PerfPoint) -> Dict:
+    """Append one datapoint and rewrite the trajectory atomically."""
+    path = pathlib.Path(path)
+    data = load_trajectory(path)
+    data["schema"] = BENCH_SCHEMA
+    data["points"].append(point.to_json())
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return data
+
+
+def _baseline_point(data: Dict) -> Optional[PerfPoint]:
+    """The committed reference point: first labeled 'baseline', else first."""
+    points = [PerfPoint.from_json(p) for p in data.get("points", [])]
+    if not points:
+        return None
+    for point in points:
+        if point.label == "baseline":
+            return point
+    return points[0]
+
+
+def check_against_baseline(
+    data: Dict, metrics: Dict[str, float], factor: float = REGRESSION_FACTOR
+) -> List[str]:
+    """Latency regressions (> ``factor``×) vs. the baseline point.
+
+    Returns human-readable failure lines; empty means the check passed.
+    Metrics missing on either side are skipped — the baseline predates
+    some kernels (e.g. the batched engine).
+    """
+    baseline = _baseline_point(data)
+    if baseline is None:
+        return ["no baseline point in trajectory (run 'repro-bench perf' first)"]
+    failures = []
+    for name in _LATENCY_METRICS:
+        reference = baseline.metrics.get(name)
+        current = metrics.get(name)
+        if reference is None or current is None or reference <= 0:
+            continue
+        if current > factor * reference:
+            failures.append(
+                f"{name}: {current:.4g} vs baseline {reference:.4g} "
+                f"(>{factor:.1f}x regression)"
+            )
+    return failures
+
+
+def run_perf(
+    label: str = "dev",
+    output: Optional[str] = DEFAULT_TRAJECTORY,
+    check: bool = False,
+    repeats: int = 20,
+) -> int:
+    """Measure, report, optionally append and/or regression-check.
+
+    Returns a process exit code (nonzero = regression detected).
+    """
+    metrics = measure_metrics(repeats=repeats)
+    print("perf: hot-kernel trajectory point")
+    for name in sorted(metrics):
+        print(f"  {name:28s} {metrics[name]:12.5g}")
+
+    status = 0
+    if check:
+        data = load_trajectory(output) if output else {"points": []}
+        failures = check_against_baseline(data, metrics)
+        if failures:
+            status = 1
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+        else:
+            print("check: no latency regression vs committed baseline")
+    elif output:
+        point = PerfPoint(
+            label=label,
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            metrics=metrics,
+            environment=_environment(),
+        )
+        append_point(output, point)
+        print(f"appended trajectory point '{label}' to {output}")
+    return status

@@ -268,3 +268,98 @@ class TestCacheDir:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert registry.cache_dir() == tmp_path / "xdg" / "repro"
+
+
+class TestTestbedMemoization:
+    """Digest-keyed on-disk memoization of derived campaign tables."""
+
+    @pytest.fixture
+    def memo_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_TESTBED_CACHE", raising=False)
+        return tmp_path
+
+    def _table(self):
+        grid = AngularGrid(np.array([-10.0, 0.0, 10.0]), np.array([0.0, 10.0]))
+        return PatternTable(
+            grid,
+            {
+                1: np.array([[0.0, 10.0, 0.0], [0.0, 5.0, 0.0]]),
+                2: np.array([[8.0, 0.0, -4.0], [8.0, 0.0, -4.0]]),
+            },
+        )
+
+    def test_digest_is_canonical_and_salted(self):
+        params_a = {"x": 1, "y": "conf"}
+        params_b = {"y": "conf", "x": 1}  # key order must not matter
+        assert registry.memo_key_digest(params_a) == registry.memo_key_digest(params_b)
+        assert registry.memo_key_digest({"x": 2}) != registry.memo_key_digest(params_a)
+        path = registry.memoized_table_path(params_a)
+        assert path.parent.name == "testbeds" and path.suffix == ".npz"
+
+    def test_build_paid_once_then_loaded_exactly(self, memo_env):
+        params = {"pipeline": "test", "seed": 1}
+        builds = []
+
+        def build():
+            builds.append(1)
+            return self._table()
+
+        first = registry.load_or_build_table(params, build)
+        second = registry.load_or_build_table(params, build)
+        assert len(builds) == 1
+        assert registry.memoized_table_path(params).is_file()
+        for sector_id in first.sector_ids:
+            assert np.array_equal(
+                first.pattern(sector_id), second.pattern(sector_id)
+            )
+
+    def test_corrupt_cache_degrades_to_rebuild(self, memo_env):
+        params = {"pipeline": "test", "seed": 2}
+        builds = []
+
+        def build():
+            builds.append(1)
+            return self._table()
+
+        registry.load_or_build_table(params, build)
+        registry.memoized_table_path(params).write_bytes(b"not an npz")
+        registry.load_or_build_table(params, build)
+        assert len(builds) == 2
+        # The rebuild healed the cached file.
+        registry.load_or_build_table(params, build)
+        assert len(builds) == 2
+
+    def test_validate_hook_rejects_stale_tables(self, memo_env):
+        params = {"pipeline": "test", "seed": 3}
+        builds = []
+
+        def build():
+            builds.append(1)
+            return self._table()
+
+        registry.load_or_build_table(params, build)
+        registry.load_or_build_table(params, build, validate=lambda table: False)
+        assert len(builds) == 2
+
+    def test_env_kill_switch_disables_disk(self, memo_env, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTBED_CACHE", "0")
+        params = {"pipeline": "test", "seed": 4}
+        builds = []
+
+        def build():
+            builds.append(1)
+            return self._table()
+
+        registry.load_or_build_table(params, build)
+        registry.load_or_build_table(params, build)
+        assert len(builds) == 2
+        assert not registry.memoized_table_path(params).exists()
+
+    def test_build_testbed_reports_cache_info(self, memo_env):
+        from repro.experiments.common import testbed_table_cache_info
+
+        info = testbed_table_cache_info()
+        assert set(info) == {"path", "present", "enabled"}
+        assert info["enabled"] is True
+        assert str(registry.cache_dir()) in info["path"]

@@ -1,0 +1,348 @@
+"""Scalar↔batched equivalence for the estimation engine (tier 1).
+
+The batched kernels (`correlation_map_batch`, `estimate_batch`,
+`select_batch`) promise **bit-for-bit** agreement with the scalar
+reference path — not approximate agreement — because every experiment
+was rewritten on top of them with pinned expected outputs.  These tests
+drive both paths over hypothesis-generated ragged, NaN-ridden batches
+in every fusion mode and correlation domain and assert exact equality,
+plus the perf guards: the precomputed-matrix path must never transform
+the pattern matrix again per estimate, and `repro-bench perf --check`
+must fail on a latency regression.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.correlation as correlation
+from repro.core.compressive import CompressiveSectorSelector
+from repro.core.correlation import (
+    correlation_map,
+    correlation_map_batch,
+    correlation_map_prepared,
+    prepare_pattern_matrix,
+)
+from repro.core.estimator import _UNIT_CACHE_LIMIT, AngleEstimator
+from repro.core.measurements import ProbeMeasurement
+from repro.experiments.common import pack_probe_trials, random_probe_columns
+from repro.geometry import AngularGrid
+from repro.measurement import PatternTable
+
+N_SECTORS = 6
+
+
+def _small_table(seed: int = 7) -> PatternTable:
+    grid = AngularGrid(np.linspace(-20.0, 20.0, 5), np.array([0.0, 10.0]))
+    rng = np.random.default_rng(seed)
+    return PatternTable(
+        grid, {s: rng.uniform(-10.0, 12.0, grid.shape) for s in range(N_SECTORS)}
+    )
+
+
+TABLE = _small_table()
+
+FUSIONS = ("product", "snr", "rssi")
+DOMAINS = ("linear", "db")
+
+# One estimator per (fusion, domain), shared across hypothesis examples
+# (estimators are stateless; selectors are not and are built per example).
+ESTIMATORS = {
+    (fusion, domain): AngleEstimator(TABLE, domain=domain, fusion=fusion)
+    for fusion in FUSIONS
+    for domain in DOMAINS
+}
+
+# A probe value: ordinary, NaN (dropped by the scalar path) or inf.
+probe_value = st.one_of(
+    st.floats(min_value=-30.0, max_value=30.0),
+    st.just(float("nan")),
+    st.just(float("inf")),
+)
+
+# One padded slot: (sector, snr, rssi, slot-carries-a-report).
+slot = st.tuples(
+    st.integers(min_value=0, max_value=N_SECTORS - 1),
+    probe_value,
+    probe_value,
+    st.booleans(),
+)
+
+# A ragged batch: trials share the padded width but not the valid count.
+batch = st.integers(min_value=2, max_value=5).flatmap(
+    lambda width: st.lists(
+        st.lists(slot, min_size=width, max_size=width), min_size=1, max_size=4
+    )
+)
+
+
+def _unpack(trials):
+    ids = np.array([[s[0] for s in trial] for trial in trials])
+    snr = np.array([[s[1] for s in trial] for trial in trials])
+    rssi = np.array([[s[2] for s in trial] for trial in trials])
+    mask = np.array([[s[3] for s in trial] for trial in trials])
+    return ids, snr, rssi, mask
+
+
+def _scalar_measurements(trial):
+    return [
+        ProbeMeasurement(sector_id=s[0], snr_db=s[1], rssi_dbm=s[2])
+        for s in trial
+        if s[3]
+    ]
+
+
+class TestCorrelationMapBatch:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @settings(max_examples=60, deadline=None)
+    @given(batch=batch, data=st.data())
+    def test_rows_match_reference_bitwise(self, domain, batch, data):
+        ids, snr, _, mask = _unpack(batch)
+        probes, valid = snr, mask
+        patterns = TABLE.sample_matrix(TABLE.grid)[: probes.shape[1]]
+        surfaces = correlation_map_batch(probes, valid, patterns, domain=domain)
+        assert surfaces.shape == (probes.shape[0], patterns.shape[1])
+        for row in range(probes.shape[0]):
+            keep = valid[row]
+            if not keep.any():
+                assert np.isnan(surfaces[row]).all()
+                continue
+            expected = correlation_map(probes[row][keep], patterns[keep], domain=domain)
+            assert np.array_equal(surfaces[row], expected, equal_nan=True)
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_prepared_matches_unprepared(self, domain):
+        rng = np.random.default_rng(3)
+        patterns = TABLE.sample_matrix(TABLE.grid)
+        probes = rng.uniform(-10.0, 10.0, (4, patterns.shape[0]))
+        prepared = prepare_pattern_matrix(patterns, domain)
+        plain = correlation_map_batch(probes, None, patterns, domain=domain)
+        fast = correlation_map_batch(
+            probes, None, prepared, domain=domain, prepared=True
+        )
+        assert np.array_equal(plain, fast)
+        for row in range(probes.shape[0]):
+            assert np.array_equal(
+                plain[row], correlation_map_prepared(probes[row], prepared, domain)
+            )
+
+    def test_mask_shape_mismatch_rejected(self):
+        patterns = TABLE.sample_matrix(TABLE.grid)[:3]
+        with pytest.raises(ValueError, match="mask shape"):
+            correlation_map_batch(np.zeros((2, 3)), np.ones((2, 4), bool), patterns)
+
+
+class TestEstimateBatch:
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @settings(max_examples=40, deadline=None)
+    @given(batch=batch)
+    def test_rows_match_scalar_bitwise(self, fusion, domain, batch):
+        estimator = ESTIMATORS[(fusion, domain)]
+        ids, snr, rssi, mask = _unpack(batch)
+        estimates = estimator.estimate_batch(
+            ids, snr_db=snr, rssi_dbm=rssi, mask=mask
+        )
+        assert len(estimates) == len(batch)
+        for trial, batched in zip(batch, estimates):
+            measurements = _scalar_measurements(trial)
+            try:
+                scalar = estimator.estimate(measurements)
+            except ValueError:
+                assert batched is None
+                continue
+            assert batched == scalar  # dataclass equality: exact floats
+
+    def test_underfilled_row_is_none_not_error(self):
+        estimator = ESTIMATORS[("product", "linear")]
+        ids = np.array([[0, 1, 2], [0, 1, 2]])
+        snr = np.array([[5.0, np.nan, np.nan], [5.0, 4.0, 3.0]])
+        rssi = np.full((2, 3), -60.0)
+        estimates = estimator.estimate_batch(ids, snr_db=snr, rssi_dbm=rssi)
+        assert estimates[0] is None
+        assert estimates[1] is not None
+
+    def test_unknown_usable_sector_raises(self):
+        estimator = ESTIMATORS[("snr", "linear")]
+        ids = np.array([[0, 63]])
+        with pytest.raises(KeyError, match="no measured pattern"):
+            estimator.estimate_batch(ids, snr_db=np.array([[1.0, 2.0]]))
+
+    def test_grid_index_matches_nearest_lookup(self):
+        estimator = ESTIMATORS[("product", "linear")]
+        measurements = [
+            ProbeMeasurement(sector_id=s, snr_db=5.0 - s, rssi_dbm=-60.0 - s)
+            for s in range(4)
+        ]
+        estimate = estimator.estimate(measurements)
+        assert estimate.grid_index == estimator.search_grid.nearest_index(
+            estimate.azimuth_deg, estimate.elevation_deg
+        )
+
+
+class TestSelectBatch:
+    @settings(max_examples=40, deadline=None)
+    @given(batch=batch)
+    def test_sequence_matches_scalar_bitwise(self, batch):
+        ids, snr, rssi, mask = _unpack(batch)
+        scalar_selector = CompressiveSectorSelector(TABLE)
+        batch_selector = CompressiveSectorSelector(TABLE)
+        scalar_results = []
+        scalar_error = None
+        for trial in batch:
+            try:
+                scalar_results.append(
+                    scalar_selector.select(_scalar_measurements(trial))
+                )
+            except ValueError:
+                scalar_error = ValueError
+                break
+        if scalar_error is not None:
+            with pytest.raises(ValueError):
+                batch_selector.select_batch(ids, snr_db=snr, rssi_dbm=rssi, mask=mask)
+            return
+        results = batch_selector.select_batch(
+            ids, snr_db=snr, rssi_dbm=rssi, mask=mask
+        )
+        assert results == scalar_results
+        assert batch_selector.last_selection == scalar_selector.last_selection
+
+    def test_reset_restores_initial_selection(self):
+        selector = CompressiveSectorSelector(TABLE, initial_sector_id=3)
+        selector.select([])  # fallback with nothing: keeps initial
+        assert selector.last_selection == 3
+        selector.select_batch(
+            np.array([[1, 2, 3]]),
+            snr_db=np.array([[1.0, 9.0, 2.0]]),
+            rssi_dbm=np.array([[-60.0, -55.0, -58.0]]),
+        )
+        selector.reset()
+        assert selector.last_selection == 3
+        # The fallback-with-nothing result reflects the reset state.
+        assert selector.select([]).sector_id == 3
+
+    def test_fallback_tie_keeps_first_like_python_max(self):
+        selector = CompressiveSectorSelector(TABLE, min_probes=4)
+        results = selector.select_batch(
+            np.array([[1, 2, 3]]),
+            snr_db=np.array([[7.0, 7.0, 7.0]]),
+            rssi_dbm=np.array([[-60.0, -60.0, -60.0]]),
+        )
+        assert results[0].fallback
+        assert results[0].sector_id == 1
+
+
+class TestPackProbeTrials:
+    def test_padding_mask_and_order(self):
+        trials = [
+            [ProbeMeasurement(1, 5.0, -60.0), ProbeMeasurement(2, 4.0, -61.0)],
+            [ProbeMeasurement(3, 3.0, -62.0)],
+        ]
+        ids, snr, rssi, mask = pack_probe_trials(trials)
+        assert ids.shape == snr.shape == rssi.shape == mask.shape == (2, 2)
+        assert ids[0].tolist() == [1, 2] and ids[1][0] == 3
+        assert mask.tolist() == [[True, True], [True, False]]
+        assert np.isnan(snr[1, 1]) and np.isnan(rssi[1, 1])
+        # The tuple is in estimate_batch/select_batch argument order.
+        estimator = ESTIMATORS[("product", "linear")]
+        estimates = estimator.estimate_batch(ids, snr, rssi, mask)
+        assert estimates[0] is not None and estimates[1] is None
+
+    def test_random_probe_columns_matches_single_choice(self):
+        draws = np.random.default_rng(11)
+        reference = np.random.default_rng(11)
+        columns = random_probe_columns(10, 4, draws)
+        assert np.array_equal(
+            columns, reference.choice(10, size=4, replace=False)
+        )
+
+
+class TestEstimatorHelpers:
+    def test_has_sector(self):
+        estimator = ESTIMATORS[("product", "linear")]
+        assert estimator.has_sector(0)
+        assert estimator.has_sector(N_SECTORS - 1)
+        assert not estimator.has_sector(N_SECTORS)
+        assert not estimator.has_sector(63)
+
+    def test_unit_cache_hits_are_bitwise_and_bounded(self):
+        estimator = AngleEstimator(TABLE)
+        rows = [0, 2, 4]
+        first = estimator._pattern_unit(rows)
+        again = estimator._pattern_unit(np.array(rows, dtype=np.intp))
+        assert again is first  # dict hit, list and array keys agree
+        fresh = correlation.normalize_rows(estimator._prepared[rows].T).T
+        assert np.allclose(first, fresh)
+        for extra in range(_UNIT_CACHE_LIMIT + 10):
+            estimator._pattern_unit([extra % N_SECTORS, (extra + 1) % N_SECTORS, extra % 2])
+        assert len(estimator._unit_cache) <= _UNIT_CACHE_LIMIT
+
+
+class TestPerfGuards:
+    def test_estimate_never_transforms_pattern_matrix(self, monkeypatch):
+        """The precomputed path pays the (M, K) transform at construction
+        only; per-estimate calls may touch 1-D probe vectors at most."""
+        estimator = AngleEstimator(TABLE)  # construction transforms (N, K)
+        selector = CompressiveSectorSelector(TABLE)
+        grid_points = TABLE.grid.n_points
+        seen = []
+        original = correlation.to_linear_power
+
+        def counting(values_db):
+            seen.append(np.asarray(values_db).shape)
+            return original(values_db)
+
+        monkeypatch.setattr(correlation, "to_linear_power", counting)
+        measurements = [
+            ProbeMeasurement(sector_id=s, snr_db=5.0 + s, rssi_dbm=-60.0 + s)
+            for s in range(4)
+        ]
+        for _ in range(3):
+            estimator.estimate(measurements)
+            selector.select(measurements)
+        assert seen, "the linear domain must still transform probe vectors"
+        assert all(len(shape) == 1 for shape in seen)
+
+        seen.clear()
+        ids = np.array([[0, 1, 2, 3]] * 3)
+        snr = np.full((3, 4), 5.0)
+        rssi = np.full((3, 4), -60.0)
+        estimator.estimate_batch(ids, snr_db=snr, rssi_dbm=rssi)
+        # The batch path transforms padded (T, M) channels — never
+        # anything as wide as the (·, K) pattern matrix.
+        assert seen and all(shape[-1] != grid_points for shape in seen)
+
+    def test_perf_check_exit_codes(self, tmp_path, monkeypatch):
+        from repro import perf
+
+        healthy = {name: 1.0 for name in perf._LATENCY_METRICS}
+        trajectory = tmp_path / "bench.json"
+        monkeypatch.setattr(perf, "measure_metrics", lambda repeats=20: dict(healthy))
+        assert perf.run_perf(label="baseline", output=str(trajectory)) == 0
+        assert trajectory.is_file()
+        assert perf.run_perf(output=str(trajectory), check=True) == 0
+
+        regressed = dict(healthy)
+        regressed["select_scalar_ms_median"] = 2.5  # > 2x the baseline
+        monkeypatch.setattr(
+            perf, "measure_metrics", lambda repeats=20: dict(regressed)
+        )
+        assert perf.run_perf(output=str(trajectory), check=True) == 1
+
+    def test_check_against_baseline_reports_lines(self):
+        from repro import perf
+
+        data = {
+            "points": [
+                {"label": "baseline", "metrics": {"select_scalar_ms_median": 1.0}}
+            ]
+        }
+        assert perf.check_against_baseline(data, {"select_scalar_ms_median": 1.5}) == []
+        failures = perf.check_against_baseline(
+            data, {"select_scalar_ms_median": 2.1}
+        )
+        assert failures and "select_scalar_ms_median" in failures[0]
+        assert perf.check_against_baseline({"points": []}, {}) != []
+        # Metrics absent on either side are skipped, not failed.
+        assert perf.check_against_baseline(data, {"other_metric": 9.0}) == []

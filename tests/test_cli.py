@@ -24,6 +24,7 @@ class TestParser:
             "ablations",
             "extensions",
             "artifacts",
+            "perf",
         }
 
     def test_requires_a_command(self):
