@@ -57,7 +57,17 @@ class HierarchicalSearch:
             raise ValueError("more groups than sectors")
         self.pattern_table = pattern_table
         self.groups = self._build_groups(candidate_ids, n_groups)
-        self._last_selection = candidate_ids[0]
+        self._initial_selection = candidate_ids[0]
+        self._last_selection = self._initial_selection
+
+    @property
+    def initial_selection(self) -> int:
+        """The sector a fresh association falls back to."""
+        return self._initial_selection
+
+    def reset(self) -> None:
+        """Forget the last selection (fresh-association state)."""
+        self._last_selection = self._initial_selection
 
     def _peak_azimuth(self, sector_id: int) -> float:
         pattern = self.pattern_table.pattern(sector_id)

@@ -34,7 +34,10 @@ class OracleSelector:
         """
         truth = np.asarray(true_snr_db, dtype=float)
         if truth.shape != (len(self._sector_ids),):
-            raise ValueError("truth vector must align with the candidate set")
+            raise ValueError(
+                f"truth vector shape {truth.shape} does not match the "
+                f"candidate set shape ({len(self._sector_ids)},)"
+            )
         return SelectionResult(sector_id=self._sector_ids[int(np.argmax(truth))])
 
     def best_snr_db(self, true_snr_db: np.ndarray) -> float:

@@ -15,6 +15,9 @@ is their simulator-side counterpart::
     repro-bench artifacts info      # manifest + cache status
     repro-bench perf                # hot-kernel timings -> BENCH_core.json
     repro-bench perf --check        # fail on >2x latency regression
+    repro-bench run --list          # registered scenarios
+    repro-bench run fig9 --jobs 4   # any scenario, by name ...
+    repro-bench run spec.json       # ... or from a pinned spec file
 
 ``--paper`` switches experiments from the fast default profile to the
 paper's full resolutions (minutes instead of seconds).
@@ -225,6 +228,46 @@ def _run_artifacts(args: argparse.Namespace, registry) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run any registered scenario (by name or from a spec JSON file)."""
+    from pathlib import Path
+
+    from .runtime import ScenarioRunner, ScenarioSpec, get_scenario, scenario_spec
+    from .runtime.registry import available_scenarios
+
+    if args.list:
+        for name in available_scenarios():
+            print(f"{name:22s} {get_scenario(name).description}")
+        return 0
+    if args.target is None:
+        print("error: provide a scenario name or spec JSON path (or --list)",
+              file=sys.stderr)
+        return 2
+
+    if args.target.endswith(".json") or Path(args.target).is_file():
+        spec = ScenarioSpec.load(args.target)
+    else:
+        spec = scenario_spec(args.target)
+    spec = spec.with_seed(args.seed)
+
+    outcome = ScenarioRunner(jobs=args.jobs).run(spec)
+    result = outcome.result
+    if hasattr(result, "format_rows"):
+        _print_rows(result.format_rows())
+    else:
+        print(result)
+    _print_rows(outcome.manifest.format_rows())
+    if args.manifest:
+        outcome.manifest.save(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    if args.json:
+        from .experiments.io import dump_result_json
+
+        dump_result_json(result, args.json)
+        print(f"archived result JSON to {args.json}")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     """Time the hot kernels and append a BENCH_core.json datapoint."""
     from .perf import run_perf
@@ -301,6 +344,31 @@ def build_parser() -> argparse.ArgumentParser:
                 "--repeats", type=int, default=20, help="timing passes per kernel"
             )
         sub.set_defaults(handler=handler)
+
+    # "run" speaks spec language: its --seed must default to None so a
+    # spec file's pinned seed survives, hence it skips the common loop.
+    run_sub = subparsers.add_parser("run", help=_cmd_run.__doc__)
+    run_sub.add_argument(
+        "target", nargs="?", help="registered scenario name or spec JSON path"
+    )
+    run_sub.add_argument(
+        "--list", action="store_true", help="list the registered scenarios"
+    )
+    run_sub.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's seed (default: keep the spec's own)",
+    )
+    run_sub.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for batched recording-parallel scenarios",
+    )
+    run_sub.add_argument(
+        "--manifest", metavar="PATH", help="also write the run manifest JSON"
+    )
+    run_sub.add_argument(
+        "--json", metavar="PATH", help="also archive the result as JSON"
+    )
+    run_sub.set_defaults(handler=_cmd_run)
     return parser
 
 

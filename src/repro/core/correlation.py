@@ -102,8 +102,9 @@ def _unit_columns(patterns: np.ndarray) -> np.ndarray:
     ufuncs directly skips the wrapper overhead that dominates the
     per-trial batch loop.
     """
-    column_norms = np.sqrt(np.add.reduce(patterns * patterns, axis=0))
-    return patterns / np.maximum(column_norms, _EPSILON)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        column_norms = np.sqrt(np.add.reduce(patterns * patterns, axis=0))
+        return patterns / np.maximum(column_norms, _EPSILON)
 
 
 def _correlate(probes: np.ndarray, pattern_unit: np.ndarray) -> np.ndarray:
@@ -112,9 +113,13 @@ def _correlate(probes: np.ndarray, pattern_unit: np.ndarray) -> np.ndarray:
     ``sqrt(x.dot(x))`` is ``np.linalg.norm``'s own 1-D real-input
     branch, inlined for the same reason as in :func:`_unit_columns`.
     """
-    probe_unit = probes / max(np.sqrt(probes.dot(probes)), _EPSILON)
-    correlation = probe_unit @ pattern_unit
-    return correlation**2
+    # NaN-padded probe rows (masked-out slots) propagate NaN through the
+    # dot products by design; silence the spurious invalid-divide signal
+    # here rather than in every caller (warnings dedupe by source line).
+    with np.errstate(invalid="ignore", divide="ignore"):
+        probe_unit = probes / max(np.sqrt(probes.dot(probes)), _EPSILON)
+        correlation = probe_unit @ pattern_unit
+        return correlation**2
 
 
 def correlation_map(

@@ -1,0 +1,242 @@
+"""SelectionPolicy adapters for the core selectors.
+
+Thin wrappers that make :class:`CompressiveSectorSelector` and the
+stock exhaustive sweep speak the :mod:`repro.runtime` protocol —
+registered as ``"css"`` and ``"full-sweep"`` so scenario specs can
+name them.
+
+Determinism notes (load-bearing — see DESIGN.md §7/§8):
+
+* ``CompressivePolicy.probes_for_round`` with the default (random)
+  strategy makes exactly one ``rng.choice(len(pool), size=n_probes,
+  replace=False)`` call — the same call as
+  :func:`repro.experiments.common.random_probe_columns` — so plans
+  drawn through the policy consume the pinned stream identically to
+  the legacy loops.
+* ``FullSweepPolicy`` consumes no randomness and replicates the Python
+  ``max`` semantics of :class:`SectorSweepSelector` (first element
+  kept, replaced only on strictly greater SNR) in its batched kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.grid import AngularGrid
+from ..mac.timing import multi_round_training_time_us
+from ..runtime.policy import PolicyContext
+from ..runtime.registry import register_policy
+from .compressive import CompressiveSectorSelector
+from .measurements import ProbeMeasurement
+from .probes import GainDiverseProbeStrategy, RandomProbeStrategy
+from .selector import SelectionResult
+
+__all__ = ["CompressivePolicy", "FullSweepPolicy"]
+
+
+def _resolve_table(context: PolicyContext, patterns: str):
+    """The pattern table a spec names: measured or ideal-array theory."""
+    testbed = context.testbed
+    if patterns == "measured":
+        return testbed.pattern_table
+    if patterns == "theoretical":
+        key = ("theoretical-table", id(testbed.pattern_table))
+        table = context.cache.get(key)
+        if table is None:
+            # Lazy import: baselines imports core, so the reverse edge
+            # must stay out of module scope.
+            from ..baselines.random_beams import theoretical_pattern_table
+
+            table = theoretical_pattern_table(
+                testbed.dut_codebook,
+                testbed.pattern_table.grid,
+                antenna=testbed.dut_antenna,
+            )
+            context.cache[key] = table
+        return table
+    raise ValueError("patterns must be 'measured' or 'theoretical'")
+
+
+@register_policy("css")
+class CompressivePolicy:
+    """Compressive sector selection (§2.2) as a runtime policy."""
+
+    multi_round = False
+
+    def __init__(
+        self,
+        context: PolicyContext,
+        n_probes: int = 14,
+        fusion: str = "product",
+        domain: str = "linear",
+        search: str = "3d",
+        patterns: str = "measured",
+        probe_strategy: Optional[str] = None,
+        fallback_correlation: float = 0.0,
+        pattern_table=None,
+    ):
+        """
+        Args:
+            context: shared testbed + cache.
+            n_probes: probes per training (M).
+            fusion / domain / fallback_correlation: forwarded to
+                :class:`CompressiveSectorSelector`.
+            search: ``"3d"`` (full table grid) or ``"2d"``
+                (azimuth-only — the ablation's degraded variant).
+            patterns: ``"measured"`` or ``"theoretical"``.
+            probe_strategy: None (the paper's raw uniform draw),
+                ``"random"`` (uniform, sorted — RandomProbeStrategy) or
+                ``"gain-diverse"`` (§7's greedy max-min pre-selection).
+            pattern_table: direct table override for in-process callers
+                (transfer experiment); not spec-serializable — policies
+                built with it cannot shard across processes.
+        """
+        if search not in ("3d", "2d"):
+            raise ValueError("search must be '3d' or '2d'")
+        table = pattern_table if pattern_table is not None else _resolve_table(
+            context, patterns
+        )
+        self.name = "css"
+        self.n_probes = int(n_probes)
+        # Selectors sample two full grid matrices at construction, and
+        # policies that differ only in probe count are state-compatible
+        # (execute() resets before use) — share one per configuration.
+        key = (
+            "css-selector",
+            id(table),
+            fusion,
+            domain,
+            search,
+            float(fallback_correlation),
+        )
+        selector = context.cache.get(key)
+        if selector is None:
+            search_grid = None
+            if search == "2d":
+                search_grid = AngularGrid(
+                    table.grid.azimuths_deg, np.array([0.0])
+                )
+            selector = CompressiveSectorSelector(
+                table,
+                search_grid=search_grid,
+                fusion=fusion,
+                domain=domain,
+                fallback_correlation=fallback_correlation,
+            )
+            context.cache[key] = selector
+        self.selector = selector
+        if probe_strategy is None:
+            self._strategy = None
+        elif probe_strategy == "random":
+            self._strategy = RandomProbeStrategy()
+        elif probe_strategy == "gain-diverse":
+            self._strategy = GainDiverseProbeStrategy(table)
+        else:
+            raise ValueError(
+                "probe_strategy must be None, 'random' or 'gain-diverse'"
+            )
+
+    def reset(self) -> None:
+        self.selector.reset()
+
+    def probes_for_round(
+        self, round_index: int, pool: Sequence[int], rng: np.random.Generator
+    ) -> Optional[List[int]]:
+        if round_index > 0:
+            return None
+        if self._strategy is not None:
+            return list(self._strategy.choose(self.n_probes, pool, rng))
+        # One rng.choice with these exact arguments == the pinned draw
+        # of experiments.common.random_probe_columns.
+        if self.n_probes > len(pool):
+            raise ValueError("cannot probe more sectors than exist")
+        chosen = rng.choice(len(pool), size=self.n_probes, replace=False)
+        return [pool[index] for index in chosen]
+
+    def select(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
+        return self.selector.select(measurements)
+
+    def select_batch(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: np.ndarray,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> List[SelectionResult]:
+        return self.selector.select_batch(
+            sector_ids, snr_db=snr_db, rssi_dbm=rssi_dbm, mask=mask
+        )
+
+    def training_time_us(self, probes_used: int, n_rounds: int = 1) -> float:
+        return multi_round_training_time_us(probes_used, n_rounds)
+
+
+@register_policy("full-sweep")
+class FullSweepPolicy:
+    """The IEEE 802.11ad exhaustive sweep (Eq. 1) as a runtime policy."""
+
+    multi_round = False
+
+    def __init__(self, context: PolicyContext, initial_sector_id: int = 1):
+        self.name = "full-sweep"
+        self.initial_sector_id = int(initial_sector_id)
+        self._last_selection = self.initial_sector_id
+
+    def reset(self) -> None:
+        self._last_selection = self.initial_sector_id
+
+    def probes_for_round(
+        self, round_index: int, pool: Sequence[int], rng: np.random.Generator
+    ) -> Optional[List[int]]:
+        if round_index > 0:
+            return None
+        return list(pool)
+
+    def select(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
+        if not measurements:
+            return SelectionResult(sector_id=self._last_selection, fallback=True)
+        best = max(measurements, key=lambda m: m.snr_db)
+        self._last_selection = best.sector_id
+        return SelectionResult(sector_id=best.sector_id)
+
+    def select_batch(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: np.ndarray,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> List[SelectionResult]:
+        """Row-sequential batched twin of :meth:`select`.
+
+        The per-row argmax is an explicit strictly-greater loop, not
+        ``np.argmax``: Python's ``max`` keeps the first element on ties
+        and never lets a NaN win, and the batched path must reproduce
+        the scalar decisions bit for bit.
+        """
+        ids = np.asarray(sector_ids)
+        snr = np.asarray(snr_db, dtype=float)
+        if mask is None:
+            valid = np.ones(ids.shape, dtype=bool)
+        else:
+            valid = np.asarray(mask, dtype=bool)
+        results: List[SelectionResult] = []
+        for row in range(ids.shape[0]):
+            columns = np.flatnonzero(valid[row])
+            if columns.size == 0:
+                results.append(
+                    SelectionResult(sector_id=self._last_selection, fallback=True)
+                )
+                continue
+            best = columns[0]
+            for column in columns[1:]:
+                if snr[row, column] > snr[row, best]:
+                    best = column
+            sector_id = int(ids[row, best])
+            self._last_selection = sector_id
+            results.append(SelectionResult(sector_id=sector_id))
+        return results
+
+    def training_time_us(self, probes_used: int, n_rounds: int = 1) -> float:
+        return multi_round_training_time_us(probes_used, n_rounds)

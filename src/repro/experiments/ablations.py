@@ -13,6 +13,13 @@ and quantifies its effect with everything else held fixed:
   insufficient");
 * **random beams** — probing with the codebook's tuned sectors vs.
   pseudo-random beams (Rasekh et al.), §2.1's preliminary experiment.
+
+The batched estimator ablations (fusion / patterns / probe sets / 3D)
+route through :class:`~repro.runtime.runner.ScenarioRunner` with
+``"css"`` policy variants; the remaining studies keep their scalar
+bodies (their draws interleave with per-frame ``observe`` calls, which
+is exactly the stream their pinned values ride on) but still run as
+registered scenarios so they emit manifests.
 """
 
 from __future__ import annotations
@@ -25,17 +32,15 @@ import numpy as np
 from ..baselines.random_beams import random_beam_codebook, theoretical_pattern_table
 from ..channel.batch import sweep_snr_matrix
 from ..channel.environment import conference_room, lab_environment
-from ..core.compressive import CompressiveSectorSelector
 from ..core.estimator import AngleEstimator
 from ..core.measurements import ProbeMeasurement
-from ..core.probes import GainDiverseProbeStrategy, RandomProbeStrategy
 from ..geometry.angles import azimuth_difference
-from ..geometry.grid import AngularGrid
 from ..geometry.rotation import Orientation
-from ..measurement.patterns import PatternTable
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import PolicySpec, ScenarioSpec, TestbedSpec
 from .common import (
     Testbed,
-    build_testbed,
     pack_probe_trials,
     random_probe_columns,
     random_subsweep,
@@ -74,7 +79,7 @@ class AblationResult:
         return rows
 
 
-def _azimuth_errors(
+def _estimator_azimuth_errors(
     estimator: AngleEstimator,
     recordings,
     tx_ids: Sequence[int],
@@ -82,8 +87,8 @@ def _azimuth_errors(
     rng: np.random.Generator,
     subsamples: int = 3,
 ) -> List[float]:
-    # Batched trial loop (same draw order and bit-identical estimates
-    # as the scalar one — see fig7's `_evaluate_environment`).
+    # Batched trial loop for bodies that keep a raw estimator (same
+    # draw order and bit-identical estimates as the scalar one).
     id_row = np.asarray(tx_ids, dtype=np.intp)
     trial_ids: List[np.ndarray] = []
     trial_snr: List[np.ndarray] = []
@@ -113,6 +118,43 @@ def _azimuth_errors(
     ]
 
 
+def _policy_azimuth_errors(
+    runner: ScenarioRunner,
+    testbed_spec: TestbedSpec,
+    testbed: Testbed,
+    policy_spec: PolicySpec,
+    recordings,
+    rng: np.random.Generator,
+    subsamples: int = 3,
+) -> List[float]:
+    """Azimuth errors of one ``"css"`` policy variant over recordings."""
+    context = runner.context(testbed)
+    policy = runner.build_policy(policy_spec, context)
+    blocks = runner.plan_trials(
+        policy, recordings, testbed.tx_sector_ids, rng, subsamples_per_sweep=subsamples
+    )
+    records = runner.execute(
+        policy,
+        blocks,
+        reset="recording",
+        policy_spec=policy_spec,
+        testbed_spec=testbed_spec,
+    )
+    errors: List[float] = []
+    for record in records:
+        estimate = record.result.estimate
+        if estimate is None:
+            continue
+        errors.append(
+            abs(
+                azimuth_difference(
+                    estimate.azimuth_deg, recordings[record.recording_index].azimuth_deg
+                )
+            )
+        )
+    return errors
+
+
 def _conference_recordings(testbed: Testbed, rng: np.random.Generator, n_sweeps: int = 4):
     azimuths = np.arange(-60.0, 60.0 + 1e-9, 7.5)
     return record_directions(
@@ -120,41 +162,108 @@ def _conference_recordings(testbed: Testbed, rng: np.random.Generator, n_sweeps:
     )
 
 
-def run_fusion_ablation(n_probes: int = 14, seed: int = 21) -> AblationResult:
+def _ablation_spec(scenario: str, n_probes: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario=scenario, seed=seed, params={"n_probes": int(n_probes)}
+    )
+
+
+def fusion_ablation_spec(n_probes: int = 14, seed: int = 21) -> ScenarioSpec:
+    return _ablation_spec("ablate-fusion", n_probes, seed)
+
+
+@register_scenario("ablate-fusion", default_spec=fusion_ablation_spec)
+def _run_fusion_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> AblationResult:
     """Eq. 3 vs Eq. 5: does the SNR×RSSI product help against outliers?"""
-    testbed = build_testbed()
-    rng = np.random.default_rng(seed)
+    n_probes = int(spec.params["n_probes"])
+    testbed = spec.testbed.build()
+    rng = np.random.default_rng(spec.seed)
     recordings = _conference_recordings(testbed, rng)
     result = AblationResult(
         title=f"correlation fusion @ {n_probes} probes",
         metric_name="mean azimuth error [deg]",
     )
     for fusion in ("snr", "rssi", "product"):
-        estimator = AngleEstimator(testbed.pattern_table, fusion=fusion)
-        errors = _azimuth_errors(
-            estimator, recordings, testbed.tx_sector_ids, n_probes, rng
+        errors = _policy_azimuth_errors(
+            runner,
+            spec.testbed,
+            testbed,
+            PolicySpec("css", {"n_probes": n_probes, "fusion": fusion}),
+            recordings,
+            rng,
         )
         result.variants[f"fusion={fusion}"] = float(np.mean(errors))
     return result
 
 
-def run_pattern_ablation(n_probes: int = 14, seed: int = 22) -> AblationResult:
+def run_fusion_ablation(n_probes: int = 14, seed: int = 21) -> AblationResult:
+    """Eq. 3 vs Eq. 5: does the SNR×RSSI product help against outliers?"""
+    return ScenarioRunner().run(fusion_ablation_spec(n_probes, seed)).result
+
+
+def pattern_ablation_spec(n_probes: int = 14, seed: int = 22) -> ScenarioSpec:
+    return _ablation_spec("ablate-patterns", n_probes, seed)
+
+
+@register_scenario("ablate-patterns", default_spec=pattern_ablation_spec)
+def _run_pattern_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> AblationResult:
     """Measured patterns vs. the ideal-array theoretical prediction."""
-    testbed = build_testbed()
-    rng = np.random.default_rng(seed)
+    n_probes = int(spec.params["n_probes"])
+    testbed = spec.testbed.build()
+    rng = np.random.default_rng(spec.seed)
     recordings = _conference_recordings(testbed, rng)
-    theoretical = theoretical_pattern_table(
-        testbed.dut_codebook, testbed.pattern_table.grid, antenna=testbed.dut_antenna
-    )
     result = AblationResult(
         title=f"pattern knowledge @ {n_probes} probes",
         metric_name="mean azimuth error [deg]",
     )
-    for name, table in (("measured patterns", testbed.pattern_table),
-                        ("theoretical patterns", theoretical)):
-        estimator = AngleEstimator(table)
-        errors = _azimuth_errors(
-            estimator, recordings, testbed.tx_sector_ids, n_probes, rng
+    for name, patterns in (
+        ("measured patterns", "measured"),
+        ("theoretical patterns", "theoretical"),
+    ):
+        errors = _policy_azimuth_errors(
+            runner,
+            spec.testbed,
+            testbed,
+            PolicySpec("css", {"n_probes": n_probes, "patterns": patterns}),
+            recordings,
+            rng,
+        )
+        result.variants[name] = float(np.mean(errors))
+    return result
+
+
+def run_pattern_ablation(n_probes: int = 14, seed: int = 22) -> AblationResult:
+    """Measured patterns vs. the ideal-array theoretical prediction."""
+    return ScenarioRunner().run(pattern_ablation_spec(n_probes, seed)).result
+
+
+def probe_set_ablation_spec(n_probes: int = 10, seed: int = 23) -> ScenarioSpec:
+    return _ablation_spec("ablate-probe-set", n_probes, seed)
+
+
+@register_scenario("ablate-probe-set", default_spec=probe_set_ablation_spec)
+def _run_probe_set_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> AblationResult:
+    """Random probe subsets vs. §7's gain-diverse pre-selection."""
+    n_probes = int(spec.params["n_probes"])
+    testbed = spec.testbed.build()
+    rng = np.random.default_rng(spec.seed)
+    recordings = _conference_recordings(testbed, rng)
+    result = AblationResult(
+        title=f"probe-set strategy @ {n_probes} probes",
+        metric_name="mean azimuth error [deg]",
+    )
+    for name, strategy in (
+        ("random subsets", "random"),
+        ("gain-diverse (greedy)", "gain-diverse"),
+    ):
+        errors = _policy_azimuth_errors(
+            runner,
+            spec.testbed,
+            testbed,
+            PolicySpec("css", {"n_probes": n_probes, "probe_strategy": strategy}),
+            recordings,
+            rng,
+            subsamples=1,
         )
         result.variants[name] = float(np.mean(errors))
     return result
@@ -162,117 +271,72 @@ def run_pattern_ablation(n_probes: int = 14, seed: int = 22) -> AblationResult:
 
 def run_probe_set_ablation(n_probes: int = 10, seed: int = 23) -> AblationResult:
     """Random probe subsets vs. §7's gain-diverse pre-selection."""
-    testbed = build_testbed()
-    rng = np.random.default_rng(seed)
-    recordings = _conference_recordings(testbed, rng)
-    tx_ids = testbed.tx_sector_ids
-    estimator = AngleEstimator(testbed.pattern_table)
-    strategies = {
-        "random subsets": RandomProbeStrategy(),
-        "gain-diverse (greedy)": GainDiverseProbeStrategy(testbed.pattern_table),
-    }
-    result = AblationResult(
-        title=f"probe-set strategy @ {n_probes} probes",
-        metric_name="mean azimuth error [deg]",
-    )
-    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
-    id_row = np.asarray(tx_ids, dtype=np.intp)
-    for name, strategy in strategies.items():
-        trial_ids: List[np.ndarray] = []
-        trial_snr: List[np.ndarray] = []
-        trial_rssi: List[np.ndarray] = []
-        trial_mask: List[np.ndarray] = []
-        truths: List[float] = []
-        for recording in recordings:
-            present, snr, rssi = recording.packed_sweeps(tx_ids)
-            for sweep_index in range(len(recording.sweeps)):
-                probe_ids = strategy.choose(n_probes, tx_ids, rng)
-                columns = np.array(
-                    [column_of[sector_id] for sector_id in probe_ids], dtype=np.intp
-                )
-                trial_ids.append(id_row[columns])
-                trial_snr.append(snr[sweep_index, columns])
-                trial_rssi.append(rssi[sweep_index, columns])
-                trial_mask.append(present[sweep_index, columns])
-                truths.append(recording.azimuth_deg)
-        estimates = estimator.estimate_batch(
-            np.stack(trial_ids),
-            snr_db=np.stack(trial_snr),
-            rssi_dbm=np.stack(trial_rssi),
-            mask=np.stack(trial_mask),
-        )
-        errors = [
-            abs(azimuth_difference(estimate.azimuth_deg, truth))
-            for estimate, truth in zip(estimates, truths)
-            if estimate is not None
-        ]
-        result.variants[name] = float(np.mean(errors))
-    return result
+    return ScenarioRunner().run(probe_set_ablation_spec(n_probes, seed)).result
 
 
-def run_3d_ablation(n_probes: int = 14, seed: int = 24) -> AblationResult:
+def ablation_3d_spec(n_probes: int = 14, seed: int = 24) -> ScenarioSpec:
+    return _ablation_spec("ablate-3d", n_probes, seed)
+
+
+@register_scenario("ablate-3d", default_spec=ablation_3d_spec)
+def _run_3d_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> AblationResult:
     """Full 3D estimation vs. azimuth-only search on a tilted link.
 
     The device is tilted (elevation 12–24°); a 2D selector that assumes
     everything happens in the azimuth plane picks systematically worse
     sectors — the paper's argument for extending path tracking to 3D.
     """
-    testbed = build_testbed()
-    rng = np.random.default_rng(seed)
+    n_probes = int(spec.params["n_probes"])
+    testbed = spec.testbed.build()
+    context = runner.context(testbed)
+    rng = np.random.default_rng(spec.seed)
     azimuths = np.arange(-45.0, 45.0 + 1e-9, 7.5)
     recordings = record_directions(
         testbed, lab_environment(3.0), azimuths, [12.0, 24.0], 3, rng
     )
     tx_ids = testbed.tx_sector_ids
-    table = testbed.pattern_table
-    grid_2d = AngularGrid(table.grid.azimuths_deg, np.array([0.0]))
-    selectors = {
-        "3D search grid": CompressiveSectorSelector(table),
-        "2D (azimuth-only) grid": CompressiveSectorSelector(table, search_grid=grid_2d),
-    }
+    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
     result = AblationResult(
         title=f"3D vs 2D estimation @ {n_probes} probes, tilted device",
         metric_name="mean SNR loss [dB]",
     )
-    # The scalar loop reused one selector across recordings without a
-    # reset, so its state threads through the whole pass; one
-    # select_batch over all trials reproduces exactly that (the probe
-    # draws happen in the scalar order, selection consumes no rng).
-    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
-    id_row = np.asarray(tx_ids, dtype=np.intp)
-    for name, selector in selectors.items():
-        trial_ids: List[np.ndarray] = []
-        trial_snr: List[np.ndarray] = []
-        trial_rssi: List[np.ndarray] = []
-        trial_mask: List[np.ndarray] = []
-        optima: List[float] = []
-        truth_rows: List[np.ndarray] = []
-        for recording in recordings:
-            present, snr, rssi = recording.packed_sweeps(tx_ids)
-            optimal = recording.optimal_snr_db()
-            for sweep_index in range(len(recording.sweeps)):
-                columns = random_probe_columns(len(tx_ids), n_probes, rng)
-                trial_ids.append(id_row[columns])
-                trial_snr.append(snr[sweep_index, columns])
-                trial_rssi.append(rssi[sweep_index, columns])
-                trial_mask.append(present[sweep_index, columns])
-                optima.append(optimal)
-                truth_rows.append(recording.true_snr_db)
-        results = selector.select_batch(
-            np.stack(trial_ids),
-            snr_db=np.stack(trial_snr),
-            rssi_dbm=np.stack(trial_rssi),
-            mask=np.stack(trial_mask),
+    # The legacy loop reused one selector across all recordings without
+    # a reset; `reset="plan"` threads the state through every trial the
+    # same way (the probe draws happen in the scalar order, selection
+    # consumes no rng).
+    for name, search in (("3D search grid", "3d"), ("2D (azimuth-only) grid", "2d")):
+        policy_spec = PolicySpec("css", {"n_probes": n_probes, "search": search})
+        policy = runner.build_policy(policy_spec, context)
+        records = runner.execute(
+            policy,
+            runner.plan_trials(policy, recordings, tx_ids, rng),
+            reset="plan",
+            label=name,
         )
         losses = [
-            optimal - truth[column_of[selection.sector_id]]
-            for selection, optimal, truth in zip(results, optima, truth_rows)
+            recordings[record.recording_index].optimal_snr_db()
+            - recordings[record.recording_index].true_snr_db[
+                column_of[record.result.sector_id]
+            ]
+            for record in records
         ]
         result.variants[name] = float(np.mean(losses))
     return result
 
 
-def run_random_beam_ablation(n_probes: int = 14, seed: int = 25) -> AblationResult:
+def run_3d_ablation(n_probes: int = 14, seed: int = 24) -> AblationResult:
+    """Full 3D estimation vs. azimuth-only search on a tilted link."""
+    return ScenarioRunner().run(ablation_3d_spec(n_probes, seed)).result
+
+
+def random_beam_ablation_spec(n_probes: int = 14, seed: int = 25) -> ScenarioSpec:
+    return _ablation_spec("ablate-random-beams", n_probes, seed)
+
+
+@register_scenario("ablate-random-beams", default_spec=random_beam_ablation_spec)
+def _run_random_beam_scenario(
+    spec: ScenarioSpec, runner: ScenarioRunner
+) -> AblationResult:
     """Tuned codebook sectors vs. pseudo-random probing beams.
 
     Reproduces the paper's preliminary finding (§2.1): random phase
@@ -281,8 +345,9 @@ def run_random_beam_ablation(n_probes: int = 14, seed: int = 25) -> AblationResu
     theoretical patterns they must be correlated against do not match
     the impaired hardware, degrading the angle estimates.
     """
-    testbed = build_testbed()
-    rng = np.random.default_rng(seed)
+    n_probes = int(spec.params["n_probes"])
+    testbed = spec.testbed.build()
+    rng = np.random.default_rng(spec.seed)
     environment = conference_room(6.0)
     azimuths = np.arange(-45.0, 45.0 + 1e-9, 15.0)
     orientations = [Orientation(yaw_deg=-float(az)) for az in azimuths]
@@ -309,7 +374,7 @@ def run_random_beam_ablation(n_probes: int = 14, seed: int = 25) -> AblationResu
     # against their *theoretical* (ideal-array) patterns — a designer
     # has nothing else — while the sectors use the measured table.
     sector_estimator = AngleEstimator(testbed.pattern_table)
-    sector_errors = _azimuth_errors(
+    sector_errors = _estimator_azimuth_errors(
         sector_estimator, sector_recordings, testbed.tx_sector_ids, n_probes, rng,
         subsamples=1,
     )
@@ -360,7 +425,19 @@ def run_random_beam_ablation(n_probes: int = 14, seed: int = 25) -> AblationResu
     return result
 
 
-def run_adaptive_ablation(seed: int = 26, n_steps: int = 60) -> AblationResult:
+def run_random_beam_ablation(n_probes: int = 14, seed: int = 25) -> AblationResult:
+    """Tuned codebook sectors vs. pseudo-random probing beams."""
+    return ScenarioRunner().run(random_beam_ablation_spec(n_probes, seed)).result
+
+
+def adaptive_ablation_spec(seed: int = 26, n_steps: int = 60) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario="ablate-adaptive", seed=seed, params={"n_steps": int(n_steps)}
+    )
+
+
+@register_scenario("ablate-adaptive", default_spec=adaptive_ablation_spec)
+def _run_adaptive_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> AblationResult:
     """Fixed probe budgets vs. the §7 adaptive controller under mobility.
 
     A lab peer holds still, walks an arc, then holds still again.  The
@@ -368,12 +445,13 @@ def run_adaptive_ablation(seed: int = 26, n_steps: int = 60) -> AblationResult:
     static phases while keeping the SNR loss near the always-maximum
     budget — the airtime/quality trade §7 predicts.
     """
-    from ..channel.environment import lab_environment
     from ..core.adaptive import AdaptiveProbeController
+    from ..core.compressive import CompressiveSectorSelector
     from ..core.tracking import SectorTracker
-    from ..channel.observation import MeasurementModel
 
-    testbed = build_testbed()
+    seed = spec.seed
+    n_steps = int(spec.params["n_steps"])
+    testbed = spec.testbed.build()
     environment = lab_environment(3.0)
     tx_ids = testbed.tx_sector_ids
     model = testbed.measurement_model
@@ -446,18 +524,32 @@ def run_adaptive_ablation(seed: int = 26, n_steps: int = 60) -> AblationResult:
     return result
 
 
-def run_oob_prior_ablation(seed: int = 27, sigma_oob_deg: float = 8.0) -> AblationResult:
+def run_adaptive_ablation(seed: int = 26, n_steps: int = 60) -> AblationResult:
+    """Fixed probe budgets vs. the §7 adaptive controller under mobility."""
+    return ScenarioRunner().run(adaptive_ablation_spec(seed, n_steps)).result
+
+
+def oob_prior_ablation_spec(seed: int = 27, sigma_oob_deg: float = 8.0) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario="ablate-oob-prior",
+        seed=seed,
+        params={"sigma_oob_deg": float(sigma_oob_deg)},
+    )
+
+
+@register_scenario("ablate-oob-prior", default_spec=oob_prior_ablation_spec)
+def _run_oob_prior_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> AblationResult:
     """Out-of-band direction prior (Nitsche / Ali, §8) at tiny budgets.
 
     A coarse 2.4 GHz angle estimate (±``sigma_oob_deg``) weights the
     correlation map.  Plain CSS struggles below ~8 probes; the prior
     rescues exactly that regime.
     """
-    from ..core.estimator import AngleEstimator
     from ..core.oob import OutOfBandPrior, PriorAidedEstimator
 
-    testbed = build_testbed()
-    rng = np.random.default_rng(seed)
+    sigma_oob_deg = float(spec.params["sigma_oob_deg"])
+    testbed = spec.testbed.build()
+    rng = np.random.default_rng(spec.seed)
     recordings = _conference_recordings(testbed, rng)
     estimator = PriorAidedEstimator(AngleEstimator(testbed.pattern_table))
     tx_ids = testbed.tx_sector_ids
@@ -494,7 +586,23 @@ def run_oob_prior_ablation(seed: int = 27, sigma_oob_deg: float = 8.0) -> Ablati
     return result
 
 
-def run_refinement_ablation(seed: int = 28, n_iterations: int = 12) -> AblationResult:
+def run_oob_prior_ablation(seed: int = 27, sigma_oob_deg: float = 8.0) -> AblationResult:
+    """Out-of-band direction prior (Nitsche / Ali, §8) at tiny budgets."""
+    return ScenarioRunner().run(oob_prior_ablation_spec(seed, sigma_oob_deg)).result
+
+
+def refinement_ablation_spec(seed: int = 28, n_iterations: int = 12) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario="ablate-refinement",
+        seed=seed,
+        params={"n_iterations": int(n_iterations)},
+    )
+
+
+@register_scenario("ablate-refinement", default_spec=refinement_ablation_spec)
+def _run_refinement_scenario(
+    spec: ScenarioSpec, runner: ScenarioRunner
+) -> AblationResult:
     """BRP-style AWV refinement on top of the selected sector.
 
     After CSS picks a sector, a short hill-climb over 2-bit AWV tweaks
@@ -502,12 +610,12 @@ def run_refinement_ablation(seed: int = 28, n_iterations: int = 12) -> AblationR
     the table — for a fraction of a sweep's airtime.
     """
     from ..channel.link import LinkSimulator
+    from ..core.compressive import CompressiveSectorSelector
     from ..core.refinement import BeamRefiner
 
-    from ..core.compressive import CompressiveSectorSelector
-
-    testbed = build_testbed()
-    rng = np.random.default_rng(seed)
+    n_iterations = int(spec.params["n_iterations"])
+    testbed = spec.testbed.build()
+    rng = np.random.default_rng(spec.seed)
     environment = conference_room(6.0)
     simulator = LinkSimulator(
         environment, testbed.dut_antenna, testbed.ref_antenna, testbed.budget
@@ -551,3 +659,8 @@ def run_refinement_ablation(seed: int = 28, n_iterations: int = 12) -> AblationR
     result.variants["loss after refinement"] = float(np.mean(losses_after))
     result.variants["mean airtime [us]"] = float(np.mean(airtimes))
     return result
+
+
+def run_refinement_ablation(seed: int = 28, n_iterations: int = 12) -> AblationResult:
+    """BRP-style AWV refinement on top of the selected sector."""
+    return ScenarioRunner().run(refinement_ablation_spec(seed, n_iterations)).result

@@ -16,7 +16,7 @@ training-airtime budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -25,14 +25,19 @@ from ..channel.environment import conference_room
 from ..link.throughput import ThroughputModel
 from ..mac.timing import N_FULL_SWEEP_SECTORS, mutual_training_time_us
 from ..net.airtime import AirtimeLedger, TrainingPolicy
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import ScenarioSpec
 from .common import build_testbed, record_directions
 
 __all__ = [
     "DenseConfig",
     "DenseResult",
     "run_dense_deployment",
+    "dense_spec",
     "DenseInterferenceResult",
     "run_dense_interference",
+    "dense_interference_spec",
 ]
 
 
@@ -73,9 +78,24 @@ class DenseResult:
         return rows
 
 
-def run_dense_deployment(config: DenseConfig = DenseConfig()) -> DenseResult:
-    """Scale the number of pairs and account the training airtime."""
-    testbed = build_testbed()
+def dense_spec(config: DenseConfig = DenseConfig()) -> ScenarioSpec:
+    """The declarative form of a dense-deployment run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    params["pair_counts"] = [int(count) for count in params["pair_counts"]]
+    return ScenarioSpec(scenario="dense", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> DenseConfig:
+    params = dict(spec.params)
+    params["pair_counts"] = tuple(params["pair_counts"])
+    return DenseConfig(seed=spec.seed, **params)
+
+
+@register_scenario("dense", default_spec=dense_spec)
+def _run_dense_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> DenseResult:
+    """Dense deployment (§7): aggregate goodput with channel-exclusive training."""
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
     rng = np.random.default_rng(config.seed)
     model = ThroughputModel()
     interval_us = 1e6 / config.trainings_per_second
@@ -127,6 +147,11 @@ def run_dense_deployment(config: DenseConfig = DenseConfig()) -> DenseResult:
     )
 
 
+def run_dense_deployment(config: DenseConfig = DenseConfig()) -> DenseResult:
+    """Scale the number of pairs and account the training airtime."""
+    return ScenarioRunner().run(dense_spec(config)).result
+
+
 @dataclass
 class DenseInterferenceResult:
     """Spatial-reuse limits: SINR-aware aggregate goodput."""
@@ -154,10 +179,25 @@ class DenseInterferenceResult:
         return rows
 
 
-def run_dense_interference(
+def dense_interference_spec(
     pair_counts: Sequence[int] = (1, 2, 4, 8),
     room_width_m: float = 8.0,
     seed: int = 18,
+) -> ScenarioSpec:
+    """The declarative form of a dense-interference run."""
+    return ScenarioSpec(
+        scenario="dense-interference",
+        seed=seed,
+        params={
+            "pair_counts": [int(count) for count in pair_counts],
+            "room_width_m": float(room_width_m),
+        },
+    )
+
+
+@register_scenario("dense-interference", default_spec=dense_interference_spec)
+def _run_dense_interference_scenario(
+    spec: ScenarioSpec, runner: ScenarioRunner
 ) -> DenseInterferenceResult:
     """Concurrent directional links in one room, with real interference.
 
@@ -170,7 +210,9 @@ def run_dense_interference(
     from ..geometry.rotation import Orientation
     from ..net.interference import DirectionalLink, InterferenceGraph
 
-    testbed = build_testbed()
+    pair_counts = tuple(spec.params["pair_counts"])
+    room_width_m = float(spec.params["room_width_m"])
+    testbed = spec.testbed.build()
     model = ThroughputModel()
     environment = conference_room(6.0)
     tx_weights = testbed.dut_codebook[63].weights
@@ -208,4 +250,17 @@ def run_dense_interference(
         ideal_gbps=ideal,
         sinr_aware_gbps=aware,
         mean_reuse_penalty_db=penalties,
+    )
+
+
+def run_dense_interference(
+    pair_counts: Sequence[int] = (1, 2, 4, 8),
+    room_width_m: float = 8.0,
+    seed: int = 18,
+) -> DenseInterferenceResult:
+    """Concurrent directional links in one room, with real interference."""
+    return (
+        ScenarioRunner()
+        .run(dense_interference_spec(pair_counts, room_width_m, seed))
+        .result
     )

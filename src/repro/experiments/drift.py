@@ -10,18 +10,20 @@ and when a re-calibration pays off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass, replace
+from typing import List, Sequence
 
 import numpy as np
 
 from ..channel.environment import conference_room
-from ..core.compressive import CompressiveSectorSelector
 from ..phased_array.array import PhasedArray
 from ..phased_array.impairments import HardwareImpairments
-from .common import build_testbed, random_probe_columns, record_directions
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import PolicySpec, ScenarioSpec
+from .common import record_directions
 
-__all__ = ["DriftConfig", "DriftResult", "run_pattern_drift"]
+__all__ = ["DriftConfig", "DriftResult", "run_pattern_drift", "drift_spec"]
 
 
 @dataclass(frozen=True)
@@ -71,61 +73,66 @@ def _aged_antenna(
     )
 
 
-def run_pattern_drift(config: DriftConfig = DriftConfig()) -> DriftResult:
-    """Age the hardware and keep selecting with the original table."""
-    testbed = build_testbed()
+def drift_spec(config: DriftConfig = DriftConfig()) -> ScenarioSpec:
+    """The declarative form of a pattern-aging run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    return ScenarioSpec(scenario="drift", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> DriftConfig:
+    return DriftConfig(seed=spec.seed, **spec.params)
+
+
+@register_scenario("drift", default_spec=drift_spec)
+def _run_drift_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> DriftResult:
+    """Pattern aging: CSS quality as the hardware drifts off its table."""
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
+    context = runner.context(testbed)
     rng = np.random.default_rng(config.seed)
     azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
+    tx_ids = testbed.tx_sector_ids
+    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+
+    # One policy over the *original* table; `reset="plan"` inside each
+    # level's execute reproduces the fresh-selector state per level
+    # while the state threads through that level's trials in order.
+    policy_spec = PolicySpec("css", {"n_probes": int(config.n_probes)})
+    policy = runner.build_policy(policy_spec, context)
 
     losses: List[float] = []
     fallbacks: List[float] = []
-    tx_ids = testbed.tx_sector_ids
-    id_row = np.asarray(tx_ids, dtype=np.intp)
-    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
-    # One hoisted selector; `reset()` per drift level reproduces the
-    # fresh-selector state the scalar loop built for each level.
-    selector = CompressiveSectorSelector(testbed.pattern_table)
     for drift in config.drift_levels_rad:
         aged = _aged_antenna(testbed.dut_antenna, float(drift), rng)
         aged_testbed = replace(testbed, dut_antenna=aged)
         recordings = record_directions(
             aged_testbed, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
         )
-        selector.reset()
-        trial_ids: List[np.ndarray] = []
-        trial_snr: List[np.ndarray] = []
-        trial_rssi: List[np.ndarray] = []
-        trial_mask: List[np.ndarray] = []
-        optima: List[float] = []
-        truth_rows: List[np.ndarray] = []
-        for recording in recordings:
-            present, snr, rssi = recording.packed_sweeps(tx_ids)
-            optimal = recording.optimal_snr_db()
-            for sweep_index in range(len(recording.sweeps)):
-                columns = random_probe_columns(len(tx_ids), config.n_probes, rng)
-                trial_ids.append(id_row[columns])
-                trial_snr.append(snr[sweep_index, columns])
-                trial_rssi.append(rssi[sweep_index, columns])
-                trial_mask.append(present[sweep_index, columns])
-                optima.append(optimal)
-                truth_rows.append(recording.true_snr_db)
-        results = selector.select_batch(
-            np.stack(trial_ids),
-            snr_db=np.stack(trial_snr),
-            rssi_dbm=np.stack(trial_rssi),
-            mask=np.stack(trial_mask),
+        records = runner.execute(
+            policy,
+            runner.plan_trials(policy, recordings, tx_ids, rng),
+            reset="plan",
         )
         level_losses: List[float] = []
         fallback_count = 0
-        for result, optimal, truth in zip(results, optima, truth_rows):
-            if result.fallback:
+        for record in records:
+            recording = recordings[record.recording_index]
+            if record.result.fallback:
                 fallback_count += 1
-            level_losses.append(optimal - truth[column_of[result.sector_id]])
+            level_losses.append(
+                recording.optimal_snr_db()
+                - recording.true_snr_db[column_of[record.result.sector_id]]
+            )
         losses.append(float(np.mean(level_losses)))
-        fallbacks.append(fallback_count / max(len(results), 1))
+        fallbacks.append(fallback_count / max(len(records), 1))
 
     return DriftResult(
         drift_levels_rad=list(config.drift_levels_rad),
         snr_loss_db=losses,
         fallback_rate=fallbacks,
     )
+
+
+def run_pattern_drift(config: DriftConfig = DriftConfig()) -> DriftResult:
+    """Age the hardware and keep selecting with the original table."""
+    return ScenarioRunner().run(drift_spec(config)).result

@@ -8,7 +8,7 @@ headline speed-up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Sequence
 
 from ..mac.timing import (
@@ -16,8 +16,11 @@ from ..mac.timing import (
     mutual_training_time_us,
     training_speedup,
 )
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import ScenarioSpec
 
-__all__ = ["Fig10Config", "Fig10Result", "run_fig10"]
+__all__ = ["Fig10Config", "Fig10Result", "run_fig10", "fig10_spec"]
 
 
 @dataclass(frozen=True)
@@ -57,8 +60,19 @@ class Fig10Result:
         return rows
 
 
-def run_fig10(config: Fig10Config = Fig10Config()) -> Fig10Result:
-    """Compute the training-time series of Figure 10."""
+def fig10_spec(config: Fig10Config = Fig10Config()) -> ScenarioSpec:
+    """The declarative form of a Figure 10 run (no randomness at all)."""
+    return ScenarioSpec(scenario="fig10", params=asdict(config))
+
+
+def _config_from_spec(spec: ScenarioSpec) -> Fig10Config:
+    return Fig10Config(**spec.params)
+
+
+@register_scenario("fig10", default_spec=fig10_spec)
+def _run_fig10_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig10Result:
+    """Figure 10: mutual training time vs. probe count."""
+    config = _config_from_spec(spec)
     css_time_ms = [
         mutual_training_time_us(n_probes) / 1000.0 for n_probes in config.probe_counts
     ]
@@ -68,3 +82,8 @@ def run_fig10(config: Fig10Config = Fig10Config()) -> Fig10Result:
         ssw_time_ms=mutual_training_time_us(N_FULL_SWEEP_SECTORS) / 1000.0,
         reference_probes=config.css_reference_probes,
     )
+
+
+def run_fig10(config: Fig10Config = Fig10Config()) -> Fig10Result:
+    """Compute the training-time series of Figure 10."""
+    return ScenarioRunner().run(fig10_spec(config)).result

@@ -9,19 +9,20 @@ sweep — the stability gain showing up as goodput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
 
 import numpy as np
 
 from ..channel.environment import conference_room
-from ..core.compressive import CompressiveSectorSelector
-from ..core.selector import SectorSweepSelector
 from ..link.throughput import ThroughputModel
 from ..mac.timing import N_FULL_SWEEP_SECTORS
-from .common import build_testbed, random_subsweep, record_directions
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import PolicySpec, ScenarioSpec
+from .common import record_directions
 
-__all__ = ["Fig11Config", "Fig11Result", "run_fig11"]
+__all__ = ["Fig11Config", "Fig11Result", "run_fig11", "fig11_spec"]
 
 
 @dataclass(frozen=True)
@@ -49,9 +50,22 @@ class Fig11Result:
         return rows
 
 
-def run_fig11(config: Fig11Config = Fig11Config()) -> Fig11Result:
-    """Run the throughput comparison at the three path directions."""
-    testbed = build_testbed()
+def fig11_spec(config: Fig11Config = Fig11Config()) -> ScenarioSpec:
+    """The declarative form of a Figure 11 run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    return ScenarioSpec(scenario="fig11", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> Fig11Config:
+    return Fig11Config(seed=spec.seed, **spec.params)
+
+
+@register_scenario("fig11", default_spec=fig11_spec)
+def _run_fig11_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig11Result:
+    """Figure 11: expected TCP goodput at three path directions."""
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
+    context = runner.context(testbed)
     rng = np.random.default_rng(config.seed)
     recordings = record_directions(
         testbed,
@@ -64,23 +78,49 @@ def run_fig11(config: Fig11Config = Fig11Config()) -> Fig11Result:
     tx_ids = testbed.tx_sector_ids
     model = ThroughputModel()
 
+    # The legacy loop interleaved the CSS draw and the SSW argmax per
+    # sweep; only the CSS draw touches the rng, so planning CSS first
+    # and replaying SSW afterwards consumes the identical stream.
+    css_spec = PolicySpec("css", {"n_probes": int(config.n_probes)})
+    css = runner.build_policy(css_spec, context)
+    css_records = runner.execute(
+        css,
+        runner.plan_trials(css, recordings, tx_ids, rng),
+        reset="recording",
+        policy_spec=css_spec,
+        testbed_spec=spec.testbed,
+    )
+    ssw_spec = PolicySpec("full-sweep", {})
+    ssw = runner.build_policy(ssw_spec, context)
+    ssw_records = runner.execute(
+        ssw,
+        runner.plan_trials(ssw, recordings, tx_ids, rng),
+        reset="recording",
+        policy_spec=ssw_spec,
+        testbed_spec=spec.testbed,
+    )
+
     css_gbps: List[float] = []
     ssw_gbps: List[float] = []
-    for recording in recordings:
-        css_selector = CompressiveSectorSelector(testbed.pattern_table)
-        ssw_selector = SectorSweepSelector()
-        css_series: List[float] = []
-        ssw_series: List[float] = []
-        css_selections: List[int] = []
-        ssw_selections: List[int] = []
-        for sweep in recording.sweeps:
-            measurements = random_subsweep(sweep, tx_ids, config.n_probes, rng)
-            css_chosen = css_selector.select(measurements).sector_id
-            ssw_chosen = ssw_selector.select(list(sweep.values())).sector_id
-            css_selections.append(css_chosen)
-            ssw_selections.append(ssw_chosen)
-            css_series.append(recording.true_snr_db[tx_ids.index(css_chosen)])
-            ssw_series.append(recording.true_snr_db[tx_ids.index(ssw_chosen)])
+    for index, recording in enumerate(recordings):
+        css_selections = [
+            record.result.sector_id
+            for record in css_records
+            if record.recording_index == index
+        ]
+        ssw_selections = [
+            record.result.sector_id
+            for record in ssw_records
+            if record.recording_index == index
+        ]
+        css_series = [
+            recording.true_snr_db[tx_ids.index(sector_id)]
+            for sector_id in css_selections
+        ]
+        ssw_series = [
+            recording.true_snr_db[tx_ids.index(sector_id)]
+            for sector_id in ssw_selections
+        ]
         css_gbps.append(
             model.expected_goodput_gbps(css_series, config.n_probes, css_selections)
         )
@@ -94,3 +134,8 @@ def run_fig11(config: Fig11Config = Fig11Config()) -> Fig11Result:
         ssw_gbps=ssw_gbps,
         n_probes=config.n_probes,
     )
+
+
+def run_fig11(config: Fig11Config = Fig11Config(), jobs: int = 1) -> Fig11Result:
+    """Run the throughput comparison at the three path directions."""
+    return ScenarioRunner(jobs=jobs).run(fig11_spec(config)).result

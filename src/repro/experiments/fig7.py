@@ -5,27 +5,33 @@ conference room (6 m, multipath, azimuth only), the experiment records
 full sweeps on a grid of physical directions, then estimates the path
 direction from random probe subsets of each sweep and reports the
 azimuth and elevation error distributions per probe count.
+
+The trial loop lives in :class:`~repro.runtime.runner.ScenarioRunner`;
+this module only declares the scenario (spec builder + executor) and
+post-processes the per-trial records into the figure's box statistics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import List, Sequence
 
 import numpy as np
 
 from ..channel.environment import conference_room, lab_environment
-from ..core.estimator import AngleEstimator
 from ..geometry.angles import azimuth_difference
-from .common import (
-    BoxStats,
-    Testbed,
-    build_testbed,
-    random_probe_columns,
-    record_directions,
-)
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import PolicySpec, ScenarioSpec
+from .common import BoxStats, record_directions
 
-__all__ = ["Fig7Config", "Fig7Result", "run_fig7", "EstimationErrorSeries"]
+__all__ = [
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+    "fig7_spec",
+    "EstimationErrorSeries",
+]
 
 
 @dataclass(frozen=True)
@@ -83,64 +89,74 @@ class Fig7Result:
         return rows
 
 
+def fig7_spec(config: Fig7Config = Fig7Config()) -> ScenarioSpec:
+    """The declarative form of a Figure 7 run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    return ScenarioSpec(scenario="fig7", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> Fig7Config:
+    return Fig7Config(seed=spec.seed, **spec.params)
+
+
 def _evaluate_environment(
-    testbed: Testbed,
-    estimator: AngleEstimator,
+    runner: ScenarioRunner,
+    spec: ScenarioSpec,
+    testbed,
     recordings,
     config: Fig7Config,
     rng: np.random.Generator,
     name: str,
 ) -> EstimationErrorSeries:
-    # Batched form of the paper's offline emulation: the probe draws
-    # happen in exactly the scalar order (one `rng.choice` per trial),
-    # every trial becomes one row of a padded batch, and
-    # `estimate_batch` reproduces the scalar estimates bit for bit —
-    # rows with fewer than two reported probes come back as None, the
-    # trials the scalar loop skipped.
+    # The runner replays the paper's offline emulation: one probe draw
+    # per recording × sweep × subsample in scalar order, one padded
+    # batch per recording, estimates bit-identical to the scalar path.
+    # Rows that fell back (fewer than two reported probes) carry no
+    # estimate — the trials the scalar loop skipped.
     series = EstimationErrorSeries(environment_name=name)
+    context = runner.context(testbed)
     tx_ids = testbed.tx_sector_ids
-    id_row = np.asarray(tx_ids, dtype=np.intp)
-    packed = [recording.packed_sweeps(tx_ids) for recording in recordings]
     for n_probes in config.probe_counts:
-        trial_ids: List[np.ndarray] = []
-        trial_snr: List[np.ndarray] = []
-        trial_rssi: List[np.ndarray] = []
-        trial_mask: List[np.ndarray] = []
-        truths: List[tuple] = []
-        for recording, (present, snr, rssi) in zip(recordings, packed):
-            for sweep_index in range(len(recording.sweeps)):
-                for _ in range(config.subsamples_per_sweep):
-                    columns = random_probe_columns(len(tx_ids), n_probes, rng)
-                    trial_ids.append(id_row[columns])
-                    trial_snr.append(snr[sweep_index, columns])
-                    trial_rssi.append(rssi[sweep_index, columns])
-                    trial_mask.append(present[sweep_index, columns])
-                    truths.append((recording.azimuth_deg, recording.elevation_deg))
-        estimates = estimator.estimate_batch(
-            np.stack(trial_ids),
-            snr_db=np.stack(trial_snr),
-            rssi_dbm=np.stack(trial_rssi),
-            mask=np.stack(trial_mask),
+        policy_spec = PolicySpec("css", {"n_probes": int(n_probes)})
+        policy = runner.build_policy(policy_spec, context)
+        blocks = runner.plan_trials(
+            policy,
+            recordings,
+            tx_ids,
+            rng,
+            subsamples_per_sweep=config.subsamples_per_sweep,
+        )
+        records = runner.execute(
+            policy,
+            blocks,
+            reset="recording",
+            policy_spec=policy_spec,
+            testbed_spec=spec.testbed,
         )
         azimuth_errors: List[float] = []
         elevation_errors: List[float] = []
-        for estimate, (true_azimuth, true_elevation) in zip(estimates, truths):
+        for record in records:
+            estimate = record.result.estimate
             if estimate is None:
                 continue
+            recording = recordings[record.recording_index]
             azimuth_errors.append(
-                abs(azimuth_difference(estimate.azimuth_deg, true_azimuth))
+                abs(azimuth_difference(estimate.azimuth_deg, recording.azimuth_deg))
             )
-            elevation_errors.append(abs(estimate.elevation_deg - true_elevation))
+            elevation_errors.append(
+                abs(estimate.elevation_deg - recording.elevation_deg)
+            )
         series.probe_counts.append(n_probes)
         series.azimuth_stats.append(BoxStats.from_samples(azimuth_errors))
         series.elevation_stats.append(BoxStats.from_samples(elevation_errors))
     return series
 
 
-def run_fig7(config: Fig7Config = Fig7Config()) -> Fig7Result:
-    """Run the full Figure 7 experiment (both environments)."""
-    testbed = build_testbed()
-    estimator = AngleEstimator(testbed.pattern_table)
+@register_scenario("fig7", default_spec=fig7_spec)
+def _run_fig7_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig7Result:
+    """Figure 7: angular estimation error vs. probe count."""
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
     rng = np.random.default_rng(config.seed)
 
     lab_azimuths = np.arange(-60.0, 60.0 + 1e-9, config.lab_azimuth_step_deg)
@@ -151,7 +167,7 @@ def run_fig7(config: Fig7Config = Fig7Config()) -> Fig7Result:
         testbed, lab_environment(3.0), lab_azimuths, lab_elevations, config.n_sweeps, rng
     )
     lab_series = _evaluate_environment(
-        testbed, estimator, lab_recordings, config, rng, "lab"
+        runner, spec, testbed, lab_recordings, config, rng, "lab"
     )
 
     conference_azimuths = np.arange(
@@ -161,6 +177,11 @@ def run_fig7(config: Fig7Config = Fig7Config()) -> Fig7Result:
         testbed, conference_room(6.0), conference_azimuths, [0.0], config.n_sweeps, rng
     )
     conference_series = _evaluate_environment(
-        testbed, estimator, conference_recordings, config, rng, "conference-room"
+        runner, spec, testbed, conference_recordings, config, rng, "conference-room"
     )
     return Fig7Result(lab=lab_series, conference=conference_series)
+
+
+def run_fig7(config: Fig7Config = Fig7Config(), jobs: int = 1) -> Fig7Result:
+    """Run the full Figure 7 experiment (both environments)."""
+    return ScenarioRunner(jobs=jobs).run(fig7_spec(config)).result

@@ -10,17 +10,24 @@ selection crosses it around 13 probes and reaches ~95 % with all 34.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
 
 import numpy as np
 
 from ..channel.environment import conference_room
-from ..core.compressive import CompressiveSectorSelector
-from ..core.selector import SectorSweepSelector
-from .common import build_testbed, random_probe_columns, record_directions
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner, TrialRecord
+from ..runtime.spec import PolicySpec, ScenarioSpec
+from .common import record_directions
 
-__all__ = ["Fig8Config", "Fig8Result", "run_fig8", "stability_of_selections"]
+__all__ = [
+    "Fig8Config",
+    "Fig8Result",
+    "run_fig8",
+    "fig8_spec",
+    "stability_of_selections",
+]
 
 
 @dataclass(frozen=True)
@@ -67,9 +74,31 @@ def stability_of_selections(selections: Sequence[int]) -> float:
     return counts.most_common(1)[0][1] / len(selections)
 
 
-def run_fig8(config: Fig8Config = Fig8Config()) -> Fig8Result:
-    """Run the stability experiment in the conference room."""
-    testbed = build_testbed()
+def _selections_by_recording(
+    records: Sequence[TrialRecord], n_recordings: int
+) -> List[List[int]]:
+    groups: List[List[int]] = [[] for _ in range(n_recordings)]
+    for record in records:
+        groups[record.recording_index].append(record.result.sector_id)
+    return groups
+
+
+def fig8_spec(config: Fig8Config = Fig8Config()) -> ScenarioSpec:
+    """The declarative form of a Figure 8 run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    return ScenarioSpec(scenario="fig8", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> Fig8Config:
+    return Fig8Config(seed=spec.seed, **spec.params)
+
+
+@register_scenario("fig8", default_spec=fig8_spec)
+def _run_fig8_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig8Result:
+    """Figure 8: selection stability in the conference room."""
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
+    context = runner.context(testbed)
     rng = np.random.default_rng(config.seed)
     azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
     recordings = record_directions(
@@ -77,47 +106,60 @@ def run_fig8(config: Fig8Config = Fig8Config()) -> Fig8Result:
     )
     tx_ids = testbed.tx_sector_ids
 
-    # SSW: full-sweep argmax per recorded sweep.
-    ssw_per_direction: List[float] = []
-    for recording in recordings:
-        selector = SectorSweepSelector()
-        selections = [
-            selector.select(list(sweep.values())).sector_id for sweep in recording.sweeps
-        ]
-        ssw_per_direction.append(stability_of_selections(selections))
-    ssw_stability = float(np.mean(ssw_per_direction))
+    # SSW: full-sweep argmax per recorded sweep.  The policy consumes
+    # no randomness, so planning it before the CSS draws leaves the
+    # pinned stream untouched.
+    ssw_spec = PolicySpec("full-sweep", {})
+    ssw = runner.build_policy(ssw_spec, context)
+    ssw_records = runner.execute(
+        ssw,
+        runner.plan_trials(ssw, recordings, tx_ids, rng),
+        reset="recording",
+        policy_spec=ssw_spec,
+        testbed_spec=spec.testbed,
+    )
+    ssw_stability = float(
+        np.mean(
+            [
+                stability_of_selections(selections)
+                for selections in _selections_by_recording(ssw_records, len(recordings))
+            ]
+        )
+    )
 
-    # One hoisted selector, `reset()` per recording, one `select_batch`
-    # per recording's sweeps — bit-identical to per-recording fresh
-    # selectors driving scalar `select` (see fig9 for the same pattern).
-    selector = CompressiveSectorSelector(testbed.pattern_table)
-    id_row = np.asarray(tx_ids, dtype=np.intp)
+    # CSS: per probe count, one probe draw per recording × sweep and a
+    # per-recording state reset — the legacy fresh-selector loop.
     css_stability: List[float] = []
     for n_probes in config.probe_counts:
-        per_direction: List[float] = []
-        for recording in recordings:
-            selector.reset()
-            present, snr, rssi = recording.packed_sweeps(tx_ids)
-            columns = np.stack(
-                [
-                    random_probe_columns(len(tx_ids), n_probes, rng)
-                    for _ in recording.sweeps
-                ]
+        policy_spec = PolicySpec("css", {"n_probes": int(n_probes)})
+        policy = runner.build_policy(policy_spec, context)
+        records = runner.execute(
+            policy,
+            runner.plan_trials(policy, recordings, tx_ids, rng),
+            reset="recording",
+            policy_spec=policy_spec,
+            testbed_spec=spec.testbed,
+        )
+        css_stability.append(
+            float(
+                np.mean(
+                    [
+                        stability_of_selections(selections)
+                        for selections in _selections_by_recording(
+                            records, len(recordings)
+                        )
+                    ]
+                )
             )
-            sweep_rows = np.arange(len(recording.sweeps))[:, np.newaxis]
-            results = selector.select_batch(
-                id_row[columns],
-                snr_db=snr[sweep_rows, columns],
-                rssi_dbm=rssi[sweep_rows, columns],
-                mask=present[sweep_rows, columns],
-            )
-            per_direction.append(
-                stability_of_selections([result.sector_id for result in results])
-            )
-        css_stability.append(float(np.mean(per_direction)))
+        )
 
     return Fig8Result(
         probe_counts=list(config.probe_counts),
         css_stability=css_stability,
         ssw_stability=ssw_stability,
     )
+
+
+def run_fig8(config: Fig8Config = Fig8Config(), jobs: int = 1) -> Fig8Result:
+    """Run the stability experiment in the conference room."""
+    return ScenarioRunner(jobs=jobs).run(fig8_spec(config)).result

@@ -10,17 +10,18 @@ around 14, approaching the optimum near 20.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
 
 import numpy as np
 
 from ..channel.environment import conference_room
-from ..core.compressive import CompressiveSectorSelector
-from ..core.selector import SectorSweepSelector
-from .common import build_testbed, random_probe_columns, record_directions
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner, TrialRecord
+from ..runtime.spec import PolicySpec, ScenarioSpec
+from .common import record_directions
 
-__all__ = ["Fig9Config", "Fig9Result", "run_fig9"]
+__all__ = ["Fig9Config", "Fig9Result", "run_fig9", "fig9_spec"]
 
 
 @dataclass(frozen=True)
@@ -59,64 +60,74 @@ class Fig9Result:
         return rows
 
 
-def _true_snr_of(recording, sector_id: int, tx_ids: Sequence[int]) -> float:
-    return float(recording.true_snr_db[list(tx_ids).index(sector_id)])
+def fig9_spec(config: Fig9Config = Fig9Config()) -> ScenarioSpec:
+    """The declarative form of a Figure 9 run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    return ScenarioSpec(scenario="fig9", seed=config.seed, params=params)
 
 
-def run_fig9(config: Fig9Config = Fig9Config()) -> Fig9Result:
-    """Run the SNR-loss experiment in the conference room."""
-    testbed = build_testbed()
+def _config_from_spec(spec: ScenarioSpec) -> Fig9Config:
+    return Fig9Config(seed=spec.seed, **spec.params)
+
+
+def _losses(records: Sequence[TrialRecord], recordings, column_of) -> List[float]:
+    return [
+        recordings[record.recording_index].optimal_snr_db()
+        - float(
+            recordings[record.recording_index].true_snr_db[
+                column_of[record.result.sector_id]
+            ]
+        )
+        for record in records
+    ]
+
+
+@register_scenario("fig9", default_spec=fig9_spec)
+def _run_fig9_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig9Result:
+    """Figure 9: SNR loss vs. probe count in the conference room."""
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
+    context = runner.context(testbed)
     rng = np.random.default_rng(config.seed)
     azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
     recordings = record_directions(
         testbed, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
     )
     tx_ids = testbed.tx_sector_ids
-
-    ssw_losses: List[float] = []
-    for recording in recordings:
-        selector = SectorSweepSelector()
-        optimal = recording.optimal_snr_db()
-        for sweep in recording.sweeps:
-            chosen = selector.select(list(sweep.values())).sector_id
-            ssw_losses.append(optimal - _true_snr_of(recording, chosen, tx_ids))
-    ssw_loss_db = float(np.mean(ssw_losses))
-
-    # One hoisted selector (construction samples two full grid
-    # matrices); `reset()` between recordings reproduces the fresh-
-    # selector state, and one `select_batch` per recording replays the
-    # sweeps in order — bit-identical to the scalar loop.
-    selector = CompressiveSectorSelector(testbed.pattern_table)
-    id_row = np.asarray(tx_ids, dtype=np.intp)
     column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+
+    # SSW first (no randomness consumed), fresh state per recording.
+    ssw_spec = PolicySpec("full-sweep", {})
+    ssw = runner.build_policy(ssw_spec, context)
+    ssw_records = runner.execute(
+        ssw,
+        runner.plan_trials(ssw, recordings, tx_ids, rng),
+        reset="recording",
+        policy_spec=ssw_spec,
+        testbed_spec=spec.testbed,
+    )
+    ssw_loss_db = float(np.mean(_losses(ssw_records, recordings, column_of)))
+
     css_loss_db: List[float] = []
     for n_probes in config.probe_counts:
-        losses: List[float] = []
-        for recording in recordings:
-            selector.reset()
-            present, snr, rssi = recording.packed_sweeps(tx_ids)
-            optimal = recording.optimal_snr_db()
-            columns = np.stack(
-                [
-                    random_probe_columns(len(tx_ids), n_probes, rng)
-                    for _ in recording.sweeps
-                ]
-            )
-            sweep_rows = np.arange(len(recording.sweeps))[:, np.newaxis]
-            results = selector.select_batch(
-                id_row[columns],
-                snr_db=snr[sweep_rows, columns],
-                rssi_dbm=rssi[sweep_rows, columns],
-                mask=present[sweep_rows, columns],
-            )
-            for result in results:
-                losses.append(
-                    optimal - float(recording.true_snr_db[column_of[result.sector_id]])
-                )
-        css_loss_db.append(float(np.mean(losses)))
+        policy_spec = PolicySpec("css", {"n_probes": int(n_probes)})
+        policy = runner.build_policy(policy_spec, context)
+        records = runner.execute(
+            policy,
+            runner.plan_trials(policy, recordings, tx_ids, rng),
+            reset="recording",
+            policy_spec=policy_spec,
+            testbed_spec=spec.testbed,
+        )
+        css_loss_db.append(float(np.mean(_losses(records, recordings, column_of))))
 
     return Fig9Result(
         probe_counts=list(config.probe_counts),
         css_loss_db=css_loss_db,
         ssw_loss_db=ssw_loss_db,
     )
+
+
+def run_fig9(config: Fig9Config = Fig9Config(), jobs: int = 1) -> Fig9Result:
+    """Run the SNR-loss experiment in the conference room."""
+    return ScenarioRunner(jobs=jobs).run(fig9_spec(config)).result

@@ -20,7 +20,7 @@ time paid for it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List
 
 import numpy as np
@@ -35,9 +35,12 @@ from ..geometry.rotation import Orientation
 from ..mac.timing import mutual_training_time_us
 from ..measurement.campaign import CampaignConfig, PatternMeasurementCampaign
 from ..phased_array.talon import fine_codebook, probing_sector_ids
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import ScenarioSpec
 from .common import Testbed, build_testbed
 
-__all__ = ["FineCodebookConfig", "FineCodebookResult", "run_fine_codebook"]
+__all__ = ["FineCodebookConfig", "FineCodebookResult", "run_fine_codebook", "fine_spec"]
 
 
 @dataclass(frozen=True)
@@ -70,9 +73,29 @@ class FineCodebookResult:
         return rows
 
 
-def run_fine_codebook(config: FineCodebookConfig = FineCodebookConfig()) -> FineCodebookResult:
-    """Compare stock/fine codebooks under sweep and compressive training."""
-    testbed = build_testbed()
+def fine_spec(config: FineCodebookConfig = FineCodebookConfig()) -> ScenarioSpec:
+    """The declarative form of a fine-codebook run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    params["azimuths_deg"] = [float(az) for az in params["azimuths_deg"]]
+    return ScenarioSpec(scenario="fine", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> FineCodebookConfig:
+    params = dict(spec.params)
+    params["azimuths_deg"] = tuple(params["azimuths_deg"])
+    return FineCodebookConfig(seed=spec.seed, **params)
+
+
+@register_scenario("fine", default_spec=fine_spec)
+def _run_fine_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> FineCodebookResult:
+    """Fine codebook (§7): more sectors under sweep vs. compressive training.
+
+    The draws interleave with per-frame ``observe`` calls across three
+    strategies, so the trial loop stays scalar; the scenario wrapper
+    adds the manifest and the CLI entry point.
+    """
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
     rng = np.random.default_rng(config.seed)
 
     fine = fine_codebook(testbed.dut_antenna)
@@ -180,3 +203,8 @@ def run_fine_codebook(config: FineCodebookConfig = FineCodebookConfig()) -> Fine
         optimal_stock_db=float(np.mean(stock_truth.max(axis=1))),
         optimal_fine_db=float(np.mean(fine_truth.max(axis=1))),
     )
+
+
+def run_fine_codebook(config: FineCodebookConfig = FineCodebookConfig()) -> FineCodebookResult:
+    """Compare stock/fine codebooks under sweep and compressive training."""
+    return ScenarioRunner().run(fine_spec(config)).result

@@ -11,7 +11,7 @@ of the monitor's position).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Set, Tuple
 
 import numpy as np
@@ -24,8 +24,11 @@ from ..mac.station import Station
 from ..mac.sweep import SweepSession, transmit_beacon_burst
 from ..phased_array.array import PhasedArray
 from ..phased_array.talon import talon_codebook
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import ScenarioSpec
 
-__all__ = ["Table1Config", "Table1Result", "run_table1"]
+__all__ = ["Table1Config", "Table1Result", "run_table1", "table1_spec"]
 
 
 @dataclass(frozen=True)
@@ -82,8 +85,27 @@ class Table1Result:
         return rows
 
 
-def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
-    """Capture beacon and sweep bursts on a monitor and aggregate."""
+def table1_spec(config: Table1Config = Table1Config()) -> ScenarioSpec:
+    """The declarative form of a Table 1 capture run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    params["ap_yaws_deg"] = [float(yaw) for yaw in params["ap_yaws_deg"]]
+    return ScenarioSpec(scenario="table1", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> Table1Config:
+    params = dict(spec.params)
+    params["ap_yaws_deg"] = tuple(params["ap_yaws_deg"])
+    return Table1Config(seed=spec.seed, **params)
+
+
+@register_scenario("table1", default_spec=table1_spec)
+def _run_table1_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Table1Result:
+    """Table 1: capture beacon/sweep bursts on a monitor station.
+
+    MAC-layer frame capture, not sector selection — the scenario wrapper
+    only adds the manifest and the CLI entry point.
+    """
+    config = _config_from_spec(spec)
     rng = np.random.default_rng(config.seed)
     environment = lab_environment(3.0)
 
@@ -120,3 +142,8 @@ def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
                     sweep_observed.setdefault(frame.cdown, set()).add(frame.sector_id)
 
     return Table1Result(beacon_observed=beacon_observed, sweep_observed=sweep_observed)
+
+
+def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
+    """Capture beacon and sweep bursts on a monitor and aggregate."""
+    return ScenarioRunner().run(table1_spec(config)).result

@@ -14,20 +14,23 @@ practitioner whether one lab campaign can serve a whole fleet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, List
 
 import numpy as np
 
 from ..channel.environment import conference_room
-from ..core.compressive import CompressiveSectorSelector
+from ..core.policy import CompressivePolicy
 from ..geometry.angles import azimuth_difference
 from ..measurement.campaign import CampaignConfig, PatternMeasurementCampaign
 from ..phased_array.array import PhasedArray
 from ..phased_array.talon import talon_codebook
-from .common import build_testbed, random_probe_columns
+from ..runtime.registry import register_scenario
+from ..runtime.runner import ScenarioRunner
+from ..runtime.spec import ScenarioSpec
+from .common import record_directions
 
-__all__ = ["TransferConfig", "TransferResult", "run_pattern_transfer"]
+__all__ = ["TransferConfig", "TransferResult", "run_pattern_transfer", "transfer_spec"]
 
 
 @dataclass(frozen=True)
@@ -57,9 +60,21 @@ class TransferResult:
         return rows
 
 
-def run_pattern_transfer(config: TransferConfig = TransferConfig()) -> TransferResult:
-    """Evaluate CSS on a second device with own vs. foreign patterns."""
-    testbed = build_testbed()
+def transfer_spec(config: TransferConfig = TransferConfig()) -> ScenarioSpec:
+    """The declarative form of a pattern-transfer run."""
+    params = {key: value for key, value in asdict(config).items() if key != "seed"}
+    return ScenarioSpec(scenario="transfer", seed=config.seed, params=params)
+
+
+def _config_from_spec(spec: ScenarioSpec) -> TransferConfig:
+    return TransferConfig(seed=spec.seed, **spec.params)
+
+
+@register_scenario("transfer", default_spec=transfer_spec)
+def _run_transfer_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> TransferResult:
+    """Cross-device pattern transfer: own vs. foreign chamber table."""
+    config = _config_from_spec(spec)
+    testbed = spec.testbed.build()
     rng = np.random.default_rng(config.seed)
 
     # Device B: identical codebook design, different hardware flaws.
@@ -83,67 +98,57 @@ def run_pattern_transfer(config: TransferConfig = TransferConfig()) -> TransferR
     )
 
     # Record sweeps with device B on the rotation head.
-    from dataclasses import replace
-
     testbed_b = replace(testbed, dut_antenna=device_b, dut_codebook=codebook_b)
-    from .common import record_directions
-
     azimuths = np.arange(-60.0, 60.0 + 1e-9, config.azimuth_step_deg)
     recordings = record_directions(
         testbed_b, conference_room(6.0), azimuths, [0.0], config.n_sweeps, rng
     )
     tx_ids = codebook_b.tx_sector_ids
-
-    tables = {
-        "own (device B)": own_table,
-        "foreign (device A)": testbed.pattern_table,
-    }
-    selectors = {name: CompressiveSectorSelector(table) for name, table in tables.items()}
-    errors: Dict[str, List[float]] = {name: [] for name in tables}
-    losses: Dict[str, List[float]] = {name: [] for name in tables}
-    # Paired comparison: both tables judge the *same* probe draws.  The
-    # draws are collected once (scalar order), then each selector
-    # replays every trial in sequence via one select_batch — identical
-    # to the interleaved scalar loop because selection consumes no rng
-    # and each selector's state only depends on its own trial sequence.
     column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
-    id_row = np.asarray(tx_ids, dtype=np.intp)
-    trial_ids: List[np.ndarray] = []
-    trial_snr: List[np.ndarray] = []
-    trial_rssi: List[np.ndarray] = []
-    trial_mask: List[np.ndarray] = []
-    optima: List[float] = []
-    truth_rows: List[np.ndarray] = []
-    truth_azimuths: List[float] = []
-    for recording in recordings:
-        present, snr, rssi = recording.packed_sweeps(tx_ids)
-        optimal = recording.optimal_snr_db()
-        for sweep_index in range(len(recording.sweeps)):
-            columns = random_probe_columns(len(tx_ids), config.n_probes, rng)
-            trial_ids.append(id_row[columns])
-            trial_snr.append(snr[sweep_index, columns])
-            trial_rssi.append(rssi[sweep_index, columns])
-            trial_mask.append(present[sweep_index, columns])
-            optima.append(optimal)
-            truth_rows.append(recording.true_snr_db)
-            truth_azimuths.append(recording.azimuth_deg)
-    for name, selector in selectors.items():
-        results = selector.select_batch(
-            np.stack(trial_ids),
-            snr_db=np.stack(trial_snr),
-            rssi_dbm=np.stack(trial_rssi),
-            mask=np.stack(trial_mask),
-        )
-        for result, optimal, truth, truth_azimuth in zip(
-            results, optima, truth_rows, truth_azimuths
-        ):
+
+    # Paired comparison: both tables judge the *same* probe draws, so
+    # the plan is drawn once (scalar order) and each policy replays it
+    # in sequence.  Live pattern tables are not spec-serializable, so
+    # the policies are built directly — `reset="plan"` keeps each one's
+    # state threading through all trials like the one-big-batch loop.
+    context = runner.context(testbed_b)
+    policies = {
+        "own (device B)": CompressivePolicy(
+            context, n_probes=config.n_probes, pattern_table=own_table
+        ),
+        "foreign (device A)": CompressivePolicy(
+            context, n_probes=config.n_probes, pattern_table=testbed.pattern_table
+        ),
+    }
+    blocks = runner.plan_trials(
+        next(iter(policies.values())), recordings, tx_ids, rng
+    )
+    errors: Dict[str, List[float]] = {name: [] for name in policies}
+    losses: Dict[str, List[float]] = {name: [] for name in policies}
+    for name, policy in policies.items():
+        records = runner.execute(policy, blocks, reset="plan", label=name)
+        for record in records:
+            recording = recordings[record.recording_index]
+            result = record.result
             if result.estimate is not None:
                 errors[name].append(
-                    abs(azimuth_difference(result.estimate.azimuth_deg, truth_azimuth))
+                    abs(
+                        azimuth_difference(
+                            result.estimate.azimuth_deg, recording.azimuth_deg
+                        )
+                    )
                 )
-            losses[name].append(optimal - truth[column_of[result.sector_id]])
+            losses[name].append(
+                recording.optimal_snr_db()
+                - recording.true_snr_db[column_of[result.sector_id]]
+            )
 
     return TransferResult(
-        azimuth_error_deg={name: float(np.mean(errors[name])) for name in tables},
-        snr_loss_db={name: float(np.mean(losses[name])) for name in tables},
+        azimuth_error_deg={name: float(np.mean(errors[name])) for name in policies},
+        snr_loss_db={name: float(np.mean(losses[name])) for name in policies},
     )
+
+
+def run_pattern_transfer(config: TransferConfig = TransferConfig()) -> TransferResult:
+    """Evaluate CSS on a second device with own vs. foreign patterns."""
+    return ScenarioRunner().run(transfer_spec(config)).result

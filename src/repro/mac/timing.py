@@ -17,6 +17,7 @@ __all__ = [
     "N_FULL_SWEEP_SECTORS",
     "one_sided_sweep_time_us",
     "mutual_training_time_us",
+    "multi_round_training_time_us",
     "training_speedup",
 ]
 
@@ -52,6 +53,21 @@ def mutual_training_time_us(n_probes: int) -> float:
     0.55
     """
     return 2.0 * one_sided_sweep_time_us(n_probes) + FEEDBACK_OVERHEAD_US
+
+
+def multi_round_training_time_us(n_probes: int, n_rounds: int = 1) -> float:
+    """Mutual training airtime with ``n_rounds`` feedback exchanges.
+
+    Generalizes :func:`mutual_training_time_us` to strategies that need
+    several probe/feedback rounds (hierarchical search pays two) and to
+    degenerate zero-probe trainings.  ``multi_round_training_time_us(n, 1)
+    == mutual_training_time_us(n)`` for any positive ``n``.
+    """
+    if n_probes < 0:
+        raise ValueError("probe count cannot be negative")
+    if n_rounds < 1:
+        raise ValueError("training needs at least one feedback round")
+    return 2.0 * n_probes * SSW_FRAME_TIME_US + n_rounds * FEEDBACK_OVERHEAD_US
 
 
 def training_speedup(n_probes: int, n_full: int = N_FULL_SWEEP_SECTORS) -> float:

@@ -61,6 +61,7 @@ _LATENCY_METRICS = (
     "estimate_scalar_ms_median",
     "record_directions_s",
     "campaign_build_s",
+    "scenario_fig7_fig9_jobs1_s",
 )
 
 
@@ -253,6 +254,33 @@ def measure_metrics(
     metrics["campaign_build_s"] = _best_of(
         lambda: campaign.run(config, np.random.default_rng(seed + 4))
     )
+
+    # -- scenario engine wall time (absent before the runtime landed) --
+    try:
+        from .experiments.fig7 import Fig7Config, fig7_spec
+        from .experiments.fig9 import Fig9Config, fig9_spec
+        from .runtime import ScenarioRunner
+    except ImportError:
+        ScenarioRunner = None
+    if ScenarioRunner is not None:
+        scenario_specs = (
+            fig7_spec(
+                Fig7Config(
+                    probe_counts=(8, 20),
+                    lab_azimuth_step_deg=20.0,
+                    lab_elevation_step_deg=15.0,
+                    conference_azimuth_step_deg=15.0,
+                    n_sweeps=1,
+                    subsamples_per_sweep=1,
+                )
+            ),
+            fig9_spec(Fig9Config(probe_counts=(6, 14), azimuth_step_deg=20.0, n_sweeps=6)),
+        )
+        for jobs, name in ((1, "scenario_fig7_fig9_jobs1_s"), (4, "scenario_fig7_fig9_jobs4_s")):
+            start = time.perf_counter()
+            for scenario_spec in scenario_specs:
+                ScenarioRunner(jobs=jobs).run(scenario_spec)
+            metrics[name] = time.perf_counter() - start
 
     # -- testbed disk cache (absent before the cache landed) -----------
     try:

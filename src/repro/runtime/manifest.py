@@ -1,0 +1,72 @@
+"""Structured run manifests: provenance for every scenario run.
+
+A manifest records *which* configuration produced a result (the spec's
+SHA-256 digest and seed), *where* (git revision), and *how long* each
+policy took — enough to reproduce or audit a run from the manifest
+alone (``repro-bench run spec.json`` with the same digest).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict
+
+__all__ = ["RunManifest", "git_revision"]
+
+
+def git_revision() -> str:
+    """The current git commit hash, or 'unknown' outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    revision = proc.stdout.strip()
+    return revision if proc.returncode == 0 and revision else "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Provenance of one :class:`~.runner.ScenarioRunner` run."""
+
+    scenario: str
+    spec_digest: str
+    seed: int
+    jobs: int
+    git_rev: str
+    started: str
+    wall_time_s: float
+    policy_timings_s: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "spec_digest": self.spec_digest,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "git_rev": self.git_rev,
+            "started": self.started,
+            "wall_time_s": self.wall_time_s,
+            "policy_timings_s": dict(self.policy_timings_s),
+        }
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+
+    def format_rows(self):
+        rows = [
+            f"manifest: scenario={self.scenario} seed={self.seed} jobs={self.jobs}",
+            f"  spec sha256 {self.spec_digest[:16]}…  git {self.git_rev[:12]}",
+            f"  started {self.started}  wall {self.wall_time_s:.2f} s",
+        ]
+        for name in sorted(self.policy_timings_s):
+            rows.append(f"  policy {name:20s} {self.policy_timings_s[name]:8.3f} s")
+        return rows

@@ -1,0 +1,148 @@
+"""Name → factory registries for policies and scenarios.
+
+The registry is what makes specs *resolvable*: a
+:class:`~.spec.PolicySpec` names a policy factory, a
+:class:`~.spec.ScenarioSpec` names a scenario executor, and both sides
+are plain dict lookups so a new policy or workload is one
+``@register_policy`` / ``@register_scenario`` away — no edits to any
+``experiments/`` module (the acceptance test registers a toy policy
+exactly this way).
+
+Registration contract:
+
+* A **policy factory** has signature ``factory(context, **kwargs)``
+  where ``context`` is a :class:`~.policy.PolicyContext` and
+  ``kwargs`` are the spec's JSON kwargs.  It returns an object
+  satisfying :class:`~.policy.SelectionPolicy`.
+* A **scenario executor** has signature ``executor(spec, runner)`` and
+  returns the experiment's result object.  ``default_spec`` (optional)
+  builds the canonical spec for ``repro-bench run <name>``.
+
+Built-in registrations live next to the code they adapt
+(``core/policy.py``, ``baselines/policy.py``, the experiment modules)
+and are imported lazily by :func:`load_builtin` to keep import cycles
+out of the package graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .policy import PolicyContext
+from .spec import PolicySpec, ScenarioSpec
+
+__all__ = [
+    "ScenarioEntry",
+    "register_policy",
+    "register_scenario",
+    "build_policy",
+    "get_scenario",
+    "scenario_spec",
+    "available_policies",
+    "available_scenarios",
+    "load_builtin",
+]
+
+PolicyFactory = Callable[..., Any]
+
+_POLICIES: Dict[str, PolicyFactory] = {}
+_SCENARIOS: Dict[str, "ScenarioEntry"] = {}
+_BUILTIN_LOADED = False
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario."""
+
+    name: str
+    executor: Callable[[ScenarioSpec, Any], Any]
+    default_spec: Optional[Callable[[], ScenarioSpec]] = None
+    description: str = ""
+
+
+def register_policy(name: str) -> Callable[[PolicyFactory], PolicyFactory]:
+    """Register a policy factory under ``name`` (decorator)."""
+
+    def decorator(factory: PolicyFactory) -> PolicyFactory:
+        _POLICIES[name] = factory
+        return factory
+
+    return decorator
+
+
+def register_scenario(
+    name: str,
+    default_spec: Optional[Callable[[], ScenarioSpec]] = None,
+    description: str = "",
+) -> Callable[[Callable], Callable]:
+    """Register a scenario executor under ``name`` (decorator)."""
+
+    def decorator(executor: Callable) -> Callable:
+        summary = description
+        if not summary and executor.__doc__:
+            summary = executor.__doc__.strip().splitlines()[0]
+        _SCENARIOS[name] = ScenarioEntry(
+            name=name,
+            executor=executor,
+            default_spec=default_spec,
+            description=summary,
+        )
+        return executor
+
+    return decorator
+
+
+def build_policy(spec: PolicySpec, context: PolicyContext):
+    """Resolve a policy spec to a live policy instance."""
+    load_builtin()
+    factory = _POLICIES.get(spec.name)
+    if factory is None:
+        raise KeyError(
+            f"unknown policy '{spec.name}'; registered: {available_policies()}"
+        )
+    return factory(context, **dict(spec.kwargs))
+
+
+def get_scenario(name: str) -> ScenarioEntry:
+    """Look up a registered scenario by name."""
+    load_builtin()
+    entry = _SCENARIOS.get(name)
+    if entry is None:
+        raise KeyError(
+            f"unknown scenario '{name}'; registered: {available_scenarios()}"
+        )
+    return entry
+
+
+def scenario_spec(name: str) -> ScenarioSpec:
+    """The canonical (default-config) spec of a named scenario."""
+    entry = get_scenario(name)
+    if entry.default_spec is None:
+        raise KeyError(f"scenario '{name}' has no default spec; provide a JSON file")
+    return entry.default_spec()
+
+
+def available_policies() -> List[str]:
+    load_builtin()
+    return sorted(_POLICIES)
+
+
+def available_scenarios() -> List[str]:
+    load_builtin()
+    return sorted(_SCENARIOS)
+
+
+def load_builtin() -> None:
+    """Import the modules that carry built-in registrations (idempotent)."""
+    global _BUILTIN_LOADED
+    if _BUILTIN_LOADED:
+        return
+    _BUILTIN_LOADED = True
+    # Policies adapt code in core/ and baselines/; scenarios live in the
+    # experiment modules and runtime/scenarios.py.  Imported here (not at
+    # module top) so runtime <-> experiments never cycle at import time.
+    from ..core import policy as _core_policy  # noqa: F401
+    from ..baselines import policy as _baseline_policy  # noqa: F401
+    from .. import experiments as _experiments  # noqa: F401
+    from . import scenarios as _scenarios  # noqa: F401

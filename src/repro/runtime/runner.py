@@ -1,0 +1,436 @@
+"""One engine for every experiment: plan → execute → post-process.
+
+The paper's evaluation is a single experiment shape — record full
+sweeps, probe a subset, select, score — instantiated for several
+strategies.  :class:`ScenarioRunner` owns that shape once:
+
+* **plan_trials** replays each policy's probe draws in the exact
+  scalar order (one draw per recording × sweep × subsample) and packs
+  them into per-recording :class:`TrialBlock` arrays;
+* **execute** evaluates the blocks through the policy's batched fast
+  path (or a scalar fallback for policies without one), resetting
+  selection state per recording or per plan;
+* **run_interactive** drives multi-round policies (hierarchical
+  search) against a measure callable, round by round;
+* **run** resolves a :class:`~.spec.ScenarioSpec` through the registry,
+  times every policy, and emits a :class:`~.manifest.RunManifest`.
+
+Bit-exactness: randomness is consumed *only* during planning, batched
+kernels are row-sequential twins of the scalar paths (PR-2), and reset
+boundaries reproduce each legacy loop's selector lifetimes — so every
+experiment's output is bit-identical to its pre-runtime version, at
+any ``jobs`` count.
+
+Sharding (``jobs > 1``) fans per-recording blocks out to a process
+pool.  It engages only when state resets per recording (blocks are
+then independent), the policy is batched, and both the testbed and the
+policy are spec-described (workers rebuild them from JSON); anything
+else degrades to the sequential path, same results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .manifest import RunManifest, git_revision
+from .policy import PolicyContext, PolicyOutcome
+from .spec import PolicySpec, ScenarioSpec, TestbedSpec
+
+__all__ = [
+    "TrialBlock",
+    "TrialRecord",
+    "RunOutcome",
+    "ScenarioRunner",
+]
+
+
+@dataclass(frozen=True)
+class TrialBlock:
+    """All planned trials of one recording, padded into batch arrays.
+
+    Rows are trials in scalar order (sweep-major, then subsample).
+    ``sector_ids`` / ``snr_db`` / ``rssi_dbm`` / ``mask`` have shape
+    ``(n_trials, width)`` — the argument layout of ``select_batch`` —
+    and ``probes_requested[t]`` is the number of probes the policy
+    asked for in trial ``t`` (before padding and before reports went
+    missing), which prices the training airtime.
+    """
+
+    recording_index: int
+    sector_ids: np.ndarray
+    snr_db: np.ndarray
+    rssi_dbm: np.ndarray
+    mask: np.ndarray
+    sweep_indices: np.ndarray
+    subsample_indices: np.ndarray
+    probes_requested: np.ndarray
+
+    @property
+    def n_trials(self) -> int:
+        return self.sector_ids.shape[0]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One evaluated trial, tagged with its origin in the plan."""
+
+    recording_index: int
+    sweep_index: int
+    subsample: int
+    result: Any  # SelectionResult
+    probes_requested: int
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What :meth:`ScenarioRunner.run` returns."""
+
+    result: Any
+    manifest: RunManifest
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker side.
+#
+# Workers rebuild the testbed and policy from their canonical-JSON spec
+# keys (build_testbed is lru_cached and disk-memoized, so under the
+# preferred fork start method this is a cache hit) and keep them in
+# module-level caches across block submissions.
+# ----------------------------------------------------------------------
+
+_WORKER_CONTEXTS: Dict[str, PolicyContext] = {}
+_WORKER_POLICIES: Dict[Tuple[str, str], Any] = {}
+
+
+def _worker_run_block(testbed_key: str, policy_key: str, block: TrialBlock):
+    policy = _WORKER_POLICIES.get((testbed_key, policy_key))
+    if policy is None:
+        from .registry import build_policy, load_builtin
+
+        load_builtin()
+        context = _WORKER_CONTEXTS.get(testbed_key)
+        if context is None:
+            testbed = TestbedSpec.from_json(json.loads(testbed_key)).build()
+            context = PolicyContext(testbed=testbed)
+            _WORKER_CONTEXTS[testbed_key] = context
+        policy = build_policy(PolicySpec.from_json(json.loads(policy_key)), context)
+        _WORKER_POLICIES[(testbed_key, policy_key)] = policy
+    policy.reset()
+    return policy.select_batch(
+        block.sector_ids,
+        snr_db=block.snr_db,
+        rssi_dbm=block.rssi_dbm,
+        mask=block.mask,
+    )
+
+
+def _pad_rows(
+    rows: Sequence[np.ndarray], fill: float, dtype=None
+) -> np.ndarray:
+    """Stack 1-D rows, padding shorter ones with ``fill`` on the right.
+
+    Equal-length rows (the common case — fixed probe budgets) stack
+    without any padding, so the arrays reaching ``select_batch`` are
+    exactly the ones the legacy loops built.
+    """
+    width = max((row.size for row in rows), default=0)
+    out = np.full((len(rows), width), fill, dtype=dtype if dtype else float)
+    for index, row in enumerate(rows):
+        out[index, : row.size] = row
+    return out
+
+
+class ScenarioRunner:
+    """Executes scenario specs; owns trial loops, batching, sharding."""
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = int(jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._contexts: Dict[int, PolicyContext] = {}
+        self._policy_timings: Dict[str, float] = {}
+
+    # -- spec resolution ------------------------------------------------
+
+    def run(self, spec: ScenarioSpec) -> RunOutcome:
+        """Resolve and execute a scenario spec; emit result + manifest."""
+        from .registry import get_scenario
+
+        entry = get_scenario(spec.scenario)
+        self._policy_timings = {}
+        started = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        begin = time.perf_counter()
+        try:
+            result = entry.executor(spec, self)
+        finally:
+            self.close()
+        manifest = RunManifest(
+            scenario=spec.scenario,
+            spec_digest=spec.digest(),
+            seed=spec.seed,
+            jobs=self.jobs,
+            git_rev=git_revision(),
+            started=started,
+            wall_time_s=time.perf_counter() - begin,
+            policy_timings_s=dict(self._policy_timings),
+        )
+        return RunOutcome(result=result, manifest=manifest)
+
+    def context(self, testbed) -> PolicyContext:
+        """The shared per-testbed policy context (selector cache)."""
+        context = self._contexts.get(id(testbed))
+        if context is None:
+            context = PolicyContext(testbed=testbed)
+            self._contexts[id(testbed)] = context
+        return context
+
+    def build_policy(self, policy_spec: PolicySpec, context: PolicyContext):
+        from .registry import build_policy
+
+        return build_policy(policy_spec, context)
+
+    # -- planning -------------------------------------------------------
+
+    def plan_trials(
+        self,
+        policy,
+        recordings: Sequence,
+        tx_ids: Sequence[int],
+        rng: np.random.Generator,
+        subsamples_per_sweep: int = 1,
+    ) -> List[TrialBlock]:
+        """Pre-draw every trial's probes in scalar order, per recording.
+
+        The single place randomness is consumed: one
+        ``probes_for_round(0, ...)`` call per recording × sweep ×
+        subsample, in exactly that nesting order — the draw order every
+        legacy experiment loop used.
+        """
+        column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+        id_row = np.asarray(tx_ids, dtype=np.intp)
+        pool = list(tx_ids)
+        blocks: List[TrialBlock] = []
+        for recording_index, recording in enumerate(recordings):
+            present, snr, rssi = recording.packed_sweeps(tx_ids)
+            row_ids: List[np.ndarray] = []
+            row_snr: List[np.ndarray] = []
+            row_rssi: List[np.ndarray] = []
+            row_mask: List[np.ndarray] = []
+            sweep_ix: List[int] = []
+            sub_ix: List[int] = []
+            requested: List[int] = []
+            for sweep_index in range(len(recording.sweeps)):
+                for subsample in range(subsamples_per_sweep):
+                    probe_ids = policy.probes_for_round(0, pool, rng)
+                    if probe_ids is None:
+                        raise ValueError(
+                            f"policy '{getattr(policy, 'name', policy)}' declined "
+                            f"round 0; multi-round policies need run_interactive"
+                        )
+                    columns = np.asarray(
+                        [column_of[sector_id] for sector_id in probe_ids],
+                        dtype=np.intp,
+                    )
+                    row_ids.append(id_row[columns])
+                    row_snr.append(snr[sweep_index, columns])
+                    row_rssi.append(rssi[sweep_index, columns])
+                    row_mask.append(present[sweep_index, columns])
+                    sweep_ix.append(sweep_index)
+                    sub_ix.append(subsample)
+                    requested.append(len(probe_ids))
+            blocks.append(
+                TrialBlock(
+                    recording_index=recording_index,
+                    sector_ids=_pad_rows(row_ids, 0, dtype=np.intp),
+                    snr_db=_pad_rows(row_snr, np.nan),
+                    rssi_dbm=_pad_rows(row_rssi, np.nan),
+                    mask=_pad_rows(row_mask, False, dtype=bool),
+                    sweep_indices=np.asarray(sweep_ix, dtype=np.intp),
+                    subsample_indices=np.asarray(sub_ix, dtype=np.intp),
+                    probes_requested=np.asarray(requested, dtype=np.intp),
+                )
+            )
+        return blocks
+
+    # -- execution ------------------------------------------------------
+
+    def execute(
+        self,
+        policy,
+        blocks: Sequence[TrialBlock],
+        reset: str = "recording",
+        policy_spec: Optional[PolicySpec] = None,
+        testbed_spec: Optional[TestbedSpec] = None,
+        label: Optional[str] = None,
+    ) -> List[TrialRecord]:
+        """Evaluate planned blocks through a policy.
+
+        ``reset`` fixes the selection-state lifetime:
+
+        * ``"recording"`` — state resets at every block boundary (the
+          fresh-selector-per-recording loops).  Blocks are independent,
+          so this mode is eligible for process-pool sharding.
+        * ``"plan"`` — one reset up front, state threads through all
+          blocks in order (the one-big-batch loops).  Always
+          sequential.
+        """
+        if reset not in ("recording", "plan"):
+            raise ValueError("reset must be 'recording' or 'plan'")
+        if label is None:
+            label = getattr(policy, "name", type(policy).__name__)
+        begin = time.perf_counter()
+        try:
+            if (
+                self.jobs > 1
+                and reset == "recording"
+                and len(blocks) > 1
+                and policy_spec is not None
+                and testbed_spec is not None
+                and hasattr(policy, "select_batch")
+            ):
+                records = self._execute_pool(policy_spec, testbed_spec, blocks)
+            else:
+                records = self._execute_local(policy, blocks, reset)
+        finally:
+            elapsed = time.perf_counter() - begin
+            self._policy_timings[label] = self._policy_timings.get(label, 0.0) + elapsed
+        return records
+
+    def _execute_local(
+        self, policy, blocks: Sequence[TrialBlock], reset: str
+    ) -> List[TrialRecord]:
+        policy.reset()
+        records: List[TrialRecord] = []
+        for block in blocks:
+            if reset == "recording":
+                policy.reset()
+            records.extend(self._records_of(block, self._evaluate_block(policy, block)))
+        return records
+
+    def _evaluate_block(self, policy, block: TrialBlock) -> List:
+        if hasattr(policy, "select_batch"):
+            return policy.select_batch(
+                block.sector_ids,
+                snr_db=block.snr_db,
+                rssi_dbm=block.rssi_dbm,
+                mask=block.mask,
+            )
+        # Scalar fallback for policies without a batched kernel (e.g.
+        # third-party plugins): rebuild each row's measurement list.
+        from ..core.measurements import ProbeMeasurement
+
+        results = []
+        for row in range(block.n_trials):
+            measurements = [
+                ProbeMeasurement(
+                    sector_id=int(block.sector_ids[row, column]),
+                    snr_db=float(block.snr_db[row, column]),
+                    rssi_dbm=float(block.rssi_dbm[row, column]),
+                )
+                for column in np.flatnonzero(block.mask[row])
+            ]
+            results.append(policy.select(measurements))
+        return results
+
+    @staticmethod
+    def _records_of(block: TrialBlock, results: Sequence) -> List[TrialRecord]:
+        return [
+            TrialRecord(
+                recording_index=block.recording_index,
+                sweep_index=int(block.sweep_indices[index]),
+                subsample=int(block.subsample_indices[index]),
+                result=result,
+                probes_requested=int(block.probes_requested[index]),
+            )
+            for index, result in enumerate(results)
+        ]
+
+    def _execute_pool(
+        self,
+        policy_spec: PolicySpec,
+        testbed_spec: TestbedSpec,
+        blocks: Sequence[TrialBlock],
+    ) -> List[TrialRecord]:
+        testbed_key = testbed_spec.key()
+        policy_key = policy_spec.key()
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_worker_run_block, testbed_key, policy_key, block)
+            for block in blocks
+        ]
+        records: List[TrialRecord] = []
+        for block, future in zip(blocks, futures):
+            records.extend(self._records_of(block, future.result()))
+        return records
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if "fork" in multiprocessing.get_all_start_methods():
+                mp_context = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - non-POSIX fallback
+                mp_context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=mp_context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when none was started)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- interactive (multi-round) path ---------------------------------
+
+    def run_interactive(
+        self,
+        policy,
+        pool: Sequence[int],
+        measure: Callable[[List[int], np.random.Generator], List],
+        rng: np.random.Generator,
+        label: Optional[str] = None,
+    ) -> PolicyOutcome:
+        """Drive one training round-by-round (hierarchical, oracle, …).
+
+        ``measure(sector_ids, rng)`` returns the measurements of the
+        requested probes; rounds continue until ``probes_for_round``
+        returns None.  The last round's ``select`` result is the
+        trial's outcome.
+        """
+        if label is None:
+            label = getattr(policy, "name", type(policy).__name__)
+        begin = time.perf_counter()
+        try:
+            result = None
+            probes_used = 0
+            round_index = 0
+            while True:
+                probe_ids = policy.probes_for_round(round_index, pool, rng)
+                if probe_ids is None:
+                    break
+                measurements = measure(list(probe_ids), rng)
+                probes_used += len(probe_ids)
+                result = policy.select(measurements)
+                round_index += 1
+            if result is None:
+                raise ValueError(
+                    f"policy '{label}' ran zero rounds — nothing to select from"
+                )
+            return PolicyOutcome(
+                result=result,
+                probes_used=probes_used,
+                n_rounds=round_index,
+                training_time_us=policy.training_time_us(probes_used, round_index),
+            )
+        finally:
+            elapsed = time.perf_counter() - begin
+            self._policy_timings[label] = self._policy_timings.get(label, 0.0) + elapsed

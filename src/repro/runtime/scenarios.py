@@ -1,0 +1,205 @@
+"""Generic scenarios that exercise policies head-to-head.
+
+The figure-specific scenarios live next to their post-processing in
+``experiments/``; this module hosts the policy-agnostic workloads.
+``policy-eval`` is the extension point the registry contract promises:
+register a policy, name it in a spec, and it runs against the built-in
+strategies without touching a single ``experiments/`` module.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .registry import register_scenario
+from .spec import PolicySpec, ScenarioSpec
+
+__all__ = ["PolicyEvalRow", "PolicyEvalResult", "run_policy_eval"]
+
+
+@dataclass(frozen=True)
+class PolicyEvalRow:
+    """One policy's aggregate scores over the evaluation arc."""
+
+    policy: str
+    mean_loss_db: float
+    stability: float
+    mean_training_time_us: float
+    fallback_rate: float
+
+
+@dataclass
+class PolicyEvalResult:
+    """Head-to-head comparison across every policy in the spec."""
+
+    rows: List[PolicyEvalRow]
+
+    def by_policy(self) -> Dict[str, PolicyEvalRow]:
+        return {row.policy: row for row in self.rows}
+
+    def format_rows(self) -> List[str]:
+        out = [
+            "policy-eval: mean SNR loss vs oracle / selection stability"
+            " / training airtime"
+        ]
+        for row in self.rows:
+            out.append(
+                f"  {row.policy:16s} loss {row.mean_loss_db:6.2f} dB"
+                f"  stability {row.stability:5.2f}"
+                f"  training {row.mean_training_time_us:8.1f} us"
+                f"  fallback {row.fallback_rate:5.2f}"
+            )
+        return out
+
+
+def _modal_share(selections: Sequence[int]) -> float:
+    """Share of trials that picked the most common sector."""
+    if not selections:
+        return 0.0
+    (_, count), = Counter(selections).most_common(1)
+    return count / len(selections)
+
+
+def policy_eval_spec() -> ScenarioSpec:
+    """The canonical head-to-head spec (`repro-bench run policy-eval`)."""
+    return ScenarioSpec(
+        scenario="policy-eval",
+        seed=2017,
+        policies=(
+            PolicySpec("css", {"n_probes": 14}),
+            PolicySpec("full-sweep", {}),
+            PolicySpec("hierarchical", {}),
+            PolicySpec("oracle", {}),
+        ),
+        params={"azimuth_step_deg": 15.0, "distance_m": 6.0, "n_sweeps": 3},
+    )
+
+
+@register_scenario("policy-eval", default_spec=policy_eval_spec)
+def run_policy_eval(spec: ScenarioSpec, runner) -> PolicyEvalResult:
+    """Compare registered policies on one conference-room arc."""
+    from ..channel.batch import sweep_snr_matrix
+    from ..channel.environment import conference_room
+    from ..core.measurements import ProbeMeasurement
+    from ..experiments.common import record_directions
+    from ..geometry.rotation import Orientation
+
+    testbed = spec.testbed.build()
+    context = runner.context(testbed)
+    params = dict(spec.params)
+    step = float(params.get("azimuth_step_deg", 15.0))
+    distance = float(params.get("distance_m", 6.0))
+    n_sweeps = int(params.get("n_sweeps", 3))
+
+    environment = conference_room(distance)
+    azimuths = np.arange(-60.0, 60.0 + 1e-9, step)
+    recordings = record_directions(
+        testbed,
+        environment,
+        azimuths,
+        [0.0],
+        n_sweeps,
+        np.random.default_rng(spec.seed),
+    )
+    tx_ids = testbed.tx_sector_ids
+    column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
+    noise_floor = testbed.budget.noise_floor_dbm
+
+    rows: List[PolicyEvalRow] = []
+    for policy_spec in spec.policies:
+        policy = runner.build_policy(policy_spec, context)
+        rng = np.random.default_rng(spec.seed + 1)
+
+        # Policies probing their own codebook (random beams) need truth
+        # for those beams; the nominal orientations are close enough for
+        # a comparison scenario (no pinned values ride on it).
+        own_pool = getattr(policy, "probe_pool", None)
+        own_truth = None
+        if own_pool is not None:
+            orientations = [
+                Orientation(yaw_deg=-recording.azimuth_deg)
+                for recording in recordings
+            ]
+            own_truth = sweep_snr_matrix(
+                environment,
+                testbed.dut_antenna,
+                policy.codebook,
+                own_pool,
+                orientations,
+                testbed.ref_antenna,
+                testbed.ref_codebook.rx_sector.weights,
+                budget=testbed.budget,
+            )
+            own_column = {sector_id: c for c, sector_id in enumerate(own_pool)}
+
+        losses: List[float] = []
+        trainings: List[float] = []
+        fallbacks: List[bool] = []
+        stabilities: List[float] = []
+        for rec_index, recording in enumerate(recordings):
+            policy.reset()
+            if getattr(policy, "needs_truth", False):
+                policy.set_truth(recording.true_snr_db)
+            selections: List[int] = []
+            for sweep in recording.sweeps:
+                if own_pool is not None:
+
+                    def measure(ids, generator, _row=rec_index):
+                        out = []
+                        for sector_id in ids:
+                            observation = testbed.measurement_model.observe(
+                                own_truth[_row, own_column[sector_id]],
+                                noise_floor,
+                                generator,
+                            )
+                            if observation is not None:
+                                out.append(
+                                    ProbeMeasurement(
+                                        sector_id=sector_id,
+                                        snr_db=observation.snr_db,
+                                        rssi_dbm=observation.rssi_dbm,
+                                    )
+                                )
+                        return out
+
+                else:
+
+                    def measure(ids, generator, _sweep=sweep):
+                        return [
+                            _sweep[sector_id]
+                            for sector_id in ids
+                            if sector_id in _sweep
+                        ]
+
+                outcome = runner.run_interactive(policy, tx_ids, measure, rng)
+                sector_id = outcome.result.sector_id
+                if own_pool is not None:
+                    column = own_column.get(sector_id)
+                    if column is None:
+                        # Fallback landed outside the beam pool (nothing
+                        # decoded on a fresh selector); score the worst
+                        # beam rather than crash the comparison.
+                        achieved = float(own_truth[rec_index].min())
+                    else:
+                        achieved = float(own_truth[rec_index, column])
+                else:
+                    achieved = float(recording.true_snr_db[column_of[sector_id]])
+                losses.append(recording.optimal_snr_db() - achieved)
+                trainings.append(outcome.training_time_us)
+                fallbacks.append(bool(outcome.result.fallback))
+                selections.append(sector_id)
+            stabilities.append(_modal_share(selections))
+        rows.append(
+            PolicyEvalRow(
+                policy=policy_spec.name,
+                mean_loss_db=float(np.mean(losses)),
+                stability=float(np.mean(stabilities)),
+                mean_training_time_us=float(np.mean(trainings)),
+                fallback_rate=float(np.mean(fallbacks)),
+            )
+        )
+    return PolicyEvalResult(rows=rows)

@@ -1,0 +1,146 @@
+"""Declarative scenario descriptions: the *data* side of an experiment.
+
+A :class:`ScenarioSpec` pins everything a run depends on — the testbed
+build parameters, the policies under test (by registry name + JSON
+kwargs), the scenario-specific knobs and the master seed — in a plain,
+canonically-serializable form.  Two properties follow:
+
+* **Reproducibility**: ``spec.digest()`` is a SHA-256 over the
+  canonical JSON, so a run manifest can prove which exact configuration
+  produced a result, and identical specs hash identically across
+  processes (the process-pool workers rebuild their world from the
+  spec alone).
+* **Portability**: specs round-trip through JSON files, so
+  ``repro-bench run scenario.json`` reproduces a result from nothing
+  but a checked-in file.
+
+Specs carry *names and parameters*, never live objects; the registry
+(:mod:`.registry`) resolves names to factories at run time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["TestbedSpec", "PolicySpec", "ScenarioSpec"]
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace ambiguity."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """Parameters of :func:`repro.experiments.common.build_testbed`.
+
+    The defaults mirror ``build_testbed``'s own, so ``TestbedSpec()``
+    is the shared testbed every committed experiment output is pinned
+    to.  ``build()`` goes through the memoized builder, so repeated
+    resolution (including inside pool workers) is cheap.
+    """
+
+    seed: int = 2017
+    azimuth_step_deg: float = 2.0
+    elevation_step_deg: float = 4.0
+    max_elevation_deg: float = 32.0
+    campaign_sweeps: int = 3
+
+    def build(self):
+        from ..experiments.common import build_testbed
+
+        return build_testbed(
+            seed=self.seed,
+            azimuth_step_deg=self.azimuth_step_deg,
+            elevation_step_deg=self.elevation_step_deg,
+            max_elevation_deg=self.max_elevation_deg,
+            campaign_sweeps=self.campaign_sweeps,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "TestbedSpec":
+        return cls(**dict(data))
+
+    def key(self) -> str:
+        """Canonical identity string (cache / worker lookup key)."""
+        return canonical_json(self.to_json())
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A selection policy by registry name plus JSON-able kwargs."""
+
+    name: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "PolicySpec":
+        return cls(name=str(data["name"]), kwargs=dict(data.get("kwargs", {})))
+
+    def key(self) -> str:
+        return canonical_json(self.to_json())
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-pinned experiment run.
+
+    Attributes:
+        scenario: registry name of the executor (e.g. ``"fig9"``).
+        seed: master seed; the executor spawns every RNG from it.
+        testbed: simulated-hardware build parameters.
+        policies: the policies under test, in evaluation order.
+        params: scenario-specific knobs (the executor's config surface);
+            must stay JSON-encodable.
+    """
+
+    scenario: str
+    seed: int = 2017
+    testbed: TestbedSpec = field(default_factory=TestbedSpec)
+    policies: Tuple[PolicySpec, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_seed(self, seed: Optional[int]) -> "ScenarioSpec":
+        return self if seed is None else replace(self, seed=int(seed))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "testbed": self.testbed.to_json(),
+            "policies": [policy.to_json() for policy in self.policies],
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            scenario=str(data["scenario"]),
+            seed=int(data.get("seed", 2017)),
+            testbed=TestbedSpec.from_json(data.get("testbed", {})),
+            policies=tuple(
+                PolicySpec.from_json(entry) for entry in data.get("policies", ())
+            ),
+            params=dict(data.get("params", {})),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form."""
+        return hashlib.sha256(canonical_json(self.to_json()).encode()).hexdigest()
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ScenarioSpec":
+        return cls.from_json(json.loads(Path(path).read_text()))

@@ -11,6 +11,7 @@ from repro.baselines import (
 )
 from repro.core import ProbeMeasurement
 from repro.geometry import AngularGrid
+from repro.measurement.patterns import PatternTable
 
 
 class TestOracle:
@@ -22,7 +23,11 @@ class TestOracle:
 
     def test_shape_validated(self):
         oracle = OracleSelector([1, 2])
-        with pytest.raises(ValueError):
+        with pytest.raises(
+            ValueError,
+            match=r"truth vector shape \(3,\) does not match the candidate "
+            r"set shape \(2,\)",
+        ):
             oracle.select_from_truth(np.zeros(3))
 
     def test_needs_candidates(self):
@@ -87,6 +92,83 @@ class TestHierarchicalSearch:
             HierarchicalSearch(pattern_table, n_groups=1)
         with pytest.raises(ValueError):
             HierarchicalSearch(pattern_table, n_groups=99)
+
+    def test_reset_restores_initial_selection(self, pattern_table, rng):
+        search = HierarchicalSearch(pattern_table, n_groups=4)
+        search.run(self._measure_factory(pattern_table, 30.0), rng)
+        search.reset()
+        outcome = search.run(lambda ids, generator: [], rng)
+        assert outcome.result.sector_id == search.initial_selection
+
+
+def _synthetic_table(peaks_and_means):
+    """A tiny measured table: sector -> (peak azimuth, mean gain).
+
+    One elevation row, three azimuth columns at -30/0/30; the peak cell
+    gets ``mean*3`` so both the clustering key (peak azimuth) and the
+    representative key (mean gain) are controlled exactly.
+    """
+    grid = AngularGrid(np.array([-30.0, 0.0, 30.0]), np.array([0.0]))
+    patterns = {}
+    for sector_id, (peak_azimuth, mean_gain) in peaks_and_means.items():
+        row = np.zeros((1, 3))
+        row[0, list(grid.azimuths_deg).index(peak_azimuth)] = 3.0 * mean_gain
+        patterns[sector_id] = row
+    return PatternTable(grid, patterns)
+
+
+class TestHierarchicalEdgeCases:
+    def _measure_flat(self, snr_by_sector):
+        def measure(sector_ids, rng):
+            return [
+                ProbeMeasurement(s, snr_by_sector[s], snr_by_sector[s] - 71.5)
+                for s in sector_ids
+            ]
+
+        return measure
+
+    def test_minimal_codebook_single_member_clusters(self, rng):
+        """Two sectors, two groups: every cluster is a lone sector."""
+        table = _synthetic_table({1: (-30.0, 5.0), 2: (30.0, 4.0)})
+        search = HierarchicalSearch(table, n_groups=2)
+        assert sorted(search.groups.items()) == [(1, [1]), (2, [2])]
+        outcome = search.run(self._measure_flat({1: 3.0, 2: 9.0}), rng)
+        assert outcome.result.sector_id == 2
+        assert outcome.n_rounds == 2
+        # Both rounds probe real sectors: 2 representatives + the
+        # winning singleton's sole member.
+        assert outcome.probes_used == 3
+
+    def test_uneven_split_keeps_singleton_cluster(self, rng):
+        """Three sectors in two groups: one cluster has exactly one member."""
+        table = _synthetic_table({1: (-30.0, 5.0), 2: (0.0, 9.0), 3: (30.0, 4.0)})
+        search = HierarchicalSearch(table, n_groups=2)
+        groups = {rep: sorted(members) for rep, members in search.groups.items()}
+        assert groups == {2: [1, 2], 3: [3]}
+        outcome = search.run(self._measure_flat({1: 1.0, 2: 2.0, 3: 8.0}), rng)
+        assert outcome.result.sector_id == 3
+        assert outcome.probes_used == 3  # 2 representatives + 1 member
+
+    def test_representative_tie_breaks_to_first_measurement(self, rng):
+        """Equal representative SNRs: Python max keeps the first, so the
+        first-listed cluster wins the refinement round deterministically."""
+        table = _synthetic_table(
+            {1: (-30.0, 5.0), 2: (-30.0, 1.0), 3: (30.0, 6.0), 4: (30.0, 2.0)}
+        )
+        search = HierarchicalSearch(table, n_groups=2)
+        assert list(search.groups) == [1, 3]
+        probed_rounds = []
+
+        def measure(sector_ids, generator):
+            probed_rounds.append(list(sector_ids))
+            return [ProbeMeasurement(s, 4.0, -67.5) for s in sector_ids]
+
+        outcome = search.run(measure, rng)
+        # The tie between representatives 1 and 3 resolves to 1 (first
+        # measured), so round two probes cluster {1, 2}; the member tie
+        # then resolves to sector 1 again.
+        assert probed_rounds == [[1, 3], [1, 2]]
+        assert outcome.result.sector_id == 1
 
 
 class TestRandomBeams:

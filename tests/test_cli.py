@@ -25,6 +25,7 @@ class TestParser:
             "extensions",
             "artifacts",
             "perf",
+            "run",
         }
 
     def test_requires_a_command(self):
