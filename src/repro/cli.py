@@ -232,7 +232,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     """Run any registered scenario (by name or from a spec JSON file)."""
     from pathlib import Path
 
-    from .runtime import ScenarioRunner, ScenarioSpec, get_scenario, scenario_spec
+    from .runtime import (
+        FaultPlan,
+        RetryExhaustedError,
+        RetryPolicy,
+        ScenarioRunner,
+        ScenarioSpec,
+        get_scenario,
+        scenario_spec,
+    )
     from .runtime.registry import available_scenarios
 
     if args.list:
@@ -250,7 +258,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = scenario_spec(args.target)
     spec = spec.with_seed(args.seed)
 
-    outcome = ScenarioRunner(jobs=args.jobs).run(spec)
+    faults = None
+    if args.inject:
+        try:
+            faults = FaultPlan.parse(args.inject, hang_s=args.hang_s)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        backoff_base_s=args.backoff,
+        timeout_s=args.timeout,
+        seed=spec.seed,
+    )
+    checkpoint = args.checkpoint if args.checkpoint else (True if args.resume else None)
+
+    try:
+        with ScenarioRunner(
+            jobs=args.jobs,
+            retry=retry,
+            faults=faults,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        ) as runner:
+            outcome = runner.run(spec)
+    except RetryExhaustedError as error:
+        print(
+            f"error: retries exhausted: spec={spec.digest()[:16]} "
+            f"policy={error.label} block={error.block_index} "
+            f"attempts={error.attempts} last={type(error.cause).__name__}",
+            file=sys.stderr,
+        )
+        return 1
     result = outcome.result
     if hasattr(result, "format_rows"):
         _print_rows(result.format_rows())
@@ -367,6 +406,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_sub.add_argument(
         "--json", metavar="PATH", help="also archive the result as JSON"
+    )
+    run_sub.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="supervised attempts per trial block (1 = fail fast)",
+    )
+    run_sub.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-block wall-clock budget; a hung worker is replaced "
+        "and the block retried (pool mode only)",
+    )
+    run_sub.add_argument(
+        "--backoff", type=float, default=0.05, metavar="S",
+        help="base backoff before a retry (exponential, seeded jitter)",
+    )
+    run_sub.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal completed blocks to PATH (default with --resume: "
+        "a digest-keyed file under the cache dir)",
+    )
+    run_sub.add_argument(
+        "--resume", action="store_true",
+        help="restore completed blocks from an existing checkpoint "
+        "instead of re-executing them",
+    )
+    run_sub.add_argument(
+        "--inject", action="append", default=[], metavar="FAULT",
+        help="inject a deterministic fault: kind@block[,block...][*times] "
+        "with kind one of crash|hang|exception|cache-corrupt "
+        "(repeatable)",
+    )
+    run_sub.add_argument(
+        "--hang-s", type=float, default=30.0, metavar="S",
+        help="how long an injected hang sleeps (pair with --timeout)",
     )
     run_sub.set_defaults(handler=_cmd_run)
     return parser

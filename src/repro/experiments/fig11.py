@@ -138,4 +138,5 @@ def _run_fig11_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig11Resu
 
 def run_fig11(config: Fig11Config = Fig11Config(), jobs: int = 1) -> Fig11Result:
     """Run the throughput comparison at the three path directions."""
-    return ScenarioRunner(jobs=jobs).run(fig11_spec(config)).result
+    with ScenarioRunner(jobs=jobs) as runner:
+        return runner.run(fig11_spec(config)).result

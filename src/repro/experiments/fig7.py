@@ -184,4 +184,5 @@ def _run_fig7_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig7Result
 
 def run_fig7(config: Fig7Config = Fig7Config(), jobs: int = 1) -> Fig7Result:
     """Run the full Figure 7 experiment (both environments)."""
-    return ScenarioRunner(jobs=jobs).run(fig7_spec(config)).result
+    with ScenarioRunner(jobs=jobs) as runner:
+        return runner.run(fig7_spec(config)).result

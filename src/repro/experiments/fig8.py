@@ -162,4 +162,5 @@ def _run_fig8_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig8Result
 
 def run_fig8(config: Fig8Config = Fig8Config(), jobs: int = 1) -> Fig8Result:
     """Run the stability experiment in the conference room."""
-    return ScenarioRunner(jobs=jobs).run(fig8_spec(config)).result
+    with ScenarioRunner(jobs=jobs) as runner:
+        return runner.run(fig8_spec(config)).result

@@ -130,4 +130,5 @@ def _run_fig9_scenario(spec: ScenarioSpec, runner: ScenarioRunner) -> Fig9Result
 
 def run_fig9(config: Fig9Config = Fig9Config(), jobs: int = 1) -> Fig9Result:
     """Run the SNR-loss experiment in the conference room."""
-    return ScenarioRunner(jobs=jobs).run(fig9_spec(config)).result
+    with ScenarioRunner(jobs=jobs) as runner:
+        return runner.run(fig9_spec(config)).result

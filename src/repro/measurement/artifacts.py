@@ -314,7 +314,7 @@ def load_or_build_table(
     if _memo_enabled() and path.is_file():
         try:
             table = PatternTable.load(path)
-        except (ArtifactError, ValueError, OSError) as error:
+        except (ArtifactError, ValueError, OSError, KeyError, EOFError) as error:
             _LOGGER.warning(
                 "discarding unreadable memoized table %s (%s); rebuilding", path, error
             )

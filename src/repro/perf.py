@@ -38,6 +38,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_TRAJECTORY",
     "REGRESSION_FACTOR",
+    "SUPERVISION_OVERHEAD_LIMIT_PCT",
     "PerfPoint",
     "append_point",
     "check_against_baseline",
@@ -54,6 +55,10 @@ DEFAULT_TRAJECTORY = "BENCH_core.json"
 
 #: ``--check`` fails when a latency metric exceeds baseline × this.
 REGRESSION_FACTOR = 2.0
+
+#: ``--check`` fails when the supervised runner costs more than this
+#: over the unsupervised path (absolute gate, not vs. baseline).
+SUPERVISION_OVERHEAD_LIMIT_PCT = 5.0
 
 #: Latency metrics (lower is better) compared by ``--check``.
 _LATENCY_METRICS = (
@@ -279,8 +284,43 @@ def measure_metrics(
         for jobs, name in ((1, "scenario_fig7_fig9_jobs1_s"), (4, "scenario_fig7_fig9_jobs4_s")):
             start = time.perf_counter()
             for scenario_spec in scenario_specs:
-                ScenarioRunner(jobs=jobs).run(scenario_spec)
+                with ScenarioRunner(jobs=jobs) as scenario_runner:
+                    scenario_runner.run(scenario_spec)
             metrics[name] = time.perf_counter() - start
+
+    # -- supervision overhead (absent before the fault layer landed) ---
+    try:
+        from .experiments.fig9 import Fig9Config, fig9_spec
+        from .runtime import FaultPlan, RetryPolicy, ScenarioRunner as _Runner
+    except ImportError:
+        _Runner = None
+    if _Runner is not None:
+        supervised_spec = fig9_spec(
+            Fig9Config(probe_counts=(6, 14), azimuth_step_deg=20.0, n_sweeps=6)
+        )
+
+        def _run_unsupervised():
+            with _Runner(jobs=1) as runner:
+                runner.run(supervised_spec)
+
+        def _run_supervised():
+            # Full supervision machinery engaged — retry accounting,
+            # an (empty) injector consulted per dispatch — minus any
+            # actual fault, so the delta is pure bookkeeping overhead.
+            with _Runner(
+                jobs=1,
+                retry=RetryPolicy(max_attempts=3, timeout_s=60.0),
+                faults=FaultPlan(),
+            ) as runner:
+                runner.run(supervised_spec)
+
+        unsupervised = _best_of(_run_unsupervised, passes=5)
+        supervised = _best_of(_run_supervised, passes=5)
+        metrics["runner_unsupervised_s"] = unsupervised
+        metrics["runner_supervised_s"] = supervised
+        metrics["runner_supervision_overhead_pct"] = (
+            100.0 * (supervised - unsupervised) / unsupervised
+        )
 
     # -- testbed disk cache (absent before the cache landed) -----------
     try:
@@ -361,6 +401,12 @@ def check_against_baseline(
                 f"{name}: {current:.4g} vs baseline {reference:.4g} "
                 f"(>{factor:.1f}x regression)"
             )
+    overhead = metrics.get("runner_supervision_overhead_pct")
+    if overhead is not None and overhead > SUPERVISION_OVERHEAD_LIMIT_PCT:
+        failures.append(
+            f"runner_supervision_overhead_pct: {overhead:.2f}% "
+            f"(limit {SUPERVISION_OVERHEAD_LIMIT_PCT:.0f}% over unsupervised)"
+        )
     return failures
 
 

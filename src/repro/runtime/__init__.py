@@ -12,6 +12,16 @@ The package splits every experiment into three replaceable parts:
 See DESIGN.md §8 for the architecture and the registration contract.
 """
 
+from .checkpoint import CheckpointStore, default_checkpoint_path
+from .faults import (
+    FaultInjectionError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryExhaustedError,
+    RetryPolicy,
+    RunHealth,
+)
 from .manifest import RunManifest, git_revision
 from .policy import PolicyContext, PolicyOutcome, SelectionPolicy
 from .registry import (
@@ -29,6 +39,15 @@ from .runner import RunOutcome, ScenarioRunner, TrialBlock, TrialRecord
 from .spec import PolicySpec, ScenarioSpec, TestbedSpec
 
 __all__ = [
+    "CheckpointStore",
+    "default_checkpoint_path",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RunHealth",
     "RunManifest",
     "git_revision",
     "PolicyContext",

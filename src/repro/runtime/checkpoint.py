@@ -1,0 +1,165 @@
+"""Digest-keyed checkpoint journal: restartable scenario campaigns.
+
+A :class:`CheckpointStore` journals every completed trial block of a
+run to an append-only JSONL file keyed by the run's identity — the
+scenario spec's SHA-256 digest plus its seed.  Kill a ``jobs=4``
+campaign halfway and ``repro-bench run --resume`` restarts exactly
+where it died: blocks already journaled are restored instead of
+re-executed, and because block evaluation is pure (randomness is
+consumed only during planning), restored results are bit-identical to
+recomputed ones.
+
+File format (one JSON object per line):
+
+* line 1 — header: ``{"format": "repro-checkpoint", "version": 1,
+  "spec_digest": ..., "seed": ...}``.  A header that does not match
+  the resuming run is *stale* and the file is started fresh — a
+  checkpoint can never leak results across specs or seeds.
+* following lines — entries: ``{"key": "<policy-digest>:<block>",
+  "sha256": ..., "payload": <base64 pickle of the block's results>}``.
+  Each payload carries its own digest; a corrupted or truncated tail
+  (the likely outcome of a hard kill) is dropped with a warning and
+  the journal continues from the last intact entry — corruption
+  degrades to recomputation, never to wrong data.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+__all__ = ["CheckpointStore", "default_checkpoint_path"]
+
+_LOGGER = logging.getLogger(__name__)
+
+_FORMAT = "repro-checkpoint"
+_VERSION = 1
+
+
+def default_checkpoint_path(spec_digest: str, seed: int) -> Path:
+    """Where a run of this spec+seed journals by convention."""
+    from ..measurement.artifacts import cache_dir
+
+    return cache_dir() / "checkpoints" / f"{spec_digest[:32]}-{seed}.jsonl"
+
+
+class CheckpointStore:
+    """Append-only journal of completed block results for one run."""
+
+    def __init__(self, path, spec_digest: str, seed: int, resume: bool = True):
+        self.path = Path(path)
+        self._header = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "spec_digest": str(spec_digest),
+            "seed": int(seed),
+        }
+        self._entries: Dict[str, str] = {}
+        self.restored = 0
+        loaded = resume and self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if loaded:
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._handle.write(json.dumps(self._header, sort_keys=True) + "\n")
+            self._handle.flush()
+        self.restored = len(self._entries)
+
+    # -- identity -------------------------------------------------------
+
+    @staticmethod
+    def entry_key(policy_key: str, block_index: int) -> str:
+        """Journal key of one block: policy identity digest + index."""
+        policy_digest = hashlib.sha256(policy_key.encode()).hexdigest()[:16]
+        return f"{policy_digest}:{int(block_index)}"
+
+    # -- journal I/O ----------------------------------------------------
+
+    def _load(self) -> bool:
+        """Read an existing journal; False means start fresh."""
+        if not self.path.is_file():
+            return False
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError as error:
+            _LOGGER.warning("unreadable checkpoint %s (%s); starting fresh", self.path, error)
+            return False
+        if not lines:
+            return False
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if header != self._header:
+            _LOGGER.warning(
+                "checkpoint %s belongs to a different spec/seed; starting fresh",
+                self.path,
+            )
+            return False
+        for number, line in enumerate(lines[1:], start=2):
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                payload = entry["payload"]
+                digest = entry["sha256"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                _LOGGER.warning(
+                    "checkpoint %s: dropping corrupt journal tail from line %d",
+                    self.path,
+                    number,
+                )
+                break
+            if hashlib.sha256(payload.encode()).hexdigest() != digest:
+                _LOGGER.warning(
+                    "checkpoint %s: entry at line %d fails its digest; dropping tail",
+                    self.path,
+                    number,
+                )
+                break
+            self._entries[key] = payload
+        return True
+
+    def get(self, policy_key: str, block_index: int) -> Optional[Sequence[Any]]:
+        """The journaled results of one block, or None when absent."""
+        payload = self._entries.get(self.entry_key(policy_key, block_index))
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(base64.b64decode(payload))
+        except Exception as error:  # digest passed but unpickle failed
+            _LOGGER.warning(
+                "checkpoint %s: undecodable entry for block %d (%s); recomputing",
+                self.path,
+                block_index,
+                error,
+            )
+            return None
+
+    def put(self, policy_key: str, block_index: int, results: Sequence[Any]) -> None:
+        """Journal one completed block (flushed immediately)."""
+        key = self.entry_key(policy_key, block_index)
+        if key in self._entries:
+            return
+        payload = base64.b64encode(pickle.dumps(results)).decode("ascii")
+        entry = {
+            "key": key,
+            "sha256": hashlib.sha256(payload.encode()).hexdigest(),
+            "payload": payload,
+        }
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._entries[key] = payload
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -45,6 +45,7 @@ class RunManifest:
     started: str
     wall_time_s: float
     policy_timings_s: Dict[str, float] = field(default_factory=dict)
+    health: Dict = field(default_factory=dict)
 
     def to_json(self) -> Dict:
         return {
@@ -56,6 +57,7 @@ class RunManifest:
             "started": self.started,
             "wall_time_s": self.wall_time_s,
             "policy_timings_s": dict(self.policy_timings_s),
+            "health": dict(self.health),
         }
 
     def save(self, path) -> None:
@@ -69,4 +71,23 @@ class RunManifest:
         ]
         for name in sorted(self.policy_timings_s):
             rows.append(f"  policy {name:20s} {self.policy_timings_s[name]:8.3f} s")
+        health = dict(self.health)
+        if health:
+            counters = " ".join(
+                f"{key}={health[key]}"
+                for key in (
+                    "blocks",
+                    "executed",
+                    "checkpoint_hits",
+                    "retries",
+                    "timeouts",
+                    "pool_replacements",
+                    "injected",
+                    "fallbacks",
+                )
+                if health.get(key)
+            )
+            rows.append(f"  health {counters or 'clean'}")
+            for key in sorted(health.get("attempts", {})):
+                rows.append(f"    {key} took {health['attempts'][key]} attempts")
         return rows

@@ -26,20 +26,46 @@ pool.  It engages only when state resets per recording (blocks are
 then independent), the policy is batched, and both the testbed and the
 policy are spec-described (workers rebuild them from JSON); anything
 else degrades to the sequential path, same results.
+
+Supervision (DESIGN.md §9): every ``reset="recording"`` block runs
+under a :class:`~.faults.RetryPolicy` — bounded attempts, seeded
+backoff, optional per-block timeout.  A dead worker
+(``BrokenProcessPool``) or a hung block costs one pool replacement and
+a re-execution of only the lost blocks; a failing batched kernel falls
+back to the scalar reference path; a :class:`~.checkpoint.CheckpointStore`
+journals finished blocks so a killed campaign resumes where it died.
+Because block evaluation is pure, every recovery path is bit-invisible
+in the records, and :attr:`ScenarioRunner.health` accounts for all of
+it in the run manifest.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .checkpoint import CheckpointStore, default_checkpoint_path
+from .faults import (
+    BlockTimeoutError,
+    FaultInjectionError,
+    FaultInjector,
+    FaultPlan,
+    RetryExhaustedError,
+    RetryPolicy,
+    RunHealth,
+)
 from .manifest import RunManifest, git_revision
 from .policy import PolicyContext, PolicyOutcome
 from .spec import PolicySpec, ScenarioSpec, TestbedSpec
@@ -50,6 +76,12 @@ __all__ = [
     "RunOutcome",
     "ScenarioRunner",
 ]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: Supervision parameters used when the runner has no retry policy:
+#: fail fast, no timeout — the legacy semantics.
+_FAIL_FAST = RetryPolicy(max_attempts=1)
 
 
 @dataclass(frozen=True)
@@ -110,26 +142,147 @@ _WORKER_CONTEXTS: Dict[str, PolicyContext] = {}
 _WORKER_POLICIES: Dict[Tuple[str, str], Any] = {}
 
 
-def _worker_run_block(testbed_key: str, policy_key: str, block: TrialBlock):
-    policy = _WORKER_POLICIES.get((testbed_key, policy_key))
-    if policy is None:
-        from .registry import build_policy, load_builtin
+def _reset_worker_caches() -> None:
+    """Drop every in-process warm-up cache (policies, contexts, testbeds)."""
+    _WORKER_CONTEXTS.clear()
+    _WORKER_POLICIES.clear()
+    from ..experiments.common import build_testbed
 
-        load_builtin()
-        context = _WORKER_CONTEXTS.get(testbed_key)
-        if context is None:
-            testbed = TestbedSpec.from_json(json.loads(testbed_key)).build()
-            context = PolicyContext(testbed=testbed)
-            _WORKER_CONTEXTS[testbed_key] = context
-        policy = build_policy(PolicySpec.from_json(json.loads(policy_key)), context)
-        _WORKER_POLICIES[(testbed_key, policy_key)] = policy
-    policy.reset()
-    return policy.select_batch(
-        block.sector_ids,
-        snr_db=block.snr_db,
-        rssi_dbm=block.rssi_dbm,
-        mask=block.mask,
+    build_testbed.cache_clear()
+
+
+def _build_worker_policy(testbed_key: str, policy_key: str):
+    from .registry import build_policy, load_builtin
+
+    load_builtin()
+    context = _WORKER_CONTEXTS.get(testbed_key)
+    if context is None:
+        testbed = TestbedSpec.from_json(json.loads(testbed_key)).build()
+        context = PolicyContext(testbed=testbed)
+        _WORKER_CONTEXTS[testbed_key] = context
+    policy = build_policy(PolicySpec.from_json(json.loads(policy_key)), context)
+    _WORKER_POLICIES[(testbed_key, policy_key)] = policy
+    return policy
+
+
+def _worker_policy(testbed_key: str, policy_key: str):
+    """Warm-up with self-healing: a failed build (e.g. a corrupted
+    testbed-cache read surfacing through state inherited from the fork)
+    clears every in-process cache and rebuilds once from scratch —
+    ``load_or_build_table`` then takes its PR-1 rebuild path instead of
+    crashing the pool."""
+    policy = _WORKER_POLICIES.get((testbed_key, policy_key))
+    if policy is not None:
+        return policy
+    try:
+        return _build_worker_policy(testbed_key, policy_key)
+    except Exception as error:
+        _LOGGER.warning(
+            "worker warm-up failed (%s: %s); clearing caches and rebuilding",
+            type(error).__name__,
+            error,
+        )
+        _reset_worker_caches()
+        return _build_worker_policy(testbed_key, policy_key)
+
+
+def _memoized_testbed_path(testbed_key: str) -> Path:
+    from ..experiments.common import _testbed_memo_params
+    from ..measurement import artifacts
+
+    spec = TestbedSpec.from_json(json.loads(testbed_key))
+    return artifacts.memoized_table_path(
+        _testbed_memo_params(
+            spec.seed,
+            spec.azimuth_step_deg,
+            spec.elevation_step_deg,
+            spec.max_elevation_deg,
+            spec.campaign_sweeps,
+        )
     )
+
+
+def _corrupt_testbed_cache(testbed_key: str) -> None:
+    """Injected fault: truncate the on-disk testbed memo mid-file."""
+    path = _memoized_testbed_path(testbed_key)
+    if path.is_file():
+        data = path.read_bytes()
+        path.write_bytes(data[: max(16, len(data) // 2)])
+
+
+def _apply_worker_directive(directive: Dict[str, Any], testbed_key: str) -> None:
+    """Execute one injected fault inside a pool worker."""
+    kind = directive.get("kind")
+    if kind == "crash":
+        os._exit(3)
+    elif kind == "hang":
+        time.sleep(float(directive.get("hang_s", 30.0)))
+    elif kind == "exception":
+        raise FaultInjectionError("injected transient worker exception")
+    elif kind == "cache-corrupt":
+        _corrupt_testbed_cache(testbed_key)
+        _reset_worker_caches()
+
+
+def _eval_block_scalar(policy, block: TrialBlock) -> List:
+    """The scalar reference path: rebuild each row's measurement list."""
+    from ..core.measurements import ProbeMeasurement
+
+    results = []
+    for row in range(block.n_trials):
+        measurements = [
+            ProbeMeasurement(
+                sector_id=int(block.sector_ids[row, column]),
+                snr_db=float(block.snr_db[row, column]),
+                rssi_dbm=float(block.rssi_dbm[row, column]),
+            )
+            for column in np.flatnonzero(block.mask[row])
+        ]
+        results.append(policy.select(measurements))
+    return results
+
+
+def _eval_block_guarded(policy, block: TrialBlock) -> Tuple[List, Dict[str, Any]]:
+    """Evaluate one fresh-state block, degrading batched → scalar.
+
+    A failing batched kernel is not fatal: the block is recomputed on
+    the scalar reference path (bit-identical by the PR-2 equivalence
+    contract) after a state reset, and the degradation is reported in
+    the returned info dict so the run's health section can surface it.
+    """
+    if hasattr(policy, "select_batch"):
+        try:
+            results = policy.select_batch(
+                block.sector_ids,
+                snr_db=block.snr_db,
+                rssi_dbm=block.rssi_dbm,
+                mask=block.mask,
+            )
+            return results, {"fallback": False}
+        except Exception as error:
+            _LOGGER.warning(
+                "batched kernel failed on recording %d (%s: %s); "
+                "falling back to the scalar reference path",
+                block.recording_index,
+                type(error).__name__,
+                error,
+            )
+            policy.reset()
+            return _eval_block_scalar(policy, block), {"fallback": True}
+    return _eval_block_scalar(policy, block), {"fallback": False}
+
+
+def _worker_run_block(
+    testbed_key: str,
+    policy_key: str,
+    block: TrialBlock,
+    directive: Optional[Dict[str, Any]] = None,
+):
+    if directive is not None:
+        _apply_worker_directive(directive, testbed_key)
+    policy = _worker_policy(testbed_key, policy_key)
+    policy.reset()
+    return _eval_block_guarded(policy, block)
 
 
 def _pad_rows(
@@ -149,15 +302,66 @@ def _pad_rows(
 
 
 class ScenarioRunner:
-    """Executes scenario specs; owns trial loops, batching, sharding."""
+    """Executes scenario specs; owns trial loops, batching, sharding.
 
-    def __init__(self, jobs: int = 1):
+    Args:
+        jobs: worker processes for recording-parallel execution.
+        retry: supervision policy applied to every ``reset="recording"``
+            block (None = fail fast, the legacy semantics).
+        faults: deterministic fault-injection overlay; a plan on the
+            executed spec is used when this is None.
+        checkpoint: ``True`` journals completed blocks to the default
+            digest-keyed path, a path-like journals there; None
+            disables checkpointing.
+        resume: reuse a compatible existing checkpoint instead of
+            starting it fresh.
+
+    Use as a context manager (``with ScenarioRunner(jobs=4) as r:``)
+    so pool processes never leak on exceptions.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        checkpoint: Union[None, bool, str, Path] = None,
+        resume: bool = False,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = int(jobs)
+        self.retry = retry
+        self.health = RunHealth()
+        self._fault_plan = faults
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults) if faults is not None else None
+        )
+        self._checkpoint = checkpoint
+        self._resume = bool(resume)
+        self._store: Optional[CheckpointStore] = None
+        self._journal: Tuple[Optional[CheckpointStore], Optional[str]] = (None, None)
+        self._injected_seen: set = set()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._contexts: Dict[int, PolicyContext] = {}
         self._policy_timings: Dict[str, float] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "ScenarioRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the worker pool and checkpoint journal (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     # -- spec resolution ------------------------------------------------
 
@@ -167,12 +371,29 @@ class ScenarioRunner:
 
         entry = get_scenario(spec.scenario)
         self._policy_timings = {}
+        self.health = RunHealth()
+        self._injected_seen = set()
+        plan = self._fault_plan if self._fault_plan is not None else spec.faults
+        self._injector = FaultInjector(plan) if plan is not None else None
+        checkpoint_path: Optional[Path] = None
+        if self._checkpoint:
+            checkpoint_path = (
+                default_checkpoint_path(spec.digest(), spec.seed)
+                if self._checkpoint is True
+                else Path(self._checkpoint)
+            )
+            self._store = CheckpointStore(
+                checkpoint_path, spec.digest(), spec.seed, resume=self._resume
+            )
         started = datetime.now(timezone.utc).isoformat(timespec="seconds")
         begin = time.perf_counter()
         try:
             result = entry.executor(spec, self)
         finally:
             self.close()
+        health = self.health.to_json()
+        if checkpoint_path is not None:
+            health["checkpoint"] = str(checkpoint_path)
         manifest = RunManifest(
             scenario=spec.scenario,
             spec_digest=spec.digest(),
@@ -182,6 +403,7 @@ class ScenarioRunner:
             started=started,
             wall_time_s=time.perf_counter() - begin,
             policy_timings_s=dict(self._policy_timings),
+            health=health,
         )
         return RunOutcome(result=result, manifest=manifest)
 
@@ -278,10 +500,13 @@ class ScenarioRunner:
 
         * ``"recording"`` — state resets at every block boundary (the
           fresh-selector-per-recording loops).  Blocks are independent,
-          so this mode is eligible for process-pool sharding.
+          so this mode is eligible for process-pool sharding,
+          supervision (retry / timeout / pool replacement) and
+          checkpoint–resume.
         * ``"plan"`` — one reset up front, state threads through all
           blocks in order (the one-big-batch loops).  Always
-          sequential.
+          sequential; a mid-plan retry could replay against mutated
+          state, so this mode stays fail-fast.
         """
         if reset not in ("recording", "plan"):
             raise ValueError("reset must be 'recording' or 'plan'")
@@ -289,34 +514,157 @@ class ScenarioRunner:
             label = getattr(policy, "name", type(policy).__name__)
         begin = time.perf_counter()
         try:
-            if (
-                self.jobs > 1
-                and reset == "recording"
-                and len(blocks) > 1
-                and policy_spec is not None
-                and testbed_spec is not None
-                and hasattr(policy, "select_batch")
-            ):
-                records = self._execute_pool(policy_spec, testbed_spec, blocks)
+            if reset == "plan":
+                records = self._execute_plan(policy, blocks)
             else:
-                records = self._execute_local(policy, blocks, reset)
+                records = self._execute_recording(
+                    policy, blocks, policy_spec, testbed_spec, label
+                )
         finally:
             elapsed = time.perf_counter() - begin
             self._policy_timings[label] = self._policy_timings.get(label, 0.0) + elapsed
         return records
 
-    def _execute_local(
-        self, policy, blocks: Sequence[TrialBlock], reset: str
-    ) -> List[TrialRecord]:
+    def _execute_plan(self, policy, blocks: Sequence[TrialBlock]) -> List[TrialRecord]:
         policy.reset()
         records: List[TrialRecord] = []
         for block in blocks:
-            if reset == "recording":
-                policy.reset()
             records.extend(self._records_of(block, self._evaluate_block(policy, block)))
         return records
 
+    def _execute_recording(
+        self,
+        policy,
+        blocks: Sequence[TrialBlock],
+        policy_spec: Optional[PolicySpec],
+        testbed_spec: Optional[TestbedSpec],
+        label: str,
+    ) -> List[TrialRecord]:
+        """Supervised fresh-state execution with checkpoint awareness."""
+        self.health.blocks += len(blocks)
+        policy_key = policy_spec.key() if policy_spec is not None else None
+        store = self._store if policy_key is not None else None
+
+        outputs: Dict[int, Sequence] = {}
+        pending: List[int] = []
+        for index in range(len(blocks)):
+            cached = store.get(policy_key, index) if store is not None else None
+            if cached is not None:
+                outputs[index] = cached
+                self.health.checkpoint_hits += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            use_pool = (
+                self.jobs > 1
+                and len(blocks) > 1
+                and policy_spec is not None
+                and testbed_spec is not None
+                and hasattr(policy, "select_batch")
+            )
+            # Completed blocks are journaled by the executors *as they
+            # finish*, not here: a killed or retry-exhausted campaign
+            # must leave every finished block behind for --resume.
+            if use_pool:
+                executed = self._execute_pool(
+                    policy_spec, testbed_spec, blocks, pending, label,
+                    store=store, policy_key=policy_key,
+                )
+            else:
+                executed = self._execute_supervised_local(
+                    policy, blocks, pending, label,
+                    store=store, policy_key=policy_key,
+                )
+            for index, (results, info) in executed.items():
+                outputs[index] = results
+                self.health.executed += 1
+                if info.get("fallback"):
+                    self.health.fallbacks += 1
+
+        records: List[TrialRecord] = []
+        for index, block in enumerate(blocks):
+            records.extend(self._records_of(block, outputs[index]))
+        return records
+
+    # -- local (in-process) supervised path ------------------------------
+
+    def _execute_supervised_local(
+        self,
+        policy,
+        blocks: Sequence[TrialBlock],
+        pending: Sequence[int],
+        label: str,
+        store: Optional[CheckpointStore] = None,
+        policy_key: Optional[str] = None,
+    ) -> Dict[int, Tuple[Sequence, Dict[str, Any]]]:
+        retry = self.retry or _FAIL_FAST
+        out: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
+        for index in pending:
+            block = blocks[index]
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    directive = (
+                        self._injector.directive(index, attempt)
+                        if self._injector is not None
+                        else None
+                    )
+                    if directive is not None:
+                        self._note_injected(label, index, attempt)
+                        self._apply_local_directive(directive)
+                    policy.reset()
+                    out[index] = _eval_block_guarded(policy, block)
+                    if store is not None:
+                        store.put(policy_key, index, out[index][0])
+                    self.health.note_attempts(label, index, attempt)
+                    break
+                except Exception as error:
+                    if attempt >= retry.max_attempts:
+                        raise RetryExhaustedError(label, index, attempt, error)
+                    _LOGGER.warning(
+                        "block %d of '%s' failed on attempt %d (%s: %s); retrying",
+                        index,
+                        label,
+                        attempt,
+                        type(error).__name__,
+                        error,
+                    )
+                    self.health.retries += 1
+                    time.sleep(retry.backoff_s(index, attempt))
+        return out
+
+    def _note_injected(self, label: str, index: int, attempt: int) -> None:
+        """Count a directive once per (label, block, attempt).
+
+        A block lost *collaterally* (its pool died for another block's
+        sins) is re-dispatched at its previous attempt number and
+        replays the identical directive; counting the replay would make
+        the health section depend on scheduling races.
+        """
+        key = (label, index, attempt)
+        if key not in self._injected_seen:
+            self._injected_seen.add(key)
+            self.health.injected += 1
+
+    def _apply_local_directive(self, directive: Dict[str, Any]) -> None:
+        """Injected faults in sequential mode.
+
+        Crashes cannot take the driving process down, so both ``crash``
+        and ``exception`` surface as transient errors; ``hang`` sleeps
+        (timeouts are enforced only on the pool path); ``cache-corrupt``
+        truncates the on-disk testbed memo so the next cold build takes
+        the self-healing path.
+        """
+        kind = directive.get("kind")
+        if kind in ("crash", "exception"):
+            raise FaultInjectionError(f"injected transient fault ({kind}, local mode)")
+        if kind == "hang":
+            time.sleep(float(directive.get("hang_s", 30.0)))
+
     def _evaluate_block(self, policy, block: TrialBlock) -> List:
+        """The unguarded evaluation used by the stateful plan path."""
         if hasattr(policy, "select_batch"):
             return policy.select_batch(
                 block.sector_ids,
@@ -324,22 +672,7 @@ class ScenarioRunner:
                 rssi_dbm=block.rssi_dbm,
                 mask=block.mask,
             )
-        # Scalar fallback for policies without a batched kernel (e.g.
-        # third-party plugins): rebuild each row's measurement list.
-        from ..core.measurements import ProbeMeasurement
-
-        results = []
-        for row in range(block.n_trials):
-            measurements = [
-                ProbeMeasurement(
-                    sector_id=int(block.sector_ids[row, column]),
-                    snr_db=float(block.snr_db[row, column]),
-                    rssi_dbm=float(block.rssi_dbm[row, column]),
-                )
-                for column in np.flatnonzero(block.mask[row])
-            ]
-            results.append(policy.select(measurements))
-        return results
+        return _eval_block_scalar(policy, block)
 
     @staticmethod
     def _records_of(block: TrialBlock, results: Sequence) -> List[TrialRecord]:
@@ -354,23 +687,213 @@ class ScenarioRunner:
             for index, result in enumerate(results)
         ]
 
+    # -- process-pool supervised path ------------------------------------
+
     def _execute_pool(
         self,
         policy_spec: PolicySpec,
         testbed_spec: TestbedSpec,
         blocks: Sequence[TrialBlock],
-    ) -> List[TrialRecord]:
+        pending: Sequence[int],
+        label: str,
+        store: Optional[CheckpointStore] = None,
+        policy_key: Optional[str] = None,
+    ) -> Dict[int, Tuple[Sequence, Dict[str, Any]]]:
+        """Dispatch blocks to the pool under the supervision policy.
+
+        One round per pool lifetime: all remaining blocks are submitted,
+        results are collected in block order, and the first worker death
+        or hung block abandons the pool (harvesting whatever already
+        finished) and starts a fresh round for the survivors.  Only a
+        block's *own* failure counts against its attempt budget;
+        collaterally lost blocks are re-dispatched at their previous
+        attempt number, so injected faults replay identically.
+        """
+        retry = self.retry or _FAIL_FAST
         testbed_key = testbed_spec.key()
-        policy_key = policy_spec.key()
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_worker_run_block, testbed_key, policy_key, block)
-            for block in blocks
-        ]
-        records: List[TrialRecord] = []
-        for block, future in zip(blocks, futures):
-            records.extend(self._records_of(block, future.result()))
-        return records
+        worker_policy_key = policy_spec.key()
+        self._journal = (store, policy_key)
+        out: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        remaining = set(pending)
+        barren_rounds = 0
+        last_error: BaseException = BrokenProcessPool("process pool broken")
+        while remaining:
+            pool = self._ensure_pool()
+            batch = sorted(remaining)
+            before = len(remaining)
+            dispatch_attempt: Dict[int, int] = {}
+            directives: Dict[int, Optional[Dict[str, Any]]] = {}
+            futures: Dict[int, Any] = {}
+            failures: List[Tuple[int, BaseException]] = []
+            dispatched = True
+            try:
+                for index in batch:
+                    dispatch_attempt[index] = attempts[index] + 1
+                    directive = (
+                        self._injector.directive(index, dispatch_attempt[index])
+                        if self._injector is not None
+                        else None
+                    )
+                    directives[index] = directive
+                    if directive is not None:
+                        self._note_injected(label, index, dispatch_attempt[index])
+                    futures[index] = pool.submit(
+                        _worker_run_block,
+                        testbed_key,
+                        worker_policy_key,
+                        blocks[index],
+                        directive,
+                    )
+            except BrokenProcessPool as error:
+                # A worker died between rounds (e.g. the straggling tail
+                # of a crash that broke the previous pool).  Nothing
+                # rejected at submit has run, so nobody's attempt budget
+                # is charged: keep whatever did finish, replace the pool
+                # and redo the round.
+                dispatched = False
+                last_error = error
+                self._harvest_done(
+                    batch, futures, dispatch_attempt, attempts, remaining,
+                    out, failures, label, skip=-1,
+                )
+                self._abandon_pool()
+                self.health.pool_replacements += 1
+            if dispatched:
+                abandoned = False
+                for index in batch:
+                    if abandoned:
+                        break
+                    try:
+                        payload = futures[index].result(timeout=retry.timeout_s)
+                    except _FuturesTimeout:
+                        self.health.timeouts += 1
+                        attempts[index] = dispatch_attempt[index]
+                        failures.append(
+                            (
+                                index,
+                                BlockTimeoutError(
+                                    f"block {index} of '{label}' exceeded its "
+                                    f"{retry.timeout_s:.3g} s wall-clock budget"
+                                ),
+                            )
+                        )
+                        self._harvest_done(
+                            batch, futures, dispatch_attempt, attempts, remaining,
+                            out, failures, label, skip=index,
+                        )
+                        self._abandon_pool()
+                        self.health.pool_replacements += 1
+                        abandoned = True
+                    except BrokenProcessPool as error:
+                        # A worker died.  Attribute the death to the
+                        # block carrying a crash directive this round
+                        # when the harness injected one; otherwise to
+                        # the block whose future surfaced the breakage.
+                        culprit = index
+                        for candidate in batch:
+                            if (
+                                candidate in remaining
+                                and (directives.get(candidate) or {}).get("kind")
+                                == "crash"
+                            ):
+                                culprit = candidate
+                                break
+                        attempts[culprit] = dispatch_attempt[culprit]
+                        failures.append((culprit, error))
+                        self._harvest_done(
+                            batch, futures, dispatch_attempt, attempts, remaining,
+                            out, failures, label, skip=culprit,
+                        )
+                        self._abandon_pool()
+                        self.health.pool_replacements += 1
+                        abandoned = True
+                    except Exception as error:
+                        # The worker raised (e.g. an injected transient
+                        # exception); the pool itself is healthy.
+                        attempts[index] = dispatch_attempt[index]
+                        failures.append((index, error))
+                    else:
+                        attempts[index] = dispatch_attempt[index]
+                        out[index] = payload
+                        remaining.discard(index)
+                        if store is not None:
+                            store.put(policy_key, index, payload[0])
+                        self.health.note_attempts(label, index, attempts[index])
+            if len(remaining) < before or failures:
+                barren_rounds = 0
+            else:
+                # No completions and no chargeable failures: a pool that
+                # keeps breaking before running anything.  Give up after
+                # a few replacements rather than looping forever.
+                barren_rounds += 1
+                if barren_rounds > 5:
+                    stuck = min(remaining)
+                    raise RetryExhaustedError(
+                        label, stuck, attempts[stuck] + 1, last_error
+                    )
+            for index, error in failures:
+                if attempts[index] >= retry.max_attempts:
+                    raise RetryExhaustedError(label, index, attempts[index], error)
+            if failures:
+                self.health.retries += len(failures)
+                _LOGGER.warning(
+                    "retrying %d block(s) of '%s' after: %s",
+                    len(failures),
+                    label,
+                    "; ".join(
+                        f"block {i}: {type(e).__name__}" for i, e in failures
+                    ),
+                )
+                time.sleep(
+                    max(retry.backoff_s(index, attempts[index]) for index, _ in failures)
+                )
+        return out
+
+    def _harvest_done(
+        self,
+        batch: Sequence[int],
+        futures: Dict[int, Any],
+        dispatch_attempt: Dict[int, int],
+        attempts: Dict[int, int],
+        remaining: set,
+        out: Dict[int, Tuple[Sequence, Dict[str, Any]]],
+        failures: List[Tuple[int, BaseException]],
+        label: str,
+        skip: int,
+    ) -> None:
+        """Before abandoning a pool, keep every block that already finished.
+
+        Futures that died with the pool (broken / cancelled) are
+        *collateral*: they stay in ``remaining`` at their previous
+        attempt number and do not count against their retry budget.
+        """
+        already_failed = {index for index, _ in failures}
+        for index in batch:
+            if index == skip or index in already_failed or index not in remaining:
+                continue
+            future = futures.get(index)
+            if future is None or not future.done():
+                continue
+            try:
+                payload = future.result(timeout=0)
+            except BrokenProcessPool:
+                continue
+            except _FuturesTimeout:
+                continue
+            except Exception as error:
+                if isinstance(error, BaseException) and type(error).__name__ == "CancelledError":
+                    continue
+                attempts[index] = dispatch_attempt[index]
+                failures.append((index, error))
+            else:
+                attempts[index] = dispatch_attempt[index]
+                out[index] = payload
+                remaining.discard(index)
+                store, policy_key = self._journal
+                if store is not None:
+                    store.put(policy_key, index, payload[0])
+                self.health.note_attempts(label, index, attempts[index])
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -383,11 +906,18 @@ class ScenarioRunner:
             )
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (no-op when none was started)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def _abandon_pool(self) -> None:
+        """Tear down a broken or hung pool without waiting on it."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
 
     # -- interactive (multi-round) path ---------------------------------
 

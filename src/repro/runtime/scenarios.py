@@ -79,6 +79,25 @@ def policy_eval_spec() -> ScenarioSpec:
     )
 
 
+def _block_eligible(policy) -> bool:
+    """Can this policy take the planned (shardable, supervised) path?
+
+    Single-round policies that draw probes up front, need no ground
+    truth, probe the shared sweep codebook and expose the batched
+    kernel consume randomness exactly like the interactive loop (one
+    ``probes_for_round`` draw per recording × sweep) while evaluation
+    stays pure — so routing them through ``plan_trials``/``execute``
+    changes nothing in the records but makes them shardable,
+    checkpointable and fault-injectable.
+    """
+    return (
+        not getattr(policy, "multi_round", True)
+        and not getattr(policy, "needs_truth", False)
+        and getattr(policy, "probe_pool", None) is None
+        and hasattr(policy, "select_batch")
+    )
+
+
 @register_scenario("policy-eval", default_spec=policy_eval_spec)
 def run_policy_eval(spec: ScenarioSpec, runner) -> PolicyEvalResult:
     """Compare registered policies on one conference-room arc."""
@@ -113,6 +132,47 @@ def run_policy_eval(spec: ScenarioSpec, runner) -> PolicyEvalResult:
     for policy_spec in spec.policies:
         policy = runner.build_policy(policy_spec, context)
         rng = np.random.default_rng(spec.seed + 1)
+
+        if _block_eligible(policy):
+            blocks = runner.plan_trials(policy, recordings, tx_ids, rng)
+            records = runner.execute(
+                policy,
+                blocks,
+                reset="recording",
+                policy_spec=policy_spec,
+                testbed_spec=spec.testbed,
+                label=policy_spec.name,
+            )
+            losses = []
+            trainings = []
+            fallbacks = []
+            per_recording: Dict[int, List[int]] = {}
+            for record in records:
+                recording = recordings[record.recording_index]
+                sector_id = record.result.sector_id
+                achieved = float(recording.true_snr_db[column_of[sector_id]])
+                losses.append(recording.optimal_snr_db() - achieved)
+                trainings.append(
+                    policy.training_time_us(record.probes_requested, 1)
+                )
+                fallbacks.append(bool(record.result.fallback))
+                per_recording.setdefault(record.recording_index, []).append(
+                    sector_id
+                )
+            stabilities = [
+                _modal_share(per_recording.get(index, []))
+                for index in range(len(recordings))
+            ]
+            rows.append(
+                PolicyEvalRow(
+                    policy=policy_spec.name,
+                    mean_loss_db=float(np.mean(losses)),
+                    stability=float(np.mean(stabilities)),
+                    mean_training_time_us=float(np.mean(trainings)),
+                    fallback_rate=float(np.mean(fallbacks)),
+                )
+            )
+            continue
 
         # Policies probing their own codebook (random beams) need truth
         # for those beams; the nominal orientations are close enough for

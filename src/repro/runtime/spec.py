@@ -26,6 +26,8 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from .faults import FaultPlan
+
 __all__ = ["TestbedSpec", "PolicySpec", "ScenarioSpec"]
 
 
@@ -102,6 +104,12 @@ class ScenarioSpec:
         policies: the policies under test, in evaluation order.
         params: scenario-specific knobs (the executor's config surface);
             must stay JSON-encodable.
+        faults: optional deterministic fault-injection overlay.  Part of
+            the spec so a degradation scenario round-trips through JSON,
+            but **excluded from the digest**: a fault plan changes how a
+            run executes (retries, pool replacements), never what it
+            computes, so a faulty run's checkpoint stays valid for the
+            clean run of the same spec+seed.
     """
 
     scenario: str
@@ -109,18 +117,25 @@ class ScenarioSpec:
     testbed: TestbedSpec = field(default_factory=TestbedSpec)
     policies: Tuple[PolicySpec, ...] = ()
     params: Mapping[str, Any] = field(default_factory=dict)
+    faults: Optional[FaultPlan] = None
 
     def with_seed(self, seed: Optional[int]) -> "ScenarioSpec":
         return self if seed is None else replace(self, seed=int(seed))
 
+    def with_faults(self, faults: Optional[FaultPlan]) -> "ScenarioSpec":
+        return replace(self, faults=faults)
+
     def to_json(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "scenario": self.scenario,
             "seed": self.seed,
             "testbed": self.testbed.to_json(),
             "policies": [policy.to_json() for policy in self.policies],
             "params": dict(self.params),
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_json()
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -132,11 +147,16 @@ class ScenarioSpec:
                 PolicySpec.from_json(entry) for entry in data.get("policies", ())
             ),
             params=dict(data.get("params", {})),
+            faults=(
+                FaultPlan.from_json(data["faults"]) if "faults" in data else None
+            ),
         )
 
     def digest(self) -> str:
-        """SHA-256 of the canonical JSON form."""
-        return hashlib.sha256(canonical_json(self.to_json()).encode()).hexdigest()
+        """SHA-256 of the canonical JSON form (fault overlay excluded)."""
+        data = self.to_json()
+        data.pop("faults", None)
+        return hashlib.sha256(canonical_json(data).encode()).hexdigest()
 
     def save(self, path) -> None:
         Path(path).write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,484 @@
+"""Fault-tolerant execution: supervision, checkpoints, injection.
+
+The contract under test (DESIGN.md §9): because randomness is consumed
+only during planning and block evaluation is pure, every recovery path
+— retry, pool replacement, timeout, checkpoint resume, scalar fallback
+— is bit-invisible in the records.  A fault plan may change a run's
+*health* section, never its *results*.
+
+The pinned acceptance test is ``TestRecoveryEquivalence``: a jobs=4
+policy-eval run with an injected worker crash, an injected hang
+(timeout + retry) and injected transient exceptions produces records
+bit-identical to a clean jobs=1 run of the same spec+seed, with exact
+health accounting.  ``TestKillResume`` pins the kill–``--resume``
+cycle.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.runtime.runner as runner_module
+from repro.cli import main as cli_main
+from repro.runtime import (
+    CheckpointStore,
+    FaultInjectionError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    PolicyContext,
+    PolicySpec,
+    RetryExhaustedError,
+    RetryPolicy,
+    ScenarioRunner,
+    ScenarioSpec,
+    TestbedSpec as _TestbedSpec,
+    build_policy,
+)
+
+# A narrow policy-eval arc: 5 recordings x 3 sweeps per policy, both
+# batched built-ins.  Small enough for supervised-execution tests, wide
+# enough that fault plans can target blocks 0-4.
+def _small_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario="policy-eval",
+        seed=2017,
+        policies=(
+            PolicySpec("css", {"n_probes": 14}),
+            PolicySpec("full-sweep", {}),
+        ),
+        params={"azimuth_step_deg": 30.0, "distance_m": 6.0, "n_sweeps": 3},
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_result(testbed):
+    """The reference jobs=1 run every recovery test compares against."""
+    with ScenarioRunner() as runner:
+        outcome = runner.run(_small_spec())
+    return outcome
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_grows(self):
+        retry = RetryPolicy(max_attempts=5, backoff_base_s=0.1, seed=3)
+        first = [retry.backoff_s(2, attempt) for attempt in (1, 2, 3)]
+        again = [retry.backoff_s(2, attempt) for attempt in (1, 2, 3)]
+        assert first == again
+        assert first[0] < first[1] < first[2]
+        # jitter stays within the declared fraction of the base
+        assert 0.1 <= first[0] <= 0.1 * (1 + retry.jitter)
+
+    def test_jitter_differs_across_blocks(self):
+        retry = RetryPolicy()
+        assert retry.backoff_s(0, 1) != retry.backoff_s(1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+
+    def test_json_round_trip(self):
+        retry = RetryPolicy(max_attempts=7, timeout_s=2.5, seed=11)
+        assert RetryPolicy.from_json(retry.to_json()) == retry
+
+
+class TestFaultPlan:
+    def test_parse_grammar(self):
+        plan = FaultPlan.parse(["crash@1", "exception@0,2*3"], hang_s=4.0)
+        assert plan.hang_s == 4.0
+        assert plan.faults == (
+            FaultSpec("crash", 1),
+            FaultSpec("exception", 0, times=3),
+            FaultSpec("exception", 2, times=3),
+        )
+
+    @pytest.mark.parametrize("token", ["crash", "crash@", "nope@1", "hang@-1"])
+    def test_parse_rejects_bad_tokens(self, token):
+        with pytest.raises(ValueError):
+            FaultPlan.parse([token])
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.parse(["hang@2", "cache-corrupt@0"], hang_s=1.5)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_injector_is_a_pure_function_of_block_and_attempt(self):
+        injector = FaultInjector(FaultPlan.parse(["exception@1*2", "hang@3"]))
+        assert injector.directive(0, 1) is None
+        assert injector.directive(1, 1) == {"kind": "exception"}
+        assert injector.directive(1, 2) == {"kind": "exception"}
+        assert injector.directive(1, 3) is None
+        # hang directives carry the plan's duration
+        assert injector.directive(3, 1) == {"kind": "hang", "hang_s": 30.0}
+        # replaying the same dispatch replays the same decision
+        assert injector.directive(1, 2) == injector.directive(1, 2)
+
+    def test_spec_round_trips_faults_but_digest_ignores_them(self):
+        spec = _small_spec()
+        faulty = spec.with_faults(FaultPlan.parse(["crash@0"]))
+        assert ScenarioSpec.from_json(faulty.to_json()) == faulty
+        assert ScenarioSpec.from_json(spec.to_json()).faults is None
+        # the overlay changes execution, never results: same digest
+        assert faulty.digest() == spec.digest()
+
+
+class TestCheckpointStore:
+    def test_round_trip_and_idempotent_put(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, "digest-a", 7)
+        store.put("policy", 0, [1, 2, 3])
+        store.put("policy", 0, [9, 9, 9])  # second put is a no-op
+        store.close()
+        resumed = CheckpointStore(path, "digest-a", 7, resume=True)
+        assert resumed.restored == 1
+        assert resumed.get("policy", 0) == [1, 2, 3]
+        assert resumed.get("policy", 1) is None
+        resumed.close()
+
+    def test_stale_header_starts_fresh(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, "digest-a", 7)
+        store.put("policy", 0, ["kept"])
+        store.close()
+        other = CheckpointStore(path, "digest-B", 7, resume=True)
+        assert other.restored == 0
+        assert other.get("policy", 0) is None
+        other.close()
+
+    def test_corrupt_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, "digest-a", 7)
+        store.put("policy", 0, ["intact"])
+        store.put("policy", 1, ["doomed"])
+        store.close()
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        resumed = CheckpointStore(path, "digest-a", 7, resume=True)
+        assert resumed.restored == 1
+        assert resumed.get("policy", 0) == ["intact"]
+        assert resumed.get("policy", 1) is None
+        resumed.close()
+
+
+class TestContextManager:
+    def test_with_block_closes_the_pool_on_exit(self):
+        with ScenarioRunner(jobs=2) as runner:
+            assert runner._ensure_pool() is not None
+        assert runner._pool is None
+
+    def test_close_is_idempotent(self):
+        runner = ScenarioRunner()
+        runner.close()
+        runner.close()
+
+    def test_pool_is_released_when_the_body_raises(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with ScenarioRunner(jobs=2) as runner:
+                runner._ensure_pool()
+                raise RuntimeError("boom")
+        assert runner._pool is None
+
+
+class TestLocalSupervision:
+    def test_injected_exceptions_recover_bit_identically(self, clean_result):
+        plan = FaultPlan.parse(["exception@0*2", "exception@3"])
+        retry = RetryPolicy(max_attempts=3, backoff_base_s=0.0)
+        with ScenarioRunner(retry=retry, faults=plan) as runner:
+            outcome = runner.run(_small_spec())
+        assert outcome.result.rows == clean_result.result.rows
+        health = outcome.manifest.health
+        assert health["blocks"] == 10
+        assert health["executed"] == 10
+        assert health["retries"] == 6  # (2 + 1) per batched policy
+        assert health["injected"] == 6
+        assert health["attempts"] == {
+            "css[0]": 3, "css[3]": 2, "full-sweep[0]": 3, "full-sweep[3]": 2,
+        }
+
+    def test_exhaustion_raises_with_structured_fields(self):
+        plan = FaultPlan.parse(["exception@1*9"])
+        retry = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+        with ScenarioRunner(retry=retry, faults=plan) as runner:
+            with pytest.raises(RetryExhaustedError) as excinfo:
+                runner.run(_small_spec())
+        error = excinfo.value
+        assert error.label == "css"
+        assert error.block_index == 1
+        assert error.attempts == 2
+        assert isinstance(error.cause, FaultInjectionError)
+
+    def test_spec_carried_fault_plan_is_honored(self, clean_result):
+        spec = _small_spec().with_faults(FaultPlan.parse(["exception@2"]))
+        retry = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+        with ScenarioRunner(retry=retry) as runner:
+            outcome = runner.run(spec)
+        assert outcome.result.rows == clean_result.result.rows
+        assert outcome.manifest.health["injected"] == 2
+
+    def test_default_runner_fails_fast(self):
+        spec = _small_spec().with_faults(FaultPlan.parse(["exception@0"]))
+        with ScenarioRunner() as runner:
+            with pytest.raises(RetryExhaustedError) as excinfo:
+                runner.run(spec)
+        assert excinfo.value.attempts == 1
+
+
+class TestRecoveryEquivalence:
+    """The pinned acceptance test: crash + hang + exceptions at jobs=4."""
+
+    def test_supervised_jobs4_matches_clean_jobs1_bit_for_bit(self, clean_result):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("exception", 0, times=2),
+                FaultSpec("crash", 1),
+                FaultSpec("hang", 2),
+            ),
+            hang_s=10.0,
+        )
+        retry = RetryPolicy(max_attempts=4, backoff_base_s=0.01, timeout_s=3.0)
+        with ScenarioRunner(jobs=4, retry=retry, faults=plan) as runner:
+            outcome = runner.run(_small_spec())
+
+        assert outcome.result.rows == clean_result.result.rows
+
+        health = outcome.manifest.health
+        assert health["blocks"] == 10
+        assert health["executed"] == 10
+        assert health["checkpoint_hits"] == 0
+        assert health["fallbacks"] == 0
+        # per batched policy: 2 exception retries + 1 crash + 1 timeout
+        assert health["retries"] == 8
+        assert health["timeouts"] == 2
+        assert health["injected"] == 8
+        # crash and hang each force a pool replacement per policy; a
+        # straggling crash can occasionally cost one more
+        assert health["pool_replacements"] >= 4
+        assert health["attempts"] == {
+            "css[0]": 3, "css[1]": 2, "css[2]": 2,
+            "full-sweep[0]": 3, "full-sweep[1]": 2, "full-sweep[2]": 2,
+        }
+
+    def test_clean_jobs4_matches_jobs1_with_clean_health(self, clean_result):
+        with ScenarioRunner(jobs=4, retry=RetryPolicy()) as runner:
+            outcome = runner.run(_small_spec())
+        assert outcome.result.rows == clean_result.result.rows
+        health = outcome.manifest.health
+        assert health["retries"] == 0
+        assert health["timeouts"] == 0
+        assert health["pool_replacements"] == 0
+        assert health["injected"] == 0
+
+
+class TestKillResume:
+    def test_exhausted_run_leaves_a_resumable_checkpoint(
+        self, clean_result, tmp_path
+    ):
+        spec = _small_spec()
+        ckpt = tmp_path / "campaign.jsonl"
+        plan = FaultPlan.parse(["exception@3*10"])
+        retry = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+        with ScenarioRunner(jobs=4, retry=retry, faults=plan, checkpoint=ckpt) as runner:
+            with pytest.raises(RetryExhaustedError):
+                runner.run(spec)
+
+        # the dying run journaled every css block it did finish
+        lines = ckpt.read_text().splitlines()
+        assert json.loads(lines[0])["spec_digest"] == spec.digest()
+        assert len(lines) - 1 == 4  # css blocks 0, 1, 2, 4
+
+        with ScenarioRunner(jobs=4, checkpoint=ckpt, resume=True) as runner:
+            outcome = runner.run(spec)
+        assert outcome.result.rows == clean_result.result.rows
+        health = outcome.manifest.health
+        assert health["checkpoint_hits"] == 4
+        assert health["executed"] == 6
+        assert health["retries"] == 0
+        assert health["checkpoint"] == str(ckpt)
+
+    def test_finished_checkpoint_skips_every_block(self, clean_result, tmp_path):
+        spec = _small_spec()
+        ckpt = tmp_path / "done.jsonl"
+        with ScenarioRunner(checkpoint=ckpt) as runner:
+            runner.run(spec)
+        with ScenarioRunner(checkpoint=ckpt, resume=True) as runner:
+            outcome = runner.run(spec)
+        assert outcome.result.rows == clean_result.result.rows
+        assert outcome.manifest.health["checkpoint_hits"] == 10
+        assert outcome.manifest.health["executed"] == 0
+
+
+class TestWorkerCacheCorruption:
+    """A corrupted testbed memo self-heals instead of crashing the pool."""
+
+    def _small_testbed_spec(self):
+        return _TestbedSpec(
+            seed=7,
+            azimuth_step_deg=30.0,
+            elevation_step_deg=16.0,
+            max_elevation_deg=32.0,
+            campaign_sweeps=1,
+        )
+
+    @pytest.fixture()
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.experiments.common import build_testbed
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_TESTBED_CACHE", raising=False)
+        build_testbed.cache_clear()
+        runner_module._WORKER_CONTEXTS.clear()
+        runner_module._WORKER_POLICIES.clear()
+        yield tmp_path
+        build_testbed.cache_clear()
+        runner_module._WORKER_CONTEXTS.clear()
+        runner_module._WORKER_POLICIES.clear()
+
+    def test_truncated_memo_triggers_the_self_healing_rebuild(self, isolated_cache):
+        testbed_key = self._small_testbed_spec().key()
+        policy_key = PolicySpec("css", {"n_probes": 6}).key()
+
+        # cold build populates the on-disk memo
+        policy = runner_module._worker_policy(testbed_key, policy_key)
+        memo = runner_module._memoized_testbed_path(testbed_key)
+        assert memo.is_file()
+
+        # truncate the cache entry mid-file, drop every warm cache, and
+        # warm up again: load_or_build_table must rebuild, not raise
+        data = memo.read_bytes()
+        memo.write_bytes(data[: len(data) // 2])
+        runner_module._reset_worker_caches()
+        healed = runner_module._worker_policy(testbed_key, policy_key)
+        assert healed is not policy
+        assert memo.is_file() and memo.read_bytes() != data[: len(data) // 2]
+
+    def test_worker_block_runs_through_an_injected_corruption(self, isolated_cache):
+        from repro.channel.environment import conference_room
+        from repro.experiments.common import record_directions
+
+        spec = self._small_testbed_spec()
+        testbed_key = spec.key()
+        policy_spec = PolicySpec("css", {"n_probes": 6})
+        testbed = spec.build()
+        policy = build_policy(policy_spec, PolicyContext(testbed=testbed))
+        recordings = record_directions(
+            testbed, conference_room(6.0), [0.0], [0.0], 2,
+            np.random.default_rng(3),
+        )
+        with ScenarioRunner() as planner:
+            (block,) = planner.plan_trials(
+                policy, recordings, testbed.tx_sector_ids,
+                np.random.default_rng(4),
+            )
+
+        clean, info = runner_module._worker_run_block(
+            testbed_key, policy_spec.key(), block
+        )
+        assert info == {"fallback": False}
+        corrupted, info = runner_module._worker_run_block(
+            testbed_key, policy_spec.key(), block,
+            directive={"kind": "cache-corrupt"},
+        )
+        assert info == {"fallback": False}
+        assert [r.sector_id for r in corrupted] == [r.sector_id for r in clean]
+
+
+class _BrokenBatch:
+    """A policy whose batched kernel always fails: forces the fallback."""
+
+    multi_round = False
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = "broken-batch"
+
+    def reset(self):
+        self._inner.reset()
+
+    def probes_for_round(self, round_index, pool, rng):
+        return self._inner.probes_for_round(round_index, pool, rng)
+
+    def select(self, measurements):
+        return self._inner.select(measurements)
+
+    def select_batch(self, *args, **kwargs):
+        raise RuntimeError("batched kernel rejected")
+
+    def training_time_us(self, probes_used, n_rounds):
+        return self._inner.training_time_us(probes_used, n_rounds)
+
+
+class TestScalarFallback:
+    def test_failing_batched_kernel_degrades_to_the_scalar_path(self, testbed):
+        from repro.channel.environment import conference_room
+        from repro.experiments.common import record_directions
+
+        policy_spec = PolicySpec("css", {"n_probes": 14})
+        recordings = record_directions(
+            testbed, conference_room(6.0), [-20.0, 0.0, 20.0], [0.0], 2,
+            np.random.default_rng(5),
+        )
+        with ScenarioRunner() as runner:
+            reference = build_policy(policy_spec, runner.context(testbed))
+            blocks = runner.plan_trials(
+                reference, recordings, testbed.tx_sector_ids,
+                np.random.default_rng(6),
+            )
+            wanted = runner.execute(reference, blocks, reset="recording")
+
+            broken = _BrokenBatch(build_policy(policy_spec, runner.context(testbed)))
+            degraded = runner.execute(broken, blocks, reset="recording")
+            assert runner.health.fallbacks == len(blocks)
+
+        assert [r.result for r in degraded] == [r.result for r in wanted]
+
+    def test_fallbacks_surface_in_the_manifest_health_section(self):
+        from repro.runtime.manifest import RunManifest
+
+        manifest = RunManifest(
+            scenario="policy-eval", spec_digest="ab" * 32, seed=1, jobs=2,
+            git_rev="deadbeef", started="now", wall_time_s=1.0,
+            health={"blocks": 4, "fallbacks": 2, "retries": 1,
+                    "attempts": {"css[0]": 2}},
+        )
+        assert manifest.to_json()["health"]["fallbacks"] == 2
+        rows = "\n".join(manifest.format_rows())
+        assert "fallbacks=2" in rows
+        assert "css[0] took 2 attempts" in rows
+
+
+class TestCliFaultSurface:
+    def test_retry_exhaustion_exits_one_with_a_structured_line(self, capsys):
+        status = cli_main(
+            [
+                "run", "policy-eval",
+                "--inject", "exception@0*9", "--max-attempts", "2",
+                "--backoff", "0",
+            ]
+        )
+        assert status == 1
+        err = capsys.readouterr().err
+        assert "retries exhausted" in err
+        assert "policy=css block=0 attempts=2" in err
+        assert "Traceback" not in err
+
+    def test_bad_inject_token_exits_two(self, capsys):
+        status = cli_main(["run", "policy-eval", "--inject", "nonsense"])
+        assert status == 2
+        assert "--inject" in capsys.readouterr().err
+
+    def test_injected_run_recovers_and_reports_health(self, capsys):
+        status = cli_main(
+            [
+                "run", "policy-eval",
+                "--inject", "exception@1", "--max-attempts", "3",
+                "--backoff", "0",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "health" in out
+        assert "retries=2" in out  # one retry for each batched policy

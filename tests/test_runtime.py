@@ -142,7 +142,8 @@ class TestToyPolicyEndToEnd:
         )
 
     def test_runs_against_builtins_without_touching_experiments(self):
-        outcome = ScenarioRunner().run(self._spec())
+        with ScenarioRunner() as runner:
+            outcome = runner.run(self._spec())
         rows = outcome.result.by_policy()
         assert set(rows) == {"toy-loudest", "full-sweep"}
         toy = rows["toy-loudest"]
@@ -177,22 +178,24 @@ class TestExecuteBatchScalarIdentity:
 
     def test_fallback_path_matches_batched_path(self):
         testbed = build_testbed()
-        runner = ScenarioRunner()
-        context = runner.context(testbed)
-        policy = build_policy(PolicySpec("css", {"n_probes": 10}), context)
-        recordings = record_directions(
-            testbed,
-            conference_room(6.0),
-            [-30.0, 15.0],
-            [0.0],
-            2,
-            np.random.default_rng(13),
-        )
-        blocks = runner.plan_trials(
-            policy, recordings, testbed.tx_sector_ids, np.random.default_rng(14)
-        )
-        batched = runner.execute(policy, blocks, reset="recording")
-        scalar = runner.execute(self._ScalarOnly(policy), blocks, reset="recording")
+        with ScenarioRunner() as runner:
+            context = runner.context(testbed)
+            policy = build_policy(PolicySpec("css", {"n_probes": 10}), context)
+            recordings = record_directions(
+                testbed,
+                conference_room(6.0),
+                [-30.0, 15.0],
+                [0.0],
+                2,
+                np.random.default_rng(13),
+            )
+            blocks = runner.plan_trials(
+                policy, recordings, testbed.tx_sector_ids, np.random.default_rng(14)
+            )
+            batched = runner.execute(policy, blocks, reset="recording")
+            scalar = runner.execute(
+                self._ScalarOnly(policy), blocks, reset="recording"
+            )
         assert [r.result for r in scalar] == [r.result for r in batched]
         assert [r.sweep_index for r in scalar] == [r.sweep_index for r in batched]
 
@@ -200,7 +203,7 @@ class TestExecuteBatchScalarIdentity:
 class TestRunInteractive:
     def test_matches_hierarchical_search_run(self):
         testbed = build_testbed()
-        runner = ScenarioRunner()
+        runner = ScenarioRunner()  # interactive path: no pool to manage
         policy = build_policy(
             PolicySpec("hierarchical", {"n_groups": 6}), runner.context(testbed)
         )
@@ -230,7 +233,8 @@ class TestRunInteractive:
 class TestManifest:
     def test_run_emits_a_complete_manifest(self, tmp_path):
         spec = scenario_spec("fig10")
-        outcome = ScenarioRunner().run(spec)
+        with ScenarioRunner() as runner:
+            outcome = runner.run(spec)
         manifest = outcome.manifest
         assert manifest.scenario == "fig10"
         assert manifest.spec_digest == spec.digest()
