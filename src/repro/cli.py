@@ -290,6 +290,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    except FileExistsError as error:
+        # --checkpoint without --resume on a journal this run could
+        # have resumed: refuse rather than destroy it.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     result = outcome.result
     if hasattr(result, "format_rows"):
         _print_rows(result.format_rows())

@@ -11,16 +11,27 @@ recomputed ones.
 
 File format (one JSON object per line):
 
-* line 1 — header: ``{"format": "repro-checkpoint", "version": 1,
+* line 1 — header: ``{"format": "repro-checkpoint", "version": 2,
   "spec_digest": ..., "seed": ...}``.  A header that does not match
   the resuming run is *stale* and the file is started fresh — a
   checkpoint can never leak results across specs or seeds.
-* following lines — entries: ``{"key": "<policy-digest>:<block>",
+* following lines — entries: ``{"key": "<policy-digest>:<call>:<block>",
   "sha256": ..., "payload": <base64 pickle of the block's results>}``.
-  Each payload carries its own digest; a corrupted or truncated tail
-  (the likely outcome of a hard kill) is dropped with a warning and
-  the journal continues from the last intact entry — corruption
-  degrades to recomputation, never to wrong data.
+  ``call`` is the ordinal of the supervised ``execute()`` call within
+  the run, so a scenario that evaluates the *same* policy spec more
+  than once (fig7 runs one CSS spec per environment) journals each
+  evaluation under its own key instead of silently serving one
+  environment's results as the other's.  Each payload carries its own
+  digest; a corrupted or truncated tail (the likely outcome of a hard
+  kill) is dropped with a warning and the journal continues from the
+  last intact entry — corruption degrades to recomputation, never to
+  wrong data.
+
+Opening an existing journal of the *same* spec+seed with
+``resume=False`` raises :class:`FileExistsError` instead of truncating
+it: a journal the caller could have resumed is never destroyed by a
+forgotten ``--resume`` flag.  Journals of a different spec, seed or
+format version are overwritten freely.
 """
 
 from __future__ import annotations
@@ -38,7 +49,7 @@ __all__ = ["CheckpointStore", "default_checkpoint_path"]
 _LOGGER = logging.getLogger(__name__)
 
 _FORMAT = "repro-checkpoint"
-_VERSION = 1
+_VERSION = 2
 
 
 def default_checkpoint_path(spec_digest: str, seed: int) -> Path:
@@ -62,6 +73,12 @@ class CheckpointStore:
         self._entries: Dict[str, str] = {}
         self.restored = 0
         loaded = resume and self._load()
+        if not resume and self._matching_journal_exists():
+            raise FileExistsError(
+                f"checkpoint {self.path} already journals this spec+seed; "
+                f"pass --resume to continue it, or delete the file to "
+                f"start the campaign over"
+            )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if loaded:
             self._handle = self.path.open("a", encoding="utf-8")
@@ -74,12 +91,30 @@ class CheckpointStore:
     # -- identity -------------------------------------------------------
 
     @staticmethod
-    def entry_key(policy_key: str, block_index: int) -> str:
-        """Journal key of one block: policy identity digest + index."""
+    def entry_key(policy_key: str, call_index: int, block_index: int) -> str:
+        """Journal key of one block.
+
+        ``call_index`` is the ordinal of the supervised ``execute()``
+        call within the run — without it, two evaluations of an
+        identical policy spec (same digest, same block indices) would
+        collide and ``get`` would serve the first evaluation's results
+        as the second's.
+        """
         policy_digest = hashlib.sha256(policy_key.encode()).hexdigest()[:16]
-        return f"{policy_digest}:{int(block_index)}"
+        return f"{policy_digest}:{int(call_index)}:{int(block_index)}"
 
     # -- journal I/O ----------------------------------------------------
+
+    def _matching_journal_exists(self) -> bool:
+        """True when ``path`` already journals this exact spec+seed."""
+        if not self.path.is_file():
+            return False
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                first = handle.readline()
+            return json.loads(first) == self._header
+        except (OSError, json.JSONDecodeError):
+            return False
 
     def _load(self) -> bool:
         """Read an existing journal; False means start fresh."""
@@ -125,9 +160,11 @@ class CheckpointStore:
             self._entries[key] = payload
         return True
 
-    def get(self, policy_key: str, block_index: int) -> Optional[Sequence[Any]]:
+    def get(
+        self, policy_key: str, call_index: int, block_index: int
+    ) -> Optional[Sequence[Any]]:
         """The journaled results of one block, or None when absent."""
-        payload = self._entries.get(self.entry_key(policy_key, block_index))
+        payload = self._entries.get(self.entry_key(policy_key, call_index, block_index))
         if payload is None:
             return None
         try:
@@ -141,9 +178,11 @@ class CheckpointStore:
             )
             return None
 
-    def put(self, policy_key: str, block_index: int, results: Sequence[Any]) -> None:
+    def put(
+        self, policy_key: str, call_index: int, block_index: int, results: Sequence[Any]
+    ) -> None:
         """Journal one completed block (flushed immediately)."""
-        key = self.entry_key(policy_key, block_index)
+        key = self.entry_key(policy_key, call_index, block_index)
         if key in self._entries:
             return
         payload = base64.b64encode(pickle.dumps(results)).decode("ascii")

@@ -46,6 +46,7 @@ import logging
 import multiprocessing
 import os
 import time
+from concurrent.futures import CancelledError as _FuturesCancelled
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -340,7 +341,10 @@ class ScenarioRunner:
         self._checkpoint = checkpoint
         self._resume = bool(resume)
         self._store: Optional[CheckpointStore] = None
-        self._journal: Tuple[Optional[CheckpointStore], Optional[str]] = (None, None)
+        self._journal: Tuple[Optional[CheckpointStore], Optional[str], int] = (
+            None, None, 0,
+        )
+        self._execute_calls = 0
         self._injected_seen: set = set()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._contexts: Dict[int, PolicyContext] = {}
@@ -373,6 +377,7 @@ class ScenarioRunner:
         self._policy_timings = {}
         self.health = RunHealth()
         self._injected_seen = set()
+        self._execute_calls = 0
         plan = self._fault_plan if self._fault_plan is not None else spec.faults
         self._injector = FaultInjector(plan) if plan is not None else None
         checkpoint_path: Optional[Path] = None
@@ -544,11 +549,19 @@ class ScenarioRunner:
         self.health.blocks += len(blocks)
         policy_key = policy_spec.key() if policy_spec is not None else None
         store = self._store if policy_key is not None else None
+        # Journal keys carry this call's ordinal within the run:
+        # executors run deterministically, so the ordinal is stable
+        # across resume, and two evaluations of an identical policy
+        # spec (fig7's per-environment CSS runs) can never collide.
+        call_index = self._execute_calls
+        self._execute_calls += 1
 
         outputs: Dict[int, Sequence] = {}
         pending: List[int] = []
         for index in range(len(blocks)):
-            cached = store.get(policy_key, index) if store is not None else None
+            cached = (
+                store.get(policy_key, call_index, index) if store is not None else None
+            )
             if cached is not None:
                 outputs[index] = cached
                 self.health.checkpoint_hits += 1
@@ -569,12 +582,13 @@ class ScenarioRunner:
             if use_pool:
                 executed = self._execute_pool(
                     policy_spec, testbed_spec, blocks, pending, label,
-                    store=store, policy_key=policy_key,
+                    store=store, policy_key=policy_key, call_index=call_index,
                 )
             else:
                 executed = self._execute_supervised_local(
                     policy, blocks, pending, label,
-                    store=store, policy_key=policy_key,
+                    store=store, policy_key=policy_key, call_index=call_index,
+                    testbed_spec=testbed_spec,
                 )
             for index, (results, info) in executed.items():
                 outputs[index] = results
@@ -597,8 +611,11 @@ class ScenarioRunner:
         label: str,
         store: Optional[CheckpointStore] = None,
         policy_key: Optional[str] = None,
+        call_index: int = 0,
+        testbed_spec: Optional[TestbedSpec] = None,
     ) -> Dict[int, Tuple[Sequence, Dict[str, Any]]]:
         retry = self.retry or _FAIL_FAST
+        testbed_key = testbed_spec.key() if testbed_spec is not None else None
         out: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
         for index in pending:
             block = blocks[index]
@@ -612,12 +629,13 @@ class ScenarioRunner:
                         else None
                     )
                     if directive is not None:
-                        self._note_injected(label, index, attempt)
-                        self._apply_local_directive(directive)
+                        self._apply_local_directive(
+                            directive, testbed_key, label, index, attempt
+                        )
                     policy.reset()
                     out[index] = _eval_block_guarded(policy, block)
                     if store is not None:
-                        store.put(policy_key, index, out[index][0])
+                        store.put(policy_key, call_index, index, out[index][0])
                     self.health.note_attempts(label, index, attempt)
                     break
                 except Exception as error:
@@ -648,16 +666,33 @@ class ScenarioRunner:
             self._injected_seen.add(key)
             self.health.injected += 1
 
-    def _apply_local_directive(self, directive: Dict[str, Any]) -> None:
+    def _apply_local_directive(
+        self,
+        directive: Dict[str, Any],
+        testbed_key: Optional[str],
+        label: str,
+        index: int,
+        attempt: int,
+    ) -> None:
         """Injected faults in sequential mode.
 
         Crashes cannot take the driving process down, so both ``crash``
         and ``exception`` surface as transient errors; ``hang`` sleeps
         (timeouts are enforced only on the pool path); ``cache-corrupt``
-        truncates the on-disk testbed memo so the next cold build takes
-        the self-healing path.
+        truncates the on-disk testbed memo and drops the warm in-process
+        caches so the next cold build takes the self-healing path — it
+        needs a spec-described testbed, and without one the directive is
+        skipped and *not* counted as injected.
         """
         kind = directive.get("kind")
+        if kind == "cache-corrupt":
+            if testbed_key is None:
+                return
+            self._note_injected(label, index, attempt)
+            _corrupt_testbed_cache(testbed_key)
+            _reset_worker_caches()
+            return
+        self._note_injected(label, index, attempt)
         if kind in ("crash", "exception"):
             raise FaultInjectionError(f"injected transient fault ({kind}, local mode)")
         if kind == "hang":
@@ -698,6 +733,7 @@ class ScenarioRunner:
         label: str,
         store: Optional[CheckpointStore] = None,
         policy_key: Optional[str] = None,
+        call_index: int = 0,
     ) -> Dict[int, Tuple[Sequence, Dict[str, Any]]]:
         """Dispatch blocks to the pool under the supervision policy.
 
@@ -712,7 +748,7 @@ class ScenarioRunner:
         retry = self.retry or _FAIL_FAST
         testbed_key = testbed_spec.key()
         worker_policy_key = policy_spec.key()
-        self._journal = (store, policy_key)
+        self._journal = (store, policy_key, call_index)
         out: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
         attempts: Dict[int, int] = {index: 0 for index in pending}
         remaining = set(pending)
@@ -818,7 +854,7 @@ class ScenarioRunner:
                         out[index] = payload
                         remaining.discard(index)
                         if store is not None:
-                            store.put(policy_key, index, payload[0])
+                            store.put(policy_key, call_index, index, payload[0])
                         self.health.note_attempts(label, index, attempts[index])
             if len(remaining) < before or failures:
                 barren_rounds = 0
@@ -879,20 +915,23 @@ class ScenarioRunner:
                 payload = future.result(timeout=0)
             except BrokenProcessPool:
                 continue
+            except _FuturesCancelled:
+                # Cancelled with its pool — collateral, not a failure.
+                # (Subclasses BaseException, so the Exception clause
+                # below would not catch it.)
+                continue
             except _FuturesTimeout:
                 continue
             except Exception as error:
-                if isinstance(error, BaseException) and type(error).__name__ == "CancelledError":
-                    continue
                 attempts[index] = dispatch_attempt[index]
                 failures.append((index, error))
             else:
                 attempts[index] = dispatch_attempt[index]
                 out[index] = payload
                 remaining.discard(index)
-                store, policy_key = self._journal
+                store, policy_key, call_index = self._journal
                 if store is not None:
-                    store.put(policy_key, index, payload[0])
+                    store.put(policy_key, call_index, index, payload[0])
                 self.health.note_attempts(label, index, attempts[index])
 
     def _ensure_pool(self) -> ProcessPoolExecutor:

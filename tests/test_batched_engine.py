@@ -346,3 +346,29 @@ class TestPerfGuards:
         assert perf.check_against_baseline({"points": []}, {}) != []
         # Metrics absent on either side are skipped, not failed.
         assert perf.check_against_baseline(data, {"other_metric": 9.0}) == []
+
+    def test_supervision_overhead_gate_widens_by_observed_noise(self):
+        from repro import perf
+
+        data = {"points": [{"label": "baseline", "metrics": {}}]}
+        # within the absolute budget: passes regardless of noise
+        assert perf.check_against_baseline(
+            data, {"runner_supervision_overhead_pct": 4.0}
+        ) == []
+        # over budget on a quiet machine: fails
+        failures = perf.check_against_baseline(
+            data,
+            {
+                "runner_supervision_overhead_pct": 7.0,
+                "runner_supervision_noise_pct": 0.5,
+            },
+        )
+        assert failures and "runner_supervision_overhead_pct" in failures[0]
+        # the same overhead inside the measured jitter band: tolerated
+        assert perf.check_against_baseline(
+            data,
+            {
+                "runner_supervision_overhead_pct": 7.0,
+                "runner_supervision_noise_pct": 6.0,
+            },
+        ) == []

@@ -130,37 +130,73 @@ class TestCheckpointStore:
     def test_round_trip_and_idempotent_put(self, tmp_path):
         path = tmp_path / "ck.jsonl"
         store = CheckpointStore(path, "digest-a", 7)
-        store.put("policy", 0, [1, 2, 3])
-        store.put("policy", 0, [9, 9, 9])  # second put is a no-op
+        store.put("policy", 0, 0, [1, 2, 3])
+        store.put("policy", 0, 0, [9, 9, 9])  # second put is a no-op
         store.close()
         resumed = CheckpointStore(path, "digest-a", 7, resume=True)
         assert resumed.restored == 1
-        assert resumed.get("policy", 0) == [1, 2, 3]
-        assert resumed.get("policy", 1) is None
+        assert resumed.get("policy", 0, 0) == [1, 2, 3]
+        assert resumed.get("policy", 0, 1) is None
+        resumed.close()
+
+    def test_call_index_separates_repeated_policy_specs(self, tmp_path):
+        # fig7 shape: the same policy spec is executed once per
+        # environment — identical digest, identical block indices.
+        # Each execute call journals under its own ordinal, so one
+        # environment's results can never be served as the other's.
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, "digest-a", 7)
+        store.put("policy", 0, 0, ["lab"])
+        store.put("policy", 1, 0, ["conference"])
+        assert store.get("policy", 0, 0) == ["lab"]
+        assert store.get("policy", 1, 0) == ["conference"]
+        store.close()
+        resumed = CheckpointStore(path, "digest-a", 7, resume=True)
+        assert resumed.restored == 2
+        assert resumed.get("policy", 1, 0) == ["conference"]
         resumed.close()
 
     def test_stale_header_starts_fresh(self, tmp_path):
         path = tmp_path / "ck.jsonl"
         store = CheckpointStore(path, "digest-a", 7)
-        store.put("policy", 0, ["kept"])
+        store.put("policy", 0, 0, ["kept"])
         store.close()
         other = CheckpointStore(path, "digest-B", 7, resume=True)
         assert other.restored == 0
-        assert other.get("policy", 0) is None
+        assert other.get("policy", 0, 0) is None
         other.close()
+
+    def test_fresh_open_refuses_a_matching_journal(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, "digest-a", 7)
+        store.put("policy", 0, 0, ["precious"])
+        store.close()
+        before = path.read_bytes()
+        # without resume, a journal this run could have resumed is
+        # never truncated — the caller is told about --resume instead
+        with pytest.raises(FileExistsError, match="--resume"):
+            CheckpointStore(path, "digest-a", 7, resume=False)
+        assert path.read_bytes() == before
+        resumed = CheckpointStore(path, "digest-a", 7, resume=True)
+        assert resumed.restored == 1
+        resumed.close()
+        # a journal of a *different* spec or seed is overwritten freely
+        fresh = CheckpointStore(path, "digest-B", 9, resume=False)
+        assert len(fresh) == 0
+        fresh.close()
 
     def test_corrupt_tail_is_dropped(self, tmp_path):
         path = tmp_path / "ck.jsonl"
         store = CheckpointStore(path, "digest-a", 7)
-        store.put("policy", 0, ["intact"])
-        store.put("policy", 1, ["doomed"])
+        store.put("policy", 0, 0, ["intact"])
+        store.put("policy", 0, 1, ["doomed"])
         store.close()
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
         resumed = CheckpointStore(path, "digest-a", 7, resume=True)
         assert resumed.restored == 1
-        assert resumed.get("policy", 0) == ["intact"]
-        assert resumed.get("policy", 1) is None
+        assert resumed.get("policy", 0, 0) == ["intact"]
+        assert resumed.get("policy", 0, 1) is None
         resumed.close()
 
 
@@ -310,6 +346,79 @@ class TestKillResume:
         assert outcome.manifest.health["checkpoint_hits"] == 10
         assert outcome.manifest.health["executed"] == 0
 
+    def test_checkpoint_without_resume_refuses_to_destroy_a_journal(self, tmp_path):
+        spec = _small_spec()
+        ckpt = tmp_path / "guarded.jsonl"
+        with ScenarioRunner(checkpoint=ckpt) as runner:
+            runner.run(spec)
+        with ScenarioRunner(checkpoint=ckpt) as runner:
+            with pytest.raises(FileExistsError, match="--resume"):
+                runner.run(spec)
+
+
+class TestRepeatedPolicyCheckpointing:
+    """fig7's shape: one policy spec evaluated once per environment.
+
+    Identical policy digest, identical block indices, *different*
+    recordings — a checkpoint keyed only on (policy, block) would serve
+    the first environment's journaled results as the second's, silently.
+    """
+
+    def _blocks(self, runner, policy, testbed, azimuths, seed):
+        from repro.channel.environment import conference_room
+        from repro.experiments.common import record_directions
+
+        recordings = record_directions(
+            testbed, conference_room(6.0), azimuths, [0.0], 2,
+            np.random.default_rng(seed),
+        )
+        return runner.plan_trials(
+            policy, recordings, testbed.tx_sector_ids,
+            np.random.default_rng(seed + 1),
+        )
+
+    def test_identical_specs_on_different_recordings_do_not_collide(
+        self, testbed, tmp_path
+    ):
+        policy_spec = PolicySpec("css", {"n_probes": 14})
+        with ScenarioRunner() as reference:
+            policy = build_policy(policy_spec, reference.context(testbed))
+            blocks_a = self._blocks(reference, policy, testbed, [-20.0, 20.0], 11)
+            blocks_b = self._blocks(reference, policy, testbed, [-40.0, 40.0], 12)
+            want_a = reference.execute(policy, blocks_a, reset="recording")
+            want_b = reference.execute(policy, blocks_b, reset="recording")
+        assert [r.result for r in want_a] != [r.result for r in want_b]
+
+        ckpt = tmp_path / "ck.jsonl"
+        with ScenarioRunner() as runner:
+            runner._store = CheckpointStore(ckpt, "digest", 7)
+            policy = build_policy(policy_spec, runner.context(testbed))
+            got_a = runner.execute(
+                policy, blocks_a, reset="recording", policy_spec=policy_spec
+            )
+            got_b = runner.execute(
+                policy, blocks_b, reset="recording", policy_spec=policy_spec
+            )
+            # within one run, the second call must not be fed the first
+            # call's freshly journaled blocks
+            assert runner.health.checkpoint_hits == 0
+        assert [r.result for r in got_a] == [r.result for r in want_a]
+        assert [r.result for r in got_b] == [r.result for r in want_b]
+
+        # and across a resume, each call restores its own blocks
+        with ScenarioRunner() as resumed:
+            resumed._store = CheckpointStore(ckpt, "digest", 7, resume=True)
+            policy = build_policy(policy_spec, resumed.context(testbed))
+            re_a = resumed.execute(
+                policy, blocks_a, reset="recording", policy_spec=policy_spec
+            )
+            re_b = resumed.execute(
+                policy, blocks_b, reset="recording", policy_spec=policy_spec
+            )
+            assert resumed.health.checkpoint_hits == len(blocks_a) + len(blocks_b)
+        assert [r.result for r in re_a] == [r.result for r in want_a]
+        assert [r.result for r in re_b] == [r.result for r in want_b]
+
 
 class TestWorkerCacheCorruption:
     """A corrupted testbed memo self-heals instead of crashing the pool."""
@@ -384,6 +493,32 @@ class TestWorkerCacheCorruption:
         )
         assert info == {"fallback": False}
         assert [r.sector_id for r in corrupted] == [r.sector_id for r in clean]
+
+    def test_local_cache_corrupt_directive_truncates_the_memo(self, isolated_cache):
+        testbed_key = self._small_testbed_spec().key()
+        policy_key = PolicySpec("css", {"n_probes": 6}).key()
+        runner_module._worker_policy(testbed_key, policy_key)
+        memo = runner_module._memoized_testbed_path(testbed_key)
+        data = memo.read_bytes()
+
+        with ScenarioRunner() as runner:
+            runner._apply_local_directive(
+                {"kind": "cache-corrupt"}, testbed_key, "css", 0, 1
+            )
+            assert runner.health.injected == 1
+        assert memo.read_bytes() == data[: max(16, len(data) // 2)]
+        # the warm caches were dropped with the memo: the next warm-up
+        # takes the self-healing rebuild path
+        healed = runner_module._worker_policy(testbed_key, policy_key)
+        assert healed is not None
+        assert memo.read_bytes() != data[: max(16, len(data) // 2)]
+
+    def test_local_cache_corrupt_without_a_testbed_spec_is_not_counted(self):
+        with ScenarioRunner() as runner:
+            runner._apply_local_directive(
+                {"kind": "cache-corrupt"}, None, "css", 0, 1
+            )
+            assert runner.health.injected == 0
 
 
 class _BrokenBatch:
@@ -482,3 +617,18 @@ class TestCliFaultSurface:
         out = capsys.readouterr().out
         assert "health" in out
         assert "retries=2" in out  # one retry for each batched policy
+
+    def test_checkpoint_without_resume_refuses_and_exits_two(self, capsys, tmp_path):
+        ckpt = tmp_path / "campaign.jsonl"
+        assert cli_main(["run", "policy-eval", "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        status = cli_main(["run", "policy-eval", "--checkpoint", str(ckpt)])
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        assert "Traceback" not in err
+        # with --resume the journal is honored, not destroyed
+        assert cli_main(
+            ["run", "policy-eval", "--checkpoint", str(ckpt), "--resume"]
+        ) == 0
+        assert "checkpoint_hits=" in capsys.readouterr().out
