@@ -18,9 +18,13 @@ is their simulator-side counterpart::
     repro-bench run --list          # registered scenarios
     repro-bench run fig9 --jobs 4   # any scenario, by name ...
     repro-bench run spec.json       # ... or from a pinned spec file
+    repro-bench run fig7 --trace t.jsonl   # record a span trace
+    repro-bench report t.jsonl      # per-stage latency breakdown
 
 ``--paper`` switches experiments from the fast default profile to the
-paper's full resolutions (minutes instead of seconds).
+paper's full resolutions (minutes instead of seconds).  Every
+subcommand takes ``--log-level`` (or the ``REPRO_LOG_LEVEL``
+environment variable) to surface the library's diagnostic logging.
 """
 
 from __future__ import annotations
@@ -272,6 +276,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=spec.seed,
     )
     checkpoint = args.checkpoint if args.checkpoint else (True if args.resume else None)
+    session = None
+    if args.trace:
+        from .obs import ObsSession
+
+        session = ObsSession(trace_path=args.trace)
 
     try:
         with ScenarioRunner(
@@ -280,6 +289,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults=faults,
             checkpoint=checkpoint,
             resume=args.resume,
+            obs=session,
         ) as runner:
             outcome = runner.run(spec)
     except RetryExhaustedError as error:
@@ -301,6 +311,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         print(result)
     _print_rows(outcome.manifest.format_rows())
+    if args.trace:
+        print(f"wrote trace to {args.trace} (inspect with 'repro-bench report')")
     if args.manifest:
         outcome.manifest.save(args.manifest)
         print(f"wrote run manifest to {args.manifest}")
@@ -309,6 +321,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         dump_result_json(result, args.json)
         print(f"archived result JSON to {args.json}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the latency breakdown of a traced run (trace or manifest)."""
+    from .obs.report import format_report_rows, load_report_target
+
+    try:
+        payload = load_report_target(args.target)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _print_rows(format_report_rows(payload, top=args.top))
+    if args.metrics:
+        snapshot = payload.get("metrics")
+        if snapshot:
+            from .obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.merge(snapshot)
+            print()
+            print(registry.render_prometheus(), end="")
+        else:
+            print(
+                "(no metric snapshot in this target — metrics live in the "
+                "run manifest of a traced run, not in the trace file)"
+            )
     return 0
 
 
@@ -347,8 +386,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the CoNEXT'17 compressive-sector-selection results.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_log_level(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--log-level", default=None, metavar="LEVEL",
+            help="logging verbosity (debug|info|warning|error|critical; "
+            "default: $REPRO_LOG_LEVEL or warning)",
+        )
+
     for name, handler in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=handler.__doc__)
+        add_log_level(sub)
         sub.add_argument("--seed", type=int, default=2017, help="experiment seed")
         sub.add_argument(
             "--paper",
@@ -392,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     # "run" speaks spec language: its --seed must default to None so a
     # spec file's pinned seed survives, hence it skips the common loop.
     run_sub = subparsers.add_parser("run", help=_cmd_run.__doc__)
+    add_log_level(run_sub)
     run_sub.add_argument(
         "target", nargs="?", help="registered scenario name or spec JSON path"
     )
@@ -445,13 +494,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--hang-s", type=float, default=30.0, metavar="S",
         help="how long an injected hang sleeps (pair with --timeout)",
     )
+    run_sub.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the run to PATH (JSONL; inspect "
+        "with 'repro-bench report')",
+    )
     run_sub.set_defaults(handler=_cmd_run)
+
+    report_sub = subparsers.add_parser("report", help=_cmd_report.__doc__)
+    add_log_level(report_sub)
+    report_sub.add_argument(
+        "target", help="a trace JSONL (run --trace) or a traced run-manifest JSON"
+    )
+    report_sub.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many slowest blocks to list (default: 5)",
+    )
+    report_sub.add_argument(
+        "--metrics", action="store_true",
+        help="also print the metric snapshot in Prometheus text format "
+        "(manifest targets only)",
+    )
+    report_sub.set_defaults(handler=_cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-bench`` console script."""
     args = build_parser().parse_args(argv)
+    from .obs import logging_setup
+
+    try:
+        logging_setup(getattr(args, "log_level", None))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     status = args.handler(args)
     return int(status) if status else 0
 

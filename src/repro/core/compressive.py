@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs as _obs
 from ..geometry.grid import AngularGrid
 from ..measurement.patterns import PatternTable
 from .estimator import AngleEstimator
@@ -113,6 +114,7 @@ class CompressiveSectorSelector:
         return int(self.candidate_sector_ids[int(np.argmax(gains))])
 
     def _fallback(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
+        _obs.inc("selector_fallbacks_total")
         if measurements:
             best = max(measurements, key=lambda m: m.snr_db)
             self._last_selection = best.sector_id
@@ -121,6 +123,7 @@ class CompressiveSectorSelector:
 
     def select(self, measurements: Sequence[ProbeMeasurement]) -> SelectionResult:
         """Run both steps on one sweep's measurements."""
+        _obs.inc("selector_calls_total", path="scalar")
         usable = [m for m in measurements if self.estimator.has_sector(m.sector_id)]
         if len(usable) < self.min_probes:
             return self._fallback(usable)
@@ -157,6 +160,7 @@ class CompressiveSectorSelector:
         plain ``np.argmax`` would resolve NaN differently, so the loop
         is explicit.
         """
+        _obs.inc("selector_fallbacks_total")
         if sub_ids.size:
             best = 0
             for index in range(1, sub_ids.size):
@@ -194,6 +198,8 @@ class CompressiveSectorSelector:
         ids = np.asarray(sector_ids)
         if ids.ndim != 2:
             raise ValueError("sector_ids must be 2-D (trials x probe slots)")
+        _obs.inc("selector_calls_total", path="batched")
+        _obs.inc("selector_batch_rows_total", ids.shape[0])
         ids = ids.astype(np.intp, copy=False)
         snr = np.asarray(snr_db, dtype=float)
         if snr.shape != ids.shape:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs as _obs
 from ..geometry.grid import AngularGrid
 from ..measurement.patterns import PatternTable
 from .correlation import _correlate, _to_domain, _unit_columns, prepare_pattern_matrix
@@ -186,10 +187,13 @@ class AngleEstimator:
         cache = self._unit_cache
         unit = cache.get(key)
         if unit is None:
+            _obs.inc("estimator_unit_cache_total", result="miss")
             unit = _unit_columns(self._prepared[rows])
             if len(cache) >= _UNIT_CACHE_LIMIT:
                 cache.pop(next(iter(cache)))
             cache[key] = unit
+        else:
+            _obs.inc("estimator_unit_cache_total", result="hit")
         return unit
 
     def _surface(self, measurements: Sequence[ProbeMeasurement]) -> np.ndarray:
@@ -214,6 +218,7 @@ class AngleEstimator:
         ``n_probes_used`` counts only the finite measurements that
         actually entered the correlation.
         """
+        _obs.inc("estimator_calls_total", path="scalar")
         measurements = self._usable_measurements(measurements)
         surface = self._surface(measurements)
         best_index = int(surface.argmax())
@@ -321,6 +326,8 @@ class AngleEstimator:
         rows, usable, snr_t, rssi_t = self._batch_arrays(
             sector_ids, snr_db, rssi_dbm, mask
         )
+        _obs.inc("estimator_calls_total", path="batched")
+        _obs.inc("estimator_batch_rows_total", rows.shape[0])
         estimates: List[Optional[AngleEstimate]] = []
         for trial in range(rows.shape[0]):
             index = np.flatnonzero(usable[trial])

@@ -1,0 +1,177 @@
+"""Rendering: turn a trace or a manifest into a latency breakdown.
+
+``repro-bench report <target>`` accepts either artefact a traced run
+leaves behind — the raw ``trace.jsonl`` or the run manifest (whose
+``observability`` section embeds the same rollup) — and prints a
+per-policy / per-stage latency table plus the top-N slowest blocks.
+The rollup itself (:func:`span_rollup`) is also what the runner embeds
+into the manifest, so both paths render from one structure.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .trace import read_trace_jsonl
+
+__all__ = ["span_rollup", "format_report_rows", "report_rows", "load_report_target"]
+
+#: How many slowest blocks a rollup retains (and the report prints).
+TOP_BLOCKS = 5
+
+
+def span_rollup(
+    events: Sequence[Mapping[str, Any]], top: int = TOP_BLOCKS
+) -> Dict[str, Any]:
+    """Aggregate span records into per-stage and per-policy timings.
+
+    Returns ``{"spans": {name: {count,total_s,max_s}}, "policies":
+    {policy: {...}} (execute.block only), "slowest_blocks": [...]}`` —
+    the manifest's ``observability`` timing rollup.
+    """
+    stages: Dict[str, Dict[str, Any]] = {}
+    policies: Dict[str, Dict[str, Any]] = {}
+    blocks: List[Dict[str, Any]] = []
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        duration = float(event.get("duration_s", 0.0))
+        _fold(stages, str(event["name"]), duration)
+        if event["name"] != "execute.block":
+            continue
+        attrs = event.get("attrs", {})
+        policy = str(attrs.get("policy", "?"))
+        _fold(policies, policy, duration)
+        blocks.append(
+            {
+                "policy": policy,
+                "call": attrs.get("call"),
+                "block": attrs.get("block"),
+                "duration_s": duration,
+            }
+        )
+    blocks.sort(key=lambda entry: (-entry["duration_s"], str(entry["policy"])))
+    return {
+        "spans": {name: stages[name] for name in sorted(stages)},
+        "policies": {name: policies[name] for name in sorted(policies)},
+        "slowest_blocks": blocks[: max(top, 0)],
+    }
+
+
+def _fold(table: Dict[str, Dict[str, Any]], key: str, duration: float) -> None:
+    entry = table.get(key)
+    if entry is None:
+        table[key] = {"count": 1, "total_s": duration, "max_s": duration}
+    else:
+        entry["count"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+
+
+def load_report_target(path) -> Dict[str, Any]:
+    """Load a trace JSONL or a manifest JSON into one report payload.
+
+    Returns ``{"source", "identity", "rollup", "metrics"}``.
+
+    Raises:
+        ValueError: the file is neither a trace nor a traced manifest.
+    """
+    path = Path(path)
+    try:
+        header, events = read_trace_jsonl(path)
+    except ValueError:
+        header, events = None, None
+    if events is not None:
+        return {
+            "source": "trace",
+            "identity": {
+                key: header[key]
+                for key in ("scenario", "spec_digest", "seed", "jobs")
+                if key in header
+            },
+            "rollup": span_rollup(events),
+            "metrics": None,
+        }
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"'{path}' is neither a trace nor a manifest: {error}") from None
+    observability = manifest.get("observability") if isinstance(manifest, dict) else None
+    if not isinstance(observability, dict) or not observability.get("enabled"):
+        raise ValueError(
+            f"'{path}' carries no observability section — rerun with --trace"
+        )
+    return {
+        "source": "manifest",
+        "identity": {
+            key: manifest[key]
+            for key in ("scenario", "spec_digest", "seed", "jobs")
+            if key in manifest
+        },
+        "rollup": {
+            "spans": observability.get("spans", {}),
+            "policies": observability.get("policies", {}),
+            "slowest_blocks": observability.get("slowest_blocks", []),
+        },
+        "metrics": observability.get("metrics"),
+    }
+
+
+def format_report_rows(payload: Mapping[str, Any], top: int = TOP_BLOCKS) -> List[str]:
+    """Human-readable latency breakdown of one loaded report payload."""
+    identity = payload.get("identity", {})
+    rollup = payload.get("rollup", {})
+    rows = [
+        "report: per-stage latency breakdown"
+        + (f" ({payload.get('source')})" if payload.get("source") else "")
+    ]
+    if identity:
+        digest = str(identity.get("spec_digest", ""))[:16]
+        rows.append(
+            f"  run scenario={identity.get('scenario', '?')}"
+            f" seed={identity.get('seed', '?')} jobs={identity.get('jobs', '?')}"
+            + (f" spec {digest}…" if digest else "")
+        )
+    spans = rollup.get("spans", {})
+    if spans:
+        rows.append("  stage                     count    total s     mean ms      max ms")
+        for name in sorted(spans):
+            entry = spans[name]
+            count = int(entry["count"])
+            total = float(entry["total_s"])
+            mean_ms = 1e3 * total / count if count else 0.0
+            rows.append(
+                f"  {name:24s} {count:6d} {total:10.3f} {mean_ms:11.3f}"
+                f" {1e3 * float(entry['max_s']):11.3f}"
+            )
+    else:
+        rows.append("  (no spans recorded)")
+    policies = rollup.get("policies", {})
+    if policies:
+        rows.append("  policy blocks             count    total s     mean ms      max ms")
+        for name in sorted(policies):
+            entry = policies[name]
+            count = int(entry["count"])
+            total = float(entry["total_s"])
+            mean_ms = 1e3 * total / count if count else 0.0
+            rows.append(
+                f"  {name:24s} {count:6d} {total:10.3f} {mean_ms:11.3f}"
+                f" {1e3 * float(entry['max_s']):11.3f}"
+            )
+    slowest = rollup.get("slowest_blocks", [])[: max(top, 0)]
+    if slowest:
+        rows.append(f"  top {len(slowest)} slowest blocks")
+        for entry in slowest:
+            rows.append(
+                f"    {entry.get('policy', '?'):16s}"
+                f" call={entry.get('call', '?')} block={entry.get('block', '?')}"
+                f"  {1e3 * float(entry.get('duration_s', 0.0)):9.3f} ms"
+            )
+    return rows
+
+
+def report_rows(path, top: int = TOP_BLOCKS) -> List[str]:
+    """One-call convenience: load ``path`` and format the report."""
+    return format_report_rows(load_report_target(path), top=top)

@@ -37,6 +37,7 @@ import numpy as np
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_TRAJECTORY",
+    "OBS_OVERHEAD_LIMIT_PCT",
     "REGRESSION_FACTOR",
     "SUPERVISION_OVERHEAD_LIMIT_PCT",
     "PerfPoint",
@@ -59,6 +60,13 @@ REGRESSION_FACTOR = 2.0
 #: ``--check`` fails when the supervised runner costs more than this
 #: over the unsupervised path (absolute gate, not vs. baseline).
 SUPERVISION_OVERHEAD_LIMIT_PCT = 5.0
+
+#: ``--check`` fails when an in-memory-traced run costs more than this
+#: over the untraced default.  Untraced instrumentation is a no-op
+#: dispatch (one global read per site), so the traced-vs-untraced delta
+#: bounds the *whole* observability layer from above: if even recording
+#: fits the budget, the disabled path certainly does.
+OBS_OVERHEAD_LIMIT_PCT = 3.0
 
 #: Latency metrics (lower is better) compared by ``--check``.
 _LATENCY_METRICS = (
@@ -342,6 +350,51 @@ def measure_metrics(
             / unsupervised
         )
 
+    # -- observability overhead (absent before repro.obs landed) -------
+    try:
+        from . import obs as _obs_module
+        from .experiments.fig9 import Fig9Config, fig9_spec
+        from .runtime import ScenarioRunner as _ObsRunner
+    except ImportError:
+        _ObsRunner = None
+    if _ObsRunner is not None:
+        obs_spec = fig9_spec(
+            Fig9Config(probe_counts=(6, 14), azimuth_step_deg=20.0, n_sweeps=6)
+        )
+
+        def _run_untraced():
+            with _ObsRunner(jobs=1) as runner:
+                runner.run(obs_spec)
+
+        def _run_traced():
+            # Full recording engaged — every span opened, every counter
+            # bumped, the rollup computed — but in memory only, so the
+            # delta is the cost of the observability layer itself, not
+            # of file I/O.
+            with _ObsRunner(jobs=1, obs=_obs_module.ObsSession()) as runner:
+                runner.run(obs_spec)
+
+        # Same interleaved-medians discipline as the supervision
+        # overhead above: drift hits both sides alike, and the observed
+        # spread widens the --check gate on noisy machines.
+        untraced_times: List[float] = []
+        traced_times: List[float] = []
+        for _ in range(5):
+            start = time.perf_counter()
+            _run_untraced()
+            untraced_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            _run_traced()
+            traced_times.append(time.perf_counter() - start)
+        untraced = float(np.median(untraced_times))
+        traced = float(np.median(traced_times))
+        metrics["runner_untraced_s"] = untraced
+        metrics["runner_traced_s"] = traced
+        metrics["runner_obs_overhead_pct"] = 100.0 * (traced - untraced) / untraced
+        metrics["runner_obs_noise_pct"] = (
+            100.0 * float(np.ptp(untraced_times) + np.ptp(traced_times)) / untraced
+        )
+
     # -- testbed disk cache (absent before the cache landed) -----------
     try:
         from .experiments.common import testbed_table_cache_info
@@ -432,6 +485,15 @@ def check_against_baseline(
             failures.append(
                 f"runner_supervision_overhead_pct: {overhead:.2f}% "
                 f"(limit {SUPERVISION_OVERHEAD_LIMIT_PCT:.0f}% over unsupervised "
+                f"+ {noise:.2f}% observed measurement noise)"
+            )
+    obs_overhead = metrics.get("runner_obs_overhead_pct")
+    if obs_overhead is not None:
+        noise = max(0.0, float(metrics.get("runner_obs_noise_pct", 0.0)))
+        if obs_overhead > OBS_OVERHEAD_LIMIT_PCT + noise:
+            failures.append(
+                f"runner_obs_overhead_pct: {obs_overhead:.2f}% "
+                f"(limit {OBS_OVERHEAD_LIMIT_PCT:.0f}% over untraced "
                 f"+ {noise:.2f}% observed measurement noise)"
             )
     return failures

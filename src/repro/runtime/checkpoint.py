@@ -44,6 +44,8 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
+from .. import obs as _obs
+
 __all__ = ["CheckpointStore", "default_checkpoint_path"]
 
 _LOGGER = logging.getLogger(__name__)
@@ -166,9 +168,10 @@ class CheckpointStore:
         """The journaled results of one block, or None when absent."""
         payload = self._entries.get(self.entry_key(policy_key, call_index, block_index))
         if payload is None:
+            _obs.inc("checkpoint_misses_total")
             return None
         try:
-            return pickle.loads(base64.b64decode(payload))
+            results = pickle.loads(base64.b64decode(payload))
         except Exception as error:  # digest passed but unpickle failed
             _LOGGER.warning(
                 "checkpoint %s: undecodable entry for block %d (%s); recomputing",
@@ -176,7 +179,10 @@ class CheckpointStore:
                 block_index,
                 error,
             )
+            _obs.inc("checkpoint_misses_total")
             return None
+        _obs.inc("checkpoint_entries_served_total")
+        return results
 
     def put(
         self, policy_key: str, call_index: int, block_index: int, results: Sequence[Any]
@@ -194,6 +200,7 @@ class CheckpointStore:
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
         self._entries[key] = payload
+        _obs.inc("checkpoint_entries_journaled_total")
 
     def __len__(self) -> int:
         return len(self._entries)

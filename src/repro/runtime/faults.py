@@ -32,6 +32,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from .. import obs as _obs
+
 __all__ = [
     "FAULT_KINDS",
     "FaultInjectionError",
@@ -275,10 +277,80 @@ class RunHealth:
     fallbacks: int = 0
     attempts: Dict[str, int] = field(default_factory=dict)
 
+    # The note_* methods below are the one place supervision outcomes
+    # are accounted: each bumps its health counter *and* mirrors the
+    # occurrence into the observability layer (a trace event plus a
+    # metric), so the manifest's health section and a run's trace can
+    # never drift apart.  With no active obs session the mirroring is
+    # a no-op.
+
     def note_attempts(self, label: str, block_index: int, attempts: int) -> None:
         if attempts > 1:
             key = f"{label}[{block_index}]"
             self.attempts[key] = max(self.attempts.get(key, 0), attempts)
+
+    def note_retry(self, label: str, block_index: int, error: BaseException) -> None:
+        """A block is being re-dispatched after its own failure."""
+        self.retries += 1
+        _obs.event(
+            "retry",
+            policy=label,
+            block=int(block_index),
+            error=type(error).__name__,
+        )
+        _obs.inc("runner_retries_total")
+
+    def note_timeout(self, label: str, block_index: int, budget_s: float) -> None:
+        """A block exceeded its supervised wall-clock budget."""
+        self.timeouts += 1
+        _obs.event(
+            "timeout", policy=label, block=int(block_index), budget_s=float(budget_s)
+        )
+        _obs.inc("runner_timeouts_total")
+
+    def note_pool_replacement(self) -> None:
+        """A broken or hung process pool was torn down and rebuilt."""
+        self.pool_replacements += 1
+        _obs.event("pool.replaced")
+        _obs.inc("runner_pool_replacements_total")
+
+    def note_fallback(self, label: str, block_index: int) -> None:
+        """A block's batched kernel failed; the scalar path recomputed it."""
+        self.fallbacks += 1
+        _obs.event("kernel.fallback", policy=label, block=int(block_index))
+        _obs.inc("runner_fallbacks_total")
+
+    def note_checkpoint_hit(self, label: str, block_index: int, call_index: int) -> None:
+        """A block was restored from the checkpoint journal, not executed."""
+        self.checkpoint_hits += 1
+        _obs.event(
+            "checkpoint.hit",
+            policy=label,
+            call=int(call_index),
+            block=int(block_index),
+        )
+        _obs.inc("checkpoint_hits_total")
+
+    def note_injected(
+        self, label: str, block_index: int, attempt: int, kind: str
+    ) -> None:
+        """A fault-plan directive was issued for this dispatch.
+
+        The trace event is tagged ``injected=True`` so a faulty run's
+        trace is distinguishable from organic failures (and the tag
+        survives the jobs>1 merge — it is recorded runner-side, keyed
+        by the same dispatch the directive rode on).
+        """
+        self.injected += 1
+        _obs.event(
+            "fault.injected",
+            injected=True,
+            kind=str(kind),
+            policy=label,
+            block=int(block_index),
+            attempt=int(attempt),
+        )
+        _obs.inc("runner_injected_total", kind=str(kind))
 
     def to_json(self) -> Dict[str, Any]:
         return {

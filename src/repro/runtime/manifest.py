@@ -46,6 +46,10 @@ class RunManifest:
     wall_time_s: float
     policy_timings_s: Dict[str, float] = field(default_factory=dict)
     health: Dict = field(default_factory=dict)
+    #: Trace/metric rollup of an observed run (``repro.obs``); empty
+    #: when the runner had no ObsSession.  ``repro-bench report`` can
+    #: render a saved manifest from this section alone.
+    observability: Dict = field(default_factory=dict)
 
     def to_json(self) -> Dict:
         return {
@@ -58,6 +62,7 @@ class RunManifest:
             "wall_time_s": self.wall_time_s,
             "policy_timings_s": dict(self.policy_timings_s),
             "health": dict(self.health),
+            "observability": dict(self.observability),
         }
 
     def save(self, path) -> None:
@@ -71,23 +76,33 @@ class RunManifest:
         ]
         for name in sorted(self.policy_timings_s):
             rows.append(f"  policy {name:20s} {self.policy_timings_s[name]:8.3f} s")
-        health = dict(self.health)
-        if health:
-            counters = " ".join(
-                f"{key}={health[key]}"
-                for key in (
-                    "blocks",
-                    "executed",
-                    "checkpoint_hits",
-                    "retries",
-                    "timeouts",
-                    "pool_replacements",
-                    "injected",
-                    "fallbacks",
-                )
-                if health.get(key)
+        # A run with an empty, absent or all-zero health dict is simply
+        # clean — render that as one row, never as empty counter rows
+        # (and tolerate attempts: null from hand-edited manifests).
+        health = dict(self.health or {})
+        counters = " ".join(
+            f"{key}={health[key]}"
+            for key in (
+                "blocks",
+                "executed",
+                "checkpoint_hits",
+                "retries",
+                "timeouts",
+                "pool_replacements",
+                "injected",
+                "fallbacks",
             )
-            rows.append(f"  health {counters or 'clean'}")
-            for key in sorted(health.get("attempts", {})):
-                rows.append(f"    {key} took {health['attempts'][key]} attempts")
+            if health.get(key)
+        )
+        rows.append(f"  health {counters or 'clean'}")
+        attempts = health.get("attempts") or {}
+        for key in sorted(attempts):
+            rows.append(f"    {key} took {attempts[key]} attempts")
+        if self.observability.get("enabled"):
+            spans = self.observability.get("spans", {})
+            total = sum(int(entry.get("count", 0)) for entry in spans.values())
+            rows.append(
+                f"  observability {total} span(s) in {len(spans)} stage(s)"
+                f" — see `repro-bench report`"
+            )
         return rows

@@ -37,6 +37,20 @@ journals finished blocks so a killed campaign resumes where it died.
 Because block evaluation is pure, every recovery path is bit-invisible
 in the records, and :attr:`ScenarioRunner.health` accounts for all of
 it in the run manifest.
+
+Observability (DESIGN.md §10): constructed with an
+:class:`~repro.obs.ObsSession`, the runner activates it for the
+duration of :meth:`ScenarioRunner.run` and wraps the run, every
+``execute`` call and every block attempt in spans
+(``scenario.run`` → ``execute.policy`` → ``execute.block``), while the
+supervision counters mirror into metrics.  Pool workers record into
+their own per-block session and ship the drained buffer back
+piggybacked on the block result; the runner absorbs worker payloads in
+deterministic ``(call, block)`` order, so a ``--jobs 4`` trace is
+bit-reproducible in everything but timing values.  With no session the
+instrumentation is a no-op (see ``runner_obs_overhead_pct`` in
+``repro-bench perf``), and tracing never touches results: a traced run
+is bit-identical to an untraced one.
 """
 
 from __future__ import annotations
@@ -57,6 +71,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs as _obs
 from .checkpoint import CheckpointStore, default_checkpoint_path
 from .faults import (
     BlockTimeoutError,
@@ -251,6 +266,7 @@ def _eval_block_guarded(policy, block: TrialBlock) -> Tuple[List, Dict[str, Any]
     contract) after a state reset, and the degradation is reported in
     the returned info dict so the run's health section can surface it.
     """
+    begin = time.perf_counter()
     if hasattr(policy, "select_batch"):
         try:
             results = policy.select_batch(
@@ -259,6 +275,8 @@ def _eval_block_guarded(policy, block: TrialBlock) -> Tuple[List, Dict[str, Any]
                 rssi_dbm=block.rssi_dbm,
                 mask=block.mask,
             )
+            _obs.inc("runner_kernel_path_total", path="batched")
+            _obs.observe("runner_block_seconds", time.perf_counter() - begin)
             return results, {"fallback": False}
         except Exception as error:
             _LOGGER.warning(
@@ -269,8 +287,14 @@ def _eval_block_guarded(policy, block: TrialBlock) -> Tuple[List, Dict[str, Any]
                 error,
             )
             policy.reset()
-            return _eval_block_scalar(policy, block), {"fallback": True}
-    return _eval_block_scalar(policy, block), {"fallback": False}
+            results = _eval_block_scalar(policy, block)
+            _obs.inc("runner_kernel_path_total", path="scalar")
+            _obs.observe("runner_block_seconds", time.perf_counter() - begin)
+            return results, {"fallback": True}
+    results = _eval_block_scalar(policy, block)
+    _obs.inc("runner_kernel_path_total", path="scalar")
+    _obs.observe("runner_block_seconds", time.perf_counter() - begin)
+    return results, {"fallback": False}
 
 
 def _worker_run_block(
@@ -278,12 +302,39 @@ def _worker_run_block(
     policy_key: str,
     block: TrialBlock,
     directive: Optional[Dict[str, Any]] = None,
+    obs_meta: Optional[Dict[str, Any]] = None,
 ):
-    if directive is not None:
-        _apply_worker_directive(directive, testbed_key)
-    policy = _worker_policy(testbed_key, policy_key)
-    policy.reset()
-    return _eval_block_guarded(policy, block)
+    """Evaluate one block inside a pool worker.
+
+    ``obs_meta`` doubles as the observability enable flag and the
+    ``execute.block`` span attributes (policy/call/block/attempt, plus
+    ``injected`` when a fault directive rides along).  When set, the
+    worker records into a fresh per-block session and ships the drained
+    payload back on the info dict — the runner absorbs payloads in
+    deterministic block order, so pool scheduling never shows in a
+    trace.  A failed attempt raises before draining, matching the local
+    path where only the supervising process records the failure.
+    """
+    if obs_meta is None:
+        if directive is not None:
+            _apply_worker_directive(directive, testbed_key)
+        policy = _worker_policy(testbed_key, policy_key)
+        policy.reset()
+        return _eval_block_guarded(policy, block)
+    session = _obs.ObsSession()
+    previous = _obs.activate(session)
+    try:
+        with _obs.span("execute.block", **obs_meta):
+            if directive is not None:
+                _apply_worker_directive(directive, testbed_key)
+            policy = _worker_policy(testbed_key, policy_key)
+            policy.reset()
+            results, info = _eval_block_guarded(policy, block)
+        info = dict(info)
+        info["obs"] = session.drain_payload()
+        return results, info
+    finally:
+        _obs.deactivate(previous)
 
 
 def _pad_rows(
@@ -316,6 +367,11 @@ class ScenarioRunner:
             disables checkpointing.
         resume: reuse a compatible existing checkpoint instead of
             starting it fresh.
+        obs: an :class:`~repro.obs.ObsSession` to record spans and
+            metrics into; it is activated for the duration of each
+            :meth:`run` and its rollup lands in the manifest's
+            ``observability`` section.  None (the default) leaves every
+            instrumentation site a no-op.
 
     Use as a context manager (``with ScenarioRunner(jobs=4) as r:``)
     so pool processes never leak on exceptions.
@@ -328,11 +384,13 @@ class ScenarioRunner:
         faults: Optional[FaultPlan] = None,
         checkpoint: Union[None, bool, str, Path] = None,
         resume: bool = False,
+        obs: Optional[_obs.ObsSession] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = int(jobs)
         self.retry = retry
+        self.obs = obs
         self.health = RunHealth()
         self._fault_plan = faults
         self._injector: Optional[FaultInjector] = (
@@ -349,6 +407,7 @@ class ScenarioRunner:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._contexts: Dict[int, PolicyContext] = {}
         self._policy_timings: Dict[str, float] = {}
+        self._policy_span_id: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -392,13 +451,32 @@ class ScenarioRunner:
             )
         started = datetime.now(timezone.utc).isoformat(timespec="seconds")
         begin = time.perf_counter()
+        traced = self.obs is not None
+        previous_session = _obs.activate(self.obs) if traced else None
+        if traced:
+            self.obs.reset()
         try:
-            result = entry.executor(spec, self)
+            with _obs.span(
+                "scenario.run", scenario=spec.scenario, seed=spec.seed, jobs=self.jobs
+            ):
+                result = entry.executor(spec, self)
         finally:
             self.close()
+            if traced:
+                _obs.deactivate(previous_session)
         health = self.health.to_json()
         if checkpoint_path is not None:
             health["checkpoint"] = str(checkpoint_path)
+        observability: Dict[str, Any] = {}
+        if traced:
+            observability = self.obs.finalize(
+                header={
+                    "scenario": spec.scenario,
+                    "spec_digest": spec.digest(),
+                    "seed": spec.seed,
+                    "jobs": self.jobs,
+                }
+            )
         manifest = RunManifest(
             scenario=spec.scenario,
             spec_digest=spec.digest(),
@@ -409,6 +487,7 @@ class ScenarioRunner:
             wall_time_s=time.perf_counter() - begin,
             policy_timings_s=dict(self._policy_timings),
             health=health,
+            observability=observability,
         )
         return RunOutcome(result=result, manifest=manifest)
 
@@ -446,46 +525,53 @@ class ScenarioRunner:
         id_row = np.asarray(tx_ids, dtype=np.intp)
         pool = list(tx_ids)
         blocks: List[TrialBlock] = []
-        for recording_index, recording in enumerate(recordings):
-            present, snr, rssi = recording.packed_sweeps(tx_ids)
-            row_ids: List[np.ndarray] = []
-            row_snr: List[np.ndarray] = []
-            row_rssi: List[np.ndarray] = []
-            row_mask: List[np.ndarray] = []
-            sweep_ix: List[int] = []
-            sub_ix: List[int] = []
-            requested: List[int] = []
-            for sweep_index in range(len(recording.sweeps)):
-                for subsample in range(subsamples_per_sweep):
-                    probe_ids = policy.probes_for_round(0, pool, rng)
-                    if probe_ids is None:
-                        raise ValueError(
-                            f"policy '{getattr(policy, 'name', policy)}' declined "
-                            f"round 0; multi-round policies need run_interactive"
+        with _obs.span(
+            "plan.trials",
+            policy=getattr(policy, "name", type(policy).__name__),
+            recordings=len(recordings),
+        ):
+            for recording_index, recording in enumerate(recordings):
+                present, snr, rssi = recording.packed_sweeps(tx_ids)
+                row_ids: List[np.ndarray] = []
+                row_snr: List[np.ndarray] = []
+                row_rssi: List[np.ndarray] = []
+                row_mask: List[np.ndarray] = []
+                sweep_ix: List[int] = []
+                sub_ix: List[int] = []
+                requested: List[int] = []
+                for sweep_index in range(len(recording.sweeps)):
+                    for subsample in range(subsamples_per_sweep):
+                        probe_ids = policy.probes_for_round(0, pool, rng)
+                        if probe_ids is None:
+                            raise ValueError(
+                                f"policy '{getattr(policy, 'name', policy)}' declined "
+                                f"round 0; multi-round policies need run_interactive"
+                            )
+                        columns = np.asarray(
+                            [column_of[sector_id] for sector_id in probe_ids],
+                            dtype=np.intp,
                         )
-                    columns = np.asarray(
-                        [column_of[sector_id] for sector_id in probe_ids],
-                        dtype=np.intp,
+                        row_ids.append(id_row[columns])
+                        row_snr.append(snr[sweep_index, columns])
+                        row_rssi.append(rssi[sweep_index, columns])
+                        row_mask.append(present[sweep_index, columns])
+                        sweep_ix.append(sweep_index)
+                        sub_ix.append(subsample)
+                        requested.append(len(probe_ids))
+                        _obs.observe("planner_probes_requested", len(probe_ids))
+                _obs.inc("planner_trials_total", len(requested))
+                blocks.append(
+                    TrialBlock(
+                        recording_index=recording_index,
+                        sector_ids=_pad_rows(row_ids, 0, dtype=np.intp),
+                        snr_db=_pad_rows(row_snr, np.nan),
+                        rssi_dbm=_pad_rows(row_rssi, np.nan),
+                        mask=_pad_rows(row_mask, False, dtype=bool),
+                        sweep_indices=np.asarray(sweep_ix, dtype=np.intp),
+                        subsample_indices=np.asarray(sub_ix, dtype=np.intp),
+                        probes_requested=np.asarray(requested, dtype=np.intp),
                     )
-                    row_ids.append(id_row[columns])
-                    row_snr.append(snr[sweep_index, columns])
-                    row_rssi.append(rssi[sweep_index, columns])
-                    row_mask.append(present[sweep_index, columns])
-                    sweep_ix.append(sweep_index)
-                    sub_ix.append(subsample)
-                    requested.append(len(probe_ids))
-            blocks.append(
-                TrialBlock(
-                    recording_index=recording_index,
-                    sector_ids=_pad_rows(row_ids, 0, dtype=np.intp),
-                    snr_db=_pad_rows(row_snr, np.nan),
-                    rssi_dbm=_pad_rows(row_rssi, np.nan),
-                    mask=_pad_rows(row_mask, False, dtype=bool),
-                    sweep_indices=np.asarray(sweep_ix, dtype=np.intp),
-                    subsample_indices=np.asarray(sub_ix, dtype=np.intp),
-                    probes_requested=np.asarray(requested, dtype=np.intp),
                 )
-            )
         return blocks
 
     # -- execution ------------------------------------------------------
@@ -519,12 +605,19 @@ class ScenarioRunner:
             label = getattr(policy, "name", type(policy).__name__)
         begin = time.perf_counter()
         try:
-            if reset == "plan":
-                records = self._execute_plan(policy, blocks)
-            else:
-                records = self._execute_recording(
-                    policy, blocks, policy_spec, testbed_spec, label
-                )
+            with _obs.span("execute.policy", policy=label, reset=reset) as span:
+                # Worker-trace payloads re-parent onto this span when
+                # the recording path absorbs them.
+                self._policy_span_id = getattr(span, "id", None)
+                try:
+                    if reset == "plan":
+                        records = self._execute_plan(policy, blocks)
+                    else:
+                        records = self._execute_recording(
+                            policy, blocks, policy_spec, testbed_spec, label
+                        )
+                finally:
+                    self._policy_span_id = None
         finally:
             elapsed = time.perf_counter() - begin
             self._policy_timings[label] = self._policy_timings.get(label, 0.0) + elapsed
@@ -564,7 +657,7 @@ class ScenarioRunner:
             )
             if cached is not None:
                 outputs[index] = cached
-                self.health.checkpoint_hits += 1
+                self.health.note_checkpoint_hit(label, index, call_index)
             else:
                 pending.append(index)
 
@@ -590,11 +683,21 @@ class ScenarioRunner:
                     store=store, policy_key=policy_key, call_index=call_index,
                     testbed_spec=testbed_spec,
                 )
-            for index, (results, info) in executed.items():
+            # Absorb in sorted block order — worker trace payloads merge
+            # keyed by (call, block) like the checkpoint journal, so the
+            # merged trace never depends on pool scheduling.
+            session = _obs.active_session()
+            for index in sorted(executed):
+                results, info = executed[index]
                 outputs[index] = results
                 self.health.executed += 1
+                payload = info.pop("obs", None) if isinstance(info, dict) else None
+                if payload is not None and session is not None:
+                    session.absorb_payload(
+                        payload, self._policy_span_id, f"c{call_index}b{index}"
+                    )
                 if info.get("fallback"):
-                    self.health.fallbacks += 1
+                    self.health.note_fallback(label, index)
 
         records: List[TrialRecord] = []
         for index, block in enumerate(blocks):
@@ -628,12 +731,22 @@ class ScenarioRunner:
                         if self._injector is not None
                         else None
                     )
+                    span_attrs: Dict[str, Any] = {
+                        "policy": label, "call": call_index,
+                        "block": index, "attempt": attempt,
+                    }
                     if directive is not None:
-                        self._apply_local_directive(
-                            directive, testbed_key, label, index, attempt
-                        )
-                    policy.reset()
-                    out[index] = _eval_block_guarded(policy, block)
+                        span_attrs["injected"] = True
+                    # Same span name and attrs as the pool path emits
+                    # worker-side: jobs=1 and jobs=N traces carry the
+                    # same span set, differing only in timings.
+                    with _obs.span("execute.block", **span_attrs):
+                        if directive is not None:
+                            self._apply_local_directive(
+                                directive, testbed_key, label, index, attempt
+                            )
+                        policy.reset()
+                        out[index] = _eval_block_guarded(policy, block)
                     if store is not None:
                         store.put(policy_key, call_index, index, out[index][0])
                     self.health.note_attempts(label, index, attempt)
@@ -649,11 +762,13 @@ class ScenarioRunner:
                         type(error).__name__,
                         error,
                     )
-                    self.health.retries += 1
-                    time.sleep(retry.backoff_s(index, attempt))
+                    self.health.note_retry(label, index, error)
+                    wait = retry.backoff_s(index, attempt)
+                    _obs.observe("runner_retry_wait_seconds", wait)
+                    time.sleep(wait)
         return out
 
-    def _note_injected(self, label: str, index: int, attempt: int) -> None:
+    def _note_injected(self, label: str, index: int, attempt: int, kind: str) -> None:
         """Count a directive once per (label, block, attempt).
 
         A block lost *collaterally* (its pool died for another block's
@@ -664,7 +779,7 @@ class ScenarioRunner:
         key = (label, index, attempt)
         if key not in self._injected_seen:
             self._injected_seen.add(key)
-            self.health.injected += 1
+            self.health.note_injected(label, index, attempt, kind)
 
     def _apply_local_directive(
         self,
@@ -688,11 +803,11 @@ class ScenarioRunner:
         if kind == "cache-corrupt":
             if testbed_key is None:
                 return
-            self._note_injected(label, index, attempt)
+            self._note_injected(label, index, attempt, kind)
             _corrupt_testbed_cache(testbed_key)
             _reset_worker_caches()
             return
-        self._note_injected(label, index, attempt)
+        self._note_injected(label, index, attempt, kind)
         if kind in ("crash", "exception"):
             raise FaultInjectionError(f"injected transient fault ({kind}, local mode)")
         if kind == "hang":
@@ -700,14 +815,20 @@ class ScenarioRunner:
 
     def _evaluate_block(self, policy, block: TrialBlock) -> List:
         """The unguarded evaluation used by the stateful plan path."""
+        begin = time.perf_counter()
         if hasattr(policy, "select_batch"):
-            return policy.select_batch(
+            results = policy.select_batch(
                 block.sector_ids,
                 snr_db=block.snr_db,
                 rssi_dbm=block.rssi_dbm,
                 mask=block.mask,
             )
-        return _eval_block_scalar(policy, block)
+            _obs.inc("runner_kernel_path_total", path="batched")
+        else:
+            results = _eval_block_scalar(policy, block)
+            _obs.inc("runner_kernel_path_total", path="scalar")
+        _obs.observe("runner_block_seconds", time.perf_counter() - begin)
+        return results
 
     @staticmethod
     def _records_of(block: TrialBlock, results: Sequence) -> List[TrialRecord]:
@@ -748,6 +869,7 @@ class ScenarioRunner:
         retry = self.retry or _FAIL_FAST
         testbed_key = testbed_spec.key()
         worker_policy_key = policy_spec.key()
+        traced = _obs.enabled()
         self._journal = (store, policy_key, call_index)
         out: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
         attempts: Dict[int, int] = {index: 0 for index in pending}
@@ -773,13 +895,25 @@ class ScenarioRunner:
                     )
                     directives[index] = directive
                     if directive is not None:
-                        self._note_injected(label, index, dispatch_attempt[index])
+                        self._note_injected(
+                            label, index, dispatch_attempt[index],
+                            directive.get("kind"),
+                        )
+                    obs_meta: Optional[Dict[str, Any]] = None
+                    if traced:
+                        obs_meta = {
+                            "policy": label, "call": call_index,
+                            "block": index, "attempt": dispatch_attempt[index],
+                        }
+                        if directive is not None:
+                            obs_meta["injected"] = True
                     futures[index] = pool.submit(
                         _worker_run_block,
                         testbed_key,
                         worker_policy_key,
                         blocks[index],
                         directive,
+                        obs_meta,
                     )
             except BrokenProcessPool as error:
                 # A worker died between rounds (e.g. the straggling tail
@@ -794,7 +928,7 @@ class ScenarioRunner:
                     out, failures, label, skip=-1,
                 )
                 self._abandon_pool()
-                self.health.pool_replacements += 1
+                self.health.note_pool_replacement()
             if dispatched:
                 abandoned = False
                 for index in batch:
@@ -803,7 +937,7 @@ class ScenarioRunner:
                     try:
                         payload = futures[index].result(timeout=retry.timeout_s)
                     except _FuturesTimeout:
-                        self.health.timeouts += 1
+                        self.health.note_timeout(label, index, retry.timeout_s)
                         attempts[index] = dispatch_attempt[index]
                         failures.append(
                             (
@@ -819,7 +953,7 @@ class ScenarioRunner:
                             out, failures, label, skip=index,
                         )
                         self._abandon_pool()
-                        self.health.pool_replacements += 1
+                        self.health.note_pool_replacement()
                         abandoned = True
                     except BrokenProcessPool as error:
                         # A worker died.  Attribute the death to the
@@ -842,7 +976,7 @@ class ScenarioRunner:
                             out, failures, label, skip=culprit,
                         )
                         self._abandon_pool()
-                        self.health.pool_replacements += 1
+                        self.health.note_pool_replacement()
                         abandoned = True
                     except Exception as error:
                         # The worker raised (e.g. an injected transient
@@ -872,7 +1006,8 @@ class ScenarioRunner:
                 if attempts[index] >= retry.max_attempts:
                     raise RetryExhaustedError(label, index, attempts[index], error)
             if failures:
-                self.health.retries += len(failures)
+                for index, error in failures:
+                    self.health.note_retry(label, index, error)
                 _LOGGER.warning(
                     "retrying %d block(s) of '%s' after: %s",
                     len(failures),
@@ -881,9 +1016,11 @@ class ScenarioRunner:
                         f"block {i}: {type(e).__name__}" for i, e in failures
                     ),
                 )
-                time.sleep(
-                    max(retry.backoff_s(index, attempts[index]) for index, _ in failures)
+                wait = max(
+                    retry.backoff_s(index, attempts[index]) for index, _ in failures
                 )
+                _obs.observe("runner_retry_wait_seconds", wait)
+                time.sleep(wait)
         return out
 
     def _harvest_done(
@@ -979,27 +1116,28 @@ class ScenarioRunner:
             label = getattr(policy, "name", type(policy).__name__)
         begin = time.perf_counter()
         try:
-            result = None
-            probes_used = 0
-            round_index = 0
-            while True:
-                probe_ids = policy.probes_for_round(round_index, pool, rng)
-                if probe_ids is None:
-                    break
-                measurements = measure(list(probe_ids), rng)
-                probes_used += len(probe_ids)
-                result = policy.select(measurements)
-                round_index += 1
-            if result is None:
-                raise ValueError(
-                    f"policy '{label}' ran zero rounds — nothing to select from"
+            with _obs.span("execute.interactive", policy=label):
+                result = None
+                probes_used = 0
+                round_index = 0
+                while True:
+                    probe_ids = policy.probes_for_round(round_index, pool, rng)
+                    if probe_ids is None:
+                        break
+                    measurements = measure(list(probe_ids), rng)
+                    probes_used += len(probe_ids)
+                    result = policy.select(measurements)
+                    round_index += 1
+                if result is None:
+                    raise ValueError(
+                        f"policy '{label}' ran zero rounds — nothing to select from"
+                    )
+                return PolicyOutcome(
+                    result=result,
+                    probes_used=probes_used,
+                    n_rounds=round_index,
+                    training_time_us=policy.training_time_us(probes_used, round_index),
                 )
-            return PolicyOutcome(
-                result=result,
-                probes_used=probes_used,
-                n_rounds=round_index,
-                training_time_us=policy.training_time_us(probes_used, round_index),
-            )
         finally:
             elapsed = time.perf_counter() - begin
             self._policy_timings[label] = self._policy_timings.get(label, 0.0) + elapsed

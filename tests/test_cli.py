@@ -26,6 +26,7 @@ class TestParser:
             "artifacts",
             "perf",
             "run",
+            "report",
         }
 
     def test_requires_a_command(self):
