@@ -20,6 +20,8 @@ is their simulator-side counterpart::
     repro-bench run spec.json       # ... or from a pinned spec file
     repro-bench run fig7 --trace t.jsonl   # record a span trace
     repro-bench report t.jsonl      # per-stage latency breakdown
+    repro-bench serve --port 8780   # HTTP spec-submission service
+    repro-bench load                # service saturation load harness
 
 ``--paper`` switches experiments from the fast default profile to the
 paper's full resolutions (minutes instead of seconds).  Every
@@ -351,6 +353,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve ScenarioSpec submissions over HTTP (see DESIGN.md §11)."""
+    import asyncio
+
+    from .service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        jobs=args.jobs,
+        durable=not args.no_durable,
+        checkpoint_dir=args.checkpoint_dir,
+        history_limit=args.history_limit,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    """Drive the service to saturation; report and optionally gate on latency."""
+    from .service.load import LoadConfig, run_load
+
+    try:
+        levels = tuple(int(part) for part in args.levels.split(",") if part.strip())
+    except ValueError:
+        print(f"error: --levels must be comma-separated integers: {args.levels!r}",
+              file=sys.stderr)
+        return 2
+    if not levels or any(level <= 0 for level in levels):
+        print("error: --levels needs at least one positive burst size",
+              file=sys.stderr)
+        return 2
+    config = LoadConfig(
+        scenario=args.scenario,
+        levels=levels,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        gate_p99_ms=args.gate_p99_ms,
+    )
+    return run_load(config, output=args.output, label=args.label)
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     """Time the hot kernels and append a BENCH_core.json datapoint."""
     from .perf import run_perf
@@ -516,6 +567,78 @@ def build_parser() -> argparse.ArgumentParser:
         "(manifest targets only)",
     )
     report_sub.set_defaults(handler=_cmd_report)
+
+    serve_sub = subparsers.add_parser("serve", help=_cmd_serve.__doc__)
+    add_log_level(serve_sub)
+    serve_sub.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve_sub.add_argument(
+        "--port", type=int, default=8780,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    serve_sub.add_argument(
+        "--workers", type=int, default=2,
+        help="scenario worker threads (each reuses one ScenarioRunner)",
+    )
+    serve_sub.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission-control bound; submissions past it get 429",
+    )
+    serve_sub.add_argument(
+        "--jobs", type=int, default=1,
+        help="fork-pool processes per worker for batched scenarios",
+    )
+    serve_sub.add_argument(
+        "--no-durable", action="store_true",
+        help="skip fsync on checkpoint writes (faster, weaker crash story)",
+    )
+    serve_sub.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="journal directory (default: <cache>/service)",
+    )
+    serve_sub.add_argument(
+        "--history-limit", type=int, default=512,
+        help="finished runs retained in memory before eviction",
+    )
+    serve_sub.set_defaults(handler=_cmd_serve)
+
+    load_sub = subparsers.add_parser("load", help=_cmd_load.__doc__)
+    add_log_level(load_sub)
+    load_sub.add_argument(
+        "--scenario", default="fig10", help="registered scenario to submit"
+    )
+    load_sub.add_argument(
+        "--levels", default="4,8,16,32,64,100,128",
+        help="comma-separated burst sizes, tried in order",
+    )
+    load_sub.add_argument(
+        "--host", default=None,
+        help="target an already-running service (default: self-host)",
+    )
+    load_sub.add_argument(
+        "--port", type=int, default=8780, help="target port (with --host)"
+    )
+    load_sub.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads for the self-hosted service",
+    )
+    load_sub.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="queue bound for the self-hosted service",
+    )
+    load_sub.add_argument(
+        "--gate-p99-ms", type=float, default=None, metavar="MS",
+        help="fail (exit 1) if submit p99 exceeds this budget",
+    )
+    load_sub.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="append the headline numbers to this BENCH trajectory file",
+    )
+    load_sub.add_argument(
+        "--label", default="service-load", help="trajectory point label"
+    )
+    load_sub.set_defaults(handler=_cmd_load)
     return parser
 
 

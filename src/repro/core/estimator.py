@@ -47,6 +47,27 @@ _UNIT_CACHE_LIMIT = 64
 _LOGGER = logging.getLogger(__name__)
 
 
+def _finite_argmax(surface: np.ndarray) -> int:
+    """Index of the maximum *finite-aware* correlation value.
+
+    ``np.argmax`` stops updating its running maximum at the first NaN
+    (every comparison against NaN is False), so a single NaN grid point
+    — a zero-norm pattern column, an overflow in the fused product —
+    silently wins the whole argmax.  On NaN-free surfaces this is
+    exactly ``surface.argmax()`` (bit-identical, no extra scan cost on
+    the hot path); when the winner is NaN the argmax is retaken over
+    the non-NaN entries, and an all-NaN surface keeps index 0, the
+    value ``np.argmax`` would report.
+    """
+    best = int(surface.argmax())
+    if not np.isnan(surface[best]):
+        return best
+    valid = np.flatnonzero(~np.isnan(surface))
+    if valid.size == 0:
+        return best
+    return int(valid[surface[valid].argmax()])
+
+
 @dataclass(frozen=True)
 class AngleEstimate:
     """Result of one angle-of-arrival estimation.
@@ -132,7 +153,8 @@ class AngleEstimator:
 
         Firmware reports occasionally carry NaN/inf after parse bugs or
         truncated ring-buffer reads; left alone they poison the whole
-        correlation map (``NaN`` wins ``np.argmax`` ties arbitrarily).
+        correlation map (and :func:`_finite_argmax` would then have to
+        discard most of the surface).
         Only the channels the fusion mode actually uses are checked;
         kept and dropped are partitioned in a single pass.
 
@@ -221,7 +243,7 @@ class AngleEstimator:
         _obs.inc("estimator_calls_total", path="scalar")
         measurements = self._usable_measurements(measurements)
         surface = self._surface(measurements)
-        best_index = int(surface.argmax())
+        best_index = _finite_argmax(surface)
         azimuth, elevation = self.search_grid.index_to_angles(best_index)
         return AngleEstimate(
             azimuth_deg=azimuth,
@@ -341,7 +363,7 @@ class AngleEstimator:
             if rssi_t is not None:
                 rssi_surface = _correlate(rssi_t[trial, index], pattern_unit)
                 surface = rssi_surface if surface is None else surface * rssi_surface
-            best_index = int(surface.argmax())
+            best_index = _finite_argmax(surface)
             azimuth, elevation = self.search_grid.index_to_angles(best_index)
             estimates.append(
                 AngleEstimate(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import logging
 import os
+from contextvars import ContextVar
 from typing import Any, Dict, List, Mapping, Optional
 
 from .metrics import MetricsRegistry
@@ -115,30 +116,37 @@ class ObsSession:
 
 
 #: The active session, or None when observability is off (the default).
-_SESSION: Optional[ObsSession] = None
+#: A :class:`~contextvars.ContextVar` rather than a module global: the
+#: service front-end runs many ScenarioRunners concurrently (one thread
+#: per in-flight request), and a plain global would interleave every
+#: request's spans and counters into whichever session activated last.
+#: Context variables are per-thread *and* per-asyncio-task, so each
+#: request's activation is invisible to its neighbours while the
+#: single-process CLI behaves exactly as before.
+_SESSION: ContextVar[Optional[ObsSession]] = ContextVar(
+    "repro_obs_session", default=None
+)
 
 
 def activate(session: Optional[ObsSession]) -> Optional[ObsSession]:
     """Make ``session`` current; returns the previous one for restore."""
-    global _SESSION
-    previous = _SESSION
-    _SESSION = session
+    previous = _SESSION.get()
+    _SESSION.set(session)
     return previous
 
 
 def deactivate(previous: Optional[ObsSession] = None) -> None:
     """Restore a previously active session (or none)."""
-    global _SESSION
-    _SESSION = previous
+    _SESSION.set(previous)
 
 
 def active_session() -> Optional[ObsSession]:
-    return _SESSION
+    return _SESSION.get()
 
 
 def enabled() -> bool:
     """Is an observability session currently active?"""
-    return _SESSION is not None
+    return _SESSION.get() is not None
 
 
 # -- instrumentation face (no-ops when no session is active) ------------
@@ -146,7 +154,7 @@ def enabled() -> bool:
 
 def span(name: str, **attrs: Any):
     """A context-managed span under the active tracer (or a no-op)."""
-    session = _SESSION
+    session = _SESSION.get()
     if session is None:
         return NULL_SPAN
     return session.tracer.span(name, **attrs)
@@ -154,28 +162,28 @@ def span(name: str, **attrs: Any):
 
 def event(name: str, **attrs: Any) -> None:
     """A point event under the active tracer (or nothing)."""
-    session = _SESSION
+    session = _SESSION.get()
     if session is not None:
         session.tracer.event(name, **attrs)
 
 
 def inc(name: str, value: float = 1, **labels: Any) -> None:
     """Bump a counter on the active registry (or nothing)."""
-    session = _SESSION
+    session = _SESSION.get()
     if session is not None:
         session.metrics.inc(name, value, **labels)
 
 
 def observe(name: str, value: float, **labels: Any) -> None:
     """Record a histogram observation on the active registry."""
-    session = _SESSION
+    session = _SESSION.get()
     if session is not None:
         session.metrics.observe(name, value, **labels)
 
 
 def set_gauge(name: str, value: float, **labels: Any) -> None:
     """Set a gauge on the active registry (or nothing)."""
-    session = _SESSION
+    session = _SESSION.get()
     if session is not None:
         session.metrics.set_gauge(name, value, **labels)
 

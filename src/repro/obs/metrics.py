@@ -28,6 +28,8 @@ __all__ = [
     "BUCKETS_BY_METRIC",
     "MetricsRegistry",
     "buckets_for",
+    "escape_label_value",
+    "unescape_label_value",
 ]
 
 #: Latency-shaped default bucket edges (seconds).
@@ -51,11 +53,55 @@ def buckets_for(name: str) -> Tuple[float, ...]:
     return BUCKETS_BY_METRIC.get(name, DEFAULT_BUCKETS)
 
 
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Inside a label value, backslash, double-quote and newline must be
+    written as ``\\\\``, ``\\"`` and ``\\n`` — an unescaped value like
+    ``fig7"x`` would terminate the quoted string early and produce an
+    exposition no scraper can parse.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value` (round-trip tests, parsers)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            follower = value[index + 1]
+            if follower == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if follower in ('"', "\\"):
+                out.append(follower)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
 def _metric_key(name: str, labels: Mapping[str, Any]) -> str:
-    """Prometheus-style series key: ``name{a="x",b="y"}`` (sorted)."""
+    """Prometheus-style series key: ``name{a="x",b="y"}`` (sorted).
+
+    Label values are escaped at key-construction time, so every export
+    (snapshot keys included) carries the already-valid exposition form
+    and cross-process merges keep matching on identical strings.
+    """
     if not labels:
         return name
-    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    inner = ",".join(
+        f'{key}="{escape_label_value(labels[key])}"' for key in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 

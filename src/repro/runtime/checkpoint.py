@@ -40,6 +40,7 @@ import base64
 import hashlib
 import json
 import logging
+import os
 import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
@@ -64,8 +65,22 @@ def default_checkpoint_path(spec_digest: str, seed: int) -> Path:
 class CheckpointStore:
     """Append-only journal of completed block results for one run."""
 
-    def __init__(self, path, spec_digest: str, seed: int, resume: bool = True):
+    def __init__(
+        self,
+        path,
+        spec_digest: str,
+        seed: int,
+        resume: bool = True,
+        durable: bool = False,
+    ):
         self.path = Path(path)
+        # ``durable=True`` fsyncs the journal after the header and after
+        # every entry.  ``flush()`` alone only reaches the OS page
+        # cache; a power loss can tear entries a long-lived service
+        # already acknowledged as journaled.  CLI runs keep the cheap
+        # flush-only default (a torn tail degrades to recomputation via
+        # the corrupt-tail drop); the service path opts in.
+        self.durable = bool(durable)
         self._header = {
             "format": _FORMAT,
             "version": _VERSION,
@@ -74,6 +89,10 @@ class CheckpointStore:
         }
         self._entries: Dict[str, str] = {}
         self.restored = 0
+        #: Byte offset of the end of the last intact journal line; set
+        #: by ``_load`` so a dropped tail can be physically removed.
+        self._valid_end = 0
+        self._tail_dropped = False
         loaded = resume and self._load()
         if not resume and self._matching_journal_exists():
             raise FileExistsError(
@@ -83,12 +102,26 @@ class CheckpointStore:
             )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if loaded:
+            if self._tail_dropped:
+                # Appending after a torn line would glue the next entry
+                # onto the fragment and corrupt it too — cut the file
+                # back to the last intact entry before continuing.
+                with self.path.open("rb+") as repair:
+                    repair.truncate(self._valid_end)
+                    if self.durable:
+                        os.fsync(repair.fileno())
             self._handle = self.path.open("a", encoding="utf-8")
         else:
             self._handle = self.path.open("w", encoding="utf-8")
             self._handle.write(json.dumps(self._header, sort_keys=True) + "\n")
-            self._handle.flush()
+            self._sync()
         self.restored = len(self._entries)
+
+    def _sync(self) -> None:
+        """Flush the journal; in durable mode, force it to stable storage."""
+        self._handle.flush()
+        if self.durable:
+            os.fsync(self._handle.fileno())
 
     # -- identity -------------------------------------------------------
 
@@ -123,8 +156,9 @@ class CheckpointStore:
         if not self.path.is_file():
             return False
         try:
-            lines = self.path.read_text(encoding="utf-8").splitlines()
-        except OSError as error:
+            data = self.path.read_text(encoding="utf-8")
+            lines = data.splitlines()
+        except (OSError, UnicodeDecodeError) as error:
             _LOGGER.warning("unreadable checkpoint %s (%s); starting fresh", self.path, error)
             return False
         if not lines:
@@ -139,7 +173,22 @@ class CheckpointStore:
                 self.path,
             )
             return False
+        if len(lines) == 1 and not data.endswith("\n"):
+            return False  # torn header line alone — start fresh
+        self._valid_end = len(lines[0].encode("utf-8")) + 1
+        size = len(data.encode("utf-8"))
         for number, line in enumerate(lines[1:], start=2):
+            if self._valid_end + len(line.encode("utf-8")) + 1 > size:
+                # Torn exactly at the line break: the text may parse,
+                # but an unterminated line must not be appended after.
+                _LOGGER.warning(
+                    "checkpoint %s: line %d is not newline-terminated; "
+                    "dropping tail",
+                    self.path,
+                    number,
+                )
+                self._tail_dropped = True
+                break
             try:
                 entry = json.loads(line)
                 key = entry["key"]
@@ -151,6 +200,7 @@ class CheckpointStore:
                     self.path,
                     number,
                 )
+                self._tail_dropped = True
                 break
             if hashlib.sha256(payload.encode()).hexdigest() != digest:
                 _LOGGER.warning(
@@ -158,8 +208,10 @@ class CheckpointStore:
                     self.path,
                     number,
                 )
+                self._tail_dropped = True
                 break
             self._entries[key] = payload
+            self._valid_end += len(line.encode("utf-8")) + 1
         return True
 
     def get(
@@ -198,7 +250,7 @@ class CheckpointStore:
             "payload": payload,
         }
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._handle.flush()
+        self._sync()
         self._entries[key] = payload
         _obs.inc("checkpoint_entries_journaled_total")
 

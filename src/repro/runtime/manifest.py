@@ -8,13 +8,14 @@ alone (``repro-bench run spec.json`` with the same digest).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict
+from typing import Any, Dict
 
-__all__ = ["RunManifest", "git_revision"]
+__all__ = ["RunManifest", "git_revision", "result_digest"]
 
 
 def git_revision() -> str:
@@ -33,6 +34,28 @@ def git_revision() -> str:
     return revision if proc.returncode == 0 and revision else "unknown"
 
 
+def result_digest(result: Any) -> str:
+    """SHA-256 of a result's canonical JSON form, or "" if unserializable.
+
+    The digest covers exactly the payload ``dump_result_json`` writes
+    (experiment class name + sanitized data), canonically encoded — two
+    runs of the same spec+seed produce the same digest if and only if
+    their results are bit-identical, no matter which front-end (CLI or
+    service) executed them.
+    """
+    from ..experiments.io import result_to_dict
+
+    try:
+        payload = {
+            "experiment": type(result).__name__,
+            "data": result_to_dict(result),
+        }
+    except TypeError:
+        return ""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 @dataclass
 class RunManifest:
     """Provenance of one :class:`~.runner.ScenarioRunner` run."""
@@ -46,6 +69,10 @@ class RunManifest:
     wall_time_s: float
     policy_timings_s: Dict[str, float] = field(default_factory=dict)
     health: Dict = field(default_factory=dict)
+    #: SHA-256 over the result's canonical JSON (see :func:`result_digest`);
+    #: "" when the result type is not JSON-serializable.  This is the
+    #: field the service's digest-equality contract compares.
+    result_sha256: str = ""
     #: Trace/metric rollup of an observed run (``repro.obs``); empty
     #: when the runner had no ObsSession.  ``repro-bench report`` can
     #: render a saved manifest from this section alone.
@@ -62,6 +89,7 @@ class RunManifest:
             "wall_time_s": self.wall_time_s,
             "policy_timings_s": dict(self.policy_timings_s),
             "health": dict(self.health),
+            "result_sha256": self.result_sha256,
             "observability": dict(self.observability),
         }
 
@@ -74,6 +102,8 @@ class RunManifest:
             f"  spec sha256 {self.spec_digest[:16]}…  git {self.git_rev[:12]}",
             f"  started {self.started}  wall {self.wall_time_s:.2f} s",
         ]
+        if self.result_sha256:
+            rows.insert(2, f"  result sha256 {self.result_sha256[:16]}…")
         for name in sorted(self.policy_timings_s):
             rows.append(f"  policy {name:20s} {self.policy_timings_s[name]:8.3f} s")
         # A run with an empty, absent or all-zero health dict is simply

@@ -82,7 +82,7 @@ from .faults import (
     RetryPolicy,
     RunHealth,
 )
-from .manifest import RunManifest, git_revision
+from .manifest import RunManifest, git_revision, result_digest
 from .policy import PolicyContext, PolicyOutcome
 from .spec import PolicySpec, ScenarioSpec, TestbedSpec
 
@@ -98,6 +98,9 @@ _LOGGER = logging.getLogger(__name__)
 #: Supervision parameters used when the runner has no retry policy:
 #: fail fast, no timeout — the legacy semantics.
 _FAIL_FAST = RetryPolicy(max_attempts=1)
+
+#: Sentinel distinguishing "not passed" from an explicit None override.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -367,6 +370,9 @@ class ScenarioRunner:
             disables checkpointing.
         resume: reuse a compatible existing checkpoint instead of
             starting it fresh.
+        durable: fsync the checkpoint journal after every entry (see
+            :class:`~.checkpoint.CheckpointStore`); the service front-end
+            turns this on so acknowledged progress survives power loss.
         obs: an :class:`~repro.obs.ObsSession` to record spans and
             metrics into; it is activated for the duration of each
             :meth:`run` and its rollup lands in the manifest's
@@ -384,6 +390,7 @@ class ScenarioRunner:
         faults: Optional[FaultPlan] = None,
         checkpoint: Union[None, bool, str, Path] = None,
         resume: bool = False,
+        durable: bool = False,
         obs: Optional[_obs.ObsSession] = None,
     ):
         if jobs < 1:
@@ -398,6 +405,7 @@ class ScenarioRunner:
         )
         self._checkpoint = checkpoint
         self._resume = bool(resume)
+        self._durable = bool(durable)
         self._store: Optional[CheckpointStore] = None
         self._journal: Tuple[Optional[CheckpointStore], Optional[str], int] = (
             None, None, 0,
@@ -428,10 +436,31 @@ class ScenarioRunner:
 
     # -- spec resolution ------------------------------------------------
 
-    def run(self, spec: ScenarioSpec) -> RunOutcome:
-        """Resolve and execute a scenario spec; emit result + manifest."""
+    def run(
+        self,
+        spec: ScenarioSpec,
+        *,
+        checkpoint: Any = _UNSET,
+        resume: Optional[bool] = None,
+        obs: Any = _UNSET,
+    ) -> RunOutcome:
+        """Resolve and execute a scenario spec; emit result + manifest.
+
+        The keyword overrides rebind the constructor's ``checkpoint`` /
+        ``resume`` / ``obs`` settings for this and subsequent calls —
+        the service front-end reuses one runner per worker thread across
+        requests, and each request needs its own journal path and
+        :class:`~repro.obs.ObsSession`.  Omitted overrides keep the
+        current settings, so existing single-run callers are unchanged.
+        """
         from .registry import get_scenario
 
+        if checkpoint is not _UNSET:
+            self._checkpoint = checkpoint
+        if resume is not None:
+            self._resume = bool(resume)
+        if obs is not _UNSET:
+            self.obs = obs
         entry = get_scenario(spec.scenario)
         self._policy_timings = {}
         self.health = RunHealth()
@@ -447,7 +476,11 @@ class ScenarioRunner:
                 else Path(self._checkpoint)
             )
             self._store = CheckpointStore(
-                checkpoint_path, spec.digest(), spec.seed, resume=self._resume
+                checkpoint_path,
+                spec.digest(),
+                spec.seed,
+                resume=self._resume,
+                durable=self._durable,
             )
         started = datetime.now(timezone.utc).isoformat(timespec="seconds")
         begin = time.perf_counter()
@@ -487,6 +520,7 @@ class ScenarioRunner:
             wall_time_s=time.perf_counter() - begin,
             policy_timings_s=dict(self._policy_timings),
             health=health,
+            result_sha256=result_digest(result),
             observability=observability,
         )
         return RunOutcome(result=result, manifest=manifest)

@@ -1,0 +1,29 @@
+"""`repro.service` — the long-lived selection-service front-end (DESIGN.md §11).
+
+Everything before this package ran one scenario per process: the CLI
+built a :class:`~repro.runtime.ScenarioRunner`, executed one spec and
+exited.  The service keeps the runtime alive and puts an asyncio HTTP
+front door on it:
+
+* :class:`~.server.SelectionService` — validates and digests incoming
+  :class:`~repro.runtime.ScenarioSpec` JSON, admits it onto a bounded
+  queue (429 past the configured depth), schedules it onto a fixed pool
+  of worker threads that each *reuse* one ScenarioRunner across
+  requests, journals progress durably (fsync'd checkpoints) so an
+  in-flight request survives worker death, and retains a bounded
+  history of manifests.
+* :class:`~.server.ServiceConfig` — every operational knob (pool size,
+  queue depth, durability, retention) in one dataclass.
+* :mod:`.client` — a small stdlib HTTP client used by the CLI, the CI
+  smoke job and the tests.
+* :mod:`.load` — the saturation-finding load harness behind
+  ``repro-bench load``; its headline numbers land in BENCH_core.json.
+
+The service deliberately speaks plain HTTP/1.1 over ``asyncio`` streams
+(no third-party framework): the request surface is five routes and the
+container ships no async HTTP dependency.
+"""
+
+from .server import RunRecord, SelectionService, ServiceConfig, serve
+
+__all__ = ["RunRecord", "SelectionService", "ServiceConfig", "serve"]

@@ -1,0 +1,118 @@
+"""Small synchronous HTTP client for the selection service.
+
+Used by the CLI (``repro-bench load`` result checks), the CI smoke job
+and the tests.  Pure stdlib (:mod:`http.client`), one connection per
+call — the *asynchronous* many-connection path lives in :mod:`.load`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an unexpected status code."""
+
+    def __init__(self, code: int, payload: Any):
+        super().__init__(f"service returned {code}: {payload}")
+        self.code = code
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.SelectionService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8780, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw ------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Any]:
+        """One HTTP round-trip; JSON bodies in, parsed JSON (or text) out."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                return response.status, json.loads(raw.decode() or "null")
+            return response.status, raw.decode()
+        finally:
+            connection.close()
+
+    # -- typed helpers --------------------------------------------------
+
+    def submit(self, spec_json: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a spec; returns the acceptance payload (raises on != 202)."""
+        code, payload = self.request("POST", "/runs", spec_json)
+        if code != 202:
+            raise ServiceError(code, payload)
+        return payload
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        code, payload = self.request("GET", f"/runs/{run_id}")
+        if code != 200:
+            raise ServiceError(code, payload)
+        return payload
+
+    def result(self, run_id: str) -> Dict[str, Any]:
+        code, payload = self.request("GET", f"/runs/{run_id}/result")
+        if code != 200:
+            raise ServiceError(code, payload)
+        return payload
+
+    def retry(self, run_id: str, keep_faults: bool = False) -> Dict[str, Any]:
+        code, payload = self.request(
+            "POST", f"/runs/{run_id}/retry", {"keep_faults": keep_faults}
+        )
+        if code != 202:
+            raise ServiceError(code, payload)
+        return payload
+
+    def metrics(self) -> str:
+        code, payload = self.request("GET", "/metrics")
+        if code != 200:
+            raise ServiceError(code, payload)
+        return payload
+
+    def healthz(self) -> Dict[str, Any]:
+        code, payload = self.request("GET", "/healthz")
+        if code != 200:
+            raise ServiceError(code, payload)
+        return payload
+
+    def wait(
+        self, run_id: str, timeout: float = 120.0, poll_s: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the run leaves the queue/running states.
+
+        Returns the final status payload; raises TimeoutError if the
+        run is still in flight when the budget expires.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.status(run_id)
+            if payload.get("status") in ("done", "failed"):
+                return payload
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"run {run_id} still {payload.get('status')} after {timeout}s"
+                )
+            time.sleep(poll_s)

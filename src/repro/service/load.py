@@ -1,0 +1,276 @@
+"""Load harness: find the selection service's saturation point.
+
+``repro-bench load`` hammers a service (self-hosted on an ephemeral
+port by default, or any ``--host/--port`` target) with bursts of
+concurrent spec submissions at increasing concurrency levels, records
+per-request submit latency and admission outcomes, waits for each
+burst to drain, and reports:
+
+* the highest level fully *sustained* (every submission admitted),
+* the first level where admission control kicked in (429s) — the
+  saturation point the ISSUE asks for,
+* submit-latency percentiles and end-to-end completion throughput,
+* the retained-history size, proving memory stays bounded.
+
+The headline numbers are appended to the BENCH_core.json trajectory
+(label ``service-load``) so the service's capacity is tracked across
+PRs like every other hot path; ``--gate-p99-ms`` turns the harness
+into a CI latency smoke gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LoadConfig", "LoadReport", "run_load"]
+
+#: Default burst sizes; the top level satisfies the ">= 100 concurrent
+#: submissions" acceptance bar with headroom.
+DEFAULT_LEVELS: Tuple[int, ...] = (4, 8, 16, 32, 64, 100, 128)
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Knobs of one load run."""
+
+    scenario: str = "fig10"
+    levels: Tuple[int, ...] = DEFAULT_LEVELS
+    host: Optional[str] = None  # None = self-host a service in-process
+    port: int = 0
+    workers: int = 4
+    queue_depth: int = 256
+    history_limit: int = 256
+    drain_timeout_s: float = 120.0
+    gate_p99_ms: Optional[float] = None
+
+
+@dataclass
+class LoadReport:
+    """What the harness observed, per level and overall."""
+
+    scenario: str
+    levels: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            f"service load: scenario={self.scenario}",
+            f"{'level':>6s} {'accepted':>9s} {'rejected':>9s} "
+            f"{'p50 ms':>8s} {'p99 ms':>8s} {'drain s':>8s} {'runs/s':>8s}",
+        ]
+        for level in self.levels:
+            rows.append(
+                f"{level['concurrency']:6d} {level['accepted']:9d} "
+                f"{level['rejected']:9d} {level['submit_p50_ms']:8.2f} "
+                f"{level['submit_p99_ms']:8.2f} {level['drain_s']:8.2f} "
+                f"{level['runs_per_s']:8.1f}"
+            )
+        for name in sorted(self.metrics):
+            rows.append(f"  {name:40s} {self.metrics[name]:12.5g}")
+        return rows
+
+
+async def _http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+) -> Tuple[int, bytes]:
+    """One short-lived HTTP/1.1 exchange over a raw asyncio connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.split()
+        code = int(parts[1]) if len(parts) >= 2 else 599
+        payload = await reader.read()
+        return code, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _submit(host: str, port: int, body: bytes) -> Tuple[int, float]:
+    start = time.perf_counter()
+    try:
+        code, _ = await _http_request(host, port, "POST", "/runs", body)
+    except (ConnectionError, OSError):
+        code = 599
+    return code, time.perf_counter() - start
+
+
+async def _healthz(host: str, port: int) -> Dict[str, Any]:
+    code, payload = await _http_request(host, port, "GET", "/healthz")
+    if code != 200:
+        raise RuntimeError(f"healthz returned {code}")
+    body = payload.split(b"\r\n\r\n", 1)[-1]
+    return json.loads(body.decode())
+
+
+async def _drain(host: str, port: int, timeout_s: float) -> float:
+    """Wait until no runs are queued or running; returns the wait time."""
+    begin = time.perf_counter()
+    deadline = begin + timeout_s
+    while True:
+        health = await _healthz(host, port)
+        counts = health.get("runs", {})
+        if counts.get("queued", 0) == 0 and counts.get("running", 0) == 0:
+            return time.perf_counter() - begin
+        if time.perf_counter() > deadline:
+            raise TimeoutError(
+                f"service did not drain within {timeout_s}s "
+                f"(queued={counts.get('queued')}, running={counts.get('running')})"
+            )
+        await asyncio.sleep(0.02)
+
+
+async def _run_levels(
+    config: LoadConfig, host: str, port: int, spec_body: bytes
+) -> LoadReport:
+    report = LoadReport(scenario=config.scenario)
+    for concurrency in config.levels:
+        burst_start = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(_submit(host, port, spec_body) for _ in range(concurrency))
+        )
+        drain_s = await _drain(host, port, config.drain_timeout_s)
+        elapsed = time.perf_counter() - burst_start
+        codes = [code for code, _ in outcomes]
+        latencies_ms = sorted(1e3 * latency for _, latency in outcomes)
+        accepted = sum(1 for code in codes if code == 202)
+        rejected = sum(1 for code in codes if code == 429)
+        errors = len(codes) - accepted - rejected
+        report.levels.append(
+            {
+                "concurrency": concurrency,
+                "accepted": accepted,
+                "rejected": rejected,
+                "errors": errors,
+                "submit_p50_ms": float(np.percentile(latencies_ms, 50)),
+                "submit_p99_ms": float(np.percentile(latencies_ms, 99)),
+                "drain_s": drain_s,
+                "runs_per_s": accepted / elapsed if elapsed > 0 else 0.0,
+            }
+        )
+    health = await _healthz(host, port)
+    report.metrics = _headline_metrics(report, health)
+    return report
+
+
+def _headline_metrics(report: LoadReport, health: Dict[str, Any]) -> Dict[str, float]:
+    sustained = [
+        level for level in report.levels
+        if level["rejected"] == 0 and level["errors"] == 0
+    ]
+    saturated = [
+        level for level in report.levels
+        if level["rejected"] > 0 or level["errors"] > 0
+    ]
+    top = sustained[-1] if sustained else report.levels[-1]
+    return {
+        "service_load_max_sustained_concurrency": float(
+            max((level["concurrency"] for level in sustained), default=0)
+        ),
+        # The first concurrency level where admission control rejected
+        # work — 0 means the harness never drove the service past its
+        # queue (saturation lies beyond the largest level tried).
+        "service_load_saturation_concurrency": float(
+            min((level["concurrency"] for level in saturated), default=0)
+        ),
+        "service_load_submit_p50_ms": top["submit_p50_ms"],
+        "service_load_submit_p99_ms": top["submit_p99_ms"],
+        "service_load_runs_per_s": top["runs_per_s"],
+        "service_load_total_requests": float(
+            sum(level["concurrency"] for level in report.levels)
+        ),
+        "service_load_rejected_total": float(
+            sum(level["rejected"] for level in report.levels)
+        ),
+        "service_load_retained_runs": float(
+            len(health.get("active", [])) + sum(health.get("runs", {}).values())
+        ),
+    }
+
+
+async def _load_async(config: LoadConfig) -> LoadReport:
+    from ..runtime.registry import scenario_spec
+
+    spec_body = json.dumps(scenario_spec(config.scenario).to_json()).encode()
+    if config.host is not None:
+        return await _run_levels(config, config.host, config.port, spec_body)
+
+    # Self-host a service on an ephemeral port for the duration.
+    from .server import SelectionService, ServiceConfig
+
+    service = SelectionService(
+        ServiceConfig(
+            port=0,
+            workers=config.workers,
+            queue_depth=config.queue_depth,
+            history_limit=config.history_limit,
+        )
+    )
+    await service.start()
+    try:
+        return await _run_levels(config, "127.0.0.1", service.port, spec_body)
+    finally:
+        await service.stop()
+
+
+def run_load(
+    config: Optional[LoadConfig] = None,
+    output: Optional[str] = None,
+    label: str = "service-load",
+) -> int:
+    """Execute the harness; print the report; optionally append a BENCH
+    point; return a process exit code (nonzero = latency gate failed)."""
+    config = config or LoadConfig()
+    report = asyncio.run(_load_async(config))
+    print("\n".join(report.format_rows()))
+
+    status = 0
+    if config.gate_p99_ms is not None:
+        p99 = report.metrics.get("service_load_submit_p99_ms", float("inf"))
+        if p99 > config.gate_p99_ms:
+            print(
+                f"GATE FAILED: submit p99 {p99:.2f} ms exceeds "
+                f"{config.gate_p99_ms:.2f} ms"
+            )
+            status = 1
+        else:
+            print(
+                f"gate: submit p99 {p99:.2f} ms within "
+                f"{config.gate_p99_ms:.2f} ms budget"
+            )
+    if output:
+        from datetime import datetime, timezone
+
+        from ..perf import PerfPoint, _environment, append_point
+
+        point = PerfPoint(
+            label=label,
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            metrics=report.metrics,
+            environment=_environment(),
+        )
+        append_point(output, point)
+        print(f"appended trajectory point '{label}' to {output}")
+    return status

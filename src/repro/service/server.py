@@ -1,0 +1,699 @@
+"""Asyncio HTTP front-end for the scenario runtime (DESIGN.md §11).
+
+Architecture — three decoupled stages, each with an explicit bound:
+
+* **Admission** (event loop): ``POST /runs`` parses and validates the
+  :class:`~repro.runtime.ScenarioSpec` JSON, computes its digest, and
+  enqueues a :class:`RunRecord` onto a bounded :class:`asyncio.Queue`.
+  A full queue rejects with ``429 Too Many Requests`` + ``Retry-After``
+  instead of buffering without limit — backpressure is the contract,
+  not a failure mode.
+* **Execution** (worker pool): ``ServiceConfig.workers`` asyncio tasks
+  each own one long-lived :class:`~repro.runtime.ScenarioRunner` and
+  drain the queue, running each spec on a thread executor so the event
+  loop stays responsive while numpy crunches.  Every run gets its own
+  fsync-durable checkpoint journal (keyed by *run id*, never by digest
+  alone, so concurrent submissions of the same spec cannot collide)
+  and its own :class:`~repro.obs.ObsSession` (the session context is a
+  ``ContextVar``, so concurrent runs cannot interleave buffers).
+* **Retention** (event loop): finished records keep their manifest and
+  sanitized result JSON in a bounded history (oldest evicted, journals
+  unlinked), so a service hammered with thousands of submissions holds
+  memory and disk constant.
+
+Durability contract: a block the service has journaled survives power
+loss (``durable=True`` fsyncs), a run killed mid-flight resumes from
+its journal via ``POST /runs/<id>/retry``, and a completed run's
+``result_sha256`` is bit-identical to the same spec+seed run through
+``repro-bench run`` — the front-end changes *how* runs are scheduled,
+never *what* they compute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .. import obs as _obs
+from ..obs.metrics import MetricsRegistry
+from ..runtime import RetryPolicy, ScenarioRunner, ScenarioSpec
+
+__all__ = ["RunRecord", "SelectionService", "ServiceConfig", "serve"]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: Protocol cap on one request head line / header line.
+_MAX_LINE_BYTES = 16 * 1024
+#: Protocol cap on the number of request headers.
+_MAX_HEADERS = 64
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every operational knob of the selection service.
+
+    Attributes:
+        host / port: bind address (port 0 picks an ephemeral port).
+        workers: worker tasks (= concurrent in-flight runs); each owns
+            one reused :class:`~repro.runtime.ScenarioRunner`.
+        queue_depth: admission bound — submissions past this many
+            *queued* (not yet running) runs get 429.
+        jobs: process-pool width inside each run (1 = in-process; the
+            service's parallelism axis is across runs, not within one).
+        max_attempts / backoff_s / timeout_s: per-block supervision
+            passed to every runner (see DESIGN.md §9).
+        durable: fsync checkpoint journals (the service default; see
+            :class:`~repro.runtime.checkpoint.CheckpointStore`).
+        checkpoint_dir: journal directory (default: the artifact cache
+            dir under ``service/``).
+        history_limit: finished runs retained in memory; older records
+            (and their journals) are evicted.
+        max_body_bytes: request-body cap (413 beyond it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8780
+    workers: int = 2
+    queue_depth: int = 64
+    jobs: int = 1
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    timeout_s: Optional[float] = None
+    durable: bool = True
+    checkpoint_dir: Optional[str] = None
+    history_limit: int = 512
+    max_body_bytes: int = 1024 * 1024
+
+    def resolved_checkpoint_dir(self) -> Path:
+        if self.checkpoint_dir is not None:
+            return Path(self.checkpoint_dir)
+        from ..measurement.artifacts import cache_dir
+
+        return cache_dir() / "service"
+
+
+@dataclass
+class RunRecord:
+    """One submitted run, from admission to retention."""
+
+    id: str
+    scenario: str
+    spec_digest: str
+    seed: int
+    spec_json: Dict[str, Any]
+    status: str = "queued"  # queued | running | done | failed
+    submitted: str = ""
+    started: str = ""
+    finished: str = ""
+    attempts: int = 0
+    error: str = ""
+    checkpoint_path: str = ""
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    result: Optional[Dict[str, Any]] = None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "scenario": self.scenario,
+            "spec_digest": self.spec_digest,
+            "seed": self.seed,
+            "status": self.status,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "attempts": self.attempts,
+            "error": self.error,
+            "result_sha256": self.manifest.get("result_sha256", ""),
+        }
+
+    def detail(self) -> Dict[str, Any]:
+        data = self.summary()
+        data["checkpoint"] = self.checkpoint_path
+        data["manifest"] = self.manifest
+        return data
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP/1.1 plumbing (stdlib asyncio streams only).
+# ----------------------------------------------------------------------
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+class _ProtocolError(Exception):
+    """Malformed request; carries the status code to answer with."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[_Request]:
+    """Parse one HTTP/1.1 request, or None on a clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > _MAX_LINE_BYTES:
+        raise _ProtocolError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _ProtocolError(400, "malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADERS + 1):
+        line = await reader.readline()
+        if not line:
+            raise _ProtocolError(400, "truncated headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(line) > _MAX_LINE_BYTES:
+            raise _ProtocolError(400, "header line too long")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _ProtocolError(400, "too many headers")
+    if headers.get("transfer-encoding"):
+        raise _ProtocolError(400, "chunked request bodies are not supported")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _ProtocolError(400, "bad content-length") from None
+    if length < 0:
+        raise _ProtocolError(400, "bad content-length")
+    if length > max_body:
+        raise _ProtocolError(413, f"request body exceeds {max_body} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return _Request(method=method, path=path, headers=headers, body=body)
+
+
+def _encode_response(
+    code: int,
+    body: bytes,
+    content_type: str,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    head = [
+        f"HTTP/1.1 {code} {_REASONS.get(code, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    head.append("\r\n")
+    return "\r\n".join(head).encode("latin-1") + body
+
+
+def _json_body(code: int, payload: Any, *extra: Tuple[str, str]) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return _encode_response(code, body, "application/json", tuple(extra))
+
+
+def _text_body(code: int, text: str) -> bytes:
+    return _encode_response(
+        code, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+    )
+
+
+# ----------------------------------------------------------------------
+# The service.
+# ----------------------------------------------------------------------
+
+
+class SelectionService:
+    """Long-lived scenario-execution service over asyncio HTTP.
+
+    Lifecycle::
+
+        service = SelectionService(ServiceConfig(port=0))
+        await service.start()        # binds; service.port is now real
+        ...
+        await service.stop()
+
+    All shared state (records, queue, metric registries) is touched only
+    from the event-loop thread; executor threads hand results back
+    through the worker coroutines.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.port: int = self.config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._workers: List[asyncio.Task] = []
+        self._queue: "asyncio.Queue[RunRecord]" = asyncio.Queue(
+            maxsize=max(1, self.config.queue_depth)
+        )
+        self._runs: Dict[str, RunRecord] = {}
+        self._finished: Deque[str] = deque()
+        self._sequence = 0
+        self._inflight = 0
+        self._started_at = 0.0
+        #: Service-plane metrics (admission, HTTP, run latency).
+        self.metrics = MetricsRegistry()
+        #: Cumulative data-plane metrics folded from every finished
+        #: run's ObsSession snapshot (counters/histograms add).
+        self.run_metrics = MetricsRegistry()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self.config.resolved_checkpoint_dir().mkdir(parents=True, exist_ok=True)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service-run",
+        )
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker_loop(index))
+            for index in range(self.config.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        _LOGGER.info(
+            "selection service listening on %s:%d (%d workers, queue %d)",
+            self.config.host,
+            self.port,
+            self.config.workers,
+            self.config.queue_depth,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._workers:
+            task.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # -- HTTP dispatch ---------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader, self.config.max_body_bytes)
+                except _ProtocolError as error:
+                    writer.write(
+                        _json_body(error.code, {"error": str(error)})
+                    )
+                    await writer.drain()
+                    break
+                except asyncio.IncompleteReadError:
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if request.close:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _dispatch(self, request: _Request) -> bytes:
+        route, response = await self._route(request)
+        code = int(response.split(b" ", 2)[1])
+        self.metrics.inc("service_http_requests_total", route=route, code=code)
+        return response
+
+    async def _route(self, request: _Request) -> Tuple[str, bytes]:
+        method, path = request.method, request.path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return "healthz", _json_body(200, self._healthz())
+        if path == "/metrics" and method == "GET":
+            return "metrics", _text_body(200, self._render_metrics())
+        if path == "/runs" and method == "POST":
+            return "submit", self._submit(request.body)
+        if path == "/runs" and method == "GET":
+            return "list", _json_body(
+                200, {"runs": [self._runs[rid].summary() for rid in self._runs]}
+            )
+        if path.startswith("/runs/"):
+            tail = path[len("/runs/"):]
+            if tail.endswith("/retry") and method == "POST":
+                return "retry", self._retry(tail[: -len("/retry")], request.body)
+            if tail.endswith("/result") and method == "GET":
+                return "result", self._result(tail[: -len("/result")])
+            if method == "GET":
+                record = self._runs.get(tail)
+                if record is None:
+                    return "status", _json_body(404, {"error": f"no run '{tail}'"})
+                return "status", _json_body(200, record.detail())
+        if path == "/" and method == "GET":
+            return "index", _json_body(
+                200,
+                {
+                    "service": "repro-selection-service",
+                    "routes": [
+                        "POST /runs",
+                        "GET /runs",
+                        "GET /runs/<id>",
+                        "GET /runs/<id>/result",
+                        "POST /runs/<id>/retry",
+                        "GET /metrics",
+                        "GET /healthz",
+                    ],
+                },
+            )
+        return "unknown", _json_body(
+            405 if path in ("/runs", "/metrics", "/healthz", "/") else 404,
+            {"error": f"no route for {method} {path}"},
+        )
+
+    # -- admission -------------------------------------------------------
+
+    def _submit(self, body: bytes) -> bytes:
+        try:
+            data = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.metrics.inc("service_submissions_total", outcome="invalid")
+            return _json_body(400, {"error": "request body is not valid JSON"})
+        if not isinstance(data, dict):
+            self.metrics.inc("service_submissions_total", outcome="invalid")
+            return _json_body(400, {"error": "request body must be a spec object"})
+        try:
+            spec = ScenarioSpec.from_json(data)
+            from ..runtime.registry import get_scenario
+
+            get_scenario(spec.scenario)
+        except (KeyError, TypeError, ValueError) as error:
+            self.metrics.inc("service_submissions_total", outcome="invalid")
+            return _json_body(400, {"error": f"invalid scenario spec: {error}"})
+
+        digest = spec.digest()
+        self._sequence += 1
+        run_id = f"r{self._sequence:06d}-{digest[:8]}"
+        record = RunRecord(
+            id=run_id,
+            scenario=spec.scenario,
+            spec_digest=digest,
+            seed=spec.seed,
+            spec_json=spec.to_json(),
+            submitted=_utcnow(),
+            checkpoint_path=str(
+                self.config.resolved_checkpoint_dir() / f"{run_id}.jsonl"
+            ),
+        )
+        try:
+            self._queue.put_nowait(record)
+        except asyncio.QueueFull:
+            self.metrics.inc("service_submissions_total", outcome="rejected")
+            self._update_gauges()
+            return _json_body(
+                429,
+                {
+                    "error": "run queue is full",
+                    "queue_depth": self._queue.qsize(),
+                    "queue_limit": self.config.queue_depth,
+                },
+                ("Retry-After", "1"),
+            )
+        self._runs[run_id] = record
+        self.metrics.inc("service_submissions_total", outcome="accepted")
+        self._update_gauges()
+        return _json_body(
+            202,
+            {
+                "run": run_id,
+                "spec_digest": digest,
+                "status": record.status,
+                "queue_depth": self._queue.qsize(),
+            },
+        )
+
+    def _retry(self, run_id: str, body: bytes) -> bytes:
+        record = self._runs.get(run_id)
+        if record is None:
+            return _json_body(404, {"error": f"no run '{run_id}'"})
+        if record.status in ("queued", "running"):
+            return _json_body(409, {"error": f"run '{run_id}' is {record.status}"})
+        options: Dict[str, Any] = {}
+        if body:
+            try:
+                options = json.loads(body.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                return _json_body(400, {"error": "retry body is not valid JSON"})
+        # A retry recovers from an interrupted/failed execution by
+        # resuming the durable journal; an injected fault-plan overlay
+        # describes the *failure experiment*, so replaying it would
+        # deterministically fail again — drop it unless asked not to.
+        if options.get("keep_faults") is not True:
+            record.spec_json.pop("faults", None)
+        try:
+            self._queue.put_nowait(record)
+        except asyncio.QueueFull:
+            return _json_body(
+                429, {"error": "run queue is full"}, ("Retry-After", "1")
+            )
+        record.status = "queued"
+        record.error = ""
+        self._finished = deque(rid for rid in self._finished if rid != run_id)
+        self.metrics.inc("service_submissions_total", outcome="retried")
+        self._update_gauges()
+        return _json_body(
+            202, {"run": run_id, "status": "queued", "resume": True}
+        )
+
+    def _result(self, run_id: str) -> bytes:
+        record = self._runs.get(run_id)
+        if record is None:
+            return _json_body(404, {"error": f"no run '{run_id}'"})
+        if record.status != "done" or record.result is None:
+            return _json_body(
+                404,
+                {"error": f"run '{run_id}' has no result (status {record.status})"},
+            )
+        return _json_body(200, {"run": run_id, "result": record.result})
+
+    # -- execution -------------------------------------------------------
+
+    def _make_runner(self) -> ScenarioRunner:
+        return ScenarioRunner(
+            jobs=self.config.jobs,
+            retry=RetryPolicy(
+                max_attempts=self.config.max_attempts,
+                backoff_base_s=self.config.backoff_s,
+                timeout_s=self.config.timeout_s,
+            ),
+            durable=self.config.durable,
+        )
+
+    async def _worker_loop(self, index: int) -> None:
+        loop = asyncio.get_running_loop()
+        runner = self._make_runner()
+        try:
+            while True:
+                record = await self._queue.get()
+                self._inflight += 1
+                record.status = "running"
+                record.started = _utcnow()
+                record.attempts += 1
+                self._update_gauges()
+                begin = time.perf_counter()
+                try:
+                    manifest, result, metrics_snapshot = await loop.run_in_executor(
+                        self._executor, self._execute, runner, record
+                    )
+                except Exception as error:
+                    record.status = "failed"
+                    record.error = f"{type(error).__name__}: {error}"
+                    self.metrics.inc(
+                        "service_runs_total",
+                        scenario=record.scenario,
+                        status="failed",
+                    )
+                    _LOGGER.warning(
+                        "run %s (%s) failed: %s",
+                        record.id,
+                        record.scenario,
+                        record.error,
+                    )
+                else:
+                    record.status = "done"
+                    record.manifest = manifest
+                    record.result = result
+                    self.run_metrics.merge(metrics_snapshot)
+                    self.metrics.inc(
+                        "service_runs_total",
+                        scenario=record.scenario,
+                        status="done",
+                    )
+                    self._discard_journal(record)
+                finally:
+                    record.finished = _utcnow()
+                    self.metrics.observe(
+                        "service_run_seconds",
+                        time.perf_counter() - begin,
+                        scenario=record.scenario,
+                    )
+                    self._inflight -= 1
+                    self._finished.append(record.id)
+                    self._evict_history()
+                    self._update_gauges()
+                    self._queue.task_done()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            runner.close()
+
+    def _execute(
+        self, runner: ScenarioRunner, record: RunRecord
+    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]], Dict[str, Any]]:
+        """Run one record on an executor thread (no shared-state access).
+
+        ``resume=True`` is unconditional: a fresh run id has no journal
+        (so it starts clean), while a retried record picks up exactly
+        the blocks its previous attempt journaled.
+        """
+        spec = ScenarioSpec.from_json(record.spec_json)
+        session = _obs.ObsSession()
+        outcome = runner.run(
+            spec,
+            checkpoint=record.checkpoint_path,
+            resume=True,
+            obs=session,
+        )
+        manifest = outcome.manifest.to_json()
+        result: Optional[Dict[str, Any]] = None
+        try:
+            from ..experiments.io import result_to_dict
+
+            result = result_to_dict(outcome.result)
+        except TypeError:
+            result = None
+        return manifest, result, session.metrics.snapshot()
+
+    # -- retention / introspection --------------------------------------
+
+    def _discard_journal(self, record: RunRecord) -> None:
+        """A completed run's journal has served its purpose — drop it."""
+        try:
+            Path(record.checkpoint_path).unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - non-fatal cleanup race
+            pass
+
+    def _evict_history(self) -> None:
+        while len(self._finished) > max(0, self.config.history_limit):
+            run_id = self._finished.popleft()
+            record = self._runs.pop(run_id, None)
+            if record is not None:
+                self._discard_journal(record)
+
+    def _update_gauges(self) -> None:
+        self.metrics.set_gauge("service_queue_depth", self._queue.qsize())
+        self.metrics.set_gauge("service_runs_inflight", self._inflight)
+        self.metrics.set_gauge("service_runs_retained", len(self._runs))
+
+    def _status_counts(self) -> Dict[str, int]:
+        counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        for record in self._runs.values():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def _healthz(self) -> Dict[str, Any]:
+        counts = self._status_counts()
+        active = [
+            record.summary()
+            for record in self._runs.values()
+            if record.status in ("queued", "running")
+        ]
+        degraded = counts["failed"] > 0
+        return {
+            "status": "degraded" if degraded else "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": self.config.workers,
+            "queue": {
+                "depth": self._queue.qsize(),
+                "limit": self.config.queue_depth,
+            },
+            "inflight": self._inflight,
+            "runs": counts,
+            "active": active,
+            "durable": self.config.durable,
+        }
+
+    def _render_metrics(self) -> str:
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        merged.merge(self.run_metrics.snapshot())
+        return merged.render_prometheus()
+
+
+async def serve(config: Optional[ServiceConfig] = None) -> None:
+    """Run the service until cancelled (the ``repro-bench serve`` body)."""
+    service = SelectionService(config)
+    await service.start()
+    print(
+        f"selection service listening on "
+        f"http://{service.config.host}:{service.port}",
+        flush=True,
+    )
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        await service.stop()

@@ -27,6 +27,8 @@ class TestParser:
             "perf",
             "run",
             "report",
+            "serve",
+            "load",
         }
 
     def test_requires_a_command(self):

@@ -10,6 +10,7 @@ from repro.core import (
     SectorSweepSelector,
     from_sweep_reports,
 )
+from repro.core.estimator import _finite_argmax
 from repro.firmware import SweepReport
 from repro.geometry import AngularGrid
 
@@ -69,6 +70,23 @@ class TestSectorSweepSelector:
             ProbeMeasurement(2, 8.5 + 10.0, -63.0),  # +10 dB outlier
         ]
         assert selector.select(measurements).sector_id == 2
+
+
+class TestFiniteArgmax:
+    def test_matches_plain_argmax_on_finite_surfaces(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            surface = rng.normal(size=257)
+            assert _finite_argmax(surface) == int(np.argmax(surface))
+
+    def test_nan_winner_is_retaken_over_finite_entries(self):
+        surface = np.array([0.3, np.nan, 0.9, 0.1])
+        assert int(np.argmax(surface)) == 1  # the mechanism under repair
+        assert _finite_argmax(surface) == 2
+
+    def test_all_nan_surface_keeps_the_argmax_fallback(self):
+        surface = np.full(5, np.nan)
+        assert _finite_argmax(surface) == int(np.argmax(surface))
 
 
 class TestAngleEstimator:
@@ -159,6 +177,57 @@ class TestAngleEstimator:
         ]
         with pytest.raises(ValueError, match="non-finite"):
             estimator.estimate(measurements)
+
+    def test_finite_surface_argmax_is_bit_identical_to_plain_argmax(
+        self, pattern_table
+    ):
+        estimator = AngleEstimator(pattern_table)
+        sector_ids = [s for s in pattern_table.sector_ids if s != 0][:14]
+        measurements = synthetic_measurements(pattern_table, 20.0, 8.0, sector_ids)
+        surface = estimator.correlation_surface(measurements)
+        assert np.isfinite(surface).all()
+        assert estimator.estimate(measurements).grid_index == int(np.argmax(surface))
+
+    def test_estimate_routes_around_a_nan_grid_point(
+        self, pattern_table, monkeypatch
+    ):
+        """A NaN surface entry must not win the argmax (it beats every
+        comparison inside ``np.argmax``)."""
+        estimator = AngleEstimator(pattern_table)
+        sector_ids = [s for s in pattern_table.sector_ids if s != 0][:14]
+        measurements = synthetic_measurements(pattern_table, 20.0, 8.0, sector_ids)
+        clean = estimator.estimate(measurements)
+        real_surface = estimator._surface
+
+        def poisoned(kept):
+            surface = real_surface(kept).copy()
+            surface[0 if clean.grid_index != 0 else 1] = np.nan
+            return surface
+
+        monkeypatch.setattr(estimator, "_surface", poisoned)
+        assert estimator.estimate(measurements) == clean
+
+    def test_batched_estimate_routes_around_a_nan_grid_point(
+        self, pattern_table, monkeypatch
+    ):
+        import repro.core.estimator as estimator_module
+
+        estimator = AngleEstimator(pattern_table, fusion="snr")
+        sector_ids = [s for s in pattern_table.sector_ids if s != 0][:8]
+        measurements = synthetic_measurements(pattern_table, 10.0, 4.0, sector_ids)
+        ids = np.array([[m.sector_id for m in measurements]])
+        snr = np.array([[m.snr_db for m in measurements]])
+        (clean,) = estimator.estimate_batch(ids, snr_db=snr)
+        real_correlate = estimator_module._correlate
+
+        def poisoned(values, unit):
+            surface = real_correlate(values, unit).copy()
+            surface[0 if clean.grid_index != 0 else 1] = np.nan
+            return surface
+
+        monkeypatch.setattr(estimator_module, "_correlate", poisoned)
+        (estimate,) = estimator.estimate_batch(ids, snr_db=snr)
+        assert estimate == clean
 
     def test_custom_search_grid(self, pattern_table):
         grid = AngularGrid(np.arange(-30.0, 31.0, 2.0), np.array([0.0]))

@@ -199,6 +199,53 @@ class TestCheckpointStore:
         assert resumed.get("policy", 0, 1) is None
         resumed.close()
 
+    def test_durable_mode_fsyncs_header_and_every_put(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.runtime.checkpoint.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        path = tmp_path / "ck.jsonl"
+        lax = CheckpointStore(path, "digest-a", 7)
+        lax.put("policy", 0, 0, [1])
+        lax.close()
+        assert synced == []  # default stays flush-only
+        durable = CheckpointStore(
+            tmp_path / "ck2.jsonl", "digest-a", 7, durable=True
+        )
+        assert len(synced) == 1  # header
+        durable.put("policy", 0, 0, [1])
+        durable.put("policy", 0, 1, [2])
+        assert len(synced) == 3
+        durable.put("policy", 0, 0, [9])  # idempotent no-op: no I/O
+        assert len(synced) == 3
+        durable.close()
+
+    def test_durable_corrupt_tail_still_drops_and_resumes(self, tmp_path):
+        # The crash model durable mode exists for: power loss tears the
+        # last entry mid-write.  Recovery must keep every fsync'd
+        # prefix entry and drop only the torn tail.
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, "digest-a", 7, durable=True)
+        store.put("policy", 0, 0, ["intact"])
+        store.put("policy", 0, 1, ["doomed"])
+        store.close()
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        resumed = CheckpointStore(path, "digest-a", 7, resume=True, durable=True)
+        assert resumed.restored == 1
+        assert resumed.get("policy", 0, 0) == ["intact"]
+        assert resumed.get("policy", 0, 1) is None
+        # the re-journaled replacement for the torn entry is durable too
+        resumed.put("policy", 0, 1, ["replayed"])
+        resumed.close()
+        final = CheckpointStore(path, "digest-a", 7, resume=True)
+        assert final.restored == 2
+        final.close()
+
 
 class TestContextManager:
     def test_with_block_closes_the_pool_on_exit(self):

@@ -23,7 +23,13 @@ import pytest
 
 from repro import obs
 from repro.cli import main as cli_main
-from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, buckets_for
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    buckets_for,
+    escape_label_value,
+    unescape_label_value,
+)
 from repro.obs.report import format_report_rows, load_report_target, span_rollup
 from repro.obs.trace import TraceRecorder, read_trace_jsonl, write_trace_jsonl
 from repro.runtime import (
@@ -125,6 +131,50 @@ class TestMetricsRegistry:
         assert 'runner_retry_wait_seconds_bucket{le="0.25"} 2' in text
         assert 'runner_retry_wait_seconds_bucket{le="+Inf"} 2' in text
         assert "runner_retry_wait_seconds_count 2" in text
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            'fig7"x',
+            "back\\slash",
+            "multi\nline",
+            '\\"mixed\\n"\n\\',
+            "",
+            "plain",
+            "trailing\\",
+        ],
+    )
+    def test_label_escaping_round_trips(self, raw):
+        escaped = escape_label_value(raw)
+        # Exposition-breaking characters never survive unescaped.
+        assert '"' not in escaped.replace('\\"', "")
+        assert "\n" not in escaped
+        assert unescape_label_value(escaped) == raw
+
+    def test_escaped_labels_render_parseable_exposition(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", scenario='fig7"x\n\\end')
+        text = registry.render_prometheus()
+        (sample,) = [line for line in text.splitlines() if "runs_total{" in line]
+        # The rendered line stays a single line and its quoted value
+        # unescapes back to the original label.
+        value = sample.split('scenario="', 1)[1].rsplit('"}', 1)[0]
+        assert unescape_label_value(value) == 'fig7"x\n\\end'
+
+    def test_escaped_label_keys_merge_and_histogram_le_stays_safe(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        for registry in (ours, theirs):
+            registry.inc("runs_total", scenario='a"b')
+            registry.observe("runner_block_seconds", 0.002, scenario="tricky\\")
+        ours.merge(theirs.snapshot())
+        snapshot = ours.snapshot()
+        assert snapshot["counters"]['runs_total{scenario="a\\"b"}'] == 2
+        text = ours.render_prometheus()
+        # _with_le appends ,le="..." after the escaped value: the
+        # trailing backslash must have been doubled or it would eat the
+        # closing quote.
+        assert 'scenario="tricky\\\\",le="0.0025"' in text
 
 
 # ----------------------------------------------------------------------
