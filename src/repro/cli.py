@@ -19,6 +19,7 @@ is their simulator-side counterpart::
     repro-bench run fig9 --jobs 4   # any scenario, by name ...
     repro-bench run spec.json       # ... or from a pinned spec file
     repro-bench run fig7 --trace t.jsonl   # record a span trace
+    repro-bench run fig7 --profile p.pstats  # cProfile the serial path
     repro-bench report t.jsonl      # per-stage latency breakdown
     repro-bench serve --port 8780   # HTTP spec-submission service
     repro-bench load                # service saturation load harness
@@ -284,6 +285,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         session = ObsSession(trace_path=args.trace)
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        if args.jobs != 1:
+            # cProfile instruments this process only; pool workers
+            # would run unprofiled and the numbers would lie.
+            print("profile: forcing --jobs 1 (cProfile cannot follow pool workers)")
+            args.jobs = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         with ScenarioRunner(
             jobs=args.jobs,
@@ -307,6 +319,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # have resumed: refuse rather than destroy it.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.disable()
     result = outcome.result
     if hasattr(result, "format_rows"):
         _print_rows(result.format_rows())
@@ -315,6 +330,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _print_rows(outcome.manifest.format_rows())
     if args.trace:
         print(f"wrote trace to {args.trace} (inspect with 'repro-bench report')")
+    if profiler is not None:
+        import pstats
+        from pathlib import Path as _Path
+
+        profiler.dump_stats(args.profile)
+        entries = sorted(
+            pstats.Stats(profiler).stats.items(),
+            key=lambda item: item[1][3],  # cumulative seconds
+            reverse=True,
+        )
+        top = "; ".join(
+            f"{func} {_Path(filename).name}:{lineno} {cumulative:.2f}s"
+            for (filename, lineno, func), (_, _, _, cumulative, _) in entries[:10]
+        )
+        print(f"wrote profile to {args.profile} (top cumulative: {top})")
     if args.manifest:
         outcome.manifest.save(args.manifest)
         print(f"wrote run manifest to {args.manifest}")
@@ -549,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="record a span trace of the run to PATH (JSONL; inspect "
         "with 'repro-bench report')",
+    )
+    run_sub.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="cProfile the run (forces --jobs 1), write pstats to PATH "
+        "and print the top-10 cumulative hotspots",
     )
     run_sub.set_defaults(handler=_cmd_run)
 

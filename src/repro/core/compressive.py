@@ -14,18 +14,37 @@ is bounded by the pattern knowledge, not the probe count.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs as _obs
 from ..geometry.grid import AngularGrid
 from ..measurement.patterns import PatternTable
-from .estimator import AngleEstimator
+from .estimator import AngleEstimate, AngleEstimator
 from .measurements import ProbeMeasurement
 from .selector import SelectionResult
 
 __all__ = ["CompressiveSectorSelector"]
+
+
+class _FusedBatch(NamedTuple):
+    """Per-row arrays from the stateless half of the fused select pass.
+
+    Everything the stateful result builder needs, with no reference to
+    selector state — rows are independent, so batches from several
+    blocks may be stacked, run through :meth:`_fused_arrays` once, and
+    rebuilt per block (see the chunked pool dispatch in the runner).
+    """
+
+    ids: np.ndarray          #: validated (T, M) intp sector ids
+    snr: np.ndarray          #: validated (T, M) float SNR values
+    sel_usable: np.ndarray   #: (T, M) bool — valid and known-sector
+    need: np.ndarray         #: (T,) bool — row met ``min_probes``
+    n_probes: np.ndarray     #: (T,) intp — finite usable count per row
+    best_index: np.ndarray   #: (T,) intp — Eq. 3/5 argmax (-1 = none)
+    best_corr: np.ndarray    #: (T,) float — correlation at the argmax
+    sector_of: np.ndarray    #: (T,) intp — Eq. 4 winner (-1 = none)
 
 
 class CompressiveSectorSelector:
@@ -41,6 +60,7 @@ class CompressiveSectorSelector:
         initial_sector_id: int = 1,
         min_probes: int = 2,
         fallback_correlation: float = 0.0,
+        precomputed=None,
     ):
         """
         Args:
@@ -62,6 +82,12 @@ class CompressiveSectorSelector:
                 the selector falls back to the plain argmax of the
                 probes.  0 (default) disables the fallback — the
                 paper's protocol always trusts the patterns.
+            precomputed: optional dict of ``pattern_matrix`` /
+                ``prepared_matrix`` / ``candidate_matrix`` arrays to
+                adopt instead of re-sampling the table on the grid —
+                the zero-copy path for pool workers attaching a
+                published shared-memory segment (byte copies of what
+                construction would compute, so bit-invisible).
         """
         if candidate_sector_ids is None:
             candidate_sector_ids = [
@@ -76,7 +102,11 @@ class CompressiveSectorSelector:
         self.pattern_table = pattern_table
         self.candidate_sector_ids = list(candidate_sector_ids)
         self.estimator = AngleEstimator(
-            pattern_table, search_grid=search_grid, domain=domain, fusion=fusion
+            pattern_table,
+            search_grid=search_grid,
+            domain=domain,
+            fusion=fusion,
+            precomputed=precomputed,
         )
         if not 0.0 <= fallback_correlation <= 1.0:
             raise ValueError("fallback correlation must be in [0, 1]")
@@ -85,9 +115,23 @@ class CompressiveSectorSelector:
         self.initial_sector_id = initial_sector_id
         self._last_selection = initial_sector_id
         # Candidate gains on the search grid, for the Eq. 4 lookup.
-        self._candidate_matrix = pattern_table.sample_matrix(
-            self.estimator.search_grid, self.candidate_sector_ids
-        )
+        if precomputed is not None and "candidate_matrix" in precomputed:
+            candidate_matrix = precomputed["candidate_matrix"]
+            expected = (
+                len(self.candidate_sector_ids),
+                self.estimator.search_grid.n_points,
+            )
+            if candidate_matrix.shape != expected:
+                raise ValueError(
+                    f"precomputed candidate matrix shape {candidate_matrix.shape} "
+                    f"does not match {expected}"
+                )
+            self._candidate_matrix = candidate_matrix
+        else:
+            self._candidate_matrix = pattern_table.sample_matrix(
+                self.estimator.search_grid, self.candidate_sector_ids
+            )
+        self._candidate_ids_array = np.asarray(self.candidate_sector_ids, dtype=np.intp)
 
     @property
     def last_selection(self) -> int:
@@ -267,4 +311,182 @@ class CompressiveSectorSelector:
             sector_id = int(self.candidate_sector_ids[int(candidate_gains.argmax())])
             self._last_selection = sector_id
             results.append(SelectionResult(sector_id=sector_id, estimate=estimate))
+        return results
+
+    # ------------------------------------------------------------------
+    # Fused single-pass path (correlate → finite-argmax → Eq. 4).
+    # ------------------------------------------------------------------
+
+    def _fused_arrays(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: np.ndarray,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> _FusedBatch:
+        """Stateless array half of :meth:`select_fused_batch`.
+
+        Validates the padded batch, runs the estimator's fused
+        correlate→argmax pass, and resolves Eq. 4 for every estimated
+        row in one vectorized column gather.  Touches no selector state
+        (``_last_selection`` is only read/written by the builder), so
+        several blocks' batches may be stacked row-wise and evaluated
+        in a single call.
+        """
+        ids = np.asarray(sector_ids)
+        if ids.ndim != 2:
+            raise ValueError("sector_ids must be 2-D (trials x probe slots)")
+        _obs.inc("selector_calls_total", path="fused")
+        _obs.inc("selector_batch_rows_total", ids.shape[0])
+        ids = ids.astype(np.intp, copy=False)
+        snr = np.asarray(snr_db, dtype=float)
+        if snr.shape != ids.shape:
+            raise ValueError(
+                f"snr_db shape {snr.shape} does not match sector_ids shape {ids.shape}"
+            )
+        if mask is None:
+            valid = np.ones(ids.shape, dtype=bool)
+        else:
+            valid = np.asarray(mask, dtype=bool)
+            if valid.shape != ids.shape:
+                raise ValueError(
+                    f"mask shape {valid.shape} does not match sector_ids "
+                    f"shape {ids.shape}"
+                )
+
+        lookup = self.estimator._row_lookup
+        in_range = (ids >= 0) & (ids < lookup.size)
+        known = np.zeros(ids.shape, dtype=bool)
+        known[in_range] = lookup[ids[in_range]] >= 0
+        sel_usable = valid & known
+        counts = sel_usable.sum(axis=1)
+        need = counts >= self.min_probes
+
+        # The estimator only sees rows that met min_probes (matching
+        # select_batch's estimate_rows subset); zeroing short rows'
+        # masks instead of slicing keeps the batch layout intact for
+        # the single-nonzero compaction.
+        estimate_mask = sel_usable if bool(need.all()) else sel_usable & need[:, None]
+        n_probes, best_index, best_corr = self.estimator.estimate_fused_arrays(
+            ids, snr_db=snr, rssi_dbm=rssi_dbm, mask=estimate_mask
+        )
+
+        # Eq. 4, vectorized: per gathered column, argmax over candidate
+        # gains — identical to the scalar per-row 1-D argmax.
+        sector_of = np.full(ids.shape[0], -1, dtype=np.intp)
+        have = best_index >= 0
+        if have.any():
+            candidate_gains = self._candidate_matrix[:, best_index[have]]
+            sector_of[have] = self._candidate_ids_array[
+                np.argmax(candidate_gains, axis=0)
+            ]
+        return _FusedBatch(
+            ids, snr, sel_usable, need, n_probes, best_index, best_corr, sector_of
+        )
+
+    def _fused_build(self, fused: _FusedBatch) -> List[SelectionResult]:
+        """Stateful result-building half of :meth:`select_fused_batch`.
+
+        Rows are visited in order, threading ``_last_selection`` and
+        resolving fallbacks exactly like :meth:`select_batch`'s result
+        loop — the only part of the fused path that must run per block
+        in submission order.
+        """
+        results: List[SelectionResult] = []
+        index_to_angles = self.estimator.search_grid.index_to_angles
+        fallback_correlation = self.fallback_correlation
+        ids = fused.ids
+        snr = fused.snr
+        for trial in range(ids.shape[0]):
+            if not fused.need[trial]:
+                row_usable = fused.sel_usable[trial]
+                results.append(
+                    self._fallback_from_arrays(ids[trial, row_usable], snr[trial, row_usable])
+                )
+                continue
+            if fused.best_index[trial] < 0:
+                raise ValueError(
+                    f"trial {trial}: need at least two finite probe "
+                    f"measurements to correlate"
+                )
+            correlation = float(fused.best_corr[trial])
+            if correlation < fallback_correlation:
+                row_usable = fused.sel_usable[trial]
+                results.append(
+                    self._fallback_from_arrays(ids[trial, row_usable], snr[trial, row_usable])
+                )
+                continue
+            grid_index = int(fused.best_index[trial])
+            azimuth, elevation = index_to_angles(grid_index)
+            estimate = AngleEstimate(
+                azimuth_deg=azimuth,
+                elevation_deg=elevation,
+                correlation=correlation,
+                n_probes_used=int(fused.n_probes[trial]),
+                grid_index=grid_index,
+            )
+            sector_id = int(fused.sector_of[trial])
+            self._last_selection = sector_id
+            results.append(SelectionResult(sector_id=sector_id, estimate=estimate))
+        return results
+
+    def select_fused_batch(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: np.ndarray,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> List[SelectionResult]:
+        """Single-pass twin of :meth:`select_batch` (correlate → argmax → Eq. 4).
+
+        Same contract and **bit-for-bit** the same results as
+        :meth:`select_batch`; the difference is purely mechanical — one
+        ``nonzero`` compacts the whole batch up front, each row goes
+        straight from its correlation vector to its finite-aware argmax
+        (no per-row fancy indexing, no full correlation-map
+        materialization), and the Eq. 4 candidate argmax runs as one
+        vectorized column gather.  Raises the same ``ValueError`` as
+        :meth:`select_batch` when a row had enough known-sector probes
+        to attempt estimation but fewer than two finite ones.
+        """
+        return self._fused_build(self._fused_arrays(sector_ids, snr_db, rssi_dbm, mask))
+
+    def select_fused_stacked(
+        self, parts: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+    ) -> List[List[SelectionResult]]:
+        """Fused evaluation of several independent batches in one pass.
+
+        ``parts`` is a sequence of ``(sector_ids, snr_db, rssi_dbm,
+        mask)`` tuples with equal probe widths.  Bit-for-bit equivalent
+        to ``reset(); select_fused_batch(*part)`` per part: the
+        stateless half (:meth:`_fused_arrays`) is row-independent, so
+        the stacked rows produce exactly the per-part values, and the
+        stateful builder then runs per part against freshly reset
+        selection state.  Stacking amortizes the ~25 fixed-cost numpy
+        dispatches of the stateless half over every part — the lever
+        that makes chunked pool dispatch cheaper than per-block local
+        evaluation on small blocks.
+
+        Raises on width mismatch or any per-row validation error;
+        callers degrade to per-part evaluation (which reproduces the
+        exact per-part error behavior).
+        """
+        counts = [part[0].shape[0] for part in parts]
+        fused = self._fused_arrays(
+            np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]),
+            np.concatenate([part[2] for part in parts]),
+            np.concatenate([part[3] for part in parts]),
+        )
+        results: List[List[SelectionResult]] = []
+        start = 0
+        for count in counts:
+            end = start + count
+            self.reset()
+            results.append(
+                self._fused_build(
+                    _FusedBatch(*(field[start:end] for field in fused))
+                )
+            )
+            start = end
         return results

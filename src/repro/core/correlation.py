@@ -107,19 +107,30 @@ def _unit_columns(patterns: np.ndarray) -> np.ndarray:
         return patterns / np.maximum(column_norms, _EPSILON)
 
 
-def _correlate(probes: np.ndarray, pattern_unit: np.ndarray) -> np.ndarray:
-    """Eq. 2 core on domain-transformed probes and unit-column patterns.
+def _correlate_core(probes: np.ndarray, pattern_unit: np.ndarray) -> np.ndarray:
+    """Eq. 2 arithmetic with no errstate guard of its own.
 
     ``sqrt(x.dot(x))`` is ``np.linalg.norm``'s own 1-D real-input
     branch, inlined for the same reason as in :func:`_unit_columns`.
+    Callers that evaluate many probe vectors in one pass (the fused
+    selection kernel) enter a single ``np.errstate`` block around their
+    whole loop instead of paying the context-manager entry per row;
+    everyone else goes through :func:`_correlate`.  The guard only
+    masks warnings — it never changes a computed value — so both entry
+    points are bit-for-bit identical.
     """
+    probe_unit = probes / max(np.sqrt(probes.dot(probes)), _EPSILON)
+    correlation = probe_unit @ pattern_unit
+    return correlation**2
+
+
+def _correlate(probes: np.ndarray, pattern_unit: np.ndarray) -> np.ndarray:
+    """Eq. 2 core on domain-transformed probes and unit-column patterns."""
     # NaN-padded probe rows (masked-out slots) propagate NaN through the
     # dot products by design; silence the spurious invalid-divide signal
     # here rather than in every caller (warnings dedupe by source line).
     with np.errstate(invalid="ignore", divide="ignore"):
-        probe_unit = probes / max(np.sqrt(probes.dot(probes)), _EPSILON)
-        correlation = probe_unit @ pattern_unit
-        return correlation**2
+        return _correlate_core(probes, pattern_unit)
 
 
 def correlation_map(

@@ -27,7 +27,13 @@ import numpy as np
 from .. import obs as _obs
 from ..geometry.grid import AngularGrid
 from ..measurement.patterns import PatternTable
-from .correlation import _correlate, _to_domain, _unit_columns, prepare_pattern_matrix
+from .correlation import (
+    _correlate,
+    _correlate_core,
+    _to_domain,
+    _unit_columns,
+    prepare_pattern_matrix,
+)
 from .measurements import ProbeMeasurement
 
 __all__ = ["AngleEstimate", "AngleEstimator"]
@@ -95,6 +101,7 @@ class AngleEstimator:
         search_grid: Optional[AngularGrid] = None,
         domain: str = "linear",
         fusion: str = "product",
+        precomputed: Optional[Dict[str, np.ndarray]] = None,
     ):
         """
         Args:
@@ -104,6 +111,13 @@ class AngleEstimator:
             domain: correlation domain (see :mod:`.correlation`).
             fusion: ``"product"`` fuses the SNR and RSSI maps (Eq. 5);
                 ``"snr"`` / ``"rssi"`` use one map alone (Eq. 3).
+            precomputed: optional ``pattern_matrix`` / ``prepared_matrix``
+                arrays to adopt instead of sampling the table on the
+                grid — the zero-copy path for pool workers attaching a
+                published shared-memory segment (see
+                :mod:`repro.runtime.shm`).  Arrays must be byte copies
+                of what construction would compute (deterministic in
+                the table + grid), so adopting them is bit-invisible.
         """
         if fusion not in ("product", "snr", "rssi"):
             raise ValueError("fusion must be 'product', 'snr' or 'rssi'")
@@ -116,8 +130,20 @@ class AngleEstimator:
         # rows of the pre-transformed matrix is bitwise identical to
         # transforming the gathered rows (the transform is elementwise),
         # so per-estimate work never touches the (M, K) pattern slice.
-        self._matrix = pattern_table.sample_matrix(self.search_grid)
-        self._prepared = prepare_pattern_matrix(self._matrix, domain)
+        expected_shape = (len(pattern_table.sector_ids), self.search_grid.n_points)
+        if precomputed is not None:
+            matrix = precomputed["pattern_matrix"]
+            prepared = precomputed["prepared_matrix"]
+            if matrix.shape != expected_shape or prepared.shape != expected_shape:
+                raise ValueError(
+                    f"precomputed kernel shape {matrix.shape}/{prepared.shape} "
+                    f"does not match {expected_shape}"
+                )
+            self._matrix = matrix
+            self._prepared = prepared
+        else:
+            self._matrix = pattern_table.sample_matrix(self.search_grid)
+            self._prepared = prepare_pattern_matrix(self._matrix, domain)
         self._row_of_sector: Dict[int, int] = {
             sector_id: row for row, sector_id in enumerate(pattern_table.sector_ids)
         }
@@ -375,3 +401,70 @@ class AngleEstimator:
                 )
             )
         return estimates
+
+    def estimate_fused_arrays(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: Optional[np.ndarray] = None,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused correlate→finite-argmax pass over a padded batch.
+
+        The array-level core of :meth:`estimate_batch`: one ``nonzero``
+        compacts every usable (valid **and** finite) entry of the batch
+        into flat arrays up front, then each row's slice is correlated
+        against its memoized unit sub-matrix and reduced to its
+        finite-aware argmax immediately — no per-row fancy indexing, no
+        ``(T, K)`` correlation-surface materialization, and a single
+        ``np.errstate`` entry for the whole batch.  Every row computes
+        exactly the values :meth:`estimate_batch` would (same compacted
+        operands, same arithmetic core, same argmax), so downstream
+        consumers are bit-for-bit identical.
+
+        Returns:
+            ``(n_probes, best_index, best_corr)`` arrays of length
+            ``T``.  Rows with fewer than two usable measurements — the
+            rows :meth:`estimate_batch` maps to ``None`` — carry
+            ``best_index == -1`` and ``best_corr == NaN``.
+        """
+        rows, usable, snr_t, rssi_t = self._batch_arrays(
+            sector_ids, snr_db, rssi_dbm, mask
+        )
+        _obs.inc("estimator_calls_total", path="fused")
+        _obs.inc("estimator_batch_rows_total", rows.shape[0])
+        n_trials = rows.shape[0]
+        n_probes = usable.sum(axis=1)
+        best_index = np.full(n_trials, -1, dtype=np.intp)
+        best_corr = np.full(n_trials, np.nan)
+        # Single compaction pass: row-major nonzero visits each row's
+        # usable columns in ascending order — the same order
+        # ``np.flatnonzero(usable[trial])`` yields — so basic slices of
+        # the flat gathers are bitwise the per-row gathers.
+        row_idx, col_idx = np.nonzero(usable)
+        ends = np.cumsum(n_probes)
+        rows_c = rows[row_idx, col_idx]
+        snr_c = None if snr_t is None else snr_t[row_idx, col_idx]
+        rssi_c = None if rssi_t is None else rssi_t[row_idx, col_idx]
+        pattern_unit_of = self._pattern_unit
+        with np.errstate(invalid="ignore", divide="ignore"):
+            start = 0
+            for trial in range(n_trials):
+                end = ends[trial]
+                if end - start < 2:
+                    start = end
+                    continue
+                pattern_unit = pattern_unit_of(rows_c[start:end])
+                surface = None
+                if snr_c is not None:
+                    surface = _correlate_core(snr_c[start:end], pattern_unit)
+                if rssi_c is not None:
+                    rssi_surface = _correlate_core(rssi_c[start:end], pattern_unit)
+                    surface = (
+                        rssi_surface if surface is None else surface * rssi_surface
+                    )
+                found = _finite_argmax(surface)
+                best_index[trial] = found
+                best_corr[trial] = surface[found]
+                start = end
+        return n_probes, best_index, best_corr

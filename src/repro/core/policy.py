@@ -33,7 +33,7 @@ from .measurements import ProbeMeasurement
 from .probes import GainDiverseProbeStrategy, RandomProbeStrategy
 from .selector import SelectionResult
 
-__all__ = ["CompressivePolicy", "FullSweepPolicy"]
+__all__ = ["CompressivePolicy", "FullSweepPolicy", "seed_shared_selector"]
 
 
 def _resolve_table(context: PolicyContext, patterns: str):
@@ -57,6 +57,66 @@ def _resolve_table(context: PolicyContext, patterns: str):
             context.cache[key] = table
         return table
     raise ValueError("patterns must be 'measured' or 'theoretical'")
+
+
+def _selector_cache_key(table, fusion, domain, search, fallback_correlation):
+    """The shared-selector cache key (one selector per configuration)."""
+    return (
+        "css-selector",
+        id(table),
+        fusion,
+        domain,
+        search,
+        float(fallback_correlation),
+    )
+
+
+def _selector_search_grid(table, search):
+    if search == "2d":
+        return AngularGrid(table.grid.azimuths_deg, np.array([0.0]))
+    return None
+
+
+def seed_shared_selector(spec, context: PolicyContext, views) -> bool:
+    """Pre-populate the selector cache from shared-memory kernel views.
+
+    Called by pool workers before :func:`build_policy` so the
+    :class:`CompressivePolicy` constructed from ``spec`` finds a
+    ready-made selector in ``context.cache`` instead of re-sampling two
+    full pattern matrices (~20 ms per worker per policy).  ``views``
+    are read-only arrays mapped from a segment the supervisor published
+    from its own selector (see :mod:`repro.runtime.shm`) — byte copies
+    of what construction would compute, so the seeded worker stays
+    bit-identical to a rebuild-from-spec worker.
+
+    Returns True when a selector was seeded (or already cached), False
+    when the spec does not describe a shareable selector — callers fall
+    back to plain construction.
+    """
+    if spec.name != "css":
+        return False
+    kwargs = dict(spec.kwargs)
+    if kwargs.get("pattern_table") is not None:
+        return False
+    if kwargs.get("patterns", "measured") != "measured":
+        return False
+    fusion = kwargs.get("fusion", "product")
+    domain = kwargs.get("domain", "linear")
+    search = kwargs.get("search", "3d")
+    fallback_correlation = kwargs.get("fallback_correlation", 0.0)
+    table = context.testbed.pattern_table
+    key = _selector_cache_key(table, fusion, domain, search, fallback_correlation)
+    if key in context.cache:
+        return True
+    context.cache[key] = CompressiveSectorSelector(
+        table,
+        search_grid=_selector_search_grid(table, search),
+        fusion=fusion,
+        domain=domain,
+        fallback_correlation=fallback_correlation,
+        precomputed=views,
+    )
+    return True
 
 
 @register_policy("css")
@@ -100,27 +160,19 @@ class CompressivePolicy:
         )
         self.name = "css"
         self.n_probes = int(n_probes)
+        # Only spec-describable measured-pattern selectors may ship
+        # their kernels over shared memory: workers must be able to
+        # re-derive the cache key below from the spec kwargs alone.
+        self._shareable = pattern_table is None and patterns == "measured"
         # Selectors sample two full grid matrices at construction, and
         # policies that differ only in probe count are state-compatible
         # (execute() resets before use) — share one per configuration.
-        key = (
-            "css-selector",
-            id(table),
-            fusion,
-            domain,
-            search,
-            float(fallback_correlation),
-        )
+        key = _selector_cache_key(table, fusion, domain, search, fallback_correlation)
         selector = context.cache.get(key)
         if selector is None:
-            search_grid = None
-            if search == "2d":
-                search_grid = AngularGrid(
-                    table.grid.azimuths_deg, np.array([0.0])
-                )
             selector = CompressiveSectorSelector(
                 table,
-                search_grid=search_grid,
+                search_grid=_selector_search_grid(table, search),
                 fusion=fusion,
                 domain=domain,
                 fallback_correlation=fallback_correlation,
@@ -168,6 +220,37 @@ class CompressivePolicy:
         return self.selector.select_batch(
             sector_ids, snr_db=snr_db, rssi_dbm=rssi_dbm, mask=mask
         )
+
+    def select_fused_batch(
+        self,
+        sector_ids: np.ndarray,
+        snr_db: np.ndarray,
+        rssi_dbm: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> List[SelectionResult]:
+        """Single-pass fused twin of :meth:`select_batch` (bit-identical)."""
+        return self.selector.select_fused_batch(
+            sector_ids, snr_db=snr_db, rssi_dbm=rssi_dbm, mask=mask
+        )
+
+    def select_fused_stacked(self, parts):
+        """Stacked multi-batch twin of :meth:`select_fused_batch` — see
+        :meth:`CompressiveSectorSelector.select_fused_stacked`."""
+        return self.selector.select_fused_stacked(parts)
+
+    def shared_kernels(self):
+        """The precomputed arrays a supervisor may publish over shared
+        memory for pool workers (see :mod:`repro.runtime.shm`), or None
+        when this policy's selector cannot be re-derived from its spec
+        (direct ``pattern_table`` override, theoretical patterns)."""
+        if not self._shareable:
+            return None
+        estimator = self.selector.estimator
+        return {
+            "pattern_matrix": estimator._matrix,
+            "prepared_matrix": estimator._prepared,
+            "candidate_matrix": self.selector._candidate_matrix,
+        }
 
     def training_time_us(self, probes_used: int, n_rounds: int = 1) -> float:
         return multi_round_training_time_us(probes_used, n_rounds)

@@ -12,6 +12,14 @@ perf`` times four workloads:
 * ``record_directions`` recording throughput, plus the vectorized
   ``MeasurementModel.observe_batch`` kernel.
 
+Later layers add their own points when present: the fused single-pass
+selection kernel (``select_fused_per_s``), and the scenario engine
+measured at ``jobs=1`` vs ``jobs=4`` against persistent warm runners —
+the sharded executor keeps its fork pool and published shared-memory
+kernels alive between runs, so the timed passes see the steady state
+the service sees, and ``--check`` gates the jobs4/jobs1 ratio at 1.0
+(noise-widened): sharded execution must never lose to serial.
+
 Each run appends one machine-readable *trajectory point* to a JSON
 file (``BENCH_core.json`` at the repo root by convention), so the
 history of every optimization PR stays diffable.  ``repro-bench perf
@@ -23,6 +31,7 @@ runs.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import pathlib
 import platform
@@ -30,7 +39,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -38,11 +47,13 @@ __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_TRAJECTORY",
     "OBS_OVERHEAD_LIMIT_PCT",
+    "PARALLEL_RATIO_LIMIT",
     "REGRESSION_FACTOR",
     "SUPERVISION_OVERHEAD_LIMIT_PCT",
     "PerfPoint",
     "append_point",
     "check_against_baseline",
+    "environment_mismatches",
     "load_trajectory",
     "run_perf",
 ]
@@ -68,6 +79,13 @@ SUPERVISION_OVERHEAD_LIMIT_PCT = 5.0
 #: fits the budget, the disabled path certainly does.
 OBS_OVERHEAD_LIMIT_PCT = 3.0
 
+#: ``--check`` fails when the jobs=4 scenario pass is slower than the
+#: jobs=1 pass by more than the observed measurement noise.  The
+#: sharded executor amortizes kernel publication and stacks chunk
+#: evaluation precisely so that ``--jobs 4`` never loses to serial;
+#: a ratio above 1.0 (noise-widened) means that invariant broke.
+PARALLEL_RATIO_LIMIT = 1.0
+
 #: Latency metrics (lower is better) compared by ``--check``.
 _LATENCY_METRICS = (
     "select_scalar_ms_median",
@@ -85,7 +103,7 @@ class PerfPoint:
     label: str
     timestamp: str
     metrics: Dict[str, float]
-    environment: Dict[str, str] = field(default_factory=dict)
+    environment: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> Dict:
         return {
@@ -105,13 +123,36 @@ class PerfPoint:
         )
 
 
-def _environment() -> Dict[str, str]:
+def _environment() -> Dict[str, object]:
     return {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
-        "cpu_count": str(os.cpu_count() or 0),
+        "cpu_count": os.cpu_count() or 0,
+        "start_method": multiprocessing.get_start_method(),
     }
+
+
+def environment_mismatches(
+    baseline: Mapping[str, object], current: Mapping[str, object]
+) -> List[str]:
+    """Keys on which two environment captures disagree.
+
+    Latency numbers taken under a different interpreter, numpy build,
+    platform, core count or multiprocessing start method are
+    apples-to-oranges; ``--check`` prints these as warnings so a
+    cross-machine regression (or pass!) is read with the right
+    suspicion, without flaking the job.  Values compare as strings so
+    points written before ``cpu_count`` became an int still match.
+    """
+    lines = []
+    for key in sorted(set(baseline) | set(current)):
+        ours, theirs = current.get(key), baseline.get(key)
+        if ours is None or theirs is None:
+            continue  # older points predate some keys (start_method)
+        if str(ours) != str(theirs):
+            lines.append(f"{key}: baseline {theirs!r} vs current {ours!r}")
+    return lines
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +270,16 @@ def measure_metrics(
             estimator.estimate_batch(*batch)
         elapsed = time.perf_counter() - start
         metrics["estimate_batch_per_s"] = len(trials) * batch_repeats / elapsed
+        # Fused single-pass kernel (absent before the fused engine):
+        # same trials, same batch layout, so the fused/batched ratio is
+        # directly the win of skipping the intermediate estimate pass.
+        if hasattr(selector, "select_fused_batch"):
+            selector.reset()
+            start = time.perf_counter()
+            for _ in range(batch_repeats):
+                selector.select_fused_batch(*batch)
+            elapsed = time.perf_counter() - start
+            metrics["select_fused_per_s"] = len(trials) * batch_repeats / elapsed
 
     # -- observe kernel throughput -------------------------------------
     model = testbed.measurement_model
@@ -280,21 +331,53 @@ def measure_metrics(
             fig7_spec(
                 Fig7Config(
                     probe_counts=(8, 20),
-                    lab_azimuth_step_deg=20.0,
+                    lab_azimuth_step_deg=10.0,
                     lab_elevation_step_deg=15.0,
-                    conference_azimuth_step_deg=15.0,
+                    conference_azimuth_step_deg=10.0,
                     n_sweeps=1,
                     subsamples_per_sweep=1,
                 )
             ),
-            fig9_spec(Fig9Config(probe_counts=(6, 14), azimuth_step_deg=20.0, n_sweeps=6)),
+            fig9_spec(Fig9Config(probe_counts=(6, 14), azimuth_step_deg=10.0, n_sweeps=6)),
         )
-        for jobs, name in ((1, "scenario_fig7_fig9_jobs1_s"), (4, "scenario_fig7_fig9_jobs4_s")):
-            start = time.perf_counter()
-            for scenario_spec in scenario_specs:
-                with ScenarioRunner(jobs=jobs) as scenario_runner:
-                    scenario_runner.run(scenario_spec)
-            metrics[name] = time.perf_counter() - start
+        # One persistent runner per jobs level: the sharded executor
+        # keeps its fork pool and published shared-memory kernels warm
+        # between runs (the service's steady state), so a fresh runner
+        # per pass would charge pool spawn + kernel publication to
+        # jobs=4 only.  A throwaway warm-up pass per level pays those
+        # one-time costs off the clock, then the timed passes
+        # interleave the levels so machine drift hits both alike, with
+        # best-of across passes and the observed spread recorded for
+        # the noise-widened --check gate.
+        levels = ((1, "scenario_fig7_fig9_jobs1_s"), (4, "scenario_fig7_fig9_jobs4_s"))
+        runners = {name: ScenarioRunner(jobs=jobs) for jobs, name in levels}
+        level_times: Dict[str, List[float]] = {name: [] for _, name in levels}
+        try:
+            for _, name in levels:
+                for scenario_spec in scenario_specs:
+                    runners[name].run(scenario_spec)
+            for _ in range(3):
+                for _, name in levels:
+                    start = time.perf_counter()
+                    for scenario_spec in scenario_specs:
+                        runners[name].run(scenario_spec)
+                    level_times[name].append(time.perf_counter() - start)
+        finally:
+            for scenario_runner in runners.values():
+                scenario_runner.close()
+        for _, name in levels:
+            metrics[name] = float(min(level_times[name]))
+        jobs1 = metrics["scenario_fig7_fig9_jobs1_s"]
+        jobs4 = metrics["scenario_fig7_fig9_jobs4_s"]
+        metrics["scenario_jobs4_over_jobs1_ratio"] = jobs4 / jobs1
+        metrics["scenario_jobs_noise_pct"] = (
+            100.0
+            * float(
+                np.ptp(level_times["scenario_fig7_fig9_jobs1_s"])
+                + np.ptp(level_times["scenario_fig7_fig9_jobs4_s"])
+            )
+            / jobs1
+        )
 
     # -- supervision overhead (absent before the fault layer landed) ---
     try:
@@ -496,6 +579,19 @@ def check_against_baseline(
                 f"(limit {OBS_OVERHEAD_LIMIT_PCT:.0f}% over untraced "
                 f"+ {noise:.2f}% observed measurement noise)"
             )
+    ratio = metrics.get("scenario_jobs4_over_jobs1_ratio")
+    if ratio is not None:
+        # Same noise-widening discipline as the overhead gates: the
+        # invariant is jobs4 <= jobs1, but both sides are wall-clock on
+        # a possibly-shared machine, so the gate admits the spread the
+        # interleaved measurement itself observed.
+        noise = max(0.0, float(metrics.get("scenario_jobs_noise_pct", 0.0)))
+        if ratio > PARALLEL_RATIO_LIMIT + noise / 100.0:
+            failures.append(
+                f"scenario_jobs4_over_jobs1_ratio: {ratio:.3f} "
+                f"(sharded jobs=4 lost to serial; limit "
+                f"{PARALLEL_RATIO_LIMIT:.2f} + {noise:.2f}% observed noise)"
+            )
     return failures
 
 
@@ -517,6 +613,10 @@ def run_perf(
     status = 0
     if check:
         data = load_trajectory(output) if output else {"points": []}
+        baseline = _baseline_point(data)
+        if baseline is not None:
+            for line in environment_mismatches(baseline.environment, _environment()):
+                print(f"warning: environment mismatch - {line}", file=sys.stderr)
         failures = check_against_baseline(data, metrics)
         if failures:
             status = 1

@@ -84,6 +84,9 @@ from .faults import (
 )
 from .manifest import RunManifest, git_revision, result_digest
 from .policy import PolicyContext, PolicyOutcome
+from .shm import KernelPublisher, SharedKernelManifest
+from .shm import attach as _shm_attach
+from .shm import detach_all as _shm_detach_all
 from .spec import PolicySpec, ScenarioSpec, TestbedSpec
 
 __all__ = [
@@ -101,6 +104,10 @@ _FAIL_FAST = RetryPolicy(max_attempts=1)
 
 #: Sentinel distinguishing "not passed" from an explicit None override.
 _UNSET = object()
+
+#: Placeholder for TrialBlock fields the evaluation path never reads —
+#: shared-memory block reconstruction ships only the four eval arrays.
+_EMPTY_INTP = np.empty(0, dtype=np.intp)
 
 
 @dataclass(frozen=True)
@@ -165,12 +172,18 @@ def _reset_worker_caches() -> None:
     """Drop every in-process warm-up cache (policies, contexts, testbeds)."""
     _WORKER_CONTEXTS.clear()
     _WORKER_POLICIES.clear()
+    _shm_detach_all()
     from ..experiments.common import build_testbed
 
     build_testbed.cache_clear()
 
 
-def _build_worker_policy(testbed_key: str, policy_key: str):
+def _build_worker_policy(
+    testbed_key: str,
+    policy_key: str,
+    manifest: Optional[SharedKernelManifest] = None,
+):
+    from ..core.policy import seed_shared_selector
     from .registry import build_policy, load_builtin
 
     load_builtin()
@@ -179,12 +192,32 @@ def _build_worker_policy(testbed_key: str, policy_key: str):
         testbed = TestbedSpec.from_json(json.loads(testbed_key)).build()
         context = PolicyContext(testbed=testbed)
         _WORKER_CONTEXTS[testbed_key] = context
-    policy = build_policy(PolicySpec.from_json(json.loads(policy_key)), context)
+    spec = PolicySpec.from_json(json.loads(policy_key))
+    if manifest is not None:
+        # Zero-copy warm-up: seed the selector cache from the published
+        # shared-memory kernels so build_policy skips re-sampling the
+        # pattern matrices.  Any attach/seed problem (e.g. the segment
+        # vanished with its publisher) degrades to plain construction —
+        # the seeded arrays are byte copies, so the two paths are
+        # bit-identical and degradation is invisible in the results.
+        try:
+            seed_shared_selector(spec, context, _shm_attach(manifest))
+        except Exception as error:  # pragma: no cover - degraded path
+            _LOGGER.warning(
+                "shared-kernel attach failed (%s: %s); rebuilding from spec",
+                type(error).__name__,
+                error,
+            )
+    policy = build_policy(spec, context)
     _WORKER_POLICIES[(testbed_key, policy_key)] = policy
     return policy
 
 
-def _worker_policy(testbed_key: str, policy_key: str):
+def _worker_policy(
+    testbed_key: str,
+    policy_key: str,
+    manifest: Optional[SharedKernelManifest] = None,
+):
     """Warm-up with self-healing: a failed build (e.g. a corrupted
     testbed-cache read surfacing through state inherited from the fork)
     clears every in-process cache and rebuilds once from scratch —
@@ -194,7 +227,7 @@ def _worker_policy(testbed_key: str, policy_key: str):
     if policy is not None:
         return policy
     try:
-        return _build_worker_policy(testbed_key, policy_key)
+        return _build_worker_policy(testbed_key, policy_key, manifest)
     except Exception as error:
         _LOGGER.warning(
             "worker warm-up failed (%s: %s); clearing caches and rebuilding",
@@ -202,7 +235,7 @@ def _worker_policy(testbed_key: str, policy_key: str):
             error,
         )
         _reset_worker_caches()
-        return _build_worker_policy(testbed_key, policy_key)
+        return _build_worker_policy(testbed_key, policy_key, manifest)
 
 
 def _memoized_testbed_path(testbed_key: str) -> Path:
@@ -261,8 +294,25 @@ def _eval_block_scalar(policy, block: TrialBlock) -> List:
     return results
 
 
+def _batched_entry(policy) -> Tuple[Optional[Callable], str]:
+    """The fastest batched entry point a policy offers.
+
+    Preference order: the fused single-pass kernel
+    (``select_fused_batch``, bit-identical to ``select_batch`` by
+    contract), then the plain batched kernel, then none (scalar).  The
+    returned label feeds the ``runner_kernel_path_total`` metric.
+    """
+    entry = getattr(policy, "select_fused_batch", None)
+    if entry is not None:
+        return entry, "fused"
+    entry = getattr(policy, "select_batch", None)
+    if entry is not None:
+        return entry, "batched"
+    return None, "scalar"
+
+
 def _eval_block_guarded(policy, block: TrialBlock) -> Tuple[List, Dict[str, Any]]:
-    """Evaluate one fresh-state block, degrading batched → scalar.
+    """Evaluate one fresh-state block, degrading fused/batched → scalar.
 
     A failing batched kernel is not fatal: the block is recomputed on
     the scalar reference path (bit-identical by the PR-2 equivalence
@@ -270,15 +320,16 @@ def _eval_block_guarded(policy, block: TrialBlock) -> Tuple[List, Dict[str, Any]
     the returned info dict so the run's health section can surface it.
     """
     begin = time.perf_counter()
-    if hasattr(policy, "select_batch"):
+    entry, path = _batched_entry(policy)
+    if entry is not None:
         try:
-            results = policy.select_batch(
+            results = entry(
                 block.sector_ids,
                 snr_db=block.snr_db,
                 rssi_dbm=block.rssi_dbm,
                 mask=block.mask,
             )
-            _obs.inc("runner_kernel_path_total", path="batched")
+            _obs.inc("runner_kernel_path_total", path=path)
             _obs.observe("runner_block_seconds", time.perf_counter() - begin)
             return results, {"fallback": False}
         except Exception as error:
@@ -306,6 +357,7 @@ def _worker_run_block(
     block: TrialBlock,
     directive: Optional[Dict[str, Any]] = None,
     obs_meta: Optional[Dict[str, Any]] = None,
+    manifest: Optional[SharedKernelManifest] = None,
 ):
     """Evaluate one block inside a pool worker.
 
@@ -321,7 +373,7 @@ def _worker_run_block(
     if obs_meta is None:
         if directive is not None:
             _apply_worker_directive(directive, testbed_key)
-        policy = _worker_policy(testbed_key, policy_key)
+        policy = _worker_policy(testbed_key, policy_key, manifest)
         policy.reset()
         return _eval_block_guarded(policy, block)
     session = _obs.ObsSession()
@@ -330,7 +382,7 @@ def _worker_run_block(
         with _obs.span("execute.block", **obs_meta):
             if directive is not None:
                 _apply_worker_directive(directive, testbed_key)
-            policy = _worker_policy(testbed_key, policy_key)
+            policy = _worker_policy(testbed_key, policy_key, manifest)
             policy.reset()
             results, info = _eval_block_guarded(policy, block)
         info = dict(info)
@@ -338,6 +390,131 @@ def _worker_run_block(
         return results, info
     finally:
         _obs.deactivate(previous)
+
+
+def _eval_chunk_stacked(
+    policy, indexed_blocks: Sequence[Tuple[int, TrialBlock]]
+) -> Optional[Dict[int, Tuple[Sequence, Dict[str, Any]]]]:
+    """Evaluate a whole chunk in one stacked fused pass, if possible.
+
+    Stacking runs the stateless correlate→argmax→Eq.4 half once over
+    every block's rows (bit-identical — rows are independent) and the
+    stateful builder per block against reset state, amortizing the
+    fixed numpy dispatch cost the per-block paths pay for each block.
+    Only taken untraced: per-block observability (counter increments,
+    payload attribution) needs per-block evaluation, and obs calls are
+    no-ops here anyway.  Returns None when the policy has no stacked
+    kernel, blocks' widths differ, or anything raises — callers fall
+    back to the per-block loop, which reproduces exact per-block error
+    and fallback behavior.
+    """
+    stacked_entry = getattr(policy, "select_fused_stacked", None)
+    if stacked_entry is None or len(indexed_blocks) < 2:
+        return None
+    width = indexed_blocks[0][1].sector_ids.shape[1]
+    if any(block.sector_ids.shape[1] != width for _, block in indexed_blocks):
+        return None
+    begin = time.perf_counter()
+    try:
+        results = stacked_entry(
+            [
+                (block.sector_ids, block.snr_db, block.rssi_dbm, block.mask)
+                for _, block in indexed_blocks
+            ]
+        )
+    except Exception:
+        return None
+    _obs.observe("runner_block_seconds", time.perf_counter() - begin)
+    return {
+        index: (block_results, {"fallback": False})
+        for (index, _), block_results in zip(indexed_blocks, results)
+    }
+
+
+def _worker_run_chunk(
+    testbed_key: str,
+    policy_key: str,
+    chunk: Sequence[Tuple[int, Any]],
+    obs_metas: Optional[Dict[int, Dict[str, Any]]] = None,
+    manifest: Optional[SharedKernelManifest] = None,
+    blocks_manifest: Optional[SharedKernelManifest] = None,
+):
+    """Evaluate several independent blocks in one pool task.
+
+    Chunking amortizes the per-task IPC round-trip (submit + pickle +
+    result) over many blocks — on small recording blocks that overhead
+    dominates the actual numpy work and is what used to make ``--jobs``
+    slower than serial.  Only *clean* blocks (no fault directive) ride
+    in chunks; directive-carrying blocks keep their own single-block
+    task so crash/hang/exception attribution stays per-block exact.
+
+    ``chunk`` holds ``(index, TrialBlock)`` pairs, or — when
+    ``blocks_manifest`` names a published block segment —
+    ``(index, recording_index)`` pairs, and the trial arrays are
+    read-only views mapped from shared memory instead of pickled
+    copies (byte-identical by construction).
+
+    Returns ``(done, failure)``: ``done`` maps block index → the
+    ``(results, info)`` payload of every block that finished, and
+    ``failure`` is ``(index, error)`` for the first block that raised
+    (or None).  Blocks after a failure are not attempted — the parent
+    treats them as collateral, exactly like blocks lost to a pool
+    death, so their retry budget is never charged for a chunkmate's
+    sins.  Each block records into its own fresh
+    :class:`~repro.obs.ObsSession` when traced, so the absorbed
+    ``(call, block)``-keyed payloads are indistinguishable from
+    single-block dispatch.
+    """
+    done: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
+    try:
+        if blocks_manifest is not None:
+            views = _shm_attach(blocks_manifest)
+            indexed_blocks: List[Tuple[int, TrialBlock]] = [
+                (
+                    index,
+                    TrialBlock(
+                        recording_index=recording_index,
+                        sector_ids=views[f"{index}.ids"],
+                        snr_db=views[f"{index}.snr"],
+                        rssi_dbm=views[f"{index}.rssi"],
+                        mask=views[f"{index}.mask"],
+                        sweep_indices=_EMPTY_INTP,
+                        subsample_indices=_EMPTY_INTP,
+                        probes_requested=_EMPTY_INTP,
+                    ),
+                )
+                for index, recording_index in chunk
+            ]
+        else:
+            indexed_blocks = list(chunk)
+        policy = _worker_policy(testbed_key, policy_key, manifest)
+    except Exception as error:
+        return done, (chunk[0][0], error)
+    if obs_metas is None:
+        stacked = _eval_chunk_stacked(policy, indexed_blocks)
+        if stacked is not None:
+            return stacked, None
+    for index, block in indexed_blocks:
+        obs_meta = None if obs_metas is None else obs_metas.get(index)
+        try:
+            if obs_meta is None:
+                policy.reset()
+                done[index] = _eval_block_guarded(policy, block)
+                continue
+            session = _obs.ObsSession()
+            previous = _obs.activate(session)
+            try:
+                with _obs.span("execute.block", **obs_meta):
+                    policy.reset()
+                    results, info = _eval_block_guarded(policy, block)
+                info = dict(info)
+                info["obs"] = session.drain_payload()
+                done[index] = (results, info)
+            finally:
+                _obs.deactivate(previous)
+        except Exception as error:
+            return done, (index, error)
+    return done, None
 
 
 def _pad_rows(
@@ -413,6 +590,8 @@ class ScenarioRunner:
         self._execute_calls = 0
         self._injected_seen: set = set()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._shm = KernelPublisher()
+        self._run_digest: Optional[str] = None
         self._contexts: Dict[int, PolicyContext] = {}
         self._policy_timings: Dict[str, float] = {}
         self._policy_span_id: Optional[str] = None
@@ -426,10 +605,24 @@ class ScenarioRunner:
         self.close()
 
     def close(self) -> None:
-        """Release the worker pool and checkpoint journal (idempotent)."""
+        """Release the pool, shared segments and journal (idempotent).
+
+        This — not the end of :meth:`run` — is where the worker pool
+        and published shared-memory kernels are torn down: both stay
+        warm across runs so repeated submissions through one runner
+        (the service's steady state) skip pool spin-up and kernel
+        re-publication.  Always reached via the context-manager exit or
+        an explicit ``close()``; the shm segments' resource-tracker
+        registration covers the SIGKILL case.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._shm.close()
+        self._close_store()
+
+    def _close_store(self) -> None:
+        """Release only the per-run checkpoint journal."""
         if self._store is not None:
             self._store.close()
             self._store = None
@@ -488,13 +681,20 @@ class ScenarioRunner:
         previous_session = _obs.activate(self.obs) if traced else None
         if traced:
             self.obs.reset()
+        # The digest keys this run's published block segments — planning
+        # is deterministic in (spec, seed), so a repeat of the same spec
+        # re-uses the segments without copying a byte.
+        self._run_digest = spec.digest()
         try:
             with _obs.span(
                 "scenario.run", scenario=spec.scenario, seed=spec.seed, jobs=self.jobs
             ):
                 result = entry.executor(spec, self)
         finally:
-            self.close()
+            # Only the per-run journal closes here; the worker pool and
+            # published kernels survive for the next run (see close()).
+            self._run_digest = None
+            self._close_store()
             if traced:
                 _obs.deactivate(previous_session)
         health = self.health.to_json()
@@ -696,19 +896,36 @@ class ScenarioRunner:
                 pending.append(index)
 
         if pending:
+            # With fewer parallel lanes than 2 (a single-core host), the
+            # pool can only pay for its IPC through stacked chunk
+            # evaluation; a policy without a stacked kernel runs the
+            # same per-block work either way, so it stays local there —
+            # unless supervision semantics require process isolation
+            # (fault injection, or a retry timeout that must be able to
+            # terminate a hung worker).
+            lanes = max(1, min(self.jobs, os.cpu_count() or 1))
+            retry = self.retry or _FAIL_FAST
+            needs_isolation = (
+                self._injector is not None or retry.timeout_s is not None
+            )
             use_pool = (
                 self.jobs > 1
                 and len(blocks) > 1
                 and policy_spec is not None
                 and testbed_spec is not None
                 and hasattr(policy, "select_batch")
+                and (
+                    lanes > 1
+                    or needs_isolation
+                    or hasattr(policy, "select_fused_stacked")
+                )
             )
             # Completed blocks are journaled by the executors *as they
             # finish*, not here: a killed or retry-exhausted campaign
             # must leave every finished block behind for --resume.
             if use_pool:
                 executed = self._execute_pool(
-                    policy_spec, testbed_spec, blocks, pending, label,
+                    policy, policy_spec, testbed_spec, blocks, pending, label,
                     store=store, policy_key=policy_key, call_index=call_index,
                 )
             else:
@@ -850,14 +1067,15 @@ class ScenarioRunner:
     def _evaluate_block(self, policy, block: TrialBlock) -> List:
         """The unguarded evaluation used by the stateful plan path."""
         begin = time.perf_counter()
-        if hasattr(policy, "select_batch"):
-            results = policy.select_batch(
+        entry, path = _batched_entry(policy)
+        if entry is not None:
+            results = entry(
                 block.sector_ids,
                 snr_db=block.snr_db,
                 rssi_dbm=block.rssi_dbm,
                 mask=block.mask,
             )
-            _obs.inc("runner_kernel_path_total", path="batched")
+            _obs.inc("runner_kernel_path_total", path=path)
         else:
             results = _eval_block_scalar(policy, block)
             _obs.inc("runner_kernel_path_total", path="scalar")
@@ -879,8 +1097,67 @@ class ScenarioRunner:
 
     # -- process-pool supervised path ------------------------------------
 
+    def _publish_kernels(self, policy, testbed_key: str, policy_key: str):
+        """Publish the policy's precomputed kernels over shared memory.
+
+        Returns a manifest for workers to attach, or None when the
+        policy exports nothing (non-CSS, theoretical patterns, direct
+        table override).  Memoized per (testbed, policy) configuration,
+        so repeated executes and warm-pool service runs publish once.
+        """
+        exporter = getattr(policy, "shared_kernels", None)
+        if not callable(exporter):
+            return None
+        kernels = exporter()
+        if not kernels:
+            return None
+        return self._shm.publish(f"{testbed_key}::{policy_key}", kernels)
+
+    def _publish_blocks(
+        self,
+        blocks: Sequence[TrialBlock],
+        policy_key: str,
+        call_index: int,
+    ) -> Optional[SharedKernelManifest]:
+        """Publish an execute call's trial arrays over shared memory.
+
+        Chunk tasks then carry block *indices* instead of pickled
+        arrays, and workers map read-only views — the zero-copy half of
+        the dispatch.  Keyed by (run digest, policy, call ordinal):
+        planning is deterministic in the spec, so repeated runs of the
+        same spec (the perf harness, service re-submissions) reuse the
+        published segment byte-for-byte.  Outside :meth:`run` there is
+        no digest to key on, and blocks fall back to pickling.
+        """
+        if self._run_digest is None:
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        for index, block in enumerate(blocks):
+            arrays[f"{index}.ids"] = block.sector_ids
+            arrays[f"{index}.snr"] = block.snr_db
+            arrays[f"{index}.rssi"] = block.rssi_dbm
+            arrays[f"{index}.mask"] = block.mask
+        key = f"blocks::{self._run_digest}::{policy_key}::c{call_index}"
+        return self._shm.publish(key, arrays)
+
+    @staticmethod
+    def _chunks_of(indices: Sequence[int], jobs: int) -> List[List[int]]:
+        """Split clean blocks into contiguous chunks for dispatch.
+
+        At most ``min(jobs, cpu_count)`` chunks: a task per worker is
+        what parallel hardware can actually overlap, and every chunk
+        beyond the core count adds an IPC round-trip (and dilutes the
+        stacked-evaluation amortization) without adding parallelism.
+        """
+        if not indices:
+            return []
+        lanes = max(1, min(jobs, os.cpu_count() or 1))
+        size = -(-len(indices) // lanes)
+        return [list(indices[i : i + size]) for i in range(0, len(indices), size)]
+
     def _execute_pool(
         self,
+        policy,
         policy_spec: PolicySpec,
         testbed_spec: TestbedSpec,
         blocks: Sequence[TrialBlock],
@@ -893,16 +1170,30 @@ class ScenarioRunner:
         """Dispatch blocks to the pool under the supervision policy.
 
         One round per pool lifetime: all remaining blocks are submitted,
-        results are collected in block order, and the first worker death
-        or hung block abandons the pool (harvesting whatever already
+        results are collected in task order, and the first worker death
+        or hung task abandons the pool (harvesting whatever already
         finished) and starts a fresh round for the survivors.  Only a
         block's *own* failure counts against its attempt budget;
         collaterally lost blocks are re-dispatched at their previous
         attempt number, so injected faults replay identically.
+
+        Dispatch granularity: directive-carrying blocks are submitted
+        one per task (fault attribution stays per-block exact); clean
+        blocks ride in at most ``jobs`` chunks per round
+        (:func:`_worker_run_chunk`), so a round costs O(jobs) IPC
+        round-trips instead of O(blocks).  A chunk's wall-clock budget
+        scales with its length; a timed-out or pool-breaking chunk
+        charges its first block (the crash-directive culprit search
+        still wins when the harness injected one), and a chunk's own
+        partial results are harvested from its return value.
         """
         retry = self.retry or _FAIL_FAST
         testbed_key = testbed_spec.key()
         worker_policy_key = policy_spec.key()
+        manifest = self._publish_kernels(policy, testbed_key, worker_policy_key)
+        blocks_manifest = self._publish_blocks(
+            blocks, worker_policy_key, call_index
+        )
         traced = _obs.enabled()
         self._journal = (store, policy_key, call_index)
         out: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
@@ -916,10 +1207,11 @@ class ScenarioRunner:
             before = len(remaining)
             dispatch_attempt: Dict[int, int] = {}
             directives: Dict[int, Optional[Dict[str, Any]]] = {}
-            futures: Dict[int, Any] = {}
+            tasks: List[Tuple[str, List[int], Any]] = []
             failures: List[Tuple[int, BaseException]] = []
             dispatched = True
             try:
+                obs_meta_of: Dict[int, Dict[str, Any]] = {}
                 for index in batch:
                     dispatch_attempt[index] = attempts[index] + 1
                     directive = (
@@ -933,7 +1225,6 @@ class ScenarioRunner:
                             label, index, dispatch_attempt[index],
                             directive.get("kind"),
                         )
-                    obs_meta: Optional[Dict[str, Any]] = None
                     if traced:
                         obs_meta = {
                             "policy": label, "call": call_index,
@@ -941,14 +1232,44 @@ class ScenarioRunner:
                         }
                         if directive is not None:
                             obs_meta["injected"] = True
-                    futures[index] = pool.submit(
+                        obs_meta_of[index] = obs_meta
+                clean = [index for index in batch if directives[index] is None]
+                for index in batch:
+                    if directives[index] is None:
+                        continue
+                    future = pool.submit(
                         _worker_run_block,
                         testbed_key,
                         worker_policy_key,
                         blocks[index],
-                        directive,
-                        obs_meta,
+                        directives[index],
+                        obs_meta_of.get(index),
+                        manifest,
                     )
+                    tasks.append(("single", [index], future))
+                for chunk in self._chunks_of(clean, self.jobs):
+                    chunk_metas = (
+                        {index: obs_meta_of[index] for index in chunk}
+                        if traced
+                        else None
+                    )
+                    if blocks_manifest is not None:
+                        payload = [
+                            (index, blocks[index].recording_index)
+                            for index in chunk
+                        ]
+                    else:
+                        payload = [(index, blocks[index]) for index in chunk]
+                    future = pool.submit(
+                        _worker_run_chunk,
+                        testbed_key,
+                        worker_policy_key,
+                        payload,
+                        chunk_metas,
+                        manifest,
+                        blocks_manifest,
+                    )
+                    tasks.append(("chunk", chunk, future))
             except BrokenProcessPool as error:
                 # A worker died between rounds (e.g. the straggling tail
                 # of a crash that broke the previous pool).  Nothing
@@ -958,33 +1279,48 @@ class ScenarioRunner:
                 dispatched = False
                 last_error = error
                 self._harvest_done(
-                    batch, futures, dispatch_attempt, attempts, remaining,
-                    out, failures, label, skip=-1,
+                    tasks, None, dispatch_attempt, attempts, remaining,
+                    out, failures, label,
                 )
                 self._abandon_pool()
                 self.health.note_pool_replacement()
             if dispatched:
                 abandoned = False
-                for index in batch:
+                for task in tasks:
                     if abandoned:
                         break
+                    kind, indices, future = task
+                    budget = (
+                        retry.timeout_s
+                        if retry.timeout_s is None or kind == "single"
+                        else retry.timeout_s * len(indices)
+                    )
                     try:
-                        payload = futures[index].result(timeout=retry.timeout_s)
+                        payload = future.result(timeout=budget)
                     except _FuturesTimeout:
-                        self.health.note_timeout(label, index, retry.timeout_s)
-                        attempts[index] = dispatch_attempt[index]
+                        # The hung block inside a chunk is unknowable
+                        # from outside; charge the chunk's first block
+                        # (singles charge themselves).
+                        charged = indices[0]
+                        self.health.note_timeout(label, charged, budget)
+                        attempts[charged] = dispatch_attempt[charged]
+                        noun = (
+                            f"block {charged}"
+                            if kind == "single"
+                            else f"chunk of {len(indices)} blocks at {charged}"
+                        )
                         failures.append(
                             (
-                                index,
+                                charged,
                                 BlockTimeoutError(
-                                    f"block {index} of '{label}' exceeded its "
-                                    f"{retry.timeout_s:.3g} s wall-clock budget"
+                                    f"{noun} of '{label}' exceeded its "
+                                    f"{budget:.3g} s wall-clock budget"
                                 ),
                             )
                         )
                         self._harvest_done(
-                            batch, futures, dispatch_attempt, attempts, remaining,
-                            out, failures, label, skip=index,
+                            tasks, task, dispatch_attempt, attempts, remaining,
+                            out, failures, label,
                         )
                         self._abandon_pool()
                         self.health.note_pool_replacement()
@@ -993,8 +1329,9 @@ class ScenarioRunner:
                         # A worker died.  Attribute the death to the
                         # block carrying a crash directive this round
                         # when the harness injected one; otherwise to
-                        # the block whose future surfaced the breakage.
-                        culprit = index
+                        # the first block of the task whose future
+                        # surfaced the breakage.
+                        culprit = indices[0]
                         for candidate in batch:
                             if (
                                 candidate in remaining
@@ -1006,8 +1343,8 @@ class ScenarioRunner:
                         attempts[culprit] = dispatch_attempt[culprit]
                         failures.append((culprit, error))
                         self._harvest_done(
-                            batch, futures, dispatch_attempt, attempts, remaining,
-                            out, failures, label, skip=culprit,
+                            tasks, task, dispatch_attempt, attempts, remaining,
+                            out, failures, label,
                         )
                         self._abandon_pool()
                         self.health.note_pool_replacement()
@@ -1015,15 +1352,32 @@ class ScenarioRunner:
                     except Exception as error:
                         # The worker raised (e.g. an injected transient
                         # exception); the pool itself is healthy.
-                        attempts[index] = dispatch_attempt[index]
-                        failures.append((index, error))
+                        charged = indices[0]
+                        attempts[charged] = dispatch_attempt[charged]
+                        failures.append((charged, error))
                     else:
-                        attempts[index] = dispatch_attempt[index]
-                        out[index] = payload
-                        remaining.discard(index)
-                        if store is not None:
-                            store.put(policy_key, call_index, index, payload[0])
-                        self.health.note_attempts(label, index, attempts[index])
+                        if kind == "single":
+                            self._settle_success(
+                                indices[0], payload, dispatch_attempt,
+                                attempts, remaining, out, label,
+                            )
+                        else:
+                            done, failure = payload
+                            for index in indices:
+                                block_payload = done.get(index)
+                                if block_payload is not None:
+                                    self._settle_success(
+                                        index, block_payload, dispatch_attempt,
+                                        attempts, remaining, out, label,
+                                    )
+                            if failure is not None:
+                                failed_index, error = failure
+                                attempts[failed_index] = dispatch_attempt[
+                                    failed_index
+                                ]
+                                failures.append((failed_index, error))
+                            # Chunk blocks neither done nor failed are
+                            # collateral: untouched attempt budget.
             if len(remaining) < before or failures:
                 barren_rounds = 0
             else:
@@ -1057,29 +1411,51 @@ class ScenarioRunner:
                 time.sleep(wait)
         return out
 
+    def _settle_success(
+        self,
+        index: int,
+        payload: Tuple[Sequence, Dict[str, Any]],
+        dispatch_attempt: Dict[int, int],
+        attempts: Dict[int, int],
+        remaining: set,
+        out: Dict[int, Tuple[Sequence, Dict[str, Any]]],
+        label: str,
+    ) -> None:
+        """Record one finished block: journal it, settle its attempt."""
+        attempts[index] = dispatch_attempt[index]
+        out[index] = payload
+        remaining.discard(index)
+        store, policy_key, call_index = self._journal
+        if store is not None:
+            store.put(policy_key, call_index, index, payload[0])
+        self.health.note_attempts(label, index, attempts[index])
+
     def _harvest_done(
         self,
-        batch: Sequence[int],
-        futures: Dict[int, Any],
+        tasks: Sequence[Tuple[str, List[int], Any]],
+        skip_task: Optional[Tuple[str, List[int], Any]],
         dispatch_attempt: Dict[int, int],
         attempts: Dict[int, int],
         remaining: set,
         out: Dict[int, Tuple[Sequence, Dict[str, Any]]],
         failures: List[Tuple[int, BaseException]],
         label: str,
-        skip: int,
     ) -> None:
-        """Before abandoning a pool, keep every block that already finished.
+        """Before abandoning a pool, keep everything that already finished.
 
-        Futures that died with the pool (broken / cancelled) are
-        *collateral*: they stay in ``remaining`` at their previous
-        attempt number and do not count against their retry budget.
+        Tasks that died with the pool (broken / cancelled) are
+        *collateral*: their blocks stay in ``remaining`` at their
+        previous attempt number and do not count against their retry
+        budget.  A finished chunk task contributes every block of its
+        ``done`` map and charges its recorded first failure, if any.
+        ``skip_task`` is the task whose failure triggered the abandon —
+        already charged by the caller.
         """
         already_failed = {index for index, _ in failures}
-        for index in batch:
-            if index == skip or index in already_failed or index not in remaining:
+        for task in tasks:
+            if task is skip_task:
                 continue
-            future = futures.get(index)
+            kind, indices, future = task
             if future is None or not future.done():
                 continue
             try:
@@ -1094,16 +1470,38 @@ class ScenarioRunner:
             except _FuturesTimeout:
                 continue
             except Exception as error:
-                attempts[index] = dispatch_attempt[index]
-                failures.append((index, error))
+                index = indices[0]
+                if index in remaining and index not in already_failed:
+                    attempts[index] = dispatch_attempt[index]
+                    failures.append((index, error))
+                    already_failed.add(index)
             else:
-                attempts[index] = dispatch_attempt[index]
-                out[index] = payload
-                remaining.discard(index)
-                store, policy_key, call_index = self._journal
-                if store is not None:
-                    store.put(policy_key, call_index, index, payload[0])
-                self.health.note_attempts(label, index, attempts[index])
+                if kind == "single":
+                    index = indices[0]
+                    if index in remaining and index not in already_failed:
+                        self._settle_success(
+                            index, payload, dispatch_attempt,
+                            attempts, remaining, out, label,
+                        )
+                    continue
+                done, failure = payload
+                for index in indices:
+                    block_payload = done.get(index)
+                    if (
+                        block_payload is not None
+                        and index in remaining
+                        and index not in already_failed
+                    ):
+                        self._settle_success(
+                            index, block_payload, dispatch_attempt,
+                            attempts, remaining, out, label,
+                        )
+                if failure is not None:
+                    failed_index, error = failure
+                    if failed_index in remaining and failed_index not in already_failed:
+                        attempts[failed_index] = dispatch_attempt[failed_index]
+                        failures.append((failed_index, error))
+                        already_failed.add(failed_index)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

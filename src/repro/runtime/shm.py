@@ -1,0 +1,215 @@
+"""Zero-copy publication of precomputed selection kernels (DESIGN.md §12).
+
+Pool workers used to rebuild every policy from its spec: the testbed
+comes almost for free (fork inherits the memoized builder), but a CSS
+selector then re-samples two full pattern matrices on the search grid
+— ~20 ms of bilinear interpolation *per worker per policy*, plus a
+private copy of arrays the parent already holds.
+
+This module moves those arrays into one POSIX shared-memory segment
+per (testbed, policy) configuration, published **once** by the
+supervising process and attached **by name** by every worker:
+
+* :class:`KernelPublisher` (parent side) lays the arrays out in a
+  single :class:`multiprocessing.shared_memory.SharedMemory` segment
+  (64-byte-aligned offsets) and hands out a picklable
+  :class:`SharedKernelManifest` describing the layout.  Segments are
+  memoized per publication key, so repeated runs over the same spec —
+  the service's warm-pool case — publish nothing new.
+* :func:`attach` (worker side) maps the segment and returns read-only
+  ``np.ndarray`` views over the shared buffer.  The views are byte
+  copies of exactly what the worker's own construction would compute
+  (construction is deterministic in the spec), so shared-kernel
+  workers remain bit-for-bit identical to rebuild-from-spec workers.
+
+Lifecycle: the parent owns every segment and unlinks them all in
+:meth:`KernelPublisher.close` (the runner's ``close()``); workers only
+ever ``close()`` their mapping, never unlink.  Under the fork start
+method parent and workers share one :mod:`multiprocessing.resource_tracker`
+process, so a worker's attach-time registration is a no-op set-add on
+the name the parent already registered at create — worker exits (even
+``os._exit`` crashes) never touch the segment, and the single
+registration means the tracker reaps the segment if the supervising
+process dies without ``close()`` (SIGKILL), so nothing leaks in
+``/dev/shm`` even on the crash paths.
+"""
+
+from __future__ import annotations
+
+import logging
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedKernelManifest", "KernelPublisher", "attach"]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: Offset alignment for each array in a segment; keeps every view on a
+#: cache-line boundary regardless of the preceding array's size.
+_ALIGN = 64
+
+#: Prefix of every segment this module creates (greppable in /dev/shm).
+_SEGMENT_PREFIX = "repro-kernels-"
+
+#: Publisher-side cap on live segments.  Long-lived runners (the
+#: service) publish one kernel segment per policy configuration and one
+#: block segment per (spec, policy, execute-call); beyond the cap the
+#: oldest segment is unlinked FIFO.  Eviction happens only inside
+#: ``publish`` — never while a round is in flight — so a manifest
+#: handed to the current dispatch always outlives it.
+_MAX_SEGMENTS = 128
+
+#: Worker-side cap on cached attachments, bounding mapped pages when a
+#: long-lived pool serves many distinct specs.
+_MAX_ATTACHED = 128
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedKernelManifest:
+    """Picklable description of one published segment's layout.
+
+    ``entries`` maps array name → ``(offset, shape, dtype-str)``; the
+    manifest travels to workers inside task submissions (a few hundred
+    bytes) instead of the arrays themselves (hundreds of kilobytes,
+    per block, per attempt).
+    """
+
+    segment: str
+    entries: Mapping[str, Tuple[int, Tuple[int, ...], str]]
+
+
+class KernelPublisher:
+    """Parent-side registry of published shared-memory segments."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._manifests: Dict[str, SharedKernelManifest] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def manifest(self, key: str) -> Optional[SharedKernelManifest]:
+        """The manifest published under ``key``, if any."""
+        return self._manifests.get(key)
+
+    def publish(
+        self, key: str, arrays: Mapping[str, np.ndarray]
+    ) -> SharedKernelManifest:
+        """Copy ``arrays`` into one shared segment, memoized on ``key``.
+
+        Returns the existing manifest when ``key`` was already
+        published — repeated executes over the same (testbed, policy)
+        pair, or repeated service submissions, cost a dict hit.
+        """
+        existing = self._manifests.get(key)
+        if existing is not None:
+            return existing
+        entries: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
+        offset = 0
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = _aligned(offset)
+            entries[name] = (offset, tuple(array.shape), array.dtype.str)
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(
+            create=True,
+            size=max(offset, 1),
+            name=f"{_SEGMENT_PREFIX}{secrets.token_hex(8)}",
+        )
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            start, shape, dtype = entries[name]
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)
+            view[...] = array
+        manifest = SharedKernelManifest(segment=segment.name, entries=dict(entries))
+        self._segments[key] = segment
+        self._manifests[key] = manifest
+        while len(self._segments) > _MAX_SEGMENTS:
+            oldest = next(iter(self._segments))
+            evicted = self._segments.pop(oldest)
+            self._manifests.pop(oldest, None)
+            try:
+                evicted.close()
+                evicted.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+        _LOGGER.debug(
+            "published %d shared kernel array(s) (%d bytes) as %s",
+            len(entries),
+            segment.size,
+            segment.name,
+        )
+        return manifest
+
+    def close(self) -> None:
+        """Unmap and unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, {}
+        self._manifests = {}
+        for segment in segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+
+
+# ----------------------------------------------------------------------
+# Worker side.
+# ----------------------------------------------------------------------
+
+#: Per-process cache of attached segments: segment name → (mapping,
+#: views).  Keeping the SharedMemory object referenced keeps the buffer
+#: mapped for the lifetime of the views.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]] = {}
+
+
+def attach(manifest: SharedKernelManifest) -> Dict[str, np.ndarray]:
+    """Map a published segment and return read-only array views.
+
+    Safe to call repeatedly — each process maps a segment once and
+    reuses the views.  Raises ``FileNotFoundError`` when the segment
+    no longer exists (the publisher closed); callers degrade to
+    rebuilding from the spec.
+    """
+    cached = _ATTACHED.get(manifest.segment)
+    if cached is not None:
+        return cached[1]
+    segment = shared_memory.SharedMemory(name=manifest.segment, create=False)
+    views: Dict[str, np.ndarray] = {}
+    for name, (offset, shape, dtype) in manifest.entries.items():
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        views[name] = view
+    _ATTACHED[manifest.segment] = (segment, views)
+    while len(_ATTACHED) > _MAX_ATTACHED:
+        oldest = next(iter(_ATTACHED))
+        evicted, _views = _ATTACHED.pop(oldest)
+        try:
+            evicted.close()
+        except BufferError:  # pragma: no cover - live views still held
+            pass
+    return views
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (worker cache-reset path).
+
+    Mappings whose views are still referenced elsewhere stay mapped
+    (``close`` raises ``BufferError`` and the segment object is simply
+    dropped); a later :func:`attach` re-maps from scratch.
+    """
+    attached = dict(_ATTACHED)
+    _ATTACHED.clear()
+    for segment, _views in attached.values():
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - live views still held
+            pass

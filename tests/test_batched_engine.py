@@ -372,3 +372,44 @@ class TestPerfGuards:
                 "runner_supervision_noise_pct": 6.0,
             },
         ) == []
+
+    def test_parallel_ratio_gate_widens_by_observed_noise(self):
+        from repro import perf
+
+        data = {"points": [{"label": "baseline", "metrics": {}}]}
+        # jobs=4 faster than serial: passes
+        assert perf.check_against_baseline(
+            data, {"scenario_jobs4_over_jobs1_ratio": 0.92}
+        ) == []
+        # slower than serial on a quiet machine: fails
+        failures = perf.check_against_baseline(
+            data,
+            {
+                "scenario_jobs4_over_jobs1_ratio": 1.15,
+                "scenario_jobs_noise_pct": 1.0,
+            },
+        )
+        assert failures and "scenario_jobs4_over_jobs1_ratio" in failures[0]
+        # the same ratio inside the measured jitter band: tolerated
+        assert perf.check_against_baseline(
+            data,
+            {
+                "scenario_jobs4_over_jobs1_ratio": 1.15,
+                "scenario_jobs_noise_pct": 20.0,
+            },
+        ) == []
+
+    def test_environment_capture_and_mismatch_warnings(self):
+        from repro import perf
+
+        env = perf._environment()
+        assert isinstance(env["cpu_count"], int)
+        assert env["start_method"] in ("fork", "spawn", "forkserver")
+        assert perf.environment_mismatches(env, env) == []
+        # cpu_count stored as a string by pre-int points still matches.
+        legacy = dict(env, cpu_count=str(env["cpu_count"]))
+        del legacy["start_method"]  # older points predate the key
+        assert perf.environment_mismatches(legacy, env) == []
+        moved = dict(env, numpy="0.0.1")
+        lines = perf.environment_mismatches(moved, env)
+        assert len(lines) == 1 and "numpy" in lines[0]

@@ -54,6 +54,17 @@ class TestCommands:
         assert "consistent=True" in output
         assert "Beacon" in output and "Sweep" in output
 
+    def test_run_profile_writes_pstats_and_forces_serial(self, tmp_path, capsys):
+        import pstats
+
+        path = tmp_path / "fig10.pstats"
+        assert main(["run", "fig10", "--jobs", "4", "--profile", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "forcing --jobs 1" in output
+        assert "top cumulative:" in output
+        stats = pstats.Stats(str(path))  # loadable pstats dump
+        assert stats.total_calls > 0
+
     def test_patterns_writes_npz(self, tmp_path, capsys):
         from repro.measurement import PatternTable
 

@@ -1,0 +1,379 @@
+"""Fused-kernel equality and shared-memory lifecycle (tier 1).
+
+Two promises from the sharded-execution layer (DESIGN.md §12):
+
+* the fused single-pass kernel (``select_fused_batch`` and its stacked
+  multi-block twin) is **bit-for-bit** identical to the scalar and
+  batched reference paths, under NaN-ridden spectra, single-probe
+  rows and arbitrary probe subsets;
+* shared-memory segments published for pool workers never outlive
+  their :class:`~repro.runtime.shm.KernelPublisher` — runner close,
+  pool-crash replacement and eviction all leave ``/dev/shm`` clean,
+  and workers seeded from shared kernels return the same bits as
+  workers that rebuilt from the spec.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.runtime.shm as shm
+from repro.core.compressive import CompressiveSectorSelector
+from repro.core.measurements import ProbeMeasurement
+from repro.core.policy import CompressivePolicy, seed_shared_selector
+from repro.geometry import AngularGrid
+from repro.measurement import PatternTable
+from repro.runtime import FaultPlan, RetryPolicy, ScenarioRunner
+from repro.runtime.faults import FaultSpec
+from repro.runtime.policy import PolicyContext
+from repro.runtime.spec import PolicySpec, ScenarioSpec
+
+N_SECTORS = 6
+
+
+def _small_table(seed: int = 7) -> PatternTable:
+    grid = AngularGrid(np.linspace(-20.0, 20.0, 5), np.array([0.0, 10.0]))
+    rng = np.random.default_rng(seed)
+    return PatternTable(
+        grid, {s: rng.uniform(-10.0, 12.0, grid.shape) for s in range(N_SECTORS)}
+    )
+
+
+TABLE = _small_table()
+
+FUSIONS = ("product", "snr", "rssi")
+DOMAINS = ("linear", "db")
+
+# A probe value: ordinary, NaN (dropped by the scalar path) or inf.
+probe_value = st.one_of(
+    st.floats(min_value=-30.0, max_value=30.0),
+    st.just(float("nan")),
+    st.just(float("inf")),
+)
+
+# One padded slot: (sector, snr, rssi, slot-carries-a-report).
+slot = st.tuples(
+    st.integers(min_value=0, max_value=N_SECTORS - 1),
+    probe_value,
+    probe_value,
+    st.booleans(),
+)
+
+# A ragged batch: trials share the padded width but not the valid count.
+batch = st.integers(min_value=2, max_value=5).flatmap(
+    lambda width: st.lists(
+        st.lists(slot, min_size=width, max_size=width), min_size=1, max_size=4
+    )
+)
+
+
+def _unpack(trials):
+    ids = np.array([[s[0] for s in trial] for trial in trials])
+    snr = np.array([[s[1] for s in trial] for trial in trials])
+    rssi = np.array([[s[2] for s in trial] for trial in trials])
+    mask = np.array([[s[3] for s in trial] for trial in trials])
+    return ids, snr, rssi, mask
+
+
+def _scalar_measurements(trial):
+    return [
+        ProbeMeasurement(sector_id=s[0], snr_db=s[1], rssi_dbm=s[2])
+        for s in trial
+        if s[3]
+    ]
+
+
+class TestFusedEquality:
+    """scalar ↔ batched ↔ fused, bit for bit."""
+
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @settings(max_examples=40, deadline=None)
+    @given(batch=batch)
+    def test_fused_matches_scalar_and_batched_bitwise(self, fusion, domain, batch):
+        ids, snr, rssi, mask = _unpack(batch)
+        scalar = CompressiveSectorSelector(TABLE, fusion=fusion, domain=domain)
+        scalar_results = []
+        scalar_raises = False
+        for trial in batch:
+            try:
+                scalar_results.append(scalar.select(_scalar_measurements(trial)))
+            except ValueError:
+                scalar_raises = True
+                break
+        batched = CompressiveSectorSelector(TABLE, fusion=fusion, domain=domain)
+        fused = CompressiveSectorSelector(TABLE, fusion=fusion, domain=domain)
+        if scalar_raises:
+            # NaN drops left a row under two finite probes: every path
+            # must refuse identically.
+            with pytest.raises(ValueError):
+                batched.select_batch(ids, snr, rssi_dbm=rssi, mask=mask)
+            with pytest.raises(ValueError):
+                fused.select_fused_batch(ids, snr, rssi_dbm=rssi, mask=mask)
+            return
+        batched_results = batched.select_batch(ids, snr, rssi_dbm=rssi, mask=mask)
+        fused_results = fused.select_fused_batch(ids, snr, rssi_dbm=rssi, mask=mask)
+        assert fused_results == scalar_results
+        assert fused_results == batched_results
+        assert fused.last_selection == scalar.last_selection
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sector=st.integers(min_value=0, max_value=N_SECTORS - 1),
+        snr=probe_value,
+        rssi=probe_value,
+        valid=st.booleans(),
+    )
+    def test_single_probe_rows(self, sector, snr, rssi, valid):
+        """One-probe trials exercise the underfilled-row fallback edge."""
+        ids = np.array([[sector]])
+        snr_a = np.array([[snr]])
+        rssi_a = np.array([[rssi]])
+        mask = np.array([[valid]])
+        scalar = CompressiveSectorSelector(TABLE)
+        fused = CompressiveSectorSelector(TABLE)
+        try:
+            expected = scalar.select(
+                _scalar_measurements([(sector, snr, rssi, valid)])
+            )
+        except ValueError:
+            with pytest.raises(ValueError):
+                fused.select_fused_batch(ids, snr_a, rssi_dbm=rssi_a, mask=mask)
+            return
+        (got,) = fused.select_fused_batch(ids, snr_a, rssi_dbm=rssi_a, mask=mask)
+        assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_probe_subsets(self, data):
+        """Unique-sector subsets (the paper's M-probe draw) round-trip."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        n_rows = data.draw(st.integers(min_value=1, max_value=4))
+        width = data.draw(st.integers(min_value=2, max_value=N_SECTORS))
+        rows = [
+            sorted(rng.choice(N_SECTORS, size=width, replace=False).tolist())
+            for _ in range(n_rows)
+        ]
+        ids = np.array(rows)
+        snr = rng.uniform(-15.0, 15.0, ids.shape)
+        rssi = snr - 60.0
+        trials = [
+            [(int(ids[r, c]), snr[r, c], rssi[r, c], True) for c in range(width)]
+            for r in range(n_rows)
+        ]
+        scalar = CompressiveSectorSelector(TABLE)
+        expected = [scalar.select(_scalar_measurements(t)) for t in trials]
+        fused = CompressiveSectorSelector(TABLE)
+        got = fused.select_fused_batch(ids, snr, rssi_dbm=rssi, mask=None)
+        assert got == expected
+
+
+class TestFusedStacked:
+    def _parts(self, widths, seed=11):
+        rng = np.random.default_rng(seed)
+        parts = []
+        for width in widths:
+            rows = rng.integers(1, 4)
+            ids = np.array(
+                [
+                    sorted(rng.choice(N_SECTORS, size=width, replace=False).tolist())
+                    for _ in range(rows)
+                ]
+            )
+            snr = rng.uniform(-15.0, 15.0, ids.shape)
+            snr[rng.uniform(size=ids.shape) < 0.1] = np.nan
+            parts.append((ids, snr, snr - 60.0, np.ones(ids.shape, dtype=bool)))
+        return parts
+
+    def test_stacked_matches_per_part_bitwise(self):
+        parts = self._parts([4, 4, 4, 4])
+        reference = CompressiveSectorSelector(TABLE)
+        expected = []
+        for ids, snr, rssi, mask in parts:
+            reference.reset()
+            expected.append(
+                reference.select_fused_batch(ids, snr, rssi_dbm=rssi, mask=mask)
+            )
+        stacked = CompressiveSectorSelector(TABLE)
+        got = stacked.select_fused_stacked(parts)
+        assert got == expected
+
+    def test_width_mismatch_raises(self):
+        parts = self._parts([4, 3])
+        selector = CompressiveSectorSelector(TABLE)
+        with pytest.raises(ValueError):
+            selector.select_fused_stacked(parts)
+
+
+def _kernel_segments():
+    return set(glob.glob(f"/dev/shm/{shm._SEGMENT_PREFIX}*"))
+
+
+class TestShmModule:
+    def test_publish_attach_roundtrip_readonly(self):
+        publisher = shm.KernelPublisher()
+        arrays = {
+            "a": np.arange(12, dtype=float).reshape(3, 4),
+            "b": np.arange(7, dtype=np.intp),
+        }
+        try:
+            manifest = publisher.publish("k", arrays)
+            views = shm.attach(manifest)
+            for name, array in arrays.items():
+                assert np.array_equal(views[name], array)
+                assert not views[name].flags.writeable
+                offset = manifest.entries[name][0]
+                assert offset % shm._ALIGN == 0
+        finally:
+            shm.detach_all()
+            publisher.close()
+
+    def test_publish_is_memoized_per_key(self):
+        publisher = shm.KernelPublisher()
+        try:
+            first = publisher.publish("k", {"a": np.zeros(3)})
+            second = publisher.publish("k", {"a": np.ones(3)})
+            assert second is first
+            assert len(publisher) == 1
+        finally:
+            publisher.close()
+
+    def test_close_unlinks_every_segment(self):
+        before = _kernel_segments()
+        publisher = shm.KernelPublisher()
+        manifest = publisher.publish("k", {"a": np.zeros(8)})
+        assert _kernel_segments() - before
+        publisher.close()
+        assert _kernel_segments() == before
+        with pytest.raises(FileNotFoundError):
+            shm.attach(manifest)
+        publisher.close()  # idempotent
+
+    def test_oldest_segment_evicted_past_cap(self, monkeypatch):
+        monkeypatch.setattr(shm, "_MAX_SEGMENTS", 2)
+        before = _kernel_segments()
+        publisher = shm.KernelPublisher()
+        try:
+            first = publisher.publish("k0", {"a": np.zeros(4)})
+            publisher.publish("k1", {"a": np.zeros(4)})
+            publisher.publish("k2", {"a": np.zeros(4)})
+            assert len(publisher) == 2
+            assert publisher.manifest("k0") is None
+            with pytest.raises(FileNotFoundError):
+                shm.attach(first)
+        finally:
+            publisher.close()
+        assert _kernel_segments() == before
+
+    def test_detach_all_drops_worker_cache(self):
+        publisher = shm.KernelPublisher()
+        try:
+            manifest = publisher.publish("k", {"a": np.zeros(4)})
+            shm.attach(manifest)
+            assert manifest.segment in shm._ATTACHED
+            shm.detach_all()
+            assert shm._ATTACHED == {}
+        finally:
+            publisher.close()
+
+
+class TestSeedSharedSelector:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        from repro.runtime.spec import TestbedSpec
+
+        return TestbedSpec().build()
+
+    def test_refuses_non_css_and_unshareable_specs(self, testbed):
+        context = PolicyContext(testbed=testbed, cache={})
+        views = {}
+        assert not seed_shared_selector(PolicySpec("full-sweep", {}), context, views)
+        assert not seed_shared_selector(
+            PolicySpec("css", {"pattern_table": object()}), context, views
+        )
+        assert not seed_shared_selector(
+            PolicySpec("css", {"patterns": "theoretical"}), context, views
+        )
+        assert context.cache == {}
+
+    def test_seeded_worker_matches_rebuilt_worker_bitwise(self, testbed):
+        parent = CompressivePolicy(PolicyContext(testbed=testbed, cache={}))
+        kernels = parent.shared_kernels()
+        assert kernels is not None
+        publisher = shm.KernelPublisher()
+        try:
+            manifest = publisher.publish("seed-test", kernels)
+            views = shm.attach(manifest)
+            context = PolicyContext(testbed=testbed, cache={})
+            spec = PolicySpec("css", {"n_probes": 14})
+            assert seed_shared_selector(spec, context, views)
+            # Idempotent: the second call finds the cached selector.
+            assert seed_shared_selector(spec, context, views)
+            seeded = CompressivePolicy(context, n_probes=14)
+            # The seeded selector really runs on the shared views (zero
+            # copy), and returns the same bits as a plain rebuild.
+            assert seeded.selector.estimator._matrix is views["pattern_matrix"]
+            rng = np.random.default_rng(5)
+            pool = list(testbed.tx_sector_ids)
+            for _ in range(10):
+                chosen = rng.choice(pool, size=14, replace=False)
+                snr = rng.uniform(-10.0, 15.0, 14)
+                trial = [
+                    ProbeMeasurement(
+                        sector_id=int(s), snr_db=v, rssi_dbm=v - 60.0
+                    )
+                    for s, v in zip(chosen, snr)
+                ]
+                parent.reset()
+                seeded.reset()
+                assert repr(seeded.select(trial)) == repr(parent.select(trial))
+        finally:
+            shm.detach_all()
+            publisher.close()
+
+
+def _css_spec(seed=2017):
+    return ScenarioSpec(
+        scenario="policy-eval",
+        seed=seed,
+        policies=(
+            PolicySpec("css", {"n_probes": 14}),
+            PolicySpec("full-sweep", {}),
+        ),
+        params={"azimuth_step_deg": 30.0, "distance_m": 6.0, "n_sweeps": 3},
+    )
+
+
+class TestRunnerShmLifecycle:
+    def test_jobs4_matches_jobs1_and_unlinks_on_close(self):
+        before = _kernel_segments()
+        with ScenarioRunner(jobs=1) as serial:
+            reference = serial.run(_css_spec())
+        with ScenarioRunner(jobs=4) as sharded:
+            outcome = sharded.run(_css_spec())
+            # Segments stay published between runs (warm-pool case) ...
+            repeat = sharded.run(_css_spec())
+            published = _kernel_segments() - before
+            assert published
+        # ... and close() unlinks every one of them.
+        assert _kernel_segments() == before
+        assert outcome.manifest.result_sha256 == reference.manifest.result_sha256
+        assert repeat.manifest.result_sha256 == reference.manifest.result_sha256
+
+    def test_pool_crash_replacement_leaks_nothing(self):
+        before = _kernel_segments()
+        with ScenarioRunner(jobs=1) as serial:
+            reference = serial.run(_css_spec())
+        plan = FaultPlan(faults=(FaultSpec("crash", 1),))
+        with ScenarioRunner(
+            jobs=4, faults=plan, retry=RetryPolicy(max_attempts=3, seed=1)
+        ) as sharded:
+            outcome = sharded.run(_css_spec())
+        # The crashed worker died holding attachments; the replacement
+        # re-attached by name, and the parent still owns every segment.
+        assert _kernel_segments() == before
+        assert outcome.manifest.result_sha256 == reference.manifest.result_sha256
+        assert outcome.manifest.health != "clean"

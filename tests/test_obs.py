@@ -393,7 +393,10 @@ class TestTracedRunDeterminism:
         assert section["spans"]["scenario.run"]["count"] == 1
         assert len(section["slowest_blocks"]) == 5
         counters = section["metrics"]["counters"]
-        assert counters['runner_kernel_path_total{path="batched"}'] == 10
+        # css blocks ride the fused single-pass kernel; full-sweep has
+        # only the plain batched twin.
+        assert counters['runner_kernel_path_total{path="fused"}'] == 5
+        assert counters['runner_kernel_path_total{path="batched"}'] == 5
         assert len(session.tracer.events) > 0
 
     def test_jobs4_results_match_jobs1(self, traced, traced_jobs4):
