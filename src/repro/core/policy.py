@@ -27,13 +27,22 @@ import numpy as np
 from ..geometry.grid import AngularGrid
 from ..mac.timing import multi_round_training_time_us
 from ..runtime.policy import PolicyContext
-from ..runtime.registry import register_policy
+from ..runtime.registry import build_probe_designer, register_policy
 from .compressive import CompressiveSectorSelector
 from .measurements import ProbeMeasurement
-from .probes import GainDiverseProbeStrategy, RandomProbeStrategy
+from .probes import (
+    GainDiverseProbeStrategy,
+    RandomProbeStrategy,
+    register_builtin_designers,
+    seed_designed_subsets,
+)
 from .selector import SelectionResult
 
 __all__ = ["CompressivePolicy", "FullSweepPolicy", "seed_shared_selector"]
+
+# The designer registrations ride this module's import (load_builtin's
+# core hook) — see register_builtin_designers for why not probes.py's.
+register_builtin_designers()
 
 
 def _resolve_table(context: PolicyContext, patterns: str):
@@ -105,6 +114,14 @@ def seed_shared_selector(spec, context: PolicyContext, views) -> bool:
     search = kwargs.get("search", "3d")
     fallback_correlation = kwargs.get("fallback_correlation", 0.0)
     table = context.testbed.pattern_table
+    if getattr(spec, "probe_design", None) is not None:
+        # Designed subsets published by the supervisor seed the
+        # module-level design cache, so this worker's policy attaches
+        # the finished design instead of re-running the greedy search.
+        try:
+            seed_designed_subsets(spec.probe_design, table, views)
+        except (KeyError, ValueError):
+            pass  # unknown designer/params: construction will raise
     key = _selector_cache_key(table, fusion, domain, search, fallback_correlation)
     if key in context.cache:
         return True
@@ -136,6 +153,7 @@ class CompressivePolicy:
         probe_strategy: Optional[str] = None,
         fallback_correlation: float = 0.0,
         pattern_table=None,
+        probe_design=None,
     ):
         """
         Args:
@@ -152,9 +170,19 @@ class CompressivePolicy:
             pattern_table: direct table override for in-process callers
                 (transfer experiment); not spec-serializable — policies
                 built with it cannot shard across processes.
+            probe_design: optional probe-designer stage — a registry
+                name or ``{"designer": name, "params": {...}}`` block
+                (the spec-serializable replacement for
+                ``probe_strategy``); resolved against this policy's
+                pattern table.  Mutually exclusive with
+                ``probe_strategy``.
         """
         if search not in ("3d", "2d"):
             raise ValueError("search must be '3d' or '2d'")
+        if probe_design is not None and probe_strategy is not None:
+            raise ValueError(
+                "probe_design and probe_strategy are mutually exclusive"
+            )
         table = pattern_table if pattern_table is not None else _resolve_table(
             context, patterns
         )
@@ -189,6 +217,11 @@ class CompressivePolicy:
             raise ValueError(
                 "probe_strategy must be None, 'random' or 'gain-diverse'"
             )
+        self._designer = (
+            build_probe_designer(probe_design, table)
+            if probe_design is not None
+            else None
+        )
 
     def reset(self) -> None:
         self.selector.reset()
@@ -198,12 +231,17 @@ class CompressivePolicy:
     ) -> Optional[List[int]]:
         if round_index > 0:
             return None
+        # Pool-size validation covers every path (designer, strategy,
+        # legacy draw) — a too-small pool is a spec error, not a
+        # downstream shape error.
+        if self.n_probes > len(pool):
+            raise ValueError("cannot probe more sectors than exist")
+        if self._designer is not None:
+            return list(self._designer.design(self.n_probes, pool, rng))
         if self._strategy is not None:
             return list(self._strategy.choose(self.n_probes, pool, rng))
         # One rng.choice with these exact arguments == the pinned draw
         # of experiments.common.random_probe_columns.
-        if self.n_probes > len(pool):
-            raise ValueError("cannot probe more sectors than exist")
         chosen = rng.choice(len(pool), size=self.n_probes, replace=False)
         return [pool[index] for index in chosen]
 
@@ -242,15 +280,31 @@ class CompressivePolicy:
         """The precomputed arrays a supervisor may publish over shared
         memory for pool workers (see :mod:`repro.runtime.shm`), or None
         when this policy's selector cannot be re-derived from its spec
-        (direct ``pattern_table`` override, theoretical patterns)."""
+        (direct ``pattern_table`` override, theoretical patterns).
+
+        When a deterministic probe designer is attached, the subsets it
+        has designed so far (planning runs in the supervisor, so by
+        publication time the design for the run's pool is warm) ride
+        the same segment as ``design.<k>.pool`` / ``design.<k>.subset``
+        pairs — workers seed their design cache from the views instead
+        of re-running the greedy search (``seed_designed_subsets``).
+        """
         if not self._shareable:
             return None
         estimator = self.selector.estimator
-        return {
+        kernels = {
             "pattern_matrix": estimator._matrix,
             "prepared_matrix": estimator._prepared,
             "candidate_matrix": self.selector._candidate_matrix,
         }
+        exporter = getattr(self._designer, "exported_designs", None)
+        if callable(exporter):
+            for index, (pool, subset) in enumerate(exporter()):
+                kernels[f"design.{index}.pool"] = np.asarray(pool, dtype=np.int64)
+                kernels[f"design.{index}.subset"] = np.asarray(
+                    subset, dtype=np.int64
+                )
+        return kernels
 
     def training_time_us(self, probes_used: int, n_rounds: int = 1) -> float:
         return multi_round_training_time_us(probes_used, n_rounds)

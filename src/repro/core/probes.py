@@ -1,13 +1,26 @@
-"""Probing-set strategies: which ``M`` sectors to sweep.
+"""Probing-set strategies and designers: which ``M`` sectors to sweep.
 
 The paper probes a *random* subset per sweep (§2.2) and discusses
-smarter, context-specific choices in §7.  All strategies share one
-interface so experiments can swap them freely.
+smarter, context-specific choices in §7.  Two interfaces live here:
+
+* :class:`ProbeStrategy` — the original half-pluggable hook: an
+  in-process object with a ``choose`` method, constructed by hand.
+* :class:`ProbeDesigner` — the spec-addressable pipeline stage
+  (DESIGN.md §13): registered by name in
+  :mod:`repro.runtime.registry`, declared in a ``probe_design`` block
+  on a :class:`~repro.runtime.spec.PolicySpec`, and routed through
+  ``CompressivePolicy.probes_for_round``.  The ``random`` designer is
+  bit-identical to the legacy ``rng.choice`` draw; the deterministic
+  designers (``coherence-min``, ``in-sector``, ``greedy-submodular``)
+  compute a *structured sensing matrix* — a fixed M-of-N subset —
+  once per (table, M, params, pool) and memoize it in a module-level
+  cache keyed by the pattern-table digest, since design is expensive
+  and tables are immutable.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Sequence
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +32,16 @@ __all__ = [
     "RandomProbeStrategy",
     "FixedProbeStrategy",
     "GainDiverseProbeStrategy",
+    "ProbeDesigner",
+    "RandomProbeDesigner",
+    "CoherenceMinDesigner",
+    "InSectorDesigner",
+    "GreedySubmodularDesigner",
+    "design_cache_key",
+    "design_cache_size",
+    "clear_design_cache",
+    "seed_designed_subsets",
+    "register_builtin_designers",
 ]
 
 
@@ -120,3 +143,337 @@ class GainDiverseProbeStrategy:
     ) -> List[int]:
         _validate(n_probes, available_ids)
         return self._selection_order(available_ids)[:n_probes]
+
+
+# ----------------------------------------------------------------------
+# Probe designers: the spec-addressable pipeline stage (DESIGN.md §13).
+# ----------------------------------------------------------------------
+
+
+class ProbeDesigner(Protocol):
+    """Designs the probing subset — the sensing matrix — for a policy.
+
+    Unlike :class:`ProbeStrategy`, a designer is *spec-addressable*: it
+    is registered by name, constructed from JSON params via
+    :func:`repro.runtime.registry.build_probe_designer`, and its output
+    for deterministic designers is cached across policies and
+    processes (see :func:`design_cache_key`).
+    """
+
+    name: str
+
+    def design(
+        self, n_probes: int, available_ids: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        """Return ``n_probes`` distinct sector IDs to probe."""
+        ...
+
+    def params(self) -> Dict[str, Any]:
+        """The designer's resolved parameters (canonical JSON values)."""
+        ...
+
+
+#: Module-level memo of deterministic designs.  Keyed by
+#: :func:`design_cache_key` — pattern-table digest + designer identity
+#: + (M, params, pool) — so the cache survives policy rebuilds, is
+#: shared between policies that differ only in unrelated kwargs, and
+#: can be seeded in pool workers from a published shared-memory
+#: segment (:func:`seed_designed_subsets`).
+_DESIGN_CACHE: Dict[Tuple, Tuple[int, ...]] = {}
+
+
+def design_cache_key(
+    table: PatternTable,
+    name: str,
+    params: Dict[str, Any],
+    n_probes: int,
+    available_ids: Sequence[int],
+) -> Tuple:
+    """The memo key of one deterministic design.
+
+    The table participates via its content :meth:`~PatternTable.digest`
+    (not ``id()``), so supervisor and workers — separate processes with
+    separate table objects — compute the same key for the same table.
+    """
+    return (
+        table.digest(),
+        str(name),
+        tuple(sorted((str(k), v) for k, v in params.items())),
+        int(n_probes),
+        tuple(int(s) for s in available_ids),
+    )
+
+
+def design_cache_size() -> int:
+    return len(_DESIGN_CACHE)
+
+
+def clear_design_cache() -> None:
+    _DESIGN_CACHE.clear()
+
+
+class RandomProbeDesigner:
+    """The paper's per-sweep uniform draw, as a designer.
+
+    Pinned bit-identical to the legacy default path: exactly one
+    ``rng.choice(len(pool), size=M, replace=False)`` call per design —
+    the same call as :func:`repro.experiments.common.random_probe_columns`
+    and ``CompressivePolicy``'s historical inline draw — and the chosen
+    order is **not** sorted.  Every experiment digest pinned before the
+    designer stage existed is therefore unchanged under
+    ``probe_design: {"designer": "random"}``.
+    """
+
+    name = "random"
+
+    def __init__(self, pattern_table: Optional[PatternTable] = None):
+        # The table is accepted (uniform factory signature) but unused:
+        # a random draw needs no measured patterns.
+        self._table = pattern_table
+
+    def params(self) -> Dict[str, Any]:
+        return {}
+
+    def design(
+        self, n_probes: int, available_ids: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        _validate(n_probes, available_ids)
+        chosen = rng.choice(len(available_ids), size=n_probes, replace=False)
+        return [available_ids[index] for index in chosen]
+
+
+class _DeterministicDesigner:
+    """Shared machinery of the rng-free structured designers.
+
+    Subclasses implement ``_design(n_probes, pool)`` over the measured
+    pattern table; this base handles validation, the module-level memo
+    and the per-instance record exported to the shared-memory publisher
+    (``exported_designs``).  Deterministic designers consume **no**
+    randomness, so a policy routed through one leaves the pinned rng
+    stream untouched for everything around it.
+    """
+
+    name = "?"
+
+    def __init__(self, pattern_table: PatternTable):
+        if pattern_table is None:
+            raise ValueError(f"designer '{self.name}' needs a pattern table")
+        self._table = pattern_table
+        self._designs: Dict[Tuple[int, Tuple[int, ...]], Tuple[int, ...]] = {}
+
+    def params(self) -> Dict[str, Any]:
+        return {}
+
+    def _linear_rows(self, available_ids: Sequence[int]) -> np.ndarray:
+        """Per-sector linear-power patterns, raveled over the grid."""
+        return np.asarray(
+            [
+                to_linear_power(self._table.pattern(sector_id).ravel())
+                for sector_id in available_ids
+            ]
+        )
+
+    def design(
+        self, n_probes: int, available_ids: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        _validate(n_probes, available_ids)
+        key = design_cache_key(
+            self._table, self.name, self.params(), n_probes, available_ids
+        )
+        subset = _DESIGN_CACHE.get(key)
+        if subset is None:
+            subset = tuple(
+                int(s) for s in self._design(int(n_probes), list(available_ids))
+            )
+            _DESIGN_CACHE[key] = subset
+        self._designs[
+            (int(n_probes), tuple(int(s) for s in available_ids))
+        ] = subset
+        return list(subset)
+
+    def exported_designs(
+        self,
+    ) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Every (pool, subset) this instance has designed, in a stable
+        order — the arrays a supervisor publishes over shared memory so
+        pool workers seed their cache instead of re-designing."""
+        return sorted(
+            (pool, subset) for (_m, pool), subset in self._designs.items()
+        )
+
+    def _design(self, n_probes: int, pool: List[int]) -> List[int]:
+        raise NotImplementedError
+
+
+class CoherenceMinDesigner(_DeterministicDesigner):
+    """Greedy column-coherence minimization (arXiv:2205.11154 idea).
+
+    The normalized measured-pattern matrix has one unit-norm column per
+    sector (its linear-power pattern over the grid); the mutual
+    coherence of the row-subsampled sensing matrix is the largest
+    absolute inner product between two selected columns.  Greedy
+    selection: seed with the least-coherent column pair, then
+    repeatedly add the column whose worst-case coherence against the
+    selected set is smallest.  Ties break on the lowest column index,
+    so the design is fully deterministic.
+    """
+
+    name = "coherence-min"
+
+    def _design(self, n_probes: int, pool: List[int]) -> List[int]:
+        matrix = normalize_rows(self._linear_rows(pool))
+        coherence = np.abs(matrix @ matrix.T)
+        if n_probes == 1:
+            # Degenerate budget: the column least correlated with the
+            # rest of the dictionary on average.
+            off_diagonal = coherence - np.diag(np.diag(coherence))
+            selected = [int(np.argmin(off_diagonal.sum(axis=1)))]
+        else:
+            masked = coherence.copy()
+            np.fill_diagonal(masked, np.inf)
+            flat = int(np.argmin(masked))
+            first, second = divmod(flat, masked.shape[1])
+            selected = sorted((int(first), int(second)))
+            while len(selected) < n_probes:
+                candidates = [
+                    index for index in range(len(pool)) if index not in selected
+                ]
+                worst = np.array(
+                    [coherence[candidate, selected].max() for candidate in candidates]
+                )
+                selected.append(candidates[int(np.argmin(worst))])
+        return sorted(pool[index] for index in selected)
+
+
+class InSectorDesigner(_DeterministicDesigner):
+    """Structured in-sector selection (arXiv:2308.13268 idea).
+
+    Concentrates the probing budget on sectors whose main lobes cover
+    an angular sector-of-interest: sectors whose peak-gain direction
+    falls inside the azimuth window rank first (by their peak in-window
+    gain), the remainder rank by the fraction of their radiated energy
+    that lands in the window.  With the default ±60° window this matches
+    the evaluation arcs of the figure experiments.
+    """
+
+    name = "in-sector"
+
+    def __init__(
+        self,
+        pattern_table: PatternTable,
+        sector_center_deg: float = 0.0,
+        sector_width_deg: float = 120.0,
+    ):
+        super().__init__(pattern_table)
+        if not sector_width_deg > 0.0:
+            raise ValueError("sector_width_deg must be positive")
+        self._center = float(sector_center_deg)
+        self._width = float(sector_width_deg)
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "sector_center_deg": self._center,
+            "sector_width_deg": self._width,
+        }
+
+    def _design(self, n_probes: int, pool: List[int]) -> List[int]:
+        from ..geometry.angles import azimuth_difference
+
+        azimuths, _elevations = self._table.grid.flat_angles()
+        offsets = np.array(
+            [azimuth_difference(azimuth, self._center) for azimuth in azimuths]
+        )
+        in_window = np.abs(offsets) <= self._width / 2.0
+        rows = self._linear_rows(pool)
+        scores = []
+        for index in range(len(pool)):
+            pattern = rows[index]
+            peak = int(np.argmax(pattern))
+            window_energy = float(pattern[in_window].sum()) if in_window.any() else 0.0
+            energy_fraction = window_energy / float(pattern.sum())
+            if in_window[peak]:
+                # Main lobe inside the sector-of-interest: rank ahead of
+                # every outsider, strongest in-window peak first.
+                rank = (0, -float(pattern[in_window].max()))
+            else:
+                rank = (1, -energy_fraction)
+            scores.append((rank, pool[index]))
+        scores.sort()
+        return sorted(sector_id for _rank, sector_id in scores[:n_probes])
+
+
+class GreedySubmodularDesigner(_DeterministicDesigner):
+    """Grid-coverage gain maximization (facility-location objective).
+
+    Coverage of a subset ``S`` is ``sum over grid points of the best
+    linear gain any selected sector offers there`` — monotone
+    submodular, so the greedy sweep that repeatedly adds the sector
+    with the largest marginal coverage gain carries the classic
+    (1 - 1/e) guarantee.  Ties break on the lowest pool index.
+    """
+
+    name = "greedy-submodular"
+
+    def _design(self, n_probes: int, pool: List[int]) -> List[int]:
+        rows = self._linear_rows(pool)
+        covered = np.zeros(rows.shape[1])
+        remaining = list(range(len(pool)))
+        selected: List[int] = []
+        for _ in range(n_probes):
+            gains = (np.maximum(rows[remaining], covered) - covered).sum(axis=1)
+            best = remaining[int(np.argmax(gains))]
+            selected.append(best)
+            covered = np.maximum(covered, rows[best])
+            remaining.remove(best)
+        return sorted(pool[index] for index in selected)
+
+
+def seed_designed_subsets(design, table: PatternTable, views) -> int:
+    """Seed the design cache from published shared-memory views.
+
+    ``views`` is the array mapping a pool worker attached from the
+    supervisor's kernel segment; designed subsets ride in it as
+    ``design.<k>.pool`` / ``design.<k>.subset`` pairs (see
+    ``CompressivePolicy.shared_kernels``).  The worker re-derives the
+    cache key from its own table + the spec's ``probe_design`` block —
+    the designer is *constructed* (cheap) but never *runs* — so the
+    seeded entries are exactly what local design would compute.
+    Returns the number of seeded subsets.
+    """
+    from ..runtime.registry import build_probe_designer
+
+    designer = build_probe_designer(design, table)
+    exporter = getattr(designer, "exported_designs", None)
+    if exporter is None:
+        return 0  # rng-backed designers have nothing to seed
+    count = 0
+    index = 0
+    while f"design.{index}.subset" in views:
+        pool = views[f"design.{index}.pool"]
+        subset = views[f"design.{index}.subset"]
+        key = design_cache_key(
+            table, designer.name, designer.params(), len(subset), pool
+        )
+        _DESIGN_CACHE.setdefault(key, tuple(int(s) for s in subset))
+        count += 1
+        index += 1
+    return count
+
+
+def register_builtin_designers() -> None:
+    """Register the built-in designers with the runtime registry.
+
+    Called from :mod:`repro.core.policy` (itself imported by
+    ``registry.load_builtin``), *not* at import time here: ``repro.core``
+    imports this module eagerly, and a module-level registry import
+    would cycle through the partially-initialized runtime package.
+    """
+    from ..runtime.registry import register_probe_designer
+
+    for factory in (
+        RandomProbeDesigner,
+        CoherenceMinDesigner,
+        InSectorDesigner,
+        GreedySubmodularDesigner,
+    ):
+        register_probe_designer(factory.name)(factory)

@@ -10,6 +10,7 @@ measurement data.
 
 from __future__ import annotations
 
+import hashlib
 import zipfile
 import zlib
 from typing import Dict, List, Optional, Sequence, Union
@@ -69,6 +70,27 @@ class PatternTable:
     def has_gaps(self) -> bool:
         """True if any pattern still contains NaN gaps."""
         return any(np.isnan(values).any() for values in self.patterns.values())
+
+    def digest(self) -> str:
+        """SHA-256 over the grid axes and every sector pattern.
+
+        Tables are treated as immutable once built, so the digest is
+        computed lazily on first use and memoized — it identifies the
+        table across processes (unlike ``id()``), which is what keys
+        the probe-design cache in :mod:`repro.core.probes`.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        hasher.update(np.ascontiguousarray(self.grid.azimuths_deg, dtype=float))
+        hasher.update(np.ascontiguousarray(self.grid.elevations_deg, dtype=float))
+        for sector_id in self.sector_ids:
+            hasher.update(str(sector_id).encode())
+            hasher.update(np.ascontiguousarray(self.patterns[sector_id], dtype=float))
+        digest = hasher.hexdigest()
+        self._digest = digest
+        return digest
 
     # ------------------------------------------------------------------
     # Interpolation.

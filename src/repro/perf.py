@@ -95,6 +95,10 @@ _LATENCY_METRICS = (
     "scenario_fig7_fig9_jobs1_s",
 )
 
+#: Throughput metrics (higher is better) compared by ``--check`` — a
+#: drop below baseline / ``REGRESSION_FACTOR`` fails the gate.
+_THROUGHPUT_METRICS = ("probe_design_per_s",)
+
 
 @dataclass(frozen=True)
 class PerfPoint:
@@ -133,6 +137,24 @@ def _environment() -> Dict[str, object]:
     }
 
 
+def _normalize_env_value(value: object) -> object:
+    """Canonical comparison form of one environment capture value.
+
+    Captures have changed type across trajectory history — ``cpu_count``
+    was recorded as the string ``"1"`` before it became the int ``1`` —
+    so values that parse as numbers compare numerically (``"1"`` == ``1``
+    == ``1.0``) and everything else compares as its string form.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value).strip())
+    except ValueError:
+        return str(value)
+
+
 def environment_mismatches(
     baseline: Mapping[str, object], current: Mapping[str, object]
 ) -> List[str]:
@@ -142,15 +164,16 @@ def environment_mismatches(
     platform, core count or multiprocessing start method are
     apples-to-oranges; ``--check`` prints these as warnings so a
     cross-machine regression (or pass!) is read with the right
-    suspicion, without flaking the job.  Values compare as strings so
-    points written before ``cpu_count`` became an int still match.
+    suspicion, without flaking the job.  Values are compared through
+    :func:`_normalize_env_value`, so points written before ``cpu_count``
+    became an int (``"1"`` vs ``1``) do not flag a spurious mismatch.
     """
     lines = []
     for key in sorted(set(baseline) | set(current)):
         ours, theirs = current.get(key), baseline.get(key)
         if ours is None or theirs is None:
             continue  # older points predate some keys (start_method)
-        if str(ours) != str(theirs):
+        if _normalize_env_value(ours) != _normalize_env_value(theirs):
             lines.append(f"{key}: baseline {theirs!r} vs current {ours!r}")
     return lines
 
@@ -280,6 +303,41 @@ def measure_metrics(
                 selector.select_fused_batch(*batch)
             elapsed = time.perf_counter() - start
             metrics["select_fused_per_s"] = len(trials) * batch_repeats / elapsed
+
+    # -- probe-design throughput (absent before the designer stage) ----
+    try:
+        from .core.probes import clear_design_cache
+        from .runtime.registry import available_probe_designers, build_probe_designer
+    except ImportError:
+        build_probe_designer = None
+    if build_probe_designer is not None:
+        # Cold-cache design cost: every deterministic designer solves
+        # the full pool at two budgets per pass.  The cache is cleared
+        # between passes — the steady state is one design per (table,
+        # M, params) forever, so the interesting number is how fast a
+        # *new* design point is, not the memo hit.
+        design_names = [
+            name for name in available_probe_designers() if name != "random"
+        ]
+        designers = [
+            build_probe_designer(name, testbed.pattern_table)
+            for name in design_names
+        ]
+        pool = list(testbed.tx_sector_ids)
+        design_rng = np.random.default_rng(seed + 5)
+        budgets = (8, 20)
+        design_passes = 3
+        start = time.perf_counter()
+        for _ in range(design_passes):
+            clear_design_cache()
+            for designer in designers:
+                for budget in budgets:
+                    designer.design(budget, pool, design_rng)
+        elapsed = time.perf_counter() - start
+        clear_design_cache()
+        metrics["probe_design_per_s"] = (
+            len(designers) * len(budgets) * design_passes / elapsed
+        )
 
     # -- observe kernel throughput -------------------------------------
     model = testbed.measurement_model
@@ -556,6 +614,27 @@ def check_against_baseline(
             failures.append(
                 f"{name}: {current:.4g} vs baseline {reference:.4g} "
                 f"(>{factor:.1f}x regression)"
+            )
+    points = [PerfPoint.from_json(p) for p in data.get("points", [])]
+    for name in _THROUGHPUT_METRICS:
+        # The 'baseline' point predates the newer kernels, so each
+        # throughput metric gates against the most recent committed
+        # point that recorded it.
+        reference = next(
+            (
+                p.metrics[name]
+                for p in reversed(points)
+                if p.metrics.get(name, 0) > 0
+            ),
+            None,
+        )
+        current = metrics.get(name)
+        if reference is None or current is None:
+            continue
+        if current < reference / factor:
+            failures.append(
+                f"{name}: {current:.4g} vs committed {reference:.4g} "
+                f"(<1/{factor:.1f}x throughput)"
             )
     overhead = metrics.get("runner_supervision_overhead_pct")
     if overhead is not None:

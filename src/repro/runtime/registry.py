@@ -18,16 +18,27 @@ Registration contract:
   returns the experiment's result object.  ``default_spec`` (optional)
   builds the canonical spec for ``repro-bench run <name>``.
 
+A third registry covers **probe designers** (the DESIGN.md §13 stage):
+a ``probe_design`` block on a :class:`~.spec.PolicySpec` names a
+designer factory with signature ``factory(pattern_table, **params)``
+returning a :class:`~repro.core.probes.ProbeDesigner`.
+
 Built-in registrations live next to the code they adapt
 (``core/policy.py``, ``baselines/policy.py``, the experiment modules)
 and are imported lazily by :func:`load_builtin` to keep import cycles
-out of the package graph.
+out of the package graph.  :func:`load_builtin` additionally scans the
+``repro.policies`` and ``repro.probe_designers`` entry-point groups,
+so third-party strategies *install* (``pip install``) rather than
+import-register: an entry point may name a module whose import runs
+the ``@register_*`` decorators, or a factory object directly (then
+the entry-point name becomes the registry name).
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 from .policy import PolicyContext
 from .spec import PolicySpec, ScenarioSpec
@@ -36,18 +47,29 @@ __all__ = [
     "ScenarioEntry",
     "register_policy",
     "register_scenario",
+    "register_probe_designer",
     "build_policy",
+    "build_probe_designer",
     "get_scenario",
     "scenario_spec",
     "available_policies",
     "available_scenarios",
+    "available_probe_designers",
     "load_builtin",
 ]
 
+_LOGGER = logging.getLogger(__name__)
+
 PolicyFactory = Callable[..., Any]
+DesignerFactory = Callable[..., Any]
+
+#: Entry-point groups scanned by :func:`load_builtin`, mapped to the
+#: registry a directly-exported factory lands in.
+_ENTRY_POINT_GROUPS = ("repro.policies", "repro.probe_designers")
 
 _POLICIES: Dict[str, PolicyFactory] = {}
 _SCENARIOS: Dict[str, "ScenarioEntry"] = {}
+_PROBE_DESIGNERS: Dict[str, DesignerFactory] = {}
 _BUILTIN_LOADED = False
 
 
@@ -93,15 +115,70 @@ def register_scenario(
     return decorator
 
 
+def register_probe_designer(
+    name: str,
+) -> Callable[[DesignerFactory], DesignerFactory]:
+    """Register a probe-designer factory under ``name`` (decorator)."""
+
+    def decorator(factory: DesignerFactory) -> DesignerFactory:
+        _PROBE_DESIGNERS[name] = factory
+        return factory
+
+    return decorator
+
+
 def build_policy(spec: PolicySpec, context: PolicyContext):
-    """Resolve a policy spec to a live policy instance."""
+    """Resolve a policy spec to a live policy instance.
+
+    A spec carrying a ``probe_design`` block forwards it as the
+    ``probe_design`` kwarg — factories that do not take the stage
+    (e.g. ``full-sweep``) reject it with the usual ``TypeError``.
+    """
     load_builtin()
     factory = _POLICIES.get(spec.name)
     if factory is None:
         raise KeyError(
             f"unknown policy '{spec.name}'; registered: {available_policies()}"
         )
-    return factory(context, **dict(spec.kwargs))
+    kwargs = dict(spec.kwargs)
+    if spec.probe_design is not None:
+        kwargs["probe_design"] = dict(spec.probe_design)
+    return factory(context, **kwargs)
+
+
+def build_probe_designer(
+    design: Union[str, Mapping[str, Any]], pattern_table
+):
+    """Resolve a ``probe_design`` block (or bare name) to a designer.
+
+    ``design`` is either a registry name or a mapping
+    ``{"designer": name, "params": {...}}`` — the canonical JSON form a
+    :class:`~.spec.PolicySpec` carries.
+    """
+    load_builtin()
+    if isinstance(design, str):
+        name, params = design, {}
+    else:
+        data = dict(design)
+        try:
+            name = str(data.pop("designer"))
+        except KeyError:
+            raise ValueError(
+                "a probe_design block must carry a 'designer' name"
+            ) from None
+        params = dict(data.pop("params", {}))
+        if data:
+            raise ValueError(
+                f"unknown probe_design keys: {sorted(data)} "
+                "(expected 'designer' and optional 'params')"
+            )
+    factory = _PROBE_DESIGNERS.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown probe designer '{name}'; "
+            f"registered: {available_probe_designers()}"
+        )
+    return factory(pattern_table, **params)
 
 
 def get_scenario(name: str) -> ScenarioEntry:
@@ -133,6 +210,45 @@ def available_scenarios() -> List[str]:
     return sorted(_SCENARIOS)
 
 
+def available_probe_designers() -> List[str]:
+    load_builtin()
+    return sorted(_PROBE_DESIGNERS)
+
+
+def _scan_entry_points() -> None:
+    """Load ``repro.policies`` / ``repro.probe_designers`` entry points.
+
+    A broken third-party plugin must never take the core registries
+    down, so load failures are logged and skipped.  Entries exporting a
+    callable that the import itself did not register are registered
+    under the entry-point name (without clobbering built-ins).
+    """
+    from importlib import metadata
+
+    for group in _ENTRY_POINT_GROUPS:
+        try:
+            entries = list(metadata.entry_points(group=group))
+        except TypeError:  # pragma: no cover - pre-3.10 select API
+            entries = list(metadata.entry_points().get(group, ()))
+        for entry in entries:
+            try:
+                loaded = entry.load()
+            except Exception as error:
+                _LOGGER.warning(
+                    "failed to load entry point %s (group %s): %s: %s",
+                    entry.name,
+                    group,
+                    type(error).__name__,
+                    error,
+                )
+                continue
+            if callable(loaded):
+                table = (
+                    _POLICIES if group == "repro.policies" else _PROBE_DESIGNERS
+                )
+                table.setdefault(entry.name, loaded)
+
+
 def load_builtin() -> None:
     """Import the modules that carry built-in registrations (idempotent)."""
     global _BUILTIN_LOADED
@@ -146,3 +262,5 @@ def load_builtin() -> None:
     from ..baselines import policy as _baseline_policy  # noqa: F401
     from .. import experiments as _experiments  # noqa: F401
     from . import scenarios as _scenarios  # noqa: F401
+    # Installed third-party plugins last: built-in names always win.
+    _scan_entry_points()

@@ -196,10 +196,15 @@ def _build_worker_policy(
     if manifest is not None:
         # Zero-copy warm-up: seed the selector cache from the published
         # shared-memory kernels so build_policy skips re-sampling the
-        # pattern matrices.  Any attach/seed problem (e.g. the segment
-        # vanished with its publisher) degrades to plain construction —
-        # the seeded arrays are byte copies, so the two paths are
-        # bit-identical and degradation is invisible in the results.
+        # pattern matrices, and — when the spec carries a probe_design
+        # block — seed the probe-design cache from the published
+        # subsets so the policy attaches the supervisor's finished
+        # design instead of re-running the greedy search.  Any
+        # attach/seed problem (e.g. the segment vanished with its
+        # publisher) degrades to plain construction — the seeded arrays
+        # are byte copies (and designs are deterministic in the spec),
+        # so the two paths are bit-identical and degradation is
+        # invisible in the results.
         try:
             seed_shared_selector(spec, context, _shm_attach(manifest))
         except Exception as error:  # pragma: no cover - degraded path
@@ -1104,6 +1109,12 @@ class ScenarioRunner:
         policy exports nothing (non-CSS, theoretical patterns, direct
         table override).  Memoized per (testbed, policy) configuration,
         so repeated executes and warm-pool service runs publish once.
+
+        Designed probe subsets ride the same segment (``design.<k>.*``
+        entries): publication happens after :meth:`plan_trials`, so a
+        deterministic designer's subset for the run's pool is warm in
+        the policy by the time this exports — the policy key includes
+        the spec's ``probe_design`` block, so the memo stays exact.
         """
         exporter = getattr(policy, "shared_kernels", None)
         if not callable(exporter):

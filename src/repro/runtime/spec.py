@@ -77,17 +77,36 @@ class TestbedSpec:
 
 @dataclass(frozen=True)
 class PolicySpec:
-    """A selection policy by registry name plus JSON-able kwargs."""
+    """A selection policy by registry name plus JSON-able kwargs.
+
+    ``probe_design`` optionally names a probe-designer stage —
+    ``{"designer": <registry name>, "params": {...}}`` — resolved by
+    :func:`~.registry.build_probe_designer` at build time.  The block
+    participates in the canonical JSON (and therefore in every spec
+    digest, checkpoint-journal key and shared-memory policy key), but
+    is emitted **only when present**, so specs without a designer keep
+    the exact digests they had before the stage existed.
+    """
 
     name: str
     kwargs: Mapping[str, Any] = field(default_factory=dict)
+    probe_design: Optional[Mapping[str, Any]] = None
 
     def to_json(self) -> Dict[str, Any]:
-        return {"name": self.name, "kwargs": dict(self.kwargs)}
+        data: Dict[str, Any] = {"name": self.name, "kwargs": dict(self.kwargs)}
+        if self.probe_design is not None:
+            data["probe_design"] = dict(self.probe_design)
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping[str, Any]) -> "PolicySpec":
-        return cls(name=str(data["name"]), kwargs=dict(data.get("kwargs", {})))
+        return cls(
+            name=str(data["name"]),
+            kwargs=dict(data.get("kwargs", {})),
+            probe_design=(
+                dict(data["probe_design"]) if "probe_design" in data else None
+            ),
+        )
 
     def key(self) -> str:
         return canonical_json(self.to_json())

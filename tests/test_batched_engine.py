@@ -413,3 +413,49 @@ class TestPerfGuards:
         moved = dict(env, numpy="0.0.1")
         lines = perf.environment_mismatches(moved, env)
         assert len(lines) == 1 and "numpy" in lines[0]
+
+    def test_environment_values_compare_numerically(self):
+        # Captures changed type across trajectory history (cpu_count
+        # was the string "1" before it became the int 1); numeric
+        # values compare as numbers regardless of representation.
+        from repro import perf
+
+        assert perf._normalize_env_value("1") == perf._normalize_env_value(1)
+        assert perf._normalize_env_value(1.0) == perf._normalize_env_value(1)
+        assert perf._normalize_env_value(" 4 ") == perf._normalize_env_value(4)
+        assert perf._normalize_env_value("fork") == "fork"
+        assert perf._normalize_env_value(True) != perf._normalize_env_value(1)
+        assert (
+            perf.environment_mismatches(
+                {"cpu_count": "1"}, {"cpu_count": 1}
+            )
+            == []
+        )
+        lines = perf.environment_mismatches({"cpu_count": "2"}, {"cpu_count": 1})
+        assert len(lines) == 1 and "cpu_count" in lines[0]
+
+    def test_probe_design_throughput_gate(self):
+        from repro import perf
+
+        data = {
+            "points": [
+                {"label": "baseline", "metrics": {}},
+                {"label": "probe-designer", "metrics": {"probe_design_per_s": 400.0}},
+            ]
+        }
+        # Throughput holding (or improving): passes.
+        assert perf.check_against_baseline(
+            data, {"probe_design_per_s": 410.0}
+        ) == []
+        # Collapsing below committed / REGRESSION_FACTOR: fails, and the
+        # reference is the most recent point carrying the metric, not
+        # the (pre-designer) baseline label.
+        failures = perf.check_against_baseline(
+            data, {"probe_design_per_s": 400.0 / perf.REGRESSION_FACTOR - 1.0}
+        )
+        assert failures and "probe_design_per_s" in failures[0]
+        # A trajectory with no designer point yet gates nothing.
+        assert perf.check_against_baseline(
+            {"points": [{"label": "baseline", "metrics": {}}]},
+            {"probe_design_per_s": 1.0},
+        ) == []

@@ -112,6 +112,29 @@ class TestSubmission:
         payload = harness.client.result(accepted["run"])
         assert payload["result"]["rows"]
 
+    def test_probe_design_block_accepted_with_cli_digest(self, make_service):
+        # The probe_design block rides the canonical spec JSON, so a
+        # designed policy is service-submittable like any other — and
+        # the HTTP digest matches the local runner bit-for-bit.
+        spec = ScenarioSpec(
+            scenario="policy-eval",
+            seed=2017,
+            policies=(
+                PolicySpec(
+                    "css",
+                    {"n_probes": 14},
+                    probe_design={"designer": "coherence-min"},
+                ),
+            ),
+            params={"azimuth_step_deg": 30.0, "distance_m": 6.0, "n_sweeps": 2},
+        )
+        harness = make_service(workers=2)
+        accepted = harness.client.submit(spec.to_json())
+        assert accepted["spec_digest"] == spec.digest()
+        final = harness.client.wait(accepted["run"])
+        assert final["status"] == "done"
+        assert final["result_sha256"] == _direct_digest(spec)
+
     def test_invalid_submissions_answer_400(self, make_service):
         harness = make_service()
         code, payload = harness.client.request("POST", "/runs", {"scenario": "nope"})
