@@ -23,6 +23,8 @@ is their simulator-side counterpart::
     repro-bench report t.jsonl      # per-stage latency breakdown
     repro-bench serve --port 8780   # HTTP spec-submission service
     repro-bench load                # service saturation load harness
+    repro-bench runs gc             # sweep orphaned journals/shm
+    repro-bench chaos               # crash-recovery chaos campaign
 
 ``--paper`` switches experiments from the fast default profile to the
 paper's full resolutions (minutes instead of seconds).  Every
@@ -243,6 +245,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         FaultPlan,
         RetryExhaustedError,
         RetryPolicy,
+        RunAbortedError,
         ScenarioRunner,
         ScenarioSpec,
         get_scenario,
@@ -305,7 +308,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             resume=args.resume,
             obs=session,
         ) as runner:
-            outcome = runner.run(spec)
+            outcome = runner.run(spec, deadline_s=args.deadline)
+    except RunAbortedError as error:
+        # BaseException on purpose (it must pierce the supervision
+        # layers), so it needs its own clause to exit cleanly.
+        print(
+            f"error: {error.reason}: spec={spec.digest()[:16]}",
+            file=sys.stderr,
+        )
+        return 1
     except RetryExhaustedError as error:
         print(
             f"error: retries exhausted: spec={spec.digest()[:16]} "
@@ -397,6 +408,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         durable=not args.no_durable,
         checkpoint_dir=args.checkpoint_dir,
+        state_dir=args.state_dir,
+        drain_timeout_s=args.drain_timeout,
+        sweep_shm=args.sweep_shm,
         history_limit=args.history_limit,
     )
     try:
@@ -404,6 +418,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("service stopped")
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """Operate on durable service state ('gc' sweeps orphans offline)."""
+    from pathlib import Path
+
+    from .runtime.checkpoint import journal_header
+    from .runtime.shm import sweep_leaked_segments
+    from .service.registry import RunRegistry
+
+    if args.state_dir:
+        state_dir = Path(args.state_dir)
+    else:
+        from .measurement.artifacts import cache_dir
+
+        state_dir = cache_dir() / "service"
+    if not state_dir.is_dir():
+        print(f"error: no state dir at {state_dir}", file=sys.stderr)
+        return 2
+    registry_path = state_dir / "registry.jsonl"
+    referenced = set()
+    if registry_path.is_file():
+        registry = RunRegistry(registry_path, durable=False)
+        try:
+            referenced = {
+                str(state.get("checkpoint_path", ""))
+                for state in registry.replay().values()
+            }
+        finally:
+            registry.close()
+    swept = 0
+    for path in sorted(state_dir.glob("*.jsonl")):
+        if path == registry_path or str(path) in referenced:
+            continue
+        if journal_header(path) is None:
+            continue  # not a checkpoint journal — leave it alone
+        path.unlink()
+        swept += 1
+        print(f"gc: reclaimed orphaned checkpoint journal {path}")
+    segments = sweep_leaked_segments() if args.sweep_shm else []
+    for segment in segments:
+        print(f"gc: reclaimed leaked shm segment {segment}")
+    print(f"gc: reclaimed {swept} journal(s), {len(segments)} shm segment(s)")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos campaign against a live serve subprocess (DESIGN.md §14)."""
+    import tempfile
+
+    from .runtime.chaos import DEFAULT_EVENTS, ChaosConfig, run_chaos
+
+    if args.events:
+        events = tuple(
+            part.strip() for part in args.events.split(",") if part.strip()
+        )
+        unknown = [name for name in events if name not in DEFAULT_EVENTS]
+        if unknown:
+            print(
+                f"error: unknown chaos event(s): {', '.join(unknown)} "
+                f"(known: {', '.join(DEFAULT_EVENTS)})",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        events = DEFAULT_EVENTS
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    config = ChaosConfig(
+        state_dir=state_dir,
+        seed=args.seed,
+        events=events,
+        workers=args.workers,
+        jobs=args.jobs,
+        drain_timeout_s=args.drain_timeout,
+        gate_recovery_s=args.gate_recovery_s,
+    )
+    return run_chaos(config, output=args.output, label=args.label)
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -576,6 +667,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long an injected hang sleeps (pair with --timeout)",
     )
     run_sub.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="wall-clock budget for the whole run; no block attempt is "
+        "scheduled past it (exceeded -> exit 1)",
+    )
+    run_sub.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record a span trace of the run to PATH (JSONL; inspect "
         "with 'repro-bench report')",
@@ -633,10 +729,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal directory (default: <cache>/service)",
     )
     serve_sub.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable service state (run-registry WAL + journals); "
+        "restarting with the same dir recovers queued and in-flight "
+        "runs (default: <cache>/service)",
+    )
+    serve_sub.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="graceful-shutdown budget for in-flight runs; stragglers "
+        "are cancelled back to queued (resumed on next start)",
+    )
+    serve_sub.add_argument(
+        "--sweep-shm", action="store_true",
+        help="reclaim leaked repro-kernels-* /dev/shm segments at "
+        "startup (only when no other repro process shares the host)",
+    )
+    serve_sub.add_argument(
         "--history-limit", type=int, default=512,
         help="finished runs retained in memory before eviction",
     )
     serve_sub.set_defaults(handler=_cmd_serve)
+
+    runs_sub = subparsers.add_parser("runs", help=_cmd_runs.__doc__)
+    add_log_level(runs_sub)
+    runs_sub.add_argument(
+        "action", choices=("gc",),
+        help="gc: sweep orphaned checkpoint journals (and, with "
+        "--sweep-shm, leaked /dev/shm segments) from a state dir",
+    )
+    runs_sub.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="service state dir to sweep (default: <cache>/service)",
+    )
+    runs_sub.add_argument(
+        "--sweep-shm", action="store_true",
+        help="also reclaim leaked repro-kernels-* /dev/shm segments",
+    )
+    runs_sub.set_defaults(handler=_cmd_runs)
+
+    chaos_sub = subparsers.add_parser("chaos", help=_cmd_chaos.__doc__)
+    add_log_level(chaos_sub)
+    chaos_sub.add_argument(
+        "--seed", type=int, default=2017, help="campaign seed"
+    )
+    chaos_sub.add_argument(
+        "--events", default=None,
+        help="comma-separated event subset (default: "
+        "worker-kill,serve-restart,torn-tail,shm-evict,deadline-storm)",
+    )
+    chaos_sub.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="state dir for the service under test (default: a fresh "
+        "temp dir)",
+    )
+    chaos_sub.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads for the service under test",
+    )
+    chaos_sub.add_argument(
+        "--jobs", type=int, default=2,
+        help="fork-pool processes per run (>=2 so worker-kill has a "
+        "victim)",
+    )
+    chaos_sub.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="drain budget of the final graceful SIGTERM",
+    )
+    chaos_sub.add_argument(
+        "--gate-recovery-s", type=float, default=None, metavar="S",
+        help="fail (exit 1) if kill-to-recovered exceeds this budget",
+    )
+    chaos_sub.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="append service_recovery_s to this BENCH trajectory file",
+    )
+    chaos_sub.add_argument(
+        "--label", default="chaos", help="trajectory point label"
+    )
+    chaos_sub.set_defaults(handler=_cmd_chaos)
 
     load_sub = subparsers.add_parser("load", help=_cmd_load.__doc__)
     add_log_level(load_sub)

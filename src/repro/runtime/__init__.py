@@ -12,14 +12,17 @@ The package splits every experiment into three replaceable parts:
 See DESIGN.md §8 for the architecture and the registration contract.
 """
 
-from .checkpoint import CheckpointStore, default_checkpoint_path
+from .checkpoint import CheckpointStore, default_checkpoint_path, journal_header
 from .faults import (
+    DeadlineExceededError,
     FaultInjectionError,
     FaultInjector,
     FaultPlan,
     FaultSpec,
     RetryExhaustedError,
     RetryPolicy,
+    RunAbortedError,
+    RunCancelledError,
     RunHealth,
 )
 from .manifest import RunManifest, git_revision
@@ -41,12 +44,16 @@ from .spec import PolicySpec, ScenarioSpec, TestbedSpec
 __all__ = [
     "CheckpointStore",
     "default_checkpoint_path",
+    "journal_header",
+    "DeadlineExceededError",
     "FaultInjectionError",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "RetryExhaustedError",
     "RetryPolicy",
+    "RunAbortedError",
+    "RunCancelledError",
     "RunHealth",
     "RunManifest",
     "git_revision",

@@ -47,7 +47,7 @@ from typing import Any, Dict, Optional, Sequence
 
 from .. import obs as _obs
 
-__all__ = ["CheckpointStore", "default_checkpoint_path"]
+__all__ = ["CheckpointStore", "default_checkpoint_path", "journal_header"]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -60,6 +60,27 @@ def default_checkpoint_path(spec_digest: str, seed: int) -> Path:
     from ..measurement.artifacts import cache_dir
 
     return cache_dir() / "checkpoints" / f"{spec_digest[:32]}-{seed}.jsonl"
+
+
+def journal_header(path) -> Optional[Dict[str, Any]]:
+    """The parsed header of a checkpoint journal, or None.
+
+    Returns None for missing, unreadable or non-checkpoint files (any
+    format version is accepted — GC only needs to know *whether* a file
+    is one of ours, not whether it is resumable).
+    """
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            first = handle.readline()
+        header = json.loads(first)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if isinstance(header, dict) and header.get("format") == _FORMAT:
+        return header
+    return None
 
 
 class CheckpointStore:

@@ -39,6 +39,9 @@ __all__ = [
     "FaultInjectionError",
     "BlockTimeoutError",
     "RetryExhaustedError",
+    "RunAbortedError",
+    "RunCancelledError",
+    "DeadlineExceededError",
     "RetryPolicy",
     "FaultSpec",
     "FaultPlan",
@@ -77,6 +80,42 @@ class RetryExhaustedError(RuntimeError):
         self.block_index = int(block_index)
         self.attempts = int(attempts)
         self.cause = cause
+
+
+class RunAbortedError(BaseException):
+    """A run was stopped on purpose, not by a fault.
+
+    Subclasses ``BaseException`` deliberately: the runner's supervision
+    layers absorb ``Exception`` (retry, pool replacement, scalar
+    fallback — that is their job), but an abort is an *instruction*,
+    not a failure, and must pierce every retry loop the way
+    ``KeyboardInterrupt`` does.  Nothing is charged to health counters
+    on the way out; completed blocks stay journaled so a later
+    retry-resume picks up exactly where the abort landed.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class RunCancelledError(RunAbortedError):
+    """The run was cooperatively cancelled (``ScenarioRunner.cancel``)."""
+
+    def __init__(self, reason: str = "run cancelled"):
+        super().__init__(reason)
+
+
+class DeadlineExceededError(RunAbortedError):
+    """The run's wall-clock deadline passed before it finished.
+
+    Raised *between* block attempts — no attempt is ever scheduled
+    past the deadline — so the journal holds only whole, verified
+    blocks when the abort surfaces.
+    """
+
+    def __init__(self, reason: str = "run deadline exceeded"):
+        super().__init__(reason)
 
 
 def _unit_fraction(*parts: object) -> float:

@@ -59,6 +59,8 @@ import json
 import logging
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from concurrent.futures import CancelledError as _FuturesCancelled
 from concurrent.futures import ProcessPoolExecutor
@@ -75,11 +77,14 @@ from .. import obs as _obs
 from .checkpoint import CheckpointStore, default_checkpoint_path
 from .faults import (
     BlockTimeoutError,
+    DeadlineExceededError,
     FaultInjectionError,
     FaultInjector,
     FaultPlan,
     RetryExhaustedError,
     RetryPolicy,
+    RunAbortedError,
+    RunCancelledError,
     RunHealth,
 )
 from .manifest import RunManifest, git_revision, result_digest
@@ -88,6 +93,35 @@ from .shm import KernelPublisher, SharedKernelManifest
 from .shm import attach as _shm_attach
 from .shm import detach_all as _shm_detach_all
 from .spec import PolicySpec, ScenarioSpec, TestbedSpec
+
+#: Exceptions that mean "the pool died under us", not "the block
+#: failed".  An externally SIGKILLed worker (chaos campaigns, OOM
+#: kills) can surface as a raw BrokenPipeError/EOFError from the
+#: executor's feeder or wakeup pipes instead of BrokenProcessPool —
+#: all three cost one pool replacement, never a block's retry budget.
+_POOL_FAULTS = (BrokenProcessPool, BrokenPipeError, EOFError)
+
+
+def _reset_worker_signals() -> None:
+    """Detach a fork-pool worker from the parent's signal plumbing.
+
+    Forked children inherit the parent's Python-level signal handlers
+    AND its asyncio wakeup fd — the same socketpair, as a shared open
+    file description.  Left in place, a SIGTERM aimed at a worker is
+    (a) swallowed by the inherited handler, so terminate() never kills
+    it, and (b) echoed into the shared wakeup fd, which the parent's
+    event loop reads as *the service itself* receiving SIGTERM — a
+    spontaneous drain.  Workers must die on SIGTERM and stay silent on
+    the parent's wakeup pipe; SIGINT is ignored so a foreground Ctrl-C
+    reaches the parent's drain path instead of racing it.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
 
 __all__ = [
     "TrialBlock",
@@ -600,6 +634,14 @@ class ScenarioRunner:
         self._contexts: Dict[int, PolicyContext] = {}
         self._policy_timings: Dict[str, float] = {}
         self._policy_span_id: Optional[str] = None
+        # Cooperative abort plumbing: ``cancel()`` may be called from
+        # any thread (the service's event loop) while ``run()`` executes
+        # on a worker thread; the deadline is a monotonic instant set
+        # per run.  Both are checked between block attempts, never
+        # inside one — aborts land on whole-block boundaries, so the
+        # journal stays a set of complete, verified entries.
+        self._cancel = threading.Event()
+        self._deadline_at: Optional[float] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -632,6 +674,58 @@ class ScenarioRunner:
             self._store.close()
             self._store = None
 
+    # -- cooperative abort ----------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation of the in-flight run.
+
+        Thread-safe.  The run raises :class:`RunCancelledError` at the
+        next block boundary (or mid-wait on a pool future / backoff
+        sleep); in-flight pool tasks are abandoned without charging
+        anyone's attempt budget, and everything already finished stays
+        journaled for a later retry-resume.
+        """
+        self._cancel.set()
+
+    def _check_abort(self) -> None:
+        """Raise if the run was cancelled or its deadline passed."""
+        if self._cancel.is_set():
+            raise RunCancelledError()
+        if self._deadline_at is not None and time.monotonic() >= self._deadline_at:
+            raise DeadlineExceededError()
+
+    def _abort_wait(self, wait_s: float) -> None:
+        """A backoff sleep that aborts promptly instead of riding it out."""
+        if self._deadline_at is not None:
+            wait_s = min(wait_s, max(0.0, self._deadline_at - time.monotonic()))
+        if self._cancel.wait(timeout=wait_s):
+            raise RunCancelledError()
+        self._check_abort()
+
+    def _await_task(self, future, budget: Optional[float]):
+        """``future.result`` in short slices so aborts land mid-wait.
+
+        Preserves the supervision semantics exactly: a real budget
+        expiry re-raises :class:`_FuturesTimeout` for the caller's
+        timeout-charging path, while an abort surfaces as the
+        appropriate :class:`~.faults.RunAbortedError` subclass.
+        """
+        deadline = None if budget is None else time.monotonic() + budget
+        while True:
+            self._check_abort()
+            if deadline is None:
+                slice_s = 0.1
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise _FuturesTimeout()
+                slice_s = min(0.1, remaining)
+            try:
+                return future.result(timeout=slice_s)
+            except _FuturesTimeout:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+
     # -- spec resolution ------------------------------------------------
 
     def run(
@@ -641,6 +735,7 @@ class ScenarioRunner:
         checkpoint: Any = _UNSET,
         resume: Optional[bool] = None,
         obs: Any = _UNSET,
+        deadline_s: Optional[float] = None,
     ) -> RunOutcome:
         """Resolve and execute a scenario spec; emit result + manifest.
 
@@ -650,6 +745,11 @@ class ScenarioRunner:
         requests, and each request needs its own journal path and
         :class:`~repro.obs.ObsSession`.  Omitted overrides keep the
         current settings, so existing single-run callers are unchanged.
+
+        ``deadline_s`` is per-call: a wall-clock budget for this run.
+        No block attempt is scheduled past the deadline; when it passes,
+        the run raises :class:`~.faults.DeadlineExceededError` at the
+        next block boundary with all finished blocks journaled.
         """
         from .registry import get_scenario
 
@@ -659,6 +759,10 @@ class ScenarioRunner:
             self._resume = bool(resume)
         if obs is not _UNSET:
             self.obs = obs
+        self._cancel.clear()
+        self._deadline_at = (
+            time.monotonic() + float(deadline_s) if deadline_s is not None else None
+        )
         entry = get_scenario(spec.scenario)
         self._policy_timings = {}
         self.health = RunHealth()
@@ -699,6 +803,7 @@ class ScenarioRunner:
             # Only the per-run journal closes here; the worker pool and
             # published kernels survive for the next run (see close()).
             self._run_digest = None
+            self._deadline_at = None
             self._close_store()
             if traced:
                 _obs.deactivate(previous_session)
@@ -866,6 +971,7 @@ class ScenarioRunner:
         policy.reset()
         records: List[TrialRecord] = []
         for block in blocks:
+            self._check_abort()
             records.extend(self._records_of(block, self._evaluate_block(policy, block)))
         return records
 
@@ -980,6 +1086,7 @@ class ScenarioRunner:
             block = blocks[index]
             attempt = 0
             while True:
+                self._check_abort()
                 attempt += 1
                 try:
                     directive = (
@@ -1021,7 +1128,7 @@ class ScenarioRunner:
                     self.health.note_retry(label, index, error)
                     wait = retry.backoff_s(index, attempt)
                     _obs.observe("runner_retry_wait_seconds", wait)
-                    time.sleep(wait)
+                    self._abort_wait(wait)
         return out
 
     def _note_injected(self, label: str, index: int, attempt: int, kind: str) -> None:
@@ -1213,6 +1320,10 @@ class ScenarioRunner:
         barren_rounds = 0
         last_error: BaseException = BrokenProcessPool("process pool broken")
         while remaining:
+            # Abort between rounds: nothing is in flight here, so a
+            # cancel or deadline expiry surfaces with the journal
+            # holding exactly the settled blocks and the pool healthy.
+            self._check_abort()
             pool = self._ensure_pool()
             batch = sorted(remaining)
             before = len(remaining)
@@ -1281,7 +1392,7 @@ class ScenarioRunner:
                         blocks_manifest,
                     )
                     tasks.append(("chunk", chunk, future))
-            except BrokenProcessPool as error:
+            except _POOL_FAULTS as error:
                 # A worker died between rounds (e.g. the straggling tail
                 # of a crash that broke the previous pool).  Nothing
                 # rejected at submit has run, so nobody's attempt budget
@@ -1296,99 +1407,22 @@ class ScenarioRunner:
                 self._abandon_pool()
                 self.health.note_pool_replacement()
             if dispatched:
-                abandoned = False
-                for task in tasks:
-                    if abandoned:
-                        break
-                    kind, indices, future = task
-                    budget = (
-                        retry.timeout_s
-                        if retry.timeout_s is None or kind == "single"
-                        else retry.timeout_s * len(indices)
+                try:
+                    self._collect_round(
+                        tasks, retry, batch, directives, dispatch_attempt,
+                        attempts, remaining, out, failures, label,
                     )
-                    try:
-                        payload = future.result(timeout=budget)
-                    except _FuturesTimeout:
-                        # The hung block inside a chunk is unknowable
-                        # from outside; charge the chunk's first block
-                        # (singles charge themselves).
-                        charged = indices[0]
-                        self.health.note_timeout(label, charged, budget)
-                        attempts[charged] = dispatch_attempt[charged]
-                        noun = (
-                            f"block {charged}"
-                            if kind == "single"
-                            else f"chunk of {len(indices)} blocks at {charged}"
-                        )
-                        failures.append(
-                            (
-                                charged,
-                                BlockTimeoutError(
-                                    f"{noun} of '{label}' exceeded its "
-                                    f"{budget:.3g} s wall-clock budget"
-                                ),
-                            )
-                        )
-                        self._harvest_done(
-                            tasks, task, dispatch_attempt, attempts, remaining,
-                            out, failures, label,
-                        )
-                        self._abandon_pool()
-                        self.health.note_pool_replacement()
-                        abandoned = True
-                    except BrokenProcessPool as error:
-                        # A worker died.  Attribute the death to the
-                        # block carrying a crash directive this round
-                        # when the harness injected one; otherwise to
-                        # the first block of the task whose future
-                        # surfaced the breakage.
-                        culprit = indices[0]
-                        for candidate in batch:
-                            if (
-                                candidate in remaining
-                                and (directives.get(candidate) or {}).get("kind")
-                                == "crash"
-                            ):
-                                culprit = candidate
-                                break
-                        attempts[culprit] = dispatch_attempt[culprit]
-                        failures.append((culprit, error))
-                        self._harvest_done(
-                            tasks, task, dispatch_attempt, attempts, remaining,
-                            out, failures, label,
-                        )
-                        self._abandon_pool()
-                        self.health.note_pool_replacement()
-                        abandoned = True
-                    except Exception as error:
-                        # The worker raised (e.g. an injected transient
-                        # exception); the pool itself is healthy.
-                        charged = indices[0]
-                        attempts[charged] = dispatch_attempt[charged]
-                        failures.append((charged, error))
-                    else:
-                        if kind == "single":
-                            self._settle_success(
-                                indices[0], payload, dispatch_attempt,
-                                attempts, remaining, out, label,
-                            )
-                        else:
-                            done, failure = payload
-                            for index in indices:
-                                block_payload = done.get(index)
-                                if block_payload is not None:
-                                    self._settle_success(
-                                        index, block_payload, dispatch_attempt,
-                                        attempts, remaining, out, label,
-                                    )
-                            if failure is not None:
-                                failed_index, error = failure
-                                attempts[failed_index] = dispatch_attempt[
-                                    failed_index
-                                ]
-                                failures.append((failed_index, error))
-                            # Chunk blocks neither done nor failed are
-                            # collateral: untouched attempt budget.
+                except RunAbortedError:
+                    # The run was cancelled or its deadline passed while
+                    # tasks were in flight: keep (and journal) whatever
+                    # already finished, abandon the rest un-charged, and
+                    # let the abort pierce every supervision layer.
+                    self._harvest_done(
+                        tasks, None, dispatch_attempt, attempts, remaining,
+                        out, failures, label,
+                    )
+                    self._abandon_pool()
+                    raise
             if len(remaining) < before or failures:
                 barren_rounds = 0
             else:
@@ -1419,8 +1453,126 @@ class ScenarioRunner:
                     retry.backoff_s(index, attempts[index]) for index, _ in failures
                 )
                 _obs.observe("runner_retry_wait_seconds", wait)
-                time.sleep(wait)
+                self._abort_wait(wait)
         return out
+
+    def _collect_round(
+        self,
+        tasks: List[Tuple[str, List[int], Any]],
+        retry: RetryPolicy,
+        batch: List[int],
+        directives: Dict[int, Optional[Dict[str, Any]]],
+        dispatch_attempt: Dict[int, int],
+        attempts: Dict[int, int],
+        remaining: set,
+        out: Dict[int, Tuple[Sequence, Dict[str, Any]]],
+        failures: List[Tuple[int, BaseException]],
+        label: str,
+    ) -> None:
+        """Collect one dispatched round's results in task order."""
+        abandoned = False
+        for task in tasks:
+            if abandoned:
+                break
+            kind, indices, future = task
+            budget = (
+                retry.timeout_s
+                if retry.timeout_s is None or kind == "single"
+                else retry.timeout_s * len(indices)
+            )
+            try:
+                payload = self._await_task(future, budget)
+            except _FuturesTimeout:
+                # The hung block inside a chunk is unknowable
+                # from outside; charge the chunk's first block
+                # (singles charge themselves).
+                charged = indices[0]
+                self.health.note_timeout(label, charged, budget)
+                attempts[charged] = dispatch_attempt[charged]
+                noun = (
+                    f"block {charged}"
+                    if kind == "single"
+                    else f"chunk of {len(indices)} blocks at {charged}"
+                )
+                failures.append(
+                    (
+                        charged,
+                        BlockTimeoutError(
+                            f"{noun} of '{label}' exceeded its "
+                            f"{budget:.3g} s wall-clock budget"
+                        ),
+                    )
+                )
+                self._harvest_done(
+                    tasks, task, dispatch_attempt, attempts, remaining,
+                    out, failures, label,
+                )
+                self._abandon_pool()
+                self.health.note_pool_replacement()
+                abandoned = True
+            except _POOL_FAULTS as error:
+                # A worker died.  When the harness injected a crash
+                # this round the death IS the experiment: charge the
+                # block carrying the directive so injection tests
+                # converge or exhaust.  An *external* death (OOM
+                # killer, chaos campaign, operator) is environmental
+                # — replace the pool and redo the round without
+                # touching anyone's retry budget.
+                culprit = None
+                for candidate in batch:
+                    if (
+                        candidate in remaining
+                        and (directives.get(candidate) or {}).get("kind")
+                        == "crash"
+                    ):
+                        culprit = candidate
+                        break
+                if culprit is not None:
+                    attempts[culprit] = dispatch_attempt[culprit]
+                    failures.append((culprit, error))
+                else:
+                    _LOGGER.warning(
+                        "pool broke under '%s' (%s); replacing it and "
+                        "redoing the round uncharged",
+                        label,
+                        type(error).__name__,
+                    )
+                self._harvest_done(
+                    tasks, task, dispatch_attempt, attempts, remaining,
+                    out, failures, label,
+                )
+                self._abandon_pool()
+                self.health.note_pool_replacement()
+                abandoned = True
+            except Exception as error:
+                # The worker raised (e.g. an injected transient
+                # exception); the pool itself is healthy.
+                charged = indices[0]
+                attempts[charged] = dispatch_attempt[charged]
+                failures.append((charged, error))
+            else:
+                if kind == "single":
+                    self._settle_success(
+                        indices[0], payload, dispatch_attempt,
+                        attempts, remaining, out, label,
+                    )
+                else:
+                    done, failure = payload
+                    for index in indices:
+                        block_payload = done.get(index)
+                        if block_payload is not None:
+                            self._settle_success(
+                                index, block_payload, dispatch_attempt,
+                                attempts, remaining, out, label,
+                            )
+                    if failure is not None:
+                        failed_index, error = failure
+                        attempts[failed_index] = dispatch_attempt[
+                            failed_index
+                        ]
+                        failures.append((failed_index, error))
+                    # Chunk blocks neither done nor failed are
+                    # collateral: untouched attempt budget.
 
     def _settle_success(
         self,
@@ -1471,7 +1623,7 @@ class ScenarioRunner:
                 continue
             try:
                 payload = future.result(timeout=0)
-            except BrokenProcessPool:
+            except _POOL_FAULTS:
                 continue
             except _FuturesCancelled:
                 # Cancelled with its pool — collateral, not a failure.
@@ -1521,20 +1673,35 @@ class ScenarioRunner:
             else:  # pragma: no cover - non-POSIX fallback
                 mp_context = multiprocessing.get_context()
             self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=mp_context
+                max_workers=self.jobs,
+                mp_context=mp_context,
+                initializer=_reset_worker_signals,
             )
         return self._pool
 
     def _abandon_pool(self) -> None:
-        """Tear down a broken or hung pool without waiting on it."""
+        """Tear down a broken or hung pool without waiting on it.
+
+        SIGKILL, not SIGTERM: the pool is already broken, and a worker
+        wedged inside a kernel (or an inherited signal handler) would
+        otherwise survive terminate() and leave the executor's
+        management thread joining it forever — including at
+        interpreter exit.
+        """
         pool, self._pool = self._pool, None
         if pool is None:
             return
-        pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except _POOL_FAULTS + (OSError,):
+            # shutdown() pokes the executor's wakeup pipe; on a pool
+            # whose management thread already tore down, that poke can
+            # itself raise — exactly the state we're abandoning.
+            pass
         processes = getattr(pool, "_processes", None) or {}
         for process in list(processes.values()):
             try:
-                process.terminate()
+                process.kill()
             except (OSError, ValueError):  # pragma: no cover - already gone
                 pass
 

@@ -37,14 +37,22 @@ process dies without ``close()`` (SIGKILL), so nothing leaks in
 from __future__ import annotations
 
 import logging
+import os
 import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["SharedKernelManifest", "KernelPublisher", "attach"]
+__all__ = [
+    "SharedKernelManifest",
+    "KernelPublisher",
+    "attach",
+    "leaked_segments",
+    "sweep_leaked_segments",
+]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -86,6 +94,29 @@ class SharedKernelManifest:
     entries: Mapping[str, Tuple[int, Tuple[int, ...], str]]
 
 
+def _revive_resource_tracker() -> None:
+    """Respawn multiprocessing's resource tracker after it died.
+
+    Creating a segment registers it with the tracker over a pipe; if
+    the tracker process was killed (OOM killer, an over-eager
+    supervisor, a chaos campaign), every subsequent registration gets
+    EPIPE and would fail the run even though shared memory itself is
+    fine.  Forgetting the dead pipe makes ``ensure_running`` launch a
+    fresh tracker.
+    """
+    from multiprocessing import resource_tracker
+
+    tracker = resource_tracker._resource_tracker
+    with tracker._lock:
+        if tracker._fd is not None:
+            try:
+                os.close(tracker._fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            tracker._fd = None
+    tracker.ensure_running()
+
+
 class KernelPublisher:
     """Parent-side registry of published shared-memory segments."""
 
@@ -119,11 +150,19 @@ class KernelPublisher:
             offset = _aligned(offset)
             entries[name] = (offset, tuple(array.shape), array.dtype.str)
             offset += array.nbytes
-        segment = shared_memory.SharedMemory(
-            create=True,
-            size=max(offset, 1),
-            name=f"{_SEGMENT_PREFIX}{secrets.token_hex(8)}",
-        )
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True,
+                size=max(offset, 1),
+                name=f"{_SEGMENT_PREFIX}{secrets.token_hex(8)}",
+            )
+        except BrokenPipeError:
+            _revive_resource_tracker()
+            segment = shared_memory.SharedMemory(
+                create=True,
+                size=max(offset, 1),
+                name=f"{_SEGMENT_PREFIX}{secrets.token_hex(8)}",
+            )
         for name, array in arrays.items():
             array = np.ascontiguousarray(array)
             start, shape, dtype = entries[name]
@@ -197,6 +236,48 @@ def attach(manifest: SharedKernelManifest) -> Dict[str, np.ndarray]:
         except BufferError:  # pragma: no cover - live views still held
             pass
     return views
+
+
+def leaked_segments() -> List[str]:
+    """Names of ``repro-kernels-*`` segments present in ``/dev/shm``.
+
+    Segment names are fresh random tokens per publication, so anything
+    on disk when no supervising process is alive is a leak — the
+    resource tracker normally reaps them even through SIGKILL, but a
+    tracker killed alongside its supervisor (the chaos harness's
+    kill-the-process-group case) leaves the files behind.  Returns an
+    empty list on platforms without a ``/dev/shm``.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(path.name for path in root.glob(f"{_SEGMENT_PREFIX}*"))
+
+
+def sweep_leaked_segments() -> List[str]:
+    """Unlink every leaked ``repro-kernels-*`` segment; return the names.
+
+    Startup-time GC for the service: call this only when no other
+    publisher can be alive on the host (one service instance per
+    state dir).  A live segment swept by mistake degrades to workers
+    rebuilding kernels from the spec — bit-identical, just slower —
+    so the failure mode of an over-eager sweep is wasted work, never
+    wrong results.
+    """
+    reclaimed: List[str] = []
+    for name in leaked_segments():
+        try:
+            os.unlink(Path("/dev/shm") / name)
+        except FileNotFoundError:  # pragma: no cover - raced with reaper
+            continue
+        reclaimed.append(name)
+    if reclaimed:
+        _LOGGER.warning(
+            "swept %d leaked shared-memory segment(s): %s",
+            len(reclaimed),
+            ", ".join(reclaimed),
+        )
+    return reclaimed
 
 
 def detach_all() -> None:

@@ -14,6 +14,10 @@ front door on it:
   history of manifests.
 * :class:`~.server.ServiceConfig` — every operational knob (pool size,
   queue depth, durability, retention) in one dataclass.
+* :mod:`.registry` — the WAL-style durable run registry (DESIGN.md
+  §14): every run state transition journaled with per-entry hashes and
+  torn-tail truncation, replayed at startup so a crashed or redeployed
+  service re-admits queued runs and resumes in-flight ones.
 * :mod:`.client` — a small stdlib HTTP client used by the CLI, the CI
   smoke job and the tests.
 * :mod:`.load` — the saturation-finding load harness behind
@@ -24,6 +28,13 @@ The service deliberately speaks plain HTTP/1.1 over ``asyncio`` streams
 container ships no async HTTP dependency.
 """
 
+from .registry import RunRegistry
 from .server import RunRecord, SelectionService, ServiceConfig, serve
 
-__all__ = ["RunRecord", "SelectionService", "ServiceConfig", "serve"]
+__all__ = [
+    "RunRecord",
+    "RunRegistry",
+    "SelectionService",
+    "ServiceConfig",
+    "serve",
+]

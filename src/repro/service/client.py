@@ -3,6 +3,13 @@
 Used by the CLI (``repro-bench load`` result checks), the CI smoke job
 and the tests.  Pure stdlib (:mod:`http.client`), one connection per
 call — the *asynchronous* many-connection path lives in :mod:`.load`.
+
+Backpressure handling: the service answers 429 (queue full) and 503
+(draining) with a computed ``Retry-After`` header.  Pass ``retries=``
+to :meth:`ServiceClient.request` or :meth:`ServiceClient.submit` to
+retry those answers with bounded exponential backoff that never sleeps
+*less* than the service asked for — :func:`backoff_delay` is pure so
+the schedule is unit-testable without a server.
 """
 
 from __future__ import annotations
@@ -12,7 +19,36 @@ import json
 import time
 from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "backoff_delay"]
+
+#: First backoff step (seconds); doubles each retry.
+BACKOFF_BASE_S = 0.1
+#: Ceiling on any single backoff sleep (seconds).
+BACKOFF_CAP_S = 30.0
+
+#: Statuses worth retrying: queue full and draining are both transient.
+_RETRYABLE = (429, 503)
+
+#: States the service will never leave — ``wait`` stops on any of them.
+TERMINAL_STATES = ("done", "failed", "cancelled", "deadline")
+
+
+def backoff_delay(
+    attempt: int,
+    retry_after: Optional[float] = None,
+    base: float = BACKOFF_BASE_S,
+    cap: float = BACKOFF_CAP_S,
+) -> float:
+    """Sleep before retry number ``attempt`` (0-based), in seconds.
+
+    Exponential (``base * 2**attempt``) clamped to ``cap``, but never
+    below the service's ``Retry-After`` hint — backing off *less* than
+    the server asked for just converts one rejection into two.
+    """
+    delay = min(cap, base * (2.0 ** attempt))
+    if retry_after is not None and retry_after > 0:
+        delay = max(delay, min(cap, float(retry_after)))
+    return delay
 
 
 class ServiceError(RuntimeError):
@@ -31,16 +67,18 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        # Injection seam for the backoff tests; production uses time.sleep.
+        self._sleep = time.sleep
 
     # -- raw ------------------------------------------------------------
 
-    def request(
+    def _round_trip(
         self,
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
-    ) -> Tuple[int, Any]:
-        """One HTTP round-trip; JSON bodies in, parsed JSON (or text) out."""
+    ) -> Tuple[int, Any, Optional[float]]:
+        """One HTTP exchange: (status, parsed payload, Retry-After or None)."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -50,18 +88,61 @@ class ServiceClient:
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
             raw = response.read()
+            retry_after: Optional[float] = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
             content_type = response.getheader("Content-Type", "")
             if content_type.startswith("application/json"):
-                return response.status, json.loads(raw.decode() or "null")
-            return response.status, raw.decode()
+                return response.status, json.loads(raw.decode() or "null"), retry_after
+            return response.status, raw.decode(), retry_after
         finally:
             connection.close()
 
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        retries: int = 0,
+    ) -> Tuple[int, Any]:
+        """One logical call; JSON bodies in, parsed JSON (or text) out.
+
+        With ``retries > 0``, a 429/503 answer is retried up to that
+        many times with :func:`backoff_delay` sleeps (honouring the
+        service's ``Retry-After``).  The *last* answer is returned
+        either way — callers still see the rejection if the budget runs
+        out, so existing error handling is untouched.
+        """
+        attempt = 0
+        while True:
+            status, payload, retry_after = self._round_trip(method, path, body)
+            if status not in _RETRYABLE or attempt >= retries:
+                return status, payload
+            self._sleep(backoff_delay(attempt, retry_after))
+            attempt += 1
+
     # -- typed helpers --------------------------------------------------
 
-    def submit(self, spec_json: Dict[str, Any]) -> Dict[str, Any]:
-        """POST a spec; returns the acceptance payload (raises on != 202)."""
-        code, payload = self.request("POST", "/runs", spec_json)
+    def submit(
+        self,
+        spec_json: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+        retries: int = 0,
+    ) -> Dict[str, Any]:
+        """POST a spec; returns the acceptance payload (raises on != 202).
+
+        ``deadline_s`` bounds the run's *total* wall-clock (queue wait
+        included): the service refuses to schedule block attempts past
+        it and settles the run in the terminal ``deadline`` state.
+        """
+        body: Dict[str, Any] = spec_json
+        if deadline_s is not None:
+            body = {"spec": spec_json, "deadline_s": deadline_s}
+        code, payload = self.request("POST", "/runs", body, retries=retries)
         if code != 202:
             raise ServiceError(code, payload)
         return payload
@@ -86,6 +167,13 @@ class ServiceClient:
             raise ServiceError(code, payload)
         return payload
 
+    def cancel(self, run_id: str) -> Dict[str, Any]:
+        """DELETE a run: 200 = cancelled while queued, 202 = cancelling."""
+        code, payload = self.request("DELETE", f"/runs/{run_id}")
+        if code not in (200, 202):
+            raise ServiceError(code, payload)
+        return payload
+
     def metrics(self) -> str:
         code, payload = self.request("GET", "/metrics")
         if code != 200:
@@ -101,7 +189,7 @@ class ServiceClient:
     def wait(
         self, run_id: str, timeout: float = 120.0, poll_s: float = 0.05
     ) -> Dict[str, Any]:
-        """Poll until the run leaves the queue/running states.
+        """Poll until the run reaches a terminal state.
 
         Returns the final status payload; raises TimeoutError if the
         run is still in flight when the budget expires.
@@ -109,7 +197,7 @@ class ServiceClient:
         deadline = time.monotonic() + timeout
         while True:
             payload = self.status(run_id)
-            if payload.get("status") in ("done", "failed"):
+            if payload.get("status") in TERMINAL_STATES:
                 return payload
             if time.monotonic() > deadline:
                 raise TimeoutError(

@@ -27,6 +27,17 @@ its journal via ``POST /runs/<id>/retry``, and a completed run's
 ``result_sha256`` is bit-identical to the same spec+seed run through
 ``repro-bench run`` — the front-end changes *how* runs are scheduled,
 never *what* they compute.
+
+Crash-safety (DESIGN.md §14): every run state transition is journaled
+to a WAL-style :class:`~.registry.RunRegistry` under the service state
+dir.  A restart after SIGKILL replays the registry, re-admits queued
+runs and resumes interrupted ones from their checkpoint journals —
+recovered digests stay bit-identical to uninterrupted runs.  SIGTERM/
+SIGINT trigger a graceful drain (503 + ``Retry-After`` on admission,
+in-flight runs finish up to ``drain_timeout_s``, stragglers are
+cancelled back to ``queued`` so nothing is lost), ``DELETE
+/runs/<id>`` cancels cooperatively, and a per-submission
+``deadline_s`` bounds how long a run may be scheduled.
 """
 
 from __future__ import annotations
@@ -34,6 +45,9 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
+import os
+import signal
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -45,8 +59,16 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from .. import obs as _obs
 from ..obs.metrics import MetricsRegistry
 from ..runtime import RetryPolicy, ScenarioRunner, ScenarioSpec
+from ..runtime.checkpoint import journal_header
+from ..runtime.faults import DeadlineExceededError, RunCancelledError
+from ..runtime.shm import sweep_leaked_segments
+from .registry import RunRegistry
 
 __all__ = ["RunRecord", "SelectionService", "ServiceConfig", "serve"]
+
+#: Statuses a run can end in.  ``deadline`` is the 504-style terminal
+#: state of a run whose wall-clock budget expired.
+TERMINAL_STATES = ("done", "failed", "cancelled", "deadline")
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -58,6 +80,41 @@ _MAX_HEADERS = 64
 
 def _utcnow() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+_FORK_GUARD_INSTALLED = False
+
+
+def _detach_inherited_signal_plumbing() -> None:
+    """Runs in every forked child of the serving process.
+
+    The event loop's signal handling is a no-op Python handler plus a
+    wakeup fd — the write end of the loop's self-socketpair.  A forked
+    child shares that socketpair as an open file description, so any
+    signal the *child* catches before it installs its own handlers is
+    echoed into the byte stream the parent's loop reads as its own
+    signals: a SIGTERM aimed at a half-started pool worker reads back
+    as "the service was told to drain".  The pool initializer
+    (:func:`repro.runtime.runner._reset_worker_signals`) can't close
+    that window — ProcessPoolExecutor forks workers lazily, and CPython
+    terminates a broken pool's survivors before a just-forked worker
+    reaches its initializer.  An at-fork hook runs before any child
+    bytecode, so the window closes for every fork off this process.
+    """
+    try:
+        had_wakeup = signal.set_wakeup_fd(-1) != -1
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        return
+    if had_wakeup:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+
+
+def _install_fork_guard() -> None:
+    global _FORK_GUARD_INSTALLED
+    if not _FORK_GUARD_INSTALLED:  # registrations are forever; add once
+        os.register_at_fork(after_in_child=_detach_inherited_signal_plumbing)
+        _FORK_GUARD_INSTALLED = True
 
 
 @dataclass(frozen=True)
@@ -74,10 +131,20 @@ class ServiceConfig:
             service's parallelism axis is across runs, not within one).
         max_attempts / backoff_s / timeout_s: per-block supervision
             passed to every runner (see DESIGN.md §9).
-        durable: fsync checkpoint journals (the service default; see
+        durable: fsync checkpoint journals and the run registry (the
+            service default; see
             :class:`~repro.runtime.checkpoint.CheckpointStore`).
-        checkpoint_dir: journal directory (default: the artifact cache
-            dir under ``service/``).
+        checkpoint_dir: journal directory (default: the state dir).
+        state_dir: durable service state — the run-registry WAL and,
+            unless ``checkpoint_dir`` overrides it, the checkpoint
+            journals.  Restarting with the same state dir recovers
+            queued and in-flight runs (default: the artifact cache dir
+            under ``service/``).
+        drain_timeout_s: how long a graceful shutdown waits for
+            in-flight runs before cancelling them back to ``queued``.
+        sweep_shm: sweep leaked ``repro-kernels-*`` /dev/shm segments
+            at startup.  Off by default (another live process on the
+            host may own them); ``repro-bench serve`` turns it on.
         history_limit: finished runs retained in memory; older records
             (and their journals) are evicted.
         max_body_bytes: request-body cap (413 beyond it).
@@ -93,15 +160,25 @@ class ServiceConfig:
     timeout_s: Optional[float] = None
     durable: bool = True
     checkpoint_dir: Optional[str] = None
+    state_dir: Optional[str] = None
+    drain_timeout_s: float = 30.0
+    sweep_shm: bool = False
     history_limit: int = 512
     max_body_bytes: int = 1024 * 1024
 
-    def resolved_checkpoint_dir(self) -> Path:
+    def resolved_state_dir(self) -> Path:
+        if self.state_dir is not None:
+            return Path(self.state_dir)
         if self.checkpoint_dir is not None:
             return Path(self.checkpoint_dir)
         from ..measurement.artifacts import cache_dir
 
         return cache_dir() / "service"
+
+    def resolved_checkpoint_dir(self) -> Path:
+        if self.checkpoint_dir is not None:
+            return Path(self.checkpoint_dir)
+        return self.resolved_state_dir()
 
 
 @dataclass
@@ -113,13 +190,16 @@ class RunRecord:
     spec_digest: str
     seed: int
     spec_json: Dict[str, Any]
-    status: str = "queued"  # queued | running | done | failed
+    status: str = "queued"  # queued | running | done | failed | cancelled | deadline
     submitted: str = ""
     started: str = ""
     finished: str = ""
     attempts: int = 0
     error: str = ""
     checkpoint_path: str = ""
+    #: Wall-clock epoch instant past which the run must not execute;
+    #: epoch (not monotonic) so the deadline survives a service restart.
+    deadline_wall: Optional[float] = None
     manifest: Dict[str, Any] = field(default_factory=dict)
     result: Optional[Dict[str, Any]] = None
 
@@ -159,6 +239,8 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -279,14 +361,23 @@ class SelectionService:
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._workers: List[asyncio.Task] = []
-        self._queue: "asyncio.Queue[RunRecord]" = asyncio.Queue(
-            maxsize=max(1, self.config.queue_depth)
-        )
+        # Unbounded on purpose: admission control enforces
+        # ``queue_depth`` explicitly in ``_submit``/``_retry`` (429),
+        # while crash recovery must always be able to re-admit every
+        # journaled run regardless of the configured depth.
+        self._queue: "asyncio.Queue[RunRecord]" = asyncio.Queue()
         self._runs: Dict[str, RunRecord] = {}
         self._finished: Deque[str] = deque()
+        #: Runners currently executing, keyed by run id — the cancel
+        #: endpoint's bridge from the event loop to the worker thread.
+        self._running: Dict[str, ScenarioRunner] = {}
+        self._registry: Optional[RunRegistry] = None
         self._sequence = 0
         self._inflight = 0
+        self._draining = False
         self._started_at = 0.0
+        #: Recent run wall times; feeds the computed Retry-After.
+        self._durations: Deque[float] = deque(maxlen=64)
         #: Service-plane metrics (admission, HTTP, run latency).
         self.metrics = MetricsRegistry()
         #: Cumulative data-plane metrics folded from every finished
@@ -298,7 +389,14 @@ class SelectionService:
     async def start(self) -> None:
         if self._server is not None:
             raise RuntimeError("service already started")
+        self.config.resolved_state_dir().mkdir(parents=True, exist_ok=True)
         self.config.resolved_checkpoint_dir().mkdir(parents=True, exist_ok=True)
+        self._registry = RunRegistry(
+            self.config.resolved_state_dir() / "registry.jsonl",
+            durable=self.config.durable,
+        )
+        self._recover()
+        self._collect_garbage()
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="repro-service-run",
@@ -312,6 +410,7 @@ class SelectionService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        self._update_gauges()
         _LOGGER.info(
             "selection service listening on %s:%d (%d workers, queue %d)",
             self.config.host,
@@ -333,12 +432,156 @@ class SelectionService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
+
+    async def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Graceful shutdown, phase 1: stop admitting, finish in flight.
+
+        New submissions get 503 + ``Retry-After`` the moment this is
+        entered; queued runs stay queued (their registry state already
+        says so, a restart re-admits them).  In-flight runs get up to
+        ``timeout_s`` to finish; stragglers are cooperatively cancelled
+        and journaled back to ``queued`` — a drain never loses a run,
+        it only decides how much of it happens now versus after the
+        next start.
+        """
+        if timeout_s is None:
+            timeout_s = self.config.drain_timeout_s
+        self._draining = True
+        self._update_gauges()
+        deadline = time.monotonic() + max(0.0, float(timeout_s))
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        if self._inflight > 0:
+            _LOGGER.warning(
+                "drain timeout: cancelling %d in-flight run(s) back to queued",
+                self._inflight,
+            )
+            for runner in list(self._running.values()):
+                runner.cancel()
+            # The cancel lands at the next block boundary; wait for the
+            # workers to journal the interrupted runs back to queued.
+            while self._inflight > 0:
+                await asyncio.sleep(0.05)
 
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
         assert self._server is not None
         await self._server.serve_forever()
+
+    # -- crash recovery / startup GC -------------------------------------
+
+    @staticmethod
+    def _record_from_state(state: Dict[str, Any]) -> RunRecord:
+        return RunRecord(
+            id=str(state["id"]),
+            scenario=str(state.get("scenario", "")),
+            spec_digest=str(state.get("spec_digest", "")),
+            seed=int(state.get("seed", 0)),
+            spec_json=dict(state.get("spec_json") or {}),
+            status=str(state.get("status", "queued")),
+            submitted=str(state.get("submitted", "")),
+            started=str(state.get("started", "")),
+            finished=str(state.get("finished", "")),
+            attempts=int(state.get("attempts", 0)),
+            error=str(state.get("error", "")),
+            checkpoint_path=str(state.get("checkpoint_path", "")),
+            deadline_wall=state.get("deadline_wall"),
+            manifest=dict(state.get("manifest") or {}),
+        )
+
+    @staticmethod
+    def _sequence_of(run_id: str) -> int:
+        try:
+            return int(run_id[1:].split("-", 1)[0])
+        except (ValueError, IndexError):
+            return 0
+
+    def _recover(self) -> None:
+        """Replay the run registry: restore history, re-admit live runs.
+
+        Queued and running runs are re-admitted in submission order
+        with ``resume=True`` semantics — an interrupted run picks up
+        from its checkpoint journal, so its final digest is
+        bit-identical to an uninterrupted execution.  Terminal runs
+        come back as history (manifests only; result payloads are not
+        retained across restarts — re-submit to recompute cheaply from
+        the digest-stable pipeline).
+        """
+        assert self._registry is not None
+        replayed = self._registry.replay()
+        if not replayed:
+            self._registry.maybe_compact()
+            return
+        recovered = {"queued": 0, "running": 0, "terminal": 0}
+        for run_id in sorted(replayed, key=self._sequence_of):
+            state = replayed[run_id]
+            record = self._record_from_state(state)
+            self._sequence = max(self._sequence, self._sequence_of(run_id))
+            self._runs[run_id] = record
+            if record.status in TERMINAL_STATES:
+                self._finished.append(run_id)
+                recovered["terminal"] += 1
+                continue
+            recovered[record.status] = recovered.get(record.status, 0) + 1
+            # An interrupted ``running`` run restarts as queued; its
+            # attempt counter survives and its journal resumes it.
+            if record.status != "queued":
+                record.status = "queued"
+                self._registry.record(run_id, "queued", attempts=record.attempts)
+            self._queue.put_nowait(record)
+            self.metrics.inc("service_recovered_total", state="queued")
+        if recovered["queued"] or recovered["running"]:
+            _LOGGER.warning(
+                "recovered %d queued and %d interrupted run(s) from %s",
+                recovered["queued"],
+                recovered["running"],
+                self._registry.path,
+            )
+        compacted = self._registry.compact()
+        if compacted:
+            _LOGGER.info("compacted run registry (%d events dropped)", compacted)
+
+    def _collect_garbage(self) -> None:
+        """Sweep orphans a crashed predecessor left behind.
+
+        * checkpoint journals in the journal dir that no retained run
+          references (their runs were evicted, or the registry that
+          knew them is gone);
+        * leaked ``repro-kernels-*`` /dev/shm segments, when
+          ``sweep_shm`` says this service owns the host.
+        """
+        referenced = {
+            record.checkpoint_path for record in self._runs.values()
+        }
+        registry_path = self._registry.path if self._registry is not None else None
+        swept = 0
+        for path in sorted(self.config.resolved_checkpoint_dir().glob("*.jsonl")):
+            if registry_path is not None and path == registry_path:
+                continue
+            if str(path) in referenced:
+                continue
+            if journal_header(path) is None:
+                continue  # not a checkpoint journal — leave it alone
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            swept += 1
+            self.metrics.inc("service_gc_total", kind="journal")
+            _LOGGER.warning("gc: reclaimed orphaned checkpoint journal %s", path)
+        segments = sweep_leaked_segments() if self.config.sweep_shm else []
+        for _ in segments:
+            self.metrics.inc("service_gc_total", kind="shm")
+        if swept or segments:
+            _LOGGER.warning(
+                "startup gc reclaimed %d journal(s), %d shm segment(s)",
+                swept,
+                len(segments),
+            )
 
     # -- HTTP dispatch ---------------------------------------------------
 
@@ -397,6 +640,8 @@ class SelectionService:
                 return "retry", self._retry(tail[: -len("/retry")], request.body)
             if tail.endswith("/result") and method == "GET":
                 return "result", self._result(tail[: -len("/result")])
+            if method == "DELETE":
+                return "cancel", self._cancel(tail)
             if method == "GET":
                 record = self._runs.get(tail)
                 if record is None:
@@ -413,6 +658,7 @@ class SelectionService:
                         "GET /runs/<id>",
                         "GET /runs/<id>/result",
                         "POST /runs/<id>/retry",
+                        "DELETE /runs/<id>",
                         "GET /metrics",
                         "GET /healthz",
                     ],
@@ -425,6 +671,31 @@ class SelectionService:
 
     # -- admission -------------------------------------------------------
 
+    def _retry_after_s(self) -> float:
+        """How long a rejected client should wait, from observed drain rate.
+
+        p50 run duration × waiting runs ÷ workers, clamped to [1, 60] —
+        an empty-history service answers 1 s, a backed-up one tells
+        clients the truth instead of inviting a thundering herd.
+        """
+        if self._durations:
+            ordered = sorted(self._durations)
+            p50 = ordered[len(ordered) // 2]
+        else:
+            p50 = 1.0
+        waiting = self._queue.qsize() + self._inflight
+        value = p50 * max(1, waiting) / max(1, self.config.workers)
+        value = max(1.0, min(60.0, value))
+        self.metrics.set_gauge("service_retry_after_s", value)
+        return value
+
+    def _reject(self, code: int, payload: Dict[str, Any]) -> bytes:
+        retry_after = self._retry_after_s()
+        payload.setdefault("retry_after_s", round(retry_after, 3))
+        return _json_body(
+            code, payload, ("Retry-After", str(int(math.ceil(retry_after))))
+        )
+
     def _submit(self, body: bytes) -> bytes:
         try:
             data = json.loads(body.decode() or "null")
@@ -434,8 +705,23 @@ class SelectionService:
         if not isinstance(data, dict):
             self.metrics.inc("service_submissions_total", outcome="invalid")
             return _json_body(400, {"error": "request body must be a spec object"})
+        # Two accepted shapes: a bare spec object (optionally carrying a
+        # top-level ``deadline_s``, which the spec parser ignores), or
+        # an envelope ``{"spec": {...}, "deadline_s": ...}``.
+        if isinstance(data.get("spec"), dict):
+            spec_data = data["spec"]
+            deadline_s = data.get("deadline_s")
+        else:
+            spec_data = data
+            deadline_s = data.get("deadline_s")
+        if deadline_s is not None:
+            if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+                self.metrics.inc("service_submissions_total", outcome="invalid")
+                return _json_body(
+                    400, {"error": "deadline_s must be a positive number"}
+                )
         try:
-            spec = ScenarioSpec.from_json(data)
+            spec = ScenarioSpec.from_json(spec_data)
             from ..runtime.registry import get_scenario
 
             get_scenario(spec.scenario)
@@ -443,6 +729,20 @@ class SelectionService:
             self.metrics.inc("service_submissions_total", outcome="invalid")
             return _json_body(400, {"error": f"invalid scenario spec: {error}"})
 
+        if self._draining:
+            self.metrics.inc("service_submissions_total", outcome="drained")
+            return self._reject(503, {"error": "service is draining"})
+        if self._queue.qsize() >= max(1, self.config.queue_depth):
+            self.metrics.inc("service_submissions_total", outcome="rejected")
+            self._update_gauges()
+            return self._reject(
+                429,
+                {
+                    "error": "run queue is full",
+                    "queue_depth": self._queue.qsize(),
+                    "queue_limit": self.config.queue_depth,
+                },
+            )
         digest = spec.digest()
         self._sequence += 1
         run_id = f"r{self._sequence:06d}-{digest[:8]}"
@@ -456,21 +756,22 @@ class SelectionService:
             checkpoint_path=str(
                 self.config.resolved_checkpoint_dir() / f"{run_id}.jsonl"
             ),
+            deadline_wall=(
+                time.time() + float(deadline_s) if deadline_s is not None else None
+            ),
         )
-        try:
-            self._queue.put_nowait(record)
-        except asyncio.QueueFull:
-            self.metrics.inc("service_submissions_total", outcome="rejected")
-            self._update_gauges()
-            return _json_body(
-                429,
-                {
-                    "error": "run queue is full",
-                    "queue_depth": self._queue.qsize(),
-                    "queue_limit": self.config.queue_depth,
-                },
-                ("Retry-After", "1"),
-            )
+        self._journal_transition(
+            record,
+            "queued",
+            scenario=record.scenario,
+            spec_digest=record.spec_digest,
+            seed=record.seed,
+            spec_json=record.spec_json,
+            submitted=record.submitted,
+            checkpoint_path=record.checkpoint_path,
+            deadline_wall=record.deadline_wall,
+        )
+        self._queue.put_nowait(record)
         self._runs[run_id] = record
         self.metrics.inc("service_submissions_total", outcome="accepted")
         self._update_gauges()
@@ -496,26 +797,78 @@ class SelectionService:
                 options = json.loads(body.decode())
             except (json.JSONDecodeError, UnicodeDecodeError):
                 return _json_body(400, {"error": "retry body is not valid JSON"})
+        if self._draining:
+            return self._reject(503, {"error": "service is draining"})
+        if self._queue.qsize() >= max(1, self.config.queue_depth):
+            return self._reject(429, {"error": "run queue is full"})
         # A retry recovers from an interrupted/failed execution by
         # resuming the durable journal; an injected fault-plan overlay
         # describes the *failure experiment*, so replaying it would
         # deterministically fail again — drop it unless asked not to.
         if options.get("keep_faults") is not True:
             record.spec_json.pop("faults", None)
-        try:
-            self._queue.put_nowait(record)
-        except asyncio.QueueFull:
-            return _json_body(
-                429, {"error": "run queue is full"}, ("Retry-After", "1")
-            )
         record.status = "queued"
         record.error = ""
+        # A retried run gets a fresh deadline budget only if the caller
+        # provides one; the original (likely already blown) is cleared.
+        deadline_s = options.get("deadline_s")
+        record.deadline_wall = (
+            time.time() + float(deadline_s)
+            if isinstance(deadline_s, (int, float)) and deadline_s > 0
+            else None
+        )
+        self._journal_transition(
+            record,
+            "queued",
+            spec_json=record.spec_json,
+            error="",
+            finished="",
+            deadline_wall=record.deadline_wall,
+        )
+        self._queue.put_nowait(record)
         self._finished = deque(rid for rid in self._finished if rid != run_id)
         self.metrics.inc("service_submissions_total", outcome="retried")
         self._update_gauges()
         return _json_body(
             202, {"run": run_id, "status": "queued", "resume": True}
         )
+
+    def _cancel(self, run_id: str) -> bytes:
+        """Cooperative cancellation of a queued or running run.
+
+        A queued run is settled immediately (the worker skips its queue
+        entry).  A running run's runner is signalled; the abort lands
+        at the next block boundary and the worker finalizes the record.
+        Either way the checkpoint journal is *kept* — ``POST
+        /runs/<id>/retry`` resumes from exactly the blocks that
+        finished before the cancel.
+        """
+        record = self._runs.get(run_id)
+        if record is None:
+            return _json_body(404, {"error": f"no run '{run_id}'"})
+        if record.status in TERMINAL_STATES:
+            return _json_body(
+                409, {"error": f"run '{run_id}' already {record.status}"}
+            )
+        if record.status == "queued":
+            record.status = "cancelled"
+            record.error = "cancelled before start"
+            record.finished = _utcnow()
+            self._journal_transition(
+                record, "cancelled", error=record.error, finished=record.finished
+            )
+            self._finished.append(run_id)
+            self.metrics.inc(
+                "service_runs_total", scenario=record.scenario, status="cancelled"
+            )
+            self._evict_history()
+            self._update_gauges()
+            return _json_body(200, {"run": run_id, "status": "cancelled"})
+        runner = self._running.get(run_id)
+        if runner is not None:
+            runner.cancel()
+        self.metrics.inc("service_cancellations_total", state="running")
+        return _json_body(202, {"run": run_id, "status": "cancelling"})
 
     def _result(self, run_id: str) -> bytes:
         record = self._runs.get(run_id)
@@ -547,19 +900,80 @@ class SelectionService:
         try:
             while True:
                 record = await self._queue.get()
+                if record.status != "queued":
+                    # Cancelled while waiting in the queue — its
+                    # terminal transition is already journaled.
+                    self._queue.task_done()
+                    continue
+                if self._draining:
+                    # Stay queued: the registry already says so, and
+                    # the next start re-admits it.  Consumed once, so
+                    # this never spins.
+                    self._queue.task_done()
+                    continue
+                if (
+                    record.deadline_wall is not None
+                    and time.time() >= record.deadline_wall
+                ):
+                    self._settle_terminal(
+                        record, "deadline", "deadline expired before the run started"
+                    )
+                    self._queue.task_done()
+                    continue
                 self._inflight += 1
                 record.status = "running"
                 record.started = _utcnow()
                 record.attempts += 1
+                self._journal_transition(
+                    record,
+                    "running",
+                    started=record.started,
+                    attempts=record.attempts,
+                )
                 self._update_gauges()
                 begin = time.perf_counter()
+                requeued = False
+                self._running[record.id] = runner
                 try:
                     manifest, result, metrics_snapshot = await loop.run_in_executor(
                         self._executor, self._execute, runner, record
                     )
+                except RunCancelledError:
+                    if self._draining:
+                        # Drain-timeout interruption is not a client
+                        # cancel: journal the run back to queued so the
+                        # next start resumes it — zero lost runs.
+                        record.status = "queued"
+                        record.started = ""
+                        self._journal_transition(
+                            record, "queued", attempts=record.attempts, started=""
+                        )
+                        requeued = True
+                        _LOGGER.warning(
+                            "run %s interrupted by drain; resumes on next start",
+                            record.id,
+                        )
+                    else:
+                        record.finished = _utcnow()
+                        self._settle_terminal(
+                            record, "cancelled", "cancelled while running",
+                            retain=False,
+                        )
+                except DeadlineExceededError:
+                    record.finished = _utcnow()
+                    self._settle_terminal(
+                        record, "deadline", "run deadline exceeded", retain=False
+                    )
                 except Exception as error:
                     record.status = "failed"
                     record.error = f"{type(error).__name__}: {error}"
+                    record.finished = _utcnow()
+                    self._journal_transition(
+                        record,
+                        "failed",
+                        error=record.error,
+                        finished=record.finished,
+                    )
                     self.metrics.inc(
                         "service_runs_total",
                         scenario=record.scenario,
@@ -570,34 +984,66 @@ class SelectionService:
                         record.id,
                         record.scenario,
                         record.error,
+                        exc_info=True,
                     )
                 else:
                     record.status = "done"
                     record.manifest = manifest
                     record.result = result
+                    record.finished = _utcnow()
                     self.run_metrics.merge(metrics_snapshot)
                     self.metrics.inc(
                         "service_runs_total",
                         scenario=record.scenario,
                         status="done",
                     )
+                    self._journal_transition(
+                        record,
+                        "done",
+                        finished=record.finished,
+                        manifest=record.manifest,
+                    )
                     self._discard_journal(record)
                 finally:
-                    record.finished = _utcnow()
+                    self._running.pop(record.id, None)
+                    elapsed = time.perf_counter() - begin
                     self.metrics.observe(
                         "service_run_seconds",
-                        time.perf_counter() - begin,
+                        elapsed,
                         scenario=record.scenario,
                     )
                     self._inflight -= 1
-                    self._finished.append(record.id)
-                    self._evict_history()
+                    if not requeued:
+                        if not record.finished:
+                            record.finished = _utcnow()
+                        self._durations.append(elapsed)
+                        self._finished.append(record.id)
+                        self._evict_history()
                     self._update_gauges()
                     self._queue.task_done()
         except asyncio.CancelledError:
             pass
         finally:
             runner.close()
+
+    def _settle_terminal(
+        self, record: RunRecord, status: str, error: str, retain: bool = True
+    ) -> None:
+        """Finalize a run that ended without a result (journal kept)."""
+        record.status = status
+        record.error = error
+        if not record.finished:
+            record.finished = _utcnow()
+        self._journal_transition(
+            record, status, error=error, finished=record.finished
+        )
+        self.metrics.inc(
+            "service_runs_total", scenario=record.scenario, status=status
+        )
+        if retain:
+            self._finished.append(record.id)
+            self._evict_history()
+            self._update_gauges()
 
     def _execute(
         self, runner: ScenarioRunner, record: RunRecord
@@ -610,11 +1056,15 @@ class SelectionService:
         """
         spec = ScenarioSpec.from_json(record.spec_json)
         session = _obs.ObsSession()
+        deadline_s: Optional[float] = None
+        if record.deadline_wall is not None:
+            deadline_s = max(0.0, record.deadline_wall - time.time())
         outcome = runner.run(
             spec,
             checkpoint=record.checkpoint_path,
             resume=True,
             obs=session,
+            deadline_s=deadline_s,
         )
         manifest = outcome.manifest.to_json()
         result: Optional[Dict[str, Any]] = None
@@ -628,6 +1078,12 @@ class SelectionService:
 
     # -- retention / introspection --------------------------------------
 
+    def _journal_transition(self, record: RunRecord, to: str, **fields: Any) -> None:
+        """Append one state transition to the durable run registry."""
+        if self._registry is not None:
+            self._registry.record(record.id, to, **fields)
+            self._registry.maybe_compact()
+
     def _discard_journal(self, record: RunRecord) -> None:
         """A completed run's journal has served its purpose — drop it."""
         try:
@@ -640,15 +1096,24 @@ class SelectionService:
             run_id = self._finished.popleft()
             record = self._runs.pop(run_id, None)
             if record is not None:
+                self._journal_transition(record, "evicted")
                 self._discard_journal(record)
 
     def _update_gauges(self) -> None:
         self.metrics.set_gauge("service_queue_depth", self._queue.qsize())
         self.metrics.set_gauge("service_runs_inflight", self._inflight)
         self.metrics.set_gauge("service_runs_retained", len(self._runs))
+        self.metrics.set_gauge("service_draining", 1 if self._draining else 0)
 
     def _status_counts(self) -> Dict[str, int]:
-        counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        counts = {
+            "queued": 0,
+            "running": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "deadline": 0,
+        }
         for record in self._runs.values():
             counts[record.status] = counts.get(record.status, 0) + 1
         return counts
@@ -662,7 +1127,9 @@ class SelectionService:
         ]
         degraded = counts["failed"] > 0
         return {
-            "status": "degraded" if degraded else "ok",
+            "status": "draining" if self._draining else (
+                "degraded" if degraded else "ok"
+            ),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "workers": self.config.workers,
             "queue": {
@@ -670,6 +1137,8 @@ class SelectionService:
                 "limit": self.config.queue_depth,
             },
             "inflight": self._inflight,
+            "draining": self._draining,
+            "retry_after_s": round(self._retry_after_s(), 3),
             "runs": counts,
             "active": active,
             "durable": self.config.durable,
@@ -683,7 +1152,14 @@ class SelectionService:
 
 
 async def serve(config: Optional[ServiceConfig] = None) -> None:
-    """Run the service until cancelled (the ``repro-bench serve`` body)."""
+    """Run the service until signalled (the ``repro-bench serve`` body).
+
+    SIGTERM/SIGINT trigger a graceful drain instead of tearing the
+    loop down mid-run: admission flips to 503, in-flight runs get
+    ``drain_timeout_s`` to finish (stragglers are cancelled back to
+    ``queued``), every transition is journaled, and the coroutine
+    returns normally so the process exits 0.
+    """
     service = SelectionService(config)
     await service.start()
     print(
@@ -691,9 +1167,30 @@ async def serve(config: Optional[ServiceConfig] = None) -> None:
         f"http://{service.config.host}:{service.port}",
         flush=True,
     )
+    loop = asyncio.get_running_loop()
+    shutdown = asyncio.Event()
+    installed: List[int] = []
+    _install_fork_guard()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, shutdown.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            pass
+    server_task = asyncio.ensure_future(service.serve_forever())
+    shutdown_task = asyncio.ensure_future(shutdown.wait())
     try:
-        await service.serve_forever()
-    except asyncio.CancelledError:  # pragma: no cover - shutdown path
-        pass
+        await asyncio.wait(
+            {server_task, shutdown_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if shutdown.is_set():
+            print("shutdown signal received; draining...", flush=True)
+            await service.drain()
+            print("drain complete", flush=True)
     finally:
+        for task in (server_task, shutdown_task):
+            task.cancel()
+        await asyncio.gather(server_task, shutdown_task, return_exceptions=True)
+        for signum in installed:
+            loop.remove_signal_handler(signum)
         await service.stop()

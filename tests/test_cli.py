@@ -29,6 +29,8 @@ class TestParser:
             "report",
             "serve",
             "load",
+            "runs",
+            "chaos",
         }
 
     def test_requires_a_command(self):

@@ -315,12 +315,133 @@ class TestRetention:
             time.sleep(0.05)
         health = harness.client.healthz()
         assert sum(health["runs"].values()) <= 3
-        # Every journal was discarded (on completion or on eviction).
+        # Every checkpoint journal was discarded (on completion or on
+        # eviction); only the durable run registry remains.
         journal_dir = tmp_path / "journals"
-        assert list(journal_dir.glob("*.jsonl")) == []
+        leftover = [
+            path
+            for path in journal_dir.glob("*.jsonl")
+            if path.name != "registry.jsonl"
+        ]
+        assert leftover == []
         # The evicted earliest run no longer resolves.
         code, _ = harness.client.request("GET", f"/runs/{accepted[0]['run']}")
         assert code == 404
+
+
+class TestLifecycle:
+    """Deadline, cancellation, drain backpressure (DESIGN.md §14)."""
+
+    def _sized_spec(self, seed: int, n_sweeps: int) -> ScenarioSpec:
+        return ScenarioSpec(
+            scenario="policy-eval",
+            seed=seed,
+            policies=(PolicySpec("css", {"n_probes": 14}),),
+            params={
+                "azimuth_step_deg": 30.0,
+                "distance_m": 6.0,
+                "n_sweeps": n_sweeps,
+            },
+        )
+
+    def test_deadline_expired_run_settles_terminal(self, make_service):
+        harness = make_service(workers=1)
+        accepted = harness.client.submit(
+            _small_spec().to_json(), deadline_s=0.001
+        )
+        final = harness.client.wait(accepted["run"])
+        assert final["status"] == "deadline"
+        assert "deadline" in final["error"]
+        # No result to fetch; the terminal state is the 504-style answer.
+        code, _ = harness.client.request(
+            "GET", f"/runs/{accepted['run']}/result"
+        )
+        assert code == 404
+        assert harness.client.healthz()["runs"]["deadline"] == 1
+        # A generous deadline changes nothing about a healthy run.
+        relaxed = harness.client.submit(
+            _small_spec(seed=2018).to_json(), deadline_s=600.0
+        )
+        assert harness.client.wait(relaxed["run"])["status"] == "done"
+
+    def test_invalid_deadline_is_rejected(self, make_service):
+        harness = make_service(workers=1)
+        for bad in (0, -1.5, "soon"):
+            code, payload = harness.client.request(
+                "POST", "/runs", {"spec": _small_spec().to_json(), "deadline_s": bad}
+            )
+            assert code == 400
+            assert "deadline_s" in payload["error"]
+
+    def test_cancel_queued_run_then_retry_converges(self, make_service):
+        spec = self._sized_spec(seed=31, n_sweeps=2)
+        blocker = self._sized_spec(seed=30, n_sweeps=8)
+        harness = make_service(workers=1)
+        harness.client.submit(blocker.to_json())
+        queued = harness.client.submit(spec.to_json())
+        payload = harness.client.cancel(queued["run"])
+        assert payload["status"] == "cancelled"
+        assert harness.client.status(queued["run"])["status"] == "cancelled"
+        # The journal (if any) was kept, so a retry resumes cleanly and
+        # converges on the uninterrupted digest.
+        harness.client.retry(queued["run"])
+        final = harness.client.wait(queued["run"], timeout=240)
+        assert final["status"] == "done"
+        assert final["result_sha256"] == _direct_digest(spec)
+
+    def test_cancel_running_run_is_cooperative_and_retryable(self, make_service):
+        spec = self._sized_spec(seed=32, n_sweeps=30)
+        harness = make_service(workers=1)
+        accepted = harness.client.submit(spec.to_json())
+        deadline = time.monotonic() + 60
+        while harness.client.status(accepted["run"])["status"] == "queued":
+            assert time.monotonic() < deadline, "run never started"
+            time.sleep(0.01)
+        payload = harness.client.cancel(accepted["run"])
+        assert payload["status"] in ("cancelling", "cancelled")
+        final = harness.client.wait(accepted["run"], timeout=240)
+        assert final["status"] == "cancelled"
+        # Cancelling a terminal run is a conflict, not a crash.
+        code, _ = harness.client.request("DELETE", f"/runs/{accepted['run']}")
+        assert code == 409
+        harness.client.retry(accepted["run"])
+        assert (
+            harness.client.wait(accepted["run"], timeout=240)["status"] == "done"
+        )
+
+    def test_draining_service_rejects_with_503_and_retry_after(self, make_service):
+        harness = make_service(workers=1)
+        harness.service._draining = True
+        try:
+            code, payload, retry_after = harness.client._round_trip(
+                "POST", "/runs", _small_spec().to_json()
+            )
+            assert code == 503
+            assert "draining" in payload["error"]
+            assert retry_after is not None and retry_after >= 1.0
+            assert payload["retry_after_s"] >= 1.0
+        finally:
+            harness.service._draining = False
+        accepted = harness.client.submit(_small_spec().to_json())
+        assert harness.client.wait(accepted["run"])["status"] == "done"
+        assert "service_retry_after_s" in harness.client.metrics()
+
+    def test_retry_after_tracks_queue_drain_rate(self, make_service):
+        harness = make_service(workers=2)
+        service = harness.service
+        # Empty history, empty queue: the floor answer.
+        assert service._retry_after_s() == 1.0
+        # p50 × waiting ÷ workers, from observed run durations.
+        service._durations.extend([2.0, 4.0, 6.0])
+        service._inflight = 3
+        try:
+            assert service._retry_after_s() == pytest.approx(4.0 * 3 / 2)
+            # Clamped to at most a minute.
+            service._durations.extend([500.0] * 10)
+            assert service._retry_after_s() == 60.0
+        finally:
+            service._inflight = 0
+            service._durations.clear()
 
 
 class TestLoadHarness:
