@@ -20,7 +20,10 @@ is their simulator-side counterpart::
     repro-bench run spec.json       # ... or from a pinned spec file
     repro-bench run fig7 --trace t.jsonl   # record a span trace
     repro-bench run fig7 --profile p.pstats  # cProfile the serial path
+    repro-bench run fig7 --profile-sampling p.collapsed  # sampling profiler
+    repro-bench run fig7 --trace t.jsonl --quality  # quality telemetry
     repro-bench report t.jsonl      # per-stage latency breakdown
+    repro-bench diff a.json b.json  # rank what changed between two runs
     repro-bench serve --port 8780   # HTTP spec-submission service
     repro-bench load                # service saturation load harness
     repro-bench runs gc             # sweep orphaned journals/shm
@@ -283,10 +286,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     checkpoint = args.checkpoint if args.checkpoint else (True if args.resume else None)
     session = None
-    if args.trace:
+    if args.trace or args.quality:
         from .obs import ObsSession
 
-        session = ObsSession(trace_path=args.trace)
+        # --quality implies a session even without --trace: the
+        # telemetry lands in the manifest's metric snapshot.
+        session = ObsSession(trace_path=args.trace, quality=args.quality)
 
     profiler = None
     if args.profile:
@@ -299,6 +304,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.jobs = 1
         profiler = cProfile.Profile()
         profiler.enable()
+    sampling = None
+    if args.profile_sampling:
+        # Unlike cProfile, the sampling profiler is fork-aware (worker
+        # aggregates ship home with the obs payloads), so --jobs stays
+        # untouched.
+        from .obs import profile as sampling
+
+        sampling.start_profiling()
     try:
         with ScenarioRunner(
             jobs=args.jobs,
@@ -333,6 +346,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if profiler is not None:
             profiler.disable()
+        # Stop after the manifest is finalized (the hotspot summary
+        # embeds there) but on every exit path, so the itimer never
+        # outlives the command.
+        sampled_profile = (
+            sampling.stop_profiling() if sampling is not None else None
+        )
     result = outcome.result
     if hasattr(result, "format_rows"):
         _print_rows(result.format_rows())
@@ -356,6 +375,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for (filename, lineno, func), (_, _, _, cumulative, _) in entries[:10]
         )
         print(f"wrote profile to {args.profile} (top cumulative: {top})")
+    if sampled_profile is not None:
+        sampling.write_collapsed(
+            args.profile_sampling,
+            sampled_profile,
+            header={"scenario": spec.scenario, "spec_digest": spec.digest(),
+                    "seed": spec.seed, "jobs": args.jobs},
+        )
+        summary = sampling.profile_summary(sampled_profile)
+        leaders = "; ".join(
+            f"{entry['function']} {entry['self_pct']:.0f}%"
+            for entry in summary["hotspots"][:5]
+        )
+        print(
+            f"wrote sampled profile to {args.profile_sampling} "
+            f"({summary['samples']} samples; top self-time: {leaders})"
+        )
     if args.manifest:
         outcome.manifest.save(args.manifest)
         print(f"wrote run manifest to {args.manifest}")
@@ -394,6 +429,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Attribute what changed between two runs (traces, manifests, BENCH points)."""
+    from .obs.diff import diff_targets, format_diff_rows, load_diff_target
+
+    try:
+        before = load_diff_target(args.target_a)
+        after = load_diff_target(args.target_b)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    diff = diff_targets(before, after, noise_pct=args.noise_pct)
+    _print_rows(format_diff_rows(diff, top=args.top))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve ScenarioSpec submissions over HTTP (see DESIGN.md §11)."""
     import asyncio
@@ -412,6 +462,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         sweep_shm=args.sweep_shm,
         history_limit=args.history_limit,
+        trace_path=args.trace,
+        trace_max_mb=args.trace_max_mb,
+        profile_path=args.profile,
     )
     try:
         asyncio.run(serve(config))
@@ -681,6 +734,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="cProfile the run (forces --jobs 1), write pstats to PATH "
         "and print the top-10 cumulative hotspots",
     )
+    run_sub.add_argument(
+        "--profile-sampling", metavar="PATH", default=None,
+        help="continuously sample stacks (SIGPROF, ~200 Hz CPU time) "
+        "across all threads and pool workers; write a collapsed-stack "
+        "flamegraph file to PATH (works at any --jobs)",
+    )
+    run_sub.add_argument(
+        "--quality", action="store_true",
+        help="record estimation-quality telemetry (correlation peak "
+        "ratios, selection margins, designer diagnostics) into the "
+        "run's metric snapshot",
+    )
     run_sub.set_defaults(handler=_cmd_run)
 
     report_sub = subparsers.add_parser("report", help=_cmd_report.__doc__)
@@ -698,6 +763,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(manifest targets only)",
     )
     report_sub.set_defaults(handler=_cmd_report)
+
+    diff_sub = subparsers.add_parser("diff", help=_cmd_diff.__doc__)
+    add_log_level(diff_sub)
+    diff_sub.add_argument(
+        "target_a",
+        help="baseline: trace JSONL, traced manifest, or BENCH file "
+        "(address a point as file.json#label or file.json#index; "
+        "bare path = last point)",
+    )
+    diff_sub.add_argument(
+        "target_b", help="candidate: same target grammar as the baseline"
+    )
+    diff_sub.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows per section in the attribution table (default: 10)",
+    )
+    diff_sub.add_argument(
+        "--noise-pct", type=float, default=None, metavar="PCT",
+        help="significance threshold override (default: the widest "
+        "measured *_noise_pct on either side, floor 5%%)",
+    )
+    diff_sub.set_defaults(handler=_cmd_diff)
 
     serve_sub = subparsers.add_parser("serve", help=_cmd_serve.__doc__)
     add_log_level(serve_sub)
@@ -747,6 +834,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_sub.add_argument(
         "--history-limit", type=int, default=512,
         help="finished runs retained in memory before eviction",
+    )
+    serve_sub.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="append every run's span events to a rotating trace sink "
+        "at PATH (each segment is a valid repro-trace file; inspect "
+        "with 'repro-bench report')",
+    )
+    serve_sub.add_argument(
+        "--trace-max-mb", type=float, default=64.0, metavar="MB",
+        help="rotate the --trace sink when a segment exceeds this size "
+        "(default: 64)",
+    )
+    serve_sub.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="run the sampling profiler for the service's lifetime and "
+        "write the collapsed-stack aggregate to PATH at shutdown",
     )
     serve_sub.set_defaults(handler=_cmd_serve)
 

@@ -19,6 +19,7 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs as _obs
+from ..obs import quality as _quality
 from ..geometry.grid import AngularGrid
 from ..measurement.patterns import PatternTable
 from .estimator import AngleEstimate, AngleEstimator
@@ -186,6 +187,8 @@ class CompressiveSectorSelector:
             )
         candidate_gains = self._candidate_matrix[:, grid_index]
         sector_id = int(self.candidate_sector_ids[int(candidate_gains.argmax())])
+        if _quality.quality_context() is not None:
+            _quality.record_selection_margin(candidate_gains, estimate.n_probes_used)
         self._last_selection = sector_id
         return SelectionResult(sector_id=sector_id, estimate=estimate)
 
@@ -283,6 +286,7 @@ class CompressiveSectorSelector:
             )
         estimate_of_row = dict(zip(estimate_rows.tolist(), estimates))
 
+        quality_on = _quality.quality_context() is not None
         results: List[SelectionResult] = []
         for trial in range(ids.shape[0]):
             row_usable = usable[trial]
@@ -309,6 +313,10 @@ class CompressiveSectorSelector:
                 )
             candidate_gains = self._candidate_matrix[:, grid_index]
             sector_id = int(self.candidate_sector_ids[int(candidate_gains.argmax())])
+            if quality_on:
+                _quality.record_selection_margin(
+                    candidate_gains, estimate.n_probes_used
+                )
             self._last_selection = sector_id
             results.append(SelectionResult(sector_id=sector_id, estimate=estimate))
         return results
@@ -395,6 +403,7 @@ class CompressiveSectorSelector:
         results: List[SelectionResult] = []
         index_to_angles = self.estimator.search_grid.index_to_angles
         fallback_correlation = self.fallback_correlation
+        quality_on = _quality.quality_context() is not None
         ids = fused.ids
         snr = fused.snr
         for trial in range(ids.shape[0]):
@@ -425,6 +434,15 @@ class CompressiveSectorSelector:
                 n_probes_used=int(fused.n_probes[trial]),
                 grid_index=grid_index,
             )
+            if quality_on:
+                # Re-gather the Eq. 4 column (the stateless half does
+                # not retain it) so the margin is recorded only for
+                # rows that actually selected — the same rows
+                # select_batch records.
+                _quality.record_selection_margin(
+                    self._candidate_matrix[:, grid_index],
+                    estimate.n_probes_used,
+                )
             sector_id = int(fused.sector_of[trial])
             self._last_selection = sector_id
             results.append(SelectionResult(sector_id=sector_id, estimate=estimate))

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs as _obs
+from ..obs import quality as _quality
 from ..geometry.grid import AngularGrid
 from ..measurement.patterns import PatternTable
 from .correlation import (
@@ -270,6 +271,8 @@ class AngleEstimator:
         measurements = self._usable_measurements(measurements)
         surface = self._surface(measurements)
         best_index = _finite_argmax(surface)
+        if _quality.quality_context() is not None:
+            _quality.record_peak_ratio(surface, best_index, len(measurements))
         azimuth, elevation = self.search_grid.index_to_angles(best_index)
         return AngleEstimate(
             azimuth_deg=azimuth,
@@ -376,6 +379,7 @@ class AngleEstimator:
         )
         _obs.inc("estimator_calls_total", path="batched")
         _obs.inc("estimator_batch_rows_total", rows.shape[0])
+        quality_on = _quality.quality_context() is not None
         estimates: List[Optional[AngleEstimate]] = []
         for trial in range(rows.shape[0]):
             index = np.flatnonzero(usable[trial])
@@ -390,6 +394,8 @@ class AngleEstimator:
                 rssi_surface = _correlate(rssi_t[trial, index], pattern_unit)
                 surface = rssi_surface if surface is None else surface * rssi_surface
             best_index = _finite_argmax(surface)
+            if quality_on:
+                _quality.record_peak_ratio(surface, best_index, int(index.size))
             azimuth, elevation = self.search_grid.index_to_angles(best_index)
             estimates.append(
                 AngleEstimate(
@@ -447,6 +453,7 @@ class AngleEstimator:
         snr_c = None if snr_t is None else snr_t[row_idx, col_idx]
         rssi_c = None if rssi_t is None else rssi_t[row_idx, col_idx]
         pattern_unit_of = self._pattern_unit
+        quality_on = _quality.quality_context() is not None
         with np.errstate(invalid="ignore", divide="ignore"):
             start = 0
             for trial in range(n_trials):
@@ -466,5 +473,7 @@ class AngleEstimator:
                 found = _finite_argmax(surface)
                 best_index[trial] = found
                 best_corr[trial] = surface[found]
+                if quality_on:
+                    _quality.record_peak_ratio(surface, found, int(end - start))
                 start = end
         return n_probes, best_index, best_corr

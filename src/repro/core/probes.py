@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from ..measurement.patterns import PatternTable
+from ..obs import quality as _quality
 from .correlation import normalize_rows, to_linear_power
 
 __all__ = [
@@ -181,6 +182,13 @@ class ProbeDesigner(Protocol):
 #: segment (:func:`seed_designed_subsets`).
 _DESIGN_CACHE: Dict[Tuple, Tuple[int, ...]] = {}
 
+#: Memo of sensing-matrix diagnostics (mutual coherence, condition
+#: number) per design cache key.  Computed lazily and only while a
+#: quality-telemetry context is active, so untelemetered runs never
+#: touch it; memoized because diagnostics are a pure function of the
+#: designed subset and design() is called once per sweep.
+_DIAGNOSTICS_CACHE: Dict[Tuple, Dict[str, float]] = {}
+
 
 def design_cache_key(
     table: PatternTable,
@@ -210,6 +218,7 @@ def design_cache_size() -> int:
 
 def clear_design_cache() -> None:
     _DESIGN_CACHE.clear()
+    _DIAGNOSTICS_CACHE.clear()
 
 
 class RandomProbeDesigner:
@@ -289,6 +298,14 @@ class _DeterministicDesigner:
         self._designs[
             (int(n_probes), tuple(int(s) for s in available_ids))
         ] = subset
+        if _quality.quality_context() is not None:
+            diagnostics = _DIAGNOSTICS_CACHE.get(key)
+            if diagnostics is None:
+                diagnostics = _quality.subset_diagnostics(
+                    normalize_rows(self._linear_rows(subset))
+                )
+                _DIAGNOSTICS_CACHE[key] = diagnostics
+            _quality.record_design_diagnostics(self.name, diagnostics, n_probes)
         return list(subset)
 
     def exported_designs(

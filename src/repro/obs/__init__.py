@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Mapping, Optional
 from .metrics import MetricsRegistry
 from .trace import (
     NULL_SPAN,
+    RotatingTraceWriter,
     TraceRecorder,
     read_trace_jsonl,
     write_trace_jsonl,
@@ -52,6 +53,7 @@ __all__ = [
     "logging_setup",
     "read_trace_jsonl",
     "write_trace_jsonl",
+    "RotatingTraceWriter",
 ]
 
 
@@ -61,18 +63,39 @@ class ObsSession:
     Args:
         trace_path: optional JSONL sink; :meth:`finalize` writes the
             accumulated trace there (the ``--trace out.jsonl`` flag).
+        quality: enable estimation-quality telemetry (:mod:`.quality`)
+            for runs under this session.  Off by default — the seams
+            then cost one ContextVar read, keeping untelemetered runs
+            inside the obs overhead budget and bit-identical.
     """
 
-    def __init__(self, trace_path=None):
+    def __init__(self, trace_path=None, quality: bool = False):
         self.tracer = TraceRecorder()
         self.metrics = MetricsRegistry()
         self.trace_path = trace_path
+        self.quality = bool(quality)
 
     # -- cross-process shipping -----------------------------------------
 
     def drain_payload(self) -> Dict[str, Any]:
-        """Detach everything recorded so far (worker → runner shipping)."""
-        return {"events": self.tracer.drain(), "metrics": self.metrics.snapshot()}
+        """Detach everything recorded so far (worker → runner shipping).
+
+        When the process-wide sampling profiler is running, its
+        collapsed-stack aggregate rides along under ``"profile"`` —
+        the same channel as trace buffers, so worker profiles reach
+        the supervisor without a side path.  The key is absent when
+        profiling is off, keeping the payload shape unchanged.
+        """
+        payload: Dict[str, Any] = {
+            "events": self.tracer.drain(),
+            "metrics": self.metrics.snapshot(),
+        }
+        from .profile import drain_profile
+
+        profile = drain_profile()
+        if profile is not None:
+            payload["profile"] = profile
+        return payload
 
     def absorb_payload(
         self,
@@ -85,10 +108,16 @@ class ObsSession:
         Callers must absorb in a deterministic order — the runner keys
         payloads by ``(execute call, block index)`` exactly like the
         checkpoint journal — so merged traces and metric snapshots are
-        reproducible regardless of pool scheduling.
+        reproducible regardless of pool scheduling.  (Profile sample
+        merges are commutative sums, so they are order-independent
+        regardless.)
         """
         self.tracer.absorb(payload.get("events", ()), parent_id, prefix)
         self.metrics.merge(payload.get("metrics", {}))
+        if "profile" in payload:
+            from .profile import merge_profile
+
+            merge_profile(payload["profile"])
 
     # -- lifecycle ------------------------------------------------------
 
@@ -112,6 +141,16 @@ class ObsSession:
         section: Dict[str, Any] = {"enabled": True}
         section.update(rollup)
         section["metrics"] = self.metrics.snapshot()
+        from .profile import active_sampler, profile_summary
+
+        sampler = active_sampler()
+        if sampler is not None:
+            # Hotspot summary only — full collapsed stacks go to the
+            # profiler's own artifact, not the manifest.  Profile
+            # counts are wall-clock facts and exist only when the user
+            # explicitly turned profiling on, so determinism pins are
+            # untouched.
+            section["profile"] = profile_summary(sampler.snapshot())
         return section
 
 

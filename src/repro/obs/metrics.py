@@ -50,6 +50,25 @@ BUCKETS_BY_METRIC: Dict[str, Tuple[float, ...]] = {
     "service_run_seconds": (
         0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1200.0,
     ),
+    # Estimation-quality exemplars (obs/quality.py).  Ratio-, dB- and
+    # conditioning-shaped edges — NOT the latency defaults — fixed so
+    # the jobs=N merge stays an elementwise bucket sum.
+    # Correlation peak over runner-up: 1.0 = ambiguous, >2 = decisive.
+    "quality_peak_ratio": (
+        1.0, 1.01, 1.02, 1.05, 1.1, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0,
+    ),
+    # Eq. 4 gain gap between the chosen sector and the runner-up (dB).
+    "quality_selection_margin_db": (
+        0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+    ),
+    # Mutual coherence of a designed sensing matrix (unit-norm rows).
+    "quality_design_coherence": (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0,
+    ),
+    # 2-norm condition number of the designed subset matrix.
+    "quality_design_condition": (
+        1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0, 10000.0,
+    ),
 }
 
 

@@ -1,0 +1,197 @@
+"""Estimation-quality telemetry (DESIGN.md §15).
+
+The paper's claims are quality-vs-budget curves; the mechanical trace
+(spans, counters) cannot explain *why* a policy or a designer wins.
+This module records the physical-layer exemplars that predict recovery
+quality, at the three seams where they are cheap to read:
+
+* **Estimator** — the Eq. 3/5 correlation *peak-to-runner-up ratio*: a
+  sharp peak means the probe subset discriminated the path direction;
+  a ratio near 1 means the sensing matrix confused neighboring grid
+  points (the diagnostic arXiv:2308.13268 uses to predict alignment
+  error).
+* **Selector** — the Eq. 4 *selection margin*: the dB gap between the
+  chosen sector's gain at the estimated direction and the runner-up
+  candidate.  A thin margin means the codebook was dense there and a
+  small estimation error flips the sector.
+* **Designer** — the *mutual coherence* and *condition number* of the
+  designed sensing matrix (normalized pattern rows), the structured
+  sensing-matrix quality measures of arXiv:2205.11154.
+
+Exemplars aggregate into labeled histograms
+(``policy`` × ``environment`` × ``m``) through the ordinary metrics
+registry, so they ride the existing worker drain/absorb channel — the
+jobs=4 merge is elementwise bucket addition over fixed edges, making
+the enabled aggregate equal at any job count.
+
+Telemetry is **off unless a quality context is active**: every seam
+does one ContextVar read and returns, so untelemetered runs stay
+bit-identical and inside the obs overhead budget.  Values derive only
+from arrays the seams already computed — the RNG is never touched —
+so enabling telemetry never changes results either.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from . import metrics as _metrics  # noqa: F401  (bucket families live there)
+
+__all__ = [
+    "QualityContext",
+    "activate_quality",
+    "deactivate_quality",
+    "quality_context",
+    "record_peak_ratio",
+    "record_selection_margin",
+    "record_design_diagnostics",
+    "subset_diagnostics",
+]
+
+#: Active quality context (one ContextVar read on the hot path, the
+#: same discipline as ``obs._SESSION``).
+_QUALITY: ContextVar[Optional["QualityContext"]] = ContextVar(
+    "repro_quality", default=None
+)
+
+
+class QualityContext:
+    """Labels under which the current block's exemplars are recorded.
+
+    Constructed by the runner (which knows the policy label and the
+    spec's environment) and shipped to pool workers inside
+    ``obs_meta`` so worker-side exemplars carry the same labels.
+    """
+
+    __slots__ = ("policy", "environment")
+
+    def __init__(self, policy: str = "?", environment: str = "?"):
+        self.policy = str(policy)
+        self.environment = str(environment)
+
+    def labels(self, **extra: Any) -> Dict[str, str]:
+        out = {"policy": self.policy, "environment": self.environment}
+        for key, value in extra.items():
+            out[key] = str(value)
+        return out
+
+    def to_meta(self) -> Dict[str, str]:
+        """The picklable form carried in worker ``obs_meta``."""
+        return {"policy": self.policy, "environment": self.environment}
+
+    @classmethod
+    def from_meta(cls, meta: Mapping[str, Any]) -> "QualityContext":
+        return cls(
+            policy=meta.get("policy", "?"), environment=meta.get("environment", "?")
+        )
+
+
+def activate_quality(context: Optional[QualityContext]):
+    """Make ``context`` current; returns a token for deactivation."""
+    return _QUALITY.set(context)
+
+
+def deactivate_quality(token) -> None:
+    _QUALITY.reset(token)
+
+
+def quality_context() -> Optional[QualityContext]:
+    """The active context, or ``None`` (the single hot-path check)."""
+    return _QUALITY.get()
+
+
+def _observe(name: str, value: float, labels: Dict[str, str]) -> None:
+    from . import observe as _obs_observe
+
+    _obs_observe(name, float(value), **labels)
+
+
+# ----------------------------------------------------------------------
+# Seam recorders.  Each does nothing unless a context is active, and
+# reads only finished arrays — never the RNG, never selector state.
+# ----------------------------------------------------------------------
+
+
+def record_peak_ratio(surface: np.ndarray, best_index: int, m: int) -> None:
+    """Correlation peak-to-runner-up ratio from one trial's surface.
+
+    ``surface`` is the fused correlation over the search grid;
+    ``best_index`` its finite argmax.  Skipped when no finite
+    runner-up exists (single-point grids, all-NaN rows) or the
+    runner-up is non-positive (a ratio would be meaningless).
+    """
+    context = _QUALITY.get()
+    if context is None:
+        return
+    values = np.asarray(surface, dtype=float)
+    if values.size < 2 or not 0 <= best_index < values.size:
+        return
+    peak = float(values[best_index])
+    rest = np.delete(values, best_index)
+    finite = rest[np.isfinite(rest)]
+    if not finite.size:
+        return
+    runner_up = float(finite.max())
+    if not np.isfinite(peak) or runner_up <= 0.0:
+        return
+    _observe(
+        "quality_peak_ratio", peak / runner_up, context.labels(m=int(m))
+    )
+
+
+def record_selection_margin(candidate_gains: np.ndarray, m: int) -> None:
+    """Eq. 4 selection margin: top-1 minus top-2 candidate gain (dB).
+
+    ``candidate_gains`` is the column of the candidate matrix at the
+    estimated direction — already gathered by every selection path.
+    """
+    context = _QUALITY.get()
+    if context is None:
+        return
+    gains = np.asarray(candidate_gains, dtype=float)
+    finite = gains[np.isfinite(gains)]
+    if finite.size < 2:
+        return
+    top2 = np.partition(finite, finite.size - 2)[-2:]
+    _observe(
+        "quality_selection_margin_db",
+        float(top2[1] - top2[0]),
+        context.labels(m=int(m)),
+    )
+
+
+def subset_diagnostics(rows: np.ndarray) -> Dict[str, float]:
+    """Sensing-matrix quality of one designed subset.
+
+    ``rows`` are the subset's unit-normalized linear-power pattern
+    rows (M × grid).  Mutual coherence is the largest off-diagonal
+    |inner product|; the condition number is the 2-norm ratio of the
+    subset matrix's singular values (∞ when rank-deficient).
+    """
+    matrix = np.asarray(rows, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] < 2:
+        return {"coherence": 0.0, "condition": 1.0}
+    gram = np.abs(matrix @ matrix.T)
+    np.fill_diagonal(gram, 0.0)
+    coherence = float(gram.max())
+    singular = np.linalg.svd(matrix, compute_uv=False)
+    smallest = float(singular[-1])
+    condition = float(singular[0] / smallest) if smallest > 0.0 else float("inf")
+    return {"coherence": coherence, "condition": condition}
+
+
+def record_design_diagnostics(
+    designer: str, diagnostics: Mapping[str, float], m: int
+) -> None:
+    """Record one designer's subset diagnostics under the active labels."""
+    context = _QUALITY.get()
+    if context is None:
+        return
+    labels = context.labels(designer=designer, m=int(m))
+    _observe("quality_design_coherence", diagnostics["coherence"], labels)
+    condition = diagnostics["condition"]
+    if np.isfinite(condition):
+        _observe("quality_design_condition", condition, labels)

@@ -116,6 +116,7 @@ def load_report_target(path) -> Dict[str, Any]:
             "slowest_blocks": observability.get("slowest_blocks", []),
         },
         "metrics": observability.get("metrics"),
+        "profile": observability.get("profile"),
     }
 
 
@@ -168,6 +169,18 @@ def format_report_rows(payload: Mapping[str, Any], top: int = TOP_BLOCKS) -> Lis
                 f"    {entry.get('policy', '?'):16s}"
                 f" call={entry.get('call', '?')} block={entry.get('block', '?')}"
                 f"  {1e3 * float(entry.get('duration_s', 0.0)):9.3f} ms"
+            )
+    profile = payload.get("profile")
+    if profile and profile.get("hotspots"):
+        rows.append(
+            f"  profile hotspots ({int(profile.get('samples', 0))} samples,"
+            " self-time ranked)"
+        )
+        rows.append("    function                                          self    self %")
+        for entry in profile["hotspots"][: max(top, 0) or None]:
+            rows.append(
+                f"    {str(entry.get('function', '?')):<46}"
+                f" {int(entry.get('self', 0)):7d} {float(entry.get('self_pct', 0.0)):8.1f}"
             )
     return rows
 

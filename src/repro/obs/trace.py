@@ -44,6 +44,7 @@ __all__ = [
     "NULL_SPAN",
     "Span",
     "TraceRecorder",
+    "RotatingTraceWriter",
     "write_trace_jsonl",
     "read_trace_jsonl",
 ]
@@ -217,6 +218,88 @@ def write_trace_jsonl(
         handle.write(json.dumps(head, sort_keys=True) + "\n")
         for event in events:
             handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+class RotatingTraceWriter:
+    """Append-mode JSONL trace sink with a per-segment size cap.
+
+    A long-lived service tracing every run would grow a single JSONL
+    file unboundedly; this writer appends each batch of events to the
+    current segment and, once the segment passes ``max_bytes``, seals
+    it and opens the next one.  **Every** segment starts with its own
+    ``repro-trace`` header line, so each file independently satisfies
+    :func:`read_trace_jsonl` and ``repro-bench report`` — rotation
+    never leaves a headerless tail.
+
+    Segments are named ``trace.jsonl`` (the configured path), then
+    ``trace.1.jsonl``, ``trace.2.jsonl`` … — the base path is always
+    the oldest segment, so `--trace` keeps pointing at a valid file.
+    Rotation happens *between* batches, never inside one, so a batch's
+    events (one service run's trace) always share a segment.
+    """
+
+    def __init__(
+        self,
+        path,
+        header: Optional[Mapping[str, Any]] = None,
+        max_bytes: int = 64 * 1024 * 1024,
+    ):
+        if max_bytes < 1024:
+            raise ValueError("trace segment cap must be at least 1 KiB")
+        self._base = Path(path)
+        self._header = dict(header or {})
+        self._max_bytes = int(max_bytes)
+        self._index = 0
+        self._handle = None
+        self._written: List[Path] = []
+
+    def segment_path(self, index: int) -> Path:
+        if index == 0:
+            return self._base
+        return self._base.with_name(
+            f"{self._base.stem}.{index}{self._base.suffix or '.jsonl'}"
+        )
+
+    @property
+    def segments(self) -> List[Path]:
+        """Every segment written so far, oldest first."""
+        return list(self._written)
+
+    def _open_segment(self) -> None:
+        path = self.segment_path(self._index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        head: Dict[str, Any] = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+        head.update(self._header)
+        head["segment"] = self._index
+        self._handle = path.open("w", encoding="utf-8")
+        self._handle.write(json.dumps(head, sort_keys=True) + "\n")
+        self._written.append(path)
+
+    def write(self, events: Sequence[Mapping[str, Any]], **stamp: Any) -> Path:
+        """Append one batch of events, stamped with ``stamp`` keys.
+
+        ``stamp`` (e.g. ``run="r000003-…"``) is merged into every
+        record so a multi-run segment stays attributable.  Returns the
+        segment the batch landed in.
+        """
+        if self._handle is None:
+            self._open_segment()
+        for event in events:
+            record = dict(event)
+            record.update(stamp)
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        path = self._written[-1]
+        if self._handle.tell() >= self._max_bytes:
+            self._handle.close()
+            self._handle = None
+            self._index += 1
+        return path
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 def read_trace_jsonl(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:

@@ -48,6 +48,7 @@ __all__ = [
     "DEFAULT_TRAJECTORY",
     "OBS_OVERHEAD_LIMIT_PCT",
     "PARALLEL_RATIO_LIMIT",
+    "PROFILE_OVERHEAD_LIMIT_PCT",
     "REGRESSION_FACTOR",
     "SUPERVISION_OVERHEAD_LIMIT_PCT",
     "PerfPoint",
@@ -78,6 +79,13 @@ SUPERVISION_OVERHEAD_LIMIT_PCT = 5.0
 #: bounds the *whole* observability layer from above: if even recording
 #: fits the budget, the disabled path certainly does.
 OBS_OVERHEAD_LIMIT_PCT = 3.0
+
+#: ``--check`` fails when a run under the sampling profiler costs more
+#: than this over the unprofiled default.  The profiler fires a SIGPROF
+#: every 5ms of *CPU* time and walks the interrupted stack, so its cost
+#: scales with sampling rate, not workload size; this gate keeps
+#: "profile always on" a defensible production posture.
+PROFILE_OVERHEAD_LIMIT_PCT = 5.0
 
 #: ``--check`` fails when the jobs=4 scenario pass is slower than the
 #: jobs=1 pass by more than the observed measurement noise.  The
@@ -536,6 +544,58 @@ def measure_metrics(
             100.0 * float(np.ptp(untraced_times) + np.ptp(traced_times)) / untraced
         )
 
+    # -- sampling-profiler overhead (absent before obs.profile landed) -
+    try:
+        from .obs import profile as _profile_module
+        from .experiments.fig9 import Fig9Config, fig9_spec
+        from .runtime import ScenarioRunner as _ProfRunner
+    except ImportError:
+        _ProfRunner = None
+    if _ProfRunner is not None:
+        profile_spec = fig9_spec(
+            Fig9Config(probe_counts=(6, 14), azimuth_step_deg=20.0, n_sweeps=6)
+        )
+
+        def _run_unprofiled():
+            with _ProfRunner(jobs=1) as runner:
+                runner.run(profile_spec)
+
+        def _run_profiled():
+            # The profiler is armed exactly as `run --profile-sampling`
+            # arms it — SIGPROF at the default interval, every sample
+            # walking the live stacks — so the delta is the cost a user
+            # pays for leaving continuous profiling on.
+            _profile_module.start_profiling()
+            try:
+                with _ProfRunner(jobs=1) as runner:
+                    runner.run(profile_spec)
+            finally:
+                _profile_module.stop_profiling()
+
+        # Same interleaved-medians discipline as the supervision and
+        # observability overheads above.
+        unprofiled_times: List[float] = []
+        profiled_times: List[float] = []
+        for _ in range(5):
+            start = time.perf_counter()
+            _run_unprofiled()
+            unprofiled_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            _run_profiled()
+            profiled_times.append(time.perf_counter() - start)
+        unprofiled = float(np.median(unprofiled_times))
+        profiled = float(np.median(profiled_times))
+        metrics["runner_unprofiled_s"] = unprofiled
+        metrics["runner_profiled_s"] = profiled
+        metrics["runner_profile_overhead_pct"] = (
+            100.0 * (profiled - unprofiled) / unprofiled
+        )
+        metrics["runner_profile_noise_pct"] = (
+            100.0
+            * float(np.ptp(unprofiled_times) + np.ptp(profiled_times))
+            / unprofiled
+        )
+
     # -- testbed disk cache (absent before the cache landed) -----------
     try:
         from .experiments.common import testbed_table_cache_info
@@ -569,12 +629,41 @@ def load_trajectory(path) -> Dict:
     return data
 
 
+def _canonical_environment(environment: Mapping[str, object]) -> Dict[str, object]:
+    """Environment capture with numeric values stored as numbers.
+
+    Early trajectory points serialized ``cpu_count`` as the string
+    ``"1"`` (the capture went through a formatting helper); later
+    producers write the int.  Consumers tolerate both via
+    :func:`_normalize_env_value`, but every *write* canonicalizes so the
+    committed file converges on one representation instead of carrying
+    the accident forward forever.  Version strings ("3.11.9") stay
+    strings — only clean integers are converted.
+    """
+    canonical: Dict[str, object] = {}
+    for key, value in environment.items():
+        if isinstance(value, str):
+            text = value.strip()
+            if text.lstrip("+-").isdigit():
+                value = int(text)
+        canonical[key] = value
+    return canonical
+
+
 def append_point(path, point: PerfPoint) -> Dict:
-    """Append one datapoint and rewrite the trajectory atomically."""
+    """Append one datapoint and rewrite the trajectory atomically.
+
+    Rewriting is also when historical points get their environment
+    values canonicalized (see :func:`_canonical_environment`), so one
+    append migrates the whole file.
+    """
     path = pathlib.Path(path)
     data = load_trajectory(path)
     data["schema"] = BENCH_SCHEMA
     data["points"].append(point.to_json())
+    for entry in data["points"]:
+        if isinstance(entry, dict) and isinstance(entry.get("environment"), dict):
+            entry["environment"] = _canonical_environment(entry["environment"])
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
     os.replace(tmp, path)
@@ -656,6 +745,15 @@ def check_against_baseline(
             failures.append(
                 f"runner_obs_overhead_pct: {obs_overhead:.2f}% "
                 f"(limit {OBS_OVERHEAD_LIMIT_PCT:.0f}% over untraced "
+                f"+ {noise:.2f}% observed measurement noise)"
+            )
+    profile_overhead = metrics.get("runner_profile_overhead_pct")
+    if profile_overhead is not None:
+        noise = max(0.0, float(metrics.get("runner_profile_noise_pct", 0.0)))
+        if profile_overhead > PROFILE_OVERHEAD_LIMIT_PCT + noise:
+            failures.append(
+                f"runner_profile_overhead_pct: {profile_overhead:.2f}% "
+                f"(limit {PROFILE_OVERHEAD_LIMIT_PCT:.0f}% over unprofiled "
                 f"+ {noise:.2f}% observed measurement noise)"
             )
     ratio = metrics.get("scenario_jobs4_over_jobs1_ratio")

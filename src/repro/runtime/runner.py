@@ -69,11 +69,22 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from .. import obs as _obs
+from ..obs import quality as _quality
 from .checkpoint import CheckpointStore, default_checkpoint_path
 from .faults import (
     BlockTimeoutError,
@@ -121,6 +132,12 @@ def _reset_worker_signals() -> None:
         pass
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # ContextVars survive fork: a worker spawned mid-execute would
+    # inherit the supervisor's active quality context and record
+    # designer diagnostics at its own policy builds, double-counting
+    # them.  Workers record quality only under the context shipped in
+    # obs_meta, so start clean.
+    _quality.activate_quality(None)
 
 
 __all__ = [
@@ -415,6 +432,13 @@ def _worker_run_block(
         policy = _worker_policy(testbed_key, policy_key, manifest)
         policy.reset()
         return _eval_block_guarded(policy, block)
+    # The quality context rides inside obs_meta but is not a span
+    # attribute — pop it so worker spans stay attr-identical to the
+    # local path's.  It scopes only the evaluation (not the policy
+    # build): designer diagnostics are the supervisor's to record, so
+    # job counts never change what a worker contributes.
+    obs_meta = dict(obs_meta)
+    quality_meta = obs_meta.pop("quality", None)
     session = _obs.ObsSession()
     previous = _obs.activate(session)
     try:
@@ -423,12 +447,25 @@ def _worker_run_block(
                 _apply_worker_directive(directive, testbed_key)
             policy = _worker_policy(testbed_key, policy_key, manifest)
             policy.reset()
-            results, info = _eval_block_guarded(policy, block)
+            results, info = _eval_block_quality(policy, block, quality_meta)
         info = dict(info)
         info["obs"] = session.drain_payload()
         return results, info
     finally:
         _obs.deactivate(previous)
+
+
+def _eval_block_quality(
+    policy, block: TrialBlock, quality_meta: Optional[Mapping[str, Any]]
+):
+    """``_eval_block_guarded`` under the shipped quality context, if any."""
+    if quality_meta is None:
+        return _eval_block_guarded(policy, block)
+    token = _quality.activate_quality(_quality.QualityContext.from_meta(quality_meta))
+    try:
+        return _eval_block_guarded(policy, block)
+    finally:
+        _quality.deactivate_quality(token)
 
 
 def _eval_chunk_stacked(
@@ -540,12 +577,14 @@ def _worker_run_chunk(
                 policy.reset()
                 done[index] = _eval_block_guarded(policy, block)
                 continue
+            obs_meta = dict(obs_meta)
+            quality_meta = obs_meta.pop("quality", None)
             session = _obs.ObsSession()
             previous = _obs.activate(session)
             try:
                 with _obs.span("execute.block", **obs_meta):
                     policy.reset()
-                    results, info = _eval_block_guarded(policy, block)
+                    results, info = _eval_block_quality(policy, block, quality_meta)
                 info = dict(info)
                 info["obs"] = session.drain_payload()
                 done[index] = (results, info)
@@ -634,6 +673,7 @@ class ScenarioRunner:
         self._contexts: Dict[int, PolicyContext] = {}
         self._policy_timings: Dict[str, float] = {}
         self._policy_span_id: Optional[str] = None
+        self._quality_environment: Optional[str] = None
         # Cooperative abort plumbing: ``cancel()`` may be called from
         # any thread (the service's event loop) while ``run()`` executes
         # on a worker thread; the deadline is a monotonic instant set
@@ -794,6 +834,11 @@ class ScenarioRunner:
         # is deterministic in (spec, seed), so a repeat of the same spec
         # re-uses the segments without copying a byte.
         self._run_digest = spec.digest()
+        # Quality exemplars label by environment; specs without one
+        # (single-environment scenarios) fall back to the scenario name.
+        self._quality_environment = str(
+            spec.params.get("environment", spec.scenario)
+        )
         try:
             with _obs.span(
                 "scenario.run", scenario=spec.scenario, seed=spec.seed, jobs=self.jobs
@@ -803,6 +848,7 @@ class ScenarioRunner:
             # Only the per-run journal closes here; the worker pool and
             # published kernels survive for the next run (see close()).
             self._run_digest = None
+            self._quality_environment = None
             self._deadline_at = None
             self._close_store()
             if traced:
@@ -843,10 +889,41 @@ class ScenarioRunner:
             self._contexts[id(testbed)] = context
         return context
 
+    def _quality_context(self, label: str) -> Optional[_quality.QualityContext]:
+        """This run's quality labels for ``label``, or None when off.
+
+        Quality telemetry is opted into per session
+        (``ObsSession(quality=True)``); without an active session — or
+        with one that did not opt in — every seam stays a single
+        ContextVar read.
+        """
+        session = _obs.active_session()
+        if session is None or not getattr(session, "quality", False):
+            return None
+        return _quality.QualityContext(
+            policy=label, environment=self._quality_environment or "?"
+        )
+
     def build_policy(self, policy_spec: PolicySpec, context: PolicyContext):
+        """Build a policy, recording designer diagnostics when enabled.
+
+        Deterministic probe designers run during construction, so this
+        — not ``execute`` — is where their coherence/condition
+        exemplars are recorded.  Only the supervisor builds under a
+        quality context: pool workers rebuild policies without one, so
+        the designer's contribution is counted exactly once at any
+        ``jobs``.
+        """
         from .registry import build_policy
 
-        return build_policy(policy_spec, context)
+        quality = self._quality_context(policy_spec.name)
+        if quality is None:
+            return build_policy(policy_spec, context)
+        token = _quality.activate_quality(quality)
+        try:
+            return build_policy(policy_spec, context)
+        finally:
+            _quality.deactivate_quality(token)
 
     # -- planning -------------------------------------------------------
 
@@ -864,7 +941,35 @@ class ScenarioRunner:
         ``probes_for_round(0, ...)`` call per recording × sweep ×
         subsample, in exactly that nesting order — the draw order every
         legacy experiment loop used.
+
+        Planning is also where an attached probe designer actually
+        designs (blocks carry pre-drawn probes, so execution never
+        re-enters it), and planning always runs in the supervisor — so
+        this is where designer quality diagnostics are recorded,
+        jobs-invariantly.
         """
+        label = getattr(policy, "name", type(policy).__name__)
+        quality = self._quality_context(label)
+        token = (
+            _quality.activate_quality(quality) if quality is not None else None
+        )
+        try:
+            return self._plan_trials_inner(
+                policy, recordings, tx_ids, rng, subsamples_per_sweep, label
+            )
+        finally:
+            if token is not None:
+                _quality.deactivate_quality(token)
+
+    def _plan_trials_inner(
+        self,
+        policy,
+        recordings: Sequence,
+        tx_ids: Sequence[int],
+        rng: np.random.Generator,
+        subsamples_per_sweep: int,
+        label: str,
+    ) -> List[TrialBlock]:
         column_of = {sector_id: column for column, sector_id in enumerate(tx_ids)}
         id_row = np.asarray(tx_ids, dtype=np.intp)
         pool = list(tx_ids)
@@ -948,6 +1053,10 @@ class ScenarioRunner:
         if label is None:
             label = getattr(policy, "name", type(policy).__name__)
         begin = time.perf_counter()
+        quality = self._quality_context(label)
+        token = (
+            _quality.activate_quality(quality) if quality is not None else None
+        )
         try:
             with _obs.span("execute.policy", policy=label, reset=reset) as span:
                 # Worker-trace payloads re-parent onto this span when
@@ -963,6 +1072,8 @@ class ScenarioRunner:
                 finally:
                     self._policy_span_id = None
         finally:
+            if token is not None:
+                _quality.deactivate_quality(token)
             elapsed = time.perf_counter() - begin
             self._policy_timings[label] = self._policy_timings.get(label, 0.0) + elapsed
         return records
@@ -1313,6 +1424,15 @@ class ScenarioRunner:
             blocks, worker_policy_key, call_index
         )
         traced = _obs.enabled()
+        # Ship the active quality context (if any) to workers inside
+        # obs_meta; the worker pops it back out before spanning, so
+        # traces stay attr-identical while worker exemplars carry the
+        # supervisor's labels.
+        quality_meta = (
+            _quality.quality_context().to_meta()
+            if _quality.quality_context() is not None
+            else None
+        )
         self._journal = (store, policy_key, call_index)
         out: Dict[int, Tuple[Sequence, Dict[str, Any]]] = {}
         attempts: Dict[int, int] = {index: 0 for index in pending}
@@ -1354,6 +1474,8 @@ class ScenarioRunner:
                         }
                         if directive is not None:
                             obs_meta["injected"] = True
+                        if quality_meta is not None:
+                            obs_meta["quality"] = quality_meta
                         obs_meta_of[index] = obs_meta
                 clean = [index for index in batch if directives[index] is None]
                 for index in batch:
@@ -1725,6 +1847,10 @@ class ScenarioRunner:
         if label is None:
             label = getattr(policy, "name", type(policy).__name__)
         begin = time.perf_counter()
+        quality = self._quality_context(label)
+        token = (
+            _quality.activate_quality(quality) if quality is not None else None
+        )
         try:
             with _obs.span("execute.interactive", policy=label):
                 result = None
@@ -1749,5 +1875,7 @@ class ScenarioRunner:
                     training_time_us=policy.training_time_us(probes_used, round_index),
                 )
         finally:
+            if token is not None:
+                _quality.deactivate_quality(token)
             elapsed = time.perf_counter() - begin
             self._policy_timings[label] = self._policy_timings.get(label, 0.0) + elapsed

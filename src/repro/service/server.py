@@ -57,7 +57,9 @@ from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .. import obs as _obs
+from ..obs import profile as _profile
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import RotatingTraceWriter
 from ..runtime import RetryPolicy, ScenarioRunner, ScenarioSpec
 from ..runtime.checkpoint import journal_header
 from ..runtime.faults import DeadlineExceededError, RunCancelledError
@@ -148,6 +150,14 @@ class ServiceConfig:
         history_limit: finished runs retained in memory; older records
             (and their journals) are evicted.
         max_body_bytes: request-body cap (413 beyond it).
+        trace_path: append every finished run's span events to a
+            rotating JSONL sink here (None = no trace sink).  Every
+            segment carries its own ``repro-trace`` header, so any
+            segment feeds ``repro-bench report`` directly.
+        trace_max_mb: per-segment size cap for the trace sink.
+        profile_path: run the sampling profiler for the service's
+            lifetime and write the collapsed-stack aggregate here at
+            shutdown (None = no profiling).
     """
 
     host: str = "127.0.0.1"
@@ -165,6 +175,9 @@ class ServiceConfig:
     sweep_shm: bool = False
     history_limit: int = 512
     max_body_bytes: int = 1024 * 1024
+    trace_path: Optional[str] = None
+    trace_max_mb: float = 64.0
+    profile_path: Optional[str] = None
 
     def resolved_state_dir(self) -> Path:
         if self.state_dir is not None:
@@ -383,6 +396,10 @@ class SelectionService:
         #: Cumulative data-plane metrics folded from every finished
         #: run's ObsSession snapshot (counters/histograms add).
         self.run_metrics = MetricsRegistry()
+        #: Every worker's long-lived runner, for the shm-segment gauge.
+        self._runners: List[ScenarioRunner] = []
+        #: Rotating span-trace sink (``--trace``), None when off.
+        self._trace_writer: Optional[RotatingTraceWriter] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -395,6 +412,14 @@ class SelectionService:
             self.config.resolved_state_dir() / "registry.jsonl",
             durable=self.config.durable,
         )
+        if self.config.trace_path:
+            self._trace_writer = RotatingTraceWriter(
+                self.config.trace_path,
+                header={"service": "repro-selection-service"},
+                max_bytes=max(1024, int(self.config.trace_max_mb * 1024 * 1024)),
+            )
+        if self.config.profile_path:
+            _profile.start_profiling()
         self._recover()
         self._collect_garbage()
         self._executor = ThreadPoolExecutor(
@@ -435,6 +460,23 @@ class SelectionService:
         if self._registry is not None:
             self._registry.close()
             self._registry = None
+        self._runners = []
+        if self._trace_writer is not None:
+            self._trace_writer.close()
+            self._trace_writer = None
+        if self.config.profile_path and _profile.active_sampler() is not None:
+            profile = _profile.stop_profiling()
+            stacks, samples = _profile.write_collapsed(
+                self.config.profile_path,
+                profile,
+                header={"service": "repro-selection-service"},
+            )
+            _LOGGER.info(
+                "wrote service profile to %s (%d stacks, %d samples)",
+                self.config.profile_path,
+                stacks,
+                samples,
+            )
 
     async def drain(self, timeout_s: Optional[float] = None) -> None:
         """Graceful shutdown, phase 1: stop admitting, finish in flight.
@@ -897,6 +939,7 @@ class SelectionService:
     async def _worker_loop(self, index: int) -> None:
         loop = asyncio.get_running_loop()
         runner = self._make_runner()
+        self._runners.append(runner)
         try:
             while True:
                 record = await self._queue.get()
@@ -935,7 +978,9 @@ class SelectionService:
                 requeued = False
                 self._running[record.id] = runner
                 try:
-                    manifest, result, metrics_snapshot = await loop.run_in_executor(
+                    (
+                        manifest, result, metrics_snapshot, events,
+                    ) = await loop.run_in_executor(
                         self._executor, self._execute, runner, record
                     )
                 except RunCancelledError:
@@ -992,6 +1037,11 @@ class SelectionService:
                     record.result = result
                     record.finished = _utcnow()
                     self.run_metrics.merge(metrics_snapshot)
+                    if self._trace_writer is not None and events:
+                        # One batch per run, stamped with the run id;
+                        # rotation happens between batches so a run's
+                        # trace never splits across segments.
+                        self._trace_writer.write(events, run=record.id)
                     self.metrics.inc(
                         "service_runs_total",
                         scenario=record.scenario,
@@ -1047,7 +1097,12 @@ class SelectionService:
 
     def _execute(
         self, runner: ScenarioRunner, record: RunRecord
-    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]], Dict[str, Any]]:
+    ) -> Tuple[
+        Dict[str, Any],
+        Optional[Dict[str, Any]],
+        Dict[str, Any],
+        List[Dict[str, Any]],
+    ]:
         """Run one record on an executor thread (no shared-state access).
 
         ``resume=True`` is unconditional: a fresh run id has no journal
@@ -1074,7 +1129,10 @@ class SelectionService:
             result = result_to_dict(outcome.result)
         except TypeError:
             result = None
-        return manifest, result, session.metrics.snapshot()
+        # The event buffer survives finalize (reset clears it); hand it
+        # to the worker coroutine so the rotating sink, if configured,
+        # appends it from the event-loop thread.
+        return manifest, result, session.metrics.snapshot(), list(session.tracer.events)
 
     # -- retention / introspection --------------------------------------
 
@@ -1104,6 +1162,28 @@ class SelectionService:
         self.metrics.set_gauge("service_runs_inflight", self._inflight)
         self.metrics.set_gauge("service_runs_retained", len(self._runs))
         self.metrics.set_gauge("service_draining", 1 if self._draining else 0)
+        # Resource-plane gauges: live shared-memory segments across the
+        # worker runners, the registry WAL's size on disk, and how full
+        # the finished-run history is — the three quantities an operator
+        # had to infer from /dev/shm and du before.
+        self.metrics.set_gauge(
+            "service_shm_segments",
+            sum(len(runner._shm) for runner in self._runners),
+        )
+        if self._registry is not None:
+            try:
+                journal_bytes = self._registry.path.stat().st_size
+            except OSError:  # pragma: no cover - racing a compaction
+                journal_bytes = 0
+            self.metrics.set_gauge("service_registry_journal_bytes", journal_bytes)
+            self.metrics.set_gauge("service_registry_events", self._registry.events)
+        self.metrics.set_gauge("service_history_occupancy", len(self._finished))
+        self.metrics.set_gauge(
+            "service_history_limit", max(0, self.config.history_limit)
+        )
+        sampler = _profile.active_sampler()
+        if sampler is not None:
+            self.metrics.set_gauge("service_profile_samples_total", sampler.samples)
 
     def _status_counts(self) -> Dict[str, int]:
         counts = {

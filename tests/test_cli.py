@@ -27,6 +27,7 @@ class TestParser:
             "perf",
             "run",
             "report",
+            "diff",
             "serve",
             "load",
             "runs",
